@@ -1,0 +1,149 @@
+// Performance microbenchmarks for the substrate layers: packet crafting
+// and parsing, flow hashing, the simulator's forwarding walk, IP-ID
+// machinery, the MBT, and statistics containers. These guard against
+// regressions that would make the survey-scale experiments impractical.
+#include "alias/mbt.h"
+#include "bench_util.h"
+#include "core/validation.h"
+#include "fakeroute/simulator.h"
+#include "net/packet.h"
+#include "topology/generator.h"
+#include "topology/reference.h"
+
+namespace {
+
+using namespace mmlpt;
+
+void experiment(const Flags& flags) {
+  bench::print_header("Microbenchmarks (substrate performance)", flags,
+                      flags.get_uint("seed", 1));
+  std::printf("google-benchmark results follow.\n");
+}
+
+net::ProbeSpec sample_spec() {
+  net::ProbeSpec spec;
+  spec.src = net::Ipv4Address(192, 168, 0, 1);
+  spec.dst = net::Ipv4Address(11, 0, 0, 200);
+  spec.src_port = 40000;
+  spec.ttl = 7;
+  return spec;
+}
+
+void BM_BuildUdpProbe(benchmark::State& state) {
+  const auto spec = sample_spec();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::build_udp_probe(spec));
+  }
+}
+BENCHMARK(BM_BuildUdpProbe);
+
+void BM_ParseProbe(benchmark::State& state) {
+  const auto bytes = net::build_udp_probe(sample_spec());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::parse_probe(bytes));
+  }
+}
+BENCHMARK(BM_ParseProbe);
+
+void BM_BuildTimeExceededWithMpls(benchmark::State& state) {
+  const auto probe = net::build_udp_probe(sample_spec());
+  const std::vector<net::MplsLabelEntry> labels{{1234, 0, true, 5}};
+  for (auto _ : state) {
+    const auto msg = net::make_time_exceeded(probe, labels);
+    benchmark::DoNotOptimize(net::build_icmp_datagram(
+        msg, net::Ipv4Address(10, 0, 0, 1), net::Ipv4Address(192, 168, 0, 1),
+        250, 42));
+  }
+}
+BENCHMARK(BM_BuildTimeExceededWithMpls);
+
+void BM_ParseReplyWithMpls(benchmark::State& state) {
+  const auto probe = net::build_udp_probe(sample_spec());
+  const std::vector<net::MplsLabelEntry> labels{{1234, 0, true, 5}};
+  const auto reply = net::build_icmp_datagram(
+      net::make_time_exceeded(probe, labels), net::Ipv4Address(10, 0, 0, 1),
+      net::Ipv4Address(192, 168, 0, 1), 250, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::parse_reply(reply));
+  }
+}
+BENCHMARK(BM_ParseReplyWithMpls);
+
+void BM_FlowDigest(benchmark::State& state) {
+  net::FlowTuple flow;
+  flow.src = net::Ipv4Address(192, 168, 0, 1);
+  flow.dst = net::Ipv4Address(11, 0, 0, 200);
+  flow.dst_port = 33434;
+  std::uint16_t port = 0;
+  for (auto _ : state) {
+    flow.src_port = port++;
+    benchmark::DoNotOptimize(flow.digest());
+  }
+}
+BENCHMARK(BM_FlowDigest);
+
+void BM_SimulatorRoundTrip(benchmark::State& state) {
+  const auto truth = core::plain_ground_truth(topo::meshed_diamond());
+  fakeroute::Simulator sim(truth, {}, 1);
+  auto spec = sample_spec();
+  spec.dst = truth.destination;
+  spec.ttl = 3;
+  fakeroute::Nanos now = 1'000'000'000;
+  std::uint16_t port = 40000;
+  for (auto _ : state) {
+    spec.src_port = port++;
+    const auto probe = net::build_udp_probe(spec);
+    benchmark::DoNotOptimize(sim.handle(probe, now));
+    now += 1'000'000;
+  }
+}
+BENCHMARK(BM_SimulatorRoundTrip);
+
+void BM_MbtPartition16(benchmark::State& state) {
+  // 16 addresses: 8 routers of 2 interfaces.
+  std::vector<alias::IpIdSeries> series(16);
+  alias::Nanos t = 1'000'000'000;
+  std::vector<std::uint16_t> counters(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    counters[i] = static_cast<std::uint16_t>(i * 8000);
+  }
+  for (int round = 0; round < 30; ++round) {
+    for (std::size_t a = 0; a < 16; ++a) {
+      auto& counter = counters[a / 2];
+      series[a].add(t, counter, 0);
+      counter = static_cast<std::uint16_t>(counter + 3);
+      t += 500'000;
+    }
+  }
+  std::vector<const alias::IpIdSeries*> ptrs;
+  for (const auto& s : series) ptrs.push_back(&s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alias::mbt_partition(ptrs));
+  }
+}
+BENCHMARK(BM_MbtPartition16);
+
+void BM_GenerateDiamond(benchmark::State& state) {
+  topo::RouteGenerator gen(topo::GeneratorConfig{}, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.make_diamond());
+  }
+}
+BENCHMARK(BM_GenerateDiamond);
+
+void BM_FullMdaLiteTraceGeneratedRoute(benchmark::State& state) {
+  topo::RouteGenerator gen(topo::GeneratorConfig{}, 2);
+  const auto route = gen.make_route();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::run_trace(route, core::Algorithm::kMdaLite, {}, {}, seed++));
+  }
+}
+BENCHMARK(BM_FullMdaLiteTraceGeneratedRoute)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return mmlpt::bench::run_bench_main(argc, argv, experiment);
+}

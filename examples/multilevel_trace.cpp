@@ -1,0 +1,88 @@
+// Multilevel MDA-Lite Paris Traceroute in action: trace a route whose
+// wide hop hides two physical routers, then print both the IP-level and
+// the router-level views — the paper's headline capability (Sec. 4).
+#include <cstdio>
+
+#include "common/flags.h"
+#include "core/multilevel.h"
+#include "core/validation.h"
+#include "fakeroute/simulator.h"
+#include "probe/simulated_network.h"
+#include "topology/generator.h"
+
+using namespace mmlpt;
+
+namespace {
+
+void print_graph(const char* title, const topo::MultipathGraph& g) {
+  std::printf("%s\n", title);
+  for (std::uint16_t h = 0; h < g.hop_count(); ++h) {
+    std::printf("%3d ", h);
+    for (const auto v : g.vertices_at(h)) {
+      std::printf(" %s", g.vertex(v).addr.to_string().c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  try {
+    // Generate a route whose diamonds carry router-level ground truth
+    // with shared-IP-ID-counter aliases the tool can actually recover.
+    topo::GeneratorConfig gconfig;
+    gconfig.class_no_change = 0.0;
+    gconfig.class_single_smaller = 1.0;
+    gconfig.class_multiple_smaller = 0.0;
+    gconfig.class_one_path = 0.0;
+    gconfig.alias_ipid_shared = 1.0;
+    gconfig.alias_ipid_per_interface = 0.0;
+    gconfig.alias_ipid_constant_zero = 0.0;
+    gconfig.alias_ipid_zero_error_counter_echo = 0.0;
+    gconfig.alias_ipid_echo_probe = 0.0;
+    gconfig.alias_ipid_random = 0.0;
+    topo::RouteGenerator generator(gconfig, flags.get_uint("seed", 7));
+    const auto route = generator.make_route();
+
+    fakeroute::Simulator simulator(route, {}, flags.get_uint("seed", 7));
+    probe::SimulatedNetwork network(simulator);
+    probe::ProbeEngine::Config config;
+    config.source = route.source;
+    config.destination = route.destination;
+    probe::ProbeEngine engine(network, config);
+
+    core::MultilevelConfig ml_config;
+    ml_config.rounds =
+        static_cast<int>(flags.get_int("rounds", 10));
+    core::MultilevelTracer tracer(engine, ml_config);
+    const auto result = tracer.run();
+
+    print_graph("=== IP-level multipath view ===", result.trace.graph);
+    print_graph("=== Router-level view (after alias resolution) ===",
+                result.router_graph);
+    print_graph("=== Ground truth at router level ===",
+                route.router_level_graph());
+
+    std::printf("alias sets accepted per hop:\n");
+    for (const auto& [hop, sets] : result.final_round().sets_by_hop) {
+      for (const auto& set : sets) {
+        if (set.outcome != alias::Outcome::kAccept) continue;
+        std::printf("  hop %d:", hop);
+        for (const auto a : set.members) {
+          std::printf(" %s", a.to_string().c_str());
+        }
+        std::printf("  (one router)\n");
+      }
+    }
+    std::printf("\ntrace packets: %llu, with alias refinement: %llu\n",
+                static_cast<unsigned long long>(result.trace.packets),
+                static_cast<unsigned long long>(result.total_packets));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+#include "alias/direct_prober.h"
+
+namespace mmlpt::alias {
+
+AliasResolver DirectProber::collect(
+    std::span<const net::Ipv4Address> addresses) {
+  AliasResolver resolver(config_.resolver);
+  for (int round = 0; round < config_.rounds; ++round) {
+    for (int j = 0; j < config_.samples_per_round; ++j) {
+      for (const auto addr : addresses) {
+        const auto r = engine_->ping(addr);
+        if (!r.answered) continue;
+        resolver.add_ip_id_sample(addr, r.recv_time, r.reply_ip_id,
+                                  r.probe_ip_id);
+        resolver.add_echo_reply_ttl(addr, r.reply_ttl);
+      }
+    }
+  }
+  return resolver;
+}
+
+}  // namespace mmlpt::alias

@@ -1,0 +1,40 @@
+// MIDAR-style direct probing: ICMP echo requests elicit Echo Replies whose
+// IP-IDs come from the router's (router-wide) counter. Used for the
+// paper's Table 2 comparison of indirect (MMLPT) vs direct (MIDAR) alias
+// resolution.
+#ifndef MMLPT_ALIAS_DIRECT_PROBER_H
+#define MMLPT_ALIAS_DIRECT_PROBER_H
+
+#include <span>
+#include <vector>
+
+#include "alias/resolver.h"
+#include "probe/engine.h"
+
+namespace mmlpt::alias {
+
+class DirectProber {
+ public:
+  struct Config {
+    int rounds = 5;
+    int samples_per_round = 30;
+    AliasResolver::Config resolver;
+  };
+
+  explicit DirectProber(probe::ProbeEngine& engine) : engine_(&engine) {}
+  DirectProber(probe::ProbeEngine& engine, Config config)
+      : engine_(&engine), config_(config) {}
+
+  /// Probe `addresses` in interleaved rounds and return a resolver loaded
+  /// with the collected echo evidence.
+  [[nodiscard]] AliasResolver collect(
+      std::span<const net::Ipv4Address> addresses);
+
+ private:
+  probe::ProbeEngine* engine_;
+  Config config_{};
+};
+
+}  // namespace mmlpt::alias
+
+#endif  // MMLPT_ALIAS_DIRECT_PROBER_H

@@ -1,0 +1,32 @@
+#include "alias/fingerprint.h"
+
+namespace mmlpt::alias {
+
+std::uint8_t infer_initial_ttl(std::uint8_t observed_ttl) {
+  if (observed_ttl <= 32) return 32;
+  if (observed_ttl <= 64) return 64;
+  if (observed_ttl <= 128) return 128;
+  return 255;
+}
+
+void Signature::merge_error_ttl(std::uint8_t observed_ttl) {
+  error_initial = infer_initial_ttl(observed_ttl);
+}
+
+void Signature::merge_echo_ttl(std::uint8_t observed_ttl) {
+  echo_initial = infer_initial_ttl(observed_ttl);
+}
+
+bool signatures_incompatible(const Signature& a, const Signature& b) {
+  if (a.error_initial && b.error_initial &&
+      *a.error_initial != *b.error_initial) {
+    return true;
+  }
+  if (a.echo_initial && b.echo_initial &&
+      *a.echo_initial != *b.echo_initial) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace mmlpt::alias

@@ -1,0 +1,34 @@
+// Network Fingerprinting (Vanaubel et al.): infer the initial TTL a
+// router used for its replies; different inferred initial TTLs mean
+// different router OS families, hence different routers.
+#ifndef MMLPT_ALIAS_FINGERPRINT_H
+#define MMLPT_ALIAS_FINGERPRINT_H
+
+#include <cstdint>
+#include <optional>
+
+namespace mmlpt::alias {
+
+/// Routers initialise reply TTLs from a small set of defaults; the value
+/// observed at the vantage point is initial minus path length, so the
+/// smallest default >= observed is the inferred initial.
+[[nodiscard]] std::uint8_t infer_initial_ttl(std::uint8_t observed_ttl);
+
+/// The (error-reply, echo-reply) initial-TTL pair; components are filled
+/// in as evidence arrives.
+struct Signature {
+  std::optional<std::uint8_t> error_initial;
+  std::optional<std::uint8_t> echo_initial;
+
+  void merge_error_ttl(std::uint8_t observed_ttl);
+  void merge_echo_ttl(std::uint8_t observed_ttl);
+};
+
+/// True when the signatures differ on a component both sides know —
+/// almost certainly different routers.
+[[nodiscard]] bool signatures_incompatible(const Signature& a,
+                                           const Signature& b);
+
+}  // namespace mmlpt::alias
+
+#endif  // MMLPT_ALIAS_FINGERPRINT_H

@@ -1,0 +1,63 @@
+#include "alias/ip_id_series.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace mmlpt::alias {
+
+void IpIdSeries::add(Nanos time, std::uint16_t id, std::uint16_t probe_id) {
+  samples_.push_back({time, id, probe_id});
+  // Samples normally arrive in time order (sequential probing); keep the
+  // invariant cheaply if one lands out of order.
+  if (samples_.size() >= 2 &&
+      samples_[samples_.size() - 2].time > samples_.back().time) {
+    std::sort(samples_.begin(), samples_.end(),
+              [](const IpIdSample& a, const IpIdSample& b) {
+                return a.time < b.time;
+              });
+  }
+}
+
+bool monotonic_mod16(std::span<const IpIdSample> samples,
+                     std::uint16_t max_step) {
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    if (wrap16_delta(samples[i - 1].id, samples[i].id) > max_step) {
+      return false;
+    }
+  }
+  return true;
+}
+
+SeriesClass IpIdSeries::classify(std::size_t min_samples) const {
+  if (samples_.size() < min_samples) return SeriesClass::kTooFew;
+
+  const bool constant = std::all_of(
+      samples_.begin(), samples_.end(),
+      [&](const IpIdSample& s) { return s.id == samples_.front().id; });
+  if (constant) return SeriesClass::kConstant;
+
+  std::size_t echoes = 0;
+  for (const auto& s : samples_) {
+    if (s.id == s.probe_id) ++echoes;
+  }
+  if (echoes * 10 >= samples_.size() * 9) return SeriesClass::kEchoOfProbe;
+
+  if (monotonic_mod16(samples_)) return SeriesClass::kMonotonic;
+  return SeriesClass::kNonMonotonic;
+}
+
+double IpIdSeries::velocity() const {
+  MMLPT_EXPECTS(samples_.size() >= 2);
+  const double dt = static_cast<double>(samples_.back().time -
+                                        samples_.front().time) /
+                    1e9;
+  if (dt <= 0.0) return 0.0;
+  std::uint64_t total = 0;
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    total += wrap16_delta(samples_[i - 1].id, samples_[i].id);
+  }
+  return static_cast<double>(total) / dt;
+}
+
+}  // namespace mmlpt::alias

@@ -1,0 +1,30 @@
+// The Monotonic Bounds Test (Keys et al., MIDAR): two addresses can be
+// aliases only if their interleaved IP-ID samples fit a single monotonic
+// counter. A single out-of-sequence identifier separates them (Sec. 4.1).
+#ifndef MMLPT_ALIAS_MBT_H
+#define MMLPT_ALIAS_MBT_H
+
+#include <span>
+#include <vector>
+
+#include "alias/ip_id_series.h"
+
+namespace mmlpt::alias {
+
+/// True when the union of all the series' samples, ordered by time, is
+/// consistent with one monotonic (mod 2^16) counter.
+[[nodiscard]] bool mbt_compatible(
+    std::span<const IpIdSeries* const> series);
+
+/// Convenience pair form.
+[[nodiscard]] bool mbt_compatible(const IpIdSeries& a, const IpIdSeries& b);
+
+/// Greedy set refinement: place each series into the first group whose
+/// merged samples stay monotonic; open a new group otherwise. Returns
+/// groups as index lists into `series`. Order-deterministic.
+[[nodiscard]] std::vector<std::vector<std::size_t>> mbt_partition(
+    std::span<const IpIdSeries* const> series);
+
+}  // namespace mmlpt::alias
+
+#endif  // MMLPT_ALIAS_MBT_H

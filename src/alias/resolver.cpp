@@ -1,0 +1,135 @@
+#include "alias/resolver.h"
+
+#include <algorithm>
+
+#include "alias/mbt.h"
+
+namespace mmlpt::alias {
+
+void AliasResolver::add_ip_id_sample(net::Ipv4Address addr, Nanos time,
+                                     std::uint16_t id,
+                                     std::uint16_t probe_id) {
+  evidence_[addr].series.add(time, id, probe_id);
+}
+
+void AliasResolver::add_error_reply_ttl(net::Ipv4Address addr,
+                                        std::uint8_t observed_ttl) {
+  evidence_[addr].signature.merge_error_ttl(observed_ttl);
+}
+
+void AliasResolver::add_echo_reply_ttl(net::Ipv4Address addr,
+                                       std::uint8_t observed_ttl) {
+  evidence_[addr].signature.merge_echo_ttl(observed_ttl);
+}
+
+void AliasResolver::add_mpls(net::Ipv4Address addr,
+                             std::span<const net::MplsLabelEntry> labels) {
+  evidence_[addr].mpls.add(labels);
+}
+
+const IpIdSeries* AliasResolver::series_of(net::Ipv4Address addr) const {
+  const auto* e = find(addr);
+  return e == nullptr ? nullptr : &e->series;
+}
+
+const AliasResolver::Evidence* AliasResolver::find(
+    net::Ipv4Address addr) const {
+  const auto it = evidence_.find(addr);
+  return it == evidence_.end() ? nullptr : &it->second;
+}
+
+bool AliasResolver::statically_incompatible(const Evidence& a,
+                                            const Evidence& b) const {
+  return signatures_incompatible(a.signature, b.signature) ||
+         mpls_incompatible(a.mpls, b.mpls);
+}
+
+std::vector<AliasSet> AliasResolver::resolve(
+    std::span<const net::Ipv4Address> candidates) const {
+  std::vector<AliasSet> out;
+
+  // Addresses whose counters the MBT can reason about; everything else
+  // becomes a singleton "unable" set immediately.
+  std::vector<net::Ipv4Address> usable;
+  for (const auto addr : candidates) {
+    const auto* e = find(addr);
+    const auto cls = e == nullptr
+                         ? SeriesClass::kTooFew
+                         : e->series.classify(config_.min_mbt_samples);
+    if (cls == SeriesClass::kMonotonic) {
+      usable.push_back(addr);
+    } else {
+      out.push_back({{addr}, Outcome::kUnable});
+    }
+  }
+
+  // Greedy set refinement honouring all three evidence types: an address
+  // joins the first group it is compatible with (statically and under
+  // the merged-series MBT); otherwise it opens a new group.
+  std::vector<std::vector<net::Ipv4Address>> groups;
+  for (const auto addr : usable) {
+    const auto* e = find(addr);
+    bool placed = false;
+    for (auto& group : groups) {
+      bool ok = true;
+      std::vector<const IpIdSeries*> merged;
+      merged.reserve(group.size() + 1);
+      for (const auto member : group) {
+        const auto* me = find(member);
+        if (statically_incompatible(*e, *me)) {
+          ok = false;
+          break;
+        }
+        merged.push_back(&me->series);
+      }
+      if (!ok) continue;
+      merged.push_back(&e->series);
+      if (!mbt_compatible(merged)) continue;
+      group.push_back(addr);
+      placed = true;
+      break;
+    }
+    if (!placed) groups.push_back({addr});
+  }
+
+  const bool tests_possible = usable.size() >= 2;
+  for (auto& group : groups) {
+    AliasSet set;
+    set.members = std::move(group);
+    if (set.members.size() >= 2) {
+      set.outcome = Outcome::kAccept;
+    } else {
+      // A monotonic singleton was positively separated from every other
+      // usable address (reject); if it was alone to begin with there was
+      // nothing to test against.
+      set.outcome = tests_possible ? Outcome::kReject : Outcome::kUnable;
+    }
+    out.push_back(std::move(set));
+  }
+  return out;
+}
+
+Outcome AliasResolver::classify_set(
+    std::span<const net::Ipv4Address> members) const {
+  if (members.size() < 2) return Outcome::kUnable;
+  std::vector<const IpIdSeries*> merged;
+  merged.reserve(members.size());
+  for (const auto addr : members) {
+    const auto* e = find(addr);
+    const auto cls = e == nullptr
+                         ? SeriesClass::kTooFew
+                         : e->series.classify(config_.min_mbt_samples);
+    if (cls != SeriesClass::kMonotonic) return Outcome::kUnable;
+    merged.push_back(&e->series);
+  }
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (std::size_t j = i + 1; j < members.size(); ++j) {
+      if (statically_incompatible(*find(members[i]), *find(members[j]))) {
+        return Outcome::kReject;
+      }
+    }
+  }
+  return mbt_compatible(merged) ? Outcome::kAccept : Outcome::kReject;
+}
+
+}  // namespace mmlpt::alias

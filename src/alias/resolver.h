@@ -1,0 +1,85 @@
+// Set-based alias resolution following MIDAR's schema (Sec. 4.1): an
+// initial candidate set (the addresses at one hop) is broken into smaller
+// sets as evidence shows pairs cannot be aliases. Evidence sources:
+// Network Fingerprinting signatures, MPLS labels, and the MBT over IP-ID
+// time series. Sets that survive with two or more addresses are accepted
+// as routers.
+#ifndef MMLPT_ALIAS_RESOLVER_H
+#define MMLPT_ALIAS_RESOLVER_H
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "alias/fingerprint.h"
+#include "alias/ip_id_series.h"
+#include "alias/mpls.h"
+#include "net/ip_address.h"
+
+namespace mmlpt::alias {
+
+enum class Outcome : std::uint8_t {
+  kAccept,  ///< members mutually consistent as one router
+  kReject,  ///< some pair positively fails a test
+  kUnable,  ///< insufficient / unusable evidence (e.g. constant IP-IDs)
+};
+
+struct AliasSet {
+  std::vector<net::Ipv4Address> members;
+  Outcome outcome = Outcome::kUnable;
+};
+
+class AliasResolver {
+ public:
+  struct Config {
+    /// Minimum samples before a series can support MBT conclusions
+    /// (MIDAR collects tens; round 0 often has only a handful).
+    std::size_t min_mbt_samples = 5;
+  };
+
+  AliasResolver() = default;
+  explicit AliasResolver(Config config) : config_(config) {}
+
+  // ---- evidence feeding ----
+  void add_ip_id_sample(net::Ipv4Address addr, Nanos time, std::uint16_t id,
+                        std::uint16_t probe_id);
+  void add_error_reply_ttl(net::Ipv4Address addr, std::uint8_t observed_ttl);
+  void add_echo_reply_ttl(net::Ipv4Address addr, std::uint8_t observed_ttl);
+  void add_mpls(net::Ipv4Address addr,
+                std::span<const net::MplsLabelEntry> labels);
+
+  [[nodiscard]] const IpIdSeries* series_of(net::Ipv4Address addr) const;
+
+  /// Partition a candidate set (the addresses of one hop) into alias
+  /// sets. Addresses with unusable series end up in singleton kUnable
+  /// sets; surviving multi-member sets are kAccept; monotonic singletons
+  /// that failed against everyone are kReject.
+  [[nodiscard]] std::vector<AliasSet> resolve(
+      std::span<const net::Ipv4Address> candidates) const;
+
+  /// Classify one candidate address set as a whole — the Table 2
+  /// operation: kUnable if any member's evidence is unusable, kAccept if
+  /// all evidence is mutually consistent, kReject otherwise.
+  [[nodiscard]] Outcome classify_set(
+      std::span<const net::Ipv4Address> members) const;
+
+ private:
+  struct Evidence {
+    IpIdSeries series;
+    Signature signature;
+    MplsEvidence mpls;
+  };
+
+  [[nodiscard]] const Evidence* find(net::Ipv4Address addr) const;
+  /// Signature or MPLS proof that the two cannot be aliases.
+  [[nodiscard]] bool statically_incompatible(const Evidence& a,
+                                             const Evidence& b) const;
+
+  Config config_{};
+  std::map<net::Ipv4Address, Evidence> evidence_;
+};
+
+}  // namespace mmlpt::alias
+
+#endif  // MMLPT_ALIAS_RESOLVER_H

@@ -1,0 +1,45 @@
+// Precondition / postcondition / invariant checks (Core Guidelines I.5/I.7).
+//
+// These throw mmlpt::ContractViolation rather than aborting so that library
+// users (and the test suite) can observe and handle contract violations.
+#ifndef MMLPT_COMMON_ASSERT_H
+#define MMLPT_COMMON_ASSERT_H
+
+#include "common/error.h"
+
+#include <string>
+
+namespace mmlpt {
+
+namespace detail {
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace mmlpt
+
+#define MMLPT_EXPECTS(cond)                                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::mmlpt::detail::contract_failure("precondition", #cond, __FILE__,     \
+                                        __LINE__);                           \
+  } while (false)
+
+#define MMLPT_ENSURES(cond)                                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::mmlpt::detail::contract_failure("postcondition", #cond, __FILE__,    \
+                                        __LINE__);                           \
+  } while (false)
+
+#define MMLPT_ASSERT(cond)                                                   \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::mmlpt::detail::contract_failure("invariant", #cond, __FILE__,        \
+                                        __LINE__);                           \
+  } while (false)
+
+#endif  // MMLPT_COMMON_ASSERT_H

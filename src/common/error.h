@@ -1,0 +1,48 @@
+// Exception hierarchy for the mmlpt library (Core Guidelines E.14).
+#ifndef MMLPT_COMMON_ERROR_H
+#define MMLPT_COMMON_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace mmlpt {
+
+/// Base class for all mmlpt errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A precondition, postcondition, or invariant was violated.
+class ContractViolation : public Error {
+ public:
+  explicit ContractViolation(const std::string& what) : Error(what) {}
+};
+
+/// Malformed packet bytes encountered while parsing.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// A topology description is structurally invalid.
+class TopologyError : public Error {
+ public:
+  explicit TopologyError(const std::string& what) : Error(what) {}
+};
+
+/// An operating-system level failure (socket setup, permissions, ...).
+class SystemError : public Error {
+ public:
+  explicit SystemError(const std::string& what) : Error(what) {}
+};
+
+/// Invalid command-line or API configuration.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace mmlpt
+
+#endif  // MMLPT_COMMON_ERROR_H

@@ -1,0 +1,41 @@
+// Minimal --name=value command-line flag parsing for benches and examples.
+#ifndef MMLPT_COMMON_FLAGS_H
+#define MMLPT_COMMON_FLAGS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mmlpt {
+
+/// Parses flags of the form `--name=value` or `--name value`; anything else
+/// is kept as a positional argument. Unknown flags are allowed (benches
+/// forward leftover args to google-benchmark).
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] std::uint64_t get_uint(const std::string& name,
+                                       std::uint64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mmlpt
+
+#endif  // MMLPT_COMMON_FLAGS_H

@@ -1,0 +1,108 @@
+#include "common/json.h"
+
+#include <cstdio>
+
+#include "common/assert.h"
+
+namespace mmlpt {
+
+void JsonWriter::comma_if_needed() {
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ += ',';
+    needs_comma_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  comma_if_needed();
+  out_ += '{';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  MMLPT_EXPECTS(!needs_comma_.empty());
+  needs_comma_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  comma_if_needed();
+  out_ += '[';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  MMLPT_EXPECTS(!needs_comma_.empty());
+  needs_comma_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::key(const std::string& name) {
+  comma_if_needed();
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":";
+  // The following value must not emit a comma.
+  if (!needs_comma_.empty()) needs_comma_.back() = false;
+  // ...but the element after it must.
+  // (value() flips it back through comma_if_needed.)
+}
+
+void JsonWriter::value(const std::string& text) {
+  comma_if_needed();
+  out_ += '"';
+  out_ += escape(text);
+  out_ += '"';
+}
+
+void JsonWriter::value(bool b) {
+  comma_if_needed();
+  out_ += b ? "true" : "false";
+}
+
+void JsonWriter::value(double number) {
+  comma_if_needed();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", number);
+  out_ += buf;
+}
+
+void JsonWriter::value(std::int64_t number) {
+  comma_if_needed();
+  out_ += std::to_string(number);
+}
+
+void JsonWriter::value(std::uint64_t number) {
+  comma_if_needed();
+  out_ += std::to_string(number);
+}
+
+void JsonWriter::value_null() {
+  comma_if_needed();
+  out_ += "null";
+}
+
+std::string JsonWriter::escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace mmlpt

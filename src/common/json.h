@@ -1,0 +1,51 @@
+// Minimal JSON emission — enough to export trace results in a stable,
+// machine-readable form (the modern counterpart of scamper's warts
+// output). Writer only; the library never needs to parse JSON.
+#ifndef MMLPT_COMMON_JSON_H
+#define MMLPT_COMMON_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mmlpt {
+
+/// Streaming JSON writer with automatic comma placement and escaping.
+/// Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("name"); w.value("trace");
+///   w.key("hops"); w.begin_array(); ... w.end_array();
+///   w.end_object();
+///   std::string out = std::move(w).take();
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(const std::string& name);
+  void value(const std::string& text);
+  void value(const char* text) { value(std::string(text)); }
+  void value(bool b);
+  void value(double number);
+  void value(std::int64_t number);
+  void value(std::uint64_t number);
+  void value_null();
+
+  [[nodiscard]] const std::string& view() const noexcept { return out_; }
+  [[nodiscard]] std::string take() && { return std::move(out_); }
+
+  /// Escape a string per RFC 8259.
+  [[nodiscard]] static std::string escape(const std::string& text);
+
+ private:
+  void comma_if_needed();
+
+  std::string out_;
+  std::vector<bool> needs_comma_;  ///< per open container
+};
+
+}  // namespace mmlpt
+
+#endif  // MMLPT_COMMON_JSON_H

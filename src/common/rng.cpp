@@ -1,0 +1,23 @@
+#include "common/rng.h"
+
+#include <numeric>
+
+namespace mmlpt {
+
+std::size_t Rng::weighted(std::span<const double> weights) {
+  MMLPT_EXPECTS(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    MMLPT_EXPECTS(w >= 0.0);
+    total += w;
+  }
+  MMLPT_EXPECTS(total > 0.0);
+  double r = real() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical edge: land on the last bucket
+}
+
+}  // namespace mmlpt

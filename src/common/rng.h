@@ -1,0 +1,95 @@
+// Seeded pseudo-random source used throughout the library.
+//
+// The paper's Fakeroute emulates load-balancer pseudo-randomness with the
+// C++ standard library Mersenne Twister; we use mt19937_64 everywhere so
+// that every experiment is reproducible from a printed seed.
+#ifndef MMLPT_COMMON_RNG_H
+#define MMLPT_COMMON_RNG_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace mmlpt {
+
+/// Deterministic random number generator with convenience draws.
+///
+/// Not thread-safe; give each thread (or each simulated subsystem) its own
+/// instance, forked via `fork()` so streams stay independent.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  /// The seed this generator was constructed with.
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    MMLPT_EXPECTS(lo <= hi);
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  [[nodiscard]] std::size_t index(std::size_t n) {
+    MMLPT_EXPECTS(n > 0);
+    return static_cast<std::size_t>(uniform(0, n - 1));
+  }
+
+  /// Uniform real in [0, 1).
+  [[nodiscard]] double real() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli draw with success probability p in [0, 1].
+  [[nodiscard]] bool chance(double p) {
+    MMLPT_EXPECTS(p >= 0.0 && p <= 1.0);
+    return real() < p;
+  }
+
+  /// Geometric-ish heavy-tail helper: Pareto-distributed integer >= lo with
+  /// shape `alpha`, truncated at hi.
+  [[nodiscard]] std::uint64_t pareto_int(std::uint64_t lo, std::uint64_t hi,
+                                         double alpha) {
+    MMLPT_EXPECTS(lo >= 1 && lo <= hi && alpha > 0.0);
+    const double u = real();
+    const double x = static_cast<double>(lo) / std::pow(1.0 - u, 1.0 / alpha);
+    const auto v = static_cast<std::uint64_t>(x);
+    return std::min(std::max(v, lo), hi);
+  }
+
+  /// One draw from a discrete distribution given non-negative weights.
+  /// Requires at least one strictly positive weight.
+  [[nodiscard]] std::size_t weighted(std::span<const double> weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    std::shuffle(items.begin(), items.end(), engine_);
+  }
+
+  /// Uniformly pick one element. Requires non-empty.
+  template <typename T>
+  [[nodiscard]] const T& pick(const std::vector<T>& items) {
+    MMLPT_EXPECTS(!items.empty());
+    return items[index(items.size())];
+  }
+
+  /// Derive an independent child generator (stable given draw order).
+  [[nodiscard]] Rng fork() { return Rng(engine_()); }
+
+  /// Access to the raw engine for std distributions.
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace mmlpt
+
+#endif  // MMLPT_COMMON_RNG_H

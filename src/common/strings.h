@@ -1,0 +1,27 @@
+// Small string helpers shared across modules.
+#ifndef MMLPT_COMMON_STRINGS_H
+#define MMLPT_COMMON_STRINGS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mmlpt {
+
+/// Split on a single-character delimiter; empty tokens are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view text,
+                                             char delimiter);
+
+/// Strip ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Join items with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& items,
+                               std::string_view separator);
+
+}  // namespace mmlpt
+
+#endif  // MMLPT_COMMON_STRINGS_H

@@ -1,0 +1,107 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/assert.h"
+#include "common/stats.h"
+
+namespace mmlpt {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  MMLPT_EXPECTS(!header_.empty());
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  MMLPT_EXPECTS(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  if (!title_.empty()) out << title_ << '\n';
+
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << "| " << cells[c]
+          << std::string(widths[c] - cells[c].size() + 1, ' ');
+    }
+    out << "|\n";
+  };
+  const auto emit_rule = [&]() {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      out << '+' << std::string(widths[c] + 2, '-');
+    }
+    out << "+\n";
+  };
+
+  emit_rule();
+  emit_row(header_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  emit_rule();
+  return out.str();
+}
+
+std::string fmt_double(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", digits, fraction * 100.0);
+  return buf;
+}
+
+std::string render_cdf(const std::string& title, const EmpiricalCdf& cdf,
+                       std::size_t max_points) {
+  MMLPT_EXPECTS(max_points >= 2);
+  AsciiTable table({"value", "CDF"});
+  table.set_title(title);
+  const auto pts = cdf.points();
+  if (pts.empty()) return title + "\n(empty)\n";
+  const std::size_t stride =
+      pts.size() <= max_points ? 1 : (pts.size() + max_points - 1) / max_points;
+  for (std::size_t i = 0; i < pts.size(); i += stride) {
+    table.add_row({fmt_double(pts[i].first, 4), fmt_double(pts[i].second, 4)});
+  }
+  if ((pts.size() - 1) % stride != 0) {
+    table.add_row({fmt_double(pts.back().first, 4),
+                   fmt_double(pts.back().second, 4)});
+  }
+  return table.render();
+}
+
+std::string render_cdf_comparison(
+    const std::string& title,
+    const std::vector<std::pair<std::string, const EmpiricalCdf*>>& series,
+    const std::vector<double>& quantiles) {
+  std::vector<std::string> header{"quantile"};
+  for (const auto& [name, cdf] : series) header.push_back(name);
+  AsciiTable table(header);
+  table.set_title(title);
+  for (double q : quantiles) {
+    std::vector<std::string> row{fmt_double(q, 2)};
+    for (const auto& [name, cdf] : series) {
+      row.push_back(cdf->empty() ? "-" : fmt_double(cdf->quantile(q), 4));
+    }
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+}  // namespace mmlpt

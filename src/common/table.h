@@ -1,0 +1,52 @@
+// Fixed-width ASCII rendering for the paper's tables and CDF figure series.
+#ifndef MMLPT_COMMON_TABLE_H
+#define MMLPT_COMMON_TABLE_H
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mmlpt {
+
+class EmpiricalCdf;
+
+/// Simple column-aligned ASCII table with an optional title.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void set_title(std::string title) { title_ = std::move(title); }
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `digits` decimal places.
+[[nodiscard]] std::string fmt_double(double value, int digits = 3);
+
+/// Format a fraction as a percentage string, e.g. 0.123 -> "12.3%".
+[[nodiscard]] std::string fmt_percent(double fraction, int digits = 1);
+
+/// Render CDF points as a two-column table, down-sampled to at most
+/// `max_points` rows (always keeping the first and last point).
+[[nodiscard]] std::string render_cdf(const std::string& title,
+                                     const EmpiricalCdf& cdf,
+                                     std::size_t max_points = 20);
+
+/// Render several named CDFs side by side at the given quantile grid —
+/// the textual analogue of the paper's multi-series CDF figures.
+[[nodiscard]] std::string render_cdf_comparison(
+    const std::string& title,
+    const std::vector<std::pair<std::string, const EmpiricalCdf*>>& series,
+    const std::vector<double>& quantiles);
+
+}  // namespace mmlpt
+
+#endif  // MMLPT_COMMON_TABLE_H

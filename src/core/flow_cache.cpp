@@ -1,0 +1,42 @@
+#include "core/flow_cache.h"
+
+#include "common/assert.h"
+
+namespace mmlpt::core {
+
+const probe::TraceProbeResult& FlowCache::probe(FlowId flow, int ttl) {
+  MMLPT_EXPECTS(ttl >= 1 && ttl <= 255);
+  const auto key = std::make_pair(ttl, flow);
+  const auto it = results_.find(key);
+  if (it != results_.end()) return it->second;
+
+  auto result = engine_->probe(flow, static_cast<std::uint8_t>(ttl));
+  const auto [inserted, ok] = results_.emplace(key, std::move(result));
+  flows_by_ttl_[ttl].push_back(flow);
+  const auto& stored = inserted->second;
+  if (stored.answered) {
+    by_responder_[{ttl, stored.responder}].push_back(flow);
+    if (observer_) observer_(flow, ttl, stored);
+  }
+  return stored;
+}
+
+const probe::TraceProbeResult* FlowCache::lookup(FlowId flow, int ttl) const {
+  const auto it = results_.find(std::make_pair(ttl, flow));
+  return it == results_.end() ? nullptr : &it->second;
+}
+
+const std::vector<FlowId>& FlowCache::flows_at(int ttl) const {
+  static const std::vector<FlowId> kEmpty;
+  const auto it = flows_by_ttl_.find(ttl);
+  return it == flows_by_ttl_.end() ? kEmpty : it->second;
+}
+
+const std::vector<FlowId>& FlowCache::flows_reaching(
+    int ttl, net::Ipv4Address addr) const {
+  return by_responder_[{ttl, addr}];  // created empty on first query
+}
+
+FlowId FlowCache::fresh_flow() { return next_flow_++; }
+
+}  // namespace mmlpt::core

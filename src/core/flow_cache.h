@@ -1,0 +1,70 @@
+// Flow-indexed probe memoisation. Per-flow load balancing means a given
+// (flow, ttl) pair always takes the same path, so a tracer never needs to
+// re-send it; the cache also answers "which flows are known to reach
+// vertex v at hop h" — the primitive behind node control and the
+// MDA-Lite's flow reuse.
+#ifndef MMLPT_CORE_FLOW_CACHE_H
+#define MMLPT_CORE_FLOW_CACHE_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/ip_address.h"
+#include "probe/engine.h"
+
+namespace mmlpt::core {
+
+using probe::FlowId;
+
+class FlowCache {
+ public:
+  using Observer = std::function<void(FlowId flow, int ttl,
+                                      const probe::TraceProbeResult&)>;
+
+  explicit FlowCache(probe::ProbeEngine& engine) : engine_(&engine) {}
+
+  /// Called after every *fresh* answered probe (cache hits do not re-fire).
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+  /// Probe (flow, ttl), memoised: a cached result is returned without
+  /// sending another packet (the engine already retried unanswered ones).
+  const probe::TraceProbeResult& probe(FlowId flow, int ttl);
+
+  /// Cached result, if any.
+  [[nodiscard]] const probe::TraceProbeResult* lookup(FlowId flow,
+                                                      int ttl) const;
+
+  /// Flows already probed at `ttl`, in probe order.
+  [[nodiscard]] const std::vector<FlowId>& flows_at(int ttl) const;
+
+  /// Flows known (from cached probes) to reach `addr` at `ttl`. The
+  /// returned reference stays valid and *grows* as further probes hit the
+  /// same vertex — callers can keep a cursor into it.
+  [[nodiscard]] const std::vector<FlowId>& flows_reaching(
+      int ttl, net::Ipv4Address addr) const;
+
+  /// A flow identifier never used before.
+  [[nodiscard]] FlowId fresh_flow();
+
+  [[nodiscard]] probe::ProbeEngine& engine() noexcept { return *engine_; }
+  [[nodiscard]] std::uint64_t packets() const noexcept {
+    return engine_->packets_sent();
+  }
+
+ private:
+  probe::ProbeEngine* engine_;
+  Observer observer_;
+  std::map<std::pair<int, FlowId>, probe::TraceProbeResult> results_;
+  std::map<int, std::vector<FlowId>> flows_by_ttl_;
+  /// (ttl, responder) -> flows; std::map for reference stability.
+  mutable std::map<std::pair<int, net::Ipv4Address>, std::vector<FlowId>>
+      by_responder_;
+  FlowId next_flow_ = 0;
+};
+
+}  // namespace mmlpt::core
+
+#endif  // MMLPT_CORE_FLOW_CACHE_H

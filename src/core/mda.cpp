@@ -1,0 +1,141 @@
+#include "core/mda.h"
+
+#include <set>
+
+#include "common/assert.h"
+
+namespace mmlpt::core {
+
+MdaTracer::MdaTracer(probe::ProbeEngine& engine, TraceConfig config,
+                     ReplyObserver* observer)
+    : engine_(&engine),
+      config_(config),
+      stopping_(StoppingPoints::for_global(config.alpha,
+                                           config.max_branching)),
+      observer_(observer) {}
+
+TraceResult MdaTracer::run() {
+  FlowCache cache(*engine_);
+  if (observer_ != nullptr) {
+    cache.set_observer(
+        [this](FlowId flow, int ttl, const probe::TraceProbeResult& r) {
+          observer_->on_trace_reply(flow, ttl, r);
+        });
+  }
+  DiscoveryRecorder recorder;
+  return run_with(cache, recorder, engine_->packets_sent());
+}
+
+TraceResult MdaTracer::run_with(FlowCache& cache, DiscoveryRecorder& recorder,
+                                std::uint64_t packets_before) {
+  const auto source = engine_->config().source;
+  const auto destination = engine_->config().destination;
+  recorder.add_vertex(0, source, 0);
+
+  bool reached = false;
+  for (int h = 1; h <= config_.max_ttl; ++h) {
+    // The worklist can grow while we process it: node-control probes at
+    // hop h-1 sometimes reveal new hop h-1 vertices.
+    for (std::size_t i = 0; i < recorder.vertices(h - 1).size(); ++i) {
+      const net::Ipv4Address v = recorder.vertices(h - 1)[i];
+      if (v == destination) continue;  // the destination does not forward
+      (void)discover_successors(cache, recorder, h, v);
+    }
+    const auto& found = recorder.vertices(h);
+    if (found.empty()) break;  // silent hop: cannot steer further
+    if (found.size() == 1 && found[0] == destination) {
+      reached = true;
+      break;
+    }
+  }
+
+  TraceResult result;
+  result.graph = recorder.to_graph();
+  result.packets = engine_->packets_sent() - packets_before;
+  result.events = recorder.events();
+  result.reached_destination = reached;
+  result.node_control_probes = node_control_probes_;
+  return result;
+}
+
+bool MdaTracer::discover_successors(FlowCache& cache,
+                                    DiscoveryRecorder& recorder, int h,
+                                    net::Ipv4Address vertex) {
+  const int prev = h - 1;
+
+  // When the previous hop holds a single vertex (the source, a divergence
+  // point, or any non-branching hop), every flow passes through it: node
+  // control is unnecessary and any fresh flow may be spent directly. This
+  // matches the paper's cost accounting (hop 2 of Fig. 1 receives n_4
+  // probes, with no verification probes at hop 1).
+  const bool free_passage =
+      prev == 0 || recorder.vertices(prev).size() == 1;
+  const std::vector<FlowId>& through =
+      free_passage ? cache.flows_at(h) : cache.flows_reaching(prev, vertex);
+
+  std::set<net::Ipv4Address> successors;
+  std::uint64_t budget = 0;  // probes counted against the stopping rule
+
+  // Pre-scan: flows through the vertex that were already probed at h
+  // (free knowledge from earlier rounds or a pre-switch MDA-Lite run).
+  for (const FlowId f : through) {
+    const auto* r = cache.lookup(f, h);
+    if (r == nullptr) continue;
+    ++budget;
+    if (r->answered) {
+      recorder.add_vertex(h, r->responder, cache.packets());
+      recorder.add_edge(prev, vertex, r->responder, cache.packets());
+      successors.insert(r->responder);
+    }
+  }
+
+  std::size_t cursor = 0;
+  while (true) {
+    const int k = std::max<int>(1, static_cast<int>(successors.size()));
+    if (budget >= static_cast<std::uint64_t>(stopping_.n(k))) break;
+
+    // Next flow through the vertex that has not been spent at hop h yet.
+    std::optional<FlowId> flow;
+    while (cursor < through.size()) {
+      const FlowId candidate = through[cursor++];
+      if (cache.lookup(candidate, h) == nullptr) {
+        flow = candidate;
+        break;
+      }
+    }
+    if (!flow) {
+      if (free_passage) {
+        flow = cache.fresh_flow();
+      } else {
+        flow = next_flow_through(cache, recorder, prev, vertex);
+        if (!flow) return false;  // node control exhausted its attempt cap
+      }
+    }
+
+    const auto& r = cache.probe(*flow, h);
+    ++budget;
+    if (r.answered) {
+      recorder.add_vertex(h, r.responder, cache.packets());
+      recorder.add_edge(prev, vertex, r.responder, cache.packets());
+      successors.insert(r.responder);
+    }
+  }
+  return true;
+}
+
+std::optional<FlowId> MdaTracer::next_flow_through(
+    FlowCache& cache, DiscoveryRecorder& recorder, int ttl,
+    net::Ipv4Address vertex) {
+  for (int attempt = 0; attempt < config_.node_control_attempt_cap;
+       ++attempt) {
+    const FlowId f = cache.fresh_flow();
+    const auto& r = cache.probe(f, ttl);
+    ++node_control_probes_;
+    if (!r.answered) continue;
+    recorder.add_vertex(ttl, r.responder, cache.packets());
+    if (r.responder == vertex) return f;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mmlpt::core

@@ -1,0 +1,61 @@
+// The classic Multipath Detection Algorithm (Veitch et al., Infocom 2009;
+// Sec. 2.1 of the paper): vertex-by-vertex successor discovery under the
+// n_k stopping rule, with *node control* — every probe sent to hop h+1
+// must be verified to pass through the chosen hop-h vertex, which is what
+// makes the MDA expensive (the Multiple Coupon Collector cost).
+#ifndef MMLPT_CORE_MDA_H
+#define MMLPT_CORE_MDA_H
+
+#include <optional>
+
+#include "core/flow_cache.h"
+#include "core/stopping_points.h"
+#include "core/trace_log.h"
+
+namespace mmlpt::core {
+
+/// Optional observer receiving every answered trace probe (used by the
+/// multilevel tracer to harvest round-0 alias-resolution evidence).
+class ReplyObserver {
+ public:
+  virtual ~ReplyObserver() = default;
+  virtual void on_trace_reply(FlowId flow, int ttl,
+                              const probe::TraceProbeResult&) = 0;
+};
+
+class MdaTracer {
+ public:
+  MdaTracer(probe::ProbeEngine& engine, TraceConfig config,
+            ReplyObserver* observer = nullptr);
+
+  /// Run a full multipath trace from scratch.
+  [[nodiscard]] TraceResult run();
+
+  /// Run against shared state — used by the MDA-Lite when it switches
+  /// over mid-trace so that already-bought knowledge is reused.
+  TraceResult run_with(FlowCache& cache, DiscoveryRecorder& recorder,
+                       std::uint64_t packets_before);
+
+ private:
+  /// Find the successors of `vertex` (at hop `h - 1`) by probing hop `h`
+  /// through it. Returns false when node control could not steer any flow
+  /// through the vertex.
+  bool discover_successors(FlowCache& cache, DiscoveryRecorder& recorder,
+                           int h, net::Ipv4Address vertex);
+
+  /// Node control: generate fresh flows and probe them at `ttl` until one
+  /// reaches `vertex`; returns it, or nullopt when the attempt cap is hit.
+  std::optional<FlowId> next_flow_through(FlowCache& cache,
+                                          DiscoveryRecorder& recorder, int ttl,
+                                          net::Ipv4Address vertex);
+
+  probe::ProbeEngine* engine_;
+  TraceConfig config_;
+  StoppingPoints stopping_;
+  ReplyObserver* observer_;
+  std::uint64_t node_control_probes_ = 0;
+};
+
+}  // namespace mmlpt::core
+
+#endif  // MMLPT_CORE_MDA_H

@@ -1,0 +1,59 @@
+// MDA-Lite (Sec. 2.3): hop-by-hop vertex discovery without node control,
+// deterministic edge completion, a phi-probe meshing test, a topological
+// non-uniformity (width asymmetry) test, and switch-over to the full MDA
+// when either test fires.
+#ifndef MMLPT_CORE_MDA_LITE_H
+#define MMLPT_CORE_MDA_LITE_H
+
+#include <optional>
+
+#include "core/flow_cache.h"
+#include "core/mda.h"
+#include "core/stopping_points.h"
+#include "core/trace_log.h"
+
+namespace mmlpt::core {
+
+class MdaLiteTracer {
+ public:
+  MdaLiteTracer(probe::ProbeEngine& engine, TraceConfig config,
+                ReplyObserver* observer = nullptr);
+
+  [[nodiscard]] TraceResult run();
+
+ private:
+  /// Discover the vertices at hop `h` without node control, reusing flow
+  /// identifiers from hop h-1 first (Sec. 2.3.1). Returns true when the
+  /// destination is the only vertex at the hop.
+  bool scan_hop(FlowCache& cache, DiscoveryRecorder& recorder, int h);
+
+  /// Deterministic edge completion for the hop pair (h-1, h).
+  void complete_edges(FlowCache& cache, DiscoveryRecorder& recorder, int h);
+
+  /// Sec. 2.3.2 meshing test for the pair (h-1, h); returns true when
+  /// meshing is detected (switch to the MDA).
+  bool meshing_detected(FlowCache& cache, DiscoveryRecorder& recorder, int h);
+
+  /// Sec. 2.3.3 width-asymmetry test for the pair (h-1, h); purely
+  /// topological, no probes.
+  [[nodiscard]] bool asymmetry_detected(const DiscoveryRecorder& recorder,
+                                        int h) const;
+
+  /// Gather at least `needed` flows through `vertex` at `ttl` (light node
+  /// control for the meshing test). Returns what it could get.
+  std::vector<FlowId> gather_flows_through(FlowCache& cache,
+                                           DiscoveryRecorder& recorder,
+                                           int ttl, net::Ipv4Address vertex,
+                                           int needed);
+
+  probe::ProbeEngine* engine_;
+  TraceConfig config_;
+  StoppingPoints stopping_;
+  ReplyObserver* observer_;
+  std::uint64_t meshing_test_probes_ = 0;
+  std::uint64_t node_control_probes_ = 0;
+};
+
+}  // namespace mmlpt::core
+
+#endif  // MMLPT_CORE_MDA_LITE_H

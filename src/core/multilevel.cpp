@@ -1,0 +1,153 @@
+#include "core/multilevel.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/assert.h"
+
+namespace mmlpt::core {
+
+/// Harvests per-address evidence and a usable (flow, ttl) pair for each
+/// discovered address while the MDA-Lite trace runs.
+class MultilevelTracer::Collector : public ReplyObserver {
+ public:
+  explicit Collector(alias::AliasResolver& resolver) : resolver_(&resolver) {}
+
+  void on_trace_reply(FlowId flow, int ttl,
+                      const probe::TraceProbeResult& r) override {
+    MMLPT_EXPECTS(r.answered);
+    resolver_->add_ip_id_sample(r.responder, r.recv_time, r.reply_ip_id,
+                                r.probe_ip_id);
+    resolver_->add_error_reply_ttl(r.responder, r.reply_ttl);
+    resolver_->add_mpls(r.responder, r.mpls_labels);
+    flows_.emplace(std::make_pair(ttl, r.responder), flow);
+  }
+
+  /// A flow known to reach `addr` at `ttl`, if the trace saw one.
+  [[nodiscard]] std::optional<FlowId> flow_for(int ttl,
+                                               net::Ipv4Address addr) const {
+    const auto it = flows_.find(std::make_pair(ttl, addr));
+    if (it == flows_.end()) return std::nullopt;
+    return it->second;
+  }
+
+ private:
+  alias::AliasResolver* resolver_;
+  std::map<std::pair<int, net::Ipv4Address>, FlowId> flows_;
+};
+
+MultilevelResult MultilevelTracer::run() {
+  const std::uint64_t packets_before = engine_->packets_sent();
+  alias::AliasResolver resolver(config_.resolver);
+  Collector collector(resolver);
+
+  MdaLiteTracer lite(*engine_, config_.trace, &collector);
+  MultilevelResult result;
+  result.trace = lite.run();
+
+  // Alias resolution applies within a hop; only multi-vertex hops can
+  // hold aliases of a common router (Sec. 4.1).
+  std::map<int, std::vector<net::Ipv4Address>> candidates_by_hop;
+  for (std::uint16_t h = 0; h < result.trace.graph.hop_count(); ++h) {
+    const auto hop_vertices = result.trace.graph.vertices_at(h);
+    if (hop_vertices.size() < 2) continue;
+    auto& addrs = candidates_by_hop[h];
+    for (const auto v : hop_vertices) {
+      addrs.push_back(result.trace.graph.vertex(v).addr);
+    }
+  }
+
+  const auto snapshot = [&]() {
+    RoundSnapshot snap;
+    for (const auto& [hop, addrs] : candidates_by_hop) {
+      snap.sets_by_hop[hop] = resolver.resolve(addrs);
+    }
+    snap.packets = engine_->packets_sent() - packets_before;
+    result.rounds.push_back(std::move(snap));
+  };
+
+  snapshot();  // round 0: trace data only
+
+  for (int round = 1; round <= config_.rounds; ++round) {
+    for (const auto& [hop, addrs] : candidates_by_hop) {
+      if (round == 1 && config_.direct_fingerprint_round1) {
+        for (const auto addr : addrs) {
+          const auto echo = engine_->ping(addr);
+          if (echo.answered) {
+            resolver.add_echo_reply_ttl(addr, echo.reply_ttl);
+          }
+        }
+      }
+      // Interleaved indirect probing: one probe per address per pass, so
+      // the IP-ID samples of candidate aliases alternate in time — the
+      // sampling discipline the MBT requires.
+      for (int pass = 0; pass < config_.mbt_samples_per_round; ++pass) {
+        for (const auto addr : addrs) {
+          const auto flow = collector.flow_for(hop, addr);
+          if (!flow) continue;  // never reached by a recorded flow
+          const auto r =
+              engine_->probe(*flow, static_cast<std::uint8_t>(hop));
+          if (!r.answered) continue;
+          resolver.add_ip_id_sample(r.responder, r.recv_time, r.reply_ip_id,
+                                    r.probe_ip_id);
+          resolver.add_error_reply_ttl(r.responder, r.reply_ttl);
+          resolver.add_mpls(r.responder, r.mpls_labels);
+        }
+      }
+    }
+    snapshot();
+  }
+
+  result.router_graph =
+      merge_by_aliases(result.trace.graph, result.rounds.back().sets_by_hop);
+  result.total_packets = engine_->packets_sent() - packets_before;
+  result.resolver = std::move(resolver);
+  return result;
+}
+
+topo::MultipathGraph MultilevelTracer::merge_by_aliases(
+    const topo::MultipathGraph& ip_graph,
+    const std::map<int, std::vector<alias::AliasSet>>& sets_by_hop) {
+  // Representative address for every (hop, address).
+  std::map<std::pair<int, net::Ipv4Address>, net::Ipv4Address> representative;
+  for (const auto& [hop, sets] : sets_by_hop) {
+    for (const auto& set : sets) {
+      if (set.outcome != alias::Outcome::kAccept || set.members.size() < 2) {
+        continue;
+      }
+      const auto rep =
+          *std::min_element(set.members.begin(), set.members.end());
+      for (const auto member : set.members) {
+        representative[{hop, member}] = rep;
+      }
+    }
+  }
+  const auto rep_of = [&](int hop, net::Ipv4Address addr) {
+    const auto it = representative.find({hop, addr});
+    return it == representative.end() ? addr : it->second;
+  };
+
+  topo::MultipathGraph merged;
+  std::map<std::pair<int, net::Ipv4Address>, topo::VertexId> ids;
+  for (std::uint16_t h = 0; h < ip_graph.hop_count(); ++h) {
+    merged.add_hop();
+    for (const auto v : ip_graph.vertices_at(h)) {
+      const auto rep = rep_of(h, ip_graph.vertex(v).addr);
+      if (ids.find({h, rep}) == ids.end()) {
+        ids[{h, rep}] = merged.add_vertex(h, rep);
+      }
+    }
+  }
+  for (std::uint16_t h = 0; h + 1 < ip_graph.hop_count(); ++h) {
+    for (const auto v : ip_graph.vertices_at(h)) {
+      for (const auto s : ip_graph.successors(v)) {
+        merged.add_edge(
+            ids.at({h, rep_of(h, ip_graph.vertex(v).addr)}),
+            ids.at({h + 1, rep_of(h + 1, ip_graph.vertex(s).addr)}));
+      }
+    }
+  }
+  return merged;
+}
+
+}  // namespace mmlpt::core

@@ -1,0 +1,48 @@
+#include "core/single_flow.h"
+
+namespace mmlpt::core {
+
+TraceResult SingleFlowTracer::run() {
+  FlowCache cache(*engine_);
+  if (observer_ != nullptr) {
+    cache.set_observer(
+        [this](FlowId flow, int ttl, const probe::TraceProbeResult& r) {
+          observer_->on_trace_reply(flow, ttl, r);
+        });
+  }
+  DiscoveryRecorder recorder;
+  const std::uint64_t packets_before = engine_->packets_sent();
+
+  const auto source = engine_->config().source;
+  const auto destination = engine_->config().destination;
+  recorder.add_vertex(0, source, 0);
+
+  const FlowId flow = cache.fresh_flow();
+  net::Ipv4Address previous = source;
+  bool reached = false;
+  for (int h = 1; h <= config_.max_ttl; ++h) {
+    const auto& r = cache.probe(flow, h);
+    if (!r.answered) {
+      previous = {};  // star: the next edge cannot be attributed
+      continue;
+    }
+    recorder.add_vertex(h, r.responder, cache.packets());
+    if (!previous.is_unspecified()) {
+      recorder.add_edge(h - 1, previous, r.responder, cache.packets());
+    }
+    previous = r.responder;
+    if (r.responder == destination) {
+      reached = true;
+      break;
+    }
+  }
+
+  TraceResult result;
+  result.graph = recorder.to_graph();
+  result.packets = engine_->packets_sent() - packets_before;
+  result.events = recorder.events();
+  result.reached_destination = reached;
+  return result;
+}
+
+}  // namespace mmlpt::core

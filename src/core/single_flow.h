@@ -1,0 +1,30 @@
+// Paris Traceroute with a single flow identifier — the baseline the paper
+// compares against (Sec. 2.4.2), and the way the tool runs on RIPE Atlas
+// (Sec. 6.2): one clean path through the load balancers, no multipath
+// discovery.
+#ifndef MMLPT_CORE_SINGLE_FLOW_H
+#define MMLPT_CORE_SINGLE_FLOW_H
+
+#include "core/flow_cache.h"
+#include "core/mda.h"
+#include "core/trace_log.h"
+
+namespace mmlpt::core {
+
+class SingleFlowTracer {
+ public:
+  SingleFlowTracer(probe::ProbeEngine& engine, TraceConfig config,
+                   ReplyObserver* observer = nullptr)
+      : engine_(&engine), config_(config), observer_(observer) {}
+
+  [[nodiscard]] TraceResult run();
+
+ private:
+  probe::ProbeEngine* engine_;
+  TraceConfig config_;
+  ReplyObserver* observer_;
+};
+
+}  // namespace mmlpt::core
+
+#endif  // MMLPT_CORE_SINGLE_FLOW_H

@@ -1,0 +1,66 @@
+#include "core/stopping_points.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/stats.h"
+
+namespace mmlpt::core {
+
+StoppingPoints::StoppingPoints(double epsilon) : epsilon_(epsilon) {
+  MMLPT_EXPECTS(epsilon > 0.0 && epsilon < 1.0);
+  cache_.assign(1, 0);
+}
+
+StoppingPoints StoppingPoints::from_epsilon(double epsilon) {
+  return StoppingPoints(epsilon);
+}
+
+StoppingPoints StoppingPoints::for_global(double alpha, int max_branching) {
+  MMLPT_EXPECTS(alpha > 0.0 && alpha < 1.0);
+  MMLPT_EXPECTS(max_branching >= 1);
+  const double eps =
+      1.0 - std::pow(1.0 - alpha, 1.0 / static_cast<double>(max_branching));
+  return StoppingPoints(eps);
+}
+
+StoppingPoints StoppingPoints::veitch_table1() { return for_global(0.05, 13); }
+
+double StoppingPoints::miss_probability(int n, int successor_count) {
+  MMLPT_EXPECTS(n >= 0 && successor_count >= 1);
+  const int K = successor_count;
+  // Fewer probes than successors cannot cover them all; answering this
+  // exactly also sidesteps the alternating sum's cancellation there.
+  if (n < K) return 1.0;
+  if (K == 1) return 0.0;
+  double p = 0.0;
+  for (int j = 1; j < K; ++j) {
+    const double term =
+        binomial(static_cast<unsigned>(K), static_cast<unsigned>(j)) *
+        std::pow(1.0 - static_cast<double>(j) / K, n);
+    p += (j % 2 == 1) ? term : -term;
+  }
+  return std::min(1.0, std::max(0.0, p));
+}
+
+int StoppingPoints::n(int k) const {
+  MMLPT_EXPECTS(k >= 1);
+  while (static_cast<int>(cache_.size()) <= k) {
+    const int next_k = static_cast<int>(cache_.size());
+    // n_k grows roughly linearly in k; start the scan from the previous
+    // value (n_k is non-decreasing in k).
+    int n = next_k >= 2 ? cache_[next_k - 1] : 1;
+    while (miss_probability(n, next_k + 1) > epsilon_) ++n;
+    cache_.push_back(n);
+  }
+  return cache_[static_cast<std::size_t>(k)];
+}
+
+std::vector<int> StoppingPoints::table(int count) const {
+  MMLPT_EXPECTS(count >= 1);
+  std::vector<int> out(static_cast<std::size_t>(count) + 1, 0);
+  for (int k = 1; k <= count; ++k) out[static_cast<std::size_t>(k)] = n(k);
+  return out;
+}
+
+}  // namespace mmlpt::core

@@ -1,0 +1,25 @@
+// JSON export of trace results — the stable machine-readable output a
+// downstream pipeline (or the paper's public-dataset format) consumes.
+#ifndef MMLPT_CORE_TRACE_JSON_H
+#define MMLPT_CORE_TRACE_JSON_H
+
+#include <string>
+
+#include "core/multilevel.h"
+#include "core/trace_log.h"
+#include "topology/graph.h"
+
+namespace mmlpt::core {
+
+/// Multipath graph as {"hops": [[{"addr":..., "successors":[...]}]]}.
+[[nodiscard]] std::string graph_to_json(const topo::MultipathGraph& graph);
+
+/// Full trace result: graph, packet count, flags, discovery events.
+[[nodiscard]] std::string trace_to_json(const TraceResult& result);
+
+/// Multilevel result: IP graph, router graph, per-round alias sets.
+[[nodiscard]] std::string multilevel_to_json(const MultilevelResult& result);
+
+}  // namespace mmlpt::core
+
+#endif  // MMLPT_CORE_TRACE_JSON_H

@@ -1,0 +1,57 @@
+#include "fakeroute/failure.h"
+
+#include <vector>
+
+#include "common/assert.h"
+
+namespace mmlpt::fakeroute {
+
+double vertex_failure_probability(int successor_count,
+                                  std::span<const int> nk) {
+  if (successor_count <= 1) return 0.0;
+  const int K = successor_count;
+  MMLPT_EXPECTS(static_cast<int>(nk.size()) > K - 1);
+  for (int k = 1; k < K; ++k) MMLPT_EXPECTS(nk[k] > 0);
+
+  // dp[k][n]: probability the process is alive with k distinct successors
+  // found after n probes. The first probe always finds one.
+  const int max_n = nk[K - 1];
+  std::vector<std::vector<double>> dp(
+      static_cast<std::size_t>(K),
+      std::vector<double>(static_cast<std::size_t>(max_n) + 2, 0.0));
+  dp[1][1] = 1.0;
+
+  double fail = 0.0;
+  for (int n = 1; n <= max_n; ++n) {
+    for (int k = 1; k < K; ++k) {
+      const double p = dp[k][n];
+      if (p == 0.0) continue;
+      if (n >= nk[k]) {
+        fail += p;  // stopping point reached with successors missing
+        continue;
+      }
+      const double find_new =
+          static_cast<double>(K - k) / static_cast<double>(K);
+      if (k + 1 < K) {
+        dp[k + 1][n + 1] += p * find_new;
+      }
+      // k+1 == K would be success; nothing to accumulate.
+      dp[k][n + 1] += p * (1.0 - find_new);
+    }
+  }
+  return fail;
+}
+
+double topology_failure_probability(const topo::MultipathGraph& graph,
+                                    std::span<const int> nk) {
+  double success = 1.0;
+  for (topo::VertexId v = 0; v < graph.vertex_count(); ++v) {
+    const auto K = static_cast<int>(graph.out_degree(v));
+    if (K >= 2) {
+      success *= 1.0 - vertex_failure_probability(K, nk);
+    }
+  }
+  return 1.0 - success;
+}
+
+}  // namespace mmlpt::fakeroute

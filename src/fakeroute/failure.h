@@ -1,0 +1,29 @@
+// Exact MDA failure probabilities for a known topology (Sec. 3): the
+// probability that stochastic successor discovery with stopping points
+// n_k misses part of the topology, under the MDA model assumptions
+// (uniform-at-random per-flow balancing, all probes answered, perfect
+// node control, independence across vertices).
+#ifndef MMLPT_FAKEROUTE_FAILURE_H
+#define MMLPT_FAKEROUTE_FAILURE_H
+
+#include <span>
+
+#include "topology/graph.h"
+
+namespace mmlpt::fakeroute {
+
+/// Probability that a vertex with `successor_count` successors is not
+/// fully resolved. `nk[k]` is the stopping point in force once k
+/// successors are known (nk[0] unused); requires nk.size() > successor
+/// count... i.e. entries up to nk[successor_count - 1].
+[[nodiscard]] double vertex_failure_probability(int successor_count,
+                                                std::span<const int> nk);
+
+/// Probability that discovery of the whole topology fails: 1 minus the
+/// product of per-vertex success probabilities.
+[[nodiscard]] double topology_failure_probability(
+    const topo::MultipathGraph& graph, std::span<const int> nk);
+
+}  // namespace mmlpt::fakeroute
+
+#endif  // MMLPT_FAKEROUTE_FAILURE_H

@@ -1,0 +1,68 @@
+#include "fakeroute/router_state.h"
+
+#include <cmath>
+
+namespace mmlpt::fakeroute {
+
+bool RateLimiter::allow(Nanos now) {
+  if (!initialized_) {
+    initialized_ = true;
+    last_ = now;
+  }
+  const double dt =
+      static_cast<double>(now - last_) / static_cast<double>(kNanosPerSecond);
+  tokens_ = std::min(burst_, tokens_ + rate_ * dt);
+  last_ = now;
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return true;
+  }
+  return false;
+}
+
+std::uint16_t RouterState::advance(Counter& counter, Nanos now) {
+  if (!counter.initialized) {
+    counter.initialized = true;
+    counter.last = now;
+    counter.value = static_cast<double>(rng_.uniform(0, 0xFFFF));
+  }
+  const double dt = static_cast<double>(now - counter.last) /
+                    static_cast<double>(kNanosPerSecond);
+  counter.value += spec_->ip_id_velocity * dt;
+  counter.last = now;
+  const auto id = static_cast<std::uint16_t>(
+      static_cast<std::uint64_t>(counter.value) & 0xFFFF);
+  counter.value += 1.0;  // this reply consumes one ID
+  return id;
+}
+
+std::uint16_t RouterState::next_ip_id(net::Ipv4Address interface, Nanos now,
+                                      std::uint16_t probe_ip_id,
+                                      ReplyKind kind) {
+  switch (spec_->ip_id_policy) {
+    case topo::IpIdPolicy::kSharedCounter:
+      return advance(shared_, now);
+    case topo::IpIdPolicy::kPerInterface:
+      // Per-interface counters for error replies; router-wide for echo
+      // replies (see header comment).
+      if (kind == ReplyKind::kError) {
+        return advance(per_interface_[interface], now);
+      }
+      return advance(shared_, now);
+    case topo::IpIdPolicy::kConstantZero:
+      return 0;
+    case topo::IpIdPolicy::kZeroErrorCounterEcho:
+      // Zero IP-ID in ICMP error messages, but a live router-wide counter
+      // for echo replies: indirect probing can conclude nothing while
+      // direct probing resolves the aliases (Table 2's biggest cell).
+      if (kind == ReplyKind::kError) return 0;
+      return advance(shared_, now);
+    case topo::IpIdPolicy::kEchoProbe:
+      return probe_ip_id;
+    case topo::IpIdPolicy::kRandom:
+      return static_cast<std::uint16_t>(rng_.uniform(0, 0xFFFF));
+  }
+  return 0;
+}
+
+}  // namespace mmlpt::fakeroute

@@ -1,0 +1,75 @@
+// Runtime state of one simulated router: IP-ID counters, ICMP rate
+// limiting, and reply-field synthesis according to its RouterSpec.
+#ifndef MMLPT_FAKEROUTE_ROUTER_STATE_H
+#define MMLPT_FAKEROUTE_ROUTER_STATE_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "net/ip_address.h"
+#include "topology/ground_truth.h"
+
+namespace mmlpt::fakeroute {
+
+/// Virtual time in nanoseconds.
+using Nanos = std::uint64_t;
+inline constexpr Nanos kNanosPerSecond = 1'000'000'000ULL;
+
+/// Token-bucket ICMP rate limiter.
+class RateLimiter {
+ public:
+  RateLimiter(double replies_per_second, int burst)
+      : rate_(replies_per_second), tokens_(static_cast<double>(burst)),
+        burst_(static_cast<double>(burst)) {}
+
+  /// Try to emit one reply at virtual time `now`.
+  [[nodiscard]] bool allow(Nanos now);
+
+ private:
+  double rate_;
+  double tokens_;
+  double burst_;
+  Nanos last_ = 0;
+  bool initialized_ = false;
+};
+
+/// Which kind of reply an IP-ID is being generated for; per-interface
+/// counters apply to indirect (error) replies only — routers commonly use
+/// a router-wide counter for echo replies (the Sec. 4.2 explanation for
+/// reject-indirect / accept-direct alias sets).
+enum class ReplyKind : std::uint8_t { kError, kEcho };
+
+class RouterState {
+ public:
+  RouterState(const topo::RouterSpec& spec, Rng rng)
+      : spec_(&spec), rng_(std::move(rng)) {}
+
+  /// Produce the IP-ID for a reply emitted at `now` from `interface` in
+  /// response to a probe carrying `probe_ip_id`.
+  [[nodiscard]] std::uint16_t next_ip_id(net::Ipv4Address interface,
+                                         Nanos now, std::uint16_t probe_ip_id,
+                                         ReplyKind kind);
+
+  [[nodiscard]] const topo::RouterSpec& spec() const noexcept {
+    return *spec_;
+  }
+
+ private:
+  struct Counter {
+    double value = 0.0;
+    Nanos last = 0;
+    bool initialized = false;
+  };
+
+  [[nodiscard]] std::uint16_t advance(Counter& counter, Nanos now);
+
+  const topo::RouterSpec* spec_;
+  Rng rng_;
+  Counter shared_;
+  std::unordered_map<net::Ipv4Address, Counter> per_interface_;
+};
+
+}  // namespace mmlpt::fakeroute
+
+#endif  // MMLPT_FAKEROUTE_ROUTER_STATE_H

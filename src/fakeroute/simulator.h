@@ -1,0 +1,115 @@
+// Fakeroute: the paper's Sec. 3 multipath-topology simulator, rebuilt as an
+// in-process packet-level engine. A probe enters as real IPv4 bytes (UDP
+// traceroute probe or ICMP echo); the simulator walks it through the
+// ground-truth topology with per-flow load balancing and synthesises the
+// ICMP reply a real network would produce — Time Exceeded / Port
+// Unreachable with quoted datagram, MPLS extension labels, fingerprint
+// TTLs, policy-driven IP-IDs, loss, and ICMP rate limiting.
+//
+// The original Fakeroute hooked a real tool's packets via
+// libnetfilter-queue; here the probing engine hands datagrams over
+// directly, exercising the same craft -> wire -> parse code path.
+#ifndef MMLPT_FAKEROUTE_SIMULATOR_H
+#define MMLPT_FAKEROUTE_SIMULATOR_H
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "fakeroute/router_state.h"
+#include "net/packet.h"
+#include "topology/ground_truth.h"
+
+namespace mmlpt::fakeroute {
+
+struct SimConfig {
+  /// Probability that a reply is silently lost (assumption-4 violation,
+  /// Sec. 7 future-work extension).
+  double loss_prob = 0.0;
+  /// Per-router ICMP rate limit in replies/second; unset = unlimited
+  /// (the paper's rate-limiting extension).
+  std::optional<double> icmp_rate_limit;
+  int rate_limit_burst = 8;
+  /// Per-packet load balancing at every LB (assumption-2 violation).
+  bool per_packet_lb = false;
+  /// Per-destination load balancing: flow hash ignores ports.
+  bool per_destination_lb = false;
+  /// RTT model: base + per_hop * hop + U(0, jitter).
+  double base_rtt_ms = 2.0;
+  double per_hop_rtt_ms = 1.5;
+  double jitter_ms = 0.8;
+};
+
+struct SimReply {
+  std::vector<std::uint8_t> datagram;
+  Nanos rtt = 0;
+};
+
+struct SimCounters {
+  std::uint64_t probes_in = 0;
+  std::uint64_t replies_out = 0;
+  std::uint64_t dropped_loss = 0;
+  std::uint64_t dropped_rate_limit = 0;
+  std::uint64_t dropped_unresponsive = 0;
+  std::uint64_t dropped_unroutable = 0;
+};
+
+class Simulator {
+ public:
+  /// The ground truth must outlive the simulator.
+  Simulator(const topo::GroundTruth& truth, SimConfig config,
+            std::uint64_t seed);
+
+  /// Handle one probe datagram at virtual time `now`; returns the reply
+  /// (with its RTT) or nullopt when the probe elicits none.
+  [[nodiscard]] std::optional<SimReply> handle(
+      std::span<const std::uint8_t> probe, Nanos now);
+
+  [[nodiscard]] const SimCounters& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const topo::GroundTruth& truth() const noexcept {
+    return *truth_;
+  }
+
+ private:
+  /// Vertex the probe's flow reaches at `hop`, following per-flow load
+  /// balancing decisions from hop 0.
+  [[nodiscard]] topo::VertexId walk(const net::FlowTuple& flow,
+                                    std::uint16_t hop);
+
+  [[nodiscard]] std::optional<SimReply> handle_udp(
+      const net::ParsedProbe& probe, std::span<const std::uint8_t> raw,
+      Nanos now);
+  [[nodiscard]] std::optional<SimReply> handle_echo(
+      const net::ParsedProbe& probe, Nanos now);
+
+  /// Emit a reply from `interface` (owned by `router_index`); applies
+  /// responsiveness, rate limiting and loss. `hop` drives the RTT and
+  /// reply-TTL model; pass 0 for direct (echo) replies.
+  [[nodiscard]] std::optional<SimReply> emit(
+      std::uint32_t router_index, net::Ipv4Address interface,
+      net::Ipv4Address to, std::uint16_t hop, std::uint16_t probe_ip_id,
+      ReplyKind kind, const net::IcmpMessage& message, Nanos now);
+
+  [[nodiscard]] RouterState& router_state(std::uint32_t router_index);
+  [[nodiscard]] Nanos sample_rtt(std::uint16_t hop);
+
+  const topo::GroundTruth* truth_;
+  SimConfig config_;
+  Rng rng_;
+  std::uint64_t lb_salt_;
+  std::vector<RouterState> routers_;
+  std::vector<std::optional<RateLimiter>> limiters_;
+  /// interface address -> (vertex, router index)
+  std::unordered_map<net::Ipv4Address, std::pair<topo::VertexId, std::uint32_t>>
+      interfaces_;
+  SimCounters counters_;
+};
+
+}  // namespace mmlpt::fakeroute
+
+#endif  // MMLPT_FAKEROUTE_SIMULATOR_H

@@ -1,0 +1,45 @@
+#include "net/checksum.h"
+
+namespace mmlpt::net {
+
+namespace {
+
+std::uint32_t sum_words(std::span<const std::uint8_t> data,
+                        std::uint32_t acc) noexcept {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    acc += (std::uint32_t{data[i]} << 8) | std::uint32_t{data[i + 1]};
+  }
+  if (i < data.size()) {
+    acc += std::uint32_t{data[i]} << 8;  // odd trailing byte, zero padded
+  }
+  return acc;
+}
+
+std::uint16_t fold(std::uint32_t acc) noexcept {
+  while (acc >> 16) {
+    acc = (acc & 0xFFFF) + (acc >> 16);
+  }
+  return static_cast<std::uint16_t>(~acc & 0xFFFF);
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept {
+  return fold(sum_words(data, 0));
+}
+
+std::uint16_t udp_checksum(Ipv4Address src, Ipv4Address dst,
+                           std::span<const std::uint8_t> segment) noexcept {
+  std::uint32_t acc = 0;
+  acc += src.value() >> 16;
+  acc += src.value() & 0xFFFF;
+  acc += dst.value() >> 16;
+  acc += dst.value() & 0xFFFF;
+  acc += 17;  // protocol: UDP
+  acc += static_cast<std::uint32_t>(segment.size());
+  const std::uint16_t checksum = fold(sum_words(segment, acc));
+  return checksum == 0 ? 0xFFFF : checksum;
+}
+
+}  // namespace mmlpt::net

@@ -1,0 +1,25 @@
+// RFC 1071 Internet checksum.
+#ifndef MMLPT_NET_CHECKSUM_H
+#define MMLPT_NET_CHECKSUM_H
+
+#include <cstdint>
+#include <span>
+
+#include "net/ip_address.h"
+
+namespace mmlpt::net {
+
+/// One's-complement 16-bit Internet checksum over `data`.
+[[nodiscard]] std::uint16_t internet_checksum(
+    std::span<const std::uint8_t> data) noexcept;
+
+/// UDP checksum including the IPv4 pseudo-header. `segment` is the UDP
+/// header plus payload with its checksum field zeroed. Returns 0xFFFF when
+/// the computed sum is 0 (RFC 768: transmitted as all ones).
+[[nodiscard]] std::uint16_t udp_checksum(
+    Ipv4Address src, Ipv4Address dst,
+    std::span<const std::uint8_t> segment) noexcept;
+
+}  // namespace mmlpt::net
+
+#endif  // MMLPT_NET_CHECKSUM_H

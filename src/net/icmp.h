@@ -1,0 +1,80 @@
+// ICMPv4 message craft / parse (RFC 792), including RFC 4884 multipart
+// extensions carrying an RFC 4950 MPLS label stack object.
+#ifndef MMLPT_NET_ICMP_H
+#define MMLPT_NET_ICMP_H
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/wire.h"
+
+namespace mmlpt::net {
+
+enum class IcmpType : std::uint8_t {
+  kEchoReply = 0,
+  kDestUnreachable = 3,
+  kEchoRequest = 8,
+  kTimeExceeded = 11,
+};
+
+inline constexpr std::uint8_t kCodePortUnreachable = 3;
+inline constexpr std::uint8_t kCodeTtlExceeded = 0;
+
+/// One MPLS label stack entry (RFC 4950 Sec. 3.1).
+struct MplsLabelEntry {
+  std::uint32_t label = 0;  ///< 20 bits
+  std::uint8_t traffic_class = 0;  ///< 3 bits (EXP)
+  bool bottom_of_stack = true;
+  std::uint8_t ttl = 0;
+
+  friend bool operator==(const MplsLabelEntry&,
+                         const MplsLabelEntry&) = default;
+};
+
+/// A parsed ICMPv4 message. For error messages (TimeExceeded,
+/// DestUnreachable) `quoted` holds the offending datagram (IP header +
+/// leading payload bytes) and `mpls_labels` any RFC 4950 stack.
+struct IcmpMessage {
+  IcmpType type = IcmpType::kEchoRequest;
+  std::uint8_t code = 0;
+  // Echo fields (EchoRequest / EchoReply).
+  std::uint16_t identifier = 0;
+  std::uint16_t sequence = 0;
+  std::vector<std::uint8_t> echo_payload;
+  // Error-message fields.
+  std::vector<std::uint8_t> quoted;
+  std::vector<MplsLabelEntry> mpls_labels;
+
+  [[nodiscard]] bool is_error() const noexcept {
+    return type == IcmpType::kTimeExceeded ||
+           type == IcmpType::kDestUnreachable;
+  }
+
+  /// Serialize to ICMP bytes (header + body), computing the checksum.
+  /// Error messages with MPLS labels are emitted in RFC 4884 multipart
+  /// form: quoted datagram zero-padded to 128 bytes, then the extension
+  /// structure.
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  /// Parse an ICMP message from `reader` (which should span exactly the
+  /// ICMP portion of a datagram).
+  [[nodiscard]] static IcmpMessage parse(WireReader& reader);
+};
+
+/// Convenience constructors.
+[[nodiscard]] IcmpMessage make_time_exceeded(
+    std::span<const std::uint8_t> offending_datagram,
+    std::span<const MplsLabelEntry> labels = {});
+[[nodiscard]] IcmpMessage make_port_unreachable(
+    std::span<const std::uint8_t> offending_datagram,
+    std::span<const MplsLabelEntry> labels = {});
+[[nodiscard]] IcmpMessage make_echo_request(std::uint16_t identifier,
+                                            std::uint16_t sequence,
+                                            std::size_t payload_bytes = 8);
+[[nodiscard]] IcmpMessage make_echo_reply(const IcmpMessage& request);
+
+}  // namespace mmlpt::net
+
+#endif  // MMLPT_NET_ICMP_H

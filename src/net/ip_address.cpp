@@ -1,0 +1,53 @@
+#include "net/ip_address.h"
+
+#include <charconv>
+#include <ostream>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace mmlpt::net {
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  int octets = 0;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  while (p < end) {
+    unsigned octet = 0;
+    const auto [next, ec] = std::from_chars(p, end, octet);
+    if (ec != std::errc{} || octet > 255 || next == p) return std::nullopt;
+    value = (value << 8) | octet;
+    ++octets;
+    p = next;
+    if (octets == 4) break;
+    if (p >= end || *p != '.') return std::nullopt;
+    ++p;
+  }
+  if (octets != 4 || p != end) return std::nullopt;
+  return Ipv4Address(value);
+}
+
+Ipv4Address Ipv4Address::parse_or_throw(std::string_view text) {
+  const auto parsed = parse(text);
+  if (!parsed) {
+    throw ParseError("invalid IPv4 address: '" + std::string(text) + "'");
+  }
+  return *parsed;
+}
+
+std::string Ipv4Address::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out += std::to_string((value_ >> shift) & 0xFF);
+    if (shift > 0) out += '.';
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, Ipv4Address addr) {
+  return os << addr.to_string();
+}
+
+}  // namespace mmlpt::net

@@ -1,0 +1,59 @@
+// IPv4 address value type.
+#ifndef MMLPT_NET_IP_ADDRESS_H
+#define MMLPT_NET_IP_ADDRESS_H
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mmlpt::net {
+
+/// An IPv4 address held in host byte order.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t host_order)
+      : value_(host_order) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parse dotted-quad notation; returns nullopt on malformed input.
+  [[nodiscard]] static std::optional<Ipv4Address> parse(std::string_view text);
+
+  /// Parse or throw mmlpt::ParseError.
+  [[nodiscard]] static Ipv4Address parse_or_throw(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept {
+    return value_;
+  }
+  [[nodiscard]] constexpr bool is_unspecified() const noexcept {
+    return value_ == 0;
+  }
+
+  /// Dotted-quad string.
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Ipv4Address addr);
+
+}  // namespace mmlpt::net
+
+template <>
+struct std::hash<mmlpt::net::Ipv4Address> {
+  std::size_t operator()(mmlpt::net::Ipv4Address a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+#endif  // MMLPT_NET_IP_ADDRESS_H

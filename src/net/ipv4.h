@@ -1,0 +1,49 @@
+// IPv4 header craft / parse (RFC 791, no options emitted; options honoured
+// via IHL when parsing).
+#ifndef MMLPT_NET_IPV4_H
+#define MMLPT_NET_IPV4_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/ip_address.h"
+#include "net/wire.h"
+
+namespace mmlpt::net {
+
+inline constexpr std::size_t kIpv4HeaderSize = 20;
+
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+struct Ipv4Header {
+  std::uint8_t tos = 0;
+  std::uint16_t total_length = 0;  ///< filled by serialize when 0
+  std::uint16_t identification = 0;
+  bool dont_fragment = false;
+  std::uint8_t ttl = 64;
+  IpProto protocol = IpProto::kUdp;
+  std::uint16_t checksum = 0;  ///< filled by serialize
+  Ipv4Address src;
+  Ipv4Address dst;
+  std::uint8_t header_length = kIpv4HeaderSize;  ///< set while parsing
+
+  /// Serialize header followed by `payload`; computes total length and
+  /// header checksum.
+  [[nodiscard]] std::vector<std::uint8_t> serialize(
+      std::span<const std::uint8_t> payload) const;
+
+  /// Parse the header at the reader's position; leaves the reader at the
+  /// first payload byte (skipping options). Throws ParseError on malformed
+  /// input or checksum mismatch when `verify_checksum`.
+  [[nodiscard]] static Ipv4Header parse(WireReader& reader,
+                                        bool verify_checksum = true);
+};
+
+}  // namespace mmlpt::net
+
+#endif  // MMLPT_NET_IPV4_H

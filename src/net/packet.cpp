@@ -1,0 +1,131 @@
+#include "net/packet.h"
+
+#include "common/error.h"
+
+namespace mmlpt::net {
+
+std::uint64_t FlowTuple::digest() const noexcept {
+  // splitmix64-style mix over the packed tuple; deterministic across runs.
+  std::uint64_t x = (std::uint64_t{src.value()} << 32) | dst.value();
+  std::uint64_t y = (std::uint64_t{src_port} << 32) |
+                    (std::uint64_t{dst_port} << 16) | protocol;
+  auto mix = [](std::uint64_t z) {
+    z += 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  };
+  return mix(mix(x) ^ y);
+}
+
+std::vector<std::uint8_t> build_udp_probe(const ProbeSpec& spec) {
+  const std::vector<std::uint8_t> payload(spec.payload_bytes, 0);
+  UdpHeader udp;
+  udp.src_port = spec.src_port;
+  udp.dst_port = spec.dst_port;
+  const auto segment = udp.serialize(spec.src, spec.dst, payload);
+
+  Ipv4Header ip;
+  ip.ttl = spec.ttl;
+  ip.protocol = IpProto::kUdp;
+  ip.identification = spec.ip_id;
+  ip.src = spec.src;
+  ip.dst = spec.dst;
+  return ip.serialize(segment);
+}
+
+std::vector<std::uint8_t> build_echo_probe(Ipv4Address src, Ipv4Address dst,
+                                           std::uint16_t identifier,
+                                           std::uint16_t sequence,
+                                           std::uint8_t ttl,
+                                           std::uint16_t ip_id) {
+  const auto icmp = make_echo_request(identifier, sequence).serialize();
+  Ipv4Header ip;
+  ip.ttl = ttl;
+  ip.protocol = IpProto::kIcmp;
+  ip.identification = ip_id;
+  ip.src = src;
+  ip.dst = dst;
+  return ip.serialize(icmp);
+}
+
+FlowTuple ParsedProbe::flow() const noexcept {
+  FlowTuple t;
+  t.src = ip.src;
+  t.dst = ip.dst;
+  t.protocol = static_cast<std::uint8_t>(ip.protocol);
+  if (ip.protocol == IpProto::kUdp) {
+    t.src_port = udp.src_port;
+    t.dst_port = udp.dst_port;
+  } else if (ip.protocol == IpProto::kIcmp) {
+    // ICMP "flow" identity: echo identifier/sequence stand in for ports,
+    // mirroring how real load balancers hash ICMP (or not at all).
+    t.src_port = icmp.identifier;
+    t.dst_port = icmp.sequence;
+  }
+  return t;
+}
+
+ParsedProbe parse_probe(std::span<const std::uint8_t> datagram) {
+  WireReader reader(datagram);
+  ParsedProbe p;
+  p.ip = Ipv4Header::parse(reader);
+  switch (p.ip.protocol) {
+    case IpProto::kUdp:
+      p.udp = UdpHeader::parse(reader);
+      break;
+    case IpProto::kIcmp:
+      p.icmp = IcmpMessage::parse(reader);
+      break;
+    default:
+      throw ParseError("probe is neither UDP nor ICMP");
+  }
+  return p;
+}
+
+ParsedReply parse_reply(std::span<const std::uint8_t> datagram) {
+  WireReader reader(datagram);
+  ParsedReply r;
+  r.outer = Ipv4Header::parse(reader);
+  if (r.outer.protocol != IpProto::kIcmp) {
+    throw ParseError("reply is not ICMP");
+  }
+  r.icmp = IcmpMessage::parse(reader);
+
+  if (r.icmp.is_error() && !r.icmp.quoted.empty()) {
+    WireReader quoted(r.icmp.quoted);
+    // Routers may quote as little as header + 8 bytes; never verify the
+    // quoted checksum (some quote with mutated fields).
+    r.quoted_ip = Ipv4Header::parse(quoted, /*verify_checksum=*/false);
+    if (quoted.remaining() >= kUdpHeaderSize &&
+        r.quoted_ip->protocol == IpProto::kUdp) {
+      r.quoted_udp = UdpHeader::parse(quoted);
+    } else if (quoted.remaining() >= 8 &&
+               r.quoted_ip->protocol == IpProto::kIcmp) {
+      // Quoted ICMP echo: parse leniently (first 8 bytes only).
+      IcmpMessage q;
+      q.type = static_cast<IcmpType>(quoted.u8());
+      q.code = quoted.u8();
+      (void)quoted.u16();  // checksum
+      q.identifier = quoted.u16();
+      q.sequence = quoted.u16();
+      r.quoted_icmp = q;
+    }
+  }
+  return r;
+}
+
+std::vector<std::uint8_t> build_icmp_datagram(const IcmpMessage& message,
+                                              Ipv4Address src, Ipv4Address dst,
+                                              std::uint8_t ttl,
+                                              std::uint16_t ip_id) {
+  Ipv4Header ip;
+  ip.ttl = ttl;
+  ip.protocol = IpProto::kIcmp;
+  ip.identification = ip_id;
+  ip.src = src;
+  ip.dst = dst;
+  return ip.serialize(message.serialize());
+}
+
+}  // namespace mmlpt::net

@@ -1,0 +1,98 @@
+// High-level probe / reply packet builders and parsers. These are the wire
+// functions shared by the probing engine and the Fakeroute simulator: a
+// probe is a real IPv4/UDP datagram (or ICMP echo), a reply a real ICMPv4
+// datagram, exactly as on the Internet.
+#ifndef MMLPT_NET_PACKET_H
+#define MMLPT_NET_PACKET_H
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/icmp.h"
+#include "net/ip_address.h"
+#include "net/ipv4.h"
+#include "net/udp.h"
+
+namespace mmlpt::net {
+
+/// The classic five-tuple, which per-flow load balancers hash.
+struct FlowTuple {
+  Ipv4Address src;
+  Ipv4Address dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 17;
+
+  friend bool operator==(const FlowTuple&, const FlowTuple&) = default;
+
+  /// A stable 64-bit digest of the tuple (used by simulated load balancers
+  /// as the hash input; salted per router).
+  [[nodiscard]] std::uint64_t digest() const noexcept;
+};
+
+/// Fields of a UDP traceroute probe we control / read back.
+struct ProbeSpec {
+  Ipv4Address src;
+  Ipv4Address dst;
+  std::uint16_t src_port = 0;  ///< Paris flow identifier lives here
+  std::uint16_t dst_port = 33434;  ///< classic traceroute port
+  std::uint8_t ttl = 1;
+  std::uint16_t ip_id = 0;
+  std::uint16_t payload_bytes = 12;
+};
+
+/// Build the probe datagram (IPv4 + UDP + zero payload).
+[[nodiscard]] std::vector<std::uint8_t> build_udp_probe(const ProbeSpec& spec);
+
+/// Build an ICMP echo request datagram (direct probing / ping).
+[[nodiscard]] std::vector<std::uint8_t> build_echo_probe(
+    Ipv4Address src, Ipv4Address dst, std::uint16_t identifier,
+    std::uint16_t sequence, std::uint8_t ttl = 64, std::uint16_t ip_id = 0);
+
+/// A probe datagram parsed back into fields (used by the simulator).
+struct ParsedProbe {
+  Ipv4Header ip;
+  // Exactly one of the following is meaningful, per ip.protocol:
+  UdpHeader udp;        ///< when protocol == kUdp
+  IcmpMessage icmp;     ///< when protocol == kIcmp (echo request)
+
+  [[nodiscard]] FlowTuple flow() const noexcept;
+};
+
+[[nodiscard]] ParsedProbe parse_probe(std::span<const std::uint8_t> datagram);
+
+/// An ICMP reply parsed into the fields the algorithms consume.
+struct ParsedReply {
+  Ipv4Header outer;     ///< responder IP, reply TTL, IP-ID live here
+  IcmpMessage icmp;
+  /// For error replies: the quoted probe, re-parsed (checksum not verified;
+  /// routers may quote truncated datagrams).
+  std::optional<Ipv4Header> quoted_ip;
+  std::optional<UdpHeader> quoted_udp;
+  std::optional<IcmpMessage> quoted_icmp;
+
+  [[nodiscard]] Ipv4Address responder() const noexcept { return outer.src; }
+  [[nodiscard]] bool is_time_exceeded() const noexcept {
+    return icmp.type == IcmpType::kTimeExceeded;
+  }
+  [[nodiscard]] bool is_port_unreachable() const noexcept {
+    return icmp.type == IcmpType::kDestUnreachable &&
+           icmp.code == kCodePortUnreachable;
+  }
+  [[nodiscard]] bool is_echo_reply() const noexcept {
+    return icmp.type == IcmpType::kEchoReply;
+  }
+};
+
+[[nodiscard]] ParsedReply parse_reply(std::span<const std::uint8_t> datagram);
+
+/// Wrap an ICMP message in an IPv4 header from `src` to `dst`.
+[[nodiscard]] std::vector<std::uint8_t> build_icmp_datagram(
+    const IcmpMessage& message, Ipv4Address src, Ipv4Address dst,
+    std::uint8_t ttl, std::uint16_t ip_id);
+
+}  // namespace mmlpt::net
+
+#endif  // MMLPT_NET_PACKET_H

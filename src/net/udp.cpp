@@ -1,0 +1,32 @@
+#include "net/udp.h"
+
+#include "net/checksum.h"
+
+namespace mmlpt::net {
+
+std::vector<std::uint8_t> UdpHeader::serialize(
+    Ipv4Address src, Ipv4Address dst,
+    std::span<const std::uint8_t> payload) const {
+  WireWriter w(kUdpHeaderSize + payload.size());
+  const auto total =
+      length != 0 ? length
+                  : static_cast<std::uint16_t>(kUdpHeaderSize + payload.size());
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u16(total);
+  w.u16(0);  // checksum placeholder
+  w.bytes(payload);
+  w.patch_u16(6, udp_checksum(src, dst, w.view()));
+  return std::move(w).take();
+}
+
+UdpHeader UdpHeader::parse(WireReader& reader) {
+  UdpHeader h;
+  h.src_port = reader.u16();
+  h.dst_port = reader.u16();
+  h.length = reader.u16();
+  h.checksum = reader.u16();
+  return h;
+}
+
+}  // namespace mmlpt::net

@@ -1,0 +1,33 @@
+// UDP header craft / parse (RFC 768).
+#ifndef MMLPT_NET_UDP_H
+#define MMLPT_NET_UDP_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/ip_address.h"
+#include "net/wire.h"
+
+namespace mmlpt::net {
+
+inline constexpr std::size_t kUdpHeaderSize = 8;
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;    ///< filled by serialize when 0
+  std::uint16_t checksum = 0;  ///< filled by serialize
+
+  /// Serialize header + payload, computing length and the pseudo-header
+  /// checksum for the given endpoint addresses.
+  [[nodiscard]] std::vector<std::uint8_t> serialize(
+      Ipv4Address src, Ipv4Address dst,
+      std::span<const std::uint8_t> payload) const;
+
+  [[nodiscard]] static UdpHeader parse(WireReader& reader);
+};
+
+}  // namespace mmlpt::net
+
+#endif  // MMLPT_NET_UDP_H

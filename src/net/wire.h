@@ -1,0 +1,71 @@
+// Big-endian (network byte order) buffer reader and writer.
+#ifndef MMLPT_NET_WIRE_H
+#define MMLPT_NET_WIRE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mmlpt::net {
+
+/// Appends network-byte-order fields to a growing byte buffer.
+class WireWriter {
+ public:
+  WireWriter() = default;
+  explicit WireWriter(std::size_t reserve) { buffer_.reserve(reserve); }
+
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void bytes(std::span<const std::uint8_t> data);
+  void zeros(std::size_t count);
+
+  /// Patch a previously written 16-bit field at byte offset `at`.
+  void patch_u16(std::size_t at, std::uint16_t v);
+
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+  [[nodiscard]] std::span<const std::uint8_t> view() const noexcept {
+    return buffer_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() && {
+    return std::move(buffer_);
+  }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Reads network-byte-order fields from a byte span. Throws
+/// mmlpt::ParseError when reads run past the end.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::span<const std::uint8_t> bytes(std::size_t count);
+  void skip(std::size_t count);
+
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - offset_;
+  }
+  [[nodiscard]] std::span<const std::uint8_t> rest() const noexcept {
+    return data_.subspan(offset_);
+  }
+  /// A view of the underlying data by absolute offset (bounds-checked).
+  [[nodiscard]] std::span<const std::uint8_t> window(std::size_t start,
+                                                     std::size_t length) const;
+
+ private:
+  void require(std::size_t count) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace mmlpt::net
+
+#endif  // MMLPT_NET_WIRE_H

@@ -1,0 +1,91 @@
+#include "probe/engine.h"
+
+#include "common/assert.h"
+#include "net/packet.h"
+
+namespace mmlpt::probe {
+
+ProbeEngine::ProbeEngine(Network& network, Config config)
+    : network_(&network), config_(config) {
+  MMLPT_EXPECTS(!config_.destination.is_unspecified());
+}
+
+std::pair<std::uint16_t, std::uint16_t> ProbeEngine::flow_ports(
+    FlowId flow) const noexcept {
+  // Source port walks the range [base, 65536); once exhausted the
+  // destination port steps, opening a fresh cycle of distinct 5-tuples.
+  const std::uint32_t cycle = 65536u - config_.base_src_port;
+  const auto src = static_cast<std::uint16_t>(config_.base_src_port +
+                                              flow % cycle);
+  const auto dst =
+      static_cast<std::uint16_t>(config_.base_dst_port + flow / cycle);
+  return {src, dst};
+}
+
+TraceProbeResult ProbeEngine::probe(FlowId flow, std::uint8_t ttl) {
+  MMLPT_EXPECTS(ttl >= 1);
+  TraceProbeResult result;
+  for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    net::ProbeSpec spec;
+    spec.src = config_.source;
+    spec.dst = config_.destination;
+    const auto [src_port, dst_port] = flow_ports(flow);
+    spec.src_port = src_port;
+    spec.dst_port = dst_port;
+    spec.ttl = ttl;
+    spec.ip_id = next_probe_ip_id_++;
+
+    const auto datagram = net::build_udp_probe(spec);
+    now_ += config_.send_interval;
+    ++packets_sent_;
+    ++trace_probes_sent_;
+    result.probe_ip_id = spec.ip_id;
+    result.send_time = now_;
+
+    const auto received = network_->transact(datagram, now_);
+    if (!received) continue;
+
+    const auto reply = net::parse_reply(received->datagram);
+    result.answered = true;
+    result.responder = reply.responder();
+    result.from_destination = reply.is_port_unreachable();
+    result.reply_ip_id = reply.outer.identification;
+    result.reply_ttl = reply.outer.ttl;
+    result.mpls_labels = reply.icmp.mpls_labels;
+    result.recv_time = result.send_time + received->rtt;
+    now_ = result.recv_time;  // sequential probing: wait for the answer
+    return result;
+  }
+  return result;
+}
+
+EchoProbeResult ProbeEngine::ping(net::Ipv4Address target) {
+  EchoProbeResult result;
+  for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    const std::uint16_t ip_id = next_probe_ip_id_++;
+    const auto datagram = net::build_echo_probe(
+        config_.source, target, /*identifier=*/0x4D4C /* "ML" */,
+        next_echo_sequence_++, /*ttl=*/64, ip_id);
+    now_ += config_.send_interval;
+    ++packets_sent_;
+    ++echo_probes_sent_;
+    result.probe_ip_id = ip_id;
+    result.send_time = now_;
+
+    const auto received = network_->transact(datagram, now_);
+    if (!received) continue;
+
+    const auto reply = net::parse_reply(received->datagram);
+    if (!reply.is_echo_reply()) continue;
+    result.answered = true;
+    result.responder = reply.responder();
+    result.reply_ip_id = reply.outer.identification;
+    result.reply_ttl = reply.outer.ttl;
+    result.recv_time = result.send_time + received->rtt;
+    now_ = result.recv_time;
+    return result;
+  }
+  return result;
+}
+
+}  // namespace mmlpt::probe

@@ -1,0 +1,100 @@
+// The probing engine: crafts Paris-style UDP probes (flow identifier in
+// the source port, constant destination port), ICMP echo probes for
+// direct probing, drives the Network transport, parses replies, and keeps
+// the packet accounting every evaluation figure relies on.
+#ifndef MMLPT_PROBE_ENGINE_H
+#define MMLPT_PROBE_ENGINE_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/icmp.h"
+#include "net/ip_address.h"
+#include "probe/network.h"
+
+namespace mmlpt::probe {
+
+/// Abstract flow identifier. The engine maps it onto the (source port,
+/// destination port) pair: the source port cycles through the high port
+/// range and the destination port steps up once per cycle, so billions of
+/// distinct flows are addressable even though each field is 16 bits.
+using FlowId = std::uint32_t;
+
+/// Result of one traceroute-style probe.
+struct TraceProbeResult {
+  bool answered = false;
+  net::Ipv4Address responder;        ///< unspecified when unanswered
+  bool from_destination = false;     ///< ICMP Port Unreachable
+  std::uint16_t reply_ip_id = 0;     ///< outer header of the reply
+  std::uint8_t reply_ttl = 0;
+  std::uint16_t probe_ip_id = 0;     ///< what we sent (echo-ID detection)
+  std::vector<net::MplsLabelEntry> mpls_labels;
+  Nanos send_time = 0;
+  Nanos recv_time = 0;
+};
+
+/// Result of one direct (echo) probe.
+struct EchoProbeResult {
+  bool answered = false;
+  net::Ipv4Address responder;
+  std::uint16_t reply_ip_id = 0;
+  std::uint8_t reply_ttl = 0;
+  std::uint16_t probe_ip_id = 0;
+  Nanos send_time = 0;
+  Nanos recv_time = 0;
+};
+
+class ProbeEngine {
+ public:
+  struct Config {
+    net::Ipv4Address source;
+    net::Ipv4Address destination;
+    std::uint16_t base_src_port = 33434;  ///< start of the source-port cycle
+    std::uint16_t base_dst_port = 33434;  ///< classic traceroute port
+    Nanos send_interval = 2'000'000;  ///< 2 ms of virtual time per probe
+    int max_retries = 2;              ///< retransmissions when unanswered
+  };
+
+  ProbeEngine(Network& network, Config config);
+
+  /// The wire-level (src_port, dst_port) encoding a flow identifier.
+  [[nodiscard]] std::pair<std::uint16_t, std::uint16_t> flow_ports(
+      FlowId flow) const noexcept;
+
+  /// Send a UDP probe with `flow` and `ttl`; retries transparently.
+  [[nodiscard]] TraceProbeResult probe(FlowId flow, std::uint8_t ttl);
+
+  /// Send an ICMP echo request to `target` (direct probing).
+  [[nodiscard]] EchoProbeResult ping(net::Ipv4Address target);
+
+  /// Total datagrams sent, including retries and echo probes.
+  [[nodiscard]] std::uint64_t packets_sent() const noexcept {
+    return packets_sent_;
+  }
+  [[nodiscard]] std::uint64_t trace_probes_sent() const noexcept {
+    return trace_probes_sent_;
+  }
+  [[nodiscard]] std::uint64_t echo_probes_sent() const noexcept {
+    return echo_probes_sent_;
+  }
+
+  [[nodiscard]] Nanos now() const noexcept { return now_; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Network* network_;
+  Config config_;
+  Nanos now_ = kStartOfTime;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t trace_probes_sent_ = 0;
+  std::uint64_t echo_probes_sent_ = 0;
+  std::uint16_t next_probe_ip_id_ = 1;
+  std::uint16_t next_echo_sequence_ = 1;
+
+  static constexpr Nanos kStartOfTime = 1'000'000'000ULL;
+};
+
+}  // namespace mmlpt::probe
+
+#endif  // MMLPT_PROBE_ENGINE_H

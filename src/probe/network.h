@@ -1,0 +1,34 @@
+// Transport abstraction: a probe datagram goes out, at most one reply
+// datagram comes back. Implementations: SimulatedNetwork (Fakeroute,
+// deterministic virtual time) and RawSocketNetwork (real raw sockets,
+// requires root and Internet access).
+#ifndef MMLPT_PROBE_NETWORK_H
+#define MMLPT_PROBE_NETWORK_H
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace mmlpt::probe {
+
+using Nanos = std::uint64_t;
+
+struct Received {
+  std::vector<std::uint8_t> datagram;
+  Nanos rtt = 0;
+};
+
+class Network {
+ public:
+  virtual ~Network() = default;
+
+  /// Send `datagram` at (virtual or wall-clock) time `now`; block until a
+  /// matching reply arrives or the transport's timeout elapses.
+  [[nodiscard]] virtual std::optional<Received> transact(
+      std::span<const std::uint8_t> datagram, Nanos now) = 0;
+};
+
+}  // namespace mmlpt::probe
+
+#endif  // MMLPT_PROBE_NETWORK_H

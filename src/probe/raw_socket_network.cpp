@@ -1,0 +1,105 @@
+#include "probe/raw_socket_network.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+#include "net/packet.h"
+
+namespace mmlpt::probe {
+
+RawSocketNetwork::RawSocketNetwork(Config config) : config_(config) {
+  send_fd_ = ::socket(AF_INET, SOCK_RAW, IPPROTO_RAW);
+  if (send_fd_ < 0) {
+    throw SystemError(std::string("raw send socket: ") + std::strerror(errno) +
+                      " (CAP_NET_RAW required)");
+  }
+  const int on = 1;
+  if (::setsockopt(send_fd_, IPPROTO_IP, IP_HDRINCL, &on, sizeof(on)) < 0) {
+    ::close(send_fd_);
+    throw SystemError(std::string("IP_HDRINCL: ") + std::strerror(errno));
+  }
+  recv_fd_ = ::socket(AF_INET, SOCK_RAW, IPPROTO_ICMP);
+  if (recv_fd_ < 0) {
+    ::close(send_fd_);
+    throw SystemError(std::string("raw recv socket: ") +
+                      std::strerror(errno));
+  }
+}
+
+RawSocketNetwork::~RawSocketNetwork() {
+  if (send_fd_ >= 0) ::close(send_fd_);
+  if (recv_fd_ >= 0) ::close(recv_fd_);
+}
+
+bool RawSocketNetwork::matches(std::span<const std::uint8_t> probe,
+                               std::span<const std::uint8_t> reply) {
+  try {
+    const auto sent = net::parse_probe(probe);
+    const auto got = net::parse_reply(reply);
+    if (got.is_echo_reply()) {
+      return sent.ip.protocol == net::IpProto::kIcmp &&
+             got.icmp.identifier == sent.icmp.identifier &&
+             got.icmp.sequence == sent.icmp.sequence;
+    }
+    if (!got.quoted_ip) return false;
+    if (got.quoted_ip->dst != sent.ip.dst) return false;
+    if (sent.ip.protocol == net::IpProto::kUdp) {
+      return got.quoted_udp && got.quoted_udp->src_port == sent.udp.src_port &&
+             got.quoted_udp->dst_port == sent.udp.dst_port;
+    }
+    return got.quoted_icmp && got.quoted_icmp->identifier ==
+                                  sent.icmp.identifier;
+  } catch (const ParseError&) {
+    return false;
+  }
+}
+
+std::optional<Received> RawSocketNetwork::transact(
+    std::span<const std::uint8_t> datagram, Nanos /*now*/) {
+  const auto sent = net::parse_probe(datagram);
+  sockaddr_in to{};
+  to.sin_family = AF_INET;
+  to.sin_addr.s_addr = htonl(sent.ip.dst.value());
+
+  const auto start = std::chrono::steady_clock::now();
+  if (::sendto(send_fd_, datagram.data(), datagram.size(), 0,
+               reinterpret_cast<const sockaddr*>(&to), sizeof(to)) < 0) {
+    throw SystemError(std::string("sendto: ") + std::strerror(errno));
+  }
+
+  std::uint8_t buffer[2048];
+  while (true) {
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    if (elapsed >= config_.reply_timeout) return std::nullopt;
+
+    pollfd pfd{recv_fd_, POLLIN, 0};
+    const int ready = ::poll(
+        &pfd, 1, static_cast<int>((config_.reply_timeout - elapsed).count()));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw SystemError(std::string("poll: ") + std::strerror(errno));
+    }
+    if (ready == 0) return std::nullopt;
+
+    const ssize_t n = ::recv(recv_fd_, buffer, sizeof(buffer), 0);
+    if (n <= 0) continue;
+    const std::span<const std::uint8_t> reply(buffer,
+                                              static_cast<std::size_t>(n));
+    if (!matches(datagram, reply)) continue;  // someone else's ICMP
+
+    const auto rtt = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::steady_clock::now() - start);
+    return Received{std::vector<std::uint8_t>(reply.begin(), reply.end()),
+                    static_cast<Nanos>(rtt.count())};
+  }
+}
+
+}  // namespace mmlpt::probe

@@ -1,0 +1,47 @@
+// Real-network backend using Linux raw sockets. This is the deployment
+// path the paper's tool uses on PlanetLab: IP_HDRINCL raw socket for
+// sending crafted probes, a raw ICMP socket for receiving replies, and
+// quoted-probe matching to pair them up.
+//
+// Requires CAP_NET_RAW (root) and Internet access; constructing without
+// privileges throws mmlpt::SystemError. Unit tests therefore run against
+// SimulatedNetwork; this backend is exercised by examples/quickstart when
+// run with --real on a privileged host.
+#ifndef MMLPT_PROBE_RAW_SOCKET_NETWORK_H
+#define MMLPT_PROBE_RAW_SOCKET_NETWORK_H
+
+#include <chrono>
+
+#include "probe/network.h"
+
+namespace mmlpt::probe {
+
+class RawSocketNetwork final : public Network {
+ public:
+  struct Config {
+    std::chrono::milliseconds reply_timeout{1000};
+  };
+
+  explicit RawSocketNetwork(Config config);
+  ~RawSocketNetwork() override;
+
+  RawSocketNetwork(const RawSocketNetwork&) = delete;
+  RawSocketNetwork& operator=(const RawSocketNetwork&) = delete;
+
+  [[nodiscard]] std::optional<Received> transact(
+      std::span<const std::uint8_t> datagram, Nanos now) override;
+
+ private:
+  /// True when `reply` is the ICMP answer to `probe` (quoted ports/IP-ID
+  /// match, or echo identifier/sequence match).
+  [[nodiscard]] static bool matches(std::span<const std::uint8_t> probe,
+                                    std::span<const std::uint8_t> reply);
+
+  Config config_;
+  int send_fd_ = -1;
+  int recv_fd_ = -1;
+};
+
+}  // namespace mmlpt::probe
+
+#endif  // MMLPT_PROBE_RAW_SOCKET_NETWORK_H

@@ -1,0 +1,12 @@
+#include "probe/simulated_network.h"
+
+namespace mmlpt::probe {
+
+std::optional<Received> SimulatedNetwork::transact(
+    std::span<const std::uint8_t> datagram, Nanos now) {
+  auto reply = simulator_->handle(datagram, now);
+  if (!reply) return std::nullopt;
+  return Received{std::move(reply->datagram), reply->rtt};
+}
+
+}  // namespace mmlpt::probe

@@ -1,0 +1,25 @@
+// Network backend that feeds probes to an in-process Fakeroute simulator.
+#ifndef MMLPT_PROBE_SIMULATED_NETWORK_H
+#define MMLPT_PROBE_SIMULATED_NETWORK_H
+
+#include "fakeroute/simulator.h"
+#include "probe/network.h"
+
+namespace mmlpt::probe {
+
+class SimulatedNetwork final : public Network {
+ public:
+  /// The simulator must outlive this adapter.
+  explicit SimulatedNetwork(fakeroute::Simulator& simulator)
+      : simulator_(&simulator) {}
+
+  [[nodiscard]] std::optional<Received> transact(
+      std::span<const std::uint8_t> datagram, Nanos now) override;
+
+ private:
+  fakeroute::Simulator* simulator_;
+};
+
+}  // namespace mmlpt::probe
+
+#endif  // MMLPT_PROBE_SIMULATED_NETWORK_H

@@ -1,0 +1,48 @@
+#include "survey/accounting.h"
+
+namespace mmlpt::survey {
+
+void DiamondAccounting::accumulate(DiamondDistributions& dist,
+                                   const topo::MultipathGraph& g,
+                                   const topo::Diamond& d,
+                                   const topo::DiamondMetrics& m) {
+  dist.max_width.add(m.max_width);
+  dist.max_length.add(m.max_length);
+  dist.width_asymmetry.add(m.max_width_asymmetry);
+  dist.joint_length_width.add(m.max_length, m.max_width);
+  ++dist.total;
+  if (m.max_length == 2) ++dist.length2;
+  if (m.meshed) {
+    ++dist.meshed;
+    dist.meshed_hop_ratio.add(m.meshed_hop_ratio);
+    for (std::uint16_t h = d.divergence_hop; h < d.convergence_hop; ++h) {
+      const auto miss = topo::meshing_miss_probability(g, h, phi_);
+      if (miss) dist.meshing_miss.add(*miss);
+    }
+  }
+  if (m.max_width_asymmetry > 0) {
+    ++dist.asymmetric;
+    if (!m.meshed) {
+      ++dist.asymmetric_unmeshed;
+      dist.probability_difference.add(m.max_probability_difference);
+    }
+  }
+}
+
+void DiamondAccounting::record(const topo::MultipathGraph& route,
+                               const topo::Diamond& d) {
+  const auto metrics = topo::compute_metrics(route, d);
+  accumulate(measured_, route, d, metrics);
+  const auto key = topo::diamond_key(route, d);
+  if (seen_.insert(key).second) {
+    accumulate(distinct_, route, d, metrics);
+  }
+}
+
+void DiamondAccounting::record_all(const topo::MultipathGraph& route) {
+  for (const auto& d : topo::extract_diamonds(route)) {
+    record(route, d);
+  }
+}
+
+}  // namespace mmlpt::survey

@@ -1,0 +1,63 @@
+// Measured vs distinct diamond accounting (Sec. 5): a distinct diamond is
+// keyed by its divergence and convergence addresses; every encounter is a
+// measured diamond. The accounting feeds Figs. 2 and 7-11.
+#ifndef MMLPT_SURVEY_ACCOUNTING_H
+#define MMLPT_SURVEY_ACCOUNTING_H
+
+#include <cstdint>
+#include <set>
+
+#include "common/stats.h"
+#include "topology/metrics.h"
+
+namespace mmlpt::survey {
+
+/// One side (measured or distinct) of the Sec. 5.1 distributions.
+struct DiamondDistributions {
+  Histogram max_width;
+  Histogram max_length;
+  Histogram width_asymmetry;
+  Histogram2D joint_length_width;  ///< Fig. 11
+  EmpiricalCdf meshed_hop_ratio;   ///< Fig. 9 (meshed diamonds only)
+  /// Fig. 8: max probability difference, asymmetric unmeshed diamonds.
+  EmpiricalCdf probability_difference;
+  /// Fig. 2: per meshed hop pair, P(miss meshing) at the accounting's phi.
+  EmpiricalCdf meshing_miss;
+  std::uint64_t total = 0;
+  std::uint64_t meshed = 0;
+  std::uint64_t asymmetric = 0;
+  std::uint64_t asymmetric_unmeshed = 0;
+  std::uint64_t length2 = 0;
+};
+
+class DiamondAccounting {
+ public:
+  explicit DiamondAccounting(int phi = 2) : phi_(phi) {}
+
+  /// Record one encountered diamond from a (discovered or ground-truth)
+  /// route graph.
+  void record(const topo::MultipathGraph& route, const topo::Diamond& d);
+
+  /// Record every diamond in the route.
+  void record_all(const topo::MultipathGraph& route);
+
+  [[nodiscard]] const DiamondDistributions& measured() const noexcept {
+    return measured_;
+  }
+  [[nodiscard]] const DiamondDistributions& distinct() const noexcept {
+    return distinct_;
+  }
+
+ private:
+  void accumulate(DiamondDistributions& dist, const topo::MultipathGraph& g,
+                  const topo::Diamond& d, const topo::DiamondMetrics& m);
+
+  int phi_;
+  std::set<topo::DiamondKey> seen_;
+  DiamondDistributions measured_;
+  DiamondDistributions distinct_;
+};
+
+}  // namespace mmlpt::survey
+
+#endif  // MMLPT_SURVEY_ACCOUNTING_H

@@ -1,0 +1,175 @@
+#include "survey/alias_eval.h"
+
+#include <algorithm>
+#include <set>
+
+#include "probe/simulated_network.h"
+
+namespace mmlpt::survey {
+
+namespace {
+
+/// Unordered alias pairs implied by the accepted sets of one snapshot.
+std::set<std::pair<std::uint32_t, std::uint32_t>> alias_pairs(
+    const core::RoundSnapshot& snap) {
+  std::set<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  for (const auto& [hop, sets] : snap.sets_by_hop) {
+    for (const auto& set : sets) {
+      if (set.outcome != alias::Outcome::kAccept) continue;
+      for (std::size_t i = 0; i < set.members.size(); ++i) {
+        for (std::size_t j = i + 1; j < set.members.size(); ++j) {
+          auto a = set.members[i].value();
+          auto b = set.members[j].value();
+          if (a > b) std::swap(a, b);
+          pairs.insert({a, b});
+        }
+      }
+    }
+  }
+  return pairs;
+}
+
+std::vector<std::uint32_t> set_key(
+    const std::vector<net::Ipv4Address>& members) {
+  std::vector<std::uint32_t> key;
+  key.reserve(members.size());
+  for (const auto m : members) key.push_back(m.value());
+  std::sort(key.begin(), key.end());
+  return key;
+}
+
+}  // namespace
+
+AliasRoundsStats alias_rounds_stats(
+    std::span<const core::MultilevelResult> results) {
+  AliasRoundsStats stats;
+  std::size_t rounds = 0;
+  for (const auto& r : results) rounds = std::max(rounds, r.rounds.size());
+  if (rounds == 0) return stats;
+
+  std::vector<double> tp(rounds, 0.0);
+  std::vector<double> found(rounds, 0.0);
+  std::vector<double> truth(rounds, 0.0);
+  std::vector<double> packets(rounds, 0.0);
+  double round0_packets = 0.0;
+
+  for (const auto& result : results) {
+    if (result.rounds.empty()) continue;
+    const auto final_pairs = alias_pairs(result.rounds.back());
+    round0_packets += static_cast<double>(result.rounds.front().packets);
+    for (std::size_t r = 0; r < result.rounds.size(); ++r) {
+      const auto pairs = alias_pairs(result.rounds[r]);
+      double hits = 0.0;
+      for (const auto& p : pairs) {
+        if (final_pairs.count(p) > 0) hits += 1.0;
+      }
+      tp[r] += hits;
+      found[r] += static_cast<double>(pairs.size());
+      truth[r] += static_cast<double>(final_pairs.size());
+      packets[r] += static_cast<double>(result.rounds[r].packets);
+    }
+  }
+
+  stats.precision.resize(rounds);
+  stats.recall.resize(rounds);
+  stats.probe_ratio.resize(rounds);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    stats.precision[r] = found[r] == 0.0 ? 1.0 : tp[r] / found[r];
+    stats.recall[r] = truth[r] == 0.0 ? 1.0 : tp[r] / truth[r];
+    stats.probe_ratio[r] =
+        round0_packets == 0.0 ? 1.0 : packets[r] / round0_packets;
+  }
+  return stats;
+}
+
+AliasEvalResult run_alias_eval(const AliasEvalConfig& config) {
+  topo::SurveyWorld world(config.generator, config.distinct_diamonds,
+                          config.seed);
+  AliasEvalResult result;
+
+  std::uint64_t seed = config.seed * 0xD1B54A33ULL + 7;
+  for (std::size_t i = 0; i < config.routes; ++i) {
+    const auto route = world.next_route();
+    fakeroute::Simulator simulator(route, config.sim, seed++);
+    probe::SimulatedNetwork network(simulator);
+    probe::ProbeEngine::Config engine_config;
+    engine_config.source = route.source;
+    engine_config.destination = route.destination;
+    probe::ProbeEngine engine(network, engine_config);
+
+    core::MultilevelTracer tracer(engine, config.multilevel);
+    auto ml = tracer.run();
+
+    // MIDAR-style direct probing pass against the same simulated routers
+    // (the engine's virtual clock keeps advancing, so IP-ID time series
+    // continue coherently).
+    alias::DirectProber direct(engine, config.direct);
+    for (const auto& [hop, sets] : ml.final_round().sets_by_hop) {
+      std::vector<net::Ipv4Address> addrs;
+      for (const auto& set : sets) {
+        addrs.insert(addrs.end(), set.members.begin(), set.members.end());
+      }
+      if (addrs.size() < 2) continue;
+      const auto direct_resolver = direct.collect(addrs);
+      const auto direct_sets = direct_resolver.resolve(addrs);
+
+      // Union of sets accepted by either method, deduplicated by content.
+      std::set<std::vector<std::uint32_t>> considered;
+      const auto classify_both = [&](const std::vector<net::Ipv4Address>&
+                                         members,
+                                     bool accepted_indirect,
+                                     bool accepted_direct) {
+        if (!considered.insert(set_key(members)).second) return;
+        const auto indirect_outcome =
+            accepted_indirect ? alias::Outcome::kAccept
+                              : ml.resolver.classify_set(members);
+        const auto direct_outcome = accepted_direct
+                                        ? alias::Outcome::kAccept
+                                        : direct_resolver.classify_set(members);
+        if (indirect_outcome != alias::Outcome::kAccept &&
+            direct_outcome != alias::Outcome::kAccept) {
+          return;  // neither tool identified it: not part of Table 2
+        }
+        ++result.table2.total_sets;
+        if (indirect_outcome == alias::Outcome::kAccept) {
+          ++result.table2.indirect_accepted;
+        }
+        if (direct_outcome == alias::Outcome::kAccept) {
+          ++result.table2.direct_accepted;
+        }
+        if (indirect_outcome == alias::Outcome::kAccept) {
+          switch (direct_outcome) {
+            case alias::Outcome::kAccept: ++result.table2.accept_accept; break;
+            case alias::Outcome::kReject:
+              ++result.table2.accept_indirect_reject_direct;
+              break;
+            case alias::Outcome::kUnable:
+              ++result.table2.accept_indirect_unable_direct;
+              break;
+          }
+        } else if (direct_outcome == alias::Outcome::kAccept) {
+          if (indirect_outcome == alias::Outcome::kReject) {
+            ++result.table2.reject_indirect_accept_direct;
+          } else {
+            ++result.table2.unable_indirect_accept_direct;
+          }
+        }
+      };
+
+      for (const auto& set : sets) {
+        if (set.outcome == alias::Outcome::kAccept && set.members.size() >= 2) {
+          classify_both(set.members, true, false);
+        }
+      }
+      for (const auto& set : direct_sets) {
+        if (set.outcome == alias::Outcome::kAccept && set.members.size() >= 2) {
+          classify_both(set.members, false, true);
+        }
+      }
+    }
+    result.multilevel_results.push_back(std::move(ml));
+  }
+  return result;
+}
+
+}  // namespace mmlpt::survey

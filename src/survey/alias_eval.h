@@ -1,0 +1,70 @@
+// Alias-resolution evaluations: per-round precision/recall/probe-ratio
+// (Fig. 5) and the indirect-vs-direct probing comparison (Table 2).
+#ifndef MMLPT_SURVEY_ALIAS_EVAL_H
+#define MMLPT_SURVEY_ALIAS_EVAL_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "alias/direct_prober.h"
+#include "core/multilevel.h"
+#include "fakeroute/simulator.h"
+#include "topology/generator.h"
+
+namespace mmlpt::survey {
+
+/// Fig. 5: precision and recall of each round's alias pairs with respect
+/// to the final round, plus the probe count relative to round 0,
+/// aggregated over many multilevel traces.
+struct AliasRoundsStats {
+  std::vector<double> precision;    ///< index = round
+  std::vector<double> recall;
+  std::vector<double> probe_ratio;  ///< packets by end of round r / round 0
+};
+
+[[nodiscard]] AliasRoundsStats alias_rounds_stats(
+    std::span<const core::MultilevelResult> results);
+
+/// Table 2: address sets identified as routers by indirect probing
+/// (MMLPT) or direct probing (MIDAR-style), classified by the other
+/// method. Cells are counts; portions are cells / total.
+struct DirectVsIndirectResult {
+  std::uint64_t total_sets = 0;
+  std::uint64_t accept_accept = 0;
+  std::uint64_t accept_indirect_reject_direct = 0;
+  std::uint64_t accept_indirect_unable_direct = 0;
+  std::uint64_t reject_indirect_accept_direct = 0;
+  std::uint64_t unable_indirect_accept_direct = 0;
+  std::uint64_t indirect_accepted = 0;
+  std::uint64_t direct_accepted = 0;
+
+  [[nodiscard]] double portion(std::uint64_t cell) const {
+    return total_sets == 0
+               ? 0.0
+               : static_cast<double>(cell) / static_cast<double>(total_sets);
+  }
+};
+
+struct AliasEvalConfig {
+  std::size_t routes = 100;
+  std::size_t distinct_diamonds = 60;
+  core::MultilevelConfig multilevel;
+  alias::DirectProber::Config direct;
+  fakeroute::SimConfig sim;
+  topo::GeneratorConfig generator;
+  std::uint64_t seed = 1;
+};
+
+struct AliasEvalResult {
+  std::vector<core::MultilevelResult> multilevel_results;
+  DirectVsIndirectResult table2;
+};
+
+/// Run multilevel traces and, on the same simulated routers, a
+/// MIDAR-style direct-probing pass; compare the accepted address sets.
+[[nodiscard]] AliasEvalResult run_alias_eval(const AliasEvalConfig& config);
+
+}  // namespace mmlpt::survey
+
+#endif  // MMLPT_SURVEY_ALIAS_EVAL_H

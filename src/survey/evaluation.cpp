@@ -1,0 +1,126 @@
+#include "survey/evaluation.h"
+
+#include "common/assert.h"
+
+namespace mmlpt::survey {
+
+namespace {
+
+double safe_ratio(double num, double den) { return den == 0.0 ? 0.0 : num / den; }
+
+void accumulate_union(AggregateCounts& agg, const topo::MultipathGraph& g) {
+  for (std::uint16_t h = 0; h < g.hop_count(); ++h) {
+    for (const auto v : g.vertices_at(h)) {
+      agg.vertices.insert(g.vertex(v).addr.value());
+      for (const auto s : g.successors(v)) {
+        agg.edges.insert(
+            {g.vertex(v).addr.value(), g.vertex(s).addr.value()});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string variant_name(Variant v) {
+  switch (v) {
+    case Variant::kMda1: return "First MDA";
+    case Variant::kMda2: return "Second MDA";
+    case Variant::kMdaLitePhi2: return "MDA-Lite phi=2";
+    case Variant::kMdaLitePhi4: return "MDA-Lite phi=4";
+    case Variant::kSingleFlow: return "Single flow ID";
+  }
+  return "?";
+}
+
+double PairOutcome::vertex_ratio(Variant v) const {
+  return safe_ratio(
+      static_cast<double>(variants[static_cast<std::size_t>(v)].vertices),
+      static_cast<double>(variants[0].vertices));
+}
+
+double PairOutcome::edge_ratio(Variant v) const {
+  return safe_ratio(
+      static_cast<double>(variants[static_cast<std::size_t>(v)].edges),
+      static_cast<double>(variants[0].edges));
+}
+
+double PairOutcome::packet_ratio(Variant v) const {
+  return safe_ratio(
+      static_cast<double>(variants[static_cast<std::size_t>(v)].packets),
+      static_cast<double>(variants[0].packets));
+}
+
+double EvaluationResult::aggregate_vertex_ratio(Variant v) const {
+  return static_cast<double>(
+             aggregate[static_cast<std::size_t>(v)].vertices.size()) /
+         static_cast<double>(aggregate[0].vertices.size());
+}
+
+double EvaluationResult::aggregate_edge_ratio(Variant v) const {
+  return static_cast<double>(
+             aggregate[static_cast<std::size_t>(v)].edges.size()) /
+         static_cast<double>(aggregate[0].edges.size());
+}
+
+double EvaluationResult::aggregate_packet_ratio(Variant v) const {
+  return static_cast<double>(
+             aggregate[static_cast<std::size_t>(v)].packets) /
+         static_cast<double>(aggregate[0].packets);
+}
+
+EmpiricalCdf EvaluationResult::ratio_cdf(
+    Variant v, double (PairOutcome::*metric)(Variant) const) const {
+  EmpiricalCdf cdf;
+  for (const auto& pair : pairs) {
+    cdf.add((pair.*metric)(v));
+  }
+  return cdf;
+}
+
+EvaluationResult run_evaluation(const EvaluationConfig& config) {
+  topo::SurveyWorld world(config.generator, config.distinct_diamonds,
+                          config.seed);
+  EvaluationResult result;
+  result.pairs.reserve(config.pairs);
+
+  std::uint64_t seed = config.seed * 0x9E3779B9ULL + 17;
+  for (std::size_t i = 0; i < config.pairs; ++i) {
+    const auto route = world.next_route();
+    PairOutcome outcome;
+    for (std::size_t vi = 0; vi < kVariantCount; ++vi) {
+      core::Algorithm algorithm = core::Algorithm::kMda;
+      core::TraceConfig trace_config = config.trace;
+      switch (static_cast<Variant>(vi)) {
+        case Variant::kMda1:
+        case Variant::kMda2:
+          algorithm = core::Algorithm::kMda;
+          break;
+        case Variant::kMdaLitePhi2:
+          algorithm = core::Algorithm::kMdaLite;
+          trace_config.phi = 2;
+          break;
+        case Variant::kMdaLitePhi4:
+          algorithm = core::Algorithm::kMdaLite;
+          trace_config.phi = 4;
+          break;
+        case Variant::kSingleFlow:
+          algorithm = core::Algorithm::kSingleFlow;
+          break;
+      }
+      const auto trace =
+          core::run_trace(route, algorithm, trace_config, config.sim, seed++);
+      auto& counts = outcome.variants[vi];
+      counts.vertices = trace.graph.vertex_count();
+      counts.edges = trace.graph.edge_count();
+      counts.packets = trace.packets;
+      counts.switched_to_mda = trace.switched_to_mda;
+      accumulate_union(result.aggregate[vi], trace.graph);
+      result.aggregate[vi].packets += trace.packets;
+    }
+    result.pairs.push_back(outcome);
+  }
+  return result;
+}
+
+}  // namespace mmlpt::survey

@@ -1,0 +1,81 @@
+// The Sec. 2.4.2 measurement-based evaluation: for each source-destination
+// pair with a diamond, run five tool variants successively — MDA (twice),
+// MDA-Lite phi=2, MDA-Lite phi=4, and single-flow Paris Traceroute — and
+// compare each against the first MDA run on vertices discovered, edges
+// discovered, and packets sent (Fig. 4 CDFs and Table 1 aggregates).
+#ifndef MMLPT_SURVEY_EVALUATION_H
+#define MMLPT_SURVEY_EVALUATION_H
+
+#include <array>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/validation.h"
+#include "topology/generator.h"
+
+namespace mmlpt::survey {
+
+enum class Variant : std::size_t {
+  kMda1 = 0,
+  kMda2 = 1,
+  kMdaLitePhi2 = 2,
+  kMdaLitePhi4 = 3,
+  kSingleFlow = 4,
+};
+inline constexpr std::size_t kVariantCount = 5;
+[[nodiscard]] std::string variant_name(Variant v);
+
+struct VariantCounts {
+  std::uint64_t vertices = 0;
+  std::uint64_t edges = 0;
+  std::uint64_t packets = 0;
+  bool switched_to_mda = false;
+};
+
+struct PairOutcome {
+  std::array<VariantCounts, kVariantCount> variants;
+
+  /// Ratios of variant `v` relative to the first MDA run.
+  [[nodiscard]] double vertex_ratio(Variant v) const;
+  [[nodiscard]] double edge_ratio(Variant v) const;
+  [[nodiscard]] double packet_ratio(Variant v) const;
+};
+
+struct EvaluationConfig {
+  std::size_t pairs = 500;
+  std::size_t distinct_diamonds = 200;
+  core::TraceConfig trace;
+  fakeroute::SimConfig sim;
+  topo::GeneratorConfig generator;
+  std::uint64_t seed = 1;
+};
+
+struct AggregateCounts {
+  std::set<std::uint32_t> vertices;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> edges;
+  std::uint64_t packets = 0;
+};
+
+struct EvaluationResult {
+  std::vector<PairOutcome> pairs;
+  /// Table 1: union topology across all measurements, per variant.
+  std::array<AggregateCounts, kVariantCount> aggregate;
+
+  [[nodiscard]] double aggregate_vertex_ratio(Variant v) const;
+  [[nodiscard]] double aggregate_edge_ratio(Variant v) const;
+  [[nodiscard]] double aggregate_packet_ratio(Variant v) const;
+
+  /// Fig. 4 series: ratio samples for one metric across all pairs.
+  [[nodiscard]] EmpiricalCdf ratio_cdf(Variant v,
+                                       double (PairOutcome::*metric)(Variant)
+                                           const) const;
+};
+
+[[nodiscard]] EvaluationResult run_evaluation(const EvaluationConfig& config);
+
+}  // namespace mmlpt::survey
+
+#endif  // MMLPT_SURVEY_EVALUATION_H

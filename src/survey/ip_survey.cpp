@@ -1,0 +1,27 @@
+#include "survey/ip_survey.h"
+
+namespace mmlpt::survey {
+
+IpSurveyResult run_ip_survey(const IpSurveyConfig& config) {
+  topo::SurveyWorld world(config.generator, config.distinct_diamonds,
+                          config.seed);
+  IpSurveyResult result;
+  result.accounting = DiamondAccounting(config.phi_for_meshing_analysis);
+
+  std::uint64_t seed = config.seed ^ 0x5353ULL;
+  for (std::size_t i = 0; i < config.routes; ++i) {
+    const auto route = world.next_route();
+    const auto trace = core::run_trace(route, config.algorithm, config.trace,
+                                       config.sim, seed++);
+    result.total_packets += trace.packets;
+    ++result.routes_traced;
+    const auto diamonds = topo::extract_diamonds(trace.graph);
+    if (!diamonds.empty()) ++result.routes_with_diamonds;
+    for (const auto& d : diamonds) {
+      result.accounting.record(trace.graph, d);
+    }
+  }
+  return result;
+}
+
+}  // namespace mmlpt::survey

@@ -1,0 +1,36 @@
+// The Sec. 5.1 IP-level survey: trace a stream of generated routes with a
+// multipath tracer and account for every diamond the tool discovers.
+#ifndef MMLPT_SURVEY_IP_SURVEY_H
+#define MMLPT_SURVEY_IP_SURVEY_H
+
+#include <cstdint>
+
+#include "core/validation.h"
+#include "survey/accounting.h"
+#include "topology/generator.h"
+
+namespace mmlpt::survey {
+
+struct IpSurveyConfig {
+  std::size_t routes = 1000;
+  std::size_t distinct_diamonds = 300;
+  core::Algorithm algorithm = core::Algorithm::kMda;
+  core::TraceConfig trace;
+  fakeroute::SimConfig sim;
+  topo::GeneratorConfig generator;
+  int phi_for_meshing_analysis = 2;
+  std::uint64_t seed = 1;
+};
+
+struct IpSurveyResult {
+  DiamondAccounting accounting{2};
+  std::uint64_t routes_traced = 0;
+  std::uint64_t routes_with_diamonds = 0;
+  std::uint64_t total_packets = 0;
+};
+
+[[nodiscard]] IpSurveyResult run_ip_survey(const IpSurveyConfig& config);
+
+}  // namespace mmlpt::survey
+
+#endif  // MMLPT_SURVEY_IP_SURVEY_H

@@ -1,0 +1,492 @@
+#include "topology/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/error.h"
+
+namespace mmlpt::topo {
+
+namespace {
+
+/// One wiring step between adjacent hops of a diamond under construction.
+struct Step {
+  enum class Kind { kExpand, kContract, kIdentity, kRing } kind;
+  int to_width = 0;
+  int asym_moves = 0;  ///< uneven-wiring strength (0 = even)
+};
+
+/// Install expansion edges from hop `h` (a vertices) to hop h+1 (b > a
+/// vertices, in-degree 1). Even counts by default; `moves` shifts
+/// successors from the last lower vertex to the first, creating width
+/// asymmetry while staying unmeshed.
+void wire_expand(MultipathGraph& g, std::span<const VertexId> lower,
+                 std::span<const VertexId> upper, int moves) {
+  const auto a = static_cast<int>(lower.size());
+  const auto b = static_cast<int>(upper.size());
+  MMLPT_EXPECTS(a < b);
+  std::vector<int> counts(static_cast<std::size_t>(a));
+  for (int i = 0; i < a; ++i) counts[i] = b / a + (i < b % a ? 1 : 0);
+  if (moves > 0 && a >= 2) {
+    const int give = std::min(moves, counts[a - 1] - 1);
+    counts[0] += give;
+    counts[a - 1] -= give;
+  }
+  int next = 0;
+  for (int i = 0; i < a; ++i) {
+    for (int j = 0; j < counts[i]; ++j) {
+      g.add_edge(lower[static_cast<std::size_t>(i)],
+                 upper[static_cast<std::size_t>(next++)]);
+    }
+  }
+  MMLPT_ENSURES(next == b);
+}
+
+/// Contraction: out-degree-1 surjection i -> i*b/a (unmeshed; slight
+/// natural asymmetry when a % b != 0).
+void wire_contract(MultipathGraph& g, std::span<const VertexId> lower,
+                   std::span<const VertexId> upper) {
+  const auto a = lower.size();
+  const auto b = upper.size();
+  MMLPT_EXPECTS(a >= b && b >= 1);
+  for (std::size_t i = 0; i < a; ++i) {
+    g.add_edge(lower[i], upper[i * b / a]);
+  }
+}
+
+void wire_identity(MultipathGraph& g, std::span<const VertexId> lower,
+                   std::span<const VertexId> upper) {
+  MMLPT_EXPECTS(lower.size() == upper.size());
+  for (std::size_t i = 0; i < lower.size(); ++i) {
+    g.add_edge(lower[i], upper[i]);
+  }
+}
+
+/// Equal-width ring i -> {i, i+1 mod n}: meshed, uniform. `moves`
+/// redirects secondary edges to skip a vertex, making in-degrees uneven
+/// (meshed AND width-asymmetric).
+void wire_ring(MultipathGraph& g, std::span<const VertexId> lower,
+               std::span<const VertexId> upper, int moves) {
+  const auto n = lower.size();
+  MMLPT_EXPECTS(n == upper.size() && n >= 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    g.add_edge(lower[i], upper[i]);
+    std::size_t second = (i + 1) % n;
+    if (moves > 0 && n >= 4 && i < static_cast<std::size_t>(moves)) {
+      second = (i + 2) % n;  // skip one vertex; its in-degree drops
+    }
+    if (upper[second] != upper[i]) {
+      g.add_edge(lower[i], upper[second]);
+    } else {
+      g.add_edge(lower[i], upper[(i + 1) % n]);
+    }
+  }
+}
+
+}  // namespace
+
+RouteGenerator::RouteGenerator(GeneratorConfig config, std::uint64_t seed)
+    : config_(std::move(config)),
+      rng_(seed),
+      next_addr_(net::Ipv4Address(11, 0, 0, 1).value()) {}
+
+net::Ipv4Address RouteGenerator::fresh_addr() {
+  return net::Ipv4Address(next_addr_++);
+}
+
+RouterSpec RouteGenerator::make_router_spec(bool in_mpls_tunnel,
+                                            bool multi_interface) {
+  RouterSpec spec;
+  spec.id = next_router_id_++;
+
+  const double weights[] = {
+      multi_interface ? config_.alias_ipid_shared : config_.ipid_shared,
+      multi_interface ? config_.alias_ipid_per_interface
+                      : config_.ipid_per_interface,
+      multi_interface ? config_.alias_ipid_constant_zero
+                      : config_.ipid_constant_zero,
+      multi_interface ? config_.alias_ipid_zero_error_counter_echo
+                      : config_.ipid_zero_error_counter_echo,
+      multi_interface ? config_.alias_ipid_echo_probe
+                      : config_.ipid_echo_probe,
+      multi_interface ? config_.alias_ipid_random : config_.ipid_random};
+  switch (rng_.weighted(weights)) {
+    case 0: spec.ip_id_policy = IpIdPolicy::kSharedCounter; break;
+    case 1: spec.ip_id_policy = IpIdPolicy::kPerInterface; break;
+    case 2: spec.ip_id_policy = IpIdPolicy::kConstantZero; break;
+    case 3: spec.ip_id_policy = IpIdPolicy::kZeroErrorCounterEcho; break;
+    case 4: spec.ip_id_policy = IpIdPolicy::kEchoProbe; break;
+    default: spec.ip_id_policy = IpIdPolicy::kRandom; break;
+  }
+  spec.ip_id_velocity = 100.0 * std::pow(10.0, rng_.real() * 1.3);
+
+  const double fp_weights[] = {0.50, 0.30, 0.15, 0.05};
+  switch (rng_.weighted(fp_weights)) {
+    case 0: spec.fingerprint = {255, 255}; break;
+    case 1: spec.fingerprint = {64, 64}; break;
+    case 2: spec.fingerprint = {255, 64}; break;
+    default: spec.fingerprint = {128, 128}; break;
+  }
+  spec.responds_to_indirect = true;
+  spec.responds_to_direct = rng_.chance(config_.responds_to_direct);
+  if (in_mpls_tunnel) {
+    spec.mpls_label = 16 + (spec.id % 0xFFFF0);
+  }
+  return spec;
+}
+
+DiamondTemplate RouteGenerator::make_diamond() {
+  // ---- sample intended shape ----
+  const int length = static_cast<int>(rng_.weighted(config_.length_weights));
+  MMLPT_ASSERT(length >= 2);
+
+  std::vector<double> widths;
+  widths.reserve(config_.width_weights.size());
+  for (const auto& [w, weight] : config_.width_weights) {
+    double adjusted = weight;
+    if (w == 2 && length == 2) adjusted += config_.simple_width2_boost;
+    if (w == 2 && length > 6) adjusted *= 0.3;  // long chains of width 2 rare
+    widths.push_back(adjusted);
+  }
+  const int max_width =
+      config_.width_weights[rng_.weighted(widths)].first;
+
+  const bool meshed =
+      length >= 3 && rng_.chance(config_.meshed_prob_given_long);
+  // Asymmetry must stay mild to reproduce Fig. 8's small probability
+  // differences: injected unevenness needs per-branch fan-out >= 4
+  // (W >= 8 over two branches); odd widths get a natural spread of one
+  // successor; meshed diamonds can take uneven ring wiring (W >= 4).
+  const bool asym_shape_ok =
+      meshed ? max_width >= 4
+             : (max_width >= 8 || (max_width % 2 == 1 && max_width >= 3));
+  const bool asym =
+      length >= 3 && asym_shape_ok &&
+      rng_.chance(meshed ? config_.asym_given_meshed
+                         : config_.asym_given_unmeshed);
+
+  // ---- plan the step sequence (length steps, widths 1 .. W .. 1) ----
+  std::vector<Step> steps;
+  int plateau = length - 2;  // steps left after 1->W and W->1
+  bool split_ascent = false;
+  if (asym && !meshed && plateau >= 1) {
+    split_ascent = true;  // 1 -> a -> W with uneven second expansion
+    plateau -= 1;
+  }
+  const int rings =
+      meshed ? (plateau >= 2 && rng_.chance(config_.second_meshed_pair_prob)
+                    ? 2
+                    : 1)
+             : 0;
+  MMLPT_ASSERT(plateau >= rings);
+
+  if (split_ascent) {
+    const int a = 2;
+    const int branch_fanout = max_width / a;
+    int moves = 0;
+    if (branch_fanout >= 4) {
+      // Injected mild unevenness: shift d successors between branches;
+      // the reach-probability difference stays ~<= 0.25 (Fig. 8).
+      moves = static_cast<int>(rng_.pareto_int(
+          1, static_cast<std::uint64_t>(std::max(1, branch_fanout / 2)),
+          1.5));
+    }
+    // Odd widths additionally carry a natural spread of one successor.
+    steps.push_back({Step::Kind::kExpand, a, 0});
+    steps.push_back({Step::Kind::kExpand, max_width, moves});
+  } else {
+    steps.push_back({Step::Kind::kExpand, max_width, 0});
+  }
+  // Plateau: rings (meshed) then identities, shuffled.
+  std::vector<Step> plateau_steps;
+  for (int i = 0; i < rings; ++i) {
+    const int ring_moves =
+        (asym && meshed && max_width >= 4)
+            ? static_cast<int>(rng_.pareto_int(
+                  1, std::max<std::uint64_t>(1, max_width / 2), 1.2))
+            : 0;
+    plateau_steps.push_back({Step::Kind::kRing, max_width, ring_moves});
+  }
+  for (int i = rings; i < plateau; ++i) {
+    plateau_steps.push_back({Step::Kind::kIdentity, max_width, 0});
+  }
+  rng_.shuffle(plateau_steps);
+  steps.insert(steps.end(), plateau_steps.begin(), plateau_steps.end());
+  steps.push_back({Step::Kind::kContract, 1, 0});
+
+  // ---- build the graph ----
+  DiamondTemplate tmpl;
+  tmpl.is_mpls_tunnel = rng_.chance(config_.mpls_tunnel_prob);
+  MultipathGraph& g = tmpl.truth.graph;
+
+  g.add_hop();
+  std::vector<VertexId> prev{g.add_vertex(0, fresh_addr())};
+  for (std::size_t s = 0; s < steps.size(); ++s) {
+    const auto hop = g.add_hop();
+    std::vector<VertexId> current;
+    const int width = steps[s].to_width;
+    current.reserve(static_cast<std::size_t>(width));
+    for (int i = 0; i < width; ++i) {
+      current.push_back(g.add_vertex(hop, fresh_addr()));
+    }
+    switch (steps[s].kind) {
+      case Step::Kind::kExpand:
+        wire_expand(g, prev, current, steps[s].asym_moves);
+        break;
+      case Step::Kind::kContract:
+        wire_contract(g, prev, current);
+        break;
+      case Step::Kind::kIdentity:
+        wire_identity(g, prev, current);
+        break;
+      case Step::Kind::kRing:
+        wire_ring(g, prev, current, steps[s].asym_moves);
+        break;
+    }
+    prev = std::move(current);
+  }
+  g.validate();
+
+  // ---- router-level ground truth ----
+  const double class_weights[] = {
+      config_.class_no_change, config_.class_single_smaller,
+      config_.class_multiple_smaller, config_.class_one_path};
+  ResolutionClass cls;
+  switch (rng_.weighted(class_weights)) {
+    case 0: cls = ResolutionClass::kNoChange; break;
+    case 1: cls = ResolutionClass::kSingleSmallerDiamond; break;
+    case 2: cls = ResolutionClass::kMultipleSmallerDiamonds; break;
+    default: cls = ResolutionClass::kOnePath; break;
+  }
+  // Calibrated overrides reproducing Fig. 13: the width-56 IP-level peak
+  // resolves away at router level while the width-48 peak persists.
+  if (max_width == 56) {
+    cls = length >= 4 ? ResolutionClass::kMultipleSmallerDiamonds
+                      : ResolutionClass::kSingleSmallerDiamond;
+  } else if (max_width == 48) {
+    cls = ResolutionClass::kNoChange;
+  }
+  // Feasibility fallbacks.
+  if (cls == ResolutionClass::kMultipleSmallerDiamonds && length < 4) {
+    cls = ResolutionClass::kSingleSmallerDiamond;
+  }
+  if (cls == ResolutionClass::kSingleSmallerDiamond && max_width < 3) {
+    cls = ResolutionClass::kNoChange;
+  }
+  tmpl.resolution = cls;
+
+  auto& truth = tmpl.truth;
+  truth.vertex_router.assign(g.vertex_count(), 0);
+  const auto add_singleton = [&](VertexId v) {
+    truth.vertex_router[v] =
+        static_cast<std::uint32_t>(truth.routers.size());
+    truth.routers.push_back(make_router_spec(false, false));
+  };
+
+  // Divergence and convergence points are always their own routers.
+  add_singleton(g.vertices_at(0)[0]);
+
+  std::optional<std::uint16_t> collapse_hop;
+  if (cls == ResolutionClass::kMultipleSmallerDiamonds) {
+    // Collapse a middle interior hop into one router, splitting the
+    // diamond in two at router level.
+    collapse_hop = static_cast<std::uint16_t>(1 + (g.hop_count() - 2) / 2);
+  }
+
+  for (std::uint16_t h = 1; h + 1 < g.hop_count(); ++h) {
+    const auto hop_vertices = g.vertices_at(h);
+    const auto w = hop_vertices.size();
+    std::size_t group_size = 1;
+    switch (cls) {
+      case ResolutionClass::kNoChange:
+        group_size = 1;
+        break;
+      case ResolutionClass::kOnePath:
+        group_size = w;
+        break;
+      case ResolutionClass::kSingleSmallerDiamond:
+        if (w >= 3) {
+          // Mixed router sizes (Fig. 12: 68% size 2, most of the rest
+          // 3..10), capped so the hop keeps at least two routers.
+          const double size_weights[] = {0.60, 0.25, 0.15};
+          group_size = 2 + rng_.weighted(size_weights);
+          group_size = std::min(group_size, w - 1);
+        } else {
+          group_size = 1;
+        }
+        if (max_width == 56 && w >= 8) group_size = w / 4;
+        break;
+      case ResolutionClass::kMultipleSmallerDiamonds:
+        if (collapse_hop && h == *collapse_hop) {
+          group_size = w;
+        } else {
+          group_size = (w >= 4 && rng_.chance(0.5)) ? 2 : 1;
+        }
+        break;
+    }
+    group_size = std::max<std::size_t>(1, std::min(group_size, w));
+    for (std::size_t start = 0; start < w; start += group_size) {
+      const auto router_index =
+          static_cast<std::uint32_t>(truth.routers.size());
+      const bool multi_interface = std::min(group_size, w - start) >= 2;
+      truth.routers.push_back(
+          make_router_spec(tmpl.is_mpls_tunnel, multi_interface));
+      for (std::size_t i = start; i < std::min(start + group_size, w); ++i) {
+        truth.vertex_router[hop_vertices[i]] = router_index;
+      }
+    }
+  }
+  add_singleton(g.vertices_at(g.hop_count() - 1)[0]);
+
+  truth.source = g.vertex(g.vertices_at(0)[0]).addr;
+  truth.destination =
+      g.vertex(g.vertices_at(g.hop_count() - 1)[0]).addr;
+
+  tmpl.metrics = compute_metrics(g);
+  return tmpl;
+}
+
+GroundTruth RouteGenerator::make_route(
+    const std::vector<const DiamondTemplate*>& diamonds) {
+  for (std::size_t i = 0; i < diamonds.size(); ++i) {
+    for (std::size_t j = i + 1; j < diamonds.size(); ++j) {
+      MMLPT_EXPECTS(diamonds[i] != diamonds[j]);
+    }
+  }
+
+  GroundTruth route;
+  MultipathGraph& g = route.graph;
+  const auto add_single_hop = [&](net::Ipv4Address addr) -> VertexId {
+    const auto hop = g.add_hop();
+    const VertexId v = g.add_vertex(hop, addr);
+    route.vertex_router.push_back(
+        static_cast<std::uint32_t>(route.routers.size()));
+    route.routers.push_back(make_router_spec(false, false));
+    return v;
+  };
+
+  // Hop 0: the vantage point itself.
+  VertexId tail = add_single_hop(fresh_addr());
+  route.source = g.vertex(tail).addr;
+
+  const int prefix = static_cast<int>(
+      rng_.uniform(static_cast<std::uint64_t>(config_.min_prefix_hops),
+                   static_cast<std::uint64_t>(config_.max_prefix_hops)));
+  for (int i = 0; i < prefix; ++i) {
+    const VertexId v = add_single_hop(fresh_addr());
+    g.add_edge(tail, v);
+    tail = v;
+  }
+
+  for (std::size_t d = 0; d < diamonds.size(); ++d) {
+    const auto& tmpl = diamonds[d]->truth;
+    // Embed the template graph hop by hop, remapping routers.
+    std::vector<std::uint32_t> router_map(tmpl.routers.size(), UINT32_MAX);
+    std::vector<VertexId> vertex_map(tmpl.graph.vertex_count(),
+                                     kInvalidVertex);
+    for (std::uint16_t th = 0; th < tmpl.graph.hop_count(); ++th) {
+      const auto hop = g.add_hop();
+      for (VertexId tv : tmpl.graph.vertices_at(th)) {
+        const VertexId nv = g.add_vertex(hop, tmpl.graph.vertex(tv).addr);
+        vertex_map[tv] = nv;
+        const std::uint32_t tr = tmpl.vertex_router[tv];
+        if (router_map[tr] == UINT32_MAX) {
+          router_map[tr] = static_cast<std::uint32_t>(route.routers.size());
+          route.routers.push_back(tmpl.routers[tr]);
+        }
+        MMLPT_ASSERT(route.vertex_router.size() == nv);
+        route.vertex_router.push_back(router_map[tr]);
+      }
+    }
+    for (VertexId tv = 0; tv < tmpl.graph.vertex_count(); ++tv) {
+      for (VertexId ts : tmpl.graph.successors(tv)) {
+        g.add_edge(vertex_map[tv], vertex_map[ts]);
+      }
+    }
+    // Link the running tail to the divergence point.
+    g.add_edge(tail, vertex_map[tmpl.graph.vertices_at(0)[0]]);
+    tail = vertex_map[tmpl.graph.vertices_at(tmpl.graph.hop_count() - 1)[0]];
+
+    if (d + 1 < diamonds.size()) {
+      // Optional single hops between diamonds.
+      const int mid = static_cast<int>(rng_.uniform(0, 2));
+      for (int i = 0; i < mid; ++i) {
+        const VertexId v = add_single_hop(fresh_addr());
+        g.add_edge(tail, v);
+        tail = v;
+      }
+    }
+  }
+
+  const int suffix = static_cast<int>(
+      rng_.uniform(static_cast<std::uint64_t>(config_.min_suffix_hops),
+                   static_cast<std::uint64_t>(config_.max_suffix_hops)));
+  for (int i = 0; i < suffix; ++i) {
+    const VertexId v = add_single_hop(fresh_addr());
+    g.add_edge(tail, v);
+    tail = v;
+  }
+  const VertexId dest = add_single_hop(fresh_addr());
+  g.add_edge(tail, dest);
+  route.destination = g.vertex(dest).addr;
+
+  g.validate();
+  MMLPT_ENSURES(route.vertex_router.size() == g.vertex_count());
+  return route;
+}
+
+GroundTruth RouteGenerator::make_route() {
+  const DiamondTemplate tmpl = make_diamond();
+  return make_route({&tmpl});
+}
+
+SurveyWorld::SurveyWorld(GeneratorConfig config, std::size_t distinct_diamonds,
+                         std::uint64_t seed)
+    : generator_(config, seed) {
+  MMLPT_EXPECTS(distinct_diamonds >= 1);
+  templates_.reserve(distinct_diamonds);
+  for (std::size_t i = 0; i < distinct_diamonds; ++i) {
+    templates_.push_back(generator_.make_diamond());
+  }
+  encounter_weights_.reserve(distinct_diamonds);
+  for (std::size_t i = 0; i < distinct_diamonds; ++i) {
+    double weight = 1.0 / std::pow(static_cast<double>(i + 1),
+                                   generator_.config_.encounter_zipf_s);
+    // The 48/56-wide structures are shared infrastructure reached via
+    // many ingress points — they dominate the measured distributions.
+    if (templates_[i].metrics.max_width >= 48 &&
+        !templates_[i].metrics.meshed) {
+      weight *= generator_.config_.wide_encounter_boost;
+    }
+    // Meshed diamonds are re-encountered less often than unmeshed ones:
+    // the paper's meshed fraction is 31% of distinct diamonds but only
+    // 15% of measured ones.
+    if (templates_[i].metrics.meshed) {
+      weight *= 0.55;
+    }
+    encounter_weights_.push_back(weight);
+  }
+}
+
+GroundTruth SurveyWorld::next_route() {
+  auto& rng = generator_.rng();
+  last_templates_.clear();
+  const std::size_t first = rng.weighted(encounter_weights_);
+  last_templates_.push_back(first);
+  std::vector<const DiamondTemplate*> picks{&templates_[first]};
+  if (templates_.size() >= 2 &&
+      rng.chance(generator_.config_.second_diamond_prob)) {
+    std::size_t second = rng.weighted(encounter_weights_);
+    for (int attempts = 0; second == first && attempts < 8; ++attempts) {
+      second = rng.weighted(encounter_weights_);
+    }
+    if (second != first) {
+      last_templates_.push_back(second);
+      picks.push_back(&templates_[second]);
+    }
+  }
+  return generator_.make_route(picks);
+}
+
+}  // namespace mmlpt::topo

@@ -1,0 +1,66 @@
+#include "topology/ground_truth.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/assert.h"
+
+namespace mmlpt::topo {
+
+std::vector<std::size_t> GroundTruth::router_sizes() const {
+  std::vector<std::size_t> sizes(routers.size(), 0);
+  for (std::uint32_t r : vertex_router) {
+    MMLPT_EXPECTS(r < routers.size());
+    ++sizes[r];
+  }
+  return sizes;
+}
+
+MultipathGraph GroundTruth::router_level_graph() const {
+  MMLPT_EXPECTS(vertex_router.size() == graph.vertex_count());
+  MultipathGraph merged;
+  // (hop, router) -> merged vertex id; representative address = lowest
+  // interface address of that router at that hop.
+  std::map<std::pair<std::uint16_t, std::uint32_t>, VertexId> merged_id;
+
+  for (std::uint16_t h = 0; h < graph.hop_count(); ++h) {
+    merged.add_hop();
+    std::map<std::uint32_t, net::Ipv4Address> representative;
+    for (VertexId v : graph.vertices_at(h)) {
+      const std::uint32_t r = vertex_router[v];
+      const auto addr = graph.vertex(v).addr;
+      const auto it = representative.find(r);
+      if (it == representative.end() || addr < it->second) {
+        representative[r] = addr;
+      }
+    }
+    for (const auto& [r, addr] : representative) {
+      merged_id[{h, r}] = merged.add_vertex(h, addr);
+    }
+  }
+
+  for (std::uint16_t h = 0; h + 1 < graph.hop_count(); ++h) {
+    for (VertexId v : graph.vertices_at(h)) {
+      for (VertexId s : graph.successors(v)) {
+        merged.add_edge(merged_id.at({h, vertex_router[v]}),
+                        merged_id.at({static_cast<std::uint16_t>(h + 1),
+                                      vertex_router[s]}));
+      }
+    }
+  }
+  return merged;
+}
+
+std::vector<std::vector<VertexId>> GroundTruth::alias_sets_at(
+    std::uint16_t hop) const {
+  std::map<std::uint32_t, std::vector<VertexId>> by_router;
+  for (VertexId v : graph.vertices_at(hop)) {
+    by_router[vertex_router[v]].push_back(v);
+  }
+  std::vector<std::vector<VertexId>> sets;
+  sets.reserve(by_router.size());
+  for (auto& [r, members] : by_router) sets.push_back(std::move(members));
+  return sets;
+}
+
+}  // namespace mmlpt::topo

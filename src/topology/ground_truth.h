@@ -1,0 +1,85 @@
+// Ground truth for a simulated route: the IP-level multipath graph plus the
+// router-level structure (which IP interfaces belong to which router) and
+// each router's observable behaviours. The Fakeroute simulator animates
+// this description; alias resolution tries to recover it.
+#ifndef MMLPT_TOPOLOGY_GROUND_TRUTH_H
+#define MMLPT_TOPOLOGY_GROUND_TRUTH_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "topology/graph.h"
+
+namespace mmlpt::topo {
+
+/// How a router assigns IP-ID values to the ICMP messages it emits.
+enum class IpIdPolicy : std::uint8_t {
+  kSharedCounter,   ///< one router-wide monotonic counter (MBT-friendly)
+  kPerInterface,    ///< independent counter per interface (indirect MBT splits)
+  kConstantZero,    ///< always 0 (unable for both probing styles)
+  kZeroErrorCounterEcho,  ///< 0 in error replies, counter in echo replies —
+                          ///< the dominant unable-indirect/accept-direct
+                          ///< population of Table 2 / Sec. 5.2
+  kEchoProbe,       ///< copies the probe's IP-ID (MIDAR "copy" failure class)
+  kRandom,          ///< uniformly random (non-monotonic series)
+};
+
+/// TTL families observed by Network Fingerprinting (Vanaubel et al.).
+struct TtlFingerprint {
+  std::uint8_t initial_ttl_error = 255;  ///< ICMP TimeExceeded / Unreachable
+  std::uint8_t initial_ttl_echo = 64;    ///< ICMP EchoReply
+
+  friend bool operator==(const TtlFingerprint&,
+                         const TtlFingerprint&) = default;
+};
+
+struct RouterSpec {
+  std::uint32_t id = 0;
+  IpIdPolicy ip_id_policy = IpIdPolicy::kSharedCounter;
+  /// Baseline counter speed in IDs per second (background traffic).
+  double ip_id_velocity = 500.0;
+  TtlFingerprint fingerprint;
+  bool responds_to_indirect = true;  ///< answers TTL-expiry probes
+  bool responds_to_direct = true;    ///< answers echo probes
+  /// MPLS label for this router's tunnel interfaces, if the route segment
+  /// is an MPLS tunnel (labels constant per interface, shared per router).
+  std::optional<std::uint32_t> mpls_label;
+};
+
+/// How an IP-level diamond changes when resolved to router level (Table 3).
+enum class ResolutionClass : std::uint8_t {
+  kNoChange,
+  kSingleSmallerDiamond,
+  kMultipleSmallerDiamonds,
+  kOnePath,
+};
+
+struct GroundTruth {
+  MultipathGraph graph;
+  /// vertex -> index into `routers`.
+  std::vector<std::uint32_t> vertex_router;
+  std::vector<RouterSpec> routers;
+  net::Ipv4Address source;
+  net::Ipv4Address destination;
+
+  [[nodiscard]] const RouterSpec& router_of(VertexId v) const {
+    return routers[vertex_router[v]];
+  }
+
+  /// Number of interfaces per router (the paper's router "size").
+  [[nodiscard]] std::vector<std::size_t> router_sizes() const;
+
+  /// Merge vertices by router to obtain the router-level graph. The merged
+  /// vertex takes the lowest interface address of the router at that hop.
+  [[nodiscard]] MultipathGraph router_level_graph() const;
+
+  /// True ground-truth alias sets restricted to one hop: lists of vertex
+  /// ids at `hop` grouped by router, including singletons.
+  [[nodiscard]] std::vector<std::vector<VertexId>> alias_sets_at(
+      std::uint16_t hop) const;
+};
+
+}  // namespace mmlpt::topo
+
+#endif  // MMLPT_TOPOLOGY_GROUND_TRUTH_H

@@ -1,0 +1,176 @@
+#include "topology/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace mmlpt::topo {
+
+std::vector<Diamond> extract_diamonds(const MultipathGraph& g) {
+  std::vector<Diamond> diamonds;
+  std::optional<std::uint16_t> open_divergence;
+  for (std::uint16_t h = 0; h < g.hop_count(); ++h) {
+    const bool single = g.vertices_at(h).size() == 1;
+    if (single) {
+      if (open_divergence && h > *open_divergence + 1) {
+        diamonds.push_back({*open_divergence, h});
+      }
+      open_divergence = h;
+    }
+  }
+  return diamonds;
+}
+
+DiamondKey diamond_key(const MultipathGraph& g, const Diamond& d) {
+  const VertexId dv = g.vertices_at(d.divergence_hop)[0];
+  const VertexId cv = g.vertices_at(d.convergence_hop)[0];
+  return {g.vertex(dv).addr.value(), g.vertex(cv).addr.value()};
+}
+
+bool hops_meshed(const MultipathGraph& g, std::uint16_t hop_i) {
+  MMLPT_EXPECTS(hop_i + 1 < g.hop_count());
+  const auto lower = g.vertices_at(hop_i);
+  const auto upper = g.vertices_at(hop_i + 1);
+  const auto max_out = [&] {
+    std::size_t m = 0;
+    for (VertexId v : lower) m = std::max(m, g.out_degree(v));
+    return m;
+  };
+  const auto max_in = [&] {
+    std::size_t m = 0;
+    for (VertexId v : upper) m = std::max(m, g.in_degree(v));
+    return m;
+  };
+  if (lower.size() == upper.size()) {
+    return max_out() >= 2;  // equivalently max_in() >= 2
+  }
+  if (lower.size() < upper.size()) {
+    return max_in() >= 2;
+  }
+  return max_out() >= 2;
+}
+
+int hop_pair_width_asymmetry(const MultipathGraph& g, std::uint16_t hop_i) {
+  MMLPT_EXPECTS(hop_i + 1 < g.hop_count());
+  const auto lower = g.vertices_at(hop_i);
+  const auto upper = g.vertices_at(hop_i + 1);
+  const auto successor_spread = [&] {
+    std::size_t lo = SIZE_MAX;
+    std::size_t hi = 0;
+    for (VertexId v : lower) {
+      lo = std::min(lo, g.out_degree(v));
+      hi = std::max(hi, g.out_degree(v));
+    }
+    return static_cast<int>(hi - lo);
+  };
+  const auto predecessor_spread = [&] {
+    std::size_t lo = SIZE_MAX;
+    std::size_t hi = 0;
+    for (VertexId v : upper) {
+      lo = std::min(lo, g.in_degree(v));
+      hi = std::max(hi, g.in_degree(v));
+    }
+    return static_cast<int>(hi - lo);
+  };
+  if (lower.size() < upper.size()) return successor_spread();
+  if (lower.size() > upper.size()) return predecessor_spread();
+  return std::max(successor_spread(), predecessor_spread());
+}
+
+DiamondMetrics compute_metrics(const MultipathGraph& g, const Diamond& d) {
+  MMLPT_EXPECTS(d.divergence_hop < d.convergence_hop);
+  MMLPT_EXPECTS(d.convergence_hop < g.hop_count());
+  DiamondMetrics m;
+  m.max_length = d.length();
+
+  const auto probabilities = g.reach_probabilities();
+
+  int meshed_pairs = 0;
+  for (std::uint16_t h = d.divergence_hop; h < d.convergence_hop; ++h) {
+    if (hops_meshed(g, h)) {
+      ++meshed_pairs;
+      m.meshed = true;
+    }
+    m.max_width_asymmetry =
+        std::max(m.max_width_asymmetry, hop_pair_width_asymmetry(g, h));
+  }
+  m.meshed_hop_ratio =
+      static_cast<double>(meshed_pairs) / static_cast<double>(d.length());
+
+  for (std::uint16_t h = d.divergence_hop; h <= d.convergence_hop; ++h) {
+    const auto hop_vertices = g.vertices_at(h);
+    m.max_width = std::max(m.max_width, static_cast<int>(hop_vertices.size()));
+    if (hop_vertices.size() >= 2) ++m.multi_vertex_hops;
+
+    double lo = 1.0;
+    double hi = 0.0;
+    for (VertexId v : hop_vertices) {
+      lo = std::min(lo, probabilities[v]);
+      hi = std::max(hi, probabilities[v]);
+    }
+    const double diff = hi - lo;
+    if (diff > 1e-12) m.uniform = false;
+    m.max_probability_difference = std::max(m.max_probability_difference, diff);
+  }
+  return m;
+}
+
+DiamondMetrics compute_metrics(const MultipathGraph& g) {
+  MMLPT_EXPECTS(g.hop_count() >= 3);
+  return compute_metrics(
+      g, Diamond{0, static_cast<std::uint16_t>(g.hop_count() - 1)});
+}
+
+std::optional<double> meshing_miss_probability(const MultipathGraph& g,
+                                               std::uint16_t hop_i, int phi) {
+  MMLPT_EXPECTS(phi >= 2);
+  if (!hops_meshed(g, hop_i)) return std::nullopt;
+  const auto lower = g.vertices_at(hop_i);
+  const auto upper = g.vertices_at(hop_i + 1);
+  const bool forward = lower.size() >= upper.size();
+
+  double miss = 1.0;
+  if (forward) {
+    // P(phi probes through v all take one successor) = 1/outdeg^(phi-1)
+    // under the uniform-dispatch assumption — exactly Eq. (1).
+    for (VertexId v : lower) {
+      const auto k = static_cast<double>(g.out_degree(v));
+      if (k >= 2.0) miss *= 1.0 / std::pow(k, phi - 1);
+    }
+  } else {
+    // Backward: probes known to reach v at hop i+1 arrived via predecessor
+    // u with probability proportional to p(u)/outdeg(u).
+    const auto probabilities = g.reach_probabilities();
+    for (VertexId v : upper) {
+      const auto preds = g.predecessors(v);
+      if (preds.size() < 2) continue;
+      double total = 0.0;
+      for (VertexId u : preds) {
+        total += probabilities[u] / static_cast<double>(g.out_degree(u));
+      }
+      if (total <= 0.0) continue;
+      double same_entry = 0.0;
+      for (VertexId u : preds) {
+        const double w =
+            probabilities[u] / static_cast<double>(g.out_degree(u)) / total;
+        same_entry += std::pow(w, phi);
+      }
+      miss *= same_entry;
+    }
+  }
+  return miss;
+}
+
+std::optional<double> diamond_meshing_miss_probability(const MultipathGraph& g,
+                                                       const Diamond& d,
+                                                       int phi) {
+  std::optional<double> worst;
+  for (std::uint16_t h = d.divergence_hop; h < d.convergence_hop; ++h) {
+    const auto miss = meshing_miss_probability(g, h, phi);
+    if (miss && (!worst || *miss > *worst)) worst = miss;
+  }
+  return worst;
+}
+
+}  // namespace mmlpt::topo

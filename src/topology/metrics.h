@@ -1,0 +1,87 @@
+// Diamond extraction and the paper's diamond metrics (Sec. 2.2 and Sec. 5):
+// maximum width, maximum length, maximum width asymmetry, ratio of meshed
+// hops, uniformity, and the analytic meshing-miss probability of Eq. (1).
+#ifndef MMLPT_TOPOLOGY_METRICS_H
+#define MMLPT_TOPOLOGY_METRICS_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "topology/graph.h"
+
+namespace mmlpt::topo {
+
+/// A diamond inside a layered route graph: a single-vertex divergence hop,
+/// a single-vertex convergence hop two or more hops later, and multi-vertex
+/// hops in between.
+struct Diamond {
+  std::uint16_t divergence_hop = 0;
+  std::uint16_t convergence_hop = 0;
+
+  /// Number of hop pairs (== max length in our layered model).
+  [[nodiscard]] int length() const noexcept {
+    return convergence_hop - divergence_hop;
+  }
+};
+
+/// Identity of a distinct diamond per the paper: its divergence and
+/// convergence addresses (stars treated as distinct from any address).
+struct DiamondKey {
+  std::uint32_t divergence = 0;
+  std::uint32_t convergence = 0;
+  friend auto operator<=>(const DiamondKey&, const DiamondKey&) = default;
+};
+
+/// Scan a route graph for diamonds: maximal segments bounded by
+/// single-vertex hops with at least one multi-vertex hop inside.
+[[nodiscard]] std::vector<Diamond> extract_diamonds(const MultipathGraph& g);
+
+[[nodiscard]] DiamondKey diamond_key(const MultipathGraph& g,
+                                     const Diamond& d);
+
+/// Sec. 2.2 meshing predicate for adjacent hops (i, i+1).
+[[nodiscard]] bool hops_meshed(const MultipathGraph& g, std::uint16_t hop_i);
+
+/// Sec. 5 width-asymmetry metric for adjacent hops (i, i+1).
+[[nodiscard]] int hop_pair_width_asymmetry(const MultipathGraph& g,
+                                           std::uint16_t hop_i);
+
+struct DiamondMetrics {
+  int max_width = 0;
+  int max_length = 0;
+  int max_width_asymmetry = 0;
+  double meshed_hop_ratio = 0.0;
+  bool meshed = false;
+  /// All hops uniform: equal per-vertex reach probability at every hop.
+  bool uniform = true;
+  /// Largest reach-probability difference between two vertices at a common
+  /// hop (Fig. 8's "max probability difference").
+  double max_probability_difference = 0.0;
+  /// Number of multi-vertex hops.
+  int multi_vertex_hops = 0;
+};
+
+[[nodiscard]] DiamondMetrics compute_metrics(const MultipathGraph& g,
+                                             const Diamond& d);
+
+/// Convenience: metrics of a graph that is itself a single diamond
+/// (hop 0 = divergence, last hop = convergence).
+[[nodiscard]] DiamondMetrics compute_metrics(const MultipathGraph& g);
+
+/// Probability that the MDA-Lite's meshing test with parameter `phi`
+/// fails to detect the meshing of hop pair (i, i+1) — Eq. (1) generalized
+/// to non-uniform arrival. Returns nullopt if the pair is not meshed.
+/// Tracing direction follows Sec. 2.3.2: from the hop with more vertices
+/// toward the one with fewer (forward when equal).
+[[nodiscard]] std::optional<double> meshing_miss_probability(
+    const MultipathGraph& g, std::uint16_t hop_i, int phi);
+
+/// Worst (largest) meshing-miss probability across a diamond's meshed hop
+/// pairs; nullopt if the diamond is unmeshed.
+[[nodiscard]] std::optional<double> diamond_meshing_miss_probability(
+    const MultipathGraph& g, const Diamond& d, int phi);
+
+}  // namespace mmlpt::topo
+
+#endif  // MMLPT_TOPOLOGY_METRICS_H

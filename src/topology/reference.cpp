@@ -1,0 +1,214 @@
+#include "topology/reference.h"
+
+#include <vector>
+
+#include "common/assert.h"
+
+namespace mmlpt::topo {
+
+namespace {
+
+/// Build a layered graph from hop widths; wiring is installed by `connect`.
+class Builder {
+ public:
+  Builder(std::uint8_t block, const std::vector<int>& widths) : block_(block) {
+    for (std::size_t h = 0; h < widths.size(); ++h) {
+      graph_.add_hop();
+      std::vector<VertexId> hop_vertices;
+      for (int i = 0; i < widths[h]; ++i) {
+        hop_vertices.push_back(graph_.add_vertex(
+            static_cast<std::uint16_t>(h),
+            reference_addr(block_, static_cast<std::uint8_t>(h),
+                           static_cast<std::uint8_t>(i))));
+      }
+      ids_.push_back(std::move(hop_vertices));
+    }
+  }
+
+  /// Edge by (hop, index) coordinates.
+  void edge(std::size_t hop, int from_index, int to_index) {
+    graph_.add_edge(ids_[hop][static_cast<std::size_t>(from_index)],
+                    ids_[hop + 1][static_cast<std::size_t>(to_index)]);
+  }
+
+  /// Connect every vertex at `hop` to every vertex at hop+1.
+  void full(std::size_t hop) {
+    for (std::size_t i = 0; i < ids_[hop].size(); ++i) {
+      for (std::size_t j = 0; j < ids_[hop + 1].size(); ++j) {
+        edge(hop, static_cast<int>(i), static_cast<int>(j));
+      }
+    }
+  }
+
+  /// Out-degree-1 surjection from a wider (or equal) hop down to the next:
+  /// vertex i -> i * b / a. Unmeshed by construction.
+  void contract(std::size_t hop) {
+    const auto a = ids_[hop].size();
+    const auto b = ids_[hop + 1].size();
+    MMLPT_EXPECTS(a >= b);
+    for (std::size_t i = 0; i < a; ++i) {
+      edge(hop, static_cast<int>(i), static_cast<int>(i * b / a));
+    }
+  }
+
+  /// Even expansion from `a` vertices to `a*k`: vertex i -> [i*k, (i+1)*k).
+  /// Uniform and unmeshed.
+  void expand(std::size_t hop) {
+    const auto a = ids_[hop].size();
+    const auto b = ids_[hop + 1].size();
+    MMLPT_EXPECTS(b % a == 0);
+    const auto k = b / a;
+    for (std::size_t i = 0; i < a; ++i) {
+      for (std::size_t j = 0; j < k; ++j) {
+        edge(hop, static_cast<int>(i), static_cast<int>(i * k + j));
+      }
+    }
+  }
+
+  /// Equal-width ring: vertex i -> {i, i+1 mod n}. Meshed, uniform.
+  void ring(std::size_t hop) {
+    const auto a = ids_[hop].size();
+    MMLPT_EXPECTS(a == ids_[hop + 1].size());
+    for (std::size_t i = 0; i < a; ++i) {
+      edge(hop, static_cast<int>(i), static_cast<int>(i));
+      edge(hop, static_cast<int>(i), static_cast<int>((i + 1) % a));
+    }
+  }
+
+  [[nodiscard]] MultipathGraph take() && {
+    graph_.validate();
+    return std::move(graph_);
+  }
+
+ private:
+  std::uint8_t block_;
+  MultipathGraph graph_;
+  std::vector<std::vector<VertexId>> ids_;
+};
+
+}  // namespace
+
+net::Ipv4Address reference_addr(std::uint8_t block, std::uint8_t hop,
+                                std::uint8_t index) {
+  return net::Ipv4Address(10, block, hop, index);
+}
+
+MultipathGraph simplest_diamond() {
+  Builder b(1, {1, 2, 1});
+  b.full(0);
+  b.full(1);
+  return std::move(b).take();
+}
+
+MultipathGraph fig1_unmeshed() {
+  Builder b(2, {1, 4, 2, 1});
+  b.full(0);
+  b.contract(1);  // two hop-2 vertices per hop-3 vertex, out-degree 1
+  b.full(2);
+  return std::move(b).take();
+}
+
+MultipathGraph fig1_meshed() {
+  Builder b(3, {1, 4, 2, 1});
+  b.full(0);
+  b.full(1);  // every hop-2 vertex reaches both hop-3 vertices
+  b.full(2);
+  return std::move(b).take();
+}
+
+MultipathGraph max_length_2_diamond() {
+  Builder b(4, {1, 28, 1});
+  b.full(0);
+  b.full(1);
+  return std::move(b).take();
+}
+
+MultipathGraph symmetric_diamond() {
+  Builder b(5, {1, 5, 10, 5, 1});
+  b.full(0);
+  b.expand(1);    // 5 -> 10, out-degree 2, in-degree 1
+  b.contract(2);  // 10 -> 5, out-degree 1, in-degree 2
+  b.full(3);
+  return std::move(b).take();
+}
+
+MultipathGraph asymmetric_diamond() {
+  // Nine multi-vertex hops; the 2 -> 19 expansion is lopsided: one vertex
+  // keeps a single successor while the other fans out to 18, giving a
+  // width asymmetry of 17. All out-degree-1 contractions afterwards.
+  Builder b(6, {1, 2, 19, 16, 12, 8, 6, 4, 3, 2, 1});
+  b.full(0);
+  b.edge(1, 0, 0);
+  for (int j = 1; j < 19; ++j) b.edge(1, 1, j);
+  for (std::size_t h = 2; h <= 9; ++h) b.contract(h);
+  return std::move(b).take();
+}
+
+MultipathGraph meshed_diamond() {
+  Builder b(7, {1, 48, 48, 24, 12, 6, 1});
+  b.full(0);
+  b.ring(1);  // meshed pair (1,2)
+  b.contract(2);
+  b.contract(3);
+  b.contract(4);
+  b.full(5);
+  return std::move(b).take();
+}
+
+MultipathGraph fig6_left() {
+  Builder b(8, {1, 2, 5, 3, 1});
+  b.full(0);
+  // a -> {c,d}; b -> {e,f,g}: successor spread 1.
+  b.edge(1, 0, 0);
+  b.edge(1, 0, 1);
+  b.edge(1, 1, 2);
+  b.edge(1, 1, 3);
+  b.edge(1, 1, 4);
+  // {c,d} -> h; {e,f} -> i; g -> j: predecessor spread 1.
+  b.edge(2, 0, 0);
+  b.edge(2, 1, 0);
+  b.edge(2, 2, 1);
+  b.edge(2, 3, 1);
+  b.edge(2, 4, 2);
+  b.full(3);
+  return std::move(b).take();
+}
+
+MultipathGraph prepend_source(const MultipathGraph& g,
+                              net::Ipv4Address source_addr) {
+  MultipathGraph out;
+  out.add_hop();
+  const VertexId source = out.add_vertex(0, source_addr);
+  std::vector<VertexId> map(g.vertex_count(), kInvalidVertex);
+  for (std::uint16_t h = 0; h < g.hop_count(); ++h) {
+    out.add_hop();
+    for (const VertexId v : g.vertices_at(h)) {
+      map[v] = out.add_vertex(static_cast<std::uint16_t>(h + 1),
+                              g.vertex(v).addr);
+    }
+  }
+  out.add_edge(source, map[g.vertices_at(0)[0]]);
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    for (const VertexId s : g.successors(v)) {
+      out.add_edge(map[v], map[s]);
+    }
+  }
+  out.validate();
+  return out;
+}
+
+MultipathGraph fig6_right() {
+  Builder b(9, {1, 3, 3, 4, 4, 1});
+  b.full(0);
+  b.ring(1);  // meshed
+  // 3 -> 4 partition: successor counts 2,1,1; in-degrees 1 (unmeshed).
+  b.edge(2, 0, 0);
+  b.edge(2, 0, 1);
+  b.edge(2, 1, 2);
+  b.edge(2, 2, 3);
+  b.ring(3);  // meshed
+  b.full(4);
+  return std::move(b).take();
+}
+
+}  // namespace mmlpt::topo

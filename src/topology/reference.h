@@ -1,0 +1,59 @@
+// The concrete topologies the paper uses: the Fig. 1 worked examples, the
+// Sec. 2.4.1 simulation diamonds (reconstructed from their published
+// shapes), the Sec. 3 "simplest possible diamond", and the two Fig. 6
+// metric-illustration diamonds.
+#ifndef MMLPT_TOPOLOGY_REFERENCE_H
+#define MMLPT_TOPOLOGY_REFERENCE_H
+
+#include "topology/graph.h"
+
+namespace mmlpt::topo {
+
+/// Deterministic address for reference topologies: 10.<block>.<hop>.<index>.
+[[nodiscard]] net::Ipv4Address reference_addr(std::uint8_t block,
+                                              std::uint8_t hop,
+                                              std::uint8_t index);
+
+/// Divergence point, two vertices, convergence point (Sec. 3): with
+/// per-vertex failure bound 0.05 its exact MDA failure probability is
+/// (1/2)^(n1-1) = 0.03125.
+[[nodiscard]] MultipathGraph simplest_diamond();
+
+/// Fig. 1: divergence, 4-vertex hop, 2-vertex hop, convergence; hop-2
+/// vertices each reach exactly one hop-3 vertex (unmeshed).
+[[nodiscard]] MultipathGraph fig1_unmeshed();
+
+/// Fig. 1 meshed variant: every hop-2 vertex reaches both hop-3 vertices.
+[[nodiscard]] MultipathGraph fig1_meshed();
+
+/// Sec. 2.4.1 "max length 2" diamond: divergence, 28-vertex hop,
+/// convergence (trace pl2.prakinf.tu-ilmenau.de -> 83.167.65.184).
+[[nodiscard]] MultipathGraph max_length_2_diamond();
+
+/// Sec. 2.4.1 "symmetric" diamond: three multi-vertex hops, widths
+/// 5-10-5, uniform and unmeshed (ple1.cesnet.cz -> 203.195.189.3).
+[[nodiscard]] MultipathGraph symmetric_diamond();
+
+/// Sec. 2.4.1 "asymmetric" diamond: nine multi-vertex hops, max width 19,
+/// width asymmetry 17, unmeshed (kulcha.mimuw.edu.pl -> 61.6.250.1).
+[[nodiscard]] MultipathGraph asymmetric_diamond();
+
+/// Sec. 2.4.1 "meshed" diamond: five multi-vertex hops, max width 48
+/// (ple2.planetlab.eu -> 125.155.82.17).
+[[nodiscard]] MultipathGraph meshed_diamond();
+
+/// Fig. 6 left diamond: max length 4, max width 5, max width asymmetry 1.
+[[nodiscard]] MultipathGraph fig6_left();
+
+/// Fig. 6 right diamond: ratio of meshed hops 0.4 (2 of 5 pairs).
+[[nodiscard]] MultipathGraph fig6_right();
+
+/// A copy of `g` with a single-vertex hop prepended — the vantage point —
+/// so hop numbering matches the paper's figures, where the divergence
+/// point sits at TTL 1 (probed) rather than being the trace source.
+[[nodiscard]] MultipathGraph prepend_source(const MultipathGraph& g,
+                                            net::Ipv4Address source_addr);
+
+}  // namespace mmlpt::topo
+
+#endif  // MMLPT_TOPOLOGY_REFERENCE_H

@@ -1,0 +1,79 @@
+#include "topology/serialize.h"
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace mmlpt::topo {
+
+std::string serialize(const MultipathGraph& g) {
+  std::ostringstream out;
+  out << "hops " << g.hop_count() << '\n';
+  for (std::uint16_t h = 0; h < g.hop_count(); ++h) {
+    for (VertexId v : g.vertices_at(h)) {
+      const auto& addr = g.vertex(v).addr;
+      out << "vertex " << h << ' '
+          << (addr.is_unspecified() ? std::string("*") : addr.to_string())
+          << '\n';
+    }
+  }
+  for (std::uint16_t h = 0; h < g.hop_count(); ++h) {
+    for (VertexId v : g.vertices_at(h)) {
+      for (VertexId s : g.successors(v)) {
+        out << "edge " << g.vertex(v).addr.to_string() << ' '
+            << g.vertex(s).addr.to_string() << '\n';
+      }
+    }
+  }
+  return out.str();
+}
+
+MultipathGraph deserialize(std::string_view text) {
+  MultipathGraph g;
+  bool have_hops = false;
+  std::size_t line_number = 0;
+  for (const auto& raw_line : split(text, '\n')) {
+    ++line_number;
+    const auto line = trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    const auto fail = [&](const std::string& why) -> void {
+      throw ParseError("topology line " + std::to_string(line_number) + ": " +
+                       why);
+    };
+
+    const auto tokens = split(line, ' ');
+    if (tokens[0] == "hops") {
+      if (tokens.size() != 2) fail("expected 'hops <count>'");
+      const int count = std::stoi(tokens[1]);
+      if (count <= 0 || count > 256) fail("hop count out of range");
+      for (int i = 0; i < count; ++i) g.add_hop();
+      have_hops = true;
+    } else if (tokens[0] == "vertex") {
+      if (!have_hops) fail("'vertex' before 'hops'");
+      if (tokens.size() != 3) fail("expected 'vertex <hop> <addr>'");
+      const int hop = std::stoi(tokens[1]);
+      if (hop < 0 || hop >= g.hop_count()) fail("hop out of range");
+      if (tokens[2] == "*") {
+        (void)g.add_vertex(static_cast<std::uint16_t>(hop), {});
+      } else {
+        (void)g.add_vertex(static_cast<std::uint16_t>(hop),
+                           net::Ipv4Address::parse_or_throw(tokens[2]));
+      }
+    } else if (tokens[0] == "edge") {
+      if (tokens.size() != 3) fail("expected 'edge <from> <to>'");
+      const auto from = g.find(net::Ipv4Address::parse_or_throw(tokens[1]));
+      const auto to = g.find(net::Ipv4Address::parse_or_throw(tokens[2]));
+      if (from == kInvalidVertex || to == kInvalidVertex) {
+        fail("edge references unknown vertex");
+      }
+      g.add_edge(from, to);
+    } else {
+      fail("unknown directive '" + tokens[0] + "'");
+    }
+  }
+  g.validate();
+  return g;
+}
+
+}  // namespace mmlpt::topo

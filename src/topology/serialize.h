@@ -1,0 +1,27 @@
+// Plain-text (de)serialisation of multipath graphs, in the spirit of the
+// original Fakeroute's topology input files.
+//
+// Format (order matters only in that hops/vertices precede edges):
+//   # comment
+//   hops <count>
+//   vertex <hop> <dotted-quad | *>
+//   edge <from-addr> <to-addr>
+#ifndef MMLPT_TOPOLOGY_SERIALIZE_H
+#define MMLPT_TOPOLOGY_SERIALIZE_H
+
+#include <string>
+#include <string_view>
+
+#include "topology/graph.h"
+
+namespace mmlpt::topo {
+
+[[nodiscard]] std::string serialize(const MultipathGraph& g);
+
+/// Parse the text format; throws mmlpt::ParseError / TopologyError on
+/// malformed input. Star vertices ("*") are not addressable by edges.
+[[nodiscard]] MultipathGraph deserialize(std::string_view text);
+
+}  // namespace mmlpt::topo
+
+#endif  // MMLPT_TOPOLOGY_SERIALIZE_H

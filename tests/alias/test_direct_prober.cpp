@@ -1,0 +1,121 @@
+#include "alias/direct_prober.h"
+
+#include <gtest/gtest.h>
+
+#include "core/validation.h"
+#include "fakeroute/simulator.h"
+#include "probe/simulated_network.h"
+#include "topology/reference.h"
+
+namespace mmlpt::alias {
+namespace {
+
+struct Rig {
+  topo::GroundTruth truth;
+  fakeroute::Simulator simulator;
+  probe::SimulatedNetwork network;
+  probe::ProbeEngine engine;
+
+  explicit Rig(topo::GroundTruth t, std::uint64_t seed = 1)
+      : truth(std::move(t)),
+        simulator(truth, {}, seed),
+        network(simulator),
+        engine(network, make_config(truth)) {}
+
+  static probe::ProbeEngine::Config make_config(const topo::GroundTruth& t) {
+    probe::ProbeEngine::Config c;
+    c.source = net::Ipv4Address(192, 168, 0, 1);
+    c.destination = t.destination;
+    return c;
+  }
+};
+
+/// Simplest diamond whose middle interfaces share one router.
+topo::GroundTruth aliased_truth(topo::IpIdPolicy policy) {
+  auto truth = core::plain_ground_truth(topo::simplest_diamond());
+  truth.vertex_router = {0, 1, 1, 2};
+  truth.routers.resize(3);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    truth.routers[i].id = i;
+    truth.routers[i].ip_id_policy = policy;
+  }
+  return truth;
+}
+
+TEST(DirectProber, DetectsRouterWideCounter) {
+  Rig rig(aliased_truth(topo::IpIdPolicy::kSharedCounter));
+  DirectProber prober(rig.engine);
+  const net::Ipv4Address addrs[] = {topo::reference_addr(1, 1, 0),
+                                    topo::reference_addr(1, 1, 1)};
+  const auto resolver = prober.collect(addrs);
+  const auto sets = resolver.resolve(addrs);
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0].outcome, Outcome::kAccept);
+}
+
+TEST(DirectProber, SplitsSeparateRouters) {
+  // Each interface its own router: counters are independent.
+  Rig rig(core::plain_ground_truth(topo::simplest_diamond()), 3);
+  DirectProber prober(rig.engine);
+  const net::Ipv4Address addrs[] = {topo::reference_addr(1, 1, 0),
+                                    topo::reference_addr(1, 1, 1)};
+  const auto resolver = prober.collect(addrs);
+  const auto sets = resolver.resolve(addrs);
+  EXPECT_EQ(sets.size(), 2u);
+}
+
+TEST(DirectProber, PerInterfacePolicyStillAcceptsViaEcho) {
+  // The Sec. 4.2 phenomenon: routers with per-interface counters for
+  // Time Exceeded use a router-wide counter for Echo Reply, so direct
+  // probing accepts what indirect probing rejects.
+  Rig rig(aliased_truth(topo::IpIdPolicy::kPerInterface));
+  DirectProber prober(rig.engine);
+  const net::Ipv4Address addrs[] = {topo::reference_addr(1, 1, 0),
+                                    topo::reference_addr(1, 1, 1)};
+  const auto resolver = prober.collect(addrs);
+  const auto sets = resolver.resolve(addrs);
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0].outcome, Outcome::kAccept);
+}
+
+TEST(DirectProber, UnresponsiveTargetsUnable) {
+  auto truth = aliased_truth(topo::IpIdPolicy::kSharedCounter);
+  truth.routers[1].responds_to_direct = false;
+  Rig rig(std::move(truth));
+  DirectProber prober(rig.engine);
+  const net::Ipv4Address addrs[] = {topo::reference_addr(1, 1, 0),
+                                    topo::reference_addr(1, 1, 1)};
+  const auto resolver = prober.collect(addrs);
+  const auto sets = resolver.resolve(addrs);
+  for (const auto& s : sets) {
+    EXPECT_EQ(s.outcome, Outcome::kUnable);
+  }
+}
+
+TEST(DirectProber, EchoIpIdCopyUnable) {
+  Rig rig(aliased_truth(topo::IpIdPolicy::kEchoProbe));
+  DirectProber prober(rig.engine);
+  const net::Ipv4Address addrs[] = {topo::reference_addr(1, 1, 0),
+                                    topo::reference_addr(1, 1, 1)};
+  const auto resolver = prober.collect(addrs);
+  const auto sets = resolver.resolve(addrs);
+  for (const auto& s : sets) {
+    EXPECT_EQ(s.outcome, Outcome::kUnable);
+  }
+}
+
+TEST(DirectProber, PacketBudget) {
+  Rig rig(aliased_truth(topo::IpIdPolicy::kSharedCounter));
+  DirectProber::Config config;
+  config.rounds = 2;
+  config.samples_per_round = 5;
+  DirectProber prober(rig.engine, config);
+  const net::Ipv4Address addrs[] = {topo::reference_addr(1, 1, 0),
+                                    topo::reference_addr(1, 1, 1)};
+  (void)prober.collect(addrs);
+  // 2 rounds x 5 samples x 2 addresses = 20 echo probes.
+  EXPECT_EQ(rig.engine.echo_probes_sent(), 20u);
+}
+
+}  // namespace
+}  // namespace mmlpt::alias

@@ -1,0 +1,67 @@
+#include "alias/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+namespace mmlpt::alias {
+namespace {
+
+TEST(Fingerprint, InferInitialTtlBuckets) {
+  EXPECT_EQ(infer_initial_ttl(1), 32);
+  EXPECT_EQ(infer_initial_ttl(32), 32);
+  EXPECT_EQ(infer_initial_ttl(33), 64);
+  EXPECT_EQ(infer_initial_ttl(64), 64);
+  EXPECT_EQ(infer_initial_ttl(65), 128);
+  EXPECT_EQ(infer_initial_ttl(128), 128);
+  EXPECT_EQ(infer_initial_ttl(129), 255);
+  EXPECT_EQ(infer_initial_ttl(255), 255);
+}
+
+TEST(Fingerprint, SignatureMerging) {
+  Signature s;
+  EXPECT_FALSE(s.error_initial.has_value());
+  s.merge_error_ttl(250);
+  ASSERT_TRUE(s.error_initial.has_value());
+  EXPECT_EQ(*s.error_initial, 255);
+  s.merge_echo_ttl(60);
+  ASSERT_TRUE(s.echo_initial.has_value());
+  EXPECT_EQ(*s.echo_initial, 64);
+}
+
+TEST(Fingerprint, IncompatibleOnErrorComponent) {
+  Signature a;
+  Signature b;
+  a.merge_error_ttl(250);  // 255
+  b.merge_error_ttl(60);   // 64
+  EXPECT_TRUE(signatures_incompatible(a, b));
+}
+
+TEST(Fingerprint, IncompatibleOnEchoComponent) {
+  Signature a;
+  Signature b;
+  a.merge_error_ttl(250);
+  b.merge_error_ttl(251);
+  a.merge_echo_ttl(60);
+  b.merge_echo_ttl(120);
+  EXPECT_TRUE(signatures_incompatible(a, b));
+}
+
+TEST(Fingerprint, MissingComponentsNeverIncompatible) {
+  Signature a;
+  Signature b;
+  EXPECT_FALSE(signatures_incompatible(a, b));
+  a.merge_error_ttl(250);
+  EXPECT_FALSE(signatures_incompatible(a, b));
+  b.merge_echo_ttl(60);
+  EXPECT_FALSE(signatures_incompatible(a, b));  // disjoint components
+}
+
+TEST(Fingerprint, SameBucketsCompatible) {
+  Signature a;
+  Signature b;
+  a.merge_error_ttl(250);
+  b.merge_error_ttl(240);  // both infer 255
+  EXPECT_FALSE(signatures_incompatible(a, b));
+}
+
+}  // namespace
+}  // namespace mmlpt::alias

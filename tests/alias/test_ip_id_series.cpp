@@ -1,0 +1,92 @@
+#include "alias/ip_id_series.h"
+
+#include <gtest/gtest.h>
+
+namespace mmlpt::alias {
+namespace {
+
+IpIdSeries make_series(std::initializer_list<std::uint16_t> ids,
+                       Nanos step = 1'000'000) {
+  IpIdSeries s;
+  Nanos t = 1'000'000'000;
+  for (const auto id : ids) {
+    s.add(t, id, 0);
+    t += step;
+  }
+  return s;
+}
+
+TEST(IpIdSeries, TooFew) {
+  EXPECT_EQ(make_series({1, 2}).classify(), SeriesClass::kTooFew);
+  EXPECT_EQ(IpIdSeries{}.classify(), SeriesClass::kTooFew);
+}
+
+TEST(IpIdSeries, Constant) {
+  EXPECT_EQ(make_series({7, 7, 7, 7}).classify(), SeriesClass::kConstant);
+  EXPECT_EQ(make_series({0, 0, 0}).classify(), SeriesClass::kConstant);
+}
+
+TEST(IpIdSeries, Monotonic) {
+  EXPECT_EQ(make_series({10, 20, 30, 35}).classify(),
+            SeriesClass::kMonotonic);
+}
+
+TEST(IpIdSeries, MonotonicAcrossWraparound) {
+  EXPECT_EQ(make_series({65500, 65530, 10, 40}).classify(),
+            SeriesClass::kMonotonic);
+}
+
+TEST(IpIdSeries, NonMonotonic) {
+  EXPECT_EQ(make_series({10, 50000, 20, 60000}).classify(),
+            SeriesClass::kNonMonotonic);
+}
+
+TEST(IpIdSeries, EchoOfProbe) {
+  IpIdSeries s;
+  for (int i = 0; i < 10; ++i) {
+    s.add(1'000'000'000 + i * 1'000'000, static_cast<std::uint16_t>(100 + i),
+          static_cast<std::uint16_t>(100 + i));
+  }
+  EXPECT_EQ(s.classify(), SeriesClass::kEchoOfProbe);
+}
+
+TEST(IpIdSeries, VelocityEstimate) {
+  // 100 IDs over 100 ms -> 1000 IDs/s.
+  IpIdSeries s;
+  for (int i = 0; i <= 10; ++i) {
+    s.add(1'000'000'000 + static_cast<Nanos>(i) * 10'000'000,
+          static_cast<std::uint16_t>(i * 10), 0);
+  }
+  EXPECT_NEAR(s.velocity(), 1000.0, 1.0);
+}
+
+TEST(IpIdSeries, VelocityAcrossWrap) {
+  IpIdSeries s;
+  s.add(1'000'000'000, 65530, 0);
+  s.add(1'100'000'000, 20, 0);  // +26 over 100 ms
+  EXPECT_NEAR(s.velocity(), 260.0, 1.0);
+}
+
+TEST(IpIdSeries, OutOfOrderInsertSorted) {
+  IpIdSeries s;
+  s.add(2'000'000'000, 20, 0);
+  s.add(1'000'000'000, 10, 0);
+  s.add(3'000'000'000, 30, 0);
+  EXPECT_EQ(s.classify(), SeriesClass::kMonotonic);
+  EXPECT_EQ(s.samples().front().id, 10);
+}
+
+TEST(Wrap16, Delta) {
+  EXPECT_EQ(wrap16_delta(10, 15), 5);
+  EXPECT_EQ(wrap16_delta(65530, 4), 10);
+  EXPECT_EQ(wrap16_delta(15, 10), 65531);
+}
+
+TEST(Monotonic16, RespectsMaxStep) {
+  IpIdSeries s = make_series({0, 1000});
+  EXPECT_TRUE(monotonic_mod16(s.samples()));
+  EXPECT_FALSE(monotonic_mod16(s.samples(), 500));
+}
+
+}  // namespace
+}  // namespace mmlpt::alias

@@ -1,0 +1,124 @@
+#include "alias/mbt.h"
+
+#include <gtest/gtest.h>
+
+namespace mmlpt::alias {
+namespace {
+
+/// Interleaved samples of one shared counter observed via two addresses.
+std::pair<IpIdSeries, IpIdSeries> shared_counter(std::uint16_t start,
+                                                 int step, int n) {
+  IpIdSeries a;
+  IpIdSeries b;
+  Nanos t = 1'000'000'000;
+  std::uint16_t id = start;
+  for (int i = 0; i < n; ++i) {
+    ((i % 2 == 0) ? a : b).add(t, id, 0);
+    t += 1'000'000;
+    id = static_cast<std::uint16_t>(id + step);
+  }
+  return {std::move(a), std::move(b)};
+}
+
+/// Two independent counters at different phases.
+std::pair<IpIdSeries, IpIdSeries> independent_counters() {
+  IpIdSeries a;
+  IpIdSeries b;
+  Nanos t = 1'000'000'000;
+  std::uint16_t ida = 100;
+  std::uint16_t idb = 40000;
+  for (int i = 0; i < 20; ++i) {
+    a.add(t, ida, 0);
+    t += 1'000'000;
+    b.add(t, idb, 0);
+    t += 1'000'000;
+    ida += 3;
+    idb += 5;
+  }
+  return {std::move(a), std::move(b)};
+}
+
+TEST(Mbt, SharedCounterCompatible) {
+  const auto [a, b] = shared_counter(500, 2, 40);
+  EXPECT_TRUE(mbt_compatible(a, b));
+}
+
+TEST(Mbt, SharedCounterAcrossWrapCompatible) {
+  const auto [a, b] = shared_counter(65500, 3, 40);
+  EXPECT_TRUE(mbt_compatible(a, b));
+}
+
+TEST(Mbt, IndependentCountersIncompatible) {
+  const auto [a, b] = independent_counters();
+  EXPECT_FALSE(mbt_compatible(a, b));
+}
+
+TEST(Mbt, SingleOutOfSequenceSampleSplits) {
+  auto [a, b] = shared_counter(1000, 2, 40);
+  // Corrupt one of b's samples backwards.
+  IpIdSeries corrupted;
+  bool first = true;
+  for (const auto& s : b.samples()) {
+    corrupted.add(s.time, first ? 900 : s.id, s.probe_id);
+    first = false;
+  }
+  EXPECT_FALSE(mbt_compatible(a, corrupted));
+}
+
+TEST(Mbt, PartitionGroupsSharedCounters) {
+  // Four addresses: {0,1} share counter X, {2,3} share counter Y.
+  IpIdSeries s0, s1, s2, s3;
+  Nanos t = 1'000'000'000;
+  std::uint16_t x = 100;
+  std::uint16_t y = 30000;
+  for (int i = 0; i < 20; ++i) {
+    s0.add(t, x, 0); t += 500'000; x += 2;
+    s2.add(t, y, 0); t += 500'000; y += 4;
+    s1.add(t, x, 0); t += 500'000; x += 2;
+    s3.add(t, y, 0); t += 500'000; y += 4;
+  }
+  const IpIdSeries* series[] = {&s0, &s1, &s2, &s3};
+  const auto groups = mbt_partition(series);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0], (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(groups[1], (std::vector<std::size_t>{2, 3}));
+}
+
+TEST(Mbt, PartitionAllSeparate) {
+  IpIdSeries s0, s1, s2;
+  Nanos t = 1'000'000'000;
+  // Deliberately conflicting phases.
+  const std::uint16_t starts[] = {100, 40000, 20000};
+  IpIdSeries* all[] = {&s0, &s1, &s2};
+  for (int i = 0; i < 15; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      all[j]->add(t, static_cast<std::uint16_t>(starts[j] + i * 7), 0);
+      t += 400'000;
+    }
+  }
+  const IpIdSeries* series[] = {&s0, &s1, &s2};
+  EXPECT_EQ(mbt_partition(series).size(), 3u);
+}
+
+TEST(Mbt, EmptyInput) {
+  EXPECT_TRUE(mbt_partition({}).empty());
+}
+
+TEST(Mbt, ThreeWaySharedCounter) {
+  IpIdSeries s0, s1, s2;
+  Nanos t = 1'000'000'000;
+  std::uint16_t id = 9000;
+  IpIdSeries* all[] = {&s0, &s1, &s2};
+  for (int i = 0; i < 30; ++i) {
+    all[i % 3]->add(t, id, 0);
+    t += 700'000;
+    id += 3;
+  }
+  const IpIdSeries* series[] = {&s0, &s1, &s2};
+  const auto groups = mbt_partition(series);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 3u);
+}
+
+}  // namespace
+}  // namespace mmlpt::alias

@@ -1,0 +1,140 @@
+#include "alias/resolver.h"
+
+#include <gtest/gtest.h>
+
+namespace mmlpt::alias {
+namespace {
+
+const net::Ipv4Address kA(10, 0, 0, 1);
+const net::Ipv4Address kB(10, 0, 0, 2);
+const net::Ipv4Address kC(10, 0, 0, 3);
+const net::Ipv4Address kD(10, 0, 0, 4);
+
+/// Feed `resolver` interleaved samples: addresses in `group` share one
+/// counter starting at `start` with `step` per sample.
+void feed_shared(AliasResolver& resolver,
+                 const std::vector<net::Ipv4Address>& group,
+                 std::uint16_t start, int step, Nanos t0, int rounds = 15) {
+  std::uint16_t id = start;
+  Nanos t = t0;
+  for (int i = 0; i < rounds; ++i) {
+    for (const auto addr : group) {
+      resolver.add_ip_id_sample(addr, t, id, 0);
+      t += 1'000'000;
+      id = static_cast<std::uint16_t>(id + step);
+    }
+  }
+}
+
+TEST(AliasResolver, AcceptsSharedCounterPair) {
+  AliasResolver r;
+  feed_shared(r, {kA, kB}, 100, 2, 1'000'000'000);
+  const net::Ipv4Address candidates[] = {kA, kB};
+  const auto sets = r.resolve(candidates);
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0].outcome, Outcome::kAccept);
+  EXPECT_EQ(sets[0].members.size(), 2u);
+}
+
+TEST(AliasResolver, SplitsIndependentCounters) {
+  AliasResolver r;
+  feed_shared(r, {kA}, 100, 2, 1'000'000'000);
+  feed_shared(r, {kB}, 40000, 5, 1'000'500'000);
+  const net::Ipv4Address candidates[] = {kA, kB};
+  const auto sets = r.resolve(candidates);
+  ASSERT_EQ(sets.size(), 2u);
+  EXPECT_EQ(sets[0].outcome, Outcome::kReject);
+  EXPECT_EQ(sets[1].outcome, Outcome::kReject);
+}
+
+TEST(AliasResolver, ConstantSeriesUnable) {
+  AliasResolver r;
+  for (int i = 0; i < 10; ++i) {
+    r.add_ip_id_sample(kA, 1'000'000'000 + i * 1'000'000, 0, 0);
+  }
+  feed_shared(r, {kB, kC}, 500, 3, 1'000'000'000);
+  const net::Ipv4Address candidates[] = {kA, kB, kC};
+  const auto sets = r.resolve(candidates);
+  ASSERT_EQ(sets.size(), 2u);
+  EXPECT_EQ(sets[0].outcome, Outcome::kUnable);  // kA: constant zero
+  EXPECT_EQ(sets[0].members[0], kA);
+  EXPECT_EQ(sets[1].outcome, Outcome::kAccept);  // kB,kC aliased
+}
+
+TEST(AliasResolver, FingerprintSplitsDespiteCompatibleCounters) {
+  AliasResolver r;
+  feed_shared(r, {kA, kB}, 100, 2, 1'000'000'000);
+  r.add_error_reply_ttl(kA, 250);  // initial 255
+  r.add_error_reply_ttl(kB, 60);   // initial 64
+  const net::Ipv4Address candidates[] = {kA, kB};
+  const auto sets = r.resolve(candidates);
+  ASSERT_EQ(sets.size(), 2u);
+  EXPECT_EQ(sets[0].outcome, Outcome::kReject);
+}
+
+TEST(AliasResolver, MplsSplitsDespiteCompatibleCounters) {
+  AliasResolver r;
+  feed_shared(r, {kA, kB}, 100, 2, 1'000'000'000);
+  const net::MplsLabelEntry la[] = {{111, 0, true, 3}};
+  const net::MplsLabelEntry lb[] = {{222, 0, true, 3}};
+  for (int i = 0; i < 3; ++i) {
+    r.add_mpls(kA, la);
+    r.add_mpls(kB, lb);
+  }
+  const net::Ipv4Address candidates[] = {kA, kB};
+  const auto sets = r.resolve(candidates);
+  ASSERT_EQ(sets.size(), 2u);
+}
+
+TEST(AliasResolver, TwoRoutersTwoSets) {
+  AliasResolver r;
+  feed_shared(r, {kA, kB}, 100, 2, 1'000'000'000);
+  feed_shared(r, {kC, kD}, 30000, 4, 1'000'250'000);
+  const net::Ipv4Address candidates[] = {kA, kB, kC, kD};
+  const auto sets = r.resolve(candidates);
+  int accepted = 0;
+  for (const auto& s : sets) {
+    if (s.outcome == Outcome::kAccept) {
+      ++accepted;
+      EXPECT_EQ(s.members.size(), 2u);
+    }
+  }
+  EXPECT_EQ(accepted, 2);
+}
+
+TEST(AliasResolver, LoneCandidateUnable) {
+  AliasResolver r;
+  feed_shared(r, {kA}, 100, 2, 1'000'000'000);
+  const net::Ipv4Address candidates[] = {kA};
+  const auto sets = r.resolve(candidates);
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0].outcome, Outcome::kUnable);
+}
+
+TEST(AliasResolver, ClassifySet) {
+  AliasResolver r;
+  feed_shared(r, {kA, kB}, 100, 2, 1'000'000'000);
+  feed_shared(r, {kC}, 40000, 5, 1'000'500'000);
+  for (int i = 0; i < 10; ++i) {
+    r.add_ip_id_sample(kD, 1'000'000'000 + i * 1'000'000, 0, 0);
+  }
+  const net::Ipv4Address pair_ab[] = {kA, kB};
+  EXPECT_EQ(r.classify_set(pair_ab), Outcome::kAccept);
+  const net::Ipv4Address pair_ac[] = {kA, kC};
+  EXPECT_EQ(r.classify_set(pair_ac), Outcome::kReject);
+  const net::Ipv4Address pair_ad[] = {kA, kD};
+  EXPECT_EQ(r.classify_set(pair_ad), Outcome::kUnable);
+  const net::Ipv4Address single[] = {kA};
+  EXPECT_EQ(r.classify_set(single), Outcome::kUnable);
+}
+
+TEST(AliasResolver, SeriesAccessor) {
+  AliasResolver r;
+  EXPECT_EQ(r.series_of(kA), nullptr);
+  r.add_ip_id_sample(kA, 1'000'000'000, 5, 0);
+  ASSERT_NE(r.series_of(kA), nullptr);
+  EXPECT_EQ(r.series_of(kA)->size(), 1u);
+}
+
+}  // namespace
+}  // namespace mmlpt::alias

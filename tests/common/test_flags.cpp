@@ -1,0 +1,69 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/error.h"
+
+namespace mmlpt {
+namespace {
+
+Flags make_flags(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  std::vector<char*> argv;
+  for (auto& s : storage) argv.push_back(s.data());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsForm) {
+  const auto f = make_flags({"--pairs=100", "--seed=7"});
+  EXPECT_EQ(f.get_int("pairs", 0), 100);
+  EXPECT_EQ(f.get_uint("seed", 0), 7u);
+}
+
+TEST(Flags, SpaceForm) {
+  const auto f = make_flags({"--name", "value"});
+  EXPECT_EQ(f.get("name", ""), "value");
+}
+
+TEST(Flags, BareBoolean) {
+  const auto f = make_flags({"--verbose"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  EXPECT_FALSE(f.get_bool("quiet", false));
+}
+
+TEST(Flags, Fallbacks) {
+  const auto f = make_flags({});
+  EXPECT_EQ(f.get("missing", "dflt"), "dflt");
+  EXPECT_EQ(f.get_int("missing", -3), -3);
+  EXPECT_DOUBLE_EQ(f.get_double("missing", 2.5), 2.5);
+}
+
+TEST(Flags, Positional) {
+  const auto f = make_flags({"pos1", "--k=v", "pos2"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "pos1");
+  EXPECT_EQ(f.positional()[1], "pos2");
+}
+
+TEST(Flags, DoubleParsing) {
+  const auto f = make_flags({"--alpha=0.05"});
+  EXPECT_DOUBLE_EQ(f.get_double("alpha", 1.0), 0.05);
+}
+
+TEST(Flags, MalformedNumberThrows) {
+  const auto f = make_flags({"--n=abc"});
+  EXPECT_THROW((void)f.get_int("n", 0), ConfigError);
+}
+
+TEST(Flags, Has) {
+  const auto f = make_flags({"--x=1"});
+  EXPECT_TRUE(f.has("x"));
+  EXPECT_FALSE(f.has("y"));
+}
+
+}  // namespace
+}  // namespace mmlpt

@@ -1,0 +1,70 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace mmlpt {
+namespace {
+
+TEST(JsonWriter, FlatObject) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("a");
+  w.value(std::int64_t{1});
+  w.key("b");
+  w.value("two");
+  w.key("c");
+  w.value(true);
+  w.end_object();
+  EXPECT_EQ(w.view(), R"({"a":1,"b":"two","c":true})");
+}
+
+TEST(JsonWriter, NestedContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("list");
+  w.begin_array();
+  w.value(std::int64_t{1});
+  w.begin_object();
+  w.key("x");
+  w.value_null();
+  w.end_object();
+  w.begin_array();
+  w.end_array();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.view(), R"({"list":[1,{"x":null},[]]})");
+}
+
+TEST(JsonWriter, EscapesSpecials) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("text");
+  w.value("line\nquote\" slash\\ tab\t");
+  w.end_object();
+  EXPECT_EQ(w.view(), "{\"text\":\"line\\nquote\\\" slash\\\\ tab\\t\"}");
+}
+
+TEST(JsonWriter, EscapesControlBytes) {
+  EXPECT_EQ(JsonWriter::escape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriter, Doubles) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(0.5);
+  w.value(std::uint64_t{12345678901234ULL});
+  w.end_array();
+  EXPECT_EQ(w.view(), "[0.5,12345678901234]");
+}
+
+TEST(JsonWriter, TopLevelArrayOfStrings) {
+  JsonWriter w;
+  w.begin_array();
+  w.value("a");
+  w.value("b");
+  w.end_array();
+  EXPECT_EQ(w.view(), R"(["a","b"])");
+}
+
+}  // namespace
+}  // namespace mmlpt

@@ -1,0 +1,143 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/error.h"
+
+namespace mmlpt {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform(0, 1'000'000), b.uniform(0, 1'000'000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform(0, 1'000'000) == b.uniform(0, 1'000'000)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformSingleton) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform(5, 5), 5u);
+}
+
+TEST(Rng, UniformRejectsInvertedRange) {
+  Rng rng(7);
+  EXPECT_THROW((void)rng.uniform(10, 5), ContractViolation);
+}
+
+TEST(Rng, IndexCoversRange) {
+  Rng rng(3);
+  std::array<int, 5> seen{};
+  for (int i = 0; i < 1000; ++i) ++seen[rng.index(5)];
+  for (const int count : seen) EXPECT_GT(count, 100);
+}
+
+TEST(Rng, RealInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double r = rng.real();
+    EXPECT_GE(r, 0.0);
+    EXPECT_LT(r, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, WeightedRespectsWeights) {
+  Rng rng(19);
+  const double weights[] = {0.0, 1.0, 3.0};
+  std::array<int, 3> seen{};
+  for (int i = 0; i < 4000; ++i) ++seen[rng.weighted(weights)];
+  EXPECT_EQ(seen[0], 0);
+  EXPECT_NEAR(static_cast<double>(seen[2]) / seen[1], 3.0, 0.5);
+}
+
+TEST(Rng, WeightedRejectsAllZero) {
+  Rng rng(23);
+  const double weights[] = {0.0, 0.0};
+  EXPECT_THROW((void)rng.weighted(weights), ContractViolation);
+}
+
+TEST(Rng, ParetoIntWithinBounds) {
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.pareto_int(1, 50, 1.2);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 50u);
+  }
+}
+
+TEST(Rng, ParetoIntHeavyTail) {
+  Rng rng(31);
+  int ones = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (rng.pareto_int(1, 1000, 1.5) == 1) ++ones;
+  }
+  // Shape 1.5 Pareto has P(X < 2) ~ 1 - 2^-1.5 ~ 0.65.
+  EXPECT_GT(ones, 400);
+  EXPECT_LT(ones, 900);
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  Rng parent(5);
+  Rng child = parent.fork();
+  EXPECT_NE(parent.uniform(0, 1u << 30), child.uniform(0, 1u << 30));
+}
+
+TEST(Rng, PickReturnsElement) {
+  Rng rng(37);
+  const std::vector<int> items{4, 8, 15, 16, 23, 42};
+  for (int i = 0; i < 50; ++i) {
+    const int v = rng.pick(items);
+    EXPECT_NE(std::find(items.begin(), items.end(), v), items.end());
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(41);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = items;
+  rng.shuffle(shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, items);
+}
+
+}  // namespace
+}  // namespace mmlpt

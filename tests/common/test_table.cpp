@@ -1,0 +1,74 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace mmlpt {
+namespace {
+
+TEST(AsciiTable, RendersHeaderAndRows) {
+  AsciiTable t({"name", "value"});
+  t.set_title("demo");
+  t.add_row({"alpha", "1"});
+  t.add_row({"bb", "22"});
+  const auto out = t.render();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("| alpha"), std::string::npos);
+  EXPECT_NE(out.find("| 22"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(AsciiTable, RejectsMismatchedRow) {
+  AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(AsciiTable, ColumnsAligned) {
+  AsciiTable t({"x"});
+  t.add_row({"longer-cell"});
+  const auto out = t.render();
+  // Every line between rules must have the same length.
+  std::size_t expected = 0;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    auto end = out.find('\n', start);
+    if (end == std::string::npos) end = out.size();
+    const auto len = end - start;
+    if (expected == 0) {
+      expected = len;
+    } else {
+      EXPECT_EQ(len, expected);
+    }
+    start = end + 1;
+  }
+}
+
+TEST(FmtHelpers, Doubles) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(1.0, 0), "1");
+  EXPECT_EQ(fmt_percent(0.1234, 1), "12.3%");
+}
+
+TEST(RenderCdf, ContainsEndpoints) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0, 10.0});
+  const auto out = render_cdf("my cdf", cdf, 3);
+  EXPECT_NE(out.find("my cdf"), std::string::npos);
+  EXPECT_NE(out.find("1.0000"), std::string::npos);
+  EXPECT_NE(out.find("10.0000"), std::string::npos);
+}
+
+TEST(RenderCdfComparison, MultipleSeries) {
+  EmpiricalCdf a({1.0, 2.0});
+  EmpiricalCdf b({3.0, 4.0});
+  const auto out =
+      render_cdf_comparison("cmp", {{"a", &a}, {"b", &b}}, {0.5, 1.0});
+  EXPECT_NE(out.find("cmp"), std::string::npos);
+  EXPECT_NE(out.find("| a"), std::string::npos);
+  EXPECT_NE(out.find("4.0000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mmlpt

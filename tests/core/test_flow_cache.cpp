@@ -1,0 +1,109 @@
+#include "core/flow_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "core/validation.h"
+#include "fakeroute/simulator.h"
+#include "probe/simulated_network.h"
+#include "topology/reference.h"
+
+namespace mmlpt::core {
+namespace {
+
+struct Rig {
+  topo::GroundTruth truth;
+  fakeroute::Simulator simulator;
+  probe::SimulatedNetwork network;
+  probe::ProbeEngine engine;
+  FlowCache cache;
+
+  Rig()
+      : truth(plain_ground_truth(topo::simplest_diamond())),
+        simulator(truth, {}, 1),
+        network(simulator),
+        engine(network, make_config(truth)),
+        cache(engine) {}
+
+  static probe::ProbeEngine::Config make_config(const topo::GroundTruth& t) {
+    probe::ProbeEngine::Config c;
+    c.source = t.source;
+    c.destination = t.destination;
+    return c;
+  }
+};
+
+TEST(FlowCache, MemoizesProbes) {
+  Rig rig;
+  const auto& first = rig.cache.probe(0, 1);
+  const auto packets = rig.engine.packets_sent();
+  const auto& second = rig.cache.probe(0, 1);
+  EXPECT_EQ(rig.engine.packets_sent(), packets);  // no new packet
+  EXPECT_EQ(&first, &second);
+}
+
+TEST(FlowCache, LookupOnlyFindsProbed) {
+  Rig rig;
+  EXPECT_EQ(rig.cache.lookup(0, 1), nullptr);
+  (void)rig.cache.probe(0, 1);
+  EXPECT_NE(rig.cache.lookup(0, 1), nullptr);
+  EXPECT_EQ(rig.cache.lookup(0, 2), nullptr);
+  EXPECT_EQ(rig.cache.lookup(1, 1), nullptr);
+}
+
+TEST(FlowCache, FlowsAtTracksProbeOrder) {
+  Rig rig;
+  (void)rig.cache.probe(5, 1);
+  (void)rig.cache.probe(3, 1);
+  (void)rig.cache.probe(5, 2);
+  const auto& at1 = rig.cache.flows_at(1);
+  ASSERT_EQ(at1.size(), 2u);
+  EXPECT_EQ(at1[0], 5u);
+  EXPECT_EQ(at1[1], 3u);
+  EXPECT_EQ(rig.cache.flows_at(2).size(), 1u);
+  EXPECT_TRUE(rig.cache.flows_at(9).empty());
+}
+
+TEST(FlowCache, FlowsReachingGrowsInPlace) {
+  Rig rig;
+  const auto& r0 = rig.cache.probe(0, 1);
+  ASSERT_TRUE(r0.answered);
+  const auto& reaching = rig.cache.flows_reaching(1, r0.responder);
+  const auto before = reaching.size();
+  // Probe more flows; every one that lands on the same vertex must
+  // appear in the same (stable) vector.
+  for (FlowId f = 1; f < 30; ++f) {
+    (void)rig.cache.probe(f, 1);
+  }
+  EXPECT_GT(reaching.size(), before);
+  for (const auto f : reaching) {
+    EXPECT_EQ(rig.cache.lookup(f, 1)->responder, r0.responder);
+  }
+}
+
+TEST(FlowCache, FreshFlowsNeverRepeat) {
+  Rig rig;
+  std::set<FlowId> seen;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(seen.insert(rig.cache.fresh_flow()).second);
+  }
+}
+
+TEST(FlowCache, ObserverFiresOncePerFreshAnsweredProbe) {
+  Rig rig;
+  int calls = 0;
+  rig.cache.set_observer(
+      [&](FlowId, int, const probe::TraceProbeResult&) { ++calls; });
+  (void)rig.cache.probe(0, 1);
+  (void)rig.cache.probe(0, 1);  // cached: no second call
+  (void)rig.cache.probe(1, 1);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(FlowCache, RejectsAbsurdTtl) {
+  Rig rig;
+  EXPECT_THROW((void)rig.cache.probe(0, 0), ContractViolation);
+  EXPECT_THROW((void)rig.cache.probe(0, 300), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mmlpt::core

@@ -1,0 +1,148 @@
+#include "core/mda.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "core/validation.h"
+#include "topology/reference.h"
+
+namespace mmlpt::core {
+namespace {
+
+TraceResult trace_mda(const topo::MultipathGraph& graph,
+                      std::uint64_t seed = 1,
+                      TraceConfig config = TraceConfig{}) {
+  const auto truth = plain_ground_truth(graph);
+  return run_trace(truth, Algorithm::kMda, config, {}, seed);
+}
+
+TEST(Mda, DiscoversSimplestDiamond) {
+  const auto graph = topo::simplest_diamond();
+  const auto result = trace_mda(graph);
+  EXPECT_TRUE(result.reached_destination);
+  EXPECT_TRUE(topo::same_topology(result.graph, graph));
+}
+
+TEST(Mda, DiscoversFig1Unmeshed) {
+  const auto graph = topo::fig1_unmeshed();
+  const auto result = trace_mda(graph);
+  EXPECT_TRUE(topo::same_topology(result.graph, graph));
+}
+
+TEST(Mda, DiscoversFig1Meshed) {
+  const auto graph = topo::fig1_meshed();
+  const auto result = trace_mda(graph);
+  EXPECT_TRUE(topo::same_topology(result.graph, graph));
+}
+
+TEST(Mda, DiscoversSymmetricDiamondReliably) {
+  const auto graph = topo::symmetric_diamond();
+  int full = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    if (topo::same_topology(trace_mda(graph, seed).graph, graph)) ++full;
+  }
+  EXPECT_GE(full, 9);  // failure bound is ~0.05 for the whole topology
+}
+
+TEST(Mda, DiscoversAsymmetricDiamond) {
+  // Node control makes the MDA robust to non-uniform topologies.
+  const auto graph = topo::asymmetric_diamond();
+  int full = 0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    if (topo::same_topology(trace_mda(graph, seed).graph, graph)) ++full;
+  }
+  EXPECT_GE(full, 4);
+}
+
+TEST(Mda, DiscoversMeshedDiamond) {
+  const auto graph = topo::meshed_diamond();
+  const auto result = trace_mda(graph, 3);
+  const auto found = topo::count_discovered(graph, result.graph);
+  // All 127 vertices and nearly all edges.
+  EXPECT_EQ(found.vertices, graph.vertex_count());
+  EXPECT_GE(found.edges, graph.edge_count() - 2);
+}
+
+// Fig. 1's worked example: the MDA spends 11*n1 + delta = 99 + delta
+// probes on the unmeshed diamond. Check the right order of magnitude and
+// that node control inflates the count beyond the MDA-Lite's 68.
+TEST(Mda, UnmeshedDiamondProbeCostNearPaper) {
+  const auto graph = topo::fig1_unmeshed();
+  RunningStats packets;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    packets.add(static_cast<double>(trace_mda(graph, seed).packets));
+  }
+  // 99 + delta, plus convergence-point scanning beyond the paper's
+  // illustration (it only counts probes within the diamond).
+  EXPECT_GT(packets.mean(), 90.0);
+  EXPECT_LT(packets.mean(), 200.0);
+}
+
+TEST(Mda, MeshedCostsMoreThanUnmeshed) {
+  RunningStats unmeshed;
+  RunningStats meshed;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    unmeshed.add(static_cast<double>(
+        trace_mda(topo::fig1_unmeshed(), seed).packets));
+    meshed.add(static_cast<double>(
+        trace_mda(topo::fig1_meshed(), seed).packets));
+  }
+  // Paper: 99 + delta vs 163 + delta'.
+  EXPECT_GT(meshed.mean(), unmeshed.mean() * 1.3);
+}
+
+TEST(Mda, NodeControlProbesReported) {
+  const auto result = trace_mda(topo::fig1_unmeshed());
+  EXPECT_GT(result.node_control_probes, 0u);
+}
+
+TEST(Mda, EventsMonotoneInPackets) {
+  const auto result = trace_mda(topo::symmetric_diamond());
+  std::uint64_t prev = 0;
+  for (const auto& e : result.events) {
+    EXPECT_GE(e.packets, prev);
+    prev = e.packets;
+  }
+  EXPECT_EQ(result.events.size(),
+            result.graph.vertex_count() + result.graph.edge_count());
+}
+
+TEST(Mda, PlainPathCheap) {
+  // A route with no load balancing: MDA sends n1 probes per hop.
+  topo::MultipathGraph g;
+  for (int h = 0; h < 5; ++h) g.add_hop();
+  topo::VertexId prev = topo::kInvalidVertex;
+  for (int h = 0; h < 5; ++h) {
+    const auto v = g.add_vertex(static_cast<std::uint16_t>(h),
+                                net::Ipv4Address(10, 0, 3, h + 1));
+    if (h > 0) g.add_edge(prev, v);
+    prev = v;
+  }
+  const auto result = trace_mda(g);
+  EXPECT_TRUE(result.reached_destination);
+  EXPECT_TRUE(topo::same_topology(result.graph, g));
+  // 4 probed hops, n1 = 16 for (0.05, 30) defaults.
+  const auto sp = StoppingPoints::for_global(0.05, 30);
+  EXPECT_EQ(result.packets, static_cast<std::uint64_t>(4 * sp.n(1)));
+}
+
+TEST(Mda, HandlesLoss) {
+  fakeroute::SimConfig sim;
+  sim.loss_prob = 0.1;
+  const auto truth = plain_ground_truth(topo::fig1_unmeshed());
+  const auto result = run_trace(truth, Algorithm::kMda, {}, sim, 7);
+  // Retries make full discovery likely even with 10% loss.
+  const auto found = topo::count_discovered(truth.graph, result.graph);
+  EXPECT_EQ(found.vertices, truth.graph.vertex_count());
+}
+
+TEST(Mda, RespectsMaxTtl) {
+  TraceConfig config;
+  config.max_ttl = 2;
+  const auto result = trace_mda(topo::symmetric_diamond(), 1, config);
+  EXPECT_FALSE(result.reached_destination);
+  EXPECT_LE(result.graph.hop_count(), 3);
+}
+
+}  // namespace
+}  // namespace mmlpt::core

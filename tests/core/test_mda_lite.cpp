@@ -1,0 +1,156 @@
+#include "core/mda_lite.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "core/validation.h"
+#include "topology/reference.h"
+
+namespace mmlpt::core {
+namespace {
+
+TraceResult trace_lite(const topo::MultipathGraph& graph,
+                       std::uint64_t seed = 1, int phi = 2) {
+  const auto truth = plain_ground_truth(graph);
+  TraceConfig config;
+  config.phi = phi;
+  return run_trace(truth, Algorithm::kMdaLite, config, {}, seed);
+}
+
+TEST(MdaLite, DiscoversSimplestDiamondWithoutSwitching) {
+  const auto graph = topo::simplest_diamond();
+  const auto result = trace_lite(graph);
+  EXPECT_TRUE(result.reached_destination);
+  EXPECT_FALSE(result.switched_to_mda);
+  EXPECT_TRUE(topo::same_topology(result.graph, graph));
+}
+
+TEST(MdaLite, DiscoversMaxLength2WithoutSwitchingOrMeshingTest) {
+  // Sec. 2.4.1: no adjacent multi-vertex hops -> no meshing test at all.
+  const auto graph = topo::max_length_2_diamond();
+  const auto result = trace_lite(graph);
+  EXPECT_FALSE(result.switched_to_mda);
+  EXPECT_EQ(result.meshing_test_probes, 0u);
+  EXPECT_TRUE(topo::same_topology(result.graph, graph));
+}
+
+TEST(MdaLite, SymmetricDiamondNoSwitchLightNodeControl) {
+  // Sec. 2.4.1: the symmetric diamond obliges a light meshing test but
+  // no switch-over.
+  const auto graph = topo::symmetric_diamond();
+  const auto result = trace_lite(graph);
+  EXPECT_FALSE(result.switched_to_mda);
+  EXPECT_GT(result.meshing_test_probes, 0u);
+  EXPECT_TRUE(topo::same_topology(result.graph, graph));
+}
+
+TEST(MdaLite, Fig1UnmeshedCheaperThanMda) {
+  const auto graph = topo::fig1_unmeshed();
+  const auto truth = plain_ground_truth(graph);
+  RunningStats lite_packets;
+  RunningStats mda_packets;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto lite = run_trace(truth, Algorithm::kMdaLite, {}, {}, seed);
+    EXPECT_TRUE(topo::same_topology(lite.graph, graph)) << "seed " << seed;
+    lite_packets.add(static_cast<double>(lite.packets));
+    mda_packets.add(static_cast<double>(
+        run_trace(truth, Algorithm::kMda, {}, {}, seed + 1000).packets));
+  }
+  EXPECT_LT(lite_packets.mean(), mda_packets.mean());
+}
+
+TEST(MdaLite, MeshedDiamondTriggersSwitch) {
+  const auto graph = topo::fig1_meshed();
+  // Meshing-miss probability is 1/16 per Fig. 1-meshed with phi = 2; over
+  // seeds the switch must dominate.
+  int switched = 0;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    if (trace_lite(graph, seed).switched_to_mda) ++switched;
+  }
+  EXPECT_GE(switched, 9);
+}
+
+TEST(MdaLite, BigMeshedDiamondAlwaysSwitches) {
+  // Sec. 2.4.1 meshed diamond (width 48 ring): miss probability 2^-48.
+  const auto result = trace_lite(topo::meshed_diamond(), 5);
+  EXPECT_TRUE(result.switched_to_mda);
+  const auto truth_graph = topo::meshed_diamond();
+  const auto found = topo::count_discovered(truth_graph, result.graph);
+  EXPECT_EQ(found.vertices, truth_graph.vertex_count());
+}
+
+TEST(MdaLite, AsymmetricDiamondTriggersSwitch) {
+  // Sec. 2.4.1: discovering the width asymmetry obliges the switch.
+  const auto result = trace_lite(topo::asymmetric_diamond(), 2);
+  EXPECT_TRUE(result.switched_to_mda);
+}
+
+TEST(MdaLite, SwitchStillDiscoversFullTopology) {
+  const auto graph = topo::asymmetric_diamond();
+  int full = 0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto result = trace_lite(graph, seed);
+    if (topo::same_topology(result.graph, graph)) ++full;
+  }
+  EXPECT_GE(full, 4);
+}
+
+TEST(MdaLite, Phi4SendsMoreMeshingProbesThanPhi2) {
+  const auto graph = topo::symmetric_diamond();
+  const auto phi2 = trace_lite(graph, 1, 2);
+  const auto phi4 = trace_lite(graph, 1, 4);
+  EXPECT_GT(phi4.meshing_test_probes, phi2.meshing_test_probes);
+}
+
+// The Sec. 2.3.1 worked example: on the Fig. 1 unmeshed diamond the
+// MDA-Lite spends n4 + n2 + 2*n1 = 68 probes on hop scanning (the
+// divergence point sits at TTL 1, as in the figure).
+TEST(MdaLite, HopScanBudgetMatchesWorkedExample) {
+  // Veitch Table 1 stopping points via (alpha=0.05, B=13): 9/17/25/33.
+  TraceConfig config;
+  config.alpha = 0.05;
+  config.max_branching = 13;
+  const auto truth = plain_ground_truth(topo::prepend_source(
+      topo::fig1_unmeshed(), net::Ipv4Address(192, 168, 0, 1)));
+  RunningStats packets;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const auto result =
+        run_trace(truth, Algorithm::kMdaLite, config, {}, seed);
+    EXPECT_FALSE(result.switched_to_mda);
+    packets.add(static_cast<double>(result.packets) -
+                static_cast<double>(result.meshing_test_probes) -
+                static_cast<double>(result.node_control_probes));
+  }
+  // n1 (divergence) + n4 (wide hop) + n2 (2-hop) + n1 (convergence) = 68,
+  // plus the occasional edge-completion probe.
+  EXPECT_NEAR(packets.mean(), 68.0, 4.0);
+}
+
+TEST(MdaLite, EventsAccumulate) {
+  const auto result = trace_lite(topo::symmetric_diamond());
+  EXPECT_EQ(result.events.size(),
+            result.graph.vertex_count() + result.graph.edge_count());
+}
+
+TEST(MdaLite, LossToleratedOnSimpleDiamond) {
+  fakeroute::SimConfig sim;
+  sim.loss_prob = 0.1;
+  const auto truth = plain_ground_truth(topo::simplest_diamond());
+  int full = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto result = run_trace(truth, Algorithm::kMdaLite, {}, sim, seed);
+    if (topo::same_topology(result.graph, truth.graph)) ++full;
+  }
+  EXPECT_GE(full, 8);
+}
+
+TEST(MdaLite, RejectsPhiBelow2) {
+  TraceConfig config;
+  config.phi = 1;
+  const auto truth = plain_ground_truth(topo::simplest_diamond());
+  EXPECT_THROW((void)run_trace(truth, Algorithm::kMdaLite, config, {}, 1),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace mmlpt::core

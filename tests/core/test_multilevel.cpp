@@ -1,0 +1,166 @@
+#include "core/multilevel.h"
+
+#include <gtest/gtest.h>
+
+#include "core/validation.h"
+#include "fakeroute/simulator.h"
+#include "probe/simulated_network.h"
+#include "topology/reference.h"
+
+namespace mmlpt::core {
+namespace {
+
+struct Rig {
+  topo::GroundTruth truth;
+  fakeroute::Simulator simulator;
+  probe::SimulatedNetwork network;
+  probe::ProbeEngine engine;
+
+  explicit Rig(topo::GroundTruth t, std::uint64_t seed = 1)
+      : truth(std::move(t)),
+        simulator(truth, {}, seed),
+        network(simulator),
+        engine(network, make_config(truth)) {}
+
+  static probe::ProbeEngine::Config make_config(const topo::GroundTruth& t) {
+    probe::ProbeEngine::Config c;
+    c.source = t.source;
+    c.destination = t.destination;
+    return c;
+  }
+};
+
+/// fig1-unmeshed diamond whose 4-wide hop is two routers of 2 interfaces.
+topo::GroundTruth two_router_truth() {
+  auto truth = plain_ground_truth(topo::fig1_unmeshed());
+  // Vertices: 0 = div; 1..4 = wide hop; 5,6 = 2-hop; 7 = conv.
+  truth.vertex_router = {0, 1, 1, 2, 2, 3, 4, 5};
+  truth.routers.resize(6);
+  for (std::uint32_t i = 0; i < truth.routers.size(); ++i) {
+    truth.routers[i].id = i;
+    truth.routers[i].ip_id_policy = topo::IpIdPolicy::kSharedCounter;
+    truth.routers[i].ip_id_velocity = 400.0 + 300.0 * i;
+  }
+  return truth;
+}
+
+TEST(Multilevel, RecoversRouterLevelTopology) {
+  Rig rig(two_router_truth());
+  MultilevelConfig config;
+  MultilevelTracer tracer(rig.engine, config);
+  const auto result = tracer.run();
+
+  EXPECT_TRUE(topo::same_topology(result.trace.graph, rig.truth.graph));
+  // Router-level: wide hop collapses 4 -> 2.
+  const auto merged_truth = rig.truth.router_level_graph();
+  EXPECT_TRUE(topo::same_topology(result.router_graph, merged_truth));
+}
+
+TEST(Multilevel, RoundZeroThenRefinement) {
+  Rig rig(two_router_truth());
+  MultilevelConfig config;
+  config.rounds = 4;
+  MultilevelTracer tracer(rig.engine, config);
+  const auto result = tracer.run();
+  ASSERT_EQ(result.rounds.size(), 5u);  // rounds 0..4
+  // Packets strictly increase round over round.
+  for (std::size_t r = 1; r < result.rounds.size(); ++r) {
+    EXPECT_GT(result.rounds[r].packets, result.rounds[r - 1].packets);
+  }
+}
+
+TEST(Multilevel, NoAliasesMeansIdentityRouterGraph) {
+  // Every interface its own router with distinct counters.
+  auto truth = plain_ground_truth(topo::fig1_unmeshed());
+  for (std::uint32_t i = 0; i < truth.routers.size(); ++i) {
+    truth.routers[i].ip_id_policy = topo::IpIdPolicy::kSharedCounter;
+    truth.routers[i].ip_id_velocity = 200.0 + 137.0 * i;
+  }
+  Rig rig(std::move(truth));
+  MultilevelTracer tracer(rig.engine, MultilevelConfig{});
+  const auto result = tracer.run();
+  EXPECT_TRUE(topo::same_topology(result.router_graph, rig.truth.graph));
+}
+
+TEST(Multilevel, ConstantZeroIpIdsGiveUnableSets) {
+  auto truth = two_router_truth();
+  for (auto& r : truth.routers) {
+    r.ip_id_policy = topo::IpIdPolicy::kConstantZero;
+  }
+  Rig rig(std::move(truth));
+  MultilevelTracer tracer(rig.engine, MultilevelConfig{});
+  const auto result = tracer.run();
+  // No accepted sets: the router graph equals the IP graph.
+  EXPECT_TRUE(topo::same_topology(result.router_graph, rig.truth.graph));
+  for (const auto& [hop, sets] : result.final_round().sets_by_hop) {
+    for (const auto& s : sets) {
+      EXPECT_NE(s.outcome, alias::Outcome::kAccept);
+    }
+  }
+}
+
+TEST(Multilevel, PerInterfaceCountersRejected) {
+  // Sec. 4.2: per-interface Time Exceeded counters make indirect MBT
+  // split real aliases.
+  auto truth = two_router_truth();
+  truth.routers[1].ip_id_policy = topo::IpIdPolicy::kPerInterface;
+  truth.routers[2].ip_id_policy = topo::IpIdPolicy::kPerInterface;
+  Rig rig(std::move(truth));
+  MultilevelTracer tracer(rig.engine, MultilevelConfig{});
+  const auto result = tracer.run();
+  EXPECT_TRUE(topo::same_topology(result.router_graph, rig.truth.graph));
+}
+
+TEST(Multilevel, MplsLabelsSeparateRouters) {
+  auto truth = two_router_truth();
+  // Same shared-counter velocity (hard for MBT alone if probes align),
+  // but different MPLS labels pin them apart; same label within router.
+  truth.routers[1].mpls_label = 100;
+  truth.routers[2].mpls_label = 200;
+  Rig rig(std::move(truth));
+  MultilevelTracer tracer(rig.engine, MultilevelConfig{});
+  const auto result = tracer.run();
+  const auto merged_truth = rig.truth.router_level_graph();
+  EXPECT_TRUE(topo::same_topology(result.router_graph, merged_truth));
+}
+
+TEST(Multilevel, RouterGraphPreservesHopsAndEdges) {
+  Rig rig(two_router_truth());
+  MultilevelTracer tracer(rig.engine, MultilevelConfig{});
+  const auto result = tracer.run();
+  EXPECT_EQ(result.router_graph.hop_count(), result.trace.graph.hop_count());
+  EXPECT_LE(result.router_graph.vertex_count(),
+            result.trace.graph.vertex_count());
+}
+
+TEST(Multilevel, MergeByAliasesStatic) {
+  const auto graph = topo::simplest_diamond();
+  std::map<int, std::vector<alias::AliasSet>> sets;
+  sets[1].push_back(
+      {{topo::reference_addr(1, 1, 0), topo::reference_addr(1, 1, 1)},
+       alias::Outcome::kAccept});
+  const auto merged = MultilevelTracer::merge_by_aliases(graph, sets);
+  EXPECT_EQ(merged.vertices_at(1).size(), 1u);
+  EXPECT_EQ(merged.edge_count(), 2u);
+}
+
+TEST(Multilevel, MergeIgnoresRejectedSets) {
+  const auto graph = topo::simplest_diamond();
+  std::map<int, std::vector<alias::AliasSet>> sets;
+  sets[1].push_back(
+      {{topo::reference_addr(1, 1, 0), topo::reference_addr(1, 1, 1)},
+       alias::Outcome::kReject});
+  const auto merged = MultilevelTracer::merge_by_aliases(graph, sets);
+  EXPECT_TRUE(topo::same_topology(merged, graph));
+}
+
+TEST(Multilevel, TotalPacketsCoverTraceAndRounds) {
+  Rig rig(two_router_truth());
+  MultilevelTracer tracer(rig.engine, MultilevelConfig{});
+  const auto result = tracer.run();
+  EXPECT_GT(result.total_packets, result.trace.packets);
+  EXPECT_EQ(result.total_packets, rig.engine.packets_sent());
+}
+
+}  // namespace
+}  // namespace mmlpt::core

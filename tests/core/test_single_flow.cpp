@@ -1,0 +1,73 @@
+#include "core/single_flow.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/validation.h"
+#include "topology/reference.h"
+
+namespace mmlpt::core {
+namespace {
+
+TEST(SingleFlow, TracesOnePathThroughDiamond) {
+  const auto truth = plain_ground_truth(topo::simplest_diamond());
+  const auto result = run_trace(truth, Algorithm::kSingleFlow, {}, {}, 1);
+  EXPECT_TRUE(result.reached_destination);
+  // Exactly one vertex per hop.
+  for (std::uint16_t h = 0; h < result.graph.hop_count(); ++h) {
+    EXPECT_EQ(result.graph.vertices_at(h).size(), 1u);
+  }
+  // Two probed hops (the source sits at hop 0), one packet each.
+  EXPECT_EQ(result.packets, 2u);
+}
+
+TEST(SingleFlow, MissesMostOfAWideDiamond) {
+  const auto graph = topo::max_length_2_diamond();
+  const auto truth = plain_ground_truth(graph);
+  const auto result = run_trace(truth, Algorithm::kSingleFlow, {}, {}, 1);
+  const auto found = topo::count_discovered(graph, result.graph);
+  EXPECT_EQ(found.vertices, 3u);  // div, one of 28, conv
+  EXPECT_EQ(found.edges, 2u);
+  EXPECT_EQ(result.packets, 2u);
+}
+
+TEST(SingleFlow, DifferentSeedsMayTakeDifferentBranches) {
+  const auto graph = topo::max_length_2_diamond();
+  const auto truth = plain_ground_truth(graph);
+  std::set<std::uint32_t> middles;
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    const auto result = run_trace(truth, Algorithm::kSingleFlow, {}, {}, seed);
+    middles.insert(
+        result.graph.vertex(result.graph.vertices_at(1)[0]).addr.value());
+  }
+  EXPECT_GT(middles.size(), 4u);
+}
+
+TEST(SingleFlow, StarHopLeavesGap) {
+  auto truth = plain_ground_truth(topo::simplest_diamond());
+  // Both middle routers silent: hop 1 becomes a star.
+  truth.routers[1].responds_to_indirect = false;
+  truth.routers[2].responds_to_indirect = false;
+  const auto result = run_trace(truth, Algorithm::kSingleFlow, {}, {}, 1);
+  EXPECT_TRUE(result.reached_destination);
+  // Hop 1 empty, destination present at hop 2, no edge across the gap.
+  EXPECT_TRUE(result.graph.vertices_at(1).empty());
+  EXPECT_EQ(result.graph.vertices_at(2).size(), 1u);
+}
+
+TEST(SingleFlow, UnreachableDestinationStopsAtMaxTtl) {
+  auto truth = plain_ground_truth(topo::simplest_diamond());
+  TraceConfig config;
+  config.max_ttl = 10;
+  // Destination never answers.
+  truth.routers.back().responds_to_indirect = false;
+  const auto result =
+      run_trace(truth, Algorithm::kSingleFlow, config, {}, 1);
+  EXPECT_FALSE(result.reached_destination);
+  // 1 answered hop (the middle vertex) + 9 silent TTLs x (1 + 2 retries).
+  EXPECT_EQ(result.packets, 1u + 9u * 3u);
+}
+
+}  // namespace
+}  // namespace mmlpt::core

@@ -1,0 +1,126 @@
+#include "core/stopping_points.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mmlpt::core {
+namespace {
+
+// The paper quotes Veitch et al.'s Table 1: n1 = 9, n2 = 17, n4 = 33
+// (Sec. 2.1), and the MDA-Lite worked example requires n3 such that
+// n4 + n2 + 2*n1 = 68.
+TEST(StoppingPoints, VeitchTable1Values) {
+  const auto sp = StoppingPoints::veitch_table1();
+  EXPECT_EQ(sp.n(1), 9);
+  EXPECT_EQ(sp.n(2), 17);
+  EXPECT_EQ(sp.n(3), 25);
+  EXPECT_EQ(sp.n(4), 33);
+}
+
+// The paper's worked example (Sec. 2.3.1): the MDA-Lite spends
+// n4 + n2 + 2*n1 = 68 probes on the Fig. 1 diamonds.
+TEST(StoppingPoints, MdaLiteWorkedExampleCost) {
+  const auto sp = StoppingPoints::veitch_table1();
+  EXPECT_EQ(sp.n(4) + sp.n(2) + 2 * sp.n(1), 68);
+}
+
+// Sec. 3: with per-vertex bound 0.05, n1 = 6 yields the simplest-diamond
+// failure probability (1/2)^5 = 0.03125.
+TEST(StoppingPoints, Section3Epsilon005) {
+  const auto sp = StoppingPoints::from_epsilon(0.05);
+  EXPECT_EQ(sp.n(1), 6);
+}
+
+// The intro's motivating example: "to bring the probability of failing to
+// discover both interfaces under 1%, a total of eight probes would need
+// to be sent" — epsilon 0.01 gives n1 = 8.
+TEST(StoppingPoints, IntroEightProbesAtOnePercent) {
+  const auto sp = StoppingPoints::from_epsilon(0.01);
+  EXPECT_EQ(sp.n(1), 8);
+}
+
+TEST(StoppingPoints, MissProbabilityClosedForms) {
+  // K = 2: P(n) = 2^(1-n).
+  for (int n = 1; n <= 12; ++n) {
+    EXPECT_NEAR(StoppingPoints::miss_probability(n, 2), std::pow(2.0, 1 - n),
+                1e-12);
+  }
+  // K = 1: never misses after >= 1 probe.
+  EXPECT_DOUBLE_EQ(StoppingPoints::miss_probability(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(StoppingPoints::miss_probability(0, 1), 1.0);
+  // n = 0: certain miss.
+  EXPECT_DOUBLE_EQ(StoppingPoints::miss_probability(0, 5), 1.0);
+}
+
+TEST(StoppingPoints, MissProbabilityMatchesMonteCarloK3) {
+  // P(3 coupons not all seen in n draws).
+  const double p = StoppingPoints::miss_probability(10, 3);
+  // Analytic: 3*(2/3)^10 - 3*(1/3)^10.
+  EXPECT_NEAR(p, 3 * std::pow(2.0 / 3.0, 10) - 3 * std::pow(1.0 / 3.0, 10),
+              1e-12);
+}
+
+TEST(StoppingPoints, MonotoneInK) {
+  const auto sp = StoppingPoints::for_global(0.05, 30);
+  for (int k = 1; k < 40; ++k) {
+    EXPECT_LT(sp.n(k), sp.n(k + 1));
+  }
+}
+
+TEST(StoppingPoints, TighterEpsilonLargerN) {
+  const auto loose = StoppingPoints::from_epsilon(0.05);
+  const auto tight = StoppingPoints::from_epsilon(0.001);
+  for (int k = 1; k <= 10; ++k) {
+    EXPECT_GT(tight.n(k), loose.n(k));
+  }
+}
+
+TEST(StoppingPoints, GlobalSplitsAcrossBranching) {
+  // More branching vertices -> smaller per-vertex epsilon -> larger n_k.
+  const auto few = StoppingPoints::for_global(0.05, 5);
+  const auto many = StoppingPoints::for_global(0.05, 100);
+  EXPECT_GT(many.n(1), few.n(1));
+  EXPECT_NEAR(few.epsilon(), 1 - std::pow(0.95, 1.0 / 5), 1e-12);
+}
+
+TEST(StoppingPoints, TableLayout) {
+  const auto sp = StoppingPoints::veitch_table1();
+  const auto table = sp.table(4);
+  ASSERT_EQ(table.size(), 5u);
+  EXPECT_EQ(table[0], 0);  // unused slot
+  EXPECT_EQ(table[1], 9);
+  EXPECT_EQ(table[4], 33);
+}
+
+TEST(StoppingPoints, LargeKComputable) {
+  // Hop widths up to 96 appear in the survey; n_k must be computable
+  // far out without pathological run time.
+  const auto sp = StoppingPoints::for_global(0.05, 30);
+  EXPECT_GT(sp.n(96), sp.n(95));
+  EXPECT_LT(sp.n(96), 3000);
+}
+
+TEST(StoppingPoints, StoppingGuaranteesBound) {
+  // By construction P(miss at n_k with k+1 successors) <= epsilon and
+  // P at n_k - 1 > epsilon.
+  const auto sp = StoppingPoints::from_epsilon(0.01);
+  for (int k = 1; k <= 20; ++k) {
+    const int n = sp.n(k);
+    EXPECT_LE(StoppingPoints::miss_probability(n, k + 1), 0.01);
+    EXPECT_GT(StoppingPoints::miss_probability(n - 1, k + 1), 0.01);
+  }
+}
+
+TEST(StoppingPoints, RejectsBadParameters) {
+  EXPECT_THROW((void)StoppingPoints::from_epsilon(0.0), ContractViolation);
+  EXPECT_THROW((void)StoppingPoints::from_epsilon(1.0), ContractViolation);
+  EXPECT_THROW((void)StoppingPoints::for_global(0.05, 0), ContractViolation);
+  const auto sp = StoppingPoints::from_epsilon(0.05);
+  EXPECT_THROW((void)sp.n(0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mmlpt::core

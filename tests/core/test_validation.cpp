@@ -1,0 +1,69 @@
+#include "core/validation.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/reference.h"
+
+namespace mmlpt::core {
+namespace {
+
+TEST(Validation, PlainGroundTruthShape) {
+  const auto truth = plain_ground_truth(topo::simplest_diamond());
+  EXPECT_EQ(truth.routers.size(), truth.graph.vertex_count());
+  EXPECT_EQ(truth.vertex_router.size(), truth.graph.vertex_count());
+  EXPECT_EQ(truth.source, topo::reference_addr(1, 0, 0));
+  EXPECT_EQ(truth.destination, topo::reference_addr(1, 2, 0));
+}
+
+TEST(Validation, RunTraceConvenience) {
+  const auto truth = plain_ground_truth(topo::simplest_diamond());
+  for (const auto algorithm :
+       {Algorithm::kMda, Algorithm::kMdaLite, Algorithm::kSingleFlow}) {
+    const auto result = run_trace(truth, algorithm, {}, {}, 1);
+    EXPECT_TRUE(result.reached_destination);
+    EXPECT_GT(result.packets, 0u);
+  }
+}
+
+// The Sec. 3 experiment, scaled down: simplest diamond, per-vertex bound
+// 0.05 (n1 = 6), theoretical failure 0.03125; the empirical rate must sit
+// near it.
+TEST(Validation, SimplestDiamondFailureRateMatchesTheory) {
+  const auto truth = plain_ground_truth(topo::simplest_diamond());
+  ValidationConfig config;
+  config.algorithm = Algorithm::kMda;
+  config.trace.alpha = 0.05;
+  config.trace.max_branching = 1;  // per-vertex epsilon = 0.05 directly
+  config.runs_per_sample = 200;
+  config.samples = 10;
+  config.seed = 42;
+  const auto report = validate(truth, config);
+  EXPECT_NEAR(report.theoretical_failure, 0.03125, 1e-12);
+  EXPECT_NEAR(report.mean_failure, 0.03125, 0.012);
+  EXPECT_GT(report.ci95_half_width, 0.0);
+}
+
+TEST(Validation, TighterBoundLowersFailures) {
+  const auto truth = plain_ground_truth(topo::simplest_diamond());
+  ValidationConfig tight;
+  tight.trace.alpha = 0.05;
+  tight.trace.max_branching = 30;  // much smaller epsilon
+  tight.runs_per_sample = 300;
+  tight.samples = 4;
+  const auto report = validate(truth, tight);
+  EXPECT_LT(report.theoretical_failure, 0.01);
+  EXPECT_LT(report.mean_failure, 0.01);
+}
+
+TEST(Validation, ConsistencyPredicate) {
+  ValidationReport report;
+  report.theoretical_failure = 0.03;
+  report.mean_failure = 0.032;
+  report.ci95_half_width = 0.005;
+  EXPECT_TRUE(report.consistent());
+  report.mean_failure = 0.05;
+  EXPECT_FALSE(report.consistent());
+}
+
+}  // namespace
+}  // namespace mmlpt::core

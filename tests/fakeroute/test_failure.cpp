@@ -1,0 +1,108 @@
+#include "fakeroute/failure.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/stopping_points.h"
+#include "topology/reference.h"
+
+namespace mmlpt::fakeroute {
+namespace {
+
+TEST(Failure, SingleSuccessorNeverFails) {
+  const int nk[] = {0, 6, 11};
+  EXPECT_DOUBLE_EQ(vertex_failure_probability(1, nk), 0.0);
+  EXPECT_DOUBLE_EQ(vertex_failure_probability(0, nk), 0.0);
+}
+
+// The paper's Sec. 3 example: two successors, n1 = 6 (per-vertex bound
+// 0.05) -> failure (1/2)^(n1-1) = 0.03125.
+TEST(Failure, PaperSection3Example) {
+  const int nk[] = {0, 6, 11, 16};
+  EXPECT_NEAR(vertex_failure_probability(2, nk), 0.03125, 1e-12);
+}
+
+TEST(Failure, TwoSuccessorsClosedForm) {
+  // P(fail) = (1/2)^(n1-1) for K = 2 regardless of later stopping points.
+  for (int n1 = 3; n1 <= 12; ++n1) {
+    const int nk[] = {0, n1, n1 + 10};
+    EXPECT_NEAR(vertex_failure_probability(2, nk),
+                std::pow(0.5, n1 - 1), 1e-12)
+        << "n1=" << n1;
+  }
+}
+
+TEST(Failure, MoreSuccessorsHarder) {
+  const int nk[] = {0, 6, 11, 16, 21, 27};
+  double prev = 0.0;
+  for (int k = 2; k <= 5; ++k) {
+    const double p = vertex_failure_probability(k, nk);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Failure, LargerStoppingPointsLowerFailure) {
+  const int loose[] = {0, 6, 11, 16};
+  const int tight[] = {0, 9, 17, 25};
+  EXPECT_GT(vertex_failure_probability(3, loose),
+            vertex_failure_probability(3, tight));
+}
+
+TEST(Failure, MonteCarloAgreement) {
+  // Cross-check the DP against brute-force simulation of the stopping
+  // process for K = 3.
+  const int nk[] = {0, 6, 11, 16};
+  const double dp = vertex_failure_probability(3, nk);
+
+  Rng rng(99);
+  const int runs = 200000;
+  int failures = 0;
+  for (int r = 0; r < runs; ++r) {
+    int found = 1;  // first probe finds one
+    int sent = 1;
+    while (true) {
+      if (found == 3) break;
+      if (sent >= nk[found]) {
+        ++failures;
+        break;
+      }
+      ++sent;
+      if (rng.real() < (3.0 - found) / 3.0) ++found;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(failures) / runs, dp, 0.003);
+}
+
+TEST(Failure, TopologyProductRule) {
+  const int nk[] = {0, 6, 11, 16, 21, 27};
+  // simplest diamond: only the divergence point branches (K=2).
+  EXPECT_NEAR(
+      topology_failure_probability(topo::simplest_diamond(), nk), 0.03125,
+      1e-12);
+  // fig1 unmeshed: divergence K=4 plus 4 vertices with K=1, 2 with K=1.
+  const double div4 = vertex_failure_probability(4, nk);
+  EXPECT_NEAR(topology_failure_probability(topo::fig1_unmeshed(), nk),
+              div4, 1e-12);
+  // fig1 meshed: divergence K=4 and four K=2 vertices.
+  const double k2 = vertex_failure_probability(2, nk);
+  const double expected = 1.0 - (1.0 - div4) * std::pow(1.0 - k2, 4);
+  EXPECT_NEAR(topology_failure_probability(topo::fig1_meshed(), nk),
+              expected, 1e-12);
+}
+
+TEST(Failure, UsesStoppingPointsFromCore) {
+  // Veitch Table 1 stopping points keep the simplest diamond failure
+  // under the per-vertex epsilon.
+  const auto stopping = core::StoppingPoints::veitch_table1();
+  const auto table = stopping.table(8);
+  const double p = topology_failure_probability(topo::simplest_diamond(),
+                                                table);
+  EXPECT_LE(p, stopping.epsilon());
+  EXPECT_GT(p, 0.0);
+}
+
+}  // namespace
+}  // namespace mmlpt::fakeroute

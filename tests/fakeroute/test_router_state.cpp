@@ -1,0 +1,145 @@
+#include "fakeroute/router_state.h"
+
+#include <gtest/gtest.h>
+
+namespace mmlpt::fakeroute {
+namespace {
+
+topo::RouterSpec spec_with(topo::IpIdPolicy policy, double velocity = 1000.0) {
+  topo::RouterSpec spec;
+  spec.ip_id_policy = policy;
+  spec.ip_id_velocity = velocity;
+  return spec;
+}
+
+TEST(RateLimiter, AllowsBurstThenBlocks) {
+  RateLimiter limiter(10.0, 3);
+  const Nanos t0 = 1'000'000'000;
+  EXPECT_TRUE(limiter.allow(t0));
+  EXPECT_TRUE(limiter.allow(t0));
+  EXPECT_TRUE(limiter.allow(t0));
+  EXPECT_FALSE(limiter.allow(t0));
+}
+
+TEST(RateLimiter, RefillsOverTime) {
+  RateLimiter limiter(10.0, 1);
+  const Nanos t0 = 1'000'000'000;
+  EXPECT_TRUE(limiter.allow(t0));
+  EXPECT_FALSE(limiter.allow(t0 + 1'000'000));       // 1 ms: no token yet
+  EXPECT_TRUE(limiter.allow(t0 + 200'000'000));      // 200 ms: refilled
+}
+
+TEST(RouterState, SharedCounterMonotonicAndVelocityDriven) {
+  const auto spec = spec_with(topo::IpIdPolicy::kSharedCounter, 1000.0);
+  RouterState state(spec, Rng(1));
+  const net::Ipv4Address a(10, 0, 0, 1);
+  const net::Ipv4Address b(10, 0, 0, 2);
+
+  Nanos t = 1'000'000'000;
+  std::uint16_t prev = state.next_ip_id(a, t, 0, ReplyKind::kError);
+  for (int i = 1; i < 50; ++i) {
+    t += 2'000'000;  // 2 ms -> ~2 IDs of velocity + 1 per emission
+    // Alternate interfaces: a shared counter ignores the interface.
+    const auto id = state.next_ip_id(i % 2 ? b : a, t, 0, ReplyKind::kError);
+    const auto delta = static_cast<std::uint16_t>(id - prev);
+    EXPECT_GE(delta, 1);
+    EXPECT_LE(delta, 20);
+    prev = id;
+  }
+}
+
+TEST(RouterState, PerInterfaceCountersIndependentForErrors) {
+  const auto spec = spec_with(topo::IpIdPolicy::kPerInterface, 500.0);
+  RouterState state(spec, Rng(2));
+  const net::Ipv4Address a(10, 0, 0, 1);
+  const net::Ipv4Address b(10, 0, 0, 2);
+
+  Nanos t = 1'000'000'000;
+  // Interleave: if counters were shared, B's IDs would interleave with
+  // A's; with independent counters each sequence is separately monotonic
+  // but their absolute values are unrelated (random start).
+  std::vector<std::uint16_t> ids_a, ids_b;
+  for (int i = 0; i < 20; ++i) {
+    t += 2'000'000;
+    ids_a.push_back(state.next_ip_id(a, t, 0, ReplyKind::kError));
+    t += 2'000'000;
+    ids_b.push_back(state.next_ip_id(b, t, 0, ReplyKind::kError));
+  }
+  for (std::size_t i = 1; i < ids_a.size(); ++i) {
+    EXPECT_LT(static_cast<std::uint16_t>(ids_a[i] - ids_a[i - 1]), 0x7FFF);
+    EXPECT_LT(static_cast<std::uint16_t>(ids_b[i] - ids_b[i - 1]), 0x7FFF);
+  }
+}
+
+TEST(RouterState, PerInterfacePolicyUsesSharedCounterForEcho) {
+  const auto spec = spec_with(topo::IpIdPolicy::kPerInterface, 500.0);
+  RouterState state(spec, Rng(3));
+  const net::Ipv4Address a(10, 0, 0, 1);
+  const net::Ipv4Address b(10, 0, 0, 2);
+  Nanos t = 1'000'000'000;
+  // Echo replies from different interfaces share one counter: merged
+  // sequence is monotonic.
+  std::uint16_t prev = state.next_ip_id(a, t, 0, ReplyKind::kEcho);
+  for (int i = 1; i < 30; ++i) {
+    t += 2'000'000;
+    const auto id =
+        state.next_ip_id(i % 2 ? b : a, t, 0, ReplyKind::kEcho);
+    EXPECT_LT(static_cast<std::uint16_t>(id - prev), 0x7FFF);
+    prev = id;
+  }
+}
+
+TEST(RouterState, ConstantZero) {
+  const auto spec = spec_with(topo::IpIdPolicy::kConstantZero);
+  RouterState state(spec, Rng(4));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(state.next_ip_id(net::Ipv4Address(10, 0, 0, 1),
+                               1'000'000'000 + i * 1'000'000, 777,
+                               ReplyKind::kError),
+              0);
+  }
+}
+
+TEST(RouterState, EchoProbeCopiesProbeId) {
+  const auto spec = spec_with(topo::IpIdPolicy::kEchoProbe);
+  RouterState state(spec, Rng(5));
+  EXPECT_EQ(state.next_ip_id(net::Ipv4Address(10, 0, 0, 1), 1'000'000'000,
+                             0xBEEF, ReplyKind::kError),
+            0xBEEF);
+}
+
+TEST(RouterState, RandomPolicyNotMonotonic) {
+  const auto spec = spec_with(topo::IpIdPolicy::kRandom);
+  RouterState state(spec, Rng(6));
+  int backwards = 0;
+  std::uint16_t prev = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto id = state.next_ip_id(net::Ipv4Address(10, 0, 0, 1),
+                                     1'000'000'000 + i * 1'000'000, 0,
+                                     ReplyKind::kError);
+    if (i > 0 && static_cast<std::uint16_t>(id - prev) > 0x7FFF) ++backwards;
+    prev = id;
+  }
+  EXPECT_GT(backwards, 10);
+}
+
+TEST(RouterState, CounterWrapsAround16Bits) {
+  auto spec = spec_with(topo::IpIdPolicy::kSharedCounter, 60000.0);
+  RouterState state(spec, Rng(7));
+  const net::Ipv4Address a(10, 0, 0, 1);
+  Nanos t = 1'000'000'000;
+  std::uint16_t prev = state.next_ip_id(a, t, 0, ReplyKind::kError);
+  bool wrapped = false;
+  for (int i = 0; i < 300; ++i) {
+    t += 10'000'000;  // 10 ms at 60k/s ~ 600 per step
+    const auto id = state.next_ip_id(a, t, 0, ReplyKind::kError);
+    if (id < prev) wrapped = true;
+    // Forward delta must stay small even across the wrap.
+    EXPECT_LT(static_cast<std::uint16_t>(id - prev), 2000);
+    prev = id;
+  }
+  EXPECT_TRUE(wrapped);
+}
+
+}  // namespace
+}  // namespace mmlpt::fakeroute

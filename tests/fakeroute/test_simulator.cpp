@@ -1,0 +1,237 @@
+#include "fakeroute/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/validation.h"
+#include "net/packet.h"
+#include "topology/reference.h"
+
+namespace mmlpt::fakeroute {
+namespace {
+
+topo::GroundTruth diamond_truth() {
+  return core::plain_ground_truth(topo::simplest_diamond());
+}
+
+std::vector<std::uint8_t> probe_bytes(const topo::GroundTruth& truth,
+                                      std::uint16_t src_port,
+                                      std::uint8_t ttl) {
+  net::ProbeSpec spec;
+  spec.src = net::Ipv4Address(192, 168, 0, 1);
+  spec.dst = truth.destination;
+  spec.src_port = src_port;
+  spec.ttl = ttl;
+  return net::build_udp_probe(spec);
+}
+
+TEST(Simulator, Ttl1HitsDivergencePoint) {
+  const auto truth = diamond_truth();
+  Simulator sim(truth, {}, 1);
+  const auto reply = sim.handle(probe_bytes(truth, 40000, 1), 1'000'000'000);
+  ASSERT_TRUE(reply.has_value());
+  const auto parsed = net::parse_reply(reply->datagram);
+  EXPECT_TRUE(parsed.is_time_exceeded());
+  // Hop 1 from the divergence point (hop 0) is one of the two middle
+  // vertices... wait: hop 0 of a bare diamond IS the divergence point, so
+  // TTL 1 expires at hop 1: a middle vertex.
+  const auto responder = parsed.responder();
+  EXPECT_TRUE(responder == topo::reference_addr(1, 1, 0) ||
+              responder == topo::reference_addr(1, 1, 1));
+}
+
+TEST(Simulator, HighTtlReachesDestinationPortUnreachable) {
+  const auto truth = diamond_truth();
+  Simulator sim(truth, {}, 1);
+  const auto reply = sim.handle(probe_bytes(truth, 40000, 30), 1'000'000'000);
+  ASSERT_TRUE(reply.has_value());
+  const auto parsed = net::parse_reply(reply->datagram);
+  EXPECT_TRUE(parsed.is_port_unreachable());
+  EXPECT_EQ(parsed.responder(), truth.destination);
+}
+
+TEST(Simulator, PerFlowForwardingIsDeterministic) {
+  const auto truth = diamond_truth();
+  Simulator sim(truth, {}, 7);
+  for (std::uint16_t port = 40000; port < 40020; ++port) {
+    const auto first = sim.handle(probe_bytes(truth, port, 1), 1'000'000'000);
+    const auto second = sim.handle(probe_bytes(truth, port, 1), 2'000'000'000);
+    ASSERT_TRUE(first && second);
+    EXPECT_EQ(net::parse_reply(first->datagram).responder(),
+              net::parse_reply(second->datagram).responder());
+  }
+}
+
+TEST(Simulator, FlowsSpreadAcrossBothBranches) {
+  const auto truth = diamond_truth();
+  Simulator sim(truth, {}, 7);
+  std::set<std::uint32_t> seen;
+  for (std::uint16_t port = 40000; port < 40032; ++port) {
+    const auto reply = sim.handle(probe_bytes(truth, port, 1), 1'000'000'000);
+    ASSERT_TRUE(reply.has_value());
+    seen.insert(net::parse_reply(reply->datagram).responder().value());
+  }
+  EXPECT_EQ(seen.size(), 2u);  // 32 flows across 2 branches: both seen
+}
+
+TEST(Simulator, QuotedProbeComesBack) {
+  const auto truth = diamond_truth();
+  Simulator sim(truth, {}, 1);
+  const auto probe = probe_bytes(truth, 41555, 1);
+  const auto reply = sim.handle(probe, 1'000'000'000);
+  ASSERT_TRUE(reply.has_value());
+  const auto parsed = net::parse_reply(reply->datagram);
+  ASSERT_TRUE(parsed.quoted_udp.has_value());
+  EXPECT_EQ(parsed.quoted_udp->src_port, 41555);
+  ASSERT_TRUE(parsed.quoted_ip.has_value());
+  EXPECT_EQ(parsed.quoted_ip->dst, truth.destination);
+}
+
+TEST(Simulator, EchoProbeAnswered) {
+  const auto truth = diamond_truth();
+  Simulator sim(truth, {}, 1);
+  const auto target = topo::reference_addr(1, 1, 0);
+  const auto probe = net::build_echo_probe(net::Ipv4Address(192, 168, 0, 1),
+                                           target, 9, 1);
+  const auto reply = sim.handle(probe, 1'000'000'000);
+  ASSERT_TRUE(reply.has_value());
+  const auto parsed = net::parse_reply(reply->datagram);
+  EXPECT_TRUE(parsed.is_echo_reply());
+  EXPECT_EQ(parsed.responder(), target);
+}
+
+TEST(Simulator, EchoToUnknownAddressUnanswered) {
+  const auto truth = diamond_truth();
+  Simulator sim(truth, {}, 1);
+  const auto probe = net::build_echo_probe(net::Ipv4Address(192, 168, 0, 1),
+                                           net::Ipv4Address(9, 9, 9, 9), 9, 1);
+  EXPECT_FALSE(sim.handle(probe, 1'000'000'000).has_value());
+  EXPECT_EQ(sim.counters().dropped_unroutable, 1u);
+}
+
+TEST(Simulator, UnresponsiveRouterDropsIndirect) {
+  auto truth = diamond_truth();
+  truth.routers[1].responds_to_indirect = false;  // a middle vertex
+  truth.routers[2].responds_to_indirect = false;  // the other one
+  Simulator sim(truth, {}, 1);
+  EXPECT_FALSE(sim.handle(probe_bytes(truth, 40000, 1), 1'000'000'000));
+  EXPECT_GE(sim.counters().dropped_unresponsive, 1u);
+}
+
+TEST(Simulator, UnresponsiveToDirectStillAnswersIndirect) {
+  auto truth = diamond_truth();
+  for (auto& r : truth.routers) r.responds_to_direct = false;
+  Simulator sim(truth, {}, 1);
+  EXPECT_TRUE(sim.handle(probe_bytes(truth, 40000, 1), 1'000'000'000));
+  const auto echo = net::build_echo_probe(net::Ipv4Address(192, 168, 0, 1),
+                                          topo::reference_addr(1, 1, 0), 9, 1);
+  EXPECT_FALSE(sim.handle(echo, 1'000'000'000));
+}
+
+TEST(Simulator, LossDropsSomeReplies) {
+  const auto truth = diamond_truth();
+  SimConfig config;
+  config.loss_prob = 0.5;
+  Simulator sim(truth, config, 3);
+  int answered = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (sim.handle(probe_bytes(truth, static_cast<std::uint16_t>(40000 + i), 1),
+                   1'000'000'000 + i)) {
+      ++answered;
+    }
+  }
+  EXPECT_GT(answered, 60);
+  EXPECT_LT(answered, 140);
+  EXPECT_EQ(sim.counters().dropped_loss,
+            200u - static_cast<unsigned>(answered));
+}
+
+TEST(Simulator, RateLimitingKicksIn) {
+  const auto truth = diamond_truth();
+  SimConfig config;
+  config.icmp_rate_limit = 100.0;  // 100 replies/s
+  config.rate_limit_burst = 4;
+  Simulator sim(truth, config, 3);
+  // Fire 20 probes within one millisecond at the same router.
+  int answered = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (sim.handle(probe_bytes(truth, 40000, 2), 1'000'000'000 + i * 10'000)) {
+      ++answered;
+    }
+  }
+  EXPECT_LE(answered, 5);
+  EXPECT_GT(sim.counters().dropped_rate_limit, 0u);
+}
+
+TEST(Simulator, PerPacketLbVariesPath) {
+  const auto truth = diamond_truth();
+  SimConfig config;
+  config.per_packet_lb = true;
+  Simulator sim(truth, config, 11);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 64; ++i) {
+    const auto reply = sim.handle(probe_bytes(truth, 40000, 1),
+                                  1'000'000'000 + i);
+    ASSERT_TRUE(reply);
+    seen.insert(net::parse_reply(reply->datagram).responder().value());
+  }
+  // Same flow, but per-packet balancing: both branches seen.
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(Simulator, PerDestinationLbIgnoresPorts) {
+  const auto truth = diamond_truth();
+  SimConfig config;
+  config.per_destination_lb = true;
+  Simulator sim(truth, config, 13);
+  std::set<std::uint32_t> seen;
+  for (std::uint16_t port = 40000; port < 40032; ++port) {
+    const auto reply = sim.handle(probe_bytes(truth, port, 1), 1'000'000'000);
+    ASSERT_TRUE(reply);
+    seen.insert(net::parse_reply(reply->datagram).responder().value());
+  }
+  EXPECT_EQ(seen.size(), 1u);  // ports no longer matter
+}
+
+TEST(Simulator, MplsLabelsAttached) {
+  auto truth = diamond_truth();
+  truth.routers[1].mpls_label = 12345;
+  Simulator sim(truth, {}, 1);
+  // Find a flow hitting vertex 1 (addr 10.1.1.0).
+  for (std::uint16_t port = 40000; port < 40100; ++port) {
+    const auto reply = sim.handle(probe_bytes(truth, port, 1), 1'000'000'000);
+    ASSERT_TRUE(reply);
+    const auto parsed = net::parse_reply(reply->datagram);
+    if (parsed.responder() == topo::reference_addr(1, 1, 0)) {
+      ASSERT_EQ(parsed.icmp.mpls_labels.size(), 1u);
+      EXPECT_EQ(parsed.icmp.mpls_labels[0].label, 12345u);
+      return;
+    }
+  }
+  FAIL() << "no flow reached the labelled vertex";
+}
+
+TEST(Simulator, ReplyTtlReflectsFingerprintAndDistance) {
+  auto truth = diamond_truth();
+  for (auto& r : truth.routers) r.fingerprint = {255, 64};
+  Simulator sim(truth, {}, 1);
+  const auto reply = sim.handle(probe_bytes(truth, 40000, 1), 1'000'000'000);
+  ASSERT_TRUE(reply);
+  // Hop 1 responder, initial 255 -> reply TTL 254.
+  EXPECT_EQ(net::parse_reply(reply->datagram).outer.ttl, 254);
+}
+
+TEST(Simulator, RttGrowsWithHop) {
+  const auto truth = diamond_truth();
+  SimConfig config;
+  config.jitter_ms = 0.0;
+  Simulator sim(truth, config, 1);
+  const auto near = sim.handle(probe_bytes(truth, 40000, 1), 1'000'000'000);
+  const auto far = sim.handle(probe_bytes(truth, 40000, 30), 1'000'000'000);
+  ASSERT_TRUE(near && far);
+  EXPECT_LT(near->rtt, far->rtt);
+}
+
+}  // namespace
+}  // namespace mmlpt::fakeroute

@@ -1,0 +1,88 @@
+// The paper's Sec. 7 future-work scenarios: Fakeroute simulating
+// exceptions to the MDA model assumptions — unanswered probes, ICMP rate
+// limiting, per-packet load balancing.
+#include <gtest/gtest.h>
+
+#include "core/validation.h"
+#include "topology/reference.h"
+
+namespace mmlpt {
+namespace {
+
+TEST(AssumptionViolations, RateLimitingDegradesDiscovery) {
+  // fig1-meshed: each hop-2 vertex has two successors whose discovery
+  // needs n1 answered probes; severe rate limiting at the successor
+  // routers starves the stopping rule and edges go missing.
+  const auto graph = topo::fig1_meshed();
+  const auto truth = core::plain_ground_truth(graph);
+
+  core::TraceConfig trace;
+  trace.alpha = 0.05;
+  trace.max_branching = 1;  // small budgets: n1 = 6
+
+  fakeroute::SimConfig limited;
+  limited.icmp_rate_limit = 3.0;
+  limited.rate_limit_burst = 1;
+
+  std::size_t with_limit = 0;
+  std::size_t without_limit = 0;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    with_limit +=
+        topo::count_discovered(graph, core::run_trace(truth,
+                                                      core::Algorithm::kMda,
+                                                      trace, limited, seed)
+                                          .graph)
+            .edges;
+    without_limit +=
+        topo::count_discovered(
+            graph,
+            core::run_trace(truth, core::Algorithm::kMda, trace, {}, seed)
+                .graph)
+            .edges;
+  }
+  EXPECT_LT(with_limit, without_limit);
+}
+
+TEST(AssumptionViolations, HeavyLossStillTerminates) {
+  fakeroute::SimConfig sim;
+  sim.loss_prob = 0.6;
+  const auto truth = core::plain_ground_truth(topo::fig1_unmeshed());
+  const auto result =
+      core::run_trace(truth, core::Algorithm::kMdaLite, {}, sim, 3);
+  // No hang, and something was discovered.
+  EXPECT_GT(result.graph.vertex_count(), 1u);
+}
+
+TEST(AssumptionViolations, PerPacketLbBreaksFlowDeterminism) {
+  // Under per-packet balancing the MDA's per-flow model is violated; the
+  // tool still terminates and (conservatively) over-discovers edges.
+  fakeroute::SimConfig sim;
+  sim.per_packet_lb = true;
+  const auto graph = topo::fig1_unmeshed();
+  const auto truth = core::plain_ground_truth(graph);
+  const auto result =
+      core::run_trace(truth, core::Algorithm::kMda, {}, sim, 3);
+  EXPECT_GE(result.graph.vertex_count(), graph.vertex_count() - 1);
+}
+
+TEST(AssumptionViolations, PerDestinationLbLooksLikeSinglePath) {
+  fakeroute::SimConfig sim;
+  sim.per_destination_lb = true;
+  const auto truth = core::plain_ground_truth(topo::max_length_2_diamond());
+  const auto result =
+      core::run_trace(truth, core::Algorithm::kMda, {}, sim, 3);
+  // All flows hash identically: only one middle vertex is reachable.
+  EXPECT_EQ(result.graph.vertices_at(1).size(), 1u);
+}
+
+TEST(AssumptionViolations, SilentInteriorStillReachesDestination) {
+  auto truth = core::plain_ground_truth(topo::simplest_diamond());
+  truth.routers[1].responds_to_indirect = false;
+  truth.routers[2].responds_to_indirect = false;
+  const auto result =
+      core::run_trace(truth, core::Algorithm::kSingleFlow, {}, {}, 1);
+  EXPECT_TRUE(result.reached_destination);
+}
+
+}  // namespace
+}  // namespace mmlpt

@@ -1,0 +1,156 @@
+// End-to-end integration: generated worlds, full tracer stack, packet
+// bytes on the wire, all layers together.
+#include <gtest/gtest.h>
+
+#include "core/multilevel.h"
+#include "core/validation.h"
+#include "fakeroute/failure.h"
+#include "probe/simulated_network.h"
+#include "topology/generator.h"
+#include "topology/metrics.h"
+#include "topology/reference.h"
+
+namespace mmlpt {
+namespace {
+
+TEST(EndToEnd, MdaDiscoversGeneratedRoutes) {
+  topo::RouteGenerator gen(topo::GeneratorConfig{}, 21);
+  int full = 0;
+  const int n = 15;
+  for (int i = 0; i < n; ++i) {
+    const auto route = gen.make_route();
+    const auto result =
+        core::run_trace(route, core::Algorithm::kMda, {}, {},
+                        1000 + static_cast<std::uint64_t>(i));
+    EXPECT_TRUE(result.reached_destination) << "route " << i;
+    if (topo::same_topology(result.graph, route.graph)) ++full;
+  }
+  EXPECT_GE(full, n - 2);  // bounded failure probability
+}
+
+TEST(EndToEnd, MdaLiteDiscoversGeneratedRoutes) {
+  topo::RouteGenerator gen(topo::GeneratorConfig{}, 22);
+  int full = 0;
+  const int n = 15;
+  for (int i = 0; i < n; ++i) {
+    const auto route = gen.make_route();
+    const auto result =
+        core::run_trace(route, core::Algorithm::kMdaLite, {}, {},
+                        2000 + static_cast<std::uint64_t>(i));
+    EXPECT_TRUE(result.reached_destination) << "route " << i;
+    if (topo::same_topology(result.graph, route.graph)) ++full;
+  }
+  EXPECT_GE(full, n - 3);
+}
+
+TEST(EndToEnd, LiteSavesPacketsOnUniformUnmeshedWorlds) {
+  // Force a world of uniform, unmeshed diamonds and compare costs.
+  topo::GeneratorConfig config;
+  config.meshed_prob_given_long = 0.0;
+  config.asym_given_meshed = 0.0;
+  config.asym_given_unmeshed = 0.0;
+  topo::RouteGenerator gen(config, 23);
+  std::uint64_t lite = 0;
+  std::uint64_t mda = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto route = gen.make_route();
+    const auto seed = 3000 + static_cast<std::uint64_t>(i);
+    const auto lite_result =
+        core::run_trace(route, core::Algorithm::kMdaLite, {}, {}, seed);
+    EXPECT_FALSE(lite_result.switched_to_mda);
+    lite += lite_result.packets;
+    mda += core::run_trace(route, core::Algorithm::kMda, {}, {}, seed + 1)
+               .packets;
+  }
+  EXPECT_LT(lite, mda);
+}
+
+TEST(EndToEnd, SwitchRateTracksMeshedWorlds) {
+  topo::GeneratorConfig config;
+  config.meshed_prob_given_long = 1.0;
+  config.length_weights = {0, 0, 0.0, 0.5, 0.5};  // all length 3-4
+  topo::RouteGenerator gen(config, 24);
+  int switched = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto route = gen.make_route();
+    const auto result =
+        core::run_trace(route, core::Algorithm::kMdaLite, {}, {},
+                        4000 + static_cast<std::uint64_t>(i));
+    if (result.switched_to_mda) ++switched;
+  }
+  EXPECT_GE(switched, 8);
+}
+
+TEST(EndToEnd, TheoreticalFailureMatchesEmpiricalOnGeneratedDiamond) {
+  topo::GeneratorConfig config;
+  config.meshed_prob_given_long = 0.0;
+  config.asym_given_unmeshed = 0.0;
+  topo::RouteGenerator gen(config, 25);
+  const auto tmpl = gen.make_diamond();
+
+  core::ValidationConfig vconfig;
+  vconfig.algorithm = core::Algorithm::kMda;
+  vconfig.trace.alpha = 0.05;
+  vconfig.trace.max_branching = 1;
+  vconfig.runs_per_sample = 150;
+  vconfig.samples = 6;
+  const auto report = core::validate(tmpl.truth, vconfig);
+  EXPECT_NEAR(report.mean_failure, report.theoretical_failure,
+              std::max(0.02, 4 * report.ci95_half_width));
+}
+
+TEST(EndToEnd, MultilevelOnGeneratedRouteRecoversRouters) {
+  topo::GeneratorConfig config;
+  // All shared counters so alias resolution has a fighting chance.
+  config.ipid_shared = 1.0;
+  config.ipid_per_interface = 0.0;
+  config.ipid_constant_zero = 0.0;
+  config.ipid_echo_probe = 0.0;
+  config.ipid_random = 0.0;
+  config.class_no_change = 0.0;
+  config.class_single_smaller = 1.0;
+  config.class_multiple_smaller = 0.0;
+  config.class_one_path = 0.0;
+  topo::RouteGenerator gen(config, 26);
+  const auto route = gen.make_route();
+
+  fakeroute::Simulator simulator(route, {}, 5);
+  probe::SimulatedNetwork network(simulator);
+  probe::ProbeEngine::Config engine_config;
+  engine_config.source = route.source;
+  engine_config.destination = route.destination;
+  probe::ProbeEngine engine(network, engine_config);
+  core::MultilevelTracer tracer(engine, core::MultilevelConfig{});
+  const auto result = tracer.run();
+
+  // Compare against ground truth router level.
+  const auto truth_router = route.router_level_graph();
+  const auto found = topo::count_discovered(truth_router, result.router_graph);
+  // Most of the router-level structure recovered.
+  EXPECT_GE(found.vertices, truth_router.vertex_count() * 8 / 10);
+}
+
+TEST(EndToEnd, PacketCountsConsistentAcrossLayers) {
+  const auto truth =
+      core::plain_ground_truth(topo::symmetric_diamond());
+  fakeroute::Simulator simulator(truth, {}, 5);
+  probe::SimulatedNetwork network(simulator);
+  probe::ProbeEngine::Config engine_config;
+  engine_config.source = truth.source;
+  engine_config.destination = truth.destination;
+  probe::ProbeEngine engine(network, engine_config);
+  core::MdaTracer tracer(engine, {});
+  const auto result = tracer.run();
+
+  EXPECT_EQ(result.packets, engine.packets_sent());
+  EXPECT_EQ(simulator.counters().probes_in, engine.packets_sent());
+  EXPECT_EQ(simulator.counters().replies_out +
+                simulator.counters().dropped_loss +
+                simulator.counters().dropped_rate_limit +
+                simulator.counters().dropped_unresponsive +
+                simulator.counters().dropped_unroutable,
+            simulator.counters().probes_in);
+}
+
+}  // namespace
+}  // namespace mmlpt

@@ -1,0 +1,59 @@
+#include "net/checksum.h"
+
+#include <gtest/gtest.h>
+
+namespace mmlpt::net {
+namespace {
+
+// Classic worked example from RFC 1071 discussions: the checksum of this
+// IPv4 header (checksum field zeroed) is 0xB861.
+TEST(InternetChecksum, Rfc1071WorkedExample) {
+  const std::uint8_t header[] = {0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40,
+                                 0x00, 0x40, 0x11, 0x00, 0x00, 0xC0, 0xA8,
+                                 0x00, 0x01, 0xC0, 0xA8, 0x00, 0xC7};
+  EXPECT_EQ(internet_checksum(header), 0xB861);
+}
+
+TEST(InternetChecksum, SumWithChecksumFoldsToZero) {
+  const std::uint8_t header[] = {0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40,
+                                 0x00, 0x40, 0x11, 0xB8, 0x61, 0xC0, 0xA8,
+                                 0x00, 0x01, 0xC0, 0xA8, 0x00, 0xC7};
+  EXPECT_EQ(internet_checksum(header), 0x0000);
+}
+
+TEST(InternetChecksum, EmptyIsAllOnesComplement) {
+  EXPECT_EQ(internet_checksum({}), 0xFFFF);
+}
+
+TEST(InternetChecksum, OddLengthPadsWithZero) {
+  const std::uint8_t odd[] = {0x01};
+  // Sum = 0x0100 -> checksum = ~0x0100 = 0xFEFF.
+  EXPECT_EQ(internet_checksum(odd), 0xFEFF);
+}
+
+TEST(UdpChecksum, NeverZero) {
+  // Craft a segment whose checksum would come out 0; RFC 768 requires it
+  // to be transmitted as 0xFFFF. It is difficult to hand-craft; instead
+  // verify the invariant on many segments.
+  const Ipv4Address src(10, 0, 0, 1);
+  const Ipv4Address dst(10, 0, 0, 2);
+  for (std::uint16_t i = 0; i < 200; ++i) {
+    const std::uint8_t segment[] = {
+        static_cast<std::uint8_t>(i >> 8), static_cast<std::uint8_t>(i),
+        0x82, 0x9A, 0x00, 0x08, 0x00, 0x00};
+    EXPECT_NE(udp_checksum(src, dst, segment), 0);
+  }
+}
+
+TEST(UdpChecksum, DependsOnPseudoHeader) {
+  const std::uint8_t segment[] = {0x82, 0x9A, 0x82, 0x9B,
+                                  0x00, 0x08, 0x00, 0x00};
+  const auto a =
+      udp_checksum(Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2), segment);
+  const auto b =
+      udp_checksum(Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 3), segment);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace mmlpt::net

@@ -1,0 +1,120 @@
+#include "net/icmp.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "net/checksum.h"
+
+namespace mmlpt::net {
+namespace {
+
+TEST(Icmp, EchoRequestRoundTrip) {
+  const auto request = make_echo_request(0x1234, 7, 8);
+  const auto bytes = request.serialize();
+  ASSERT_GE(bytes.size(), 16u);
+  EXPECT_EQ(bytes[0], 8);  // type
+  EXPECT_EQ(internet_checksum(bytes), 0);  // self-verifying
+
+  WireReader r(bytes);
+  const auto parsed = IcmpMessage::parse(r);
+  EXPECT_EQ(parsed.type, IcmpType::kEchoRequest);
+  EXPECT_EQ(parsed.identifier, 0x1234);
+  EXPECT_EQ(parsed.sequence, 7);
+  EXPECT_EQ(parsed.echo_payload.size(), 8u);
+}
+
+TEST(Icmp, EchoReplyMirrorsRequest) {
+  const auto request = make_echo_request(42, 1);
+  const auto reply = make_echo_reply(request);
+  EXPECT_EQ(reply.type, IcmpType::kEchoReply);
+  EXPECT_EQ(reply.identifier, 42);
+  EXPECT_EQ(reply.echo_payload, request.echo_payload);
+}
+
+TEST(Icmp, TimeExceededQuotesDatagram) {
+  const std::vector<std::uint8_t> quoted(28, 0x5A);
+  const auto message = make_time_exceeded(quoted);
+  const auto bytes = message.serialize();
+
+  WireReader r(bytes);
+  const auto parsed = IcmpMessage::parse(r);
+  EXPECT_EQ(parsed.type, IcmpType::kTimeExceeded);
+  EXPECT_EQ(parsed.code, kCodeTtlExceeded);
+  EXPECT_EQ(parsed.quoted, quoted);
+  EXPECT_TRUE(parsed.mpls_labels.empty());
+}
+
+TEST(Icmp, PortUnreachable) {
+  const std::vector<std::uint8_t> quoted(28, 0x11);
+  const auto bytes = make_port_unreachable(quoted).serialize();
+  WireReader r(bytes);
+  const auto parsed = IcmpMessage::parse(r);
+  EXPECT_EQ(parsed.type, IcmpType::kDestUnreachable);
+  EXPECT_EQ(parsed.code, kCodePortUnreachable);
+  EXPECT_TRUE(parsed.is_error());
+}
+
+TEST(Icmp, MplsExtensionRoundTrip) {
+  const std::vector<std::uint8_t> quoted(28, 0x33);
+  const std::vector<MplsLabelEntry> labels{{1048575, 5, false, 254},
+                                           {17, 0, true, 3}};
+  const auto bytes = make_time_exceeded(quoted, labels).serialize();
+
+  WireReader r(bytes);
+  const auto parsed = IcmpMessage::parse(r);
+  ASSERT_EQ(parsed.mpls_labels.size(), 2u);
+  EXPECT_EQ(parsed.mpls_labels[0].label, 1048575u);
+  EXPECT_EQ(parsed.mpls_labels[0].traffic_class, 5);
+  EXPECT_FALSE(parsed.mpls_labels[0].bottom_of_stack);
+  EXPECT_EQ(parsed.mpls_labels[0].ttl, 254);
+  EXPECT_EQ(parsed.mpls_labels[1], labels[1]);
+  // RFC 4884: quoted region padded to 128 bytes when extensions present.
+  EXPECT_EQ(parsed.quoted.size(), 128u);
+  EXPECT_EQ(parsed.quoted[0], 0x33);
+  EXPECT_EQ(parsed.quoted[28], 0x00);  // padding
+}
+
+TEST(Icmp, ChecksumCorruptionDetected) {
+  auto bytes = make_echo_request(1, 1).serialize();
+  bytes[4] ^= 0x80;
+  WireReader r(bytes);
+  EXPECT_THROW((void)IcmpMessage::parse(r), ParseError);
+}
+
+TEST(Icmp, UnsupportedTypeRejected) {
+  std::vector<std::uint8_t> bytes{13, 0, 0, 0, 0, 0, 0, 0};  // timestamp
+  const auto sum = internet_checksum(bytes);
+  bytes[2] = static_cast<std::uint8_t>(sum >> 8);
+  bytes[3] = static_cast<std::uint8_t>(sum & 0xFF);
+  WireReader r(bytes);
+  EXPECT_THROW((void)IcmpMessage::parse(r), ParseError);
+}
+
+TEST(Icmp, LegacyZeroLengthQuoted) {
+  // Old-style error message: length field 0, quoted runs to the end.
+  const std::vector<std::uint8_t> quoted(36, 0x77);
+  const auto bytes = make_time_exceeded(quoted).serialize();
+  EXPECT_EQ(bytes[5], 0);  // no RFC 4884 length without extensions
+  WireReader r(bytes);
+  const auto parsed = IcmpMessage::parse(r);
+  EXPECT_EQ(parsed.quoted.size(), 36u);
+}
+
+TEST(Icmp, ExtensionChecksumCorruptionDetected) {
+  const std::vector<std::uint8_t> quoted(28, 0x33);
+  const std::vector<MplsLabelEntry> labels{{99, 0, true, 10}};
+  auto bytes = make_time_exceeded(quoted, labels).serialize();
+  // The extension begins after header (8) + padded quote (128).
+  const std::size_t ext = 8 + 128;
+  bytes[ext + 4] ^= 0x01;  // corrupt object length
+  // Fix the outer ICMP checksum so only the extension checksum fails.
+  bytes[2] = bytes[3] = 0;
+  const auto sum = internet_checksum(bytes);
+  bytes[2] = static_cast<std::uint8_t>(sum >> 8);
+  bytes[3] = static_cast<std::uint8_t>(sum & 0xFF);
+  WireReader r(bytes);
+  EXPECT_THROW((void)IcmpMessage::parse(r), ParseError);
+}
+
+}  // namespace
+}  // namespace mmlpt::net

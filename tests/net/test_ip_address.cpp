@@ -1,0 +1,75 @@
+#include "net/ip_address.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/error.h"
+
+namespace mmlpt::net {
+namespace {
+
+TEST(Ipv4Address, ParseValid) {
+  const auto a = Ipv4Address::parse("192.168.1.200");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->value(), 0xC0A801C8u);
+}
+
+TEST(Ipv4Address, ParseBoundaries) {
+  EXPECT_EQ(Ipv4Address::parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(Ipv4Address::parse("255.255.255.255")->value(), 0xFFFFFFFFu);
+}
+
+TEST(Ipv4Address, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Address::parse(""));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.256"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.x"));
+  EXPECT_FALSE(Ipv4Address::parse("1..2.3"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4 "));
+  EXPECT_FALSE(Ipv4Address::parse("-1.2.3.4"));
+}
+
+TEST(Ipv4Address, ParseOrThrow) {
+  EXPECT_EQ(Ipv4Address::parse_or_throw("10.0.0.1").value(), 0x0A000001u);
+  EXPECT_THROW((void)Ipv4Address::parse_or_throw("nope"), ParseError);
+}
+
+TEST(Ipv4Address, RoundTrip) {
+  for (const auto text : {"1.2.3.4", "10.255.0.1", "172.16.254.3"}) {
+    EXPECT_EQ(Ipv4Address::parse_or_throw(text).to_string(), text);
+  }
+}
+
+TEST(Ipv4Address, OctetConstructor) {
+  EXPECT_EQ(Ipv4Address(10, 1, 2, 3).to_string(), "10.1.2.3");
+}
+
+TEST(Ipv4Address, Ordering) {
+  EXPECT_LT(Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2));
+  EXPECT_EQ(Ipv4Address(1, 2, 3, 4), Ipv4Address::parse_or_throw("1.2.3.4"));
+}
+
+TEST(Ipv4Address, Unspecified) {
+  EXPECT_TRUE(Ipv4Address().is_unspecified());
+  EXPECT_FALSE(Ipv4Address(1, 0, 0, 0).is_unspecified());
+}
+
+TEST(Ipv4Address, StreamOutput) {
+  std::ostringstream os;
+  os << Ipv4Address(8, 8, 4, 4);
+  EXPECT_EQ(os.str(), "8.8.4.4");
+}
+
+TEST(Ipv4Address, Hashable) {
+  std::unordered_set<Ipv4Address> set;
+  set.insert(Ipv4Address(1, 1, 1, 1));
+  set.insert(Ipv4Address(1, 1, 1, 1));
+  set.insert(Ipv4Address(1, 1, 1, 2));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mmlpt::net

@@ -1,0 +1,97 @@
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace mmlpt::net {
+namespace {
+
+TEST(WireWriter, BigEndianLayout) {
+  WireWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  const auto bytes = std::move(w).take();
+  const std::vector<std::uint8_t> expected{0xAB, 0x12, 0x34,
+                                           0xDE, 0xAD, 0xBE, 0xEF};
+  EXPECT_EQ(bytes, expected);
+}
+
+TEST(WireWriter, PatchU16) {
+  WireWriter w;
+  w.u16(0);
+  w.u16(0xFFFF);
+  w.patch_u16(0, 0xBEEF);
+  const auto bytes = std::move(w).take();
+  EXPECT_EQ(bytes[0], 0xBE);
+  EXPECT_EQ(bytes[1], 0xEF);
+  EXPECT_EQ(bytes[2], 0xFF);
+}
+
+TEST(WireWriter, PatchOutOfRangeThrows) {
+  WireWriter w;
+  w.u8(0);
+  EXPECT_THROW(w.patch_u16(0, 1), ParseError);
+}
+
+TEST(WireWriter, ZerosAndBytes) {
+  WireWriter w;
+  w.zeros(3);
+  const std::uint8_t data[] = {1, 2};
+  w.bytes(data);
+  EXPECT_EQ(w.size(), 5u);
+  EXPECT_EQ(w.view()[2], 0);
+  EXPECT_EQ(w.view()[4], 2);
+}
+
+TEST(WireReader, ReadsBackWhatWriterWrote) {
+  WireWriter w;
+  w.u8(7);
+  w.u16(300);
+  w.u32(70000);
+  const auto bytes = std::move(w).take();
+  WireReader r(bytes);
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u16(), 300);
+  EXPECT_EQ(r.u32(), 70000u);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(WireReader, TruncatedThrows) {
+  const std::vector<std::uint8_t> bytes{1, 2, 3};
+  WireReader r(bytes);
+  (void)r.u16();
+  EXPECT_THROW((void)r.u16(), ParseError);
+}
+
+TEST(WireReader, SkipAndOffset) {
+  const std::vector<std::uint8_t> bytes{1, 2, 3, 4, 5};
+  WireReader r(bytes);
+  r.skip(2);
+  EXPECT_EQ(r.offset(), 2u);
+  EXPECT_EQ(r.u8(), 3);
+  EXPECT_THROW(r.skip(5), ParseError);
+}
+
+TEST(WireReader, BytesView) {
+  const std::vector<std::uint8_t> bytes{9, 8, 7, 6};
+  WireReader r(bytes);
+  const auto view = r.bytes(2);
+  EXPECT_EQ(view[0], 9);
+  EXPECT_EQ(view[1], 8);
+  EXPECT_EQ(r.rest()[0], 7);
+}
+
+TEST(WireReader, Window) {
+  const std::vector<std::uint8_t> bytes{1, 2, 3, 4};
+  WireReader r(bytes);
+  r.skip(3);
+  const auto win = r.window(1, 2);
+  EXPECT_EQ(win[0], 2);
+  EXPECT_EQ(win[1], 3);
+  EXPECT_THROW((void)r.window(2, 3), ParseError);
+}
+
+}  // namespace
+}  // namespace mmlpt::net

@@ -1,0 +1,170 @@
+#include "topology/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/metrics.h"
+
+namespace mmlpt::topo {
+namespace {
+
+TEST(RouteGenerator, DiamondsValidateAndMatchMetrics) {
+  RouteGenerator gen(GeneratorConfig{}, 1);
+  for (int i = 0; i < 200; ++i) {
+    const auto d = gen.make_diamond();
+    EXPECT_GE(d.metrics.max_length, 2);
+    EXPECT_GE(d.metrics.max_width, 2);
+    EXPECT_EQ(d.truth.graph.vertices_at(0).size(), 1u);
+    EXPECT_EQ(
+        d.truth.graph
+            .vertices_at(static_cast<std::uint16_t>(
+                d.truth.graph.hop_count() - 1))
+            .size(),
+        1u);
+    // Router map covers every vertex.
+    EXPECT_EQ(d.truth.vertex_router.size(), d.truth.graph.vertex_count());
+    for (const auto r : d.truth.vertex_router) {
+      EXPECT_LT(r, d.truth.routers.size());
+    }
+  }
+}
+
+TEST(RouteGenerator, Length2DiamondsHaveNoMeshingOrAsymmetry) {
+  RouteGenerator gen(GeneratorConfig{}, 2);
+  for (int i = 0; i < 200; ++i) {
+    const auto d = gen.make_diamond();
+    if (d.metrics.max_length == 2) {
+      EXPECT_FALSE(d.metrics.meshed);
+      EXPECT_EQ(d.metrics.max_width_asymmetry, 0);
+      EXPECT_TRUE(d.metrics.uniform);
+    }
+  }
+}
+
+TEST(RouteGenerator, PopulationMarginalsRoughlyCalibrated) {
+  RouteGenerator gen(GeneratorConfig{}, 3);
+  int length2 = 0;
+  int meshed = 0;
+  int zero_asym = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const auto d = gen.make_diamond();
+    if (d.metrics.max_length == 2) ++length2;
+    if (d.metrics.meshed) ++meshed;
+    if (d.metrics.max_width_asymmetry == 0) ++zero_asym;
+  }
+  // Paper: ~45% of distinct diamonds max length 2.
+  EXPECT_NEAR(length2 / static_cast<double>(n), 0.45, 0.08);
+  // Paper: 19138/60921 ~ 31% of distinct diamonds meshed.
+  EXPECT_NEAR(meshed / static_cast<double>(n), 0.31, 0.10);
+  // Paper: 89% of diamonds have zero width asymmetry.
+  EXPECT_NEAR(zero_asym / static_cast<double>(n), 0.89, 0.08);
+}
+
+TEST(RouteGenerator, RouteEmbedsDiamondAndDestination) {
+  RouteGenerator gen(GeneratorConfig{}, 4);
+  const auto d = gen.make_diamond();
+  const auto route = gen.make_route({&d});
+  route.graph.validate();
+  EXPECT_EQ(route.vertex_router.size(), route.graph.vertex_count());
+  // Source at hop 0, destination at the last hop, both single.
+  EXPECT_EQ(route.graph.vertices_at(0).size(), 1u);
+  const auto last = static_cast<std::uint16_t>(route.graph.hop_count() - 1);
+  EXPECT_EQ(route.graph.vertices_at(last).size(), 1u);
+  EXPECT_EQ(route.graph.vertex(route.graph.vertices_at(0)[0]).addr,
+            route.source);
+  EXPECT_EQ(route.graph.vertex(route.graph.vertices_at(last)[0]).addr,
+            route.destination);
+  // The diamond's divergence address appears somewhere inside.
+  EXPECT_NE(route.graph.find(d.truth.source), kInvalidVertex);
+  // Extracted diamonds include one with the template's key.
+  const auto diamonds = extract_diamonds(route.graph);
+  bool found = false;
+  for (const auto& dd : diamonds) {
+    if (diamond_key(route.graph, dd).divergence == d.truth.source.value()) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RouteGenerator, RouteWithTwoDiamonds) {
+  RouteGenerator gen(GeneratorConfig{}, 5);
+  const auto d1 = gen.make_diamond();
+  const auto d2 = gen.make_diamond();
+  const auto route = gen.make_route({&d1, &d2});
+  route.graph.validate();
+  EXPECT_GE(extract_diamonds(route.graph).size(), 2u);
+}
+
+TEST(RouteGenerator, ResolutionClassesRealizable) {
+  RouteGenerator gen(GeneratorConfig{}, 6);
+  int one_path_seen = 0;
+  int merged_seen = 0;
+  for (int i = 0; i < 300; ++i) {
+    const auto d = gen.make_diamond();
+    const auto merged = d.truth.router_level_graph();
+    const auto ip_width = d.metrics.max_width;
+    const auto merged_metrics =
+        merged.vertices_at(1).size() >= 1 && merged.hop_count() >= 3
+            ? compute_metrics(merged,
+                              Diamond{0, static_cast<std::uint16_t>(
+                                             merged.hop_count() - 1)})
+            : DiamondMetrics{};
+    switch (d.resolution) {
+      case ResolutionClass::kNoChange:
+        EXPECT_TRUE(same_topology(merged, d.truth.graph));
+        break;
+      case ResolutionClass::kOnePath: {
+        ++one_path_seen;
+        for (std::uint16_t h = 1; h + 1 < merged.hop_count(); ++h) {
+          EXPECT_EQ(merged.vertices_at(h).size(), 1u);
+        }
+        break;
+      }
+      case ResolutionClass::kSingleSmallerDiamond:
+      case ResolutionClass::kMultipleSmallerDiamonds:
+        ++merged_seen;
+        EXPECT_LE(merged_metrics.max_width, ip_width);
+        break;
+    }
+  }
+  EXPECT_GT(one_path_seen, 0);
+  EXPECT_GT(merged_seen, 0);
+}
+
+TEST(SurveyWorld, ReencountersTemplates) {
+  SurveyWorld world(GeneratorConfig{}, 50, 7);
+  std::set<std::size_t> used;
+  int routes_with_two = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto route = world.next_route();
+    route.graph.validate();
+    for (const auto t : world.last_route_templates()) used.insert(t);
+    if (world.last_route_templates().size() == 2) ++routes_with_two;
+  }
+  // Zipf re-encounter: some templates seen many times, most at least one
+  // distinct subset used.
+  EXPECT_GE(used.size(), 15u);
+  EXPECT_LT(used.size(), 51u);
+  EXPECT_GT(routes_with_two, 20);
+}
+
+TEST(SurveyWorld, TemplateAddressesStableAcrossRoutes) {
+  SurveyWorld world(GeneratorConfig{}, 3, 8);
+  // Force many routes; diamond addresses must recur (same templates).
+  std::set<std::uint32_t> divergences;
+  for (int i = 0; i < 30; ++i) {
+    const auto route = world.next_route();
+    for (const auto& d : extract_diamonds(route.graph)) {
+      divergences.insert(diamond_key(route.graph, d).divergence);
+    }
+  }
+  // Only 3 templates exist, so at most 3 distinct divergence addresses
+  // (plus none from prefixes which are single hops).
+  EXPECT_LE(divergences.size(), 3u);
+}
+
+}  // namespace
+}  // namespace mmlpt::topo

@@ -1,0 +1,74 @@
+#include "topology/ground_truth.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/reference.h"
+
+namespace mmlpt::topo {
+namespace {
+
+/// Simplest diamond whose two middle interfaces belong to one router.
+GroundTruth merged_middle_truth() {
+  GroundTruth t;
+  t.graph = simplest_diamond();
+  // vertices: 0 = divergence, 1,2 = middle, 3 = convergence.
+  t.vertex_router = {0, 1, 1, 2};
+  t.routers.resize(3);
+  for (std::uint32_t i = 0; i < 3; ++i) t.routers[i].id = i;
+  t.source = t.graph.vertex(t.graph.vertices_at(0)[0]).addr;
+  t.destination = t.graph.vertex(t.graph.vertices_at(2)[0]).addr;
+  return t;
+}
+
+TEST(GroundTruth, RouterSizes) {
+  const auto t = merged_middle_truth();
+  const auto sizes = t.router_sizes();
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 1u);
+  EXPECT_EQ(sizes[1], 2u);
+  EXPECT_EQ(sizes[2], 1u);
+}
+
+TEST(GroundTruth, RouterLevelGraphCollapsesDiamond) {
+  const auto t = merged_middle_truth();
+  const auto merged = t.router_level_graph();
+  EXPECT_EQ(merged.hop_count(), 3);
+  EXPECT_EQ(merged.vertices_at(1).size(), 1u);  // diamond resolved away
+  EXPECT_EQ(merged.edge_count(), 2u);
+  // Representative address is the lowest member interface.
+  const auto rep = merged.vertex(merged.vertices_at(1)[0]).addr;
+  EXPECT_EQ(rep, reference_addr(1, 1, 0));
+}
+
+TEST(GroundTruth, RouterLevelGraphIdentityWhenNoAliases) {
+  GroundTruth t;
+  t.graph = fig1_unmeshed();
+  t.vertex_router.resize(t.graph.vertex_count());
+  t.routers.resize(t.graph.vertex_count());
+  for (VertexId v = 0; v < t.graph.vertex_count(); ++v) {
+    t.vertex_router[v] = v;
+    t.routers[v].id = v;
+  }
+  const auto merged = t.router_level_graph();
+  EXPECT_TRUE(same_topology(t.graph, merged));
+}
+
+TEST(GroundTruth, AliasSetsAtHop) {
+  const auto t = merged_middle_truth();
+  const auto sets = t.alias_sets_at(1);
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0].size(), 2u);
+
+  const auto hop0 = t.alias_sets_at(0);
+  ASSERT_EQ(hop0.size(), 1u);
+  EXPECT_EQ(hop0[0].size(), 1u);
+}
+
+TEST(GroundTruth, RouterOf) {
+  const auto t = merged_middle_truth();
+  EXPECT_EQ(t.router_of(1).id, 1u);
+  EXPECT_EQ(t.router_of(3).id, 2u);
+}
+
+}  // namespace
+}  // namespace mmlpt::topo

@@ -1,0 +1,197 @@
+#include "topology/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/reference.h"
+
+namespace mmlpt::topo {
+namespace {
+
+TEST(Metrics, SimplestDiamond) {
+  const auto g = simplest_diamond();
+  const auto m = compute_metrics(g);
+  EXPECT_EQ(m.max_width, 2);
+  EXPECT_EQ(m.max_length, 2);
+  EXPECT_EQ(m.max_width_asymmetry, 0);
+  EXPECT_FALSE(m.meshed);
+  EXPECT_TRUE(m.uniform);
+  EXPECT_EQ(m.multi_vertex_hops, 1);
+}
+
+TEST(Metrics, Fig1UnmeshedVsMeshed) {
+  const auto unmeshed = compute_metrics(fig1_unmeshed());
+  EXPECT_FALSE(unmeshed.meshed);
+  EXPECT_TRUE(unmeshed.uniform);
+  EXPECT_EQ(unmeshed.max_width, 4);
+  EXPECT_EQ(unmeshed.max_length, 3);
+
+  const auto meshed = compute_metrics(fig1_meshed());
+  EXPECT_TRUE(meshed.meshed);
+  EXPECT_TRUE(meshed.uniform);  // full mesh keeps probabilities equal
+  EXPECT_EQ(meshed.max_width, 4);
+}
+
+// Fig. 6 left diamond is annotated in the paper with max length 4,
+// max width 5, max width asymmetry 1.
+TEST(Metrics, Fig6LeftMatchesPaperAnnotations) {
+  const auto g = fig6_left();
+  const auto m = compute_metrics(g);
+  EXPECT_EQ(m.max_length, 4);
+  EXPECT_EQ(m.max_width, 5);
+  EXPECT_EQ(m.max_width_asymmetry, 1);
+  EXPECT_FALSE(m.meshed);
+  EXPECT_FALSE(m.uniform);
+}
+
+// Fig. 6 right diamond: ratio of meshed hops 0.4 (two of five pairs).
+TEST(Metrics, Fig6RightMeshedRatio) {
+  const auto g = fig6_right();
+  const auto m = compute_metrics(g);
+  EXPECT_EQ(m.max_length, 5);
+  EXPECT_TRUE(m.meshed);
+  EXPECT_DOUBLE_EQ(m.meshed_hop_ratio, 0.4);
+}
+
+TEST(Metrics, SimulationDiamondShapes) {
+  const auto ml2 = compute_metrics(max_length_2_diamond());
+  EXPECT_EQ(ml2.max_length, 2);
+  EXPECT_EQ(ml2.max_width, 28);
+  EXPECT_FALSE(ml2.meshed);
+  EXPECT_TRUE(ml2.uniform);
+  EXPECT_EQ(ml2.multi_vertex_hops, 1);
+
+  const auto sym = compute_metrics(symmetric_diamond());
+  EXPECT_EQ(sym.max_width, 10);
+  EXPECT_EQ(sym.multi_vertex_hops, 3);
+  EXPECT_FALSE(sym.meshed);
+  EXPECT_TRUE(sym.uniform);
+  EXPECT_EQ(sym.max_width_asymmetry, 0);
+
+  const auto asym = compute_metrics(asymmetric_diamond());
+  EXPECT_EQ(asym.max_width, 19);
+  EXPECT_EQ(asym.multi_vertex_hops, 9);
+  EXPECT_FALSE(asym.meshed);
+  EXPECT_FALSE(asym.uniform);
+  EXPECT_EQ(asym.max_width_asymmetry, 17);
+
+  const auto mesh = compute_metrics(meshed_diamond());
+  EXPECT_EQ(mesh.max_width, 48);
+  EXPECT_EQ(mesh.multi_vertex_hops, 5);
+  EXPECT_TRUE(mesh.meshed);
+}
+
+TEST(Metrics, ExtractDiamondsFindsBoundedSegments) {
+  // Build a route: single, single, diamond(2 wide), single, single.
+  MultipathGraph g;
+  for (int h = 0; h < 6; ++h) g.add_hop();
+  const auto v0 = g.add_vertex(0, net::Ipv4Address(10, 0, 0, 1));
+  const auto v1 = g.add_vertex(1, net::Ipv4Address(10, 0, 0, 2));
+  const auto v2a = g.add_vertex(2, net::Ipv4Address(10, 0, 0, 3));
+  const auto v2b = g.add_vertex(2, net::Ipv4Address(10, 0, 0, 4));
+  const auto v3 = g.add_vertex(3, net::Ipv4Address(10, 0, 0, 5));
+  const auto v4 = g.add_vertex(4, net::Ipv4Address(10, 0, 0, 6));
+  const auto v5 = g.add_vertex(5, net::Ipv4Address(10, 0, 0, 7));
+  g.add_edge(v0, v1);
+  g.add_edge(v1, v2a);
+  g.add_edge(v1, v2b);
+  g.add_edge(v2a, v3);
+  g.add_edge(v2b, v3);
+  g.add_edge(v3, v4);
+  g.add_edge(v4, v5);
+
+  const auto diamonds = extract_diamonds(g);
+  ASSERT_EQ(diamonds.size(), 1u);
+  EXPECT_EQ(diamonds[0].divergence_hop, 1);
+  EXPECT_EQ(diamonds[0].convergence_hop, 3);
+  EXPECT_EQ(diamonds[0].length(), 2);
+
+  const auto key = diamond_key(g, diamonds[0]);
+  EXPECT_EQ(key.divergence, net::Ipv4Address(10, 0, 0, 2).value());
+  EXPECT_EQ(key.convergence, net::Ipv4Address(10, 0, 0, 5).value());
+}
+
+TEST(Metrics, ExtractDiamondsFindsMultiple) {
+  // source - d1(2 hops) - mid - d2(3 hops) - dest as one route.
+  MultipathGraph g;
+  for (int h = 0; h < 7; ++h) g.add_hop();
+  std::vector<VertexId> hop_first;
+  int next = 1;
+  const auto addr = [&]() { return net::Ipv4Address(10, 0, 1, next++); };
+  const auto s = g.add_vertex(0, addr());
+  const auto a1 = g.add_vertex(1, addr());
+  const auto b1 = g.add_vertex(1, addr());
+  const auto c = g.add_vertex(2, addr());
+  const auto a2 = g.add_vertex(3, addr());
+  const auto b2 = g.add_vertex(3, addr());
+  const auto a3 = g.add_vertex(4, addr());
+  const auto b3 = g.add_vertex(4, addr());
+  const auto e = g.add_vertex(5, addr());
+  const auto f = g.add_vertex(6, addr());
+  g.add_edge(s, a1);
+  g.add_edge(s, b1);
+  g.add_edge(a1, c);
+  g.add_edge(b1, c);
+  g.add_edge(c, a2);
+  g.add_edge(c, b2);
+  g.add_edge(a2, a3);
+  g.add_edge(b2, b3);
+  g.add_edge(a3, e);
+  g.add_edge(b3, e);
+  g.add_edge(e, f);
+
+  const auto diamonds = extract_diamonds(g);
+  ASSERT_EQ(diamonds.size(), 2u);
+  EXPECT_EQ(diamonds[0].length(), 2);
+  EXPECT_EQ(diamonds[1].length(), 3);
+}
+
+TEST(Metrics, NoDiamondOnPlainPath) {
+  MultipathGraph g;
+  for (int h = 0; h < 4; ++h) g.add_hop();
+  VertexId prev = kInvalidVertex;
+  for (int h = 0; h < 4; ++h) {
+    const auto v = g.add_vertex(static_cast<std::uint16_t>(h),
+                                net::Ipv4Address(10, 0, 2, h + 1));
+    if (h > 0) g.add_edge(prev, v);
+    prev = v;
+  }
+  EXPECT_TRUE(extract_diamonds(g).empty());
+}
+
+TEST(Metrics, MeshingMissProbabilityEquation1) {
+  // Fig. 1 meshed diamond pair (1,2): four lower vertices with out-degree
+  // 2, tracing forward with phi = 2 -> (1/2)^4 = 1/16.
+  const auto g = fig1_meshed();
+  const auto miss = meshing_miss_probability(g, 1, 2);
+  ASSERT_TRUE(miss.has_value());
+  EXPECT_NEAR(*miss, 1.0 / 16.0, 1e-12);
+
+  // phi = 3 -> (1/4)^4.
+  const auto miss3 = meshing_miss_probability(g, 1, 3);
+  EXPECT_NEAR(*miss3, 1.0 / 256.0, 1e-12);
+}
+
+TEST(Metrics, MeshingMissUnmeshedIsNullopt) {
+  const auto g = fig1_unmeshed();
+  EXPECT_FALSE(meshing_miss_probability(g, 1, 2).has_value());
+}
+
+TEST(Metrics, DiamondMeshingMissWorstPair) {
+  const auto g = fig6_right();
+  const auto worst = diamond_meshing_miss_probability(
+      g, Diamond{0, static_cast<std::uint16_t>(g.hop_count() - 1)}, 2);
+  ASSERT_TRUE(worst.has_value());
+  // Ring of 3: (1/2)^3 = 0.125; ring of 4: (1/2)^4 = 0.0625. Worst 0.125.
+  EXPECT_NEAR(*worst, 0.125, 1e-12);
+}
+
+TEST(Metrics, HopPairAsymmetryDirections) {
+  const auto g = asymmetric_diamond();
+  // Pair (1,2): widths 2 -> 19, successor counts 1 and 18 -> spread 17.
+  EXPECT_EQ(hop_pair_width_asymmetry(g, 1), 17);
+  // Pair (0,1): single divergence vertex -> spread 0.
+  EXPECT_EQ(hop_pair_width_asymmetry(g, 0), 0);
+}
+
+}  // namespace
+}  // namespace mmlpt::topo

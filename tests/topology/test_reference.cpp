@@ -1,0 +1,64 @@
+#include "topology/reference.h"
+
+#include <gtest/gtest.h>
+
+namespace mmlpt::topo {
+namespace {
+
+TEST(Reference, AllValidate) {
+  // Construction validates internally; additionally check shapes.
+  EXPECT_EQ(simplest_diamond().hop_count(), 3);
+  EXPECT_EQ(fig1_unmeshed().hop_count(), 4);
+  EXPECT_EQ(fig1_meshed().hop_count(), 4);
+  EXPECT_EQ(max_length_2_diamond().hop_count(), 3);
+  EXPECT_EQ(symmetric_diamond().hop_count(), 5);
+  EXPECT_EQ(asymmetric_diamond().hop_count(), 11);
+  EXPECT_EQ(meshed_diamond().hop_count(), 7);
+  EXPECT_EQ(fig6_left().hop_count(), 5);
+  EXPECT_EQ(fig6_right().hop_count(), 6);
+}
+
+TEST(Reference, Fig1Widths) {
+  const auto g = fig1_unmeshed();
+  EXPECT_EQ(g.vertices_at(0).size(), 1u);
+  EXPECT_EQ(g.vertices_at(1).size(), 4u);
+  EXPECT_EQ(g.vertices_at(2).size(), 2u);
+  EXPECT_EQ(g.vertices_at(3).size(), 1u);
+}
+
+TEST(Reference, Fig1EdgeStructureDiffers) {
+  // Unmeshed: 1*4 + 4 + 2 = 10 edges; meshed: 4 + 8 + 2 = 14.
+  EXPECT_EQ(fig1_unmeshed().edge_count(), 10u);
+  EXPECT_EQ(fig1_meshed().edge_count(), 14u);
+}
+
+TEST(Reference, MaxLength2Has28Vertices) {
+  const auto g = max_length_2_diamond();
+  EXPECT_EQ(g.vertices_at(1).size(), 28u);
+  EXPECT_EQ(g.vertex_count(), 30u);
+}
+
+TEST(Reference, MeshedDiamondWidths) {
+  const auto g = meshed_diamond();
+  EXPECT_EQ(g.vertices_at(1).size(), 48u);
+  EXPECT_EQ(g.vertices_at(2).size(), 48u);
+  EXPECT_EQ(g.vertices_at(3).size(), 24u);
+  EXPECT_EQ(g.vertices_at(5).size(), 6u);
+}
+
+TEST(Reference, DistinctAddressBlocks) {
+  // Different reference topologies must not share addresses, so they can
+  // coexist in one survey.
+  const auto a = fig1_unmeshed();
+  const auto b = fig1_meshed();
+  for (VertexId v = 0; v < a.vertex_count(); ++v) {
+    EXPECT_EQ(b.find(a.vertex(v).addr), kInvalidVertex);
+  }
+}
+
+TEST(Reference, AddressHelper) {
+  EXPECT_EQ(reference_addr(3, 2, 7), net::Ipv4Address(10, 3, 2, 7));
+}
+
+}  // namespace
+}  // namespace mmlpt::topo

@@ -1,0 +1,74 @@
+// The shipped sample topology files must stay loadable and keep their
+// documented properties (they are user-facing example data).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/stopping_points.h"
+#include "core/validation.h"
+#include "fakeroute/failure.h"
+#include "topology/metrics.h"
+#include "topology/serialize.h"
+
+namespace mmlpt::topo {
+namespace {
+
+MultipathGraph load(const std::string& name) {
+  const std::string path = std::string(MMLPT_SOURCE_DIR) +
+                           "/examples/topologies/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return deserialize(text.str());
+}
+
+TEST(SampleTopologies, SimplestMatchesDocumentedFailure) {
+  const auto g = load("simplest.topo");
+  EXPECT_EQ(g.hop_count(), 3);
+  const auto sp = core::StoppingPoints::from_epsilon(0.05);
+  EXPECT_NEAR(fakeroute::topology_failure_probability(g, sp.table(4)),
+              0.03125, 1e-12);
+}
+
+TEST(SampleTopologies, DoubleDiamondHasTwoDiamonds) {
+  const auto g = load("double_diamond.topo");
+  const auto diamonds = extract_diamonds(g);
+  ASSERT_EQ(diamonds.size(), 2u);
+  EXPECT_EQ(compute_metrics(g, diamonds[0]).max_width, 2);
+  EXPECT_EQ(compute_metrics(g, diamonds[1]).max_width, 3);
+}
+
+TEST(SampleTopologies, MeshedRingIsMeshedAndTriggersSwitch) {
+  const auto g = load("meshed_ring.topo");
+  const auto m = compute_metrics(g);
+  EXPECT_TRUE(m.meshed);
+  EXPECT_TRUE(m.uniform);  // ring wiring keeps probabilities equal
+
+  const auto truth = core::plain_ground_truth(load("meshed_ring.topo"));
+  int switched = 0;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    if (core::run_trace(truth, core::Algorithm::kMdaLite, {}, {}, seed)
+            .switched_to_mda) {
+      ++switched;
+    }
+  }
+  // Miss probability (1/2)^4 per Eq. 1; nearly always detected.
+  EXPECT_GE(switched, 5);
+}
+
+TEST(SampleTopologies, AllTraceCleanly) {
+  for (const auto* name :
+       {"simplest.topo", "double_diamond.topo", "meshed_ring.topo"}) {
+    const auto graph = load(name);
+    const auto truth = core::plain_ground_truth(load(name));
+    const auto result =
+        core::run_trace(truth, core::Algorithm::kMda, {}, {}, 3);
+    EXPECT_TRUE(result.reached_destination) << name;
+    EXPECT_TRUE(same_topology(result.graph, graph)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace mmlpt::topo

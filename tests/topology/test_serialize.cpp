@@ -1,0 +1,69 @@
+#include "topology/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "topology/metrics.h"
+#include "topology/reference.h"
+
+namespace mmlpt::topo {
+namespace {
+
+TEST(Serialize, RoundTripReferenceTopologies) {
+  for (const auto& g : {simplest_diamond(), fig1_unmeshed(), fig1_meshed(),
+                        symmetric_diamond(), fig6_right()}) {
+    const auto text = serialize(g);
+    const auto back = deserialize(text);
+    EXPECT_TRUE(same_topology(g, back)) << text;
+  }
+}
+
+TEST(Serialize, HandComposedInput) {
+  const char* text = R"(# a comment
+hops 3
+vertex 0 10.0.0.1
+vertex 1 10.0.0.2
+vertex 1 10.0.0.3
+
+vertex 2 10.0.0.4
+edge 10.0.0.1 10.0.0.2
+edge 10.0.0.1 10.0.0.3
+edge 10.0.0.2 10.0.0.4
+edge 10.0.0.3 10.0.0.4
+)";
+  const auto g = deserialize(text);
+  EXPECT_EQ(g.hop_count(), 3);
+  EXPECT_EQ(g.vertex_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 4u);
+  const auto m = compute_metrics(g);
+  EXPECT_EQ(m.max_width, 2);
+}
+
+TEST(Serialize, RejectsUnknownDirective) {
+  EXPECT_THROW((void)deserialize("hops 2\nfrobnicate 1"), ParseError);
+}
+
+TEST(Serialize, RejectsVertexBeforeHops) {
+  EXPECT_THROW((void)deserialize("vertex 0 10.0.0.1"), ParseError);
+}
+
+TEST(Serialize, RejectsOutOfRangeHop) {
+  EXPECT_THROW((void)deserialize("hops 2\nvertex 5 10.0.0.1"), ParseError);
+}
+
+TEST(Serialize, RejectsEdgeToUnknownVertex) {
+  EXPECT_THROW(
+      (void)deserialize("hops 2\nvertex 0 10.0.0.1\nedge 10.0.0.1 10.0.0.9"),
+      ParseError);
+}
+
+TEST(Serialize, RejectsInvalidStructure) {
+  // Dangling vertex at hop 1 fails validation.
+  EXPECT_THROW((void)deserialize("hops 2\nvertex 0 10.0.0.1\nvertex 1 "
+                                 "10.0.0.2\nvertex 1 10.0.0.3\nedge 10.0.0.1 "
+                                 "10.0.0.2"),
+               TopologyError);
+}
+
+}  // namespace
+}  // namespace mmlpt::topo

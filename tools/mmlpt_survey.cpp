@@ -1,0 +1,164 @@
+// mmlpt_survey — run the paper's surveys from the command line and emit
+// a JSON report: the Sec. 5.1 IP-level survey (diamond statistics), the
+// Sec. 2.4.2 five-variant evaluation, or the Sec. 5.2 router-level
+// survey.
+//
+//   mmlpt_survey --mode ip --routes 1000
+//   mmlpt_survey --mode evaluation --pairs 500
+//   mmlpt_survey --mode router --routes 200 --rounds 10
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/json.h"
+#include "survey/evaluation.h"
+#include "survey/ip_survey.h"
+#include "survey/router_survey.h"
+
+using namespace mmlpt;
+
+namespace {
+
+void emit_histogram(JsonWriter& w, const Histogram& h) {
+  w.begin_object();
+  for (const auto& [key, count] : h.bins()) {
+    w.key(std::to_string(key));
+    w.value(count);
+  }
+  w.end_object();
+}
+
+int run_ip(const Flags& flags, JsonWriter& w) {
+  survey::IpSurveyConfig config;
+  config.routes = flags.get_uint("routes", 500);
+  config.distinct_diamonds = flags.get_uint("distinct", 200);
+  config.seed = flags.get_uint("seed", 1);
+  const auto result = survey::run_ip_survey(config);
+
+  w.begin_object();
+  w.key("mode");
+  w.value("ip_survey");
+  w.key("routes");
+  w.value(result.routes_traced);
+  w.key("routes_with_diamonds");
+  w.value(result.routes_with_diamonds);
+  w.key("total_packets");
+  w.value(result.total_packets);
+  for (const auto side : {"measured", "distinct"}) {
+    const auto& d = side == std::string("measured")
+                        ? result.accounting.measured()
+                        : result.accounting.distinct();
+    w.key(side);
+    w.begin_object();
+    w.key("total");
+    w.value(d.total);
+    w.key("meshed");
+    w.value(d.meshed);
+    w.key("asymmetric");
+    w.value(d.asymmetric);
+    w.key("length2");
+    w.value(d.length2);
+    w.key("max_width_histogram");
+    emit_histogram(w, d.max_width);
+    w.key("max_length_histogram");
+    emit_histogram(w, d.max_length);
+    w.key("width_asymmetry_histogram");
+    emit_histogram(w, d.width_asymmetry);
+    w.end_object();
+  }
+  w.end_object();
+  return 0;
+}
+
+int run_evaluation(const Flags& flags, JsonWriter& w) {
+  survey::EvaluationConfig config;
+  config.pairs = flags.get_uint("pairs", 300);
+  config.distinct_diamonds = flags.get_uint("distinct", 200);
+  config.seed = flags.get_uint("seed", 1);
+  const auto result = survey::run_evaluation(config);
+
+  w.begin_object();
+  w.key("mode");
+  w.value("evaluation");
+  w.key("pairs");
+  w.value(static_cast<std::uint64_t>(result.pairs.size()));
+  w.key("aggregate");
+  w.begin_array();
+  for (std::size_t vi = 0; vi < survey::kVariantCount; ++vi) {
+    const auto v = static_cast<survey::Variant>(vi);
+    w.begin_object();
+    w.key("variant");
+    w.value(survey::variant_name(v));
+    w.key("vertex_ratio");
+    w.value(result.aggregate_vertex_ratio(v));
+    w.key("edge_ratio");
+    w.value(result.aggregate_edge_ratio(v));
+    w.key("packet_ratio");
+    w.value(result.aggregate_packet_ratio(v));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return 0;
+}
+
+int run_router(const Flags& flags, JsonWriter& w) {
+  survey::RouterSurveyConfig config;
+  config.routes = flags.get_uint("routes", 150);
+  config.distinct_diamonds = flags.get_uint("distinct", 80);
+  config.multilevel.rounds = static_cast<int>(flags.get_int("rounds", 10));
+  config.seed = flags.get_uint("seed", 1);
+  const auto result = survey::run_router_survey(config);
+
+  w.begin_object();
+  w.key("mode");
+  w.value("router_survey");
+  w.key("routes");
+  w.value(result.routes_traced);
+  w.key("unique_diamonds");
+  w.value(result.unique_diamonds);
+  w.key("resolution");
+  w.begin_object();
+  w.key("no_change");
+  w.value(result.resolution_fraction(topo::ResolutionClass::kNoChange));
+  w.key("single_smaller");
+  w.value(result.resolution_fraction(
+      topo::ResolutionClass::kSingleSmallerDiamond));
+  w.key("multiple_smaller");
+  w.value(result.resolution_fraction(
+      topo::ResolutionClass::kMultipleSmallerDiamonds));
+  w.key("one_path");
+  w.value(result.resolution_fraction(topo::ResolutionClass::kOnePath));
+  w.end_object();
+  w.key("distinct_router_sizes");
+  emit_histogram(w, result.distinct_router_size);
+  w.key("aggregated_router_sizes");
+  emit_histogram(w, result.aggregated_router_size);
+  w.end_object();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Flags flags(argc, argv);
+    const auto mode = flags.get("mode", "ip");
+    JsonWriter w;
+    int rc = 0;
+    if (mode == "ip") {
+      rc = run_ip(flags, w);
+    } else if (mode == "evaluation") {
+      rc = run_evaluation(flags, w);
+    } else if (mode == "router") {
+      rc = run_router(flags, w);
+    } else {
+      std::fprintf(stderr, "unknown --mode (ip|evaluation|router)\n");
+      return 1;
+    }
+    std::printf("%s\n", w.view().c_str());
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mmlpt_survey: %s\n", e.what());
+    return 1;
+  }
+}

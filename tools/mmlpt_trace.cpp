@@ -1,0 +1,200 @@
+// mmlpt_trace — the command-line Multilevel MDA-Lite Paris Traceroute.
+//
+// The tool the paper describes: a traceroute that discovers the full
+// load-balanced topology (MDA-Lite, with MDA and single-flow modes) and,
+// with --multilevel, resolves which interfaces belong to one router
+// while tracing.
+//
+//   mmlpt_trace --builtin fig1                 # simulated reference diamond
+//   mmlpt_trace --topology net.topo --json     # topology file, JSON output
+//   mmlpt_trace --generate --seed 9 --multilevel --rounds 10
+//   sudo mmlpt_trace --real --destination 93.184.216.34   # raw sockets
+//
+// Options:
+//   --algorithm mda|lite|single   (default lite)
+//   --alpha A --branching B       failure bound (default 0.05 / 30)
+//   --phi N                       MDA-Lite meshing-test effort (default 2)
+//   --multilevel [--rounds N]     alias resolution while tracing
+//   --json                        machine-readable output
+//   --seed N                      simulator / generator seed
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "common/flags.h"
+#include "core/multilevel.h"
+#include "core/single_flow.h"
+#include "core/trace_json.h"
+#include "core/validation.h"
+#include "fakeroute/simulator.h"
+#include "probe/raw_socket_network.h"
+#include "probe/simulated_network.h"
+#include "topology/generator.h"
+#include "topology/reference.h"
+#include "topology/serialize.h"
+
+using namespace mmlpt;
+
+namespace {
+
+topo::MultipathGraph builtin_topology(const std::string& name) {
+  if (name == "simplest") return topo::simplest_diamond();
+  if (name == "fig1") return topo::fig1_unmeshed();
+  if (name == "fig1-meshed") return topo::fig1_meshed();
+  if (name == "wide") return topo::max_length_2_diamond();
+  if (name == "symmetric") return topo::symmetric_diamond();
+  if (name == "asymmetric") return topo::asymmetric_diamond();
+  if (name == "meshed") return topo::meshed_diamond();
+  throw ConfigError("unknown builtin topology '" + name +
+                    "' (try: simplest fig1 fig1-meshed wide symmetric "
+                    "asymmetric meshed)");
+}
+
+topo::GroundTruth load_ground_truth(const Flags& flags) {
+  const auto seed = flags.get_uint("seed", 1);
+  if (flags.has("topology")) {
+    std::ifstream in(flags.get("topology", ""));
+    if (!in) throw ConfigError("cannot open topology file");
+    std::ostringstream text;
+    text << in.rdbuf();
+    return core::plain_ground_truth(topo::deserialize(text.str()));
+  }
+  if (flags.get_bool("generate", false)) {
+    topo::RouteGenerator generator(topo::GeneratorConfig{}, seed);
+    return generator.make_route();
+  }
+  const auto name = flags.get("builtin", "fig1");
+  return core::plain_ground_truth(topo::prepend_source(
+      builtin_topology(name), net::Ipv4Address(192, 168, 0, 1)));
+}
+
+void print_text_trace(const core::TraceResult& result) {
+  const auto& g = result.graph;
+  for (std::uint16_t h = 0; h < g.hop_count(); ++h) {
+    std::printf("%3d ", h);
+    const auto vertices = g.vertices_at(h);
+    if (vertices.empty()) {
+      std::printf(" *\n");
+      continue;
+    }
+    for (const auto v : vertices) {
+      std::printf(" %s", g.vertex(v).addr.to_string().c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("# %llu packets%s%s\n",
+              static_cast<unsigned long long>(result.packets),
+              result.reached_destination ? "" : " (destination not reached)",
+              result.switched_to_mda ? ", switched to full MDA" : "");
+}
+
+void print_text_multilevel(const core::MultilevelResult& result) {
+  std::printf("== IP level ==\n");
+  print_text_trace(result.trace);
+  std::printf("\n== router level ==\n");
+  const auto& g = result.router_graph;
+  for (std::uint16_t h = 0; h < g.hop_count(); ++h) {
+    std::printf("%3d ", h);
+    for (const auto v : g.vertices_at(h)) {
+      std::printf(" %s", g.vertex(v).addr.to_string().c_str());
+    }
+    std::printf("\n");
+  }
+  for (const auto& [hop, sets] : result.final_round().sets_by_hop) {
+    for (const auto& set : sets) {
+      if (set.outcome != alias::Outcome::kAccept) continue;
+      std::printf("# hop %d router:", hop);
+      for (const auto a : set.members) {
+        std::printf(" %s", a.to_string().c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("# %llu packets total\n",
+              static_cast<unsigned long long>(result.total_packets));
+}
+
+int run(const Flags& flags) {
+  core::TraceConfig trace_config;
+  trace_config.alpha = flags.get_double("alpha", 0.05);
+  trace_config.max_branching =
+      static_cast<int>(flags.get_int("branching", 30));
+  trace_config.phi = static_cast<int>(flags.get_int("phi", 2));
+
+  const auto algorithm_name = flags.get("algorithm", "lite");
+  core::Algorithm algorithm = core::Algorithm::kMdaLite;
+  if (algorithm_name == "mda") algorithm = core::Algorithm::kMda;
+  else if (algorithm_name == "single") algorithm = core::Algorithm::kSingleFlow;
+  else if (algorithm_name != "lite") {
+    throw ConfigError("unknown --algorithm (mda|lite|single)");
+  }
+
+  const bool json = flags.get_bool("json", false);
+
+  // Transport: raw sockets (--real) or the Fakeroute simulator.
+  std::unique_ptr<probe::Network> network;
+  std::unique_ptr<fakeroute::Simulator> simulator;
+  probe::ProbeEngine::Config engine_config;
+  topo::GroundTruth truth;
+  if (flags.get_bool("real", false)) {
+    engine_config.source = net::Ipv4Address::parse_or_throw(
+        flags.get("source", "0.0.0.0"));
+    engine_config.destination = net::Ipv4Address::parse_or_throw(
+        flags.get("destination", ""));
+    network = std::make_unique<probe::RawSocketNetwork>(
+        probe::RawSocketNetwork::Config{});
+  } else {
+    truth = load_ground_truth(flags);
+    simulator = std::make_unique<fakeroute::Simulator>(
+        truth, fakeroute::SimConfig{}, flags.get_uint("seed", 1));
+    network = std::make_unique<probe::SimulatedNetwork>(*simulator);
+    engine_config.source = truth.source;
+    engine_config.destination = truth.destination;
+  }
+  probe::ProbeEngine engine(*network, engine_config);
+
+  if (flags.get_bool("multilevel", false)) {
+    core::MultilevelConfig config;
+    config.trace = trace_config;
+    config.rounds = static_cast<int>(flags.get_int("rounds", 10));
+    core::MultilevelTracer tracer(engine, config);
+    const auto result = tracer.run();
+    if (json) {
+      std::printf("%s\n", core::multilevel_to_json(result).c_str());
+    } else {
+      print_text_multilevel(result);
+    }
+    return 0;
+  }
+
+  core::TraceResult result;
+  switch (algorithm) {
+    case core::Algorithm::kMda:
+      result = core::MdaTracer(engine, trace_config).run();
+      break;
+    case core::Algorithm::kMdaLite:
+      result = core::MdaLiteTracer(engine, trace_config).run();
+      break;
+    case core::Algorithm::kSingleFlow:
+      result = core::SingleFlowTracer(engine, trace_config).run();
+      break;
+  }
+  if (json) {
+    std::printf("%s\n", core::trace_to_json(result).c_str());
+  } else {
+    print_text_trace(result);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(Flags(argc, argv));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mmlpt_trace: %s\n", e.what());
+    return 1;
+  }
+}
