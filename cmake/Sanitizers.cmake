@@ -1,0 +1,17 @@
+# Opt-in sanitizer build mode:
+#   cmake -B build -S . -DMMLPT_SANITIZE=address,undefined
+# The value is passed verbatim to -fsanitize= on both compile and link
+# lines of every mmlpt target (it rides on mmlpt_build_flags).
+if(MMLPT_SANITIZE)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    message(FATAL_ERROR
+      "MMLPT_SANITIZE requires gcc or clang (got ${CMAKE_CXX_COMPILER_ID})")
+  endif()
+  message(STATUS "mmlpt: sanitizers enabled: -fsanitize=${MMLPT_SANITIZE}")
+  target_compile_options(mmlpt_build_flags INTERFACE
+    -fsanitize=${MMLPT_SANITIZE}
+    -fno-omit-frame-pointer
+    -fno-sanitize-recover=all)
+  target_link_options(mmlpt_build_flags INTERFACE
+    -fsanitize=${MMLPT_SANITIZE})
+endif()

@@ -3,9 +3,8 @@
 // Sec. 2.4.2 five-variant evaluation, or the Sec. 5.2 router-level
 // survey.
 //
-//   mmlpt_survey --mode ip --routes 1000
-//   mmlpt_survey --mode evaluation --pairs 500
-//   mmlpt_survey --mode router --routes 200 --rounds 10
+// See kUsage below (printed by --help) for invocation examples and the
+// option list.
 #include <cstdio>
 
 #include "common/flags.h"
@@ -17,6 +16,21 @@
 using namespace mmlpt;
 
 namespace {
+
+constexpr const char kUsage[] =
+    "usage: mmlpt_survey [options]\n"
+    "\n"
+    "  mmlpt_survey --mode ip --routes 1000        # Sec. 5.1 IP survey\n"
+    "  mmlpt_survey --mode evaluation --pairs 500  # Sec. 2.4.2 variants\n"
+    "  mmlpt_survey --mode router --routes 200 --rounds 10  # Sec. 5.2\n"
+    "\n"
+    "options:\n"
+    "  --mode ip|evaluation|router   (default ip)\n"
+    "  --routes N                    routes to trace (ip/router modes)\n"
+    "  --pairs N                     source/destination pairs (evaluation)\n"
+    "  --distinct N                  distinct diamonds to collect\n"
+    "  --rounds N                    alias-resolution rounds (router mode)\n"
+    "  --seed N                      simulator seed\n";
 
 void emit_histogram(JsonWriter& w, const Histogram& h) {
   w.begin_object();
@@ -142,6 +156,10 @@ int run_router(const Flags& flags, JsonWriter& w) {
 int main(int argc, char** argv) {
   try {
     const Flags flags(argc, argv);
+    if (flags.has("help")) {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
     const auto mode = flags.get("mode", "ip");
     JsonWriter w;
     int rc = 0;

@@ -5,18 +5,8 @@
 // with --multilevel, resolves which interfaces belong to one router
 // while tracing.
 //
-//   mmlpt_trace --builtin fig1                 # simulated reference diamond
-//   mmlpt_trace --topology net.topo --json     # topology file, JSON output
-//   mmlpt_trace --generate --seed 9 --multilevel --rounds 10
-//   sudo mmlpt_trace --real --destination 93.184.216.34   # raw sockets
-//
-// Options:
-//   --algorithm mda|lite|single   (default lite)
-//   --alpha A --branching B       failure bound (default 0.05 / 30)
-//   --phi N                       MDA-Lite meshing-test effort (default 2)
-//   --multilevel [--rounds N]     alias resolution while tracing
-//   --json                        machine-readable output
-//   --seed N                      simulator / generator seed
+// See kUsage below (printed by --help) for the invocation examples and
+// the full option list.
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -37,6 +27,32 @@
 using namespace mmlpt;
 
 namespace {
+
+constexpr const char kUsage[] =
+    "usage: mmlpt_trace [options]\n"
+    "\n"
+    "  mmlpt_trace --builtin fig1                 # simulated reference "
+    "diamond\n"
+    "  mmlpt_trace --topology net.topo --json     # topology file, JSON "
+    "output\n"
+    "  mmlpt_trace --generate --seed 9 --multilevel --rounds 10\n"
+    "  sudo mmlpt_trace --real --destination 93.184.216.34   # raw sockets\n"
+    "\n"
+    "options:\n"
+    "  --algorithm mda|lite|single   (default lite)\n"
+    "  --alpha A --branching B       failure bound (default 0.05 / 30)\n"
+    "  --phi N                       MDA-Lite meshing-test effort (default "
+    "2)\n"
+    "  --builtin NAME                simplest fig1 fig1-meshed wide\n"
+    "                                symmetric asymmetric meshed\n"
+    "  --topology FILE               trace a .topo file in the simulator\n"
+    "  --generate                    trace a generated random route\n"
+    "  --multilevel [--rounds N]     alias resolution while tracing\n"
+    "  --json                        machine-readable output\n"
+    "  --seed N                      simulator / generator seed\n"
+    "  --real --destination IP       raw sockets (needs CAP_NET_RAW)\n"
+    "  --source IP                   source address for --real "
+    "(default 0.0.0.0)\n";
 
 topo::MultipathGraph builtin_topology(const std::string& name) {
   if (name == "simplest") return topo::simplest_diamond();
@@ -116,6 +132,11 @@ void print_text_multilevel(const core::MultilevelResult& result) {
 }
 
 int run(const Flags& flags) {
+  // has(), not get_bool(): "--help <positional>" must still print usage.
+  if (flags.has("help")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
   core::TraceConfig trace_config;
   trace_config.alpha = flags.get_double("alpha", 0.05);
   trace_config.max_branching =
