@@ -1,0 +1,175 @@
+// bench_perf_fleet_throughput — wall-clock speedup of the fleet
+// orchestrator over the serial survey loop.
+//
+// Internet probing is latency-bound: a trace spends its life waiting for
+// ICMP replies, not computing. The fleet's speedup therefore comes from
+// OVERLAPPING the waits of independent destinations across workers. This
+// bench reproduces that regime in-process: each worker's Fakeroute
+// simulator is wrapped in a BlockingLatencyNetwork that converts the
+// simulator's virtual RTTs into (scaled-down) real blocking, then the
+// same destination set is traced with jobs=1 and jobs=N and the
+// wall-clock ratio reported. Because every task is seeded by destination
+// index, both runs produce identical traces — the bench asserts it — so
+// the ratio measures scheduling alone.
+//
+// Unlike the per-figure benches this is a plain chrono binary (no
+// google-benchmark dependency): the Release CI job runs it with --smoke
+// and archives the JSON it writes via --output.
+//
+// flags:
+//   --smoke            small, CI-sized configuration (~seconds)
+//   --routes N         destinations to trace        (default 48; smoke 16)
+//   --jobs N           fleet worker count           (default 8)
+//   --latency-scale X  wall seconds per virtual RTT second
+//                      (default 0.02; smoke 0.004)
+//   --distinct N       distinct diamond templates   (default 40)
+//   --seed N           world + trace seed           (default 1)
+//   --output FILE      write the JSON report to FILE (default stdout only)
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/json.h"
+#include "core/validation.h"
+#include "orchestrator/fleet.h"
+#include "orchestrator/latency_network.h"
+#include "probe/simulated_network.h"
+#include "topology/generator.h"
+
+using namespace mmlpt;
+
+namespace {
+
+struct RunOutcome {
+  double seconds = 0.0;
+  std::uint64_t packets = 0;
+  /// Per-destination (packets, vertices, edges) triples: the determinism
+  /// gate compares these trace by trace, so compensating differences
+  /// across destinations cannot slip through a total-only check.
+  std::vector<std::array<std::uint64_t, 3>> per_trace;
+};
+
+RunOutcome run_fleet(const std::vector<topo::GroundTruth>& routes, int jobs,
+                     double latency_scale, std::uint64_t seed) {
+  orchestrator::FleetConfig config;
+  config.jobs = jobs;
+  config.seed = seed;
+  orchestrator::FleetScheduler fleet(config);
+  const std::uint64_t base_seed = seed ^ 0x5353ULL;
+  const core::TraceConfig trace_config;
+  const fakeroute::SimConfig sim_config;
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto traces = fleet.run(
+      routes.size(), [&](orchestrator::WorkerContext& context) {
+        const auto& route = routes[context.task_index];
+        fakeroute::Simulator simulator(route, sim_config,
+                                       base_seed + context.task_index);
+        probe::SimulatedNetwork network(simulator);
+        orchestrator::BlockingLatencyNetwork::Config latency;
+        latency.scale = latency_scale;
+        orchestrator::BlockingLatencyNetwork blocking(network, latency);
+        return core::run_trace_with_network(blocking, route.source,
+                                            route.destination,
+                                            core::Algorithm::kMdaLite,
+                                            trace_config);
+      });
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - start);
+
+  RunOutcome outcome;
+  outcome.seconds = elapsed.count();
+  outcome.per_trace.reserve(traces.size());
+  for (const auto& trace : traces) {
+    outcome.packets += trace.packets;
+    outcome.per_trace.push_back(
+        {trace.packets, trace.graph.vertex_count(), trace.graph.edge_count()});
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Flags flags(argc, argv);
+    const bool smoke = flags.has("smoke");
+    const auto routes_n = flags.get_uint("routes", smoke ? 16 : 48);
+    const int jobs = static_cast<int>(flags.get_int("jobs", 8));
+    const double scale =
+        flags.get_double("latency-scale", smoke ? 0.004 : 0.02);
+    const auto seed = flags.get_uint("seed", 1);
+
+    topo::GeneratorConfig generator;
+    topo::SurveyWorld world(generator, flags.get_uint("distinct", 40), seed);
+    std::vector<topo::GroundTruth> routes;
+    routes.reserve(routes_n);
+    for (std::size_t i = 0; i < routes_n; ++i) {
+      routes.push_back(world.next_route());
+    }
+
+    std::printf(
+        "fleet throughput: %zu destinations, latency scale %.4g, "
+        "jobs 1 vs %d\n",
+        routes.size(), scale, jobs);
+    const auto serial = run_fleet(routes, 1, scale, seed);
+    std::printf("  serial : %7.3fs  %8llu packets  %9.0f pkt/s\n",
+                serial.seconds,
+                static_cast<unsigned long long>(serial.packets),
+                static_cast<double>(serial.packets) / serial.seconds);
+    const auto fleet = run_fleet(routes, jobs, scale, seed);
+    std::printf("  fleet  : %7.3fs  %8llu packets  %9.0f pkt/s\n",
+                fleet.seconds, static_cast<unsigned long long>(fleet.packets),
+                static_cast<double>(fleet.packets) / fleet.seconds);
+
+    const bool deterministic = serial.per_trace == fleet.per_trace;
+    const double speedup =
+        fleet.seconds > 0.0 ? serial.seconds / fleet.seconds : 0.0;
+    std::printf("  speedup: %.2fx (%s, target >= 4x at 8 workers)\n", speedup,
+                deterministic ? "identical traces"
+                              : "TRACES DIVERGED — determinism bug");
+
+    JsonWriter w;
+    w.begin_object();
+    w.key("bench");
+    w.value("fleet_throughput");
+    w.key("routes");
+    w.value(static_cast<std::uint64_t>(routes.size()));
+    w.key("jobs");
+    w.value(static_cast<std::int64_t>(jobs));
+    w.key("latency_scale");
+    w.value(scale);
+    w.key("serial_seconds");
+    w.value(serial.seconds);
+    w.key("fleet_seconds");
+    w.value(fleet.seconds);
+    w.key("speedup");
+    w.value(speedup);
+    w.key("packets");
+    w.value(serial.packets);
+    w.key("deterministic");
+    w.value(deterministic);
+    w.end_object();
+    const auto report = std::move(w).take();
+    std::printf("%s\n", report.c_str());
+    if (flags.has("output")) {
+      std::ofstream out(flags.get("output", ""));
+      if (!out) {
+        std::fprintf(stderr, "cannot open --output file\n");
+        return 1;
+      }
+      out << report << '\n';
+    }
+    // Determinism is a hard invariant; the speedup target is reported but
+    // only enforced where the hardware can express it (CI samples vary).
+    return deterministic ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_perf_fleet_throughput: %s\n", e.what());
+    return 1;
+  }
+}

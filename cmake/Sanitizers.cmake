@@ -1,11 +1,20 @@
 # Opt-in sanitizer build mode:
 #   cmake -B build -S . -DMMLPT_SANITIZE=address,undefined
+#   cmake -B build -S . -DMMLPT_SANITIZE=thread     # orchestrator/fleet CI
 # The value is passed verbatim to -fsanitize= on both compile and link
 # lines of every mmlpt target (it rides on mmlpt_build_flags).
 if(MMLPT_SANITIZE)
   if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
     message(FATAL_ERROR
       "MMLPT_SANITIZE requires gcc or clang (got ${CMAKE_CXX_COMPILER_ID})")
+  endif()
+  # TSan owns the shadow memory ASan/LSan would use; the toolchains
+  # reject the combination, so fail early with a clear message.
+  if(MMLPT_SANITIZE MATCHES "thread" AND
+     MMLPT_SANITIZE MATCHES "address|leak")
+    message(FATAL_ERROR
+      "MMLPT_SANITIZE=thread cannot be combined with address/leak "
+      "(got '${MMLPT_SANITIZE}'); run them as separate builds")
   endif()
   message(STATUS "mmlpt: sanitizers enabled: -fsanitize=${MMLPT_SANITIZE}")
   target_compile_options(mmlpt_build_flags INTERFACE

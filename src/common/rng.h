@@ -82,6 +82,27 @@ class Rng {
   /// Derive an independent child generator (stable given draw order).
   [[nodiscard]] Rng fork() { return Rng(engine_()); }
 
+  /// Splittable fork: derive the child stream for `stream_id` from the
+  /// construction seed alone, without consuming parent state. The same
+  /// (seed, stream_id) pair always yields the same child, no matter how
+  /// many draws the parent has made or which thread asks — this is what
+  /// keeps a worker pool's per-task streams deterministic regardless of
+  /// scheduling order. Distinct stream ids give decorrelated streams
+  /// (splitmix64 finalizer mixing).
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) const {
+    return Rng(split_mix(seed_ ^ (0x9E3779B97F4A7C15ULL * (stream_id + 1))));
+  }
+
+  /// The splitmix64 finalizer: a bijective avalanche over 64 bits, the
+  /// standard seed-derivation mixer.
+  [[nodiscard]] static constexpr std::uint64_t split_mix(
+      std::uint64_t x) noexcept {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+  }
+
   /// Access to the raw engine for std distributions.
   [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
 

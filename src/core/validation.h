@@ -14,6 +14,7 @@
 #include "core/mda.h"
 #include "core/trace_log.h"
 #include "fakeroute/simulator.h"
+#include "probe/network.h"
 #include "topology/ground_truth.h"
 
 namespace mmlpt::core {
@@ -21,11 +22,25 @@ namespace mmlpt::core {
 enum class Algorithm : std::uint8_t { kMda, kMdaLite, kSingleFlow };
 
 /// Trace a simulated ground truth once with the chosen algorithm.
+///
+/// Re-entrancy: every run builds its own simulator, network adapter and
+/// engine on the stack and the TraceConfig is taken by value, so
+/// concurrent calls (one per fleet worker) never share mutable state —
+/// `truth` is only read.
 [[nodiscard]] TraceResult run_trace(const topo::GroundTruth& truth,
                                     Algorithm algorithm, TraceConfig config,
                                     fakeroute::SimConfig sim_config,
                                     std::uint64_t seed,
                                     ReplyObserver* observer = nullptr);
+
+/// Same, but over a caller-supplied transport — the seam that lets the
+/// fleet orchestrator interpose decorators (rate limiting, latency
+/// emulation) between the engine and the simulator, or swap in a real
+/// RawSocketNetwork. `source`/`destination` address the crafted probes.
+[[nodiscard]] TraceResult run_trace_with_network(
+    probe::Network& network, net::Ipv4Address source,
+    net::Ipv4Address destination, Algorithm algorithm, TraceConfig config,
+    ReplyObserver* observer = nullptr);
 
 /// Wrap a bare multipath graph (no router data) as a ground truth whose
 /// routers are all independent, well-behaved responders — the Fakeroute

@@ -1,0 +1,13 @@
+#include "orchestrator/fleet.h"
+
+namespace mmlpt::orchestrator {
+
+FleetScheduler::FleetScheduler(FleetConfig config)
+    : config_(config), base_rng_(config.seed) {
+  MMLPT_EXPECTS(config_.jobs >= 1);
+  if (config_.pps > 0.0) {
+    limiter_ = std::make_unique<RateLimiter>(config_.pps, config_.burst);
+  }
+}
+
+}  // namespace mmlpt::orchestrator

@@ -1,0 +1,218 @@
+// FleetScheduler: the survey-scale engine. N destination traces run
+// concurrently over a pool of `jobs` worker threads; every task owns its
+// whole probing stack (simulator, transport, ProbeEngine) and a
+// deterministically forked RNG stream, so a fleet run is a pure function
+// of (inputs, seed) — the thread count only changes wall-clock time,
+// never results.
+//
+// Determinism contract:
+//   * Task i's randomness comes from Rng(seed).fork(i) — independent of
+//     which worker runs it and of how many draws other tasks made.
+//   * Results are collected per task index; `on_result` fires in strict
+//     index order (a reorder buffer holds back early finishers), so
+//     streaming output and join-time merges see the serial order.
+//   * jobs=1 runs every task inline on the calling thread in index
+//     order: bit-for-bit the behaviour of the old serial loops.
+//
+// The shared RateLimiter (config.pps > 0) bounds the SUM of all workers'
+// probe traffic; workers wrap their transports in ThrottledNetwork
+// against limiter().
+#ifndef MMLPT_ORCHESTRATOR_FLEET_H
+#define MMLPT_ORCHESTRATOR_FLEET_H
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/rng.h"
+#include "orchestrator/rate_limiter.h"
+
+namespace mmlpt::orchestrator {
+
+struct FleetConfig {
+  /// Worker threads. 1 = serial on the calling thread (no threads spawned).
+  int jobs = 1;
+  /// Base seed; task i draws from Rng(seed).fork(i).
+  std::uint64_t seed = 1;
+  /// Fleet-wide probe budget in packets/second; <= 0 = unlimited.
+  double pps = 0.0;
+  /// Token-bucket burst capacity when pps > 0.
+  int burst = 64;
+};
+
+/// Everything a task callback gets handed: its identity, its private
+/// random stream, and the shared limiter (nullptr when unlimited).
+struct WorkerContext {
+  std::size_t task_index;
+  int worker_id;
+  Rng rng;
+  RateLimiter* limiter;
+};
+
+class FleetScheduler {
+ public:
+  explicit FleetScheduler(FleetConfig config);
+
+  [[nodiscard]] const FleetConfig& config() const noexcept { return config_; }
+  /// The shared fleet-wide limiter; nullptr when config().pps <= 0.
+  [[nodiscard]] RateLimiter* limiter() noexcept { return limiter_.get(); }
+
+  /// Run tasks 0..task_count-1 through `trace` (callable on
+  /// WorkerContext&, returning the per-task result). Returns all results
+  /// in task order. `trace` runs concurrently on up to `jobs` threads;
+  /// everything it touches besides its context must be immutable or
+  /// task-private.
+  template <typename TraceFn>
+  [[nodiscard]] auto run(std::size_t task_count, TraceFn&& trace)
+      -> std::vector<std::invoke_result_t<TraceFn&, WorkerContext&>> {
+    return run(task_count, trace,
+               [](std::size_t, std::invoke_result_t<TraceFn&, WorkerContext&>&) {});
+  }
+
+  /// Same, with streaming: `on_result(index, result&)` fires exactly once
+  /// per task, in strictly increasing index order, while the fleet is
+  /// still running (an internal reorder buffer holds back early
+  /// finishers). It runs serialized — one call at a time — so it may
+  /// write to shared sinks without locking, but must not block for long.
+  template <typename TraceFn, typename OnResult>
+  [[nodiscard]] auto run(std::size_t task_count, TraceFn&& trace,
+                         OnResult&& on_result)
+      -> std::vector<std::invoke_result_t<TraceFn&, WorkerContext&>> {
+    return run_impl(task_count, trace, on_result, /*keep_results=*/true);
+  }
+
+  /// Streaming-only: every result is consumed by `on_result` (same
+  /// ordering/serialization contract as run) and then dropped — nothing
+  /// is retained or returned, so a survey's peak memory tracks the
+  /// in-flight window rather than the task count. This is the shape all
+  /// merge-at-join callers use.
+  template <typename TraceFn, typename OnResult>
+  void run_streaming(std::size_t task_count, TraceFn&& trace,
+                     OnResult&& on_result) {
+    (void)run_impl(task_count, trace, on_result, /*keep_results=*/false);
+  }
+
+ private:
+  template <typename TraceFn, typename OnResult>
+  [[nodiscard]] auto run_impl(std::size_t task_count, TraceFn&& trace,
+                              OnResult&& on_result, bool keep_results)
+      -> std::vector<std::invoke_result_t<TraceFn&, WorkerContext&>> {
+    using R = std::invoke_result_t<TraceFn&, WorkerContext&>;
+
+    const auto make_context = [this](std::size_t task, int worker) {
+      return WorkerContext{task, worker, base_rng_.fork(task),
+                           limiter_.get()};
+    };
+
+    if (config_.jobs <= 1 || task_count <= 1) {
+      // Serial path: bit-for-bit the pre-orchestrator loops.
+      std::vector<R> results;
+      if (keep_results) {
+        results.reserve(task_count);
+        for (std::size_t i = 0; i < task_count; ++i) {
+          auto context = make_context(i, 0);
+          results.push_back(trace(context));
+          on_result(i, results.back());
+        }
+      } else {
+        for (std::size_t i = 0; i < task_count; ++i) {
+          auto context = make_context(i, 0);
+          auto result = trace(context);
+          on_result(i, result);
+        }
+      }
+      return results;
+    }
+
+    std::vector<std::optional<R>> slots(task_count);
+    std::atomic<std::size_t> next_task{0};
+    std::atomic<bool> stop{false};
+    std::mutex mutex;  // guards slots, next_emit, draining, first_error
+    std::size_t next_emit = 0;
+    bool draining = false;  // exactly one worker drains at a time
+    std::exception_ptr first_error;
+
+    const int jobs = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(config_.jobs), task_count));
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(jobs));
+    for (int w = 0; w < jobs; ++w) {
+      workers.emplace_back([&, w] {
+        while (!stop.load(std::memory_order_relaxed)) {
+          const std::size_t i =
+              next_task.fetch_add(1, std::memory_order_relaxed);
+          if (i >= task_count) break;
+          try {
+            auto context = make_context(i, w);
+            auto result = trace(context);
+            bool drain;
+            {
+              std::lock_guard<std::mutex> lock(mutex);
+              slots[i] = std::move(result);
+              drain = !draining;
+              if (drain) draining = true;
+            }
+            if (!drain) continue;  // the current drainer will pick it up
+            // Drain the contiguous prefix OUTSIDE the lock: on_result
+            // may do real work (merge, JSON emit) and must not stall
+            // the other workers' stores. The `draining` flag keeps the
+            // calls serialized and in index order; a worker that stores
+            // while we drain either is seen by our next lap or finds
+            // the flag cleared and becomes the drainer itself.
+            while (true) {
+              std::size_t index = 0;
+              R* ready = nullptr;
+              {
+                std::lock_guard<std::mutex> lock(mutex);
+                if (next_emit < task_count && slots[next_emit]) {
+                  index = next_emit;
+                  ready = &*slots[next_emit];
+                } else {
+                  draining = false;
+                  break;
+                }
+              }
+              on_result(index, *ready);
+              std::lock_guard<std::mutex> lock(mutex);
+              if (!keep_results) slots[index].reset();  // streamed: drop it
+              ++next_emit;
+            }
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (!first_error) first_error = std::current_exception();
+            stop.store(true, std::memory_order_relaxed);
+            break;
+          }
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    if (first_error) std::rethrow_exception(first_error);
+
+    std::vector<R> results;
+    if (keep_results) {
+      results.reserve(task_count);
+      for (auto& slot : slots) {
+        MMLPT_ASSERT(slot.has_value());
+        results.push_back(std::move(*slot));
+      }
+    }
+    return results;
+  }
+
+  FleetConfig config_;
+  Rng base_rng_;  ///< only fork(stream_id)ed — never drawn from
+  std::unique_ptr<RateLimiter> limiter_;
+};
+
+}  // namespace mmlpt::orchestrator
+
+#endif  // MMLPT_ORCHESTRATOR_FLEET_H

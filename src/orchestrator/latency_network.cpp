@@ -1,0 +1,35 @@
+#include "orchestrator/latency_network.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace mmlpt::orchestrator {
+
+void BlockingLatencyNetwork::block_for(probe::Nanos virtual_rtt) const {
+  if (config_.scale <= 0.0 || virtual_rtt == 0) return;
+  const auto wall = std::chrono::nanoseconds(static_cast<std::int64_t>(
+      static_cast<double>(virtual_rtt) * config_.scale));
+  std::this_thread::sleep_for(wall);
+}
+
+std::optional<probe::Received> BlockingLatencyNetwork::transact(
+    std::span<const std::uint8_t> datagram, probe::Nanos now) {
+  auto reply = inner_->transact(datagram, now);
+  block_for(reply ? reply->rtt : config_.unanswered_rtt);
+  return reply;
+}
+
+std::vector<std::optional<probe::Received>>
+BlockingLatencyNetwork::transact_batch(
+    std::span<const probe::Datagram> batch) {
+  auto replies = inner_->transact_batch(batch);
+  probe::Nanos slowest = 0;
+  for (const auto& reply : replies) {
+    slowest = std::max(slowest, reply ? reply->rtt : config_.unanswered_rtt);
+  }
+  if (!replies.empty()) block_for(slowest);
+  return replies;
+}
+
+}  // namespace mmlpt::orchestrator

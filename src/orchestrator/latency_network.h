@@ -1,0 +1,51 @@
+// Network decorator that turns the simulator's VIRTUAL reply latency into
+// real wall-clock blocking, emulating what a real transport does: a probe
+// costs its round-trip time, an unanswered probe costs the reply timeout.
+//
+// This is the workload model behind bench_perf_fleet_throughput: Internet
+// probing is latency-bound, not CPU-bound, so a fleet's speedup comes
+// from OVERLAPPING the waits of independent destinations. Wrapping each
+// worker's simulator in this decorator reproduces that regime in-process
+// (scaled down so benches finish in seconds).
+#ifndef MMLPT_ORCHESTRATOR_LATENCY_NETWORK_H
+#define MMLPT_ORCHESTRATOR_LATENCY_NETWORK_H
+
+#include "probe/network.h"
+
+namespace mmlpt::orchestrator {
+
+class BlockingLatencyNetwork final : public probe::Network {
+ public:
+  struct Config {
+    /// Wall-clock seconds slept per virtual second of RTT. 1.0 = real
+    /// time; benches use ~0.01-0.05 to compress a survey into seconds.
+    double scale = 1.0;
+    /// Virtual RTT charged for an unanswered probe (a real transport
+    /// blocks for its reply timeout). 100 ms, the simulator's RTTs are
+    /// a few ms.
+    probe::Nanos unanswered_rtt = 100'000'000;
+  };
+
+  /// The inner transport must outlive this decorator.
+  BlockingLatencyNetwork(probe::Network& inner, Config config)
+      : inner_(&inner), config_(config) {}
+
+  [[nodiscard]] std::optional<probe::Received> transact(
+      std::span<const std::uint8_t> datagram, probe::Nanos now) override;
+
+  /// A window blocks for its SLOWEST reply, not the sum — the batched
+  /// transport overlaps the waits within one worker the same way the
+  /// fleet overlaps them across workers.
+  [[nodiscard]] std::vector<std::optional<probe::Received>> transact_batch(
+      std::span<const probe::Datagram> batch) override;
+
+ private:
+  void block_for(probe::Nanos virtual_rtt) const;
+
+  probe::Network* inner_;
+  Config config_;
+};
+
+}  // namespace mmlpt::orchestrator
+
+#endif  // MMLPT_ORCHESTRATOR_LATENCY_NETWORK_H

@@ -1,0 +1,80 @@
+#include "orchestrator/rate_limiter.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/assert.h"
+
+namespace mmlpt::orchestrator {
+
+RateLimiter::RateLimiter(double packets_per_second, int burst)
+    : RateLimiter(packets_per_second, burst,
+                  [] { return Clock::now(); }) {}
+
+RateLimiter::RateLimiter(double packets_per_second, int burst, NowFn now)
+    : pps_(packets_per_second),
+      burst_(burst),
+      now_(std::move(now)),
+      tokens_(static_cast<double>(burst)),
+      last_refill_(now_()) {
+  MMLPT_EXPECTS(burst >= 1);
+}
+
+void RateLimiter::refill_locked(Clock::time_point now) {
+  if (now <= last_refill_) return;
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          now - last_refill_);
+  tokens_ = std::min(static_cast<double>(burst_),
+                     tokens_ + elapsed.count() * pps_);
+  last_refill_ = now;
+}
+
+bool RateLimiter::take_locked(int want, Clock::duration& wait) {
+  refill_locked(now_());
+  if (tokens_ >= static_cast<double>(want)) {
+    tokens_ -= static_cast<double>(want);
+    granted_ += static_cast<std::uint64_t>(want);
+    return true;
+  }
+  const double deficit = static_cast<double>(want) - tokens_;
+  wait = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(deficit / pps_));
+  return false;
+}
+
+void RateLimiter::acquire(int packets) {
+  MMLPT_EXPECTS(packets >= 1);
+  if (unlimited()) return;
+  int remaining = packets;
+  while (remaining > 0) {
+    const int want = std::min(remaining, burst_);
+    while (true) {
+      Clock::duration wait{};
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (take_locked(want, wait)) break;
+      }
+      // Sleep outside the lock so other workers can refill/take.
+      std::this_thread::sleep_for(
+          std::max(wait, Clock::duration(std::chrono::microseconds(50))));
+    }
+    remaining -= want;
+  }
+}
+
+bool RateLimiter::try_acquire(int packets) {
+  MMLPT_EXPECTS(packets >= 1);
+  if (unlimited()) return true;
+  if (packets > burst_) return false;  // can never hold that many at once
+  std::lock_guard<std::mutex> lock(mutex_);
+  Clock::duration wait{};
+  return take_locked(packets, wait);
+}
+
+std::uint64_t RateLimiter::granted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return granted_;
+}
+
+}  // namespace mmlpt::orchestrator

@@ -1,0 +1,68 @@
+// Token-bucket probe-rate limiter shared by every worker of a fleet run.
+//
+// The paper's survey methodology (and plain Internet citizenship) bounds
+// the probing rate of a measurement host; when N workers trace N
+// destinations concurrently, the bound must hold for the SUM of their
+// traffic, not per worker. One RateLimiter instance therefore hangs off
+// the FleetScheduler and every worker's transport acquires from it.
+#ifndef MMLPT_ORCHESTRATOR_RATE_LIMITER_H
+#define MMLPT_ORCHESTRATOR_RATE_LIMITER_H
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+namespace mmlpt::orchestrator {
+
+/// Thread-safe token bucket: `packets_per_second` tokens accrue
+/// continuously up to a cap of `burst`; each probe spends one token.
+/// acquire() blocks (sleeping, not spinning) until its tokens are
+/// available, so a saturated fleet self-paces to the configured rate.
+class RateLimiter {
+ public:
+  using Clock = std::chrono::steady_clock;
+  /// Injectable time source — tests drive a fake clock through this seam
+  /// and assert on try_acquire() instead of real sleeps.
+  using NowFn = std::function<Clock::time_point()>;
+
+  /// `packets_per_second` <= 0 means unlimited (every acquire succeeds
+  /// immediately). Requires burst >= 1.
+  RateLimiter(double packets_per_second, int burst);
+  RateLimiter(double packets_per_second, int burst, NowFn now);
+
+  RateLimiter(const RateLimiter&) = delete;
+  RateLimiter& operator=(const RateLimiter&) = delete;
+
+  /// Block until `packets` tokens are spent. Requests larger than the
+  /// burst capacity are served in burst-sized chunks, so a big probe
+  /// window still drains at the configured rate instead of deadlocking.
+  void acquire(int packets = 1);
+
+  /// Spend `packets` tokens iff all are available right now.
+  [[nodiscard]] bool try_acquire(int packets = 1);
+
+  [[nodiscard]] double packets_per_second() const noexcept { return pps_; }
+  [[nodiscard]] int burst() const noexcept { return burst_; }
+  [[nodiscard]] bool unlimited() const noexcept { return pps_ <= 0.0; }
+  /// Total tokens ever granted (metrics / tests).
+  [[nodiscard]] std::uint64_t granted() const;
+
+ private:
+  /// Accrue tokens for the time elapsed since the last refill.
+  void refill_locked(Clock::time_point now);
+  /// Take `want` tokens or report the shortfall wait; lock held.
+  [[nodiscard]] bool take_locked(int want, Clock::duration& wait);
+
+  double pps_;
+  int burst_;
+  NowFn now_;
+  mutable std::mutex mutex_;
+  double tokens_;
+  Clock::time_point last_refill_;
+  std::uint64_t granted_ = 0;
+};
+
+}  // namespace mmlpt::orchestrator
+
+#endif  // MMLPT_ORCHESTRATOR_RATE_LIMITER_H

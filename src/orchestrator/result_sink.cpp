@@ -1,0 +1,69 @@
+#include "orchestrator/result_sink.h"
+
+#include "common/assert.h"
+#include "common/error.h"
+#include "common/json.h"
+
+namespace mmlpt::orchestrator {
+
+void ResultSink::emit(std::size_t index, std::string line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MMLPT_EXPECTS(index >= next_);  // each index emitted at most once
+  if (index != next_) {
+    const bool inserted = pending_.emplace(index, std::move(line)).second;
+    MMLPT_EXPECTS(inserted);
+    return;
+  }
+  *out_ << line << '\n';
+  ++written_;
+  ++next_;
+  // Drain the contiguous prefix that this line unblocked.
+  for (auto it = pending_.begin();
+       it != pending_.end() && it->first == next_;) {
+    *out_ << it->second << '\n';
+    ++written_;
+    ++next_;
+    it = pending_.erase(it);
+  }
+  // Surface write failures (disk full, closed fd) instead of silently
+  // truncating the JSONL — the scheduler propagates this as a run
+  // failure.
+  if (!out_->good()) {
+    throw SystemError("ResultSink: output stream write failed");
+  }
+}
+
+void ResultSink::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_->flush();
+  if (!out_->good()) {
+    throw SystemError("ResultSink: output stream flush failed");
+  }
+}
+
+std::size_t ResultSink::lines_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return written_;
+}
+
+std::size_t ResultSink::buffered() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+std::string destination_line(std::size_t index, const std::string& label,
+                             const std::string& payload_key,
+                             const std::string& payload_json) {
+  std::string line = "{\"index\":";
+  line += std::to_string(index);
+  line += ",\"destination\":\"";
+  line += JsonWriter::escape(label);
+  line += "\",\"";
+  line += JsonWriter::escape(payload_key);
+  line += "\":";
+  line += payload_json;
+  line += "}";
+  return line;
+}
+
+}  // namespace mmlpt::orchestrator

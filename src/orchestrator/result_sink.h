@@ -1,0 +1,77 @@
+// Thread-safe streaming JSONL sink with deterministic ordering: workers
+// finish destinations in whatever order the scheduler dealt them, but the
+// output file must be byte-identical across runs and thread counts. The
+// sink therefore holds back out-of-order completions and writes each line
+// exactly when it becomes the next contiguous index — streaming (lines
+// appear while the fleet is still running) without sacrificing
+// reproducibility.
+#ifndef MMLPT_ORCHESTRATOR_RESULT_SINK_H
+#define MMLPT_ORCHESTRATOR_RESULT_SINK_H
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace mmlpt::orchestrator {
+
+class ResultSink {
+ public:
+  /// The stream must outlive the sink. One sink per output file.
+  explicit ResultSink(std::ostream& out) : out_(&out) {}
+  ~ResultSink() {
+    // Best-effort flush; a failed stream already threw from emit()/an
+    // explicit flush(), and destructors must not throw.
+    try {
+      flush();
+    } catch (...) {
+    }
+  }
+
+  ResultSink(const ResultSink&) = delete;
+  ResultSink& operator=(const ResultSink&) = delete;
+
+  /// Hand over line `index` (no trailing newline; the sink appends one).
+  /// Lines are written in strictly increasing index order; a line arriving
+  /// early is buffered until its predecessors land. Each index may be
+  /// emitted at most once.
+  ///
+  /// The ordering guarantee is the sink's own: callers may emit from any
+  /// thread in any order. When fed from FleetScheduler's on_result hook
+  /// (which already delivers in index order) the buffer simply stays
+  /// empty — the sink does not rely on that, so it stays correct for
+  /// producers with no ordered delivery of their own.
+  void emit(std::size_t index, std::string line);
+
+  /// Flush the underlying stream. Buffered out-of-order lines stay
+  /// buffered — they are still waiting for a predecessor. Throws
+  /// SystemError when the stream has failed (as does emit()).
+  void flush();
+
+  [[nodiscard]] std::size_t lines_written() const;
+  /// Completions currently held back waiting for an earlier index.
+  [[nodiscard]] std::size_t buffered() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::ostream* out_;
+  std::size_t next_ = 0;
+  std::size_t written_ = 0;
+  std::map<std::size_t, std::string> pending_;
+};
+
+/// Build the standard per-destination JSONL line:
+///   {"index":N,"destination":"<label>","<payload_key>":<payload_json>}
+/// The label is JSON-escaped (it may be an arbitrary user-supplied
+/// string); `payload_json` is spliced verbatim and must already be valid
+/// JSON. Every fleet JSONL producer goes through here so the wire format
+/// and its escaping live in one place.
+[[nodiscard]] std::string destination_line(std::size_t index,
+                                           const std::string& label,
+                                           const std::string& payload_key,
+                                           const std::string& payload_json);
+
+}  // namespace mmlpt::orchestrator
+
+#endif  // MMLPT_ORCHESTRATOR_RESULT_SINK_H

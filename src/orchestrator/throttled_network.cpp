@@ -1,0 +1,19 @@
+#include "orchestrator/throttled_network.h"
+
+namespace mmlpt::orchestrator {
+
+std::optional<probe::Received> ThrottledNetwork::transact(
+    std::span<const std::uint8_t> datagram, probe::Nanos now) {
+  limiter_->acquire(1);
+  return inner_->transact(datagram, now);
+}
+
+std::vector<std::optional<probe::Received>> ThrottledNetwork::transact_batch(
+    std::span<const probe::Datagram> batch) {
+  if (!batch.empty()) {
+    limiter_->acquire(static_cast<int>(batch.size()));
+  }
+  return inner_->transact_batch(batch);
+}
+
+}  // namespace mmlpt::orchestrator

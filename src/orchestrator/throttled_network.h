@@ -1,0 +1,35 @@
+// Network decorator that charges every outgoing probe against a shared
+// fleet-wide RateLimiter before handing it to the inner transport. Each
+// worker wraps its own transport instance around the ONE limiter the
+// scheduler owns — that is how "packets per second" means fleet packets,
+// not per-worker packets.
+#ifndef MMLPT_ORCHESTRATOR_THROTTLED_NETWORK_H
+#define MMLPT_ORCHESTRATOR_THROTTLED_NETWORK_H
+
+#include "orchestrator/rate_limiter.h"
+#include "probe/network.h"
+
+namespace mmlpt::orchestrator {
+
+class ThrottledNetwork final : public probe::Network {
+ public:
+  /// Both the inner transport and the limiter must outlive this decorator.
+  ThrottledNetwork(probe::Network& inner, RateLimiter& limiter)
+      : inner_(&inner), limiter_(&limiter) {}
+
+  [[nodiscard]] std::optional<probe::Received> transact(
+      std::span<const std::uint8_t> datagram, probe::Nanos now) override;
+
+  /// A window of N probes costs N tokens up front (chunked to the burst
+  /// size by the limiter), then ships as one inner batch.
+  [[nodiscard]] std::vector<std::optional<probe::Received>> transact_batch(
+      std::span<const probe::Datagram> batch) override;
+
+ private:
+  probe::Network* inner_;
+  RateLimiter* limiter_;
+};
+
+}  // namespace mmlpt::orchestrator
+
+#endif  // MMLPT_ORCHESTRATOR_THROTTLED_NETWORK_H

@@ -1,5 +1,7 @@
 #include "probe/engine.h"
 
+#include <algorithm>
+
 #include "common/assert.h"
 #include "net/packet.h"
 
@@ -57,6 +59,64 @@ TraceProbeResult ProbeEngine::probe(FlowId flow, std::uint8_t ttl) {
     return result;
   }
   return result;
+}
+
+std::vector<TraceProbeResult> ProbeEngine::probe_batch(
+    std::span<const ProbeRequest> requests) {
+  std::vector<TraceProbeResult> results(requests.size());
+  std::vector<std::size_t> pending(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    MMLPT_EXPECTS(requests[i].ttl >= 1);
+    pending[i] = i;
+  }
+
+  for (int attempt = 0; attempt <= config_.max_retries && !pending.empty();
+       ++attempt) {
+    std::vector<Datagram> window;
+    window.reserve(pending.size());
+    for (const std::size_t i : pending) {
+      net::ProbeSpec spec;
+      spec.src = config_.source;
+      spec.dst = config_.destination;
+      const auto [src_port, dst_port] = flow_ports(requests[i].flow);
+      spec.src_port = src_port;
+      spec.dst_port = dst_port;
+      spec.ttl = requests[i].ttl;
+      spec.ip_id = next_probe_ip_id_++;
+
+      now_ += config_.send_interval;
+      ++packets_sent_;
+      ++trace_probes_sent_;
+      results[i].probe_ip_id = spec.ip_id;
+      results[i].send_time = now_;
+      window.push_back(Datagram{net::build_udp_probe(spec), now_});
+    }
+
+    const auto replies = network_->transact_batch(window);
+    MMLPT_ASSERT(replies.size() == pending.size());
+    std::vector<std::size_t> still_pending;
+    Nanos latest_reply = now_;
+    for (std::size_t slot = 0; slot < pending.size(); ++slot) {
+      const std::size_t i = pending[slot];
+      if (!replies[slot]) {
+        still_pending.push_back(i);
+        continue;
+      }
+      const auto reply = net::parse_reply(replies[slot]->datagram);
+      auto& result = results[i];
+      result.answered = true;
+      result.responder = reply.responder();
+      result.from_destination = reply.is_port_unreachable();
+      result.reply_ip_id = reply.outer.identification;
+      result.reply_ttl = reply.outer.ttl;
+      result.mpls_labels = reply.icmp.mpls_labels;
+      result.recv_time = result.send_time + replies[slot]->rtt;
+      latest_reply = std::max(latest_reply, result.recv_time);
+    }
+    now_ = latest_reply;  // the window waits for its slowest answer
+    pending = std::move(still_pending);
+  }
+  return results;
 }
 
 EchoProbeResult ProbeEngine::ping(net::Ipv4Address target) {

@@ -7,6 +7,8 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "net/icmp.h"
@@ -64,6 +66,21 @@ class ProbeEngine {
 
   /// Send a UDP probe with `flow` and `ttl`; retries transparently.
   [[nodiscard]] TraceProbeResult probe(FlowId flow, std::uint8_t ttl);
+
+  /// One element of a probe window for probe_batch().
+  struct ProbeRequest {
+    FlowId flow = 0;
+    std::uint8_t ttl = 1;
+  };
+
+  /// Send a window of UDP probes through Network::transact_batch; slot i
+  /// of the result answers requests[i]. Retries run in rounds: after the
+  /// first window, every unanswered probe is resent as a (smaller) window,
+  /// up to max_retries times. The virtual clock advances send_interval per
+  /// datagram while the window goes out, then jumps to the latest reply —
+  /// the batched counterpart of probe()'s send-then-wait accounting.
+  [[nodiscard]] std::vector<TraceProbeResult> probe_batch(
+      std::span<const ProbeRequest> requests);
 
   /// Send an ICMP echo request to `target` (direct probing).
   [[nodiscard]] EchoProbeResult ping(net::Ipv4Address target);

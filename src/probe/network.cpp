@@ -1,0 +1,15 @@
+#include "probe/network.h"
+
+namespace mmlpt::probe {
+
+std::vector<std::optional<Received>> Network::transact_batch(
+    std::span<const Datagram> batch) {
+  std::vector<std::optional<Received>> replies;
+  replies.reserve(batch.size());
+  for (const auto& datagram : batch) {
+    replies.push_back(transact(datagram.bytes, datagram.at));
+  }
+  return replies;
+}
+
+}  // namespace mmlpt::probe

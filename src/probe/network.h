@@ -2,6 +2,13 @@
 // datagram comes back. Implementations: SimulatedNetwork (Fakeroute,
 // deterministic virtual time) and RawSocketNetwork (real raw sockets,
 // requires root and Internet access).
+//
+// Two probing shapes are supported: transact() blocks per datagram, and
+// transact_batch() ships a whole window of probes before collecting the
+// replies — the shape survey-scale probing needs. The base class provides
+// a serial transact_batch() fallback with identical semantics, so a
+// backend only overrides it when it can do better (RawSocketNetwork
+// overlaps the reply timeouts of the entire window).
 #ifndef MMLPT_PROBE_NETWORK_H
 #define MMLPT_PROBE_NETWORK_H
 
@@ -19,6 +26,13 @@ struct Received {
   Nanos rtt = 0;
 };
 
+/// One element of a probe window: the raw bytes plus the (virtual or
+/// wall-clock) instant they are sent.
+struct Datagram {
+  std::vector<std::uint8_t> bytes;
+  Nanos at = 0;
+};
+
 class Network {
  public:
   virtual ~Network() = default;
@@ -27,6 +41,14 @@ class Network {
   /// matching reply arrives or the transport's timeout elapses.
   [[nodiscard]] virtual std::optional<Received> transact(
       std::span<const std::uint8_t> datagram, Nanos now) = 0;
+
+  /// Send every datagram in `batch`, then collect the replies; slot i of
+  /// the result answers batch[i] (nullopt when unanswered). The default
+  /// implementation transacts serially — correct for every backend, and
+  /// bit-identical to a loop of transact() calls. Overrides must preserve
+  /// the slot alignment and per-probe matching semantics.
+  [[nodiscard]] virtual std::vector<std::optional<Received>> transact_batch(
+      std::span<const Datagram> batch);
 };
 
 }  // namespace mmlpt::probe

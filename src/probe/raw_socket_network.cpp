@@ -38,24 +38,40 @@ RawSocketNetwork::~RawSocketNetwork() {
   if (recv_fd_ >= 0) ::close(recv_fd_);
 }
 
+namespace {
+
+/// matches() on pre-parsed structures — the batch receive loop parses
+/// each packet exactly once and scans slots at struct level.
+bool matches_parsed(const net::ParsedProbe& sent,
+                    const net::ParsedReply& got) {
+  if (got.is_echo_reply()) {
+    return sent.ip.protocol == net::IpProto::kIcmp &&
+           got.icmp.identifier == sent.icmp.identifier &&
+           got.icmp.sequence == sent.icmp.sequence;
+  }
+  if (!got.quoted_ip) return false;
+  if (got.quoted_ip->dst != sent.ip.dst) return false;
+  if (sent.ip.protocol == net::IpProto::kUdp) {
+    return got.quoted_udp && got.quoted_udp->src_port == sent.udp.src_port &&
+           got.quoted_udp->dst_port == sent.udp.dst_port;
+  }
+  return got.quoted_icmp &&
+         got.quoted_icmp->identifier == sent.icmp.identifier;
+}
+
+bool quoted_id_matches_parsed(const net::ParsedProbe& sent,
+                              const net::ParsedReply& got) {
+  if (got.is_echo_reply()) return true;  // identifier/sequence are exact
+  if (!got.quoted_ip) return false;
+  return got.quoted_ip->identification == sent.ip.identification;
+}
+
+}  // namespace
+
 bool RawSocketNetwork::matches(std::span<const std::uint8_t> probe,
                                std::span<const std::uint8_t> reply) {
   try {
-    const auto sent = net::parse_probe(probe);
-    const auto got = net::parse_reply(reply);
-    if (got.is_echo_reply()) {
-      return sent.ip.protocol == net::IpProto::kIcmp &&
-             got.icmp.identifier == sent.icmp.identifier &&
-             got.icmp.sequence == sent.icmp.sequence;
-    }
-    if (!got.quoted_ip) return false;
-    if (got.quoted_ip->dst != sent.ip.dst) return false;
-    if (sent.ip.protocol == net::IpProto::kUdp) {
-      return got.quoted_udp && got.quoted_udp->src_port == sent.udp.src_port &&
-             got.quoted_udp->dst_port == sent.udp.dst_port;
-    }
-    return got.quoted_icmp && got.quoted_icmp->identifier ==
-                                  sent.icmp.identifier;
+    return matches_parsed(net::parse_probe(probe), net::parse_reply(reply));
   } catch (const ParseError&) {
     return false;
   }
@@ -100,6 +116,103 @@ std::optional<Received> RawSocketNetwork::transact(
     return Received{std::vector<std::uint8_t>(reply.begin(), reply.end()),
                     static_cast<Nanos>(rtt.count())};
   }
+}
+
+bool RawSocketNetwork::quoted_id_matches(std::span<const std::uint8_t> probe,
+                                         std::span<const std::uint8_t> reply) {
+  try {
+    return quoted_id_matches_parsed(net::parse_probe(probe),
+                                    net::parse_reply(reply));
+  } catch (const ParseError&) {
+    return false;
+  }
+}
+
+std::vector<std::optional<Received>> RawSocketNetwork::transact_batch(
+    std::span<const Datagram> batch) {
+  std::vector<std::optional<Received>> replies(batch.size());
+  if (batch.empty()) return replies;
+
+  // Send the whole window back-to-back; keep each probe's parsed form so
+  // the receive loop matches at struct level without re-parsing.
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::chrono::steady_clock::time_point> sent_at(batch.size());
+  std::vector<net::ParsedProbe> probes;
+  probes.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    probes.push_back(net::parse_probe(batch[i].bytes));
+    sockaddr_in to{};
+    to.sin_family = AF_INET;
+    to.sin_addr.s_addr = htonl(probes[i].ip.dst.value());
+    sent_at[i] = std::chrono::steady_clock::now();
+    if (::sendto(send_fd_, batch[i].bytes.data(), batch[i].bytes.size(), 0,
+                 reinterpret_cast<const sockaddr*>(&to), sizeof(to)) < 0) {
+      throw SystemError(std::string("sendto: ") + std::strerror(errno));
+    }
+  }
+
+  // One receive window for all of them: the per-probe timeouts overlap.
+  std::size_t unanswered = batch.size();
+  std::uint8_t buffer[2048];
+  while (unanswered > 0) {
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    if (elapsed >= config_.reply_timeout) break;
+
+    pollfd pfd{recv_fd_, POLLIN, 0};
+    const int ready = ::poll(
+        &pfd, 1, static_cast<int>((config_.reply_timeout - elapsed).count()));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw SystemError(std::string("poll: ") + std::strerror(errno));
+    }
+    if (ready == 0) break;
+
+    const ssize_t n = ::recv(recv_fd_, buffer, sizeof(buffer), 0);
+    if (n <= 0) continue;
+    const std::span<const std::uint8_t> reply(buffer,
+                                              static_cast<std::size_t>(n));
+    net::ParsedReply got;
+    try {
+      got = net::parse_reply(reply);
+    } catch (const ParseError&) {
+      continue;  // not an ICMP shape we understand
+    }
+    // Two-tier slot attribution: port matching alone cannot tell apart
+    // two outstanding probes of the same flow at different TTLs, so
+    // prefer the slot whose probe IP-ID the reply quotes; fall back to
+    // the first port match for routers that mangle the quoted header.
+    // A quoted IP-ID that lands on an ALREADY answered slot is a
+    // duplicated reply — drop it rather than loose-matching it onto a
+    // different pending slot of the same flow.
+    std::ptrdiff_t exact = -1;
+    std::ptrdiff_t loose = -1;
+    bool duplicate = false;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (!matches_parsed(probes[i], got)) continue;
+      if (quoted_id_matches_parsed(probes[i], got)) {
+        // The IP-ID pins the reply to exactly this probe.
+        if (replies[i]) {
+          duplicate = true;
+        } else {
+          exact = static_cast<std::ptrdiff_t>(i);
+        }
+        break;
+      }
+      if (!replies[i] && loose < 0) loose = static_cast<std::ptrdiff_t>(i);
+    }
+    if (duplicate) continue;
+    const std::ptrdiff_t hit = exact >= 0 ? exact : loose;
+    if (hit < 0) continue;
+    const auto rtt = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::steady_clock::now() -
+        sent_at[static_cast<std::size_t>(hit)]);
+    replies[static_cast<std::size_t>(hit)] =
+        Received{std::vector<std::uint8_t>(reply.begin(), reply.end()),
+                 static_cast<Nanos>(rtt.count())};
+    --unanswered;
+  }
+  return replies;
 }
 
 }  // namespace mmlpt::probe

@@ -31,11 +31,29 @@ class RawSocketNetwork final : public Network {
   [[nodiscard]] std::optional<Received> transact(
       std::span<const std::uint8_t> datagram, Nanos now) override;
 
+  /// Batched path: fire the whole window back-to-back, then run ONE
+  /// poll()-driven receive loop whose deadline covers the window — the
+  /// reply timeouts overlap instead of accruing serially, so an
+  /// unanswered hop costs one timeout for the window rather than one per
+  /// probe. Replies are matched back to their probe slot by quoted
+  /// ports / echo identifiers, exactly as in transact().
+  [[nodiscard]] std::vector<std::optional<Received>> transact_batch(
+      std::span<const Datagram> batch) override;
+
  private:
   /// True when `reply` is the ICMP answer to `probe` (quoted ports/IP-ID
   /// match, or echo identifier/sequence match).
   [[nodiscard]] static bool matches(std::span<const std::uint8_t> probe,
                                     std::span<const std::uint8_t> reply);
+
+  /// True when the reply's quoted IP identification equals the probe's —
+  /// the per-probe discriminator matches() lacks. Two probes of the SAME
+  /// flow at different TTLs carry identical ports, so a batched window
+  /// needs the IP-ID to attribute each Time-Exceeded to the right slot.
+  /// (Echo replies are already exact per identifier/sequence.)
+  [[nodiscard]] static bool quoted_id_matches(
+      std::span<const std::uint8_t> probe,
+      std::span<const std::uint8_t> reply);
 
   Config config_;
   int send_fd_ = -1;

@@ -9,4 +9,19 @@ std::optional<Received> SimulatedNetwork::transact(
   return Received{std::move(reply->datagram), reply->rtt};
 }
 
+std::vector<std::optional<Received>> SimulatedNetwork::transact_batch(
+    std::span<const Datagram> batch) {
+  std::vector<std::optional<Received>> replies;
+  replies.reserve(batch.size());
+  for (const auto& datagram : batch) {
+    auto reply = simulator_->handle(datagram.bytes, datagram.at);
+    if (reply) {
+      replies.push_back(Received{std::move(reply->datagram), reply->rtt});
+    } else {
+      replies.emplace_back(std::nullopt);
+    }
+  }
+  return replies;
+}
+
 }  // namespace mmlpt::probe

@@ -16,6 +16,13 @@ class SimulatedNetwork final : public Network {
   [[nodiscard]] std::optional<Received> transact(
       std::span<const std::uint8_t> datagram, Nanos now) override;
 
+  /// Batched path: hands the window to the simulator in send order, one
+  /// virtual-time step per datagram. Deterministic and bit-identical to
+  /// the serial fallback — the simulator is a sequential machine — but
+  /// skips the per-probe virtual dispatch.
+  [[nodiscard]] std::vector<std::optional<Received>> transact_batch(
+      std::span<const Datagram> batch) override;
+
  private:
   fakeroute::Simulator* simulator_;
 };

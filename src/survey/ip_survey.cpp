@@ -1,26 +1,75 @@
 #include "survey/ip_survey.h"
 
+#include "core/trace_json.h"
+#include "orchestrator/fleet.h"
+#include "orchestrator/throttled_network.h"
+#include "probe/simulated_network.h"
+#include "survey/route_feeder.h"
+
 namespace mmlpt::survey {
 
-IpSurveyResult run_ip_survey(const IpSurveyConfig& config) {
+core::TraceResult trace_route_task(const topo::GroundTruth& route,
+                                   core::Algorithm algorithm,
+                                   const core::TraceConfig& trace,
+                                   const fakeroute::SimConfig& sim,
+                                   std::uint64_t seed,
+                                   orchestrator::RateLimiter* limiter) {
+  if (!limiter) {
+    return core::run_trace(route, algorithm, trace, sim, seed);
+  }
+  fakeroute::Simulator simulator(route, sim, seed);
+  probe::SimulatedNetwork network(simulator);
+  orchestrator::ThrottledNetwork throttled(network, *limiter);
+  return core::run_trace_with_network(throttled, route.source,
+                                      route.destination, algorithm, trace);
+}
+
+IpSurveyResult run_ip_survey(const IpSurveyConfig& config,
+                             orchestrator::ResultSink* sink) {
   topo::SurveyWorld world(config.generator, config.distinct_diamonds,
                           config.seed);
+
+  // Lazy in-order generation + per-merge release: live routes track the
+  // in-flight window, not the survey size, and the route sequence is
+  // identical to the historical serial loop.
+  RouteFeeder feeder(world, config.routes);
+
+  // One trace task per destination. Seeding keeps the pre-fleet serial
+  // formula (base + route index), so jobs=1 is bit-identical to the
+  // historical loop and jobs=N traces identically.
+  //
+  // The merge rides the scheduler's on_result hook: it fires in strict
+  // route order (the accounting's measured/distinct split depends on
+  // first-encounter order) and serialized, exactly like the historical
+  // serial loop; run_streaming drops each trace right after.
   IpSurveyResult result;
   result.accounting = DiamondAccounting(config.phi_for_meshing_analysis);
-
-  std::uint64_t seed = config.seed ^ 0x5353ULL;
-  for (std::size_t i = 0; i < config.routes; ++i) {
-    const auto route = world.next_route();
-    const auto trace = core::run_trace(route, config.algorithm, config.trace,
-                                       config.sim, seed++);
-    result.total_packets += trace.packets;
-    ++result.routes_traced;
-    const auto diamonds = topo::extract_diamonds(trace.graph);
-    if (!diamonds.empty()) ++result.routes_with_diamonds;
-    for (const auto& d : diamonds) {
-      result.accounting.record(trace.graph, d);
-    }
-  }
+  orchestrator::FleetScheduler fleet(
+      {config.jobs, config.seed, config.pps, config.burst});
+  fleet.run_streaming(
+      config.routes,
+      [&](orchestrator::WorkerContext& context) {
+        const std::size_t i = context.task_index;
+        return trace_route_task(feeder.route(i), config.algorithm,
+                                config.trace, config.sim,
+                                ip_trace_seed(config.seed, i),
+                                context.limiter);
+      },
+      [&](std::size_t i, core::TraceResult& trace) {
+        if (sink) {
+          sink->emit(i, orchestrator::destination_line(
+                            i, feeder.route(i).destination.to_string(),
+                            "trace", core::trace_to_json(trace)));
+        }
+        result.total_packets += trace.packets;
+        ++result.routes_traced;
+        const auto diamonds = topo::extract_diamonds(trace.graph);
+        if (!diamonds.empty()) ++result.routes_with_diamonds;
+        for (const auto& d : diamonds) {
+          result.accounting.record(trace.graph, d);
+        }
+        feeder.release(i);
+      });
   return result;
 }
 

@@ -1,11 +1,20 @@
 // The Sec. 5.1 IP-level survey: trace a stream of generated routes with a
 // multipath tracer and account for every diamond the tool discovers.
+//
+// Runs on the fleet orchestrator in three phases: (1) serial route
+// generation (the generator is single-stream), (2) concurrent tracing —
+// one task per destination, `jobs` workers, optional fleet-wide rate
+// limit — and (3) a serial join that merges per-route diamonds into the
+// accounting in route order. jobs=1 reproduces the historical serial
+// survey bit for bit; jobs=N only changes wall-clock time.
 #ifndef MMLPT_SURVEY_IP_SURVEY_H
 #define MMLPT_SURVEY_IP_SURVEY_H
 
 #include <cstdint>
 
 #include "core/validation.h"
+#include "orchestrator/rate_limiter.h"
+#include "orchestrator/result_sink.h"
 #include "survey/accounting.h"
 #include "topology/generator.h"
 
@@ -20,6 +29,11 @@ struct IpSurveyConfig {
   topo::GeneratorConfig generator;
   int phi_for_meshing_analysis = 2;
   std::uint64_t seed = 1;
+  /// Concurrent trace workers; 1 = the historical serial path.
+  int jobs = 1;
+  /// Fleet-wide probe rate limit in packets/second; <= 0 = unlimited.
+  double pps = 0.0;
+  int burst = 64;
 };
 
 struct IpSurveyResult {
@@ -29,7 +43,27 @@ struct IpSurveyResult {
   std::uint64_t total_packets = 0;
 };
 
-[[nodiscard]] IpSurveyResult run_ip_survey(const IpSurveyConfig& config);
+/// Run the survey. When `sink` is non-null, one JSON line per destination
+/// ({"index":..,"destination":..,"trace":{...}}) streams out in route
+/// order while the fleet runs.
+[[nodiscard]] IpSurveyResult run_ip_survey(
+    const IpSurveyConfig& config, orchestrator::ResultSink* sink = nullptr);
+
+/// The per-route trace seed: the pre-fleet serial formula, kept in one
+/// place because the bit-for-bit reproducibility contract depends on it.
+[[nodiscard]] inline std::uint64_t ip_trace_seed(std::uint64_t survey_seed,
+                                                 std::size_t route_index) {
+  return (survey_seed ^ 0x5353ULL) + route_index;
+}
+
+/// Trace one generated route as a fleet task: plain core::run_trace when
+/// unthrottled, or a ThrottledNetwork stack charging `limiter` otherwise.
+/// Shared by the survey and the mmlpt_fleet CLI so the decoration path
+/// (and its determinism guarantees) live in one place.
+[[nodiscard]] core::TraceResult trace_route_task(
+    const topo::GroundTruth& route, core::Algorithm algorithm,
+    const core::TraceConfig& trace, const fakeroute::SimConfig& sim,
+    std::uint64_t seed, orchestrator::RateLimiter* limiter);
 
 }  // namespace mmlpt::survey
 

@@ -1,10 +1,16 @@
 #include "survey/router_survey.h"
 
 #include <algorithm>
+#include <optional>
 #include <set>
+#include <vector>
 
 #include "common/assert.h"
+#include "core/trace_json.h"
+#include "orchestrator/fleet.h"
+#include "orchestrator/throttled_network.h"
 #include "probe/simulated_network.h"
+#include "survey/route_feeder.h"
 
 namespace mmlpt::survey {
 
@@ -54,6 +60,60 @@ std::vector<std::size_t> widths_between(const topo::MultipathGraph& g,
   return widths;
 }
 
+/// Merge one traced route into the running survey state — the historical
+/// serial merge body. Order sensitive (dedup sets, union-find): must be
+/// called in route order.
+void merge_route(const core::MultilevelResult& ml, RouterSurveyResult& result,
+                 std::set<std::vector<std::uint32_t>>& distinct_sets,
+                 std::set<topo::DiamondKey>& seen_diamonds,
+                 AddressUnionFind& aggregated) {
+  ++result.routes_traced;
+  result.total_packets += ml.total_packets;
+
+  // Router sizes from the final round's accepted sets.
+  for (const auto& [hop, sets] : ml.final_round().sets_by_hop) {
+    for (const auto& set : sets) {
+      if (set.outcome != alias::Outcome::kAccept || set.members.size() < 2) {
+        continue;
+      }
+      std::vector<std::uint32_t> key;
+      key.reserve(set.members.size());
+      for (const auto addr : set.members) key.push_back(addr.value());
+      std::sort(key.begin(), key.end());
+      if (distinct_sets.insert(key).second) {
+        result.distinct_router_size.add(
+            static_cast<std::int64_t>(set.members.size()));
+      }
+      for (std::size_t m = 1; m < key.size(); ++m) {
+        aggregated.unite(key[0], key[m]);
+      }
+    }
+  }
+
+  // Diamond-by-diamond resolution effects, on unique diamonds.
+  for (const auto& d : topo::extract_diamonds(ml.trace.graph)) {
+    const auto key = topo::diamond_key(ml.trace.graph, d);
+    if (!seen_diamonds.insert(key).second) continue;
+    ++result.unique_diamonds;
+    const auto cls = classify_resolution(ml.trace.graph, ml.router_graph, d);
+    ++result.resolution_counts[cls];
+
+    const auto ip_metrics = topo::compute_metrics(ml.trace.graph, d);
+    result.ip_width.add(ip_metrics.max_width);
+    // Router-level width over the same hop range.
+    std::size_t router_width = 0;
+    for (std::uint16_t h = d.divergence_hop; h <= d.convergence_hop; ++h) {
+      router_width =
+          std::max(router_width, ml.router_graph.vertices_at(h).size());
+    }
+    result.router_width.add(static_cast<std::int64_t>(router_width));
+    if (static_cast<int>(router_width) != ip_metrics.max_width) {
+      result.width_before_after.add(ip_metrics.max_width,
+                                    static_cast<std::int64_t>(router_width));
+    }
+  }
+}
+
 }  // namespace
 
 topo::ResolutionClass classify_resolution(
@@ -87,73 +147,61 @@ double RouterSurveyResult::resolution_fraction(
   return static_cast<double>(count) / static_cast<double>(unique_diamonds);
 }
 
-RouterSurveyResult run_router_survey(const RouterSurveyConfig& config) {
+RouterSurveyResult run_router_survey(const RouterSurveyConfig& config,
+                                     orchestrator::ResultSink* sink) {
   topo::SurveyWorld world(config.generator, config.distinct_diamonds,
                           config.seed);
+
+  // Lazy in-order generation + per-merge release: live routes track the
+  // in-flight window, not the survey size.
+  RouteFeeder feeder(world, config.routes);
+
+  // Trace + multilevel alias resolution per destination. Seeding keeps
+  // the pre-fleet serial formula (base + route index): jobs=1 is
+  // bit-identical to the historical loop.
+  //
+  // The merge rides the scheduler's on_result hook: the distinct-set
+  // dedup, the diamond dedup and the union-find are all first-encounter
+  // sensitive, and on_result fires serialized in strict route order —
+  // exactly the historical serial merge.
   RouterSurveyResult result;
   std::set<std::vector<std::uint32_t>> distinct_sets;
   std::set<topo::DiamondKey> seen_diamonds;
   AddressUnionFind aggregated;
 
-  std::uint64_t seed = config.seed * 0x2545F491ULL + 99;
-  for (std::size_t i = 0; i < config.routes; ++i) {
-    const auto route = world.next_route();
-    fakeroute::Simulator simulator(route, config.sim, seed++);
-    probe::SimulatedNetwork network(simulator);
-    probe::ProbeEngine::Config engine_config;
-    engine_config.source = route.source;
-    engine_config.destination = route.destination;
-    probe::ProbeEngine engine(network, engine_config);
-
-    core::MultilevelTracer tracer(engine, config.multilevel);
-    const auto ml = tracer.run();
-    ++result.routes_traced;
-    result.total_packets += ml.total_packets;
-
-    // Router sizes from the final round's accepted sets.
-    for (const auto& [hop, sets] : ml.final_round().sets_by_hop) {
-      for (const auto& set : sets) {
-        if (set.outcome != alias::Outcome::kAccept || set.members.size() < 2) {
-          continue;
+  orchestrator::FleetScheduler fleet(
+      {config.jobs, config.seed, config.pps, config.burst});
+  const std::uint64_t base_seed = config.seed * 0x2545F491ULL + 99;
+  fleet.run_streaming(
+      config.routes,
+      [&](orchestrator::WorkerContext& context) {
+        const auto& route = feeder.route(context.task_index);
+        fakeroute::Simulator simulator(route, config.sim,
+                                       base_seed + context.task_index);
+        probe::SimulatedNetwork network(simulator);
+        std::optional<orchestrator::ThrottledNetwork> throttled;
+        probe::Network* transport = &network;
+        if (context.limiter) {
+          throttled.emplace(network, *context.limiter);
+          transport = &*throttled;
         }
-        std::vector<std::uint32_t> key;
-        key.reserve(set.members.size());
-        for (const auto addr : set.members) key.push_back(addr.value());
-        std::sort(key.begin(), key.end());
-        if (distinct_sets.insert(key).second) {
-          result.distinct_router_size.add(
-              static_cast<std::int64_t>(set.members.size()));
-        }
-        for (std::size_t m = 1; m < key.size(); ++m) {
-          aggregated.unite(key[0], key[m]);
-        }
-      }
-    }
+        probe::ProbeEngine::Config engine_config;
+        engine_config.source = route.source;
+        engine_config.destination = route.destination;
+        probe::ProbeEngine engine(*transport, engine_config);
 
-    // Diamond-by-diamond resolution effects, on unique diamonds.
-    for (const auto& d : topo::extract_diamonds(ml.trace.graph)) {
-      const auto key = topo::diamond_key(ml.trace.graph, d);
-      if (!seen_diamonds.insert(key).second) continue;
-      ++result.unique_diamonds;
-      const auto cls =
-          classify_resolution(ml.trace.graph, ml.router_graph, d);
-      ++result.resolution_counts[cls];
-
-      const auto ip_metrics = topo::compute_metrics(ml.trace.graph, d);
-      result.ip_width.add(ip_metrics.max_width);
-      // Router-level width over the same hop range.
-      std::size_t router_width = 0;
-      for (std::uint16_t h = d.divergence_hop; h <= d.convergence_hop; ++h) {
-        router_width =
-            std::max(router_width, ml.router_graph.vertices_at(h).size());
-      }
-      result.router_width.add(static_cast<std::int64_t>(router_width));
-      if (static_cast<int>(router_width) != ip_metrics.max_width) {
-        result.width_before_after.add(ip_metrics.max_width,
-                                      static_cast<std::int64_t>(router_width));
-      }
-    }
-  }
+        core::MultilevelTracer tracer(engine, config.multilevel);
+        return tracer.run();
+      },
+      [&](std::size_t i, core::MultilevelResult& ml) {
+        if (sink) {
+          sink->emit(i, orchestrator::destination_line(
+                            i, feeder.route(i).destination.to_string(),
+                            "multilevel", core::multilevel_to_json(ml)));
+        }
+        merge_route(ml, result, distinct_sets, seen_diamonds, aggregated);
+        feeder.release(i);
+      });
 
   for (const auto& [root, size] : aggregated.component_sizes()) {
     if (size >= 2) {

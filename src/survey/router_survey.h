@@ -12,6 +12,7 @@
 #include "common/stats.h"
 #include "core/multilevel.h"
 #include "fakeroute/simulator.h"
+#include "orchestrator/result_sink.h"
 #include "topology/generator.h"
 #include "topology/metrics.h"
 
@@ -31,6 +32,11 @@ struct RouterSurveyConfig {
   fakeroute::SimConfig sim;
   topo::GeneratorConfig generator;
   std::uint64_t seed = 1;
+  /// Concurrent trace workers; 1 = the historical serial path.
+  int jobs = 1;
+  /// Fleet-wide probe rate limit in packets/second; <= 0 = unlimited.
+  double pps = 0.0;
+  int burst = 64;
 };
 
 struct RouterSurveyResult {
@@ -52,8 +58,15 @@ struct RouterSurveyResult {
   [[nodiscard]] double resolution_fraction(topo::ResolutionClass c) const;
 };
 
+/// Run the survey over the fleet orchestrator: routes are generated
+/// serially, traced/resolved concurrently (`jobs` workers, optional
+/// fleet-wide rate limit), and merged at join time in route order — the
+/// dedup sets and the cross-trace union-find are order-sensitive, so the
+/// merge happens exactly as the historical serial loop did. When `sink`
+/// is non-null, one JSON line per destination streams out in route order.
 [[nodiscard]] RouterSurveyResult run_router_survey(
-    const RouterSurveyConfig& config);
+    const RouterSurveyConfig& config,
+    orchestrator::ResultSink* sink = nullptr);
 
 }  // namespace mmlpt::survey
 

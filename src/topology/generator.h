@@ -107,6 +107,16 @@ struct DiamondTemplate {
 };
 
 /// Generates diamond templates and whole routes.
+///
+/// Shared-state audit (fleet orchestrator): this class owns ONE `Rng`
+/// that every make_diamond()/make_route() call (and, via the rng()
+/// accessor, SurveyWorld's encounter sampling) draws from, plus the
+/// `next_addr_`/`next_router_id_` allocation counters. It is therefore
+/// strictly single-threaded: concurrent calls would interleave draws
+/// non-deterministically and race the counters. The fleet engine keeps
+/// route generation as a serial phase on the scheduler thread and hands
+/// workers immutable `GroundTruth` snapshots; per-worker randomness
+/// comes from `Rng::fork(stream_id)` instead.
 class RouteGenerator {
  public:
   RouteGenerator(GeneratorConfig config, std::uint64_t seed);
@@ -123,6 +133,10 @@ class RouteGenerator {
   /// Convenience: route around one fresh diamond.
   [[nodiscard]] GroundTruth make_route();
 
+  /// The generator's own stream — shared with SurveyWorld's encounter
+  /// sampling (draws interleave with route construction; see the class
+  /// comment). Never hand this to another thread: fork per-worker
+  /// streams with `rng().fork(stream_id)` instead.
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
 
  private:
@@ -139,7 +153,10 @@ class RouteGenerator {
 };
 
 /// A pool of distinct diamonds plus a stream of routes over them — the
-/// synthetic counterpart of the paper's two-week survey.
+/// synthetic counterpart of the paper's two-week survey. Single-threaded
+/// like RouteGenerator (next_route() draws from the generator's RNG);
+/// the routes it returns are self-contained and safe to trace from any
+/// thread once generated.
 class SurveyWorld {
  public:
   /// Create a world with `distinct_diamonds` templates.

@@ -120,6 +120,36 @@ TEST(Rng, ForkIndependentStreams) {
   EXPECT_NE(parent.uniform(0, 1u << 30), child.uniform(0, 1u << 30));
 }
 
+TEST(Rng, SplittableForkIsPureInSeedAndStream) {
+  // fork(stream_id) must not depend on parent draw state: a fresh parent
+  // and a heavily-drawn parent with the same seed yield the same child.
+  Rng fresh(99);
+  Rng drawn(99);
+  for (int i = 0; i < 1000; ++i) (void)drawn.uniform(0, 1000);
+  Rng a = fresh.fork(7);
+  Rng b = drawn.fork(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform(0, 1u << 30), b.uniform(0, 1u << 30));
+  }
+}
+
+TEST(Rng, SplittableForkStreamsAreDistinct) {
+  Rng parent(13);
+  Rng s0 = parent.fork(0);
+  Rng s1 = parent.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (s0.uniform(0, 1u << 30) == s1.uniform(0, 1u << 30)) ++equal;
+  }
+  EXPECT_EQ(equal, 0);  // 64 collisions over 2^30 would be astronomical
+}
+
+TEST(Rng, SplittableForkDiffersAcrossSeeds) {
+  Rng a(1);
+  Rng b(2);
+  EXPECT_NE(a.fork(0).uniform(0, 1u << 30), b.fork(0).uniform(0, 1u << 30));
+}
+
 TEST(Rng, PickReturnsElement) {
   Rng rng(37);
   const std::vector<int> items{4, 8, 15, 16, 23, 42};

@@ -1,0 +1,155 @@
+#include "orchestrator/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "orchestrator/result_sink.h"
+
+namespace mmlpt::orchestrator {
+namespace {
+
+TEST(FleetScheduler, RunsEveryTaskExactlyOnce) {
+  FleetScheduler fleet({/*jobs=*/4, /*seed=*/1});
+  std::atomic<int> calls{0};
+  const auto results = fleet.run(100, [&](WorkerContext& context) {
+    calls.fetch_add(1);
+    return context.task_index * 2;
+  });
+  EXPECT_EQ(calls.load(), 100);
+  ASSERT_EQ(results.size(), 100u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], i * 2);  // results land in task order
+  }
+}
+
+TEST(FleetScheduler, SerialAndParallelResultsMatch) {
+  const auto run_with = [](int jobs) {
+    FleetScheduler fleet({jobs, /*seed=*/42});
+    return fleet.run(64, [](WorkerContext& context) {
+      // Task-private randomness: pure in (seed, task_index).
+      std::uint64_t acc = 0;
+      for (int i = 0; i < 10; ++i) acc ^= context.rng.uniform(0, 1u << 30);
+      return acc;
+    });
+  };
+  EXPECT_EQ(run_with(1), run_with(8));
+}
+
+TEST(FleetScheduler, OnResultFiresInIndexOrder) {
+  FleetScheduler fleet({/*jobs=*/8, /*seed=*/1});
+  std::vector<std::size_t> emitted;
+  const auto results = fleet.run(
+      50, [](WorkerContext& context) { return context.task_index; },
+      [&](std::size_t index, std::size_t& result) {
+        EXPECT_EQ(index, result);
+        emitted.push_back(index);  // serialized: no lock needed
+      });
+  ASSERT_EQ(emitted.size(), 50u);
+  for (std::size_t i = 0; i < emitted.size(); ++i) EXPECT_EQ(emitted[i], i);
+  EXPECT_EQ(results.size(), 50u);
+}
+
+TEST(FleetScheduler, StreamsThroughResultSinkDeterministically) {
+  const auto run_with = [](int jobs) {
+    std::ostringstream out;
+    {
+      ResultSink sink(out);
+      FleetScheduler fleet({jobs, /*seed=*/7});
+      const auto results = fleet.run(
+          30,
+          [](WorkerContext& context) {
+            return "task-" + std::to_string(context.task_index) + "-" +
+                   std::to_string(context.rng.uniform(0, 999));
+          },
+          [&](std::size_t index, std::string& line) {
+            sink.emit(index, line);
+          });
+      EXPECT_EQ(results.size(), 30u);
+    }
+    return out.str();
+  };
+  const auto serial = run_with(1);
+  EXPECT_EQ(serial, run_with(4));
+  EXPECT_EQ(serial, run_with(16));
+}
+
+TEST(FleetScheduler, WorkerRngStreamsAreTaskNotWorkerBound) {
+  // With 1 task per worker vs all tasks on one worker, task i's stream
+  // must be identical — the context RNG is forked by task index.
+  FleetScheduler fleet({/*jobs=*/1, /*seed=*/5});
+  const auto draws = fleet.run(8, [](WorkerContext& context) {
+    return context.rng.uniform(0, 1u << 30);
+  });
+  const std::set<std::uint64_t> unique(draws.begin(), draws.end());
+  EXPECT_EQ(unique.size(), draws.size());  // distinct streams per task
+  FleetScheduler wide({/*jobs=*/8, /*seed=*/5});
+  EXPECT_EQ(draws, wide.run(8, [](WorkerContext& context) {
+    return context.rng.uniform(0, 1u << 30);
+  }));
+}
+
+TEST(FleetScheduler, RunStreamingConsumesEveryResultInOrder) {
+  FleetScheduler fleet({/*jobs=*/8, /*seed=*/3});
+  std::vector<std::size_t> emitted;
+  std::uint64_t sum = 0;
+  fleet.run_streaming(
+      60, [](WorkerContext& context) { return context.task_index + 1; },
+      [&](std::size_t index, std::size_t& result) {
+        EXPECT_EQ(result, index + 1);
+        emitted.push_back(index);  // serialized: no lock needed
+        sum += result;
+      });
+  ASSERT_EQ(emitted.size(), 60u);
+  for (std::size_t i = 0; i < emitted.size(); ++i) EXPECT_EQ(emitted[i], i);
+  EXPECT_EQ(sum, 60u * 61u / 2u);
+}
+
+TEST(FleetScheduler, PropagatesTheFirstTaskException) {
+  FleetScheduler fleet({/*jobs=*/4, /*seed=*/1});
+  EXPECT_THROW(
+      (void)fleet.run(32,
+                      [](WorkerContext& context) -> int {
+                        if (context.task_index == 13) {
+                          throw std::runtime_error("boom");
+                        }
+                        return 0;
+                      }),
+      std::runtime_error);
+}
+
+TEST(FleetScheduler, JobsOneNeverSpawnsThreads) {
+  // The serial path runs on the calling thread, in order — observable
+  // via strictly increasing task indices with no interleaving.
+  FleetScheduler fleet({/*jobs=*/1, /*seed=*/1});
+  std::vector<std::size_t> order;
+  (void)fleet.run(20, [&](WorkerContext& context) {
+    order.push_back(context.task_index);  // unsynchronized: safe iff serial
+    EXPECT_EQ(context.worker_id, 0);
+    return 0;
+  });
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(FleetScheduler, BuildsALimiterOnlyWhenRateLimited) {
+  FleetScheduler unlimited({/*jobs=*/2, /*seed=*/1, /*pps=*/0.0});
+  EXPECT_EQ(unlimited.limiter(), nullptr);
+  FleetScheduler limited({/*jobs=*/2, /*seed=*/1, /*pps=*/100.0,
+                          /*burst=*/16});
+  ASSERT_NE(limited.limiter(), nullptr);
+  EXPECT_DOUBLE_EQ(limited.limiter()->packets_per_second(), 100.0);
+  EXPECT_EQ(limited.limiter()->burst(), 16);
+  (void)limited.run(4, [](WorkerContext& context) {
+    EXPECT_NE(context.limiter, nullptr);
+    context.limiter->acquire(1);
+    return 0;
+  });
+}
+
+}  // namespace
+}  // namespace mmlpt::orchestrator

@@ -1,0 +1,118 @@
+#include "orchestrator/rate_limiter.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace mmlpt::orchestrator {
+namespace {
+
+using Clock = RateLimiter::Clock;
+
+/// Manually-advanced clock for deterministic token math.
+struct FakeClock {
+  Clock::time_point now = Clock::time_point{};
+  [[nodiscard]] RateLimiter::NowFn fn() {
+    return [this] { return now; };
+  }
+  void advance(std::chrono::nanoseconds d) { now += d; }
+};
+
+TEST(RateLimiter, StartsWithAFullBurst) {
+  FakeClock clock;
+  RateLimiter limiter(100.0, 8, clock.fn());
+  EXPECT_TRUE(limiter.try_acquire(8));
+  EXPECT_FALSE(limiter.try_acquire(1));  // bucket drained
+}
+
+TEST(RateLimiter, RefillsAtTheConfiguredRate) {
+  FakeClock clock;
+  RateLimiter limiter(100.0, 8, clock.fn());  // one token per 10 ms
+  EXPECT_TRUE(limiter.try_acquire(8));
+  clock.advance(std::chrono::milliseconds(10));
+  EXPECT_TRUE(limiter.try_acquire(1));
+  EXPECT_FALSE(limiter.try_acquire(1));
+  clock.advance(std::chrono::milliseconds(35));
+  EXPECT_TRUE(limiter.try_acquire(3));
+  EXPECT_FALSE(limiter.try_acquire(1));
+}
+
+TEST(RateLimiter, BurstCapsAccrual) {
+  FakeClock clock;
+  RateLimiter limiter(1000.0, 4, clock.fn());
+  EXPECT_TRUE(limiter.try_acquire(4));
+  clock.advance(std::chrono::seconds(60));  // would be 60000 tokens
+  EXPECT_TRUE(limiter.try_acquire(4));
+  EXPECT_FALSE(limiter.try_acquire(1));  // capped at burst, not 60000
+}
+
+TEST(RateLimiter, TryAcquireBeyondBurstAlwaysFails) {
+  FakeClock clock;
+  RateLimiter limiter(100.0, 4, clock.fn());
+  EXPECT_FALSE(limiter.try_acquire(5));  // can never hold 5 tokens at once
+  EXPECT_TRUE(limiter.try_acquire(4));   // ...and nothing was spent above
+}
+
+TEST(RateLimiter, UnlimitedGrantsEverything) {
+  RateLimiter limiter(0.0, 1);
+  EXPECT_TRUE(limiter.unlimited());
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(limiter.try_acquire(1));
+  limiter.acquire(1 << 20);  // returns immediately
+}
+
+TEST(RateLimiter, CountsGrantedTokens) {
+  FakeClock clock;
+  RateLimiter limiter(100.0, 8, clock.fn());
+  EXPECT_TRUE(limiter.try_acquire(3));
+  EXPECT_TRUE(limiter.try_acquire(2));
+  EXPECT_FALSE(limiter.try_acquire(8));
+  EXPECT_EQ(limiter.granted(), 5u);
+}
+
+TEST(RateLimiter, AcquireBlocksUntilTokensAccrue) {
+  // Real clock: 2 kpps, burst 8. Spending 8 + 12 tokens needs ~6 ms of
+  // accrual; assert the elapsed wall time reflects the wait (coarse
+  // bounds — CI machines are noisy).
+  RateLimiter limiter(2000.0, 8);
+  const auto start = Clock::now();
+  limiter.acquire(8);   // immediate: full burst
+  limiter.acquire(12);  // chunked 8 + 4, waits for accrual
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      Clock::now() - start);
+  EXPECT_GE(elapsed.count(), 4);
+  EXPECT_EQ(limiter.granted(), 20u);
+}
+
+TEST(RateLimiter, SharedAcrossThreadsBoundsTheTotalRate) {
+  // 4 workers hammer one limiter configured for 2000 pps / burst 10.
+  // In ~250 ms they can collectively win at most burst + rate * time
+  // tokens, regardless of thread count.
+  RateLimiter limiter(2000.0, 10);
+  std::atomic<std::uint64_t> acquired{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&] {
+      while (!stop.load()) {
+        if (limiter.try_acquire(1)) {
+          acquired.fetch_add(1);
+        } else {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  stop.store(true);
+  for (auto& worker : workers) worker.join();
+  // Upper bound with generous slack for scheduling jitter: 10 burst +
+  // 2000 pps * 0.4 s.
+  EXPECT_LE(acquired.load(), 10u + 800u);
+  EXPECT_GE(acquired.load(), 100u);  // and the fleet did make progress
+}
+
+}  // namespace
+}  // namespace mmlpt::orchestrator

@@ -128,6 +128,62 @@ TEST(ProbeEngine, FlowPortsBijective) {
   EXPECT_EQ(after.second, before.second + 1);
 }
 
+TEST(ProbeEngine, FlowPortsWrapAt16Bits) {
+  Rig rig(topo::simplest_diamond());
+  const auto base_src = rig.engine.config().base_src_port;
+  const auto base_dst = rig.engine.config().base_dst_port;
+  const std::uint32_t cycle = 65536u - base_src;
+
+  // The last flow of the first cycle pins the source port to 65535...
+  const auto last = rig.engine.flow_ports(cycle - 1);
+  EXPECT_EQ(last.first, 65535);
+  EXPECT_EQ(last.second, base_dst);
+  // ...and the next flow wraps the source port back to base while the
+  // destination port steps up, opening a fresh cycle of 5-tuples.
+  const auto wrapped = rig.engine.flow_ports(cycle);
+  EXPECT_EQ(wrapped.first, base_src);
+  EXPECT_EQ(wrapped.second, base_dst + 1);
+  // Same shape at every later cycle boundary.
+  const auto far = rig.engine.flow_ports(1000 * cycle);
+  EXPECT_EQ(far.first, base_src);
+  EXPECT_EQ(far.second, static_cast<std::uint16_t>(base_dst + 1000));
+}
+
+TEST(ProbeEngine, FlowPortsAddressBillionsOfFlows) {
+  // The claim in engine.h: source port cycles, destination port steps
+  // once per cycle, so cycle * 65536 (~2.1 billion with the default
+  // base) distinct flows map to distinct (src, dst) pairs. Exhaustive
+  // enumeration is out; instead check injectivity structurally — flow
+  // a + b*cycle maps to (base_src + a, base_dst + b), so distinct
+  // (a, b) pairs give distinct port pairs across the whole range.
+  Rig rig(topo::simplest_diamond());
+  const auto base_src = rig.engine.config().base_src_port;
+  const auto base_dst = rig.engine.config().base_dst_port;
+  const std::uint32_t cycle = 65536u - base_src;
+  const std::uint64_t addressable =
+      static_cast<std::uint64_t>(cycle) * 65536ULL;
+  EXPECT_GT(addressable, 2'000'000'000ULL);  // billions, literally
+
+  for (const std::uint32_t a : {0u, 1u, 12345u, cycle - 1}) {
+    for (const std::uint32_t b : {0u, 1u, 777u, 65535u - base_dst}) {
+      const FlowId flow = a + b * cycle;
+      const auto [src, dst] = rig.engine.flow_ports(flow);
+      EXPECT_EQ(src, base_src + a);
+      EXPECT_EQ(dst, static_cast<std::uint16_t>(base_dst + b));
+    }
+  }
+
+  // A sample of far-apart flows across the full range stays collision
+  // free (spot check of the bijection).
+  std::set<std::pair<std::uint16_t, std::uint16_t>> seen;
+  for (std::uint64_t flow = 0; flow < addressable;
+       flow += 7'368'787ULL) {  // prime stride, ~285 samples
+    EXPECT_TRUE(
+        seen.insert(rig.engine.flow_ports(static_cast<FlowId>(flow))).second)
+        << "collision at flow " << flow;
+  }
+}
+
 TEST(ProbeEngine, MplsLabelsSurface) {
   auto truth = core::plain_ground_truth(topo::simplest_diamond());
   truth.routers[1].mpls_label = 777;

@@ -4,6 +4,7 @@
 #include "survey/alias_eval.h"
 #include "survey/evaluation.h"
 #include "survey/ip_survey.h"
+#include "survey/route_feeder.h"
 #include "survey/router_survey.h"
 #include "topology/reference.h"
 
@@ -54,6 +55,40 @@ TEST(IpSurvey, DistinctBoundedByWorldSize) {
   const auto result = run_ip_survey(config);
   // At most 5 distinct templates exist in the world.
   EXPECT_LE(result.accounting.distinct().total, 5u);
+}
+
+TEST(RouteFeeder, LazyGenerationMatchesTheSerialSequence) {
+  const topo::GeneratorConfig generator;
+  topo::SurveyWorld direct(generator, 6, 42);
+  std::vector<std::uint32_t> expected;
+  for (int i = 0; i < 10; ++i) {
+    expected.push_back(direct.next_route().destination.value());
+  }
+
+  topo::SurveyWorld lazy(generator, 6, 42);
+  RouteFeeder feeder(lazy, 10);
+  // Out-of-order first access still yields the in-order sequence: asking
+  // for route 7 generates 0..7 behind the scenes.
+  EXPECT_EQ(feeder.route(7).destination.value(), expected[7]);
+  EXPECT_EQ(feeder.route(2).destination.value(), expected[2]);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(feeder.route(i).destination.value(), expected[i]);
+  }
+}
+
+TEST(RouteFeeder, ReleaseShrinksTheLiveWindow) {
+  const topo::GeneratorConfig generator;
+  topo::SurveyWorld world(generator, 4, 7);
+  RouteFeeder feeder(world, 8);
+  EXPECT_EQ(feeder.live(), 0u);
+  (void)feeder.route(3);  // generates 0..3
+  EXPECT_EQ(feeder.live(), 4u);
+  feeder.release(0);
+  feeder.release(1);
+  EXPECT_EQ(feeder.live(), 2u);
+  (void)feeder.route(7);
+  EXPECT_EQ(feeder.live(), 6u);
+  EXPECT_EQ(feeder.count(), 8u);
 }
 
 TEST(Evaluation, VariantsBehaveAsExpected) {
