@@ -1,19 +1,29 @@
 #include "alias/direct_prober.h"
 
+#include <algorithm>
+
 namespace mmlpt::alias {
 
 AliasResolver DirectProber::collect(
     std::span<const net::Ipv4Address> addresses) {
   AliasResolver resolver(config_.resolver);
+  // One window per interleaved sweep (capped at the configured size):
+  // every address is pinged once per sweep whatever the replies say, so
+  // the whole sweep is committed up front and its RTT waits overlap.
+  const auto window = static_cast<std::size_t>(std::max(1, config_.window));
   for (int round = 0; round < config_.rounds; ++round) {
     for (int j = 0; j < config_.samples_per_round; ++j) {
-      for (const auto addr : addresses) {
-        const auto r = engine_->ping(addr);
-        if (!r.answered) continue;
-        resolver.add_ip_id_sample(addr, r.recv_time, r.reply_ip_id,
-                                  r.probe_ip_id);
-        resolver.add_echo_reply_ttl(addr, r.reply_ttl);
-      }
+      probe::for_each_window<net::Ipv4Address>(
+          addresses, window, [&](std::span<const net::Ipv4Address> sweep) {
+            const auto echoes = engine_->ping_batch(sweep);
+            for (std::size_t slot = 0; slot < echoes.size(); ++slot) {
+              const auto& r = echoes[slot];
+              if (!r.answered) continue;
+              resolver.add_ip_id_sample(sweep[slot], r.recv_time,
+                                        r.reply_ip_id, r.probe_ip_id);
+              resolver.add_echo_reply_ttl(sweep[slot], r.reply_ttl);
+            }
+          });
     }
   }
   return resolver;

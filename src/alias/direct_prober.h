@@ -18,6 +18,10 @@ class DirectProber {
   struct Config {
     int rounds = 5;
     int samples_per_round = 30;
+    /// Probe window per interleaved sweep (one ping per address per
+    /// sweep): the sweep's probe set is fixed, so batching collapses its
+    /// RTT waits without changing probe counts; 1 = the serial prober.
+    int window = 1;
     AliasResolver::Config resolver;
   };
 

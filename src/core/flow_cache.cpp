@@ -4,16 +4,38 @@
 
 namespace mmlpt::core {
 
-const probe::TraceProbeResult& FlowCache::probe(FlowId flow, int ttl) {
-  MMLPT_EXPECTS(ttl >= 1 && ttl <= 255);
-  const auto key = std::make_pair(ttl, flow);
-  const auto it = results_.find(key);
-  if (it != results_.end()) return it->second;
+void FlowCache::prefetch(std::span<const ProbeRequest> requests) {
+  std::vector<ProbeRequest> fresh;
+  std::vector<decltype(results_)::iterator> slots;
+  fresh.reserve(requests.size());
+  slots.reserve(requests.size());
+  for (const auto& request : requests) {
+    MMLPT_EXPECTS(request.ttl >= 1);
+    const auto key = std::make_pair(static_cast<int>(request.ttl),
+                                    request.flow);
+    // emplace: the first occurrence of a duplicated (flow, ttl) wins and
+    // an entry already fetched or consumed is left alone.
+    const auto [it, inserted] = results_.emplace(key, Entry{});
+    if (inserted) {
+      fresh.push_back(request);
+      slots.push_back(it);
+    }
+  }
+  if (fresh.empty()) return;
 
-  auto result = engine_->probe(flow, static_cast<std::uint8_t>(ttl));
-  const auto [inserted, ok] = results_.emplace(key, std::move(result));
+  auto batched = engine_->probe_batch(fresh);
+  MMLPT_ASSERT(batched.size() == fresh.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    slots[i]->second.result = std::move(batched[i]);
+  }
+}
+
+const probe::TraceProbeResult& FlowCache::consume(FlowId flow, int ttl,
+                                                  Entry& entry) {
+  entry.consumed = true;
+  packets_accounted_ += static_cast<std::uint64_t>(entry.result.attempts);
   flows_by_ttl_[ttl].push_back(flow);
-  const auto& stored = inserted->second;
+  const auto& stored = entry.result;
   if (stored.answered) {
     by_responder_[{ttl, stored.responder}].push_back(flow);
     if (observer_) observer_(flow, ttl, stored);
@@ -21,9 +43,25 @@ const probe::TraceProbeResult& FlowCache::probe(FlowId flow, int ttl) {
   return stored;
 }
 
+const probe::TraceProbeResult& FlowCache::probe(FlowId flow, int ttl) {
+  MMLPT_EXPECTS(ttl >= 1 && ttl <= 255);
+  const auto key = std::make_pair(ttl, flow);
+  const auto it = results_.find(key);
+  if (it != results_.end()) {
+    if (it->second.consumed) return it->second.result;
+    return consume(flow, ttl, it->second);  // prefetched: consume in place
+  }
+
+  Entry entry;
+  entry.result = engine_->probe(flow, static_cast<std::uint8_t>(ttl));
+  const auto [inserted, ok] = results_.emplace(key, std::move(entry));
+  return consume(flow, ttl, inserted->second);
+}
+
 const probe::TraceProbeResult* FlowCache::lookup(FlowId flow, int ttl) const {
   const auto it = results_.find(std::make_pair(ttl, flow));
-  return it == results_.end() ? nullptr : &it->second;
+  if (it == results_.end() || !it->second.consumed) return nullptr;
+  return &it->second.result;
 }
 
 const std::vector<FlowId>& FlowCache::flows_at(int ttl) const {

@@ -3,6 +3,16 @@
 // re-send it; the cache also answers "which flows are known to reach
 // vertex v at hop h" — the primitive behind node control and the
 // MDA-Lite's flow reuse.
+//
+// The cache is also the seam of the window-based probing pipeline: a
+// tracer assembles the probes its stopping rule has already committed to,
+// hands them to prefetch() (one Network::transact_batch round trip), then
+// consumes them through probe() in the exact order a serial tracer would
+// have sent them. Prefetched-but-unconsumed entries are invisible to
+// lookup()/flows_at()/flows_reaching() and to the packet accounting, so
+// every observable — discovered topology, discovery-event stamps, flow
+// bookkeeping — is identical for every window size, and window = 1 is
+// byte-identical to the historical one-probe-at-a-time path.
 #ifndef MMLPT_CORE_FLOW_CACHE_H
 #define MMLPT_CORE_FLOW_CACHE_H
 
@@ -10,6 +20,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "net/ip_address.h"
@@ -23,21 +34,38 @@ class FlowCache {
  public:
   using Observer = std::function<void(FlowId flow, int ttl,
                                       const probe::TraceProbeResult&)>;
+  using ProbeRequest = probe::ProbeEngine::ProbeRequest;
 
-  explicit FlowCache(probe::ProbeEngine& engine) : engine_(&engine) {}
+  explicit FlowCache(probe::ProbeEngine& engine)
+      : engine_(&engine), packets_base_(engine.packets_sent()) {}
 
   /// Called after every *fresh* answered probe (cache hits do not re-fire).
+  /// With prefetching the observer fires when the probe is CONSUMED via
+  /// probe(), not when its packet goes out — the serial order.
   void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+  /// Fill the cache for every (flow, ttl) in `requests` that has no entry
+  /// yet, as ONE batched window through ProbeEngine::probe_batch (requests
+  /// already fetched or consumed are skipped; duplicates within the window
+  /// are sent once). The results stay unconsumed: invisible to lookup()
+  /// and the flow lists, and not yet charged to packets(), until probe()
+  /// consumes them.
+  void prefetch(std::span<const ProbeRequest> requests);
 
   /// Probe (flow, ttl), memoised: a cached result is returned without
   /// sending another packet (the engine already retried unanswered ones).
+  /// Consuming a prefetched entry charges its packet cost, appends it to
+  /// the flow lists and fires the observer — exactly what a fresh serial
+  /// probe would have done at this point.
   const probe::TraceProbeResult& probe(FlowId flow, int ttl);
 
-  /// Cached result, if any.
+  /// Cached result, if any. Prefetched entries not yet consumed through
+  /// probe() are NOT visible (at the equivalent serial point they would
+  /// not have been sent yet).
   [[nodiscard]] const probe::TraceProbeResult* lookup(FlowId flow,
                                                       int ttl) const;
 
-  /// Flows already probed at `ttl`, in probe order.
+  /// Flows already probed at `ttl`, in probe (consumption) order.
   [[nodiscard]] const std::vector<FlowId>& flows_at(int ttl) const;
 
   /// Flows known (from cached probes) to reach `addr` at `ttl`. The
@@ -50,19 +78,42 @@ class FlowCache {
   [[nodiscard]] FlowId fresh_flow();
 
   [[nodiscard]] probe::ProbeEngine& engine() noexcept { return *engine_; }
+
+  /// Serial-equivalent packet count: the engine's counter at construction
+  /// plus the cost of every probe consumed so far. Equal to
+  /// engine().packets_sent() whenever no prefetched probe is in flight or
+  /// abandoned — in particular at every consumption point under window=1
+  /// — and unlike the raw engine counter it is identical for every window
+  /// size (speculative probes are charged to the wire, never to the
+  /// algorithm).
   [[nodiscard]] std::uint64_t packets() const noexcept {
-    return engine_->packets_sent();
+    return packets_base_ + packets_accounted_;
+  }
+
+  /// Probes consumed since construction (the algorithmic packet cost).
+  [[nodiscard]] std::uint64_t packets_accounted() const noexcept {
+    return packets_accounted_;
   }
 
  private:
+  struct Entry {
+    probe::TraceProbeResult result;
+    bool consumed = false;
+  };
+
+  /// Consumption bookkeeping shared by the hit and miss paths of probe().
+  const probe::TraceProbeResult& consume(FlowId flow, int ttl, Entry& entry);
+
   probe::ProbeEngine* engine_;
   Observer observer_;
-  std::map<std::pair<int, FlowId>, probe::TraceProbeResult> results_;
+  std::map<std::pair<int, FlowId>, Entry> results_;
   std::map<int, std::vector<FlowId>> flows_by_ttl_;
   /// (ttl, responder) -> flows; std::map for reference stability.
   mutable std::map<std::pair<int, net::Ipv4Address>, std::vector<FlowId>>
       by_responder_;
   FlowId next_flow_ = 0;
+  std::uint64_t packets_base_ = 0;
+  std::uint64_t packets_accounted_ = 0;
 };
 
 }  // namespace mmlpt::core

@@ -1,5 +1,6 @@
 #include "core/mda.h"
 
+#include <algorithm>
 #include <set>
 
 #include "common/assert.h"
@@ -23,11 +24,11 @@ TraceResult MdaTracer::run() {
         });
   }
   DiscoveryRecorder recorder;
-  return run_with(cache, recorder, engine_->packets_sent());
+  return run_with(cache, recorder);
 }
 
-TraceResult MdaTracer::run_with(FlowCache& cache, DiscoveryRecorder& recorder,
-                                std::uint64_t packets_before) {
+TraceResult MdaTracer::run_with(FlowCache& cache,
+                                DiscoveryRecorder& recorder) {
   const auto source = engine_->config().source;
   const auto destination = engine_->config().destination;
   recorder.add_vertex(0, source, 0);
@@ -51,7 +52,9 @@ TraceResult MdaTracer::run_with(FlowCache& cache, DiscoveryRecorder& recorder,
 
   TraceResult result;
   result.graph = recorder.to_graph();
-  result.packets = engine_->packets_sent() - packets_before;
+  // Cache-accounted, not an engine-counter delta: window-invariant by
+  // construction even if a future edit abandons a prefetched probe.
+  result.packets = cache.packets_accounted();
   result.events = recorder.events();
   result.reached_destination = reached;
   result.node_control_probes = node_control_probes_;
@@ -89,35 +92,62 @@ bool MdaTracer::discover_successors(FlowCache& cache,
     }
   }
 
+  // The nk waves, windowed: with k successors known and `budget` probes
+  // spent, the stopping rule has already committed to n(k) - budget more
+  // probes whatever they reveal (n(k) only grows), so a wave of that many
+  // (capped at the configured window) ships as one batched round trip and
+  // is consumed in serial order. Node-control hunts stay one probe per
+  // round trip: the hunt may stop after its very next reply, so a single
+  // probe is all that is ever committed.
+  const auto window = static_cast<std::size_t>(std::max(1, config_.window));
   std::size_t cursor = 0;
+  std::vector<FlowCache::ProbeRequest> wave;
   while (true) {
     const int k = std::max<int>(1, static_cast<int>(successors.size()));
-    if (budget >= static_cast<std::uint64_t>(stopping_.n(k))) break;
+    const auto target = static_cast<std::uint64_t>(stopping_.n(k));
+    if (budget >= target) break;
 
-    // Next flow through the vertex that has not been spent at hop h yet.
-    std::optional<FlowId> flow;
-    while (cursor < through.size()) {
-      const FlowId candidate = through[cursor++];
-      if (cache.lookup(candidate, h) == nullptr) {
-        flow = candidate;
-        break;
+    const auto room = static_cast<std::size_t>(
+        std::min<std::uint64_t>(target - budget, window));
+    wave.clear();
+    while (wave.size() < room) {
+      // Next flow through the vertex that has not been spent at hop h yet.
+      std::optional<FlowId> flow;
+      while (cursor < through.size()) {
+        const FlowId candidate = through[cursor++];
+        if (cache.lookup(candidate, h) == nullptr) {
+          flow = candidate;
+          break;
+        }
       }
-    }
-    if (!flow) {
-      if (free_passage) {
-        flow = cache.fresh_flow();
-      } else {
-        flow = next_flow_through(cache, recorder, prev, vertex);
-        if (!flow) return false;  // node control exhausted its attempt cap
+      if (!flow) {
+        if (free_passage) {
+          flow = cache.fresh_flow();
+        } else {
+          // Flush the flows already assembled before hunting: the hunt
+          // probes at hop h-1 and its replies extend `through`.
+          if (!wave.empty()) break;
+          flow = next_flow_through(cache, recorder, prev, vertex);
+          if (!flow) return false;  // node control exhausted its cap
+          // The hunted flow must be spent at h before the cursor can
+          // rescan `through` (serially it is probed on the spot) — a
+          // one-flow wave.
+          wave.push_back({*flow, static_cast<std::uint8_t>(h)});
+          break;
+        }
       }
+      wave.push_back({*flow, static_cast<std::uint8_t>(h)});
     }
+    cache.prefetch(wave);
 
-    const auto& r = cache.probe(*flow, h);
-    ++budget;
-    if (r.answered) {
-      recorder.add_vertex(h, r.responder, cache.packets());
-      recorder.add_edge(prev, vertex, r.responder, cache.packets());
-      successors.insert(r.responder);
+    for (const auto& [flow, ttl] : wave) {
+      const auto& r = cache.probe(flow, h);
+      ++budget;
+      if (r.answered) {
+        recorder.add_vertex(h, r.responder, cache.packets());
+        recorder.add_edge(prev, vertex, r.responder, cache.packets());
+        successors.insert(r.responder);
+      }
     }
   }
   return true;

@@ -32,9 +32,10 @@ class MdaTracer {
   [[nodiscard]] TraceResult run();
 
   /// Run against shared state — used by the MDA-Lite when it switches
-  /// over mid-trace so that already-bought knowledge is reused.
-  TraceResult run_with(FlowCache& cache, DiscoveryRecorder& recorder,
-                       std::uint64_t packets_before);
+  /// over mid-trace so that already-bought knowledge is reused. The
+  /// reported packet count covers everything consumed through `cache`
+  /// since its construction.
+  TraceResult run_with(FlowCache& cache, DiscoveryRecorder& recorder);
 
  private:
   /// Find the successors of `vertex` (at hop `h - 1`) by probing hop `h`

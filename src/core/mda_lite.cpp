@@ -27,7 +27,6 @@ TraceResult MdaLiteTracer::run() {
         });
   }
   DiscoveryRecorder recorder;
-  const std::uint64_t packets_before = engine_->packets_sent();
 
   const auto source = engine_->config().source;
   recorder.add_vertex(0, source, 0);
@@ -59,7 +58,7 @@ TraceResult MdaLiteTracer::run() {
   if (switch_to_mda) {
     // Switch over to the full MDA, reusing every probe already bought.
     MdaTracer mda(*engine_, config_, observer_);
-    TraceResult result = mda.run_with(cache, recorder, packets_before);
+    TraceResult result = mda.run_with(cache, recorder);
     result.switched_to_mda = true;
     result.meshing_test_probes = meshing_test_probes_;
     result.node_control_probes = node_control_probes_;
@@ -68,7 +67,9 @@ TraceResult MdaLiteTracer::run() {
 
   TraceResult result;
   result.graph = recorder.to_graph();
-  result.packets = engine_->packets_sent() - packets_before;
+  // Cache-accounted, not an engine-counter delta: window-invariant by
+  // construction even if a future edit abandons a prefetched probe.
+  result.packets = cache.packets_accounted();
   result.events = recorder.events();
   result.reached_destination = reached;
   result.meshing_test_probes = meshing_test_probes_;
@@ -95,31 +96,49 @@ bool MdaLiteTracer::scan_hop(FlowCache& cache, DiscoveryRecorder& recorder,
   }
   for (const FlowId f : cache.flows_at(prev)) push(f);
 
+  // Rounds of probe windows. n(k) only grows as replies reveal vertices,
+  // so with the hop currently at k vertices and `budget` probes spent,
+  // the next n(k) - budget probes are already committed no matter what
+  // they return — a window of them (capped at the configured size) can go
+  // out as one batched round trip, then be consumed in serial order.
   std::uint64_t budget = 0;
   std::size_t cursor = 0;
   bool all_destination = true;
+  std::vector<FlowCache::ProbeRequest> requests;
   while (true) {
     const auto k = std::max<int>(
         1, static_cast<int>(recorder.vertices(h).size()));
-    if (budget >= static_cast<std::uint64_t>(stopping_.n(k))) break;
+    const auto target = static_cast<std::uint64_t>(stopping_.n(k));
+    if (budget >= target) break;
 
-    const FlowId flow = cursor < queue.size() ? queue[cursor++]
-                                              : cache.fresh_flow();
-    if (cache.lookup(flow, h) != nullptr) continue;  // already spent at h
+    const std::uint64_t room = target - budget;
+    const auto size = static_cast<std::size_t>(
+        std::min<std::uint64_t>(room, window_size()));
+    requests.clear();
+    while (requests.size() < size) {
+      const FlowId flow = cursor < queue.size() ? queue[cursor++]
+                                                : cache.fresh_flow();
+      if (cache.lookup(flow, h) != nullptr) continue;  // already spent at h
+      requests.push_back({flow, static_cast<std::uint8_t>(h)});
+    }
+    cache.prefetch(requests);
 
-    const auto& r = cache.probe(flow, h);
-    ++budget;
-    if (!r.answered) continue;
-    recorder.add_vertex(h, r.responder, cache.packets());
-    if (r.responder != destination) all_destination = false;
-    // Free edge knowledge when the flow's previous-hop position is known.
-    const auto* prev_result = cache.lookup(flow, prev);
-    if (prev != 0 && prev_result != nullptr && prev_result->answered) {
-      recorder.add_edge(prev, prev_result->responder, r.responder,
-                        cache.packets());
-    } else if (prev == 0) {
-      recorder.add_edge(0, engine_->config().source, r.responder,
-                        cache.packets());
+    for (const auto& [flow, ttl] : requests) {
+      const auto& r = cache.probe(flow, h);
+      ++budget;
+      if (!r.answered) continue;
+      recorder.add_vertex(h, r.responder, cache.packets());
+      if (r.responder != destination) all_destination = false;
+      // Free edge knowledge when the flow's previous-hop position is
+      // known.
+      const auto* prev_result = cache.lookup(flow, prev);
+      if (prev != 0 && prev_result != nullptr && prev_result->answered) {
+        recorder.add_edge(prev, prev_result->responder, r.responder,
+                          cache.packets());
+      } else if (prev == 0) {
+        recorder.add_edge(0, engine_->config().source, r.responder,
+                          cache.packets());
+      }
     }
   }
   return all_destination && !recorder.vertices(h).empty();
@@ -135,14 +154,26 @@ void MdaLiteTracer::complete_edges(FlowCache& cache,
   const bool trace_forward = upper.size() <= lower.size();
   const bool trace_backward = upper.size() >= lower.size();
 
+  // Each direction's probe set is fixed before its first probe goes out
+  // (an iteration only adds edges at the vertex it is completing), so the
+  // whole direction is one committed round: window it, then consume in
+  // serial order. Backward runs after forward because forward's replies
+  // can grow hop h's vertex list.
   if (trace_forward) {
     // Hop h has fewer (or equal) vertices: forward-complete from each
     // hop h-1 vertex that lacks an identified successor.
+    std::vector<std::pair<net::Ipv4Address, FlowId>> work;
+    std::vector<FlowId> work_flows;
     for (const auto v : lower) {
       if (recorder.successor_count(prev, v) > 0) continue;
       const auto& flows = cache.flows_reaching(prev, v);
       if (flows.empty()) continue;  // vertex seen only via lost replies
-      const auto& r = cache.probe(flows.front(), h);
+      work.emplace_back(v, flows.front());
+      work_flows.push_back(flows.front());
+    }
+    prefetch_windowed(cache, work_flows, h);
+    for (const auto& [v, flow] : work) {
+      const auto& r = cache.probe(flow, h);
       if (r.answered) {
         recorder.add_vertex(h, r.responder, cache.packets());
         recorder.add_edge(prev, v, r.responder, cache.packets());
@@ -152,17 +183,39 @@ void MdaLiteTracer::complete_edges(FlowCache& cache,
   if (trace_backward) {
     // Hop h has more (or equal) vertices: backward-complete from each
     // hop h vertex that lacks an identified predecessor.
+    std::vector<std::pair<net::Ipv4Address, FlowId>> work;
+    std::vector<FlowId> work_flows;
     for (const auto v : upper) {
       if (recorder.predecessor_count(h, v) > 0) continue;
       const auto& flows = cache.flows_reaching(h, v);
       if (flows.empty()) continue;
-      const auto& r = cache.probe(flows.front(), prev);
+      work.emplace_back(v, flows.front());
+      work_flows.push_back(flows.front());
+    }
+    prefetch_windowed(cache, work_flows, prev);
+    for (const auto& [v, flow] : work) {
+      const auto& r = cache.probe(flow, prev);
       if (r.answered) {
         recorder.add_vertex(prev, r.responder, cache.packets());
         recorder.add_edge(prev, r.responder, v, cache.packets());
       }
     }
   }
+}
+
+void MdaLiteTracer::prefetch_windowed(FlowCache& cache,
+                                      std::span<const FlowId> flows,
+                                      int ttl) {
+  std::vector<FlowCache::ProbeRequest> requests;
+  requests.reserve(flows.size());
+  for (const FlowId flow : flows) {
+    requests.push_back({flow, static_cast<std::uint8_t>(ttl)});
+  }
+  probe::for_each_window<FlowCache::ProbeRequest>(
+      requests, window_size(),
+      [&](std::span<const FlowCache::ProbeRequest> window) {
+        cache.prefetch(window);
+      });
 }
 
 std::vector<FlowId> MdaLiteTracer::gather_flows_through(
@@ -172,15 +225,30 @@ std::vector<FlowId> MdaLiteTracer::gather_flows_through(
   if (static_cast<int>(known.size()) >= needed) {
     return {known.begin(), known.begin() + needed};
   }
+  // Adaptive hunt in windowed rounds: the hunt stops as soon as `needed`
+  // flows hit the vertex, and in the best case every probe hits, so only
+  // needed - known probes are committed at any moment — that (capped by
+  // the window and the attempt budget) is the legal round size.
   int attempts = 0;
+  std::vector<FlowCache::ProbeRequest> requests;
   while (static_cast<int>(known.size()) < needed &&
          attempts < config_.node_control_attempt_cap) {
-    const FlowId f = cache.fresh_flow();
-    const auto& r = cache.probe(f, ttl);
-    ++attempts;
-    ++node_control_probes_;
-    if (r.answered) {
-      recorder.add_vertex(ttl, r.responder, cache.packets());
+    const auto committed = static_cast<std::size_t>(
+        std::min(needed - static_cast<int>(known.size()),
+                 config_.node_control_attempt_cap - attempts));
+    const auto size = std::min(committed, window_size());
+    requests.clear();
+    for (std::size_t i = 0; i < size; ++i) {
+      requests.push_back({cache.fresh_flow(), static_cast<std::uint8_t>(ttl)});
+    }
+    cache.prefetch(requests);
+    for (const auto& request : requests) {
+      const auto& r = cache.probe(request.flow, ttl);
+      ++attempts;
+      ++node_control_probes_;
+      if (r.answered) {
+        recorder.add_vertex(ttl, r.responder, cache.packets());
+      }
     }
   }
   return {known.begin(), known.end()};
@@ -201,6 +269,9 @@ bool MdaLiteTracer::meshing_detected(FlowCache& cache,
   for (const auto v : from_vertices) {
     const auto flows =
         gather_flows_through(cache, recorder, from_ttl, v, config_.phi);
+    // The phi probes of one vertex are all committed (the meshing verdict
+    // is only read after the whole set): one windowed round.
+    prefetch_windowed(cache, flows, to_ttl);
     std::set<net::Ipv4Address> seen;
     for (const FlowId f : flows) {
       const bool fresh = cache.lookup(f, to_ttl) == nullptr;

@@ -5,7 +5,9 @@
 #ifndef MMLPT_CORE_MDA_LITE_H
 #define MMLPT_CORE_MDA_LITE_H
 
+#include <algorithm>
 #include <optional>
+#include <span>
 
 #include "core/flow_cache.h"
 #include "core/mda.h"
@@ -45,6 +47,14 @@ class MdaLiteTracer {
                                            DiscoveryRecorder& recorder,
                                            int ttl, net::Ipv4Address vertex,
                                            int needed);
+
+  /// Prefetch (flow, ttl) for every flow, in window-sized batches.
+  void prefetch_windowed(FlowCache& cache, std::span<const FlowId> flows,
+                         int ttl);
+
+  [[nodiscard]] std::size_t window_size() const noexcept {
+    return static_cast<std::size_t>(std::max(1, config_.window));
+  }
 
   probe::ProbeEngine* engine_;
   TraceConfig config_;

@@ -68,31 +68,48 @@ MultilevelResult MultilevelTracer::run() {
 
   snapshot();  // round 0: trace data only
 
+  // One window per echo sweep / per interleaved indirect pass (capped at
+  // the configured window size): the probe set of a sweep or pass is
+  // fixed up front, so batching collapses its RTT waits without changing
+  // the Sec. 4 probe counts, and sending pass-by-pass preserves the
+  // alternating-sample discipline the MBT requires.
+  const auto window =
+      static_cast<std::size_t>(std::max(1, config_.trace.window));
+
   for (int round = 1; round <= config_.rounds; ++round) {
     for (const auto& [hop, addrs] : candidates_by_hop) {
       if (round == 1 && config_.direct_fingerprint_round1) {
-        for (const auto addr : addrs) {
-          const auto echo = engine_->ping(addr);
-          if (echo.answered) {
-            resolver.add_echo_reply_ttl(addr, echo.reply_ttl);
-          }
-        }
+        probe::for_each_window<net::Ipv4Address>(
+            addrs, window, [&](std::span<const net::Ipv4Address> sweep) {
+              const auto echoes = engine_->ping_batch(sweep);
+              for (std::size_t j = 0; j < echoes.size(); ++j) {
+                if (echoes[j].answered) {
+                  resolver.add_echo_reply_ttl(sweep[j], echoes[j].reply_ttl);
+                }
+              }
+            });
       }
       // Interleaved indirect probing: one probe per address per pass, so
       // the IP-ID samples of candidate aliases alternate in time — the
       // sampling discipline the MBT requires.
+      std::vector<probe::ProbeEngine::ProbeRequest> pass_requests;
+      for (const auto addr : addrs) {
+        const auto flow = collector.flow_for(hop, addr);
+        if (!flow) continue;  // never reached by a recorded flow
+        pass_requests.push_back({*flow, static_cast<std::uint8_t>(hop)});
+      }
       for (int pass = 0; pass < config_.mbt_samples_per_round; ++pass) {
-        for (const auto addr : addrs) {
-          const auto flow = collector.flow_for(hop, addr);
-          if (!flow) continue;  // never reached by a recorded flow
-          const auto r =
-              engine_->probe(*flow, static_cast<std::uint8_t>(hop));
-          if (!r.answered) continue;
-          resolver.add_ip_id_sample(r.responder, r.recv_time, r.reply_ip_id,
-                                    r.probe_ip_id);
-          resolver.add_error_reply_ttl(r.responder, r.reply_ttl);
-          resolver.add_mpls(r.responder, r.mpls_labels);
-        }
+        probe::for_each_window<probe::ProbeEngine::ProbeRequest>(
+            pass_requests, window,
+            [&](std::span<const probe::ProbeEngine::ProbeRequest> sweep) {
+              for (const auto& r : engine_->probe_batch(sweep)) {
+                if (!r.answered) continue;
+                resolver.add_ip_id_sample(r.responder, r.recv_time,
+                                          r.reply_ip_id, r.probe_ip_id);
+                resolver.add_error_reply_ttl(r.responder, r.reply_ttl);
+                resolver.add_mpls(r.responder, r.mpls_labels);
+              }
+            });
       }
     }
     snapshot();

@@ -1,5 +1,7 @@
 #include "core/single_flow.h"
 
+#include <algorithm>
+
 namespace mmlpt::core {
 
 TraceResult SingleFlowTracer::run() {
@@ -11,35 +13,54 @@ TraceResult SingleFlowTracer::run() {
         });
   }
   DiscoveryRecorder recorder;
-  const std::uint64_t packets_before = engine_->packets_sent();
 
   const auto source = engine_->config().source;
   const auto destination = engine_->config().destination;
   recorder.add_vertex(0, source, 0);
 
+  // Speculative multi-TTL windows: the serial tracer walks ttl = 1, 2, ...
+  // and stops at the destination, so a window of the next W ttls is
+  // speculation — probes beyond the destination hop are wasted on the
+  // wire. They are never consumed, so the cache's serial-equivalent
+  // accounting (and with it the reported packet count, the discovery
+  // stamps and the JSON) is identical for every window size; only
+  // engine().packets_sent() shows the speculative overshoot.
+  const auto window = static_cast<std::size_t>(std::max(1, config_.window));
   const FlowId flow = cache.fresh_flow();
   net::Ipv4Address previous = source;
   bool reached = false;
-  for (int h = 1; h <= config_.max_ttl; ++h) {
-    const auto& r = cache.probe(flow, h);
-    if (!r.answered) {
-      previous = {};  // star: the next edge cannot be attributed
-      continue;
+  std::vector<FlowCache::ProbeRequest> requests;
+  for (int h = 1; h <= config_.max_ttl && !reached; /* advanced below */) {
+    const auto span = std::min<std::size_t>(
+        window, static_cast<std::size_t>(config_.max_ttl - h + 1));
+    requests.clear();
+    for (std::size_t i = 0; i < span; ++i) {
+      requests.push_back(
+          {flow, static_cast<std::uint8_t>(h + static_cast<int>(i))});
     }
-    recorder.add_vertex(h, r.responder, cache.packets());
-    if (!previous.is_unspecified()) {
-      recorder.add_edge(h - 1, previous, r.responder, cache.packets());
-    }
-    previous = r.responder;
-    if (r.responder == destination) {
-      reached = true;
-      break;
+    cache.prefetch(requests);
+
+    for (std::size_t i = 0; i < span; ++i, ++h) {
+      const auto& r = cache.probe(flow, h);
+      if (!r.answered) {
+        previous = {};  // star: the next edge cannot be attributed
+        continue;
+      }
+      recorder.add_vertex(h, r.responder, cache.packets());
+      if (!previous.is_unspecified()) {
+        recorder.add_edge(h - 1, previous, r.responder, cache.packets());
+      }
+      previous = r.responder;
+      if (r.responder == destination) {
+        reached = true;
+        break;
+      }
     }
   }
 
   TraceResult result;
   result.graph = recorder.to_graph();
-  result.packets = engine_->packets_sent() - packets_before;
+  result.packets = cache.packets_accounted();
   result.events = recorder.events();
   result.reached_destination = reached;
   return result;

@@ -91,6 +91,13 @@ struct TraceConfig {
   int phi = 2;
   /// Cap on fresh flows generated while hunting flows through one vertex.
   int node_control_attempt_cap = 20000;
+  /// Probe window: how many in-flight probes a tracer may assemble into
+  /// one batched round trip (Network::transact_batch). Every algorithm
+  /// only windows probes its stopping rule has already committed to, so
+  /// topology, packet accounting and stopping decisions are identical for
+  /// every value; 1 reproduces the historical serial tracer byte for
+  /// byte, larger values collapse RTT waits (latency, not probes).
+  int window = 1;
 };
 
 }  // namespace mmlpt::core

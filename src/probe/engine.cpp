@@ -25,40 +25,12 @@ std::pair<std::uint16_t, std::uint16_t> ProbeEngine::flow_ports(
 }
 
 TraceProbeResult ProbeEngine::probe(FlowId flow, std::uint8_t ttl) {
-  MMLPT_EXPECTS(ttl >= 1);
-  TraceProbeResult result;
-  for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
-    net::ProbeSpec spec;
-    spec.src = config_.source;
-    spec.dst = config_.destination;
-    const auto [src_port, dst_port] = flow_ports(flow);
-    spec.src_port = src_port;
-    spec.dst_port = dst_port;
-    spec.ttl = ttl;
-    spec.ip_id = next_probe_ip_id_++;
-
-    const auto datagram = net::build_udp_probe(spec);
-    now_ += config_.send_interval;
-    ++packets_sent_;
-    ++trace_probes_sent_;
-    result.probe_ip_id = spec.ip_id;
-    result.send_time = now_;
-
-    const auto received = network_->transact(datagram, now_);
-    if (!received) continue;
-
-    const auto reply = net::parse_reply(received->datagram);
-    result.answered = true;
-    result.responder = reply.responder();
-    result.from_destination = reply.is_port_unreachable();
-    result.reply_ip_id = reply.outer.identification;
-    result.reply_ttl = reply.outer.ttl;
-    result.mpls_labels = reply.icmp.mpls_labels;
-    result.recv_time = result.send_time + received->rtt;
-    now_ = result.recv_time;  // sequential probing: wait for the answer
-    return result;
-  }
-  return result;
+  // A one-element window: probe_batch's retry rounds, ip-id allocation
+  // and clock accounting reduce exactly to the serial send-then-wait
+  // loop, so the serial path cannot drift from the windowed one.
+  const ProbeRequest request{flow, ttl};
+  auto results = probe_batch({&request, 1});
+  return std::move(results.front());
 }
 
 std::vector<TraceProbeResult> ProbeEngine::probe_batch(
@@ -111,41 +83,78 @@ std::vector<TraceProbeResult> ProbeEngine::probe_batch(
       result.reply_ttl = reply.outer.ttl;
       result.mpls_labels = reply.icmp.mpls_labels;
       result.recv_time = result.send_time + replies[slot]->rtt;
+      result.attempts = attempt + 1;
       latest_reply = std::max(latest_reply, result.recv_time);
     }
     now_ = latest_reply;  // the window waits for its slowest answer
     pending = std::move(still_pending);
   }
+  for (const std::size_t i : pending) {
+    results[i].attempts = config_.max_retries + 1;
+  }
   return results;
 }
 
 EchoProbeResult ProbeEngine::ping(net::Ipv4Address target) {
-  EchoProbeResult result;
-  for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
-    const std::uint16_t ip_id = next_probe_ip_id_++;
-    const auto datagram = net::build_echo_probe(
-        config_.source, target, /*identifier=*/0x4D4C /* "ML" */,
-        next_echo_sequence_++, /*ttl=*/64, ip_id);
-    now_ += config_.send_interval;
-    ++packets_sent_;
-    ++echo_probes_sent_;
-    result.probe_ip_id = ip_id;
-    result.send_time = now_;
+  // One-element window, same reduction as probe().
+  auto results = ping_batch({&target, 1});
+  return std::move(results.front());
+}
 
-    const auto received = network_->transact(datagram, now_);
-    if (!received) continue;
+std::vector<EchoProbeResult> ProbeEngine::ping_batch(
+    std::span<const net::Ipv4Address> targets) {
+  std::vector<EchoProbeResult> results(targets.size());
+  std::vector<std::size_t> pending(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) pending[i] = i;
 
-    const auto reply = net::parse_reply(received->datagram);
-    if (!reply.is_echo_reply()) continue;
-    result.answered = true;
-    result.responder = reply.responder();
-    result.reply_ip_id = reply.outer.identification;
-    result.reply_ttl = reply.outer.ttl;
-    result.recv_time = result.send_time + received->rtt;
-    now_ = result.recv_time;
-    return result;
+  for (int attempt = 0; attempt <= config_.max_retries && !pending.empty();
+       ++attempt) {
+    std::vector<Datagram> window;
+    window.reserve(pending.size());
+    for (const std::size_t i : pending) {
+      const std::uint16_t ip_id = next_probe_ip_id_++;
+      auto datagram = net::build_echo_probe(
+          config_.source, targets[i], /*identifier=*/0x4D4C /* "ML" */,
+          next_echo_sequence_++, /*ttl=*/64, ip_id);
+      now_ += config_.send_interval;
+      ++packets_sent_;
+      ++echo_probes_sent_;
+      results[i].probe_ip_id = ip_id;
+      results[i].send_time = now_;
+      window.push_back(Datagram{std::move(datagram), now_});
+    }
+
+    const auto replies = network_->transact_batch(window);
+    MMLPT_ASSERT(replies.size() == pending.size());
+    std::vector<std::size_t> still_pending;
+    Nanos latest_reply = now_;
+    for (std::size_t slot = 0; slot < pending.size(); ++slot) {
+      const std::size_t i = pending[slot];
+      if (!replies[slot]) {
+        still_pending.push_back(i);
+        continue;
+      }
+      const auto reply = net::parse_reply(replies[slot]->datagram);
+      if (!reply.is_echo_reply()) {  // same per-attempt filter as ping()
+        still_pending.push_back(i);
+        continue;
+      }
+      auto& result = results[i];
+      result.answered = true;
+      result.responder = reply.responder();
+      result.reply_ip_id = reply.outer.identification;
+      result.reply_ttl = reply.outer.ttl;
+      result.recv_time = result.send_time + replies[slot]->rtt;
+      result.attempts = attempt + 1;
+      latest_reply = std::max(latest_reply, result.recv_time);
+    }
+    now_ = latest_reply;
+    pending = std::move(still_pending);
   }
-  return result;
+  for (const std::size_t i : pending) {
+    results[i].attempts = config_.max_retries + 1;
+  }
+  return results;
 }
 
 }  // namespace mmlpt::probe

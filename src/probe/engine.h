@@ -5,6 +5,7 @@
 #ifndef MMLPT_PROBE_ENGINE_H
 #define MMLPT_PROBE_ENGINE_H
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -34,6 +35,10 @@ struct TraceProbeResult {
   std::vector<net::MplsLabelEntry> mpls_labels;
   Nanos send_time = 0;
   Nanos recv_time = 0;
+  /// Datagrams this probe cost (1 + retries actually used). FlowCache's
+  /// serial-equivalent packet accounting charges a prefetched probe this
+  /// amount when the algorithm consumes it.
+  int attempts = 0;
 };
 
 /// Result of one direct (echo) probe.
@@ -45,7 +50,17 @@ struct EchoProbeResult {
   std::uint16_t probe_ip_id = 0;
   Nanos send_time = 0;
   Nanos recv_time = 0;
+  int attempts = 0;  ///< datagrams this probe cost (1 + retries used)
 };
+
+/// Invoke `fn` on consecutive window-sized subspans of `items`, in
+/// order — the one chunking discipline every windowed sweep shares.
+template <typename T, typename Fn>
+void for_each_window(std::span<const T> items, std::size_t window, Fn&& fn) {
+  for (std::size_t i = 0; i < items.size(); i += window) {
+    fn(items.subspan(i, std::min(window, items.size() - i)));
+  }
+}
 
 class ProbeEngine {
  public:
@@ -84,6 +99,14 @@ class ProbeEngine {
 
   /// Send an ICMP echo request to `target` (direct probing).
   [[nodiscard]] EchoProbeResult ping(net::Ipv4Address target);
+
+  /// Send a window of ICMP echo requests through Network::transact_batch;
+  /// slot i answers targets[i]. Retries run in rounds exactly like
+  /// probe_batch, and a reply that is not an Echo Reply counts as
+  /// unanswered (matching ping()'s per-attempt filter). A one-element
+  /// window is equivalent to ping().
+  [[nodiscard]] std::vector<EchoProbeResult> ping_batch(
+      std::span<const net::Ipv4Address> targets);
 
   /// Total datagrams sent, including retries and echo probes.
   [[nodiscard]] std::uint64_t packets_sent() const noexcept {

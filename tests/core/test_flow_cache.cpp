@@ -105,5 +105,64 @@ TEST(FlowCache, RejectsAbsurdTtl) {
   EXPECT_THROW((void)rig.cache.probe(0, 300), ContractViolation);
 }
 
+TEST(FlowCache, PrefetchedEntriesStayInvisibleUntilConsumed) {
+  Rig rig;
+  const FlowCache::ProbeRequest requests[] = {{0, 1}, {1, 1}, {0, 2}};
+  rig.cache.prefetch(requests);
+  EXPECT_GT(rig.engine.packets_sent(), 0u);  // the window went out...
+  EXPECT_EQ(rig.cache.lookup(0, 1), nullptr);  // ...but nothing is visible
+  EXPECT_TRUE(rig.cache.flows_at(1).empty());
+  EXPECT_EQ(rig.cache.packets_accounted(), 0u);
+
+  const auto& r = rig.cache.probe(0, 1);  // consume: no new packet
+  const auto wire = rig.engine.packets_sent();
+  EXPECT_TRUE(r.answered);
+  EXPECT_EQ(rig.engine.packets_sent(), wire);
+  EXPECT_NE(rig.cache.lookup(0, 1), nullptr);
+  EXPECT_EQ(rig.cache.flows_at(1).size(), 1u);
+  EXPECT_EQ(rig.cache.packets_accounted(), 1u);
+  EXPECT_EQ(rig.cache.lookup(1, 1), nullptr);  // others still unconsumed
+}
+
+TEST(FlowCache, PrefetchSkipsKnownEntriesAndWindowDuplicates) {
+  Rig rig;
+  (void)rig.cache.probe(0, 1);  // consumed entry
+  const auto wire_before = rig.engine.packets_sent();
+  const FlowCache::ProbeRequest requests[] = {
+      {0, 1},  // already consumed: skipped
+      {1, 1}, {1, 1},  // duplicate within the window: sent once
+  };
+  rig.cache.prefetch(requests);
+  EXPECT_EQ(rig.engine.packets_sent(), wire_before + 1);
+  rig.cache.prefetch(requests);  // everything known now: no packets
+  EXPECT_EQ(rig.engine.packets_sent(), wire_before + 1);
+}
+
+TEST(FlowCache, ObserverFiresAtConsumptionInSerialOrder) {
+  Rig rig;
+  std::vector<FlowId> fired;
+  rig.cache.set_observer(
+      [&](FlowId flow, int, const probe::TraceProbeResult&) {
+        fired.push_back(flow);
+      });
+  const FlowCache::ProbeRequest requests[] = {{0, 1}, {1, 1}, {2, 1}};
+  rig.cache.prefetch(requests);
+  EXPECT_TRUE(fired.empty());
+  (void)rig.cache.probe(2, 1);  // consumption order, not fetch order
+  (void)rig.cache.probe(0, 1);
+  (void)rig.cache.probe(1, 1);
+  EXPECT_EQ(fired, (std::vector<FlowId>{2, 0, 1}));
+}
+
+TEST(FlowCache, PacketsMatchesEngineWheneverEverythingIsConsumed) {
+  Rig rig;
+  const FlowCache::ProbeRequest requests[] = {{0, 1}, {1, 1}, {2, 2}};
+  rig.cache.prefetch(requests);
+  for (const auto& request : requests) {
+    (void)rig.cache.probe(request.flow, request.ttl);
+  }
+  EXPECT_EQ(rig.cache.packets(), rig.engine.packets_sent());
+}
+
 }  // namespace
 }  // namespace mmlpt::core

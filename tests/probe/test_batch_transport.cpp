@@ -141,6 +141,87 @@ TEST(ProbeBatch, RetryRoundsRecoverFromLoss) {
   EXPECT_GT(rig.engine.packets_sent(), 100u);
 }
 
+TEST(ProbeBatch, EmptyWindowIsANoOp) {
+  Rig rig(topo::simplest_diamond());
+  const auto t0 = rig.engine.now();
+  const auto results =
+      rig.engine.probe_batch(std::vector<ProbeEngine::ProbeRequest>{});
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(rig.engine.packets_sent(), 0u);
+  EXPECT_EQ(rig.engine.now(), t0);  // no datagram, no virtual time
+}
+
+TEST(ProbeBatch, DuplicateRequestsGetIndependentProbes) {
+  Rig rig(topo::simplest_diamond());
+  const auto results = rig.engine.probe_batch(
+      std::vector<ProbeEngine::ProbeRequest>{{3, 1}, {3, 1}, {3, 1}});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(rig.engine.packets_sent(), 3u);  // one datagram per slot
+  std::set<std::uint16_t> probe_ids;
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.answered);
+    probe_ids.insert(r.probe_ip_id);
+    // Same flow, same ttl: per-flow load balancing pins the path.
+    EXPECT_EQ(r.responder, results[0].responder);
+  }
+  EXPECT_EQ(probe_ids.size(), 3u);  // distinct wire datagrams
+}
+
+TEST(ProbeBatch, WindowWhereEveryProbeExhaustsMaxRetries) {
+  DeadNetwork network;
+  ProbeEngine::Config config;
+  config.source = net::Ipv4Address(192, 168, 0, 1);
+  config.destination = net::Ipv4Address(10, 0, 0, 1);
+  config.max_retries = 2;
+  ProbeEngine engine(network, config);
+  std::vector<ProbeEngine::ProbeRequest> requests;
+  for (FlowId f = 0; f < 4; ++f) requests.push_back({f, 2});
+  const auto results = engine.probe_batch(requests);
+  ASSERT_EQ(results.size(), 4u);
+  for (const auto& r : results) {
+    EXPECT_FALSE(r.answered);
+    EXPECT_EQ(r.attempts, 3);  // 1 initial + max_retries, all spent
+  }
+  // Every slot stays in every retry round: 4 probes x 3 attempts, sent
+  // as 3 shrinking-to-nothing windows of 4.
+  EXPECT_EQ(engine.packets_sent(), 12u);
+  EXPECT_EQ(network.transacts, 12);
+}
+
+TEST(ProbeBatch, AttemptsCountRetriesActuallyUsed) {
+  Rig rig(topo::simplest_diamond());
+  const auto results = rig.engine.probe_batch(
+      std::vector<ProbeEngine::ProbeRequest>{{0, 1}, {1, 1}});
+  for (const auto& r : results) EXPECT_EQ(r.attempts, 1);
+}
+
+TEST(PingBatch, AnswersSweepWithEchoEvidence) {
+  Rig rig(topo::simplest_diamond());
+  // Ping every interface of the diamond in one sweep.
+  std::vector<net::Ipv4Address> targets;
+  const auto& g = rig.truth.graph;
+  for (topo::VertexId v = 0; v < g.vertex_count(); ++v) {
+    const auto addr = g.vertex(v).addr;
+    if (!addr.is_unspecified() && addr != rig.truth.source) {
+      targets.push_back(addr);
+    }
+  }
+  const auto echoes = rig.engine.ping_batch(targets);
+  ASSERT_EQ(echoes.size(), targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_TRUE(echoes[i].answered);
+    EXPECT_EQ(echoes[i].responder, targets[i]);
+    EXPECT_EQ(echoes[i].attempts, 1);
+  }
+  EXPECT_EQ(rig.engine.echo_probes_sent(), targets.size());
+}
+
+TEST(PingBatch, EmptySweepIsANoOp) {
+  Rig rig(topo::simplest_diamond());
+  EXPECT_TRUE(rig.engine.ping_batch({}).empty());
+  EXPECT_EQ(rig.engine.packets_sent(), 0u);
+}
+
 TEST(ProbeBatch, VirtualClockAdvancesToSlowestReply) {
   Rig rig(topo::simplest_diamond());
   const auto t0 = rig.engine.now();

@@ -53,6 +53,11 @@ constexpr const char kUsage[] =
     "  --pps X              fleet-wide probe rate limit, packets/second\n"
     "                       (default unlimited)\n"
     "  --burst N            rate-limiter burst capacity (default 64)\n"
+    "  --window N           per-trace probe window (default 1 = serial\n"
+    "                       probing; output is identical for every N, only\n"
+    "                       wall-clock changes; a window of N costs N\n"
+    "                       rate-limiter tokens up front, so it composes\n"
+    "                       with --pps/--burst)\n"
     "  --algorithm A        mda | mda-lite | single-flow (default mda-lite)\n"
     "  --distinct N         distinct diamond templates in the world (100)\n"
     "  --seed N             world + trace seed (default 1)\n"
@@ -122,7 +127,11 @@ int run_fleet(const Flags& flags) {
   }
   orchestrator::ResultSink sink(*out);
 
-  const core::TraceConfig trace_config;
+  core::TraceConfig trace_config;
+  trace_config.window = static_cast<int>(flags.get_int("window", 1));
+  if (trace_config.window < 1) {
+    throw ConfigError("--window must be >= 1");
+  }
   const fakeroute::SimConfig sim_config;
   orchestrator::FleetScheduler fleet(fleet_config);
 

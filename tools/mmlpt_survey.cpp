@@ -39,6 +39,9 @@ constexpr const char kUsage[] =
     "  --jobs N                      concurrent trace workers (default 1;\n"
     "                                ip/router modes; results are identical\n"
     "                                for every N, only wall-clock changes)\n"
+    "  --window N                    per-trace probe window (default 1 =\n"
+    "                                serial probing; results are identical\n"
+    "                                for every N, only wall-clock changes)\n"
     "  --pps X                       fleet-wide probe rate limit in\n"
     "                                packets/second (default unlimited)\n"
     "  --burst N                     rate-limiter burst capacity\n"
@@ -72,6 +75,12 @@ std::unique_ptr<StreamingOutput> make_output(const Flags& flags) {
   return std::make_unique<StreamingOutput>(path);
 }
 
+int parse_window(const Flags& flags) {
+  const auto window = static_cast<int>(flags.get_int("window", 1));
+  if (window < 1) throw ConfigError("--window must be >= 1");
+  return window;
+}
+
 int run_ip(const Flags& flags, JsonWriter& w) {
   survey::IpSurveyConfig config;
   config.routes = flags.get_uint("routes", 500);
@@ -80,6 +89,7 @@ int run_ip(const Flags& flags, JsonWriter& w) {
   config.jobs = static_cast<int>(flags.get_int("jobs", 1));
   config.pps = flags.get_double("pps", 0.0);
   config.burst = static_cast<int>(flags.get_int("burst", 64));
+  config.trace.window = parse_window(flags);
   const auto output = make_output(flags);
   const auto result = survey::run_ip_survey(
       config, output ? &*output->sink : nullptr);
@@ -123,7 +133,7 @@ int run_evaluation(const Flags& flags, JsonWriter& w) {
   // The evaluation runs five tracer variants over shared per-pair state;
   // it is not fleet-wired (yet), so say so instead of silently ignoring
   // the fleet flags.
-  for (const char* flag : {"jobs", "pps", "burst", "output"}) {
+  for (const char* flag : {"jobs", "pps", "burst", "output", "window"}) {
     if (flags.has(flag)) {
       std::fprintf(stderr,
                    "mmlpt_survey: --%s is ignored in evaluation mode\n",
@@ -170,6 +180,7 @@ int run_router(const Flags& flags, JsonWriter& w) {
   config.jobs = static_cast<int>(flags.get_int("jobs", 1));
   config.pps = flags.get_double("pps", 0.0);
   config.burst = static_cast<int>(flags.get_int("burst", 64));
+  config.multilevel.trace.window = parse_window(flags);
   const auto output = make_output(flags);
   const auto result = survey::run_router_survey(
       config, output ? &*output->sink : nullptr);

@@ -43,6 +43,11 @@ constexpr const char kUsage[] =
     "  --alpha A --branching B       failure bound (default 0.05 / 30)\n"
     "  --phi N                       MDA-Lite meshing-test effort (default "
     "2)\n"
+    "  --window N                    in-flight probe window per batched\n"
+    "                                round trip (default 1 = serial; the\n"
+    "                                topology, packet counts and JSON are\n"
+    "                                identical for every N — larger windows\n"
+    "                                only collapse RTT waits)\n"
     "  --builtin NAME                simplest fig1 fig1-meshed wide\n"
     "                                symmetric asymmetric meshed\n"
     "  --topology FILE               trace a .topo file in the simulator\n"
@@ -142,6 +147,10 @@ int run(const Flags& flags) {
   trace_config.max_branching =
       static_cast<int>(flags.get_int("branching", 30));
   trace_config.phi = static_cast<int>(flags.get_int("phi", 2));
+  trace_config.window = static_cast<int>(flags.get_int("window", 1));
+  if (trace_config.window < 1) {
+    throw ConfigError("--window must be >= 1");
+  }
 
   const auto algorithm_name = flags.get("algorithm", "lite");
   core::Algorithm algorithm = core::Algorithm::kMdaLite;
