@@ -26,6 +26,11 @@
 //   --smoke            small, CI-sized configuration (~seconds); the
 //                      >= 5x speedup target is reported but not enforced
 //                      (CI sleep granularity varies)
+//   --family 4|6       address family (default 4). On 6 the diamond is
+//                      mapped into 2001:db8:4::/64, probes are IPv6 with
+//                      flow-label Paris identifiers, and the multilevel
+//                      stage degrades to IP level ("unsupported-family")
+//                      — the bit-identical gate covers that JSON too
 //   --width N          diamond width per wide hop     (default 8)
 //   --rounds N         alias-resolution rounds        (default 3; smoke 2)
 //   --latency-scale X  wall seconds per virtual RTT second
@@ -86,6 +91,15 @@ topo::GroundTruth wide_diamond_truth(int width) {
   return truth;
 }
 
+topo::GroundTruth family_truth(int width, net::Family family) {
+  auto truth = wide_diamond_truth(width);
+  if (family == net::Family::kIpv6) {
+    truth = core::plain_ground_truth(topo::map_to_ipv6(truth.graph));
+    for (auto& router : truth.routers) router.ip_id_velocity = 0.0;
+  }
+  return truth;
+}
+
 struct RunOutcome {
   double seconds = 0.0;
   std::uint64_t packets = 0;
@@ -134,13 +148,19 @@ int main(int argc, char** argv) {
     const double scale =
         flags.get_double("latency-scale", smoke ? 0.02 : 0.1);
     const auto seed = flags.get_uint("seed", 1);
+    const auto family = net::parse_family_name(flags.get("family", "4"));
+    if (!family) {
+      std::fprintf(stderr, "unknown --family (4|6|ipv4|ipv6)\n");
+      return 1;
+    }
+    const bool v6 = *family == net::Family::kIpv6;
     const std::vector<int> windows = {1, 4, 16, 32};
 
-    const auto truth = wide_diamond_truth(width);
+    const auto truth = family_truth(width, *family);
     std::printf(
-        "window latency: multilevel trace, diamond width %d, %d alias "
-        "rounds, latency scale %.4g\n",
-        width, rounds, scale);
+        "window latency: IPv%c multilevel trace, diamond width %d, %d "
+        "alias rounds, latency scale %.4g\n",
+        v6 ? '6' : '4', width, rounds, scale);
 
     std::vector<RunOutcome> outcomes;
     for (const int window : windows) {
@@ -174,6 +194,8 @@ int main(int argc, char** argv) {
     w.begin_object();
     w.key("bench");
     w.value("window_latency");
+    w.key("family");
+    w.value(v6 ? "ipv6" : "ipv4");
     w.key("width");
     w.value(static_cast<std::int64_t>(width));
     w.key("rounds");

@@ -12,11 +12,22 @@ bool looks_like_flag(const std::string& arg) {
   return arg.size() > 2 && arg[0] == '-' && arg[1] == '-';
 }
 
+bool is_family_switch(const std::string& arg) {
+  return arg == "-4" || arg == "-6";
+}
+
 }  // namespace
 
 Flags::Flags(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    // The traceroute-style family switches are the one single-dash form
+    // we accept; mapping them here keeps them from being swallowed as
+    // the value of a preceding bare flag ("--real -6"). Last one wins.
+    if (is_family_switch(arg)) {
+      values_["family"] = arg.substr(1);
+      continue;
+    }
     if (!looks_like_flag(arg)) {
       positional_.push_back(arg);
       continue;
@@ -24,7 +35,8 @@ Flags::Flags(int argc, char** argv) {
     const auto eq = arg.find('=');
     if (eq != std::string::npos) {
       values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
-    } else if (i + 1 < argc && !looks_like_flag(argv[i + 1])) {
+    } else if (i + 1 < argc && !looks_like_flag(argv[i + 1]) &&
+               !is_family_switch(argv[i + 1])) {
       values_[arg.substr(2)] = argv[++i];
     } else {
       values_[arg.substr(2)] = "true";  // bare boolean flag

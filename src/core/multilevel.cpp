@@ -45,15 +45,22 @@ MultilevelResult MultilevelTracer::run() {
   MultilevelResult result;
   result.trace = lite.run();
 
+  // The MBT reasons over the IP-ID header field; IPv6 has none, so alias
+  // resolution degrades gracefully: no candidates, no probing rounds,
+  // router level == IP level, and the JSON says "unsupported-family".
+  result.alias_supported = engine_->family() == net::Family::kIpv4;
+
   // Alias resolution applies within a hop; only multi-vertex hops can
   // hold aliases of a common router (Sec. 4.1).
-  std::map<int, std::vector<net::Ipv4Address>> candidates_by_hop;
-  for (std::uint16_t h = 0; h < result.trace.graph.hop_count(); ++h) {
-    const auto hop_vertices = result.trace.graph.vertices_at(h);
-    if (hop_vertices.size() < 2) continue;
-    auto& addrs = candidates_by_hop[h];
-    for (const auto v : hop_vertices) {
-      addrs.push_back(result.trace.graph.vertex(v).addr);
+  std::map<int, std::vector<net::IpAddress>> candidates_by_hop;
+  if (result.alias_supported) {
+    for (std::uint16_t h = 0; h < result.trace.graph.hop_count(); ++h) {
+      const auto hop_vertices = result.trace.graph.vertices_at(h);
+      if (hop_vertices.size() < 2) continue;
+      auto& addrs = candidates_by_hop[h];
+      for (const auto v : hop_vertices) {
+        addrs.push_back(result.trace.graph.vertex(v).addr);
+      }
     }
   }
 
@@ -76,7 +83,8 @@ MultilevelResult MultilevelTracer::run() {
   const auto window =
       static_cast<std::size_t>(std::max(1, config_.trace.window));
 
-  for (int round = 1; round <= config_.rounds; ++round) {
+  for (int round = 1; result.alias_supported && round <= config_.rounds;
+       ++round) {
     for (const auto& [hop, addrs] : candidates_by_hop) {
       if (round == 1 && config_.direct_fingerprint_round1) {
         probe::for_each_window<net::Ipv4Address>(

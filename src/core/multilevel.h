@@ -37,6 +37,11 @@ struct MultilevelResult {
   std::vector<RoundSnapshot> rounds;  ///< index r = state after round r
   topo::MultipathGraph router_graph;  ///< final round's merged view
   std::uint64_t total_packets = 0;
+  /// False on IPv6: the MBT needs the IP-ID header field, which v6 does
+  /// not have. The tracer then degrades to IP-level output (one empty
+  /// round-0 snapshot, router_graph == ip graph) and the JSON carries an
+  /// explicit "alias": "unsupported-family" marker.
+  bool alias_supported = true;
   /// Final evidence store (classify_set for Table 2 comparisons).
   alias::AliasResolver resolver;
 

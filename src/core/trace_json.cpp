@@ -92,6 +92,12 @@ std::string multilevel_to_json(const MultilevelResult& result) {
   w.begin_object();
   w.key("total_packets");
   w.value(result.total_packets);
+  if (!result.alias_supported) {
+    // IPv6 has no IP-ID header field for the MBT; the key is only
+    // emitted in the degraded case so v4 output stays byte-stable.
+    w.key("alias");
+    w.value("unsupported-family");
+  }
   w.key("ip_level");
   emit_graph(w, result.trace.graph);
   w.key("router_level");

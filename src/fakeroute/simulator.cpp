@@ -56,8 +56,11 @@ topo::VertexId Simulator::walk(const net::FlowTuple& flow, std::uint16_t hop) {
   MMLPT_EXPECTS(hop < g.hop_count());
   net::FlowTuple hashed = flow;
   if (config_.per_destination_lb) {
+    // Erase every Paris identifier the family carries: ports (v4) and
+    // the flow label (v6) — a per-destination LB hashes addresses only.
     hashed.src_port = 0;
     hashed.dst_port = 0;
+    hashed.flow_label = 0;
   }
   const std::uint64_t flow_digest = hashed.digest();
 
@@ -80,9 +83,11 @@ topo::VertexId Simulator::walk(const net::FlowTuple& flow, std::uint16_t hop) {
 }
 
 std::optional<SimReply> Simulator::emit(
-    std::uint32_t router_index, net::Ipv4Address interface, net::Ipv4Address to,
+    std::uint32_t router_index, net::IpAddress interface, net::IpAddress to,
     std::uint16_t hop, std::uint16_t probe_ip_id, ReplyKind kind,
-    const net::IcmpMessage& message, Nanos now) {
+    const net::IcmpMessage* message4, const net::Icmpv6Message* message6,
+    Nanos now) {
+  MMLPT_EXPECTS((message4 != nullptr) != (message6 != nullptr));
   const auto& spec = truth_->routers[router_index];
   const bool responds = kind == ReplyKind::kEcho ? spec.responds_to_direct
                                                  : spec.responds_to_indirect;
@@ -99,8 +104,6 @@ std::optional<SimReply> Simulator::emit(
     return std::nullopt;
   }
 
-  const std::uint16_t ip_id =
-      router_state(router_index).next_ip_id(interface, now, probe_ip_id, kind);
   const std::uint8_t initial_ttl = kind == ReplyKind::kEcho
                                        ? spec.fingerprint.initial_ttl_echo
                                        : spec.fingerprint.initial_ttl_error;
@@ -110,8 +113,19 @@ std::optional<SimReply> Simulator::emit(
       initial_ttl > hop ? initial_ttl - hop : 1);
 
   SimReply reply;
-  reply.datagram =
-      net::build_icmp_datagram(message, interface, to, reply_ttl, ip_id);
+  if (message4 != nullptr) {
+    const std::uint16_t ip_id = router_state(router_index)
+                                    .next_ip_id(interface, now, probe_ip_id,
+                                                kind);
+    reply.datagram =
+        net::build_icmp_datagram(*message4, interface, to, reply_ttl, ip_id);
+  } else {
+    // IPv6 carries no identification field: the router's IP-ID machinery
+    // never runs, which is exactly why v6 alias resolution degrades to
+    // "unsupported-family" upstream.
+    reply.datagram =
+        net::build_icmpv6_datagram(*message6, interface, to, reply_ttl);
+  }
   reply.rtt = sample_rtt(hop);
   ++counters_.replies_out;
   return reply;
@@ -121,9 +135,10 @@ std::optional<SimReply> Simulator::handle_udp(
     const net::ParsedProbe& probe, std::span<const std::uint8_t> raw,
     Nanos now) {
   const auto& g = truth_->graph;
+  const bool v6 = probe.family == net::Family::kIpv6;
   const std::uint16_t dest_hop = g.hop_count() - 1;
   const std::uint16_t expiry_hop =
-      std::min<std::uint16_t>(probe.ip.ttl, dest_hop);
+      std::min<std::uint16_t>(probe.ttl(), dest_hop);
   const topo::VertexId v = walk(probe.flow(), expiry_hop);
   const std::uint32_t router = truth_->vertex_router[v];
   const auto interface = g.vertex(v).addr;
@@ -135,10 +150,11 @@ std::optional<SimReply> Simulator::handle_udp(
   // Routers quote the IP header + 8 bytes of the offending datagram, with
   // its TTL as seen on arrival; MPLS labels are attached when the
   // receiving interface is inside a labelled tunnel.
+  const std::size_t header_size =
+      v6 ? net::kIpv6HeaderSize : net::kIpv4HeaderSize;
   std::vector<std::uint8_t> quoted(
       raw.begin(),
-      raw.begin() + std::min<std::size_t>(raw.size(),
-                                          net::kIpv4HeaderSize + 8));
+      raw.begin() + std::min<std::size_t>(raw.size(), header_size + 8));
   std::vector<net::MplsLabelEntry> labels;
   const auto& spec = truth_->routers[router];
   if (spec.mpls_label) {
@@ -146,39 +162,48 @@ std::optional<SimReply> Simulator::handle_udp(
                       static_cast<std::uint8_t>(expiry_hop + 1)});
   }
 
-  if (expiry_hop == dest_hop) {
-    return emit(router, interface, probe.ip.src, dest_hop,
-                probe.ip.identification, ReplyKind::kError,
-                net::make_port_unreachable(quoted, labels), now);
+  const std::uint16_t hop = expiry_hop;
+  if (v6) {
+    const auto message = expiry_hop == dest_hop
+                             ? net::make_port_unreachable_v6(quoted, labels)
+                             : net::make_time_exceeded_v6(quoted, labels);
+    return emit(router, interface, probe.src(), hop, probe.ip_id(),
+                ReplyKind::kError, nullptr, &message, now);
   }
-  return emit(router, interface, probe.ip.src, expiry_hop,
-              probe.ip.identification, ReplyKind::kError,
-              net::make_time_exceeded(quoted, labels), now);
+  const auto message = expiry_hop == dest_hop
+                           ? net::make_port_unreachable(quoted, labels)
+                           : net::make_time_exceeded(quoted, labels);
+  return emit(router, interface, probe.src(), hop, probe.ip_id(),
+              ReplyKind::kError, &message, nullptr, now);
 }
 
 std::optional<SimReply> Simulator::handle_echo(const net::ParsedProbe& probe,
                                                Nanos now) {
-  const auto it = interfaces_.find(probe.ip.dst);
+  const auto it = interfaces_.find(probe.dst());
   if (it == interfaces_.end()) {
     ++counters_.dropped_unroutable;
     return std::nullopt;
   }
   const auto [vertex, router] = it->second;
   const std::uint16_t hop = truth_->graph.vertex(vertex).hop;
-  return emit(router, probe.ip.dst, probe.ip.src, hop,
-              probe.ip.identification, ReplyKind::kEcho,
-              net::make_echo_reply(probe.icmp), now);
+  if (probe.family == net::Family::kIpv6) {
+    const auto message = net::make_echo_reply_v6(probe.icmp6);
+    return emit(router, probe.dst(), probe.src(), hop, probe.ip_id(),
+                ReplyKind::kEcho, nullptr, &message, now);
+  }
+  const auto message = net::make_echo_reply(probe.icmp);
+  return emit(router, probe.dst(), probe.src(), hop, probe.ip_id(),
+              ReplyKind::kEcho, &message, nullptr, now);
 }
 
 std::optional<SimReply> Simulator::handle(std::span<const std::uint8_t> probe,
                                           Nanos now) {
   ++counters_.probes_in;
   const auto parsed = net::parse_probe(probe);
-  if (parsed.ip.protocol == net::IpProto::kUdp) {
+  if (parsed.is_udp()) {
     return handle_udp(parsed, probe, now);
   }
-  if (parsed.ip.protocol == net::IpProto::kIcmp &&
-      parsed.icmp.type == net::IcmpType::kEchoRequest) {
+  if (parsed.is_echo_request()) {
     return handle_echo(parsed, now);
   }
   ++counters_.dropped_unroutable;

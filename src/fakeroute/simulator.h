@@ -1,10 +1,13 @@
 // Fakeroute: the paper's Sec. 3 multipath-topology simulator, rebuilt as an
-// in-process packet-level engine. A probe enters as real IPv4 bytes (UDP
-// traceroute probe or ICMP echo); the simulator walks it through the
-// ground-truth topology with per-flow load balancing and synthesises the
-// ICMP reply a real network would produce — Time Exceeded / Port
-// Unreachable with quoted datagram, MPLS extension labels, fingerprint
-// TTLs, policy-driven IP-IDs, loss, and ICMP rate limiting.
+// in-process packet-level engine. A probe enters as real IPv4 or IPv6
+// bytes (UDP traceroute probe or ICMP(v6) echo); the simulator walks it
+// through the ground-truth topology with per-flow load balancing and
+// synthesises the ICMP(v6) reply a real network would produce — Time
+// Exceeded / Port (Dest) Unreachable with quoted datagram, MPLS extension
+// labels, fingerprint TTLs, policy-driven IP-IDs (v4; IPv6 has no
+// identification field), loss, and ICMP rate limiting. The family follows
+// the ground truth's addresses: v6 router models answer v6 probes with
+// ICMPv6, flow identity hashing the (src, dst, flow label) 3-tuple.
 //
 // The original Fakeroute hooked a real tool's packets via
 // libnetfilter-queue; here the probing engine hands datagrams over
@@ -89,11 +92,13 @@ class Simulator {
 
   /// Emit a reply from `interface` (owned by `router_index`); applies
   /// responsiveness, rate limiting and loss. `hop` drives the RTT and
-  /// reply-TTL model; pass 0 for direct (echo) replies.
+  /// reply-TTL model; pass 0 for direct (echo) replies. Exactly one of
+  /// `message4` / `message6` is non-null, selecting the wire family.
   [[nodiscard]] std::optional<SimReply> emit(
-      std::uint32_t router_index, net::Ipv4Address interface,
-      net::Ipv4Address to, std::uint16_t hop, std::uint16_t probe_ip_id,
-      ReplyKind kind, const net::IcmpMessage& message, Nanos now);
+      std::uint32_t router_index, net::IpAddress interface,
+      net::IpAddress to, std::uint16_t hop, std::uint16_t probe_ip_id,
+      ReplyKind kind, const net::IcmpMessage* message4,
+      const net::Icmpv6Message* message6, Nanos now);
 
   [[nodiscard]] RouterState& router_state(std::uint32_t router_index);
   [[nodiscard]] Nanos sample_rtt(std::uint16_t hop);

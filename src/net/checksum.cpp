@@ -23,23 +23,46 @@ std::uint16_t fold(std::uint32_t acc) noexcept {
   return static_cast<std::uint16_t>(~acc & 0xFFFF);
 }
 
+/// Pseudo-header word sum for either family: addresses, payload length,
+/// and the next-header / protocol number.
+std::uint32_t pseudo_header_sum(const IpAddress& src, const IpAddress& dst,
+                                std::uint32_t length,
+                                std::uint8_t protocol) noexcept {
+  std::uint32_t acc = 0;
+  if (src.is_v4()) {
+    acc += src.value() >> 16;
+    acc += src.value() & 0xFFFF;
+    acc += dst.value() >> 16;
+    acc += dst.value() & 0xFFFF;
+  } else {
+    acc = sum_words(src.bytes(), acc);
+    acc = sum_words(dst.bytes(), acc);
+  }
+  acc += length >> 16;
+  acc += length & 0xFFFF;
+  acc += protocol;
+  return acc;
+}
+
 }  // namespace
 
 std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept {
   return fold(sum_words(data, 0));
 }
 
-std::uint16_t udp_checksum(Ipv4Address src, Ipv4Address dst,
+std::uint16_t udp_checksum(const IpAddress& src, const IpAddress& dst,
                            std::span<const std::uint8_t> segment) noexcept {
-  std::uint32_t acc = 0;
-  acc += src.value() >> 16;
-  acc += src.value() & 0xFFFF;
-  acc += dst.value() >> 16;
-  acc += dst.value() & 0xFFFF;
-  acc += 17;  // protocol: UDP
-  acc += static_cast<std::uint32_t>(segment.size());
+  const std::uint32_t acc = pseudo_header_sum(
+      src, dst, static_cast<std::uint32_t>(segment.size()), 17);
   const std::uint16_t checksum = fold(sum_words(segment, acc));
   return checksum == 0 ? 0xFFFF : checksum;
+}
+
+std::uint16_t icmpv6_checksum(const IpAddress& src, const IpAddress& dst,
+                              std::span<const std::uint8_t> message) noexcept {
+  const std::uint32_t acc = pseudo_header_sum(
+      src, dst, static_cast<std::uint32_t>(message.size()), 58);
+  return fold(sum_words(message, acc));
 }
 
 }  // namespace mmlpt::net

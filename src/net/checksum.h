@@ -13,12 +13,19 @@ namespace mmlpt::net {
 [[nodiscard]] std::uint16_t internet_checksum(
     std::span<const std::uint8_t> data) noexcept;
 
-/// UDP checksum including the IPv4 pseudo-header. `segment` is the UDP
+/// UDP checksum including the pseudo-header of the endpoints' family
+/// (RFC 768 for IPv4, RFC 8200 Sec. 8.1 for IPv6). `segment` is the UDP
 /// header plus payload with its checksum field zeroed. Returns 0xFFFF when
 /// the computed sum is 0 (RFC 768: transmitted as all ones).
 [[nodiscard]] std::uint16_t udp_checksum(
-    Ipv4Address src, Ipv4Address dst,
+    const IpAddress& src, const IpAddress& dst,
     std::span<const std::uint8_t> segment) noexcept;
+
+/// ICMPv6 checksum over the IPv6 pseudo-header plus `message` (the ICMPv6
+/// header and body with its checksum field zeroed), per RFC 4443 Sec. 2.3.
+[[nodiscard]] std::uint16_t icmpv6_checksum(
+    const IpAddress& src, const IpAddress& dst,
+    std::span<const std::uint8_t> message) noexcept;
 
 }  // namespace mmlpt::net
 

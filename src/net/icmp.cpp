@@ -17,8 +17,12 @@ constexpr std::uint8_t kExtVersion = 2;
 constexpr std::uint8_t kClassMpls = 1;   // RFC 4950 MPLS Label Stack Class
 constexpr std::uint8_t kCTypeIncoming = 1;
 
-void append_extension(WireWriter& w,
-                      std::span<const MplsLabelEntry> labels) {
+}  // namespace
+
+namespace detail {
+
+void append_mpls_extension(WireWriter& w,
+                           std::span<const MplsLabelEntry> labels) {
   const std::size_t ext_start = w.size();
   w.u8(kExtVersion << 4);
   w.u8(0);
@@ -42,7 +46,7 @@ void append_extension(WireWriter& w,
   w.patch_u16(ext_start + 2, sum);
 }
 
-std::vector<MplsLabelEntry> parse_extension(WireReader& reader) {
+std::vector<MplsLabelEntry> parse_mpls_extension(WireReader& reader) {
   std::vector<MplsLabelEntry> labels;
   const std::size_t ext_start = reader.offset();
   const std::uint8_t version = reader.u8() >> 4;
@@ -86,7 +90,7 @@ std::vector<MplsLabelEntry> parse_extension(WireReader& reader) {
   return labels;
 }
 
-}  // namespace
+}  // namespace detail
 
 std::vector<std::uint8_t> IcmpMessage::serialize() const {
   WireWriter w(kPaddedQuotedSize + 32);
@@ -117,7 +121,7 @@ std::vector<std::uint8_t> IcmpMessage::serialize() const {
         if (quoted.size() < quoted_size) {
           w.zeros(quoted_size - quoted.size());
         }
-        append_extension(w, mpls_labels);
+        detail::append_mpls_extension(w, mpls_labels);
       }
       break;
     }
@@ -162,7 +166,7 @@ IcmpMessage IcmpMessage::parse(WireReader& reader) {
         const auto region = reader.bytes(quoted_size);
         m.quoted.assign(region.begin(), region.end());
         if (reader.remaining() >= 4) {
-          m.mpls_labels = parse_extension(reader);
+          m.mpls_labels = detail::parse_mpls_extension(reader);
         }
       }
       break;

@@ -63,6 +63,16 @@ struct IcmpMessage {
   [[nodiscard]] static IcmpMessage parse(WireReader& reader);
 };
 
+/// RFC 4884 / RFC 4950 extension-structure plumbing shared with the
+/// ICMPv6 twin (net/icmpv6.h): the extension wire format is identical in
+/// both families, only its placement differs.
+namespace detail {
+void append_mpls_extension(WireWriter& w,
+                           std::span<const MplsLabelEntry> labels);
+[[nodiscard]] std::vector<MplsLabelEntry> parse_mpls_extension(
+    WireReader& reader);
+}  // namespace detail
+
 /// Convenience constructors.
 [[nodiscard]] IcmpMessage make_time_exceeded(
     std::span<const std::uint8_t> offending_datagram,

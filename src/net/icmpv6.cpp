@@ -1,0 +1,150 @@
+#include "net/icmpv6.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/error.h"
+#include "net/checksum.h"
+
+namespace mmlpt::net {
+
+namespace {
+
+// RFC 4884 Sec. 4.4/4.5 for ICMPv6: when extensions are appended the
+// quoted region is zero-padded (128 bytes keeps parity with the v4 path
+// and satisfies the 8-octet alignment) and its length recorded in 64-bit
+// words in the first octet after the checksum.
+constexpr std::size_t kPaddedQuotedSizeV6 = 128;
+
+}  // namespace
+
+std::vector<std::uint8_t> Icmpv6Message::serialize(
+    const IpAddress& src, const IpAddress& dst) const {
+  WireWriter w(kPaddedQuotedSizeV6 + 32);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u8(code);
+  w.u16(0);  // checksum placeholder
+
+  switch (type) {
+    case Icmpv6Type::kEchoRequest:
+    case Icmpv6Type::kEchoReply:
+      w.u16(identifier);
+      w.u16(sequence);
+      w.bytes(echo_payload);
+      break;
+    case Icmpv6Type::kTimeExceeded:
+    case Icmpv6Type::kDestUnreachable: {
+      const bool multipart = !mpls_labels.empty();
+      const std::size_t aligned = (quoted.size() + 7) / 8 * 8;
+      const std::size_t quoted_size =
+          multipart ? std::max(aligned, kPaddedQuotedSizeV6) : quoted.size();
+      const auto length_words = static_cast<std::uint8_t>(
+          multipart ? quoted_size / 8 : 0);
+      w.u8(length_words);  // RFC 4884 length in 8-octet units (0 = none)
+      w.u8(0);             // unused
+      w.u16(0);            // unused
+      w.bytes(quoted);
+      if (multipart) {
+        if (quoted.size() < quoted_size) {
+          w.zeros(quoted_size - quoted.size());
+        }
+        detail::append_mpls_extension(w, mpls_labels);
+      }
+      break;
+    }
+  }
+
+  const std::uint16_t sum = icmpv6_checksum(src, dst, w.view());
+  w.patch_u16(2, sum);
+  return std::move(w).take();
+}
+
+Icmpv6Message Icmpv6Message::parse(WireReader& reader, const IpAddress& src,
+                                   const IpAddress& dst,
+                                   bool verify_checksum) {
+  const std::size_t start = reader.offset();
+  const std::size_t message_size = reader.remaining();
+  Icmpv6Message m;
+  m.type = static_cast<Icmpv6Type>(reader.u8());
+  m.code = reader.u8();
+  const std::uint16_t checksum = reader.u16();
+  if (verify_checksum && checksum != 0 &&
+      icmpv6_checksum(src, dst, reader.window(start, message_size)) != 0) {
+    throw ParseError("ICMPv6 checksum mismatch");
+  }
+
+  switch (m.type) {
+    case Icmpv6Type::kEchoRequest:
+    case Icmpv6Type::kEchoReply: {
+      m.identifier = reader.u16();
+      m.sequence = reader.u16();
+      const auto payload = reader.bytes(reader.remaining());
+      m.echo_payload.assign(payload.begin(), payload.end());
+      break;
+    }
+    case Icmpv6Type::kTimeExceeded:
+    case Icmpv6Type::kDestUnreachable: {
+      const std::uint8_t length_words = reader.u8();
+      reader.skip(3);  // unused
+      if (length_words == 0) {
+        const auto rest = reader.bytes(reader.remaining());
+        m.quoted.assign(rest.begin(), rest.end());
+      } else {
+        const std::size_t quoted_size = std::size_t{length_words} * 8;
+        const auto region = reader.bytes(quoted_size);
+        m.quoted.assign(region.begin(), region.end());
+        if (reader.remaining() >= 4) {
+          m.mpls_labels = detail::parse_mpls_extension(reader);
+        }
+      }
+      break;
+    }
+    default:
+      throw ParseError("unsupported ICMPv6 type " +
+                       std::to_string(static_cast<int>(m.type)));
+  }
+  return m;
+}
+
+Icmpv6Message make_time_exceeded_v6(
+    std::span<const std::uint8_t> offending_datagram,
+    std::span<const MplsLabelEntry> labels) {
+  Icmpv6Message m;
+  m.type = Icmpv6Type::kTimeExceeded;
+  m.code = kCodeHopLimitExceeded;
+  m.quoted.assign(offending_datagram.begin(), offending_datagram.end());
+  m.mpls_labels.assign(labels.begin(), labels.end());
+  return m;
+}
+
+Icmpv6Message make_port_unreachable_v6(
+    std::span<const std::uint8_t> offending_datagram,
+    std::span<const MplsLabelEntry> labels) {
+  Icmpv6Message m;
+  m.type = Icmpv6Type::kDestUnreachable;
+  m.code = kCodePortUnreachableV6;
+  m.quoted.assign(offending_datagram.begin(), offending_datagram.end());
+  m.mpls_labels.assign(labels.begin(), labels.end());
+  return m;
+}
+
+Icmpv6Message make_echo_request_v6(std::uint16_t identifier,
+                                   std::uint16_t sequence,
+                                   std::size_t payload_bytes) {
+  Icmpv6Message m;
+  m.type = Icmpv6Type::kEchoRequest;
+  m.code = 0;
+  m.identifier = identifier;
+  m.sequence = sequence;
+  m.echo_payload.assign(payload_bytes, 0xA5);
+  return m;
+}
+
+Icmpv6Message make_echo_reply_v6(const Icmpv6Message& request) {
+  MMLPT_EXPECTS(request.type == Icmpv6Type::kEchoRequest);
+  Icmpv6Message m = request;
+  m.type = Icmpv6Type::kEchoReply;
+  return m;
+}
+
+}  // namespace mmlpt::net

@@ -1,0 +1,79 @@
+// ICMPv6 message craft / parse (RFC 4443), including RFC 4884 multipart
+// extensions carrying an RFC 4950 MPLS label stack object. The structural
+// twin of net/icmp.h with the v6 wire differences: type numbers, the
+// pseudo-header checksum, the RFC 4884 length field position (first octet
+// after the checksum) and its 8-octet units.
+#ifndef MMLPT_NET_ICMPV6_H
+#define MMLPT_NET_ICMPV6_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/icmp.h"  // MplsLabelEntry
+#include "net/ip_address.h"
+#include "net/wire.h"
+
+namespace mmlpt::net {
+
+enum class Icmpv6Type : std::uint8_t {
+  kDestUnreachable = 1,
+  kTimeExceeded = 3,
+  kEchoRequest = 128,
+  kEchoReply = 129,
+};
+
+inline constexpr std::uint8_t kCodePortUnreachableV6 = 4;
+inline constexpr std::uint8_t kCodeHopLimitExceeded = 0;
+
+/// A parsed ICMPv6 message. For error messages (TimeExceeded,
+/// DestUnreachable) `quoted` holds the offending datagram (IPv6 header +
+/// leading payload bytes) and `mpls_labels` any RFC 4950 stack.
+struct Icmpv6Message {
+  Icmpv6Type type = Icmpv6Type::kEchoRequest;
+  std::uint8_t code = 0;
+  // Echo fields (EchoRequest / EchoReply).
+  std::uint16_t identifier = 0;
+  std::uint16_t sequence = 0;
+  std::vector<std::uint8_t> echo_payload;
+  // Error-message fields.
+  std::vector<std::uint8_t> quoted;
+  std::vector<MplsLabelEntry> mpls_labels;
+
+  [[nodiscard]] bool is_error() const noexcept {
+    return type == Icmpv6Type::kTimeExceeded ||
+           type == Icmpv6Type::kDestUnreachable;
+  }
+
+  /// Serialize to ICMPv6 bytes (header + body), computing the checksum
+  /// over the IPv6 pseudo-header for `src` -> `dst`. Error messages with
+  /// MPLS labels are emitted in RFC 4884 multipart form: quoted datagram
+  /// zero-padded to 128 bytes, then the extension structure.
+  [[nodiscard]] std::vector<std::uint8_t> serialize(
+      const IpAddress& src, const IpAddress& dst) const;
+
+  /// Parse an ICMPv6 message from `reader` (which should span exactly the
+  /// ICMPv6 portion of a datagram). The pseudo-header endpoints verify
+  /// the checksum; pass `verify_checksum = false` when they are unknown
+  /// (e.g. a quoted probe).
+  [[nodiscard]] static Icmpv6Message parse(WireReader& reader,
+                                           const IpAddress& src,
+                                           const IpAddress& dst,
+                                           bool verify_checksum = true);
+};
+
+/// Convenience constructors.
+[[nodiscard]] Icmpv6Message make_time_exceeded_v6(
+    std::span<const std::uint8_t> offending_datagram,
+    std::span<const MplsLabelEntry> labels = {});
+[[nodiscard]] Icmpv6Message make_port_unreachable_v6(
+    std::span<const std::uint8_t> offending_datagram,
+    std::span<const MplsLabelEntry> labels = {});
+[[nodiscard]] Icmpv6Message make_echo_request_v6(std::uint16_t identifier,
+                                                 std::uint16_t sequence,
+                                                 std::size_t payload_bytes = 8);
+[[nodiscard]] Icmpv6Message make_echo_reply_v6(const Icmpv6Message& request);
+
+}  // namespace mmlpt::net
+
+#endif  // MMLPT_NET_ICMPV6_H

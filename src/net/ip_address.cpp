@@ -8,7 +8,9 @@
 
 namespace mmlpt::net {
 
-std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+namespace {
+
+std::optional<IpAddress> parse_v4(std::string_view text) {
   std::uint32_t value = 0;
   int octets = 0;
   const char* p = text.data();
@@ -25,29 +27,181 @@ std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
     ++p;
   }
   if (octets != 4 || p != end) return std::nullopt;
-  return Ipv4Address(value);
+  return IpAddress(value);
 }
 
-Ipv4Address Ipv4Address::parse_or_throw(std::string_view text) {
+/// RFC 4291 colon-hex: up to eight 16-bit groups, at most one `::`
+/// compression, optionally a trailing embedded dotted-quad.
+std::optional<IpAddress> parse_v6(std::string_view text) {
+  std::array<std::uint16_t, 8> groups{};
+  int filled = 0;        // groups written before the ::
+  int tail_start = -1;   // index in `groups` where post-:: groups begin
+  std::array<std::uint16_t, 8> tail{};
+  int tail_count = 0;
+
+  std::size_t i = 0;
+  bool seen_compression = false;
+  if (text.size() >= 2 && text[0] == ':' && text[1] == ':') {
+    seen_compression = true;
+    i = 2;
+  } else if (!text.empty() && text[0] == ':') {
+    return std::nullopt;  // single leading colon
+  }
+
+  const auto push = [&](std::uint16_t group) -> bool {
+    if (seen_compression) {
+      if (tail_count >= 8) return false;
+      tail[static_cast<std::size_t>(tail_count++)] = group;
+    } else {
+      if (filled >= 8) return false;
+      groups[static_cast<std::size_t>(filled++)] = group;
+    }
+    return true;
+  };
+
+  while (i < text.size()) {
+    // A trailing dotted-quad ("::ffff:1.2.3.4") supplies the last two
+    // groups; with colons still ahead, keep reading hex groups first.
+    const auto rest = text.substr(i);
+    if (rest.find('.') != std::string_view::npos &&
+        rest.find(':') == std::string_view::npos) {
+      const auto v4 = parse_v4(rest);
+      if (!v4) return std::nullopt;
+      const std::uint32_t v = v4->value();
+      if (!push(static_cast<std::uint16_t>(v >> 16))) return std::nullopt;
+      if (!push(static_cast<std::uint16_t>(v & 0xFFFF))) return std::nullopt;
+      i = text.size();
+      break;
+    }
+
+    unsigned group = 0;
+    const char* start = text.data() + i;
+    const char* end = text.data() + text.size();
+    const auto [next, ec] = std::from_chars(start, end, group, 16);
+    if (ec != std::errc{} || next == start || group > 0xFFFF ||
+        next - start > 4) {
+      return std::nullopt;
+    }
+    if (!push(static_cast<std::uint16_t>(group))) return std::nullopt;
+    i = static_cast<std::size_t>(next - text.data());
+    if (i == text.size()) break;
+    if (text[i] != ':') return std::nullopt;
+    ++i;
+    if (i < text.size() && text[i] == ':') {
+      if (seen_compression) return std::nullopt;  // only one ::
+      seen_compression = true;
+      ++i;
+    } else if (i == text.size()) {
+      return std::nullopt;  // single trailing colon
+    }
+  }
+
+  if (seen_compression) {
+    if (filled + tail_count >= 8) return std::nullopt;  // :: covers >= 1
+    tail_start = 8 - tail_count;
+  } else if (filled != 8) {
+    return std::nullopt;
+  }
+  if (tail_start >= 0) {
+    for (int t = 0; t < tail_count; ++t) {
+      groups[static_cast<std::size_t>(tail_start + t)] =
+          tail[static_cast<std::size_t>(t)];
+    }
+  }
+
+  IpAddress::Bytes bytes{};
+  for (int g = 0; g < 8; ++g) {
+    bytes[static_cast<std::size_t>(2 * g)] =
+        static_cast<std::uint8_t>(groups[static_cast<std::size_t>(g)] >> 8);
+    bytes[static_cast<std::size_t>(2 * g + 1)] =
+        static_cast<std::uint8_t>(groups[static_cast<std::size_t>(g)] & 0xFF);
+  }
+  return IpAddress::v6(bytes);
+}
+
+}  // namespace
+
+std::optional<IpAddress> IpAddress::parse(std::string_view text) {
+  if (text.find(':') != std::string_view::npos) return parse_v6(text);
+  return parse_v4(text);
+}
+
+IpAddress IpAddress::parse_or_throw(std::string_view text) {
   const auto parsed = parse(text);
   if (!parsed) {
-    throw ParseError("invalid IPv4 address: '" + std::string(text) + "'");
+    throw ParseError("invalid IP address: '" + std::string(text) + "'");
   }
   return *parsed;
 }
 
-std::string Ipv4Address::to_string() const {
+std::string IpAddress::to_string() const {
+  if (is_v4()) {
+    std::string out;
+    out.reserve(15);
+    const std::uint32_t v = value();
+    for (int shift = 24; shift >= 0; shift -= 8) {
+      out += std::to_string((v >> shift) & 0xFF);
+      if (shift > 0) out += '.';
+    }
+    return out;
+  }
+
+  // RFC 5952: lowercase hex, no leading zeros, the longest run of two or
+  // more zero groups compressed to :: (leftmost run on a tie).
+  std::array<std::uint16_t, 8> groups;
+  for (int g = 0; g < 8; ++g) {
+    groups[static_cast<std::size_t>(g)] = static_cast<std::uint16_t>(
+        (std::uint32_t{bytes_[static_cast<std::size_t>(2 * g)]} << 8) |
+        bytes_[static_cast<std::size_t>(2 * g + 1)]);
+  }
+  int best_start = -1;
+  int best_len = 0;
+  for (int g = 0; g < 8;) {
+    if (groups[static_cast<std::size_t>(g)] != 0) {
+      ++g;
+      continue;
+    }
+    int run = g;
+    while (run < 8 && groups[static_cast<std::size_t>(run)] == 0) ++run;
+    if (run - g > best_len) {
+      best_start = g;
+      best_len = run - g;
+    }
+    g = run;
+  }
+  if (best_len < 2) best_start = -1;
+
   std::string out;
-  out.reserve(15);
-  for (int shift = 24; shift >= 0; shift -= 8) {
-    out += std::to_string((value_ >> shift) & 0xFF);
-    if (shift > 0) out += '.';
+  out.reserve(39);
+  char buf[8];
+  for (int g = 0; g < 8; ++g) {
+    if (g == best_start) {
+      out += (g == 0) ? "::" : ":";
+      g += best_len - 1;
+      if (g == 7) break;  // :: reaches the end
+      continue;
+    }
+    const auto [end, ec] = std::to_chars(
+        buf, buf + sizeof(buf), groups[static_cast<std::size_t>(g)], 16);
+    (void)ec;
+    out.append(buf, end);
+    if (g < 7) out += ':';
   }
   return out;
 }
 
-std::ostream& operator<<(std::ostream& os, Ipv4Address addr) {
+std::ostream& operator<<(std::ostream& os, const IpAddress& addr) {
   return os << addr.to_string();
+}
+
+std::optional<Family> parse_family_name(std::string_view name) {
+  if (name == "4" || name == "ipv4" || name == "inet") {
+    return Family::kIpv4;
+  }
+  if (name == "6" || name == "ipv6" || name == "inet6") {
+    return Family::kIpv6;
+  }
+  return std::nullopt;
 }
 
 }  // namespace mmlpt::net

@@ -1,7 +1,11 @@
-// IPv4 address value type.
+// Dual-stack IP address value type: a family tag plus 16 bytes of
+// storage. IPv4 addresses occupy the first four bytes (big-endian), so
+// ordering and hashing of a pure-v4 population are identical to the
+// historical uint32-based Ipv4Address — every v4 output stays stable.
 #ifndef MMLPT_NET_IP_ADDRESS_H
 #define MMLPT_NET_IP_ADDRESS_H
 
+#include <array>
 #include <compare>
 #include <cstdint>
 #include <functional>
@@ -12,47 +16,134 @@
 
 namespace mmlpt::net {
 
-/// An IPv4 address held in host byte order.
-class Ipv4Address {
- public:
-  constexpr Ipv4Address() = default;
-  constexpr explicit Ipv4Address(std::uint32_t host_order)
-      : value_(host_order) {}
-  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
-                        std::uint8_t d)
-      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
-               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
-
-  /// Parse dotted-quad notation; returns nullopt on malformed input.
-  [[nodiscard]] static std::optional<Ipv4Address> parse(std::string_view text);
-
-  /// Parse or throw mmlpt::ParseError.
-  [[nodiscard]] static Ipv4Address parse_or_throw(std::string_view text);
-
-  [[nodiscard]] constexpr std::uint32_t value() const noexcept {
-    return value_;
-  }
-  [[nodiscard]] constexpr bool is_unspecified() const noexcept {
-    return value_ == 0;
-  }
-
-  /// Dotted-quad string.
-  [[nodiscard]] std::string to_string() const;
-
-  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
-
- private:
-  std::uint32_t value_ = 0;
+/// Address family tag; values match the IP version nibble.
+enum class Family : std::uint8_t {
+  kIpv4 = 4,
+  kIpv6 = 6,
 };
 
-std::ostream& operator<<(std::ostream& os, Ipv4Address addr);
+/// A dual-stack IP address. IPv4 values are held in host byte order via
+/// value(); IPv6 values as 16 bytes in network order via bytes().
+class IpAddress {
+ public:
+  using Bytes = std::array<std::uint8_t, 16>;
+
+  constexpr IpAddress() = default;
+  constexpr explicit IpAddress(std::uint32_t host_order)
+      : bytes_{static_cast<std::uint8_t>(host_order >> 24),
+               static_cast<std::uint8_t>(host_order >> 16),
+               static_cast<std::uint8_t>(host_order >> 8),
+               static_cast<std::uint8_t>(host_order)} {}
+  constexpr IpAddress(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                      std::uint8_t d)
+      : bytes_{a, b, c, d} {}
+
+  /// An IPv6 address from 16 network-order bytes.
+  [[nodiscard]] static constexpr IpAddress v6(const Bytes& bytes) {
+    IpAddress addr;
+    addr.family_ = Family::kIpv6;
+    addr.bytes_ = bytes;
+    return addr;
+  }
+
+  /// An IPv6 address from two 64-bit halves (host order): hi = first 8
+  /// bytes, lo = last 8.
+  [[nodiscard]] static constexpr IpAddress v6(std::uint64_t hi,
+                                              std::uint64_t lo) {
+    Bytes b{};
+    for (int i = 0; i < 8; ++i) {
+      b[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(hi >> (56 - 8 * i));
+      b[static_cast<std::size_t>(8 + i)] =
+          static_cast<std::uint8_t>(lo >> (56 - 8 * i));
+    }
+    return v6(b);
+  }
+
+  /// Parse dotted-quad (IPv4) or RFC 4291 colon-hex (IPv6, including ::
+  /// compression and an embedded trailing dotted-quad); nullopt on
+  /// malformed input.
+  [[nodiscard]] static std::optional<IpAddress> parse(std::string_view text);
+
+  /// Parse or throw mmlpt::ParseError.
+  [[nodiscard]] static IpAddress parse_or_throw(std::string_view text);
+
+  [[nodiscard]] constexpr Family family() const noexcept { return family_; }
+  [[nodiscard]] constexpr bool is_v4() const noexcept {
+    return family_ == Family::kIpv4;
+  }
+  [[nodiscard]] constexpr bool is_v6() const noexcept {
+    return family_ == Family::kIpv6;
+  }
+
+  /// Host-order uint32 view of an IPv4 address (first four bytes; only
+  /// meaningful when is_v4()).
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept {
+    return (std::uint32_t{bytes_[0]} << 24) | (std::uint32_t{bytes_[1]} << 16) |
+           (std::uint32_t{bytes_[2]} << 8) | std::uint32_t{bytes_[3]};
+  }
+
+  /// The 16 network-order storage bytes (an IPv4 address occupies the
+  /// first four, rest zero).
+  [[nodiscard]] constexpr const Bytes& bytes() const noexcept {
+    return bytes_;
+  }
+
+  /// First / second 8 bytes as host-order uint64 (hash and digest input).
+  [[nodiscard]] constexpr std::uint64_t hi64() const noexcept {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v = (v << 8) | bytes_[static_cast<std::size_t>(i)];
+    }
+    return v;
+  }
+  [[nodiscard]] constexpr std::uint64_t lo64() const noexcept {
+    std::uint64_t v = 0;
+    for (int i = 8; i < 16; ++i) {
+      v = (v << 8) | bytes_[static_cast<std::size_t>(i)];
+    }
+    return v;
+  }
+
+  /// All-zero address of its family (0.0.0.0 / ::) — the "star" marker.
+  [[nodiscard]] constexpr bool is_unspecified() const noexcept {
+    return (hi64() | lo64()) == 0;
+  }
+
+  /// Dotted-quad (v4) or RFC 5952 canonical colon-hex (v6).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Family tag first, then the 16 storage bytes lexicographically — for
+  /// a v4 population this is exactly the historical uint32 order.
+  friend constexpr auto operator<=>(const IpAddress&,
+                                    const IpAddress&) = default;
+
+ private:
+  Family family_ = Family::kIpv4;
+  Bytes bytes_{};
+};
+
+/// Transitional alias: the v4-era name, now family-tagged.
+using Ipv4Address = IpAddress;
+
+/// Parse a family spelling: "4" | "ipv4" | "inet" and "6" | "ipv6" |
+/// "inet6"; nullopt otherwise. The one vocabulary every CLI and bench
+/// shares for --family.
+[[nodiscard]] std::optional<Family> parse_family_name(std::string_view name);
+
+std::ostream& operator<<(std::ostream& os, const IpAddress& addr);
 
 }  // namespace mmlpt::net
 
 template <>
-struct std::hash<mmlpt::net::Ipv4Address> {
-  std::size_t operator()(mmlpt::net::Ipv4Address a) const noexcept {
-    return std::hash<std::uint32_t>{}(a.value());
+struct std::hash<mmlpt::net::IpAddress> {
+  std::size_t operator()(const mmlpt::net::IpAddress& a) const noexcept {
+    if (a.is_v4()) {
+      // Identical to the historical std::hash<uint32> path.
+      return std::hash<std::uint32_t>{}(a.value());
+    }
+    return std::hash<std::uint64_t>{}(a.hi64() ^
+                                      (a.lo64() * 0x9E3779B97F4A7C15ULL));
   }
 };
 

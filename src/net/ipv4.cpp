@@ -1,5 +1,6 @@
 #include "net/ipv4.h"
 
+#include "common/assert.h"
 #include "common/error.h"
 #include "net/checksum.h"
 
@@ -7,6 +8,7 @@ namespace mmlpt::net {
 
 std::vector<std::uint8_t> Ipv4Header::serialize(
     std::span<const std::uint8_t> payload) const {
+  MMLPT_EXPECTS(src.is_v4() && dst.is_v4());
   WireWriter w(kIpv4HeaderSize + payload.size());
   const auto total =
       total_length != 0

@@ -18,6 +18,7 @@ enum class IpProto : std::uint8_t {
   kIcmp = 1,
   kTcp = 6,
   kUdp = 17,
+  kIcmpv6 = 58,  ///< IPv6 next-header value for ICMPv6
 };
 
 struct Ipv4Header {

@@ -1,0 +1,52 @@
+#include "net/ipv6.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/error.h"
+
+namespace mmlpt::net {
+
+std::vector<std::uint8_t> Ipv6Header::serialize(
+    std::span<const std::uint8_t> payload) const {
+  MMLPT_EXPECTS(src.is_v6() && dst.is_v6());
+  MMLPT_EXPECTS(flow_label <= kMaxFlowLabel);
+  WireWriter w(kIpv6HeaderSize + payload.size());
+  const auto length =
+      payload_length != 0 ? payload_length
+                          : static_cast<std::uint16_t>(payload.size());
+  w.u32((std::uint32_t{6} << 28) | (std::uint32_t{traffic_class} << 20) |
+        flow_label);
+  w.u16(length);
+  w.u8(static_cast<std::uint8_t>(next_header));
+  w.u8(hop_limit);
+  w.bytes(src.bytes());
+  w.bytes(dst.bytes());
+  w.bytes(payload);
+  return std::move(w).take();
+}
+
+Ipv6Header Ipv6Header::parse(WireReader& reader) {
+  const std::uint32_t word = reader.u32();
+  if ((word >> 28) != 6) {
+    throw ParseError("not an IPv6 packet (version " +
+                     std::to_string(word >> 28) + ")");
+  }
+  Ipv6Header h;
+  h.traffic_class = static_cast<std::uint8_t>((word >> 20) & 0xFF);
+  h.flow_label = word & kMaxFlowLabel;
+  h.payload_length = reader.u16();
+  h.next_header = static_cast<IpProto>(reader.u8());
+  h.hop_limit = reader.u8();
+  IpAddress::Bytes src{};
+  IpAddress::Bytes dst{};
+  const auto src_span = reader.bytes(16);
+  const auto dst_span = reader.bytes(16);
+  std::copy(src_span.begin(), src_span.end(), src.begin());
+  std::copy(dst_span.begin(), dst_span.end(), dst.begin());
+  h.src = IpAddress::v6(src);
+  h.dst = IpAddress::v6(dst);
+  return h;
+}
+
+}  // namespace mmlpt::net

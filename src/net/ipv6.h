@@ -1,0 +1,46 @@
+// IPv6 header craft / parse (RFC 8200): the fixed 40-byte header, no
+// extension-header chain emitted (probes never need one); when parsing,
+// unknown next headers surface to the caller rather than being walked.
+//
+// The 20-bit flow label is the Paris flow identifier on IPv6: varying it
+// (and nothing else) steers per-flow load balancers, which RFC 6438
+// directs to hash the (src, dst, flow label) 3-tuple.
+#ifndef MMLPT_NET_IPV6_H
+#define MMLPT_NET_IPV6_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/ip_address.h"
+#include "net/ipv4.h"  // IpProto
+#include "net/wire.h"
+
+namespace mmlpt::net {
+
+inline constexpr std::size_t kIpv6HeaderSize = 40;
+inline constexpr std::uint32_t kMaxFlowLabel = 0xFFFFF;  ///< 20 bits
+
+struct Ipv6Header {
+  std::uint8_t traffic_class = 0;
+  std::uint32_t flow_label = 0;        ///< 20 bits
+  std::uint16_t payload_length = 0;    ///< filled by serialize when 0
+  IpProto next_header = IpProto::kUdp;
+  std::uint8_t hop_limit = 64;
+  IpAddress src;  ///< must be v6
+  IpAddress dst;  ///< must be v6
+
+  /// Serialize header followed by `payload`; computes payload length.
+  /// IPv6 has no header checksum — integrity lives in the transport's
+  /// pseudo-header sum.
+  [[nodiscard]] std::vector<std::uint8_t> serialize(
+      std::span<const std::uint8_t> payload) const;
+
+  /// Parse the header at the reader's position; leaves the reader at the
+  /// first payload byte. Throws ParseError on malformed input.
+  [[nodiscard]] static Ipv6Header parse(WireReader& reader);
+};
+
+}  // namespace mmlpt::net
+
+#endif  // MMLPT_NET_IPV6_H

@@ -1,67 +1,124 @@
 #include "net/packet.h"
 
+#include "common/assert.h"
 #include "common/error.h"
 
 namespace mmlpt::net {
 
+namespace {
+
+std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Family sniff_family(std::span<const std::uint8_t> datagram) {
+  if (datagram.empty()) throw ParseError("empty datagram");
+  const auto version = datagram[0] >> 4;
+  if (version == 4) return Family::kIpv4;
+  if (version == 6) return Family::kIpv6;
+  throw ParseError("unknown IP version " + std::to_string(version));
+}
+
+}  // namespace
+
 std::uint64_t FlowTuple::digest() const noexcept {
   // splitmix64-style mix over the packed tuple; deterministic across runs.
-  std::uint64_t x = (std::uint64_t{src.value()} << 32) | dst.value();
-  std::uint64_t y = (std::uint64_t{src_port} << 32) |
-                    (std::uint64_t{dst_port} << 16) | protocol;
-  auto mix = [](std::uint64_t z) {
-    z += 0x9E3779B97F4A7C15ULL;
-    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-    return z ^ (z >> 31);
-  };
-  return mix(mix(x) ^ y);
+  const std::uint64_t y = (std::uint64_t{src_port} << 32) |
+                          (std::uint64_t{dst_port} << 16) | protocol;
+  if (src.is_v4() && dst.is_v4()) {
+    // Unchanged from the v4-only era: v4 outputs stay bit-identical.
+    const std::uint64_t x = (std::uint64_t{src.value()} << 32) | dst.value();
+    return mix64(mix64(x) ^ y);
+  }
+  // v6: fold both 128-bit addresses and the flow label into the mix.
+  std::uint64_t acc = mix64(src.hi64());
+  acc = mix64(acc ^ src.lo64());
+  acc = mix64(acc ^ dst.hi64());
+  acc = mix64(acc ^ dst.lo64());
+  return mix64(acc ^ y ^ (std::uint64_t{flow_label} << 40));
 }
 
 std::vector<std::uint8_t> build_udp_probe(const ProbeSpec& spec) {
+  MMLPT_EXPECTS(spec.src.family() == spec.dst.family());
   const std::vector<std::uint8_t> payload(spec.payload_bytes, 0);
   UdpHeader udp;
   udp.src_port = spec.src_port;
   udp.dst_port = spec.dst_port;
   const auto segment = udp.serialize(spec.src, spec.dst, payload);
 
-  Ipv4Header ip;
-  ip.ttl = spec.ttl;
-  ip.protocol = IpProto::kUdp;
-  ip.identification = spec.ip_id;
-  ip.src = spec.src;
-  ip.dst = spec.dst;
-  return ip.serialize(segment);
+  if (spec.dst.is_v4()) {
+    Ipv4Header ip;
+    ip.ttl = spec.ttl;
+    ip.protocol = IpProto::kUdp;
+    ip.identification = spec.ip_id;
+    ip.src = spec.src;
+    ip.dst = spec.dst;
+    return ip.serialize(segment);
+  }
+  Ipv6Header ip6;
+  ip6.hop_limit = spec.ttl;
+  ip6.next_header = IpProto::kUdp;
+  ip6.flow_label = spec.flow_label;
+  ip6.src = spec.src;
+  ip6.dst = spec.dst;
+  return ip6.serialize(segment);
 }
 
-std::vector<std::uint8_t> build_echo_probe(Ipv4Address src, Ipv4Address dst,
+std::vector<std::uint8_t> build_echo_probe(const IpAddress& src,
+                                           const IpAddress& dst,
                                            std::uint16_t identifier,
                                            std::uint16_t sequence,
                                            std::uint8_t ttl,
                                            std::uint16_t ip_id) {
-  const auto icmp = make_echo_request(identifier, sequence).serialize();
-  Ipv4Header ip;
-  ip.ttl = ttl;
-  ip.protocol = IpProto::kIcmp;
-  ip.identification = ip_id;
-  ip.src = src;
-  ip.dst = dst;
-  return ip.serialize(icmp);
+  MMLPT_EXPECTS(src.family() == dst.family());
+  if (dst.is_v4()) {
+    const auto icmp = make_echo_request(identifier, sequence).serialize();
+    Ipv4Header ip;
+    ip.ttl = ttl;
+    ip.protocol = IpProto::kIcmp;
+    ip.identification = ip_id;
+    ip.src = src;
+    ip.dst = dst;
+    return ip.serialize(icmp);
+  }
+  const auto icmp6 =
+      make_echo_request_v6(identifier, sequence).serialize(src, dst);
+  Ipv6Header ip6;
+  ip6.hop_limit = ttl;
+  ip6.next_header = IpProto::kIcmpv6;
+  ip6.src = src;
+  ip6.dst = dst;
+  return ip6.serialize(icmp6);
 }
 
 FlowTuple ParsedProbe::flow() const noexcept {
   FlowTuple t;
-  t.src = ip.src;
-  t.dst = ip.dst;
-  t.protocol = static_cast<std::uint8_t>(ip.protocol);
-  if (ip.protocol == IpProto::kUdp) {
+  t.src = src();
+  t.dst = dst();
+  if (family == Family::kIpv4) {
+    t.protocol = static_cast<std::uint8_t>(ip.protocol);
+    if (ip.protocol == IpProto::kUdp) {
+      t.src_port = udp.src_port;
+      t.dst_port = udp.dst_port;
+    } else if (ip.protocol == IpProto::kIcmp) {
+      // ICMP "flow" identity: echo identifier/sequence stand in for ports,
+      // mirroring how real load balancers hash ICMP (or not at all).
+      t.src_port = icmp.identifier;
+      t.dst_port = icmp.sequence;
+    }
+    return t;
+  }
+  t.protocol = static_cast<std::uint8_t>(ip6.next_header);
+  t.flow_label = ip6.flow_label;
+  if (ip6.next_header == IpProto::kUdp) {
     t.src_port = udp.src_port;
     t.dst_port = udp.dst_port;
-  } else if (ip.protocol == IpProto::kIcmp) {
-    // ICMP "flow" identity: echo identifier/sequence stand in for ports,
-    // mirroring how real load balancers hash ICMP (or not at all).
-    t.src_port = icmp.identifier;
-    t.dst_port = icmp.sequence;
+  } else if (ip6.next_header == IpProto::kIcmpv6) {
+    t.src_port = icmp6.identifier;
+    t.dst_port = icmp6.sequence;
   }
   return t;
 }
@@ -69,23 +126,38 @@ FlowTuple ParsedProbe::flow() const noexcept {
 ParsedProbe parse_probe(std::span<const std::uint8_t> datagram) {
   WireReader reader(datagram);
   ParsedProbe p;
-  p.ip = Ipv4Header::parse(reader);
-  switch (p.ip.protocol) {
+  p.family = sniff_family(datagram);
+  if (p.family == Family::kIpv4) {
+    p.ip = Ipv4Header::parse(reader);
+    switch (p.ip.protocol) {
+      case IpProto::kUdp:
+        p.udp = UdpHeader::parse(reader);
+        break;
+      case IpProto::kIcmp:
+        p.icmp = IcmpMessage::parse(reader);
+        break;
+      default:
+        throw ParseError("probe is neither UDP nor ICMP");
+    }
+    return p;
+  }
+  p.ip6 = Ipv6Header::parse(reader);
+  switch (p.ip6.next_header) {
     case IpProto::kUdp:
       p.udp = UdpHeader::parse(reader);
       break;
-    case IpProto::kIcmp:
-      p.icmp = IcmpMessage::parse(reader);
+    case IpProto::kIcmpv6:
+      p.icmp6 = Icmpv6Message::parse(reader, p.ip6.src, p.ip6.dst);
       break;
     default:
-      throw ParseError("probe is neither UDP nor ICMP");
+      throw ParseError("probe is neither UDP nor ICMPv6");
   }
   return p;
 }
 
-ParsedReply parse_reply(std::span<const std::uint8_t> datagram) {
-  WireReader reader(datagram);
-  ParsedReply r;
+namespace {
+
+void parse_reply_v4(WireReader& reader, ParsedReply& r) {
   r.outer = Ipv4Header::parse(reader);
   if (r.outer.protocol != IpProto::kIcmp) {
     throw ParseError("reply is not ICMP");
@@ -112,11 +184,53 @@ ParsedReply parse_reply(std::span<const std::uint8_t> datagram) {
       r.quoted_icmp = q;
     }
   }
+}
+
+void parse_reply_v6(WireReader& reader, ParsedReply& r) {
+  r.outer6 = Ipv6Header::parse(reader);
+  if (r.outer6.next_header != IpProto::kIcmpv6) {
+    throw ParseError("reply is not ICMPv6");
+  }
+  r.icmp6 = Icmpv6Message::parse(reader, r.outer6.src, r.outer6.dst);
+
+  if (r.icmp6.is_error() && !r.icmp6.quoted.empty()) {
+    WireReader quoted(r.icmp6.quoted);
+    r.quoted_ip6 = Ipv6Header::parse(quoted);
+    if (quoted.remaining() >= kUdpHeaderSize &&
+        r.quoted_ip6->next_header == IpProto::kUdp) {
+      r.quoted_udp = UdpHeader::parse(quoted);
+    } else if (quoted.remaining() >= 8 &&
+               r.quoted_ip6->next_header == IpProto::kIcmpv6) {
+      // Quoted ICMPv6 echo: parse leniently (first 8 bytes only; never
+      // verify the quoted checksum).
+      Icmpv6Message q;
+      q.type = static_cast<Icmpv6Type>(quoted.u8());
+      q.code = quoted.u8();
+      (void)quoted.u16();  // checksum
+      q.identifier = quoted.u16();
+      q.sequence = quoted.u16();
+      r.quoted_icmp6 = q;
+    }
+  }
+}
+
+}  // namespace
+
+ParsedReply parse_reply(std::span<const std::uint8_t> datagram) {
+  WireReader reader(datagram);
+  ParsedReply r;
+  r.family = sniff_family(datagram);
+  if (r.family == Family::kIpv4) {
+    parse_reply_v4(reader, r);
+  } else {
+    parse_reply_v6(reader, r);
+  }
   return r;
 }
 
 std::vector<std::uint8_t> build_icmp_datagram(const IcmpMessage& message,
-                                              Ipv4Address src, Ipv4Address dst,
+                                              const IpAddress& src,
+                                              const IpAddress& dst,
                                               std::uint8_t ttl,
                                               std::uint16_t ip_id) {
   Ipv4Header ip;
@@ -126,6 +240,18 @@ std::vector<std::uint8_t> build_icmp_datagram(const IcmpMessage& message,
   ip.src = src;
   ip.dst = dst;
   return ip.serialize(message.serialize());
+}
+
+std::vector<std::uint8_t> build_icmpv6_datagram(const Icmpv6Message& message,
+                                                const IpAddress& src,
+                                                const IpAddress& dst,
+                                                std::uint8_t hop_limit) {
+  Ipv6Header ip6;
+  ip6.hop_limit = hop_limit;
+  ip6.next_header = IpProto::kIcmpv6;
+  ip6.src = src;
+  ip6.dst = dst;
+  return ip6.serialize(message.serialize(src, dst));
 }
 
 }  // namespace mmlpt::net

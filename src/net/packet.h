@@ -1,7 +1,9 @@
 // High-level probe / reply packet builders and parsers. These are the wire
 // functions shared by the probing engine and the Fakeroute simulator: a
-// probe is a real IPv4/UDP datagram (or ICMP echo), a reply a real ICMPv4
-// datagram, exactly as on the Internet.
+// probe is a real IPv4/UDP or IPv6/UDP datagram (or ICMP(v6) echo), a
+// reply a real ICMPv4 / ICMPv6 datagram, exactly as on the Internet. The
+// family is sniffed from the IP version nibble, so every consumer handles
+// both stacks through one surface.
 #ifndef MMLPT_NET_PACKET_H
 #define MMLPT_NET_PACKET_H
 
@@ -11,78 +13,147 @@
 #include <vector>
 
 #include "net/icmp.h"
+#include "net/icmpv6.h"
 #include "net/ip_address.h"
 #include "net/ipv4.h"
+#include "net/ipv6.h"
 #include "net/udp.h"
 
 namespace mmlpt::net {
 
-/// The classic five-tuple, which per-flow load balancers hash.
+/// The fields per-flow load balancers hash: the classic five-tuple, plus
+/// the IPv6 flow label (RFC 6438 directs v6 load balancers to hash the
+/// (src, dst, flow label) 3-tuple — the label IS the Paris identifier).
 struct FlowTuple {
-  Ipv4Address src;
-  Ipv4Address dst;
+  IpAddress src;
+  IpAddress dst;
   std::uint16_t src_port = 0;
   std::uint16_t dst_port = 0;
   std::uint8_t protocol = 17;
+  std::uint32_t flow_label = 0;  ///< v6 only; always 0 on v4
 
   friend bool operator==(const FlowTuple&, const FlowTuple&) = default;
 
   /// A stable 64-bit digest of the tuple (used by simulated load balancers
-  /// as the hash input; salted per router).
+  /// as the hash input; salted per router). The v4 digest is unchanged
+  /// from the v4-only era, so v4 simulations reproduce bit for bit.
   [[nodiscard]] std::uint64_t digest() const noexcept;
 };
 
-/// Fields of a UDP traceroute probe we control / read back.
+/// Fields of a UDP traceroute probe we control / read back. The Paris
+/// flow identifier lives in `src_port` on IPv4 and in `flow_label` on
+/// IPv6 (ports stay constant there, so across flows nothing but the
+/// label varies on the wire).
 struct ProbeSpec {
-  Ipv4Address src;
-  Ipv4Address dst;
-  std::uint16_t src_port = 0;  ///< Paris flow identifier lives here
+  IpAddress src;
+  IpAddress dst;
+  std::uint16_t src_port = 0;      ///< v4 Paris flow identifier lives here
   std::uint16_t dst_port = 33434;  ///< classic traceroute port
   std::uint8_t ttl = 1;
-  std::uint16_t ip_id = 0;
+  std::uint16_t ip_id = 0;         ///< v4 only; v6 has no identification
+  std::uint32_t flow_label = 0;    ///< v6 Paris flow identifier
   std::uint16_t payload_bytes = 12;
 };
 
-/// Build the probe datagram (IPv4 + UDP + zero payload).
+/// Build the probe datagram (IPv4/IPv6 + UDP + zero payload), per the
+/// destination's family.
 [[nodiscard]] std::vector<std::uint8_t> build_udp_probe(const ProbeSpec& spec);
 
-/// Build an ICMP echo request datagram (direct probing / ping).
+/// Build an ICMP(v6) echo request datagram (direct probing / ping).
 [[nodiscard]] std::vector<std::uint8_t> build_echo_probe(
-    Ipv4Address src, Ipv4Address dst, std::uint16_t identifier,
+    const IpAddress& src, const IpAddress& dst, std::uint16_t identifier,
     std::uint16_t sequence, std::uint8_t ttl = 64, std::uint16_t ip_id = 0);
 
 /// A probe datagram parsed back into fields (used by the simulator).
 struct ParsedProbe {
-  Ipv4Header ip;
-  // Exactly one of the following is meaningful, per ip.protocol:
-  UdpHeader udp;        ///< when protocol == kUdp
-  IcmpMessage icmp;     ///< when protocol == kIcmp (echo request)
+  Family family = Family::kIpv4;
+  Ipv4Header ip;    ///< valid when family == kIpv4
+  Ipv6Header ip6;   ///< valid when family == kIpv6
+  // Exactly one of the following is meaningful, per the IP protocol /
+  // next header:
+  UdpHeader udp;        ///< UDP probe (either family)
+  IcmpMessage icmp;     ///< v4 echo request
+  Icmpv6Message icmp6;  ///< v6 echo request
+
+  // ---- family-neutral accessors ----
+  [[nodiscard]] IpAddress src() const noexcept {
+    return family == Family::kIpv4 ? ip.src : ip6.src;
+  }
+  [[nodiscard]] IpAddress dst() const noexcept {
+    return family == Family::kIpv4 ? ip.dst : ip6.dst;
+  }
+  /// TTL (v4) or hop limit (v6).
+  [[nodiscard]] std::uint8_t ttl() const noexcept {
+    return family == Family::kIpv4 ? ip.ttl : ip6.hop_limit;
+  }
+  /// IPv4 identification; 0 on v6 (no such field).
+  [[nodiscard]] std::uint16_t ip_id() const noexcept {
+    return family == Family::kIpv4 ? ip.identification : 0;
+  }
+  [[nodiscard]] bool is_udp() const noexcept {
+    return family == Family::kIpv4 ? ip.protocol == IpProto::kUdp
+                                   : ip6.next_header == IpProto::kUdp;
+  }
+  [[nodiscard]] bool is_echo_request() const noexcept {
+    return family == Family::kIpv4
+               ? (ip.protocol == IpProto::kIcmp &&
+                  icmp.type == IcmpType::kEchoRequest)
+               : (ip6.next_header == IpProto::kIcmpv6 &&
+                  icmp6.type == Icmpv6Type::kEchoRequest);
+  }
 
   [[nodiscard]] FlowTuple flow() const noexcept;
 };
 
 [[nodiscard]] ParsedProbe parse_probe(std::span<const std::uint8_t> datagram);
 
-/// An ICMP reply parsed into the fields the algorithms consume.
+/// An ICMP(v6) reply parsed into the fields the algorithms consume.
 struct ParsedReply {
-  Ipv4Header outer;     ///< responder IP, reply TTL, IP-ID live here
-  IcmpMessage icmp;
+  Family family = Family::kIpv4;
+  Ipv4Header outer;     ///< valid when family == kIpv4
+  Ipv6Header outer6;    ///< valid when family == kIpv6
+  IcmpMessage icmp;     ///< valid when family == kIpv4
+  Icmpv6Message icmp6;  ///< valid when family == kIpv6
   /// For error replies: the quoted probe, re-parsed (checksum not verified;
   /// routers may quote truncated datagrams).
   std::optional<Ipv4Header> quoted_ip;
+  std::optional<Ipv6Header> quoted_ip6;
   std::optional<UdpHeader> quoted_udp;
   std::optional<IcmpMessage> quoted_icmp;
+  std::optional<Icmpv6Message> quoted_icmp6;
 
-  [[nodiscard]] Ipv4Address responder() const noexcept { return outer.src; }
+  [[nodiscard]] IpAddress responder() const noexcept {
+    return family == Family::kIpv4 ? outer.src : outer6.src;
+  }
   [[nodiscard]] bool is_time_exceeded() const noexcept {
-    return icmp.type == IcmpType::kTimeExceeded;
+    return family == Family::kIpv4
+               ? icmp.type == IcmpType::kTimeExceeded
+               : icmp6.type == Icmpv6Type::kTimeExceeded;
   }
   [[nodiscard]] bool is_port_unreachable() const noexcept {
-    return icmp.type == IcmpType::kDestUnreachable &&
-           icmp.code == kCodePortUnreachable;
+    return family == Family::kIpv4
+               ? (icmp.type == IcmpType::kDestUnreachable &&
+                  icmp.code == kCodePortUnreachable)
+               : (icmp6.type == Icmpv6Type::kDestUnreachable &&
+                  icmp6.code == kCodePortUnreachableV6);
   }
   [[nodiscard]] bool is_echo_reply() const noexcept {
-    return icmp.type == IcmpType::kEchoReply;
+    return family == Family::kIpv4 ? icmp.type == IcmpType::kEchoReply
+                                   : icmp6.type == Icmpv6Type::kEchoReply;
+  }
+  /// Outer-header identification (v4) — the alias-resolution IP-ID
+  /// signal. 0 on v6: the field does not exist, which is why the
+  /// multilevel alias stage reports "unsupported-family" there.
+  [[nodiscard]] std::uint16_t reply_ip_id() const noexcept {
+    return family == Family::kIpv4 ? outer.identification : 0;
+  }
+  /// Outer-header TTL (v4) / hop limit (v6) — fingerprint input.
+  [[nodiscard]] std::uint8_t reply_ttl() const noexcept {
+    return family == Family::kIpv4 ? outer.ttl : outer6.hop_limit;
+  }
+  [[nodiscard]] const std::vector<MplsLabelEntry>& mpls_labels()
+      const noexcept {
+    return family == Family::kIpv4 ? icmp.mpls_labels : icmp6.mpls_labels;
   }
 };
 
@@ -90,8 +161,14 @@ struct ParsedReply {
 
 /// Wrap an ICMP message in an IPv4 header from `src` to `dst`.
 [[nodiscard]] std::vector<std::uint8_t> build_icmp_datagram(
-    const IcmpMessage& message, Ipv4Address src, Ipv4Address dst,
+    const IcmpMessage& message, const IpAddress& src, const IpAddress& dst,
     std::uint8_t ttl, std::uint16_t ip_id);
+
+/// Wrap an ICMPv6 message in an IPv6 header from `src` to `dst` (v6 has
+/// no identification field, hence no ip_id).
+[[nodiscard]] std::vector<std::uint8_t> build_icmpv6_datagram(
+    const Icmpv6Message& message, const IpAddress& src, const IpAddress& dst,
+    std::uint8_t hop_limit);
 
 }  // namespace mmlpt::net
 

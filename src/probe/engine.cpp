@@ -10,10 +10,16 @@ namespace mmlpt::probe {
 ProbeEngine::ProbeEngine(Network& network, Config config)
     : network_(&network), config_(config) {
   MMLPT_EXPECTS(!config_.destination.is_unspecified());
+  MMLPT_EXPECTS(config_.source.family() == config_.destination.family());
 }
 
 std::pair<std::uint16_t, std::uint16_t> ProbeEngine::flow_ports(
     FlowId flow) const noexcept {
+  if (family() == net::Family::kIpv6) {
+    // IPv6 Paris: the flow identifier lives in the flow label; ports are
+    // constant so across flows only the label varies on the wire.
+    return {config_.base_src_port, config_.base_dst_port};
+  }
   // Source port walks the range [base, 65536); once exhausted the
   // destination port steps, opening a fresh cycle of distinct 5-tuples.
   const std::uint32_t cycle = 65536u - config_.base_src_port;
@@ -22,6 +28,11 @@ std::pair<std::uint16_t, std::uint16_t> ProbeEngine::flow_ports(
   const auto dst =
       static_cast<std::uint16_t>(config_.base_dst_port + flow / cycle);
   return {src, dst};
+}
+
+std::uint32_t ProbeEngine::flow_label(FlowId flow) const {
+  MMLPT_EXPECTS(flow <= net::kMaxFlowLabel);
+  return flow;
 }
 
 TraceProbeResult ProbeEngine::probe(FlowId flow, std::uint8_t ttl) {
@@ -55,6 +66,15 @@ std::vector<TraceProbeResult> ProbeEngine::probe_batch(
       spec.dst_port = dst_port;
       spec.ttl = requests[i].ttl;
       spec.ip_id = next_probe_ip_id_++;
+      if (family() == net::Family::kIpv6) {
+        spec.flow_label = flow_label(requests[i].flow);
+        // v6 has no identification field; encode the TTL in the payload
+        // length instead (classic traceroute style) so a raw-socket
+        // receive loop can attribute a quoted reply to the right TTL of
+        // a flow. Constant per TTL: flows still differ only in the label.
+        spec.payload_bytes =
+            static_cast<std::uint16_t>(12 + requests[i].ttl);
+      }
 
       now_ += config_.send_interval;
       ++packets_sent_;
@@ -79,9 +99,9 @@ std::vector<TraceProbeResult> ProbeEngine::probe_batch(
       result.answered = true;
       result.responder = reply.responder();
       result.from_destination = reply.is_port_unreachable();
-      result.reply_ip_id = reply.outer.identification;
-      result.reply_ttl = reply.outer.ttl;
-      result.mpls_labels = reply.icmp.mpls_labels;
+      result.reply_ip_id = reply.reply_ip_id();
+      result.reply_ttl = reply.reply_ttl();
+      result.mpls_labels = reply.mpls_labels();
       result.recv_time = result.send_time + replies[slot]->rtt;
       result.attempts = attempt + 1;
       latest_reply = std::max(latest_reply, result.recv_time);
@@ -95,14 +115,14 @@ std::vector<TraceProbeResult> ProbeEngine::probe_batch(
   return results;
 }
 
-EchoProbeResult ProbeEngine::ping(net::Ipv4Address target) {
+EchoProbeResult ProbeEngine::ping(net::IpAddress target) {
   // One-element window, same reduction as probe().
   auto results = ping_batch({&target, 1});
   return std::move(results.front());
 }
 
 std::vector<EchoProbeResult> ProbeEngine::ping_batch(
-    std::span<const net::Ipv4Address> targets) {
+    std::span<const net::IpAddress> targets) {
   std::vector<EchoProbeResult> results(targets.size());
   std::vector<std::size_t> pending(targets.size());
   for (std::size_t i = 0; i < targets.size(); ++i) pending[i] = i;
@@ -142,8 +162,8 @@ std::vector<EchoProbeResult> ProbeEngine::ping_batch(
       auto& result = results[i];
       result.answered = true;
       result.responder = reply.responder();
-      result.reply_ip_id = reply.outer.identification;
-      result.reply_ttl = reply.outer.ttl;
+      result.reply_ip_id = reply.reply_ip_id();
+      result.reply_ttl = reply.reply_ttl();
       result.recv_time = result.send_time + replies[slot]->rtt;
       result.attempts = attempt + 1;
       latest_reply = std::max(latest_reply, result.recv_time);

@@ -1,7 +1,12 @@
-// The probing engine: crafts Paris-style UDP probes (flow identifier in
-// the source port, constant destination port), ICMP echo probes for
-// direct probing, drives the Network transport, parses replies, and keeps
-// the packet accounting every evaluation figure relies on.
+// The probing engine: crafts Paris-style UDP probes, ICMP(v6) echo probes
+// for direct probing, drives the Network transport, parses replies, and
+// keeps the packet accounting every evaluation figure relies on.
+//
+// The engine is address-family generic. On IPv4 the Paris flow identifier
+// lives in the (source port, destination port) pair; on IPv6 it lives in
+// the 20-bit flow label while the ports stay constant — across flows
+// nothing but the label varies on the wire, exactly the field RFC 6438
+// tells v6 load balancers to hash.
 #ifndef MMLPT_PROBE_ENGINE_H
 #define MMLPT_PROBE_ENGINE_H
 
@@ -27,9 +32,9 @@ using FlowId = std::uint32_t;
 /// Result of one traceroute-style probe.
 struct TraceProbeResult {
   bool answered = false;
-  net::Ipv4Address responder;        ///< unspecified when unanswered
-  bool from_destination = false;     ///< ICMP Port Unreachable
-  std::uint16_t reply_ip_id = 0;     ///< outer header of the reply
+  net::IpAddress responder;          ///< unspecified when unanswered
+  bool from_destination = false;     ///< ICMP(v6) Port Unreachable
+  std::uint16_t reply_ip_id = 0;     ///< outer header of the reply; 0 on v6
   std::uint8_t reply_ttl = 0;
   std::uint16_t probe_ip_id = 0;     ///< what we sent (echo-ID detection)
   std::vector<net::MplsLabelEntry> mpls_labels;
@@ -44,7 +49,7 @@ struct TraceProbeResult {
 /// Result of one direct (echo) probe.
 struct EchoProbeResult {
   bool answered = false;
-  net::Ipv4Address responder;
+  net::IpAddress responder;
   std::uint16_t reply_ip_id = 0;
   std::uint8_t reply_ttl = 0;
   std::uint16_t probe_ip_id = 0;
@@ -65,8 +70,8 @@ void for_each_window(std::span<const T> items, std::size_t window, Fn&& fn) {
 class ProbeEngine {
  public:
   struct Config {
-    net::Ipv4Address source;
-    net::Ipv4Address destination;
+    net::IpAddress source;
+    net::IpAddress destination;
     std::uint16_t base_src_port = 33434;  ///< start of the source-port cycle
     std::uint16_t base_dst_port = 33434;  ///< classic traceroute port
     Nanos send_interval = 2'000'000;  ///< 2 ms of virtual time per probe
@@ -75,9 +80,20 @@ class ProbeEngine {
 
   ProbeEngine(Network& network, Config config);
 
-  /// The wire-level (src_port, dst_port) encoding a flow identifier.
+  /// The trace's address family (source and destination always agree).
+  [[nodiscard]] net::Family family() const noexcept {
+    return config_.destination.family();
+  }
+
+  /// The wire-level (src_port, dst_port) encoding a flow identifier
+  /// (IPv4; on IPv6 both ports are constant at their base values).
   [[nodiscard]] std::pair<std::uint16_t, std::uint16_t> flow_ports(
       FlowId flow) const noexcept;
+
+  /// The wire-level IPv6 flow label encoding a flow identifier. Flow
+  /// identifiers must fit the 20-bit label; every tracer allocates them
+  /// sequentially and the node-control cap keeps them far below 2^20.
+  [[nodiscard]] std::uint32_t flow_label(FlowId flow) const;
 
   /// Send a UDP probe with `flow` and `ttl`; retries transparently.
   [[nodiscard]] TraceProbeResult probe(FlowId flow, std::uint8_t ttl);
@@ -97,8 +113,8 @@ class ProbeEngine {
   [[nodiscard]] std::vector<TraceProbeResult> probe_batch(
       std::span<const ProbeRequest> requests);
 
-  /// Send an ICMP echo request to `target` (direct probing).
-  [[nodiscard]] EchoProbeResult ping(net::Ipv4Address target);
+  /// Send an ICMP(v6) echo request to `target` (direct probing).
+  [[nodiscard]] EchoProbeResult ping(net::IpAddress target);
 
   /// Send a window of ICMP echo requests through Network::transact_batch;
   /// slot i answers targets[i]. Retries run in rounds exactly like
@@ -106,7 +122,7 @@ class ProbeEngine {
   /// unanswered (matching ping()'s per-attempt filter). A one-element
   /// window is equivalent to ping().
   [[nodiscard]] std::vector<EchoProbeResult> ping_batch(
-      std::span<const net::Ipv4Address> targets);
+      std::span<const net::IpAddress> targets);
 
   /// Total datagrams sent, including retries and echo probes.
   [[nodiscard]] std::uint64_t packets_sent() const noexcept {

@@ -12,24 +12,48 @@
 #include "common/error.h"
 #include "net/packet.h"
 
+// Linux < 4.15 headers lack IPV6_HDRINCL; the constant is stable ABI.
+#ifndef IPV6_HDRINCL
+#define IPV6_HDRINCL 36
+#endif
+
 namespace mmlpt::probe {
 
 RawSocketNetwork::RawSocketNetwork(Config config) : config_(config) {
-  send_fd_ = ::socket(AF_INET, SOCK_RAW, IPPROTO_RAW);
+  const bool v6 = config_.family == net::Family::kIpv6;
+  const int domain = v6 ? AF_INET6 : AF_INET;
+  send_fd_ = ::socket(domain, SOCK_RAW, IPPROTO_RAW);
   if (send_fd_ < 0) {
     throw SystemError(std::string("raw send socket: ") + std::strerror(errno) +
                       " (CAP_NET_RAW required)");
   }
   const int on = 1;
-  if (::setsockopt(send_fd_, IPPROTO_IP, IP_HDRINCL, &on, sizeof(on)) < 0) {
+  const int level = v6 ? IPPROTO_IPV6 : IPPROTO_IP;
+  const int option = v6 ? IPV6_HDRINCL : IP_HDRINCL;
+  if (::setsockopt(send_fd_, level, option, &on, sizeof(on)) < 0) {
     ::close(send_fd_);
-    throw SystemError(std::string("IP_HDRINCL: ") + std::strerror(errno));
+    throw SystemError(std::string(v6 ? "IPV6_HDRINCL: " : "IP_HDRINCL: ") +
+                      std::strerror(errno));
   }
-  recv_fd_ = ::socket(AF_INET, SOCK_RAW, IPPROTO_ICMP);
+  recv_fd_ = ::socket(domain, SOCK_RAW,
+                      v6 ? static_cast<int>(IPPROTO_ICMPV6)
+                         : static_cast<int>(IPPROTO_ICMP));
   if (recv_fd_ < 0) {
     ::close(send_fd_);
     throw SystemError(std::string("raw recv socket: ") +
                       std::strerror(errno));
+  }
+  if (v6) {
+    // ICMPv6 raw sockets deliver the message without its IPv6 header;
+    // ask for the hop limit so the reconstructed header carries the
+    // fingerprint signal.
+    if (::setsockopt(recv_fd_, IPPROTO_IPV6, IPV6_RECVHOPLIMIT, &on,
+                     sizeof(on)) < 0) {
+      ::close(send_fd_);
+      ::close(recv_fd_);
+      throw SystemError(std::string("IPV6_RECVHOPLIMIT: ") +
+                        std::strerror(errno));
+    }
   }
 }
 
@@ -44,26 +68,50 @@ namespace {
 /// each packet exactly once and scans slots at struct level.
 bool matches_parsed(const net::ParsedProbe& sent,
                     const net::ParsedReply& got) {
+  if (sent.family != got.family) return false;
   if (got.is_echo_reply()) {
-    return sent.ip.protocol == net::IpProto::kIcmp &&
-           got.icmp.identifier == sent.icmp.identifier &&
-           got.icmp.sequence == sent.icmp.sequence;
+    if (!sent.is_echo_request()) return false;
+    if (sent.family == net::Family::kIpv4) {
+      return got.icmp.identifier == sent.icmp.identifier &&
+             got.icmp.sequence == sent.icmp.sequence;
+    }
+    return got.icmp6.identifier == sent.icmp6.identifier &&
+           got.icmp6.sequence == sent.icmp6.sequence;
   }
-  if (!got.quoted_ip) return false;
-  if (got.quoted_ip->dst != sent.ip.dst) return false;
-  if (sent.ip.protocol == net::IpProto::kUdp) {
-    return got.quoted_udp && got.quoted_udp->src_port == sent.udp.src_port &&
+  if (sent.family == net::Family::kIpv4) {
+    if (!got.quoted_ip) return false;
+    if (got.quoted_ip->dst != sent.ip.dst) return false;
+    if (sent.ip.protocol == net::IpProto::kUdp) {
+      return got.quoted_udp && got.quoted_udp->src_port == sent.udp.src_port &&
+             got.quoted_udp->dst_port == sent.udp.dst_port;
+    }
+    return got.quoted_icmp &&
+           got.quoted_icmp->identifier == sent.icmp.identifier;
+  }
+  if (!got.quoted_ip6) return false;
+  if (got.quoted_ip6->dst != sent.ip6.dst) return false;
+  if (sent.ip6.next_header == net::IpProto::kUdp) {
+    // The flow label is the Paris identifier on v6; the (constant) ports
+    // guard against unrelated traffic towards the same destination.
+    return got.quoted_ip6->flow_label == sent.ip6.flow_label &&
+           got.quoted_udp && got.quoted_udp->src_port == sent.udp.src_port &&
            got.quoted_udp->dst_port == sent.udp.dst_port;
   }
-  return got.quoted_icmp &&
-         got.quoted_icmp->identifier == sent.icmp.identifier;
+  return got.quoted_icmp6 &&
+         got.quoted_icmp6->identifier == sent.icmp6.identifier;
 }
 
 bool quoted_id_matches_parsed(const net::ParsedProbe& sent,
                               const net::ParsedReply& got) {
   if (got.is_echo_reply()) return true;  // identifier/sequence are exact
-  if (!got.quoted_ip) return false;
-  return got.quoted_ip->identification == sent.ip.identification;
+  if (sent.family == net::Family::kIpv4) {
+    if (!got.quoted_ip) return false;
+    return got.quoted_ip->identification == sent.ip.identification;
+  }
+  // v6 has no identification; the engine encodes the probe TTL in the
+  // UDP length, which the quoted UDP header echoes back.
+  if (!got.quoted_udp) return false;
+  return got.quoted_udp->length == sent.udp.length;
 }
 
 }  // namespace
@@ -77,20 +125,95 @@ bool RawSocketNetwork::matches(std::span<const std::uint8_t> probe,
   }
 }
 
-std::optional<Received> RawSocketNetwork::transact(
-    std::span<const std::uint8_t> datagram, Nanos /*now*/) {
-  const auto sent = net::parse_probe(datagram);
-  sockaddr_in to{};
-  to.sin_family = AF_INET;
-  to.sin_addr.s_addr = htonl(sent.ip.dst.value());
+bool RawSocketNetwork::quoted_id_matches(std::span<const std::uint8_t> probe,
+                                         std::span<const std::uint8_t> reply) {
+  try {
+    return quoted_id_matches_parsed(net::parse_probe(probe),
+                                    net::parse_reply(reply));
+  } catch (const ParseError&) {
+    return false;
+  }
+}
 
-  const auto start = std::chrono::steady_clock::now();
+void RawSocketNetwork::send_datagram(const net::ParsedProbe& probe,
+                                     std::span<const std::uint8_t> datagram) {
+  if (config_.family == net::Family::kIpv4) {
+    sockaddr_in to{};
+    to.sin_family = AF_INET;
+    to.sin_addr.s_addr = htonl(probe.ip.dst.value());
+    if (::sendto(send_fd_, datagram.data(), datagram.size(), 0,
+                 reinterpret_cast<const sockaddr*>(&to), sizeof(to)) < 0) {
+      throw SystemError(std::string("sendto: ") + std::strerror(errno));
+    }
+    return;
+  }
+  sockaddr_in6 to{};
+  to.sin6_family = AF_INET6;
+  std::memcpy(to.sin6_addr.s6_addr, probe.ip6.dst.bytes().data(), 16);
   if (::sendto(send_fd_, datagram.data(), datagram.size(), 0,
                reinterpret_cast<const sockaddr*>(&to), sizeof(to)) < 0) {
     throw SystemError(std::string("sendto: ") + std::strerror(errno));
   }
+}
 
+std::vector<std::uint8_t> RawSocketNetwork::receive_datagram(
+    const net::IpAddress& reply_dst) {
   std::uint8_t buffer[2048];
+  if (config_.family == net::Family::kIpv4) {
+    const ssize_t n = ::recv(recv_fd_, buffer, sizeof(buffer), 0);
+    if (n <= 0) return {};
+    return {buffer, buffer + n};
+  }
+
+  // v6: the kernel strips the IPv6 header; rebuild it from the peer
+  // address and the ancillary hop limit so the shared parser sees a full
+  // datagram. The kernel has already verified the ICMPv6 checksum, and
+  // our reconstructed header cannot re-verify it (the true destination
+  // may differ from the crafted source), so the checksum field is zeroed
+  // — the parser's "unset, skip verification" convention.
+  sockaddr_in6 from{};
+  iovec iov{buffer, sizeof(buffer)};
+  alignas(cmsghdr) std::uint8_t control[256];
+  msghdr msg{};
+  msg.msg_name = &from;
+  msg.msg_namelen = sizeof(from);
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  msg.msg_control = control;
+  msg.msg_controllen = sizeof(control);
+  const ssize_t n = ::recvmsg(recv_fd_, &msg, 0);
+  if (n <= 0) return {};
+
+  int hop_limit = 64;
+  for (cmsghdr* cmsg = CMSG_FIRSTHDR(&msg); cmsg != nullptr;
+       cmsg = CMSG_NXTHDR(&msg, cmsg)) {
+    if (cmsg->cmsg_level == IPPROTO_IPV6 &&
+        cmsg->cmsg_type == IPV6_HOPLIMIT) {
+      std::memcpy(&hop_limit, CMSG_DATA(cmsg), sizeof(int));
+    }
+  }
+
+  if (n >= 4) {
+    buffer[2] = 0;  // zero the ICMPv6 checksum (see above)
+    buffer[3] = 0;
+  }
+
+  net::IpAddress::Bytes src_bytes{};
+  std::memcpy(src_bytes.data(), from.sin6_addr.s6_addr, 16);
+  net::Ipv6Header outer;
+  outer.src = net::IpAddress::v6(src_bytes);
+  outer.dst = reply_dst;
+  outer.next_header = net::IpProto::kIcmpv6;
+  outer.hop_limit = static_cast<std::uint8_t>(hop_limit);
+  return outer.serialize({buffer, static_cast<std::size_t>(n)});
+}
+
+std::optional<Received> RawSocketNetwork::transact(
+    std::span<const std::uint8_t> datagram, Nanos /*now*/) {
+  const auto sent = net::parse_probe(datagram);
+  const auto start = std::chrono::steady_clock::now();
+  send_datagram(sent, datagram);
+
   while (true) {
     const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
         std::chrono::steady_clock::now() - start);
@@ -105,26 +228,13 @@ std::optional<Received> RawSocketNetwork::transact(
     }
     if (ready == 0) return std::nullopt;
 
-    const ssize_t n = ::recv(recv_fd_, buffer, sizeof(buffer), 0);
-    if (n <= 0) continue;
-    const std::span<const std::uint8_t> reply(buffer,
-                                              static_cast<std::size_t>(n));
+    const auto reply = receive_datagram(sent.src());
+    if (reply.empty()) continue;
     if (!matches(datagram, reply)) continue;  // someone else's ICMP
 
     const auto rtt = std::chrono::duration_cast<std::chrono::nanoseconds>(
         std::chrono::steady_clock::now() - start);
-    return Received{std::vector<std::uint8_t>(reply.begin(), reply.end()),
-                    static_cast<Nanos>(rtt.count())};
-  }
-}
-
-bool RawSocketNetwork::quoted_id_matches(std::span<const std::uint8_t> probe,
-                                         std::span<const std::uint8_t> reply) {
-  try {
-    return quoted_id_matches_parsed(net::parse_probe(probe),
-                                    net::parse_reply(reply));
-  } catch (const ParseError&) {
-    return false;
+    return Received{reply, static_cast<Nanos>(rtt.count())};
   }
 }
 
@@ -141,19 +251,12 @@ std::vector<std::optional<Received>> RawSocketNetwork::transact_batch(
   probes.reserve(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     probes.push_back(net::parse_probe(batch[i].bytes));
-    sockaddr_in to{};
-    to.sin_family = AF_INET;
-    to.sin_addr.s_addr = htonl(probes[i].ip.dst.value());
     sent_at[i] = std::chrono::steady_clock::now();
-    if (::sendto(send_fd_, batch[i].bytes.data(), batch[i].bytes.size(), 0,
-                 reinterpret_cast<const sockaddr*>(&to), sizeof(to)) < 0) {
-      throw SystemError(std::string("sendto: ") + std::strerror(errno));
-    }
+    send_datagram(probes[i], batch[i].bytes);
   }
 
   // One receive window for all of them: the per-probe timeouts overlap.
   std::size_t unanswered = batch.size();
-  std::uint8_t buffer[2048];
   while (unanswered > 0) {
     const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
         std::chrono::steady_clock::now() - start);
@@ -168,48 +271,48 @@ std::vector<std::optional<Received>> RawSocketNetwork::transact_batch(
     }
     if (ready == 0) break;
 
-    const ssize_t n = ::recv(recv_fd_, buffer, sizeof(buffer), 0);
-    if (n <= 0) continue;
-    const std::span<const std::uint8_t> reply(buffer,
-                                              static_cast<std::size_t>(n));
+    const auto reply = receive_datagram(probes[0].src());
+    if (reply.empty()) continue;
     net::ParsedReply got;
     try {
       got = net::parse_reply(reply);
     } catch (const ParseError&) {
       continue;  // not an ICMP shape we understand
     }
-    // Two-tier slot attribution: port matching alone cannot tell apart
+    // Two-tier slot attribution: flow matching alone cannot tell apart
     // two outstanding probes of the same flow at different TTLs, so
-    // prefer the slot whose probe IP-ID the reply quotes; fall back to
-    // the first port match for routers that mangle the quoted header.
-    // A quoted IP-ID that lands on an ALREADY answered slot is a
+    // prefer the slot whose per-probe discriminator the reply quotes
+    // (IPv4 identification / IPv6 UDP length); fall back to the first
+    // flow match for routers that mangle the quoted header. A quoted
+    // discriminator whose matching slots are ALL already answered is a
     // duplicated reply — drop it rather than loose-matching it onto a
-    // different pending slot of the same flow.
+    // different pending slot of the same flow. (The v4 IP-ID is unique
+    // per probe; the v6 discriminator is per (flow, ttl), so duplicate
+    // requests in one window share it — keep scanning for a pending
+    // slot before declaring a duplicate.)
     std::ptrdiff_t exact = -1;
     std::ptrdiff_t loose = -1;
-    bool duplicate = false;
+    bool exact_answered = false;
     for (std::size_t i = 0; i < batch.size(); ++i) {
       if (!matches_parsed(probes[i], got)) continue;
       if (quoted_id_matches_parsed(probes[i], got)) {
-        // The IP-ID pins the reply to exactly this probe.
-        if (replies[i]) {
-          duplicate = true;
-        } else {
+        if (!replies[i]) {
           exact = static_cast<std::ptrdiff_t>(i);
+          break;
         }
-        break;
+        exact_answered = true;
+        continue;
       }
       if (!replies[i] && loose < 0) loose = static_cast<std::ptrdiff_t>(i);
     }
-    if (duplicate) continue;
+    if (exact < 0 && exact_answered) continue;  // duplicated reply
     const std::ptrdiff_t hit = exact >= 0 ? exact : loose;
     if (hit < 0) continue;
     const auto rtt = std::chrono::duration_cast<std::chrono::nanoseconds>(
         std::chrono::steady_clock::now() -
         sent_at[static_cast<std::size_t>(hit)]);
     replies[static_cast<std::size_t>(hit)] =
-        Received{std::vector<std::uint8_t>(reply.begin(), reply.end()),
-                 static_cast<Nanos>(rtt.count())};
+        Received{reply, static_cast<Nanos>(rtt.count())};
     --unanswered;
   }
   return replies;

@@ -1,7 +1,13 @@
 // Real-network backend using Linux raw sockets. This is the deployment
-// path the paper's tool uses on PlanetLab: IP_HDRINCL raw socket for
-// sending crafted probes, a raw ICMP socket for receiving replies, and
-// quoted-probe matching to pair them up.
+// path the paper's tool uses on PlanetLab: a header-included raw socket
+// for sending crafted probes, a raw ICMP / ICMPv6 socket for receiving
+// replies, and quoted-probe matching to pair them up.
+//
+// IPv4 uses IP_HDRINCL; IPv6 uses IPV6_HDRINCL (Linux >= 4.15) so the
+// crafted flow label goes out exactly as built. ICMPv6 raw sockets
+// deliver the message without its IPv6 header, so the receive path
+// reconstructs one from the peer address and ancillary hop limit before
+// handing the datagram to the shared parser.
 //
 // Requires CAP_NET_RAW (root) and Internet access; constructing without
 // privileges throws mmlpt::SystemError. Unit tests therefore run against
@@ -12,6 +18,8 @@
 
 #include <chrono>
 
+#include "net/ip_address.h"
+#include "net/packet.h"
 #include "probe/network.h"
 
 namespace mmlpt::probe {
@@ -20,6 +28,10 @@ class RawSocketNetwork final : public Network {
  public:
   struct Config {
     std::chrono::milliseconds reply_timeout{1000};
+    /// Socket family. IPv6 probing needs an explicit source address in
+    /// the crafted probes (the reply parser reconstructs the reply's
+    /// destination from it).
+    net::Family family = net::Family::kIpv4;
   };
 
   explicit RawSocketNetwork(Config config);
@@ -36,24 +48,37 @@ class RawSocketNetwork final : public Network {
   /// reply timeouts overlap instead of accruing serially, so an
   /// unanswered hop costs one timeout for the window rather than one per
   /// probe. Replies are matched back to their probe slot by quoted
-  /// ports / echo identifiers, exactly as in transact().
+  /// ports / flow labels / echo identifiers, exactly as in transact().
   [[nodiscard]] std::vector<std::optional<Received>> transact_batch(
       std::span<const Datagram> batch) override;
 
  private:
-  /// True when `reply` is the ICMP answer to `probe` (quoted ports/IP-ID
-  /// match, or echo identifier/sequence match).
+  /// True when `reply` is the ICMP(v6) answer to `probe` (quoted
+  /// ports / flow label match, or echo identifier/sequence match).
   [[nodiscard]] static bool matches(std::span<const std::uint8_t> probe,
                                     std::span<const std::uint8_t> reply);
 
-  /// True when the reply's quoted IP identification equals the probe's —
-  /// the per-probe discriminator matches() lacks. Two probes of the SAME
-  /// flow at different TTLs carry identical ports, so a batched window
-  /// needs the IP-ID to attribute each Time-Exceeded to the right slot.
-  /// (Echo replies are already exact per identifier/sequence.)
+  /// True when the reply quotes the probe's per-probe discriminator that
+  /// matches() lacks: the IPv4 identification, or on IPv6 the UDP length
+  /// (the engine encodes the TTL there — v6 has no identification). Two
+  /// probes of the SAME flow at different TTLs carry identical flow
+  /// fields, so a batched window needs this to attribute each
+  /// Time-Exceeded to the right slot. (Echo replies are already exact
+  /// per identifier/sequence.)
   [[nodiscard]] static bool quoted_id_matches(
       std::span<const std::uint8_t> probe,
       std::span<const std::uint8_t> reply);
+
+  /// Send one crafted datagram; `probe` is its parsed form (the
+  /// destination comes from there — no re-parse on the send path).
+  void send_datagram(const net::ParsedProbe& probe,
+                     std::span<const std::uint8_t> datagram);
+
+  /// Drain one packet from recv_fd_; returns the reply as a full
+  /// IP datagram (reconstructing the IPv6 header when family is v6,
+  /// `reply_dst` being the probes' source). Empty when nothing usable.
+  [[nodiscard]] std::vector<std::uint8_t> receive_datagram(
+      const net::IpAddress& reply_dst);
 
   Config config_;
   int send_fd_ = -1;

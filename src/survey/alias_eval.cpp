@@ -10,16 +10,16 @@ namespace mmlpt::survey {
 namespace {
 
 /// Unordered alias pairs implied by the accepted sets of one snapshot.
-std::set<std::pair<std::uint32_t, std::uint32_t>> alias_pairs(
+std::set<std::pair<net::IpAddress, net::IpAddress>> alias_pairs(
     const core::RoundSnapshot& snap) {
-  std::set<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  std::set<std::pair<net::IpAddress, net::IpAddress>> pairs;
   for (const auto& [hop, sets] : snap.sets_by_hop) {
     for (const auto& set : sets) {
       if (set.outcome != alias::Outcome::kAccept) continue;
       for (std::size_t i = 0; i < set.members.size(); ++i) {
         for (std::size_t j = i + 1; j < set.members.size(); ++j) {
-          auto a = set.members[i].value();
-          auto b = set.members[j].value();
+          auto a = set.members[i];
+          auto b = set.members[j];
           if (a > b) std::swap(a, b);
           pairs.insert({a, b});
         }
@@ -29,11 +29,11 @@ std::set<std::pair<std::uint32_t, std::uint32_t>> alias_pairs(
   return pairs;
 }
 
-std::vector<std::uint32_t> set_key(
-    const std::vector<net::Ipv4Address>& members) {
-  std::vector<std::uint32_t> key;
+std::vector<net::IpAddress> set_key(
+    const std::vector<net::IpAddress>& members) {
+  std::vector<net::IpAddress> key;
   key.reserve(members.size());
-  for (const auto m : members) key.push_back(m.value());
+  for (const auto& m : members) key.push_back(m);
   std::sort(key.begin(), key.end());
   return key;
 }
@@ -114,7 +114,7 @@ AliasEvalResult run_alias_eval(const AliasEvalConfig& config) {
       const auto direct_sets = direct_resolver.resolve(addrs);
 
       // Union of sets accepted by either method, deduplicated by content.
-      std::set<std::vector<std::uint32_t>> considered;
+      std::set<std::vector<net::IpAddress>> considered;
       const auto classify_both = [&](const std::vector<net::Ipv4Address>&
                                          members,
                                      bool accepted_indirect,

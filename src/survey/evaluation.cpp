@@ -11,10 +11,9 @@ double safe_ratio(double num, double den) { return den == 0.0 ? 0.0 : num / den;
 void accumulate_union(AggregateCounts& agg, const topo::MultipathGraph& g) {
   for (std::uint16_t h = 0; h < g.hop_count(); ++h) {
     for (const auto v : g.vertices_at(h)) {
-      agg.vertices.insert(g.vertex(v).addr.value());
+      agg.vertices.insert(g.vertex(v).addr);
       for (const auto s : g.successors(v)) {
-        agg.edges.insert(
-            {g.vertex(v).addr.value(), g.vertex(s).addr.value()});
+        agg.edges.insert({g.vertex(v).addr, g.vertex(s).addr});
       }
     }
   }

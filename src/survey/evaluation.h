@@ -54,8 +54,8 @@ struct EvaluationConfig {
 };
 
 struct AggregateCounts {
-  std::set<std::uint32_t> vertices;
-  std::set<std::pair<std::uint32_t, std::uint32_t>> edges;
+  std::set<net::IpAddress> vertices;
+  std::set<std::pair<net::IpAddress, net::IpAddress>> edges;
   std::uint64_t packets = 0;
 };
 

@@ -19,12 +19,12 @@ namespace {
 /// Union-find over interface addresses for the cross-trace aggregation.
 class AddressUnionFind {
  public:
-  void unite(std::uint32_t a, std::uint32_t b) {
+  void unite(const net::IpAddress& a, const net::IpAddress& b) {
     link(find(a), find(b));
   }
 
-  [[nodiscard]] std::map<std::uint32_t, std::size_t> component_sizes() {
-    std::map<std::uint32_t, std::size_t> sizes;
+  [[nodiscard]] std::map<net::IpAddress, std::size_t> component_sizes() {
+    std::map<net::IpAddress, std::size_t> sizes;
     for (const auto& [addr, parent] : parent_) {
       ++sizes[find(addr)];
     }
@@ -32,7 +32,7 @@ class AddressUnionFind {
   }
 
  private:
-  std::uint32_t find(std::uint32_t x) {
+  net::IpAddress find(net::IpAddress x) {
     auto it = parent_.find(x);
     if (it == parent_.end()) {
       parent_[x] = x;
@@ -44,11 +44,11 @@ class AddressUnionFind {
     }
     return x;
   }
-  void link(std::uint32_t a, std::uint32_t b) {
+  void link(const net::IpAddress& a, const net::IpAddress& b) {
     if (a != b) parent_[a] = b;
   }
 
-  std::map<std::uint32_t, std::uint32_t> parent_;
+  std::map<net::IpAddress, net::IpAddress> parent_;
 };
 
 std::vector<std::size_t> widths_between(const topo::MultipathGraph& g,
@@ -64,7 +64,7 @@ std::vector<std::size_t> widths_between(const topo::MultipathGraph& g,
 /// serial merge body. Order sensitive (dedup sets, union-find): must be
 /// called in route order.
 void merge_route(const core::MultilevelResult& ml, RouterSurveyResult& result,
-                 std::set<std::vector<std::uint32_t>>& distinct_sets,
+                 std::set<std::vector<net::IpAddress>>& distinct_sets,
                  std::set<topo::DiamondKey>& seen_diamonds,
                  AddressUnionFind& aggregated) {
   ++result.routes_traced;
@@ -76,9 +76,9 @@ void merge_route(const core::MultilevelResult& ml, RouterSurveyResult& result,
       if (set.outcome != alias::Outcome::kAccept || set.members.size() < 2) {
         continue;
       }
-      std::vector<std::uint32_t> key;
+      std::vector<net::IpAddress> key;
       key.reserve(set.members.size());
-      for (const auto addr : set.members) key.push_back(addr.value());
+      for (const auto& addr : set.members) key.push_back(addr);
       std::sort(key.begin(), key.end());
       if (distinct_sets.insert(key).second) {
         result.distinct_router_size.add(
@@ -165,7 +165,7 @@ RouterSurveyResult run_router_survey(const RouterSurveyConfig& config,
   // sensitive, and on_result fires serialized in strict route order —
   // exactly the historical serial merge.
   RouterSurveyResult result;
-  std::set<std::vector<std::uint32_t>> distinct_sets;
+  std::set<std::vector<net::IpAddress>> distinct_sets;
   std::set<topo::DiamondKey> seen_diamonds;
   AddressUnionFind aggregated;
 

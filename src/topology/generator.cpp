@@ -91,8 +91,14 @@ RouteGenerator::RouteGenerator(GeneratorConfig config, std::uint64_t seed)
       rng_(seed),
       next_addr_(net::Ipv4Address(11, 0, 0, 1).value()) {}
 
-net::Ipv4Address RouteGenerator::fresh_addr() {
-  return net::Ipv4Address(next_addr_++);
+net::IpAddress RouteGenerator::fresh_addr() {
+  const std::uint32_t n = next_addr_++;
+  if (config_.family == net::Family::kIpv6) {
+    // 2001:db8::<counter>: the RFC 3849 documentation prefix, allocated
+    // by the same counter as the v4 pool.
+    return net::IpAddress::v6(0x20010db8'00000000ULL, n);
+  }
+  return net::IpAddress(n);
 }
 
 RouterSpec RouteGenerator::make_router_spec(bool in_mpls_tunnel,

@@ -94,6 +94,13 @@ struct GeneratorConfig {
   double responds_to_direct = 0.60;
   double mpls_tunnel_prob = 0.15;  ///< per diamond
 
+  // ---- address family ----
+  /// Family of every generated interface address. kIpv6 allocates from a
+  /// documentation prefix (2001:db8::/32) with the same deterministic
+  /// counter, so v6 worlds are as reproducible as v4 ones — and the RNG
+  /// draw sequence is identical across families.
+  net::Family family = net::Family::kIpv4;
+
   /// Paper-default survey defaults; tweak for ablations.
   GeneratorConfig() = default;
 };
@@ -142,7 +149,7 @@ class RouteGenerator {
  private:
   friend class SurveyWorld;
 
-  [[nodiscard]] net::Ipv4Address fresh_addr();
+  [[nodiscard]] net::IpAddress fresh_addr();
   [[nodiscard]] RouterSpec make_router_spec(bool in_mpls_tunnel,
                                             bool multi_interface);
 

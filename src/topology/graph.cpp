@@ -148,13 +148,13 @@ std::string MultipathGraph::to_string() const {
 namespace {
 
 /// Address-level edge set of a graph.
-std::vector<std::pair<std::uint32_t, std::uint32_t>> edge_set(
+std::vector<std::pair<net::IpAddress, net::IpAddress>> edge_set(
     const MultipathGraph& g) {
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  std::vector<std::pair<net::IpAddress, net::IpAddress>> edges;
   for (std::uint16_t h = 0; h < g.hop_count(); ++h) {
     for (VertexId v : g.vertices_at(h)) {
       for (VertexId s : g.successors(v)) {
-        edges.emplace_back(g.vertex(v).addr.value(), g.vertex(s).addr.value());
+        edges.emplace_back(g.vertex(v).addr, g.vertex(s).addr);
       }
     }
   }
@@ -167,15 +167,40 @@ std::vector<std::pair<std::uint32_t, std::uint32_t>> edge_set(
 bool same_topology(const MultipathGraph& a, const MultipathGraph& b) {
   if (a.hop_count() != b.hop_count()) return false;
   for (std::uint16_t h = 0; h < a.hop_count(); ++h) {
-    std::vector<std::uint32_t> av;
-    std::vector<std::uint32_t> bv;
-    for (VertexId v : a.vertices_at(h)) av.push_back(a.vertex(v).addr.value());
-    for (VertexId v : b.vertices_at(h)) bv.push_back(b.vertex(v).addr.value());
+    std::vector<net::IpAddress> av;
+    std::vector<net::IpAddress> bv;
+    for (VertexId v : a.vertices_at(h)) av.push_back(a.vertex(v).addr);
+    for (VertexId v : b.vertices_at(h)) bv.push_back(b.vertex(v).addr);
     std::sort(av.begin(), av.end());
     std::sort(bv.begin(), bv.end());
     if (av != bv) return false;
   }
   return edge_set(a) == edge_set(b);
+}
+
+MultipathGraph map_to_ipv6(const MultipathGraph& g) {
+  const auto map_addr = [](const net::IpAddress& addr) {
+    if (addr.is_v6() || addr.is_unspecified()) return addr;
+    // 2001:db8:4::a.b.c.d — the documentation prefix with a "4" site
+    // marking the embedding, original v4 bytes in the low 32 bits.
+    return net::IpAddress::v6(0x20010db8'00040000ULL, addr.value());
+  };
+  MultipathGraph mapped;
+  std::vector<VertexId> ids(g.vertex_count(), kInvalidVertex);
+  for (std::uint16_t h = 0; h < g.hop_count(); ++h) {
+    mapped.add_hop();
+    for (const VertexId v : g.vertices_at(h)) {
+      ids[v] = mapped.add_vertex(h, map_addr(g.vertex(v).addr));
+    }
+  }
+  for (std::uint16_t h = 0; h < g.hop_count(); ++h) {
+    for (const VertexId v : g.vertices_at(h)) {
+      for (const VertexId s : g.successors(v)) {
+        mapped.add_edge(ids[v], ids[s]);
+      }
+    }
+  }
+  return mapped;
 }
 
 DiscoveryCount count_discovered(const MultipathGraph& truth,

@@ -106,6 +106,12 @@ struct DiscoveryCount {
 [[nodiscard]] DiscoveryCount count_discovered(const MultipathGraph& truth,
                                               const MultipathGraph& found);
 
+/// Deterministically embed every IPv4 address of `g` into the IPv6
+/// documentation prefix (2001:db8:4::a.b.c.d), preserving structure and
+/// stars — the one-line way to run any v4 reference topology as a v6
+/// ground truth. Graphs that are already v6 pass through unchanged.
+[[nodiscard]] MultipathGraph map_to_ipv6(const MultipathGraph& g);
+
 }  // namespace mmlpt::topo
 
 #endif  // MMLPT_TOPOLOGY_GRAPH_H

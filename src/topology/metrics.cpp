@@ -25,7 +25,7 @@ std::vector<Diamond> extract_diamonds(const MultipathGraph& g) {
 DiamondKey diamond_key(const MultipathGraph& g, const Diamond& d) {
   const VertexId dv = g.vertices_at(d.divergence_hop)[0];
   const VertexId cv = g.vertices_at(d.convergence_hop)[0];
-  return {g.vertex(dv).addr.value(), g.vertex(cv).addr.value()};
+  return {g.vertex(dv).addr, g.vertex(cv).addr};
 }
 
 bool hops_meshed(const MultipathGraph& g, std::uint16_t hop_i) {

@@ -28,8 +28,8 @@ struct Diamond {
 /// Identity of a distinct diamond per the paper: its divergence and
 /// convergence addresses (stars treated as distinct from any address).
 struct DiamondKey {
-  std::uint32_t divergence = 0;
-  std::uint32_t convergence = 0;
+  net::IpAddress divergence;
+  net::IpAddress convergence;
   friend auto operator<=>(const DiamondKey&, const DiamondKey&) = default;
 };
 

@@ -32,6 +32,7 @@ std::string serialize(const MultipathGraph& g) {
 MultipathGraph deserialize(std::string_view text) {
   MultipathGraph g;
   bool have_hops = false;
+  std::optional<net::Family> family;  // of the first literal; must agree
   std::size_t line_number = 0;
   for (const auto& raw_line : split(text, '\n')) {
     ++line_number;
@@ -57,8 +58,12 @@ MultipathGraph deserialize(std::string_view text) {
       if (tokens[2] == "*") {
         (void)g.add_vertex(static_cast<std::uint16_t>(hop), {});
       } else {
-        (void)g.add_vertex(static_cast<std::uint16_t>(hop),
-                           net::Ipv4Address::parse_or_throw(tokens[2]));
+        const auto addr = net::IpAddress::parse_or_throw(tokens[2]);
+        if (family && *family != addr.family()) {
+          fail("mixed address families in one topology");
+        }
+        family = addr.family();
+        (void)g.add_vertex(static_cast<std::uint16_t>(hop), addr);
       }
     } else if (tokens[0] == "edge") {
       if (tokens.size() != 3) fail("expected 'edge <from> <to>'");

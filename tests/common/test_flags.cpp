@@ -65,5 +65,22 @@ TEST(Flags, Has) {
   EXPECT_FALSE(f.has("y"));
 }
 
+TEST(Flags, FamilySwitchMapsToFamilyFlag) {
+  EXPECT_EQ(make_flags({"-6"}).get("family", "4"), "6");
+  EXPECT_EQ(make_flags({"-4"}).get("family", "6"), "4");
+  // Last one wins, matching --family semantics.
+  EXPECT_EQ(make_flags({"--family", "4", "-6"}).get("family", "4"), "6");
+}
+
+TEST(Flags, FamilySwitchIsNeverABareFlagsValue) {
+  // "--real -6" must keep --real boolean AND set the family — the
+  // single-dash switch is not up for grabs as a value.
+  const auto f = make_flags({"--real", "-6", "--json"});
+  EXPECT_TRUE(f.get_bool("real", false));
+  EXPECT_TRUE(f.get_bool("json", false));
+  EXPECT_EQ(f.get("family", "4"), "6");
+  EXPECT_TRUE(f.positional().empty());
+}
+
 }  // namespace
 }  // namespace mmlpt

@@ -1,0 +1,113 @@
+// Lossy-path window semantics (ROADMAP item): under the responsive model
+// probe counts are window-invariant, but when the Fakeroute loss model
+// drops replies, serial probing (window 1) retries a loss immediately
+// while windowed probing (window 32) retries in rounds — the RNG stream
+// meets a different probe order, so individual traces legitimately
+// diverge. This property suite BOUNDS that divergence:
+//
+//   - per run: |p32 - p1| / p1 stays under 2.0 (observed worst over 400
+//     sampled (loss, world, seed) triples: ~1.2 at 15% loss; typical runs
+//     sit near 0);
+//   - in aggregate over many runs, the two schedules cost the same
+//     probes: the summed ratio stays within [0.80, 1.25] (observed:
+//     within +-6% across loss rates 5%..30%).
+//
+// The observed numbers are documented in README.md ("Lossy paths and the
+// window" section); tighten the asserted bounds only together with it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/validation.h"
+#include "topology/generator.h"
+
+namespace mmlpt {
+namespace {
+
+struct LossyOutcome {
+  std::uint64_t window1 = 0;
+  std::uint64_t window32 = 0;
+};
+
+LossyOutcome run_pair(const topo::GroundTruth& route, double loss,
+                      std::uint64_t seed) {
+  fakeroute::SimConfig sim;
+  sim.loss_prob = loss;
+  core::TraceConfig serial;
+  serial.window = 1;
+  core::TraceConfig windowed;
+  windowed.window = 32;
+  LossyOutcome outcome;
+  outcome.window1 =
+      core::run_trace(route, core::Algorithm::kMdaLite, serial, sim, seed)
+          .packets;
+  outcome.window32 =
+      core::run_trace(route, core::Algorithm::kMdaLite, windowed, sim, seed)
+          .packets;
+  return outcome;
+}
+
+TEST(LossyWindowProperty, DivergenceIsBoundedPerRunAndInAggregate) {
+  for (const double loss : {0.10, 0.30}) {
+    double sum1 = 0.0;
+    double sum32 = 0.0;
+    for (std::uint64_t world = 0; world < 4; ++world) {
+      topo::RouteGenerator gen(topo::GeneratorConfig{}, 100 + world);
+      const auto route = gen.make_route();
+      for (std::uint64_t seed = 0; seed < 5; ++seed) {
+        const auto outcome = run_pair(route, loss, 7000 + seed);
+        ASSERT_GT(outcome.window1, 0u);
+        ASSERT_GT(outcome.window32, 0u);
+        const auto p1 = static_cast<double>(outcome.window1);
+        const auto p32 = static_cast<double>(outcome.window32);
+        // Per-run bound: retry rescheduling may reroute one trace's
+        // exploration, but never past 3x / below 1/3 of the serial cost.
+        EXPECT_LE(std::abs(p32 - p1) / p1, 2.0)
+            << "loss " << loss << " world " << world << " seed " << seed
+            << ": " << outcome.window1 << " vs " << outcome.window32;
+        sum1 += p1;
+        sum32 += p32;
+      }
+    }
+    // Aggregate bound: the schedules face the same loss process, so the
+    // averaged probe cost agrees much more tightly than any single run.
+    const double aggregate = sum32 / sum1;
+    EXPECT_GE(aggregate, 0.80) << "loss " << loss;
+    EXPECT_LE(aggregate, 1.25) << "loss " << loss;
+  }
+}
+
+TEST(LossyWindowProperty, LosslessRunsStayExactlyInvariant) {
+  // The contrast case: with loss off, the divergence is exactly zero —
+  // the PR 3 invariance contract, restated against this suite's worlds.
+  for (std::uint64_t world = 0; world < 3; ++world) {
+    topo::RouteGenerator gen(topo::GeneratorConfig{}, 100 + world);
+    const auto route = gen.make_route();
+    const auto outcome = run_pair(route, /*loss=*/0.0, 4242);
+    EXPECT_EQ(outcome.window1, outcome.window32) << "world " << world;
+  }
+}
+
+TEST(LossyWindowProperty, HoldsOnIpv6Worlds) {
+  // The bound is family-blind: same property on a v6 world.
+  topo::GeneratorConfig config;
+  config.family = net::Family::kIpv6;
+  topo::RouteGenerator gen(config, 77);
+  const auto route = gen.make_route();
+  double sum1 = 0.0;
+  double sum32 = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto outcome = run_pair(route, 0.15, 9000 + seed);
+    const auto p1 = static_cast<double>(outcome.window1);
+    const auto p32 = static_cast<double>(outcome.window32);
+    EXPECT_LE(std::abs(p32 - p1) / p1, 2.0) << "seed " << seed;
+    sum1 += p1;
+    sum32 += p32;
+  }
+  const double aggregate = sum32 / sum1;
+  EXPECT_GE(aggregate, 0.75);
+  EXPECT_LE(aggregate, 1.30);
+}
+
+}  // namespace
+}  // namespace mmlpt

@@ -82,7 +82,7 @@ TEST(RouteGenerator, RouteEmbedsDiamondAndDestination) {
   const auto diamonds = extract_diamonds(route.graph);
   bool found = false;
   for (const auto& dd : diamonds) {
-    if (diamond_key(route.graph, dd).divergence == d.truth.source.value()) {
+    if (diamond_key(route.graph, dd).divergence == d.truth.source) {
       found = true;
     }
   }
@@ -154,7 +154,7 @@ TEST(SurveyWorld, ReencountersTemplates) {
 TEST(SurveyWorld, TemplateAddressesStableAcrossRoutes) {
   SurveyWorld world(GeneratorConfig{}, 3, 8);
   // Force many routes; diamond addresses must recur (same templates).
-  std::set<std::uint32_t> divergences;
+  std::set<net::IpAddress> divergences;
   for (int i = 0; i < 30; ++i) {
     const auto route = world.next_route();
     for (const auto& d : extract_diamonds(route.graph)) {

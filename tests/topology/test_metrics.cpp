@@ -106,8 +106,8 @@ TEST(Metrics, ExtractDiamondsFindsBoundedSegments) {
   EXPECT_EQ(diamonds[0].length(), 2);
 
   const auto key = diamond_key(g, diamonds[0]);
-  EXPECT_EQ(key.divergence, net::Ipv4Address(10, 0, 0, 2).value());
-  EXPECT_EQ(key.convergence, net::Ipv4Address(10, 0, 0, 5).value());
+  EXPECT_EQ(key.divergence, net::Ipv4Address(10, 0, 0, 2));
+  EXPECT_EQ(key.convergence, net::Ipv4Address(10, 0, 0, 5));
 }
 
 TEST(Metrics, ExtractDiamondsFindsMultiple) {

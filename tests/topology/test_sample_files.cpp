@@ -60,13 +60,48 @@ TEST(SampleTopologies, MeshedRingIsMeshedAndTriggersSwitch) {
 
 TEST(SampleTopologies, AllTraceCleanly) {
   for (const auto* name :
-       {"simplest.topo", "double_diamond.topo", "meshed_ring.topo"}) {
+       {"simplest.topo", "double_diamond.topo", "meshed_ring.topo",
+        "simplest6.topo", "double_diamond6.topo"}) {
     const auto graph = load(name);
     const auto truth = core::plain_ground_truth(load(name));
     const auto result =
         core::run_trace(truth, core::Algorithm::kMda, {}, {}, 3);
     EXPECT_TRUE(result.reached_destination) << name;
     EXPECT_TRUE(same_topology(result.graph, graph)) << name;
+  }
+}
+
+TEST(SampleTopologiesIpv6, SimplestMirrorsV4FailureProbability) {
+  // The v6 variant is the same shape as simplest.topo, so the documented
+  // exact failure probability carries over — the stopping rule is
+  // family-blind.
+  const auto g = load("simplest6.topo");
+  EXPECT_EQ(g.hop_count(), 3);
+  for (std::uint16_t h = 0; h < g.hop_count(); ++h) {
+    for (const auto v : g.vertices_at(h)) {
+      EXPECT_TRUE(g.vertex(v).addr.is_v6());
+    }
+  }
+  const auto sp = core::StoppingPoints::from_epsilon(0.05);
+  EXPECT_NEAR(fakeroute::topology_failure_probability(g, sp.table(4)),
+              0.03125, 1e-12);
+}
+
+TEST(SampleTopologiesIpv6, DoubleDiamondHasTwoDiamonds) {
+  const auto g = load("double_diamond6.topo");
+  const auto diamonds = extract_diamonds(g);
+  ASSERT_EQ(diamonds.size(), 2u);
+  EXPECT_EQ(compute_metrics(g, diamonds[0]).max_width, 2);
+  EXPECT_EQ(compute_metrics(g, diamonds[1]).max_width, 3);
+}
+
+TEST(SampleTopologiesIpv6, RoundTripsThroughSerializer) {
+  // v6 literals survive serialize -> deserialize (RFC 5952 canonical
+  // text both ways).
+  for (const auto* name : {"simplest6.topo", "double_diamond6.topo"}) {
+    const auto g = load(name);
+    const auto round_tripped = deserialize(serialize(g));
+    EXPECT_TRUE(same_topology(g, round_tripped)) << name;
   }
 }
 

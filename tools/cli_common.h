@@ -1,0 +1,45 @@
+// Helpers shared by the mmlpt_* CLIs: --version output (git describe +
+// build type injected by tools/CMakeLists.txt) and address-family flag
+// parsing (--family 4|6|ipv4|ipv6, or the traceroute-style bare "-6").
+#ifndef MMLPT_TOOLS_CLI_COMMON_H
+#define MMLPT_TOOLS_CLI_COMMON_H
+
+#include <cstdio>
+#include <string>
+
+#include "common/error.h"
+#include "common/flags.h"
+#include "net/ip_address.h"
+
+#ifndef MMLPT_GIT_DESCRIBE
+#define MMLPT_GIT_DESCRIBE "unknown"
+#endif
+#ifndef MMLPT_BUILD_TYPE
+#define MMLPT_BUILD_TYPE "unspecified"
+#endif
+
+namespace mmlpt::tools {
+
+/// Handle --version: print "<tool> <git describe> (<build type>)" and
+/// return true when the flag was present.
+inline bool handle_version(const Flags& flags, const char* tool) {
+  if (!flags.has("version")) return false;
+  std::printf("%s %s (%s)\n", tool, MMLPT_GIT_DESCRIBE, MMLPT_BUILD_TYPE);
+  return true;
+}
+
+/// The requested address family: --family 4|6|ipv4|ipv6|inet|inet6, or
+/// the bare "-6" / "-4" switches (traceroute tradition; the Flags parser
+/// maps them to --family, last one wins). Defaults to IPv4.
+inline net::Family parse_family(const Flags& flags) {
+  const std::string name = flags.get("family", "4");
+  const auto family = net::parse_family_name(name);
+  if (!family) {
+    throw ConfigError("unknown --family '" + name + "' (4|6|ipv4|ipv6)");
+  }
+  return *family;
+}
+
+}  // namespace mmlpt::tools
+
+#endif  // MMLPT_TOOLS_CLI_COMMON_H

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_common.h"
 #include "common/error.h"
 #include "common/flags.h"
 #include "core/trace_json.h"
@@ -49,6 +50,9 @@ constexpr const char kUsage[] =
     "                       that string. Without it, --routes synthetic\n"
     "                       destinations are generated.\n"
     "  --routes N           destination count when no --destinations (64)\n"
+    "  -6 | --family 4|6    address family of the synthetic world\n"
+    "                       (default IPv4; v6 Paris probes vary only the\n"
+    "                       flow label)\n"
     "  --jobs N             concurrent trace workers (default 1)\n"
     "  --pps X              fleet-wide probe rate limit, packets/second\n"
     "                       (default unlimited)\n"
@@ -62,6 +66,7 @@ constexpr const char kUsage[] =
     "  --distinct N         distinct diamond templates in the world (100)\n"
     "  --seed N             world + trace seed (default 1)\n"
     "  --output FILE        JSONL destination (default stdout)\n"
+    "  --version            print version and exit\n"
     "\n"
     "A summary line (destinations, packets, wall seconds, effective pps)\n"
     "goes to stderr when done.\n";
@@ -114,6 +119,7 @@ int run_fleet(const Flags& flags) {
   // task order a window ahead of the tracers and released after each
   // merge, so live routes track the in-flight window.
   topo::GeneratorConfig generator;
+  generator.family = tools::parse_family(flags);
   topo::SurveyWorld world(generator, flags.get_uint("distinct", 100), seed);
   survey::RouteFeeder feeder(world, count);
 
@@ -186,6 +192,7 @@ int main(int argc, char** argv) {
       std::fputs(kUsage, stdout);
       return 0;
     }
+    if (tools::handle_version(flags, "mmlpt_fleet")) return 0;
     return run_fleet(flags);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mmlpt_fleet: %s\n", e.what());

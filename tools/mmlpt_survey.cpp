@@ -10,6 +10,7 @@
 #include <memory>
 #include <optional>
 
+#include "cli_common.h"
 #include "common/error.h"
 #include "common/flags.h"
 #include "common/json.h"
@@ -31,6 +32,9 @@ constexpr const char kUsage[] =
     "\n"
     "options:\n"
     "  --mode ip|evaluation|router   (default ip)\n"
+    "  -6 | --family 4|6             address family of the generated\n"
+    "                                world (default IPv4; router mode\n"
+    "                                alias sets are v4-only)\n"
     "  --routes N                    routes to trace (ip/router modes)\n"
     "  --pairs N                     source/destination pairs (evaluation)\n"
     "  --distinct N                  distinct diamonds to collect\n"
@@ -47,7 +51,8 @@ constexpr const char kUsage[] =
     "  --burst N                     rate-limiter burst capacity\n"
     "                                (default 64; used with --pps)\n"
     "  --output FILE                 stream one JSON line per destination\n"
-    "                                to FILE while the survey runs\n";
+    "                                to FILE while the survey runs\n"
+    "  --version                     print version and exit\n";
 
 void emit_histogram(JsonWriter& w, const Histogram& h) {
   w.begin_object();
@@ -83,6 +88,7 @@ int parse_window(const Flags& flags) {
 
 int run_ip(const Flags& flags, JsonWriter& w) {
   survey::IpSurveyConfig config;
+  config.generator.family = tools::parse_family(flags);
   config.routes = flags.get_uint("routes", 500);
   config.distinct_diamonds = flags.get_uint("distinct", 200);
   config.seed = flags.get_uint("seed", 1);
@@ -133,7 +139,8 @@ int run_evaluation(const Flags& flags, JsonWriter& w) {
   // The evaluation runs five tracer variants over shared per-pair state;
   // it is not fleet-wired (yet), so say so instead of silently ignoring
   // the fleet flags.
-  for (const char* flag : {"jobs", "pps", "burst", "output", "window"}) {
+  for (const char* flag : {"jobs", "pps", "burst", "output", "window",
+                           "family"}) {
     if (flags.has(flag)) {
       std::fprintf(stderr,
                    "mmlpt_survey: --%s is ignored in evaluation mode\n",
@@ -173,6 +180,7 @@ int run_evaluation(const Flags& flags, JsonWriter& w) {
 
 int run_router(const Flags& flags, JsonWriter& w) {
   survey::RouterSurveyConfig config;
+  config.generator.family = tools::parse_family(flags);
   config.routes = flags.get_uint("routes", 150);
   config.distinct_diamonds = flags.get_uint("distinct", 80);
   config.multilevel.rounds = static_cast<int>(flags.get_int("rounds", 10));
@@ -222,6 +230,7 @@ int main(int argc, char** argv) {
       std::fputs(kUsage, stdout);
       return 0;
     }
+    if (tools::handle_version(flags, "mmlpt_survey")) return 0;
     const auto mode = flags.get("mode", "ip");
     JsonWriter w;
     int rc = 0;

@@ -12,6 +12,7 @@
 #include <memory>
 #include <sstream>
 
+#include "cli_common.h"
 #include "common/flags.h"
 #include "core/multilevel.h"
 #include "core/single_flow.h"
@@ -36,9 +37,16 @@ constexpr const char kUsage[] =
     "  mmlpt_trace --topology net.topo --json     # topology file, JSON "
     "output\n"
     "  mmlpt_trace --generate --seed 9 --multilevel --rounds 10\n"
+    "  mmlpt_trace -6 --builtin fig1 --json       # IPv6 (flow-label "
+    "Paris)\n"
     "  sudo mmlpt_trace --real --destination 93.184.216.34   # raw sockets\n"
     "\n"
     "options:\n"
+    "  -6 | --family 4|6             address family (default IPv4). On\n"
+    "                                IPv6 the Paris flow identifier is\n"
+    "                                the 20-bit flow label; alias\n"
+    "                                resolution reports\n"
+    "                                \"unsupported-family\" (no IP-ID)\n"
     "  --algorithm mda|lite|single   (default lite)\n"
     "  --alpha A --branching B       failure bound (default 0.05 / 30)\n"
     "  --phi N                       MDA-Lite meshing-test effort (default "
@@ -56,8 +64,10 @@ constexpr const char kUsage[] =
     "  --json                        machine-readable output\n"
     "  --seed N                      simulator / generator seed\n"
     "  --real --destination IP       raw sockets (needs CAP_NET_RAW)\n"
-    "  --source IP                   source address for --real "
-    "(default 0.0.0.0)\n";
+    "  --source IP                   source address for --real (default\n"
+    "                                0.0.0.0; IPv6 requires an explicit\n"
+    "                                source)\n"
+    "  --version                     print version and exit\n";
 
 topo::MultipathGraph builtin_topology(const std::string& name) {
   if (name == "simplest") return topo::simplest_diamond();
@@ -72,22 +82,33 @@ topo::MultipathGraph builtin_topology(const std::string& name) {
                     "asymmetric meshed)");
 }
 
-topo::GroundTruth load_ground_truth(const Flags& flags) {
+topo::GroundTruth load_ground_truth(const Flags& flags, net::Family family) {
   const auto seed = flags.get_uint("seed", 1);
   if (flags.has("topology")) {
     std::ifstream in(flags.get("topology", ""));
     if (!in) throw ConfigError("cannot open topology file");
     std::ostringstream text;
     text << in.rdbuf();
-    return core::plain_ground_truth(topo::deserialize(text.str()));
+    auto truth = core::plain_ground_truth(topo::deserialize(text.str()));
+    // The file's literals pick the family; an explicit flag must agree.
+    if ((flags.has("family") || family == net::Family::kIpv6) &&
+        truth.destination.family() != family) {
+      throw ConfigError("--family disagrees with the topology file's "
+                        "address family");
+    }
+    return truth;
   }
   if (flags.get_bool("generate", false)) {
-    topo::RouteGenerator generator(topo::GeneratorConfig{}, seed);
+    topo::GeneratorConfig config;
+    config.family = family;
+    topo::RouteGenerator generator(config, seed);
     return generator.make_route();
   }
   const auto name = flags.get("builtin", "fig1");
-  return core::plain_ground_truth(topo::prepend_source(
-      builtin_topology(name), net::Ipv4Address(192, 168, 0, 1)));
+  auto graph = topo::prepend_source(builtin_topology(name),
+                                    net::Ipv4Address(192, 168, 0, 1));
+  if (family == net::Family::kIpv6) graph = topo::map_to_ipv6(graph);
+  return core::plain_ground_truth(std::move(graph));
 }
 
 void print_text_trace(const core::TraceResult& result) {
@@ -113,6 +134,10 @@ void print_text_trace(const core::TraceResult& result) {
 void print_text_multilevel(const core::MultilevelResult& result) {
   std::printf("== IP level ==\n");
   print_text_trace(result.trace);
+  if (!result.alias_supported) {
+    std::printf(
+        "# alias resolution: unsupported-family (IPv6 has no IP-ID)\n");
+  }
   std::printf("\n== router level ==\n");
   const auto& g = result.router_graph;
   for (std::uint16_t h = 0; h < g.hop_count(); ++h) {
@@ -142,6 +167,8 @@ int run(const Flags& flags) {
     std::fputs(kUsage, stdout);
     return 0;
   }
+  if (tools::handle_version(flags, "mmlpt_trace")) return 0;
+  const net::Family family = tools::parse_family(flags);
   core::TraceConfig trace_config;
   trace_config.alpha = flags.get_double("alpha", 0.05);
   trace_config.max_branching =
@@ -168,14 +195,26 @@ int run(const Flags& flags) {
   probe::ProbeEngine::Config engine_config;
   topo::GroundTruth truth;
   if (flags.get_bool("real", false)) {
-    engine_config.source = net::Ipv4Address::parse_or_throw(
-        flags.get("source", "0.0.0.0"));
-    engine_config.destination = net::Ipv4Address::parse_or_throw(
+    const bool v6 = family == net::Family::kIpv6;
+    engine_config.source = net::IpAddress::parse_or_throw(
+        flags.get("source", v6 ? "::" : "0.0.0.0"));
+    engine_config.destination = net::IpAddress::parse_or_throw(
         flags.get("destination", ""));
-    network = std::make_unique<probe::RawSocketNetwork>(
-        probe::RawSocketNetwork::Config{});
+    if (engine_config.destination.family() != family) {
+      throw ConfigError("--destination family disagrees with --family");
+    }
+    if (engine_config.source.family() != family) {
+      throw ConfigError("--source family disagrees with --family");
+    }
+    if (v6 && engine_config.source.is_unspecified()) {
+      throw ConfigError("--real -6 needs an explicit --source address "
+                        "(IPv6 raw probes carry the crafted source)");
+    }
+    probe::RawSocketNetwork::Config raw_config;
+    raw_config.family = family;
+    network = std::make_unique<probe::RawSocketNetwork>(raw_config);
   } else {
-    truth = load_ground_truth(flags);
+    truth = load_ground_truth(flags, family);
     simulator = std::make_unique<fakeroute::Simulator>(
         truth, fakeroute::SimConfig{}, flags.get_uint("seed", 1));
     network = std::make_unique<probe::SimulatedNetwork>(*simulator);
