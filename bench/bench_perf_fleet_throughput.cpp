@@ -1,5 +1,6 @@
 // bench_perf_fleet_throughput — wall-clock speedup of the fleet
-// orchestrator over the serial survey loop.
+// orchestrator over the serial survey loop, and of merged fleet windows
+// over per-trace windows.
 //
 // Internet probing is latency-bound: a trace spends its life waiting for
 // ICMP replies, not computing. The fleet's speedup therefore comes from
@@ -12,16 +13,39 @@
 // index, both runs produce identical traces — the bench asserts it — so
 // the ratio measures scheduling alone.
 //
+// --merge-windows adds the cross-trace merger leg: the same fleet run
+// again, but with every tracer's committed window merged into shared
+// fleet bursts through a FleetTransportHub. The workload model charges a
+// fixed "wire cost" per send burst + receive-loop pass (--wire-cost,
+// virtual ns), SERIALIZED across workers in the unmerged runs the way
+// concurrent tracers contend for one raw socket — merged bursts pay it
+// once per burst instead of once per per-trace window, which is exactly
+// the raw-socket economy of one send burst serving N tracers. Three hard
+// gates protect the merger's contract:
+//   * per-trace (packets, vertices, edges) identical across all legs,
+//   * the merged run's JSONL byte-identical to the unmerged jobs=1 run,
+//   * at least one merged burst carried probes of >= 2 distinct
+//     destinations.
+// The merged-vs-unmerged speedup itself is reported (and a soft target
+// printed); like the fleet speedup it is only enforced where the
+// hardware can express it.
+//
 // Unlike the per-figure benches this is a plain chrono binary (no
 // google-benchmark dependency): the Release CI job runs it with --smoke
-// and archives the JSON it writes via --output.
+// and archives the JSON it writes via --output, for v4 and v6 worlds.
 //
 // flags:
 //   --smoke            small, CI-sized configuration (~seconds)
 //   --routes N         destinations to trace        (default 48; smoke 16)
 //   --jobs N           fleet worker count           (default 8)
+//   --window N         per-trace probe window       (default 4)
+//   --merge-windows    run + gate the merged-fleet leg
+//   --family 4|6       address family of the world  (default 4)
 //   --latency-scale X  wall seconds per virtual RTT second
 //                      (default 0.02; smoke 0.004)
+//   --wire-cost N      virtual ns of fixed cost per send burst
+//                      (default 20000000 = 20 ms with --merge-windows,
+//                      else 0 — the historical latency-only model)
 //   --distinct N       distinct diamond templates   (default 40)
 //   --seed N           world + trace seed           (default 1)
 //   --output FILE      write the JSON report to FILE (default stdout only)
@@ -29,20 +53,32 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/flags.h"
 #include "common/json.h"
+#include "core/trace_json.h"
 #include "core/validation.h"
+#include "net/ip_address.h"
 #include "orchestrator/fleet.h"
+#include "orchestrator/fleet_transport.h"
 #include "orchestrator/latency_network.h"
+#include "orchestrator/result_sink.h"
 #include "probe/simulated_network.h"
 #include "topology/generator.h"
 
 using namespace mmlpt;
 
 namespace {
+
+struct BenchConfig {
+  double latency_scale = 0.02;
+  probe::Nanos wire_cost = 20'000'000;
+  int window = 4;
+  std::uint64_t seed = 1;
+};
 
 struct RunOutcome {
   double seconds = 0.0;
@@ -51,17 +87,39 @@ struct RunOutcome {
   /// gate compares these trace by trace, so compensating differences
   /// across destinations cannot slip through a total-only check.
   std::vector<std::array<std::uint64_t, 3>> per_trace;
+  /// The run's JSONL (one destination line per route) — the merged leg
+  /// must reproduce the unmerged jobs=1 run byte for byte.
+  std::string jsonl;
+  orchestrator::FleetTransportHub::Stats bursts;  ///< merged runs only
 };
 
+enum class Mode { kPerTraceWindows, kMergedWindows };
+
 RunOutcome run_fleet(const std::vector<topo::GroundTruth>& routes, int jobs,
-                     double latency_scale, std::uint64_t seed) {
+                     Mode mode, const BenchConfig& bench) {
   orchestrator::FleetConfig config;
   config.jobs = jobs;
-  config.seed = seed;
+  config.seed = bench.seed;
   orchestrator::FleetScheduler fleet(config);
-  const std::uint64_t base_seed = seed ^ 0x5353ULL;
-  const core::TraceConfig trace_config;
+  const std::uint64_t base_seed = bench.seed ^ 0x5353ULL;
+  core::TraceConfig trace_config;
+  trace_config.window = bench.window;
   const fakeroute::SimConfig sim_config;
+
+  // The single raw socket / receive loop every unmerged worker contends
+  // for; the merged hub replaces it with one shared burst per flush.
+  orchestrator::SharedWire wire;
+  std::unique_ptr<orchestrator::FleetTransportHub> hub;
+  if (mode == Mode::kMergedWindows) {
+    orchestrator::FleetTransportHub::Config hub_config;
+    hub_config.latency_scale = bench.latency_scale;
+    hub_config.per_burst_cost = bench.wire_cost;
+    // Give late tracers one wire-pass to join the burst before it fires.
+    hub_config.gather_timeout = std::chrono::nanoseconds(
+        static_cast<std::int64_t>(static_cast<double>(bench.wire_cost) *
+                                  bench.latency_scale));
+    hub = std::make_unique<orchestrator::FleetTransportHub>(hub_config);
+  }
 
   const auto start = std::chrono::steady_clock::now();
   const auto traces = fleet.run(
@@ -70,8 +128,17 @@ RunOutcome run_fleet(const std::vector<topo::GroundTruth>& routes, int jobs,
         fakeroute::Simulator simulator(route, sim_config,
                                        base_seed + context.task_index);
         probe::SimulatedNetwork network(simulator);
+        if (hub) {
+          const auto channel = hub->open_channel(network);
+          return core::run_trace_with_network(*channel, route.source,
+                                              route.destination,
+                                              core::Algorithm::kMdaLite,
+                                              trace_config);
+        }
         orchestrator::BlockingLatencyNetwork::Config latency;
-        latency.scale = latency_scale;
+        latency.scale = bench.latency_scale;
+        latency.per_window_cost = bench.wire_cost;
+        latency.wire = &wire;
         orchestrator::BlockingLatencyNetwork blocking(network, latency);
         return core::run_trace_with_network(blocking, route.source,
                                             route.destination,
@@ -84,13 +151,25 @@ RunOutcome run_fleet(const std::vector<topo::GroundTruth>& routes, int jobs,
 
   RunOutcome outcome;
   outcome.seconds = elapsed.count();
+  if (hub) outcome.bursts = hub->stats();
   outcome.per_trace.reserve(traces.size());
-  for (const auto& trace : traces) {
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const auto& trace = traces[i];
     outcome.packets += trace.packets;
     outcome.per_trace.push_back(
         {trace.packets, trace.graph.vertex_count(), trace.graph.edge_count()});
+    outcome.jsonl += orchestrator::destination_line(
+        i, routes[i].destination.to_string(), "trace",
+        core::trace_to_json(trace));
+    outcome.jsonl += '\n';
   }
   return outcome;
+}
+
+void print_run(const char* name, const RunOutcome& run) {
+  std::printf("  %-8s: %7.3fs  %8llu packets  %9.0f pkt/s\n", name,
+              run.seconds, static_cast<unsigned long long>(run.packets),
+              static_cast<double>(run.packets) / run.seconds);
 }
 
 }  // namespace
@@ -99,14 +178,29 @@ int main(int argc, char** argv) {
   try {
     const Flags flags(argc, argv);
     const bool smoke = flags.has("smoke");
+    const bool merge = flags.get_bool("merge-windows", false);
     const auto routes_n = flags.get_uint("routes", smoke ? 16 : 48);
     const int jobs = static_cast<int>(flags.get_int("jobs", 8));
-    const double scale =
+
+    BenchConfig bench;
+    bench.latency_scale =
         flags.get_double("latency-scale", smoke ? 0.004 : 0.02);
-    const auto seed = flags.get_uint("seed", 1);
+    // The contended-wire model only matters when comparing against
+    // merged bursts; the plain fleet-vs-serial leg keeps its historical
+    // latency-only workload.
+    bench.wire_cost = flags.get_uint("wire-cost", merge ? 20'000'000 : 0);
+    bench.window = static_cast<int>(flags.get_int("window", 4));
+    bench.seed = flags.get_uint("seed", 1);
 
     topo::GeneratorConfig generator;
-    topo::SurveyWorld world(generator, flags.get_uint("distinct", 40), seed);
+    const auto family = net::parse_family_name(flags.get("family", "4"));
+    if (!family) {
+      std::fprintf(stderr, "unknown --family (4|6)\n");
+      return 1;
+    }
+    generator.family = *family;
+    topo::SurveyWorld world(generator, flags.get_uint("distinct", 40),
+                            bench.seed);
     std::vector<topo::GroundTruth> routes;
     routes.reserve(routes_n);
     for (std::size_t i = 0; i < routes_n; ++i) {
@@ -114,46 +208,109 @@ int main(int argc, char** argv) {
     }
 
     std::printf(
-        "fleet throughput: %zu destinations, latency scale %.4g, "
-        "jobs 1 vs %d\n",
-        routes.size(), scale, jobs);
-    const auto serial = run_fleet(routes, 1, scale, seed);
-    std::printf("  serial : %7.3fs  %8llu packets  %9.0f pkt/s\n",
-                serial.seconds,
-                static_cast<unsigned long long>(serial.packets),
-                static_cast<double>(serial.packets) / serial.seconds);
-    const auto fleet = run_fleet(routes, jobs, scale, seed);
-    std::printf("  fleet  : %7.3fs  %8llu packets  %9.0f pkt/s\n",
-                fleet.seconds, static_cast<unsigned long long>(fleet.packets),
-                static_cast<double>(fleet.packets) / fleet.seconds);
+        "fleet throughput: %zu destinations (IPv%c), window %d, latency "
+        "scale %.4g, wire cost %.1fms, jobs 1 vs %d%s\n",
+        routes.size(), generator.family == net::Family::kIpv6 ? '6' : '4',
+        bench.window, bench.latency_scale,
+        static_cast<double>(bench.wire_cost) / 1e6, jobs,
+        merge ? " (+ merged windows)" : "");
 
-    const bool deterministic = serial.per_trace == fleet.per_trace;
+    const auto serial =
+        run_fleet(routes, 1, Mode::kPerTraceWindows, bench);
+    print_run("serial", serial);
+    const auto unmerged =
+        run_fleet(routes, jobs, Mode::kPerTraceWindows, bench);
+    print_run("fleet", unmerged);
+
+    bool deterministic = serial.per_trace == unmerged.per_trace;
     const double speedup =
-        fleet.seconds > 0.0 ? serial.seconds / fleet.seconds : 0.0;
-    std::printf("  speedup: %.2fx (%s, target >= 4x at 8 workers)\n", speedup,
+        unmerged.seconds > 0.0 ? serial.seconds / unmerged.seconds : 0.0;
+    std::printf("  speedup: %.2fx (%s%s)\n", speedup,
                 deterministic ? "identical traces"
-                              : "TRACES DIVERGED — determinism bug");
+                              : "TRACES DIVERGED — determinism bug",
+                merge ? "; wire contention bounds this leg"
+                      : ", target >= 4x at 8 workers");
+
+    bool merged_ok = true;
+    double merged_speedup = 0.0;
+    RunOutcome merged;
+    if (merge) {
+      merged = run_fleet(routes, jobs, Mode::kMergedWindows, bench);
+      print_run("merged", merged);
+      deterministic = deterministic && serial.per_trace == merged.per_trace;
+      const bool jsonl_identical = merged.jsonl == serial.jsonl;
+      const bool bursts_merged = merged.bursts.merged_bursts >= 1 &&
+                                 merged.bursts.max_channels_in_burst >= 2;
+      merged_speedup =
+          merged.seconds > 0.0 ? unmerged.seconds / merged.seconds : 0.0;
+      std::printf(
+          "  merged : %.2fx vs fleet (soft target >= 1.3x); %llu bursts, "
+          "%.1f probes/burst, %llu merged (max %llu destinations/burst)\n",
+          merged_speedup,
+          static_cast<unsigned long long>(merged.bursts.bursts),
+          merged.bursts.bursts > 0
+              ? static_cast<double>(merged.bursts.probes) /
+                    static_cast<double>(merged.bursts.bursts)
+              : 0.0,
+          static_cast<unsigned long long>(merged.bursts.merged_bursts),
+          static_cast<unsigned long long>(
+              merged.bursts.max_channels_in_burst));
+      if (!jsonl_identical) {
+        std::printf("  MERGED JSONL DIVERGED from the unmerged jobs=1 run — "
+                    "invariance bug\n");
+      }
+      if (!bursts_merged) {
+        std::printf("  NO MERGED BURSTS — every burst carried a single "
+                    "destination\n");
+      }
+      merged_ok = jsonl_identical && bursts_merged;
+    }
 
     JsonWriter w;
     w.begin_object();
     w.key("bench");
     w.value("fleet_throughput");
+    w.key("family");
+    w.value(static_cast<std::int64_t>(
+        generator.family == net::Family::kIpv6 ? 6 : 4));
     w.key("routes");
     w.value(static_cast<std::uint64_t>(routes.size()));
     w.key("jobs");
     w.value(static_cast<std::int64_t>(jobs));
+    w.key("window");
+    w.value(static_cast<std::int64_t>(bench.window));
     w.key("latency_scale");
-    w.value(scale);
+    w.value(bench.latency_scale);
+    w.key("wire_cost_ns");
+    w.value(static_cast<std::uint64_t>(bench.wire_cost));
     w.key("serial_seconds");
     w.value(serial.seconds);
     w.key("fleet_seconds");
-    w.value(fleet.seconds);
+    w.value(unmerged.seconds);
     w.key("speedup");
     w.value(speedup);
     w.key("packets");
     w.value(serial.packets);
     w.key("deterministic");
     w.value(deterministic);
+    if (merge) {
+      w.key("merged_seconds");
+      w.value(merged.seconds);
+      w.key("merged_speedup_vs_fleet");
+      w.value(merged_speedup);
+      w.key("merged_jsonl_identical");
+      w.value(merged.jsonl == serial.jsonl);
+      w.key("bursts");
+      w.value(merged.bursts.bursts);
+      w.key("burst_windows");
+      w.value(merged.bursts.windows);
+      w.key("merged_bursts");
+      w.value(merged.bursts.merged_bursts);
+      w.key("max_destinations_in_burst");
+      w.value(merged.bursts.max_channels_in_burst);
+      w.key("max_probes_in_burst");
+      w.value(merged.bursts.max_probes_in_burst);
+    }
     w.end_object();
     const auto report = std::move(w).take();
     std::printf("%s\n", report.c_str());
@@ -165,9 +322,10 @@ int main(int argc, char** argv) {
       }
       out << report << '\n';
     }
-    // Determinism is a hard invariant; the speedup target is reported but
-    // only enforced where the hardware can express it (CI samples vary).
-    return deterministic ? 0 : 1;
+    // Determinism, merged-output invariance and burst composition are
+    // hard invariants; the speedup targets are reported but only enforced
+    // where the hardware can express them (CI samples vary).
+    return deterministic && merged_ok ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench_perf_fleet_throughput: %s\n", e.what());
     return 1;

@@ -92,7 +92,7 @@ struct TraceConfig {
   /// Cap on fresh flows generated while hunting flows through one vertex.
   int node_control_attempt_cap = 20000;
   /// Probe window: how many in-flight probes a tracer may assemble into
-  /// one batched round trip (Network::transact_batch). Every algorithm
+  /// one batched round trip (a TransportQueue submission). Every algorithm
   /// only windows probes its stopping rule has already committed to, so
   /// topology, packet accounting and stopping decisions are identical for
   /// every value; 1 reproduces the historical serial tracer byte for

@@ -20,7 +20,7 @@ TraceResult run_trace(const topo::GroundTruth& truth, Algorithm algorithm,
                                 algorithm, config, observer);
 }
 
-TraceResult run_trace_with_network(probe::Network& network,
+TraceResult run_trace_with_network(probe::TransportQueue& network,
                                    net::Ipv4Address source,
                                    net::Ipv4Address destination,
                                    Algorithm algorithm, TraceConfig config,

@@ -33,12 +33,14 @@ enum class Algorithm : std::uint8_t { kMda, kMdaLite, kSingleFlow };
                                     std::uint64_t seed,
                                     ReplyObserver* observer = nullptr);
 
-/// Same, but over a caller-supplied transport — the seam that lets the
-/// fleet orchestrator interpose decorators (rate limiting, latency
-/// emulation) between the engine and the simulator, or swap in a real
-/// RawSocketNetwork. `source`/`destination` address the crafted probes.
+/// Same, but over a caller-supplied transport queue — the seam that lets
+/// the fleet orchestrator interpose decorators (rate limiting, latency
+/// emulation), multiplex the trace onto a shared fleet transport
+/// (FleetTransportHub channel), or swap in a real RawSocketNetwork.
+/// `source`/`destination` address the crafted probes. The engine owns
+/// the queue's tickets for the duration of the trace.
 [[nodiscard]] TraceResult run_trace_with_network(
-    probe::Network& network, net::Ipv4Address source,
+    probe::TransportQueue& network, net::Ipv4Address source,
     net::Ipv4Address destination, Algorithm algorithm, TraceConfig config,
     ReplyObserver* observer = nullptr);
 

@@ -8,6 +8,11 @@ FleetScheduler::FleetScheduler(FleetConfig config)
   if (config_.pps > 0.0) {
     limiter_ = std::make_unique<RateLimiter>(config_.pps, config_.burst);
   }
+  if (config_.merge_windows) {
+    FleetTransportHub::Config hub_config;
+    hub_config.limiter = limiter_.get();
+    hub_ = std::make_unique<FleetTransportHub>(hub_config);
+  }
 }
 
 }  // namespace mmlpt::orchestrator

@@ -33,6 +33,7 @@
 
 #include "common/assert.h"
 #include "common/rng.h"
+#include "orchestrator/fleet_transport.h"
 #include "orchestrator/rate_limiter.h"
 
 namespace mmlpt::orchestrator {
@@ -46,6 +47,10 @@ struct FleetConfig {
   double pps = 0.0;
   /// Token-bucket burst capacity when pps > 0.
   int burst = 64;
+  /// Merge the committed windows of concurrent traces into shared fleet
+  /// bursts through a FleetTransportHub (see fleet_transport.h). Results
+  /// are invariant: merging only changes wall-clock behaviour.
+  bool merge_windows = false;
 };
 
 /// Everything a task callback gets handed: its identity, its private
@@ -55,6 +60,11 @@ struct WorkerContext {
   int worker_id;
   Rng rng;
   RateLimiter* limiter;
+  /// The cross-trace window merger; nullptr unless config.merge_windows.
+  /// Tasks that probe should open_channel() their transport over it —
+  /// the hub already charges `limiter` per merged burst, so merged
+  /// transports must NOT also be wrapped in ThrottledNetwork.
+  FleetTransportHub* hub;
 };
 
 class FleetScheduler {
@@ -64,6 +74,8 @@ class FleetScheduler {
   [[nodiscard]] const FleetConfig& config() const noexcept { return config_; }
   /// The shared fleet-wide limiter; nullptr when config().pps <= 0.
   [[nodiscard]] RateLimiter* limiter() noexcept { return limiter_.get(); }
+  /// The cross-trace window merger; nullptr unless config().merge_windows.
+  [[nodiscard]] FleetTransportHub* hub() noexcept { return hub_.get(); }
 
   /// Run tasks 0..task_count-1 through `trace` (callable on
   /// WorkerContext&, returning the per-task result). Returns all results
@@ -109,7 +121,7 @@ class FleetScheduler {
 
     const auto make_context = [this](std::size_t task, int worker) {
       return WorkerContext{task, worker, base_rng_.fork(task),
-                           limiter_.get()};
+                           limiter_.get(), hub_.get()};
     };
 
     if (config_.jobs <= 1 || task_count <= 1) {
@@ -211,6 +223,7 @@ class FleetScheduler {
   FleetConfig config_;
   Rng base_rng_;  ///< only fork(stream_id)ed — never drawn from
   std::unique_ptr<RateLimiter> limiter_;
+  std::unique_ptr<FleetTransportHub> hub_;
 };
 
 }  // namespace mmlpt::orchestrator

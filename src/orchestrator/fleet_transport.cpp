@@ -1,0 +1,402 @@
+#include "orchestrator/fleet_transport.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/assert.h"
+
+namespace mmlpt::orchestrator {
+
+FleetTransportHub::FleetTransportHub(Config config) : config_(config) {}
+
+FleetTransportHub::~FleetTransportHub() {
+  // Channels must not outlive the hub (open_channel documents it).
+  MMLPT_ASSERT(open_channels_ == 0);
+}
+
+std::unique_ptr<FleetTransportHub::Channel> FleetTransportHub::open_channel(
+    probe::TransportQueue& backend) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto state = std::make_unique<ChannelState>();
+  state->backend = &backend;
+  channels_.push_back(std::move(state));
+  ++open_channels_;
+  // A new contributor arrived: flush conditions must be re-evaluated.
+  cv_.notify_all();
+  return std::unique_ptr<Channel>(new Channel(*this, *channels_.back()));
+}
+
+FleetTransportHub::Stats FleetTransportHub::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void FleetTransportHub::channel_submit(ChannelState& state,
+                                       std::span<const probe::Datagram> window,
+                                       probe::Ticket ticket,
+                                       const probe::SubmitOptions& options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Submission submission;
+  submission.window.assign(window.begin(), window.end());
+  submission.ticket = ticket;
+  submission.options = options;
+  state.gathered.push_back(std::move(submission));
+  gathered_probes_ += window.size();
+  if (!gather_deadline_) {
+    gather_deadline_ = WallClock::now() + config_.gather_timeout;
+  }
+  cv_.notify_all();
+}
+
+void FleetTransportHub::release_due_locked(ChannelState& state,
+                                           WallClock::time_point now) {
+  for (std::size_t i = 0; i < state.timed.size();) {
+    if (state.timed[i].due <= now) {
+      state.ready.push_back(std::move(state.timed[i].completion));
+      state.timed.erase(state.timed.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+bool FleetTransportHub::should_flush_locked(WallClock::time_point now) const {
+  if (gathered_probes_ == 0) return false;
+  // Every open channel is blocked in poll: nobody is left to contribute
+  // another window, so waiting longer only adds latency.
+  if (polling_ == open_channels_) return true;
+  return gather_deadline_ && now >= *gather_deadline_;
+}
+
+void FleetTransportHub::run_flush(std::unique_lock<std::mutex>& lock) {
+  MMLPT_ASSERT(!flush_in_progress_);
+  flush_in_progress_ = true;
+
+  // Snapshot the burst: every gathered window, in channel order, each
+  // channel's windows in submission order. The whole backlog goes out —
+  // the limiter chunks oversized bursts to its own burst capacity.
+  std::vector<BurstItem> burst;
+  std::size_t burst_probes = 0;
+  std::size_t burst_channels = 0;
+  for (auto& channel : channels_) {
+    bool contributed = false;
+    while (!channel->gathered.empty()) {
+      const std::size_t size = channel->gathered.front().window.size();
+      BurstItem item;
+      item.channel = channel.get();
+      item.submission = std::move(channel->gathered.front());
+      channel->gathered.pop_front();
+      item.backend_ticket = next_backend_ticket_++;
+      routes_[item.backend_ticket] = Route{channel.get(),
+                                           item.submission.ticket, size,
+                                           std::vector<bool>(size, false)};
+      channel->in_flight += size;
+      burst_probes += size;
+      gathered_probes_ -= size;
+      contributed = true;
+      burst.push_back(std::move(item));
+    }
+    if (contributed) ++burst_channels;
+  }
+  MMLPT_ASSERT(gathered_probes_ == 0);
+  gather_deadline_.reset();
+
+  if (!burst.empty()) {
+    ++stats_.bursts;
+    stats_.probes += burst_probes;
+    stats_.windows += burst.size();
+    if (burst_channels >= 2) ++stats_.merged_bursts;
+    stats_.max_channels_in_burst =
+        std::max<std::uint64_t>(stats_.max_channels_in_burst, burst_channels);
+    stats_.max_probes_in_burst =
+        std::max<std::uint64_t>(stats_.max_probes_in_burst, burst_probes);
+  }
+
+  lock.unlock();
+  try {
+    dispatch_burst(burst, burst_probes);
+  } catch (...) {
+    // A backend failed mid-burst. First scrub the backends while still
+    // holding the flush (cancel + drain every ticket of this burst), so
+    // no stale completion of an abandoned ticket can surface in a later
+    // burst's collection loop; then resolve the burst's unrouted slots
+    // as unanswered so the other tracers see timeouts instead of
+    // blocking forever. The flusher's own trace gets the exception.
+    scrub_backends_after_failure(burst);
+    lock.lock();
+    abandon_outstanding_locked();
+    flush_in_progress_ = false;
+    cv_.notify_all();
+    throw;
+  }
+  lock.lock();
+  flush_in_progress_ = false;
+  cv_.notify_all();
+}
+
+void FleetTransportHub::scrub_backends_after_failure(
+    std::vector<BurstItem>& burst) noexcept {
+  for (auto& item : burst) {
+    try {
+      item.channel->backend->cancel(item.backend_ticket);
+    } catch (...) {
+    }
+  }
+  for (auto& item : burst) {
+    try {
+      auto* backend = item.channel->backend;
+      while (backend->pending() > 0) {
+        if (backend->poll_completions().empty()) break;
+      }
+    } catch (...) {
+    }
+  }
+}
+
+void FleetTransportHub::abandon_outstanding_locked() {
+  for (auto& entry : routes_) {
+    auto& route = entry.second;
+    for (std::size_t slot = 0; slot < route.resolved.size(); ++slot) {
+      if (route.resolved[slot]) continue;
+      probe::Completion completion;
+      completion.ticket = route.caller_ticket;
+      completion.slot = slot;
+      route.channel->ready.push_back(std::move(completion));
+      MMLPT_ASSERT(route.channel->in_flight > 0);
+      --route.channel->in_flight;
+    }
+  }
+  routes_.clear();
+}
+
+void FleetTransportHub::dispatch_burst(std::vector<BurstItem>& burst,
+                                       std::size_t burst_probes) {
+  if (!burst.empty()) {
+    // One fleet-wide pacing charge for the whole burst: the pps budget
+    // is spent by fleet in-flight probes, not per-trace windows.
+    if (config_.limiter != nullptr) {
+      config_.limiter->acquire(static_cast<int>(burst_probes));
+    }
+    // The fixed receive-loop pass, paid once per merged burst.
+    if (config_.latency_scale > 0.0 && config_.per_burst_cost > 0) {
+      std::this_thread::sleep_for(
+          scaled_wall(config_.latency_scale, config_.per_burst_cost));
+    }
+
+    // Send: dispatch each window to its backend, in gathered order. The
+    // flusher is the only thread touching backends (flushes are
+    // serialized by flush_in_progress_), so task-private backends need
+    // no locking.
+    for (auto& item : burst) {
+      item.channel->backend->submit(item.submission.window,
+                                    item.backend_ticket,
+                                    item.submission.options);
+    }
+    const auto burst_base = WallClock::now();
+
+    // Collect until every slot of this burst resolves, routing
+    // completions back incrementally so finished tracers resume while
+    // slower windows keep waiting.
+    std::vector<probe::TransportQueue*> backends;
+    for (const auto& item : burst) {
+      if (std::find(backends.begin(), backends.end(),
+                    item.channel->backend) == backends.end()) {
+        backends.push_back(item.channel->backend);
+      }
+    }
+    std::size_t outstanding = burst_probes;
+    while (outstanding > 0) {
+      bool progressed = false;
+      for (auto* backend : backends) {
+        if (backend->pending() == 0) continue;
+        auto completions = backend->poll_completions();
+        if (completions.empty()) continue;
+        progressed = true;
+        std::lock_guard<std::mutex> route_lock(mutex_);
+        for (auto& completion : completions) {
+          const auto it = routes_.find(completion.ticket);
+          MMLPT_ASSERT(it != routes_.end());
+          ChannelState* channel = it->second.channel;
+          probe::Completion out;
+          out.ticket = it->second.caller_ticket;
+          out.slot = completion.slot;
+          out.reply = std::move(completion.reply);
+          out.canceled = completion.canceled;
+          MMLPT_ASSERT(channel->in_flight > 0);
+          --channel->in_flight;
+          MMLPT_ASSERT(completion.slot < it->second.resolved.size() &&
+                       !it->second.resolved[completion.slot]);
+          it->second.resolved[completion.slot] = true;
+          if (--it->second.remaining == 0) routes_.erase(it);
+          if (config_.latency_scale > 0.0 && !out.canceled) {
+            const auto rtt =
+                out.reply ? out.reply->rtt : config_.unanswered_rtt;
+            channel->timed.push_back(TimedCompletion{
+                std::move(out),
+                burst_base + scaled_wall(config_.latency_scale, rtt)});
+          } else {
+            channel->ready.push_back(std::move(out));
+          }
+          --outstanding;
+        }
+        cv_.notify_all();
+      }
+      // Backends resolve every submitted slot (reply, deadline expiry or
+      // cancellation); an empty sweep with slots still outstanding is a
+      // backend contract violation.
+      MMLPT_ASSERT(progressed || outstanding == 0);
+    }
+  }
+}
+
+std::vector<probe::Completion> FleetTransportHub::channel_poll(
+    ChannelState& state) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  MMLPT_ASSERT(!state.in_poll);
+  // RAII over the blocked-waiter accounting: run_flush may throw.
+  struct PollScope {
+    ChannelState& state;
+    std::size_t& polling;
+    ~PollScope() {
+      state.in_poll = false;
+      --polling;
+    }
+  } scope{state, polling_};
+  state.in_poll = true;
+  ++polling_;
+  cv_.notify_all();  // the flush condition may just have become true
+
+  std::vector<probe::Completion> out;
+  for (;;) {
+    const auto now = WallClock::now();
+    release_due_locked(state, now);
+    if (!state.ready.empty()) {
+      out = std::move(state.ready);
+      state.ready.clear();
+      break;
+    }
+    if (state.gathered.empty() && state.in_flight == 0 &&
+        state.timed.empty()) {
+      break;  // nothing outstanding for this channel
+    }
+    if (!flush_in_progress_ && should_flush_locked(now)) {
+      run_flush(lock);  // this worker becomes the flusher
+      continue;
+    }
+    // Wake for whichever comes first: my earliest latency due, the
+    // gather deadline (meaningless while a flush runs — its end
+    // notifies), or a notify (delivery / flush end / new channel).
+    auto wake = WallClock::time_point::max();
+    for (const auto& timed : state.timed) {
+      wake = std::min(wake, timed.due);
+    }
+    if (!flush_in_progress_ && gathered_probes_ > 0 && gather_deadline_) {
+      wake = std::min(wake, *gather_deadline_);
+    }
+    if (wake == WallClock::time_point::max()) {
+      cv_.wait(lock);
+    } else {
+      cv_.wait_until(lock, wake);
+    }
+  }
+  return out;
+}
+
+void FleetTransportHub::channel_cancel(ChannelState& state,
+                                       probe::Ticket ticket) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < state.gathered.size();) {
+    if (state.gathered[i].ticket != ticket) {
+      ++i;
+      continue;
+    }
+    const auto& window = state.gathered[i].window;
+    for (std::size_t slot = 0; slot < window.size(); ++slot) {
+      probe::Completion completion;
+      completion.ticket = ticket;
+      completion.slot = slot;
+      completion.canceled = true;
+      state.ready.push_back(std::move(completion));
+    }
+    gathered_probes_ -= window.size();
+    state.gathered.erase(state.gathered.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+  }
+  if (gathered_probes_ == 0) gather_deadline_.reset();
+  cv_.notify_all();
+}
+
+std::size_t FleetTransportHub::channel_pending(
+    const ChannelState& state) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t gathered = 0;
+  for (const auto& submission : state.gathered) {
+    gathered += submission.window.size();
+  }
+  return gathered + state.in_flight + state.timed.size() +
+         state.ready.size();
+}
+
+void FleetTransportHub::close_channel(ChannelState& state) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Un-gather anything a dying trace left behind: nobody will ever poll
+  // for it, so it must not reach the wire.
+  for (const auto& submission : state.gathered) {
+    gathered_probes_ -= submission.window.size();
+  }
+  state.gathered.clear();
+  if (gathered_probes_ == 0) gather_deadline_.reset();
+  // A trace abandoned mid-window (exception) may still have slots on the
+  // wire; wait them out — and wait out the whole flush, which may still
+  // touch this channel's backend — so the flusher never routes to a dead
+  // channel. Count as "polling" meanwhile: this channel contributes
+  // nothing more, so it must not hold up the flush condition for
+  // everyone else; but never BECOME the flusher here, only wait.
+  ++polling_;
+  state.in_poll = true;
+  cv_.notify_all();
+  cv_.wait(lock, [&] { return state.in_flight == 0 && !flush_in_progress_; });
+  state.in_poll = false;
+  --polling_;
+  const auto it = std::find_if(
+      channels_.begin(), channels_.end(),
+      [&](const std::unique_ptr<ChannelState>& candidate) {
+        return candidate.get() == &state;
+      });
+  MMLPT_ASSERT(it != channels_.end());
+  channels_.erase(it);
+  --open_channels_;
+  cv_.notify_all();
+}
+
+FleetTransportHub::Channel::~Channel() { hub_->close_channel(*state_); }
+
+std::optional<probe::Received> FleetTransportHub::Channel::transact(
+    std::span<const std::uint8_t> datagram, probe::Nanos now) {
+  const probe::Datagram window[] = {
+      probe::Datagram{{datagram.begin(), datagram.end()}, now}};
+  auto replies = transact_batch(window);
+  return std::move(replies.front());
+}
+
+void FleetTransportHub::Channel::submit(
+    std::span<const probe::Datagram> window, probe::Ticket ticket,
+    const probe::SubmitOptions& options) {
+  hub_->channel_submit(*state_, window, ticket, options);
+}
+
+std::vector<probe::Completion>
+FleetTransportHub::Channel::poll_completions() {
+  return hub_->channel_poll(*state_);
+}
+
+void FleetTransportHub::Channel::cancel(probe::Ticket ticket) {
+  hub_->channel_cancel(*state_, ticket);
+}
+
+std::size_t FleetTransportHub::Channel::pending() const {
+  return hub_->channel_pending(*state_);
+}
+
+}  // namespace mmlpt::orchestrator

@@ -1,0 +1,219 @@
+// FleetTransportHub: the cross-trace window merger. N concurrent tracers
+// each assemble probe windows their stopping rules have already
+// committed to; instead of every tracer paying for its own send burst
+// and receive-loop pass, each trace's window is committed into a SHARED
+// fleet window — one burst serves every tracer with work outstanding —
+// and completions are demultiplexed back to their tracer by ticket.
+//
+// Shape: each fleet task opens a Channel (a probe::TransportQueue — also
+// a probe::Network for the compatibility surface) over its backend
+// transport. Channels may share one backend (the real deployment: every
+// tracer multiplexed onto one RawSocketNetwork socket pair, whose
+// receive loop already attributes replies across tickets) or own one
+// each (simulation: one Fakeroute simulator per destination). submit()
+// only GATHERS the window; the burst fires when every open channel is
+// blocked waiting (nobody left to contribute) or the gather timeout
+// expires, whichever is first. There is no dedicated hub thread: the
+// waiting workers themselves drive the flush, exactly like
+// FleetScheduler's result drainer.
+//
+// A flush charges the fleet-wide RateLimiter ONCE for the whole burst —
+// the pps budget is saturated by fleet-wide in-flight probes, not
+// per-trace windows — then dispatches each gathered window to its
+// backend and routes completions back as they resolve.
+//
+// Invariance: merging changes only WHEN a backend sees a window on the
+// wall clock, never which datagrams it sees or in what order (each
+// channel's windows dispatch in submission order, and a tracer blocks on
+// its window before assembling the next). Per-trace topology, packet
+// accounting and stopping decisions are therefore identical under
+// merging, and merged fleet output is byte-identical to the unmerged
+// jobs=1 run — the bench and tests/orchestrator/test_fleet_transport.cpp
+// gate this.
+//
+// Latency emulation (benches): with latency_scale > 0 the hub assumes
+// instant simulated backends and emulates the wall-clock cost itself —
+// per_burst_cost once per merged burst (the fixed receive-loop pass that
+// unmerged tracers each pay per window), then each completion comes due
+// scale * rtt after the burst. Real backends time themselves: leave the
+// scale at 0.
+#ifndef MMLPT_ORCHESTRATOR_FLEET_TRANSPORT_H
+#define MMLPT_ORCHESTRATOR_FLEET_TRANSPORT_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "orchestrator/latency_network.h"
+#include "orchestrator/rate_limiter.h"
+#include "probe/network.h"
+
+namespace mmlpt::orchestrator {
+
+class FleetTransportHub {
+ public:
+  struct Config {
+    /// How long the first gathered window may wait for co-travellers
+    /// before the burst fires anyway (wall clock).
+    std::chrono::nanoseconds gather_timeout{2'000'000};
+    /// Fleet-wide pacing: one acquire(probes-in-burst) per flush. The
+    /// limiter itself chunks a large burst to its token-bucket burst
+    /// capacity, so the hub needs no probe cap of its own.
+    RateLimiter* limiter = nullptr;
+    /// Latency emulation over instant simulated backends; 0 = off.
+    double latency_scale = 0.0;
+    probe::Nanos unanswered_rtt = kDefaultUnansweredRtt;
+    /// Fixed virtual cost of one send burst + receive-loop pass, paid
+    /// once per MERGED burst (the unmerged pipeline pays it per window).
+    probe::Nanos per_burst_cost = 0;
+  };
+
+  /// Burst composition counters — the bench's "send bursts contain
+  /// probes from >= 2 distinct destinations" evidence.
+  struct Stats {
+    std::uint64_t bursts = 0;
+    std::uint64_t probes = 0;
+    std::uint64_t windows = 0;
+    /// Bursts that carried windows of >= 2 distinct channels.
+    std::uint64_t merged_bursts = 0;
+    std::uint64_t max_channels_in_burst = 0;
+    std::uint64_t max_probes_in_burst = 0;
+  };
+
+  explicit FleetTransportHub(Config config);
+  ~FleetTransportHub();
+
+  FleetTransportHub(const FleetTransportHub&) = delete;
+  FleetTransportHub& operator=(const FleetTransportHub&) = delete;
+
+  class Channel;
+
+  /// Open a per-trace channel over `backend`. The backend must outlive
+  /// the channel; every channel must be destroyed before the hub. The
+  /// hub only touches `backend` while the owning channel is blocked in
+  /// poll_completions() or destruction, so a task-private backend needs
+  /// no locking of its own.
+  [[nodiscard]] std::unique_ptr<Channel> open_channel(
+      probe::TransportQueue& backend);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  using WallClock = std::chrono::steady_clock;
+
+  struct Submission {
+    std::vector<probe::Datagram> window;
+    probe::Ticket ticket = 0;
+    probe::SubmitOptions options;
+  };
+  struct TimedCompletion {
+    probe::Completion completion;
+    WallClock::time_point due;
+  };
+  struct ChannelState {
+    probe::TransportQueue* backend = nullptr;
+    std::deque<Submission> gathered;
+    std::vector<TimedCompletion> timed;  ///< latency-emulated, not yet due
+    std::vector<probe::Completion> ready;
+    std::size_t in_flight = 0;  ///< slots dispatched, completion not routed
+    bool in_poll = false;
+  };
+  /// Where a backend ticket's completions go. `resolved` tracks which
+  /// slots have been routed, so a failed burst can resolve the rest.
+  struct Route {
+    ChannelState* channel = nullptr;
+    probe::Ticket caller_ticket = 0;
+    std::size_t remaining = 0;
+    std::vector<bool> resolved;
+  };
+  /// One window of a snapshot burst, retagged with its backend ticket.
+  struct BurstItem {
+    ChannelState* channel = nullptr;
+    Submission submission;
+    probe::Ticket backend_ticket = 0;
+  };
+
+  void channel_submit(ChannelState& state,
+                      std::span<const probe::Datagram> window,
+                      probe::Ticket ticket,
+                      const probe::SubmitOptions& options);
+  [[nodiscard]] std::vector<probe::Completion> channel_poll(
+      ChannelState& state);
+  void channel_cancel(ChannelState& state, probe::Ticket ticket);
+  [[nodiscard]] std::size_t channel_pending(const ChannelState& state) const;
+  void close_channel(ChannelState& state);
+
+  [[nodiscard]] bool should_flush_locked(WallClock::time_point now) const;
+  /// Gather -> burst -> dispatch -> route completions. Called with the
+  /// lock held by the worker that becomes the flusher; the lock is
+  /// released while the burst is on the wire.
+  void run_flush(std::unique_lock<std::mutex>& lock);
+  /// The unlocked half of a flush: pace, send, collect, route.
+  void dispatch_burst(std::vector<BurstItem>& burst,
+                      std::size_t burst_probes);
+  /// Resolve every still-unrouted slot of the current burst as
+  /// unanswered — the degradation path when a backend throws mid-burst,
+  /// so the other tracers see timeouts instead of hanging forever.
+  void abandon_outstanding_locked();
+  /// Cancel + drain every backend ticket of a failed burst so stale
+  /// completions cannot leak into the next burst's collection loop.
+  void scrub_backends_after_failure(std::vector<BurstItem>& burst) noexcept;
+  /// Move state.timed completions that have come due into state.ready.
+  void release_due_locked(ChannelState& state, WallClock::time_point now);
+
+  Config config_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<ChannelState>> channels_;
+  std::size_t open_channels_ = 0;
+  std::size_t polling_ = 0;
+  bool flush_in_progress_ = false;
+  std::size_t gathered_probes_ = 0;
+  std::optional<WallClock::time_point> gather_deadline_;
+  probe::Ticket next_backend_ticket_ = 1;
+  std::unordered_map<probe::Ticket, Route> routes_;
+  Stats stats_;
+};
+
+/// The per-trace face of the hub: a TransportQueue whose submissions are
+/// merged into fleet bursts. Also a Network, so legacy blocking call
+/// sites (transact / transact_batch) keep working through the shim.
+class FleetTransportHub::Channel final : public probe::Network {
+ public:
+  ~Channel() override;
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  [[nodiscard]] std::optional<probe::Received> transact(
+      std::span<const std::uint8_t> datagram, probe::Nanos now) override;
+
+  void submit(std::span<const probe::Datagram> window, probe::Ticket ticket,
+              const probe::SubmitOptions& options) override;
+  using probe::Network::submit;
+  [[nodiscard]] std::vector<probe::Completion> poll_completions() override;
+  /// Cancels still-GATHERED windows of `ticket` (canceled completions
+  /// surface on the next poll). Windows already dispatched to the wire
+  /// resolve normally.
+  void cancel(probe::Ticket ticket) override;
+  [[nodiscard]] std::size_t pending() const override;
+
+ private:
+  friend class FleetTransportHub;
+  Channel(FleetTransportHub& hub, ChannelState& state)
+      : hub_(&hub), state_(&state) {}
+
+  FleetTransportHub* hub_;
+  ChannelState* state_;
+};
+
+}  // namespace mmlpt::orchestrator
+
+#endif  // MMLPT_ORCHESTRATOR_FLEET_TRANSPORT_H

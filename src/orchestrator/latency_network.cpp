@@ -1,35 +1,102 @@
 #include "orchestrator/latency_network.h"
 
 #include <algorithm>
-#include <chrono>
 #include <thread>
+
+#include "common/assert.h"
 
 namespace mmlpt::orchestrator {
 
+BlockingLatencyNetwork::WallClock::duration BlockingLatencyNetwork::scaled(
+    probe::Nanos virtual_rtt) const {
+  return scaled_wall(config_.scale, virtual_rtt);
+}
+
 void BlockingLatencyNetwork::block_for(probe::Nanos virtual_rtt) const {
   if (config_.scale <= 0.0 || virtual_rtt == 0) return;
-  const auto wall = std::chrono::nanoseconds(static_cast<std::int64_t>(
-      static_cast<double>(virtual_rtt) * config_.scale));
-  std::this_thread::sleep_for(wall);
+  std::this_thread::sleep_for(scaled(virtual_rtt));
+}
+
+void BlockingLatencyNetwork::charge_window_cost() const {
+  if (config_.per_window_cost == 0) return;
+  if (config_.wire != nullptr) {
+    // One raw socket, one receive loop: concurrent windows pay the fixed
+    // cost one after another, not in parallel.
+    std::lock_guard<std::mutex> lock(config_.wire->mutex);
+    block_for(config_.per_window_cost);
+    return;
+  }
+  block_for(config_.per_window_cost);
 }
 
 std::optional<probe::Received> BlockingLatencyNetwork::transact(
     std::span<const std::uint8_t> datagram, probe::Nanos now) {
+  charge_window_cost();
   auto reply = inner_->transact(datagram, now);
   block_for(reply ? reply->rtt : config_.unanswered_rtt);
   return reply;
 }
 
-std::vector<std::optional<probe::Received>>
-BlockingLatencyNetwork::transact_batch(
-    std::span<const probe::Datagram> batch) {
-  auto replies = inner_->transact_batch(batch);
-  probe::Nanos slowest = 0;
-  for (const auto& reply : replies) {
-    slowest = std::max(slowest, reply ? reply->rtt : config_.unanswered_rtt);
+void BlockingLatencyNetwork::submit(std::span<const probe::Datagram> window,
+                                    probe::Ticket ticket,
+                                    const probe::SubmitOptions& options) {
+  charge_window_cost();
+  auto& base = bases_[ticket];
+  base.submitted = WallClock::now();
+  base.outstanding += window.size();
+  inner_->submit(window, ticket, options);
+}
+
+std::vector<probe::Completion> BlockingLatencyNetwork::poll_completions() {
+  // Pull whatever the inner queue has resolved and stamp each completion
+  // with its wall-clock due time relative to its window's submission.
+  while (inner_->pending() > 0) {
+    auto inner = inner_->poll_completions();
+    if (inner.empty()) break;
+    for (auto& completion : inner) {
+      const auto it = bases_.find(completion.ticket);
+      MMLPT_ASSERT(it != bases_.end());
+      const auto rtt = completion.reply ? completion.reply->rtt
+                                        : config_.unanswered_rtt;
+      const auto due = completion.canceled
+                           ? WallClock::now()
+                           : it->second.submitted + scaled(rtt);
+      if (--it->second.outstanding == 0) bases_.erase(it);
+      held_.push_back(TimedCompletion{std::move(completion), due});
+    }
   }
-  if (!replies.empty()) block_for(slowest);
-  return replies;
+  if (held_.empty()) return {};
+
+  // Sleep until the earliest due completion, then release everything due
+  // — a drain of one window blocks for its slowest reply, interleaved
+  // tickets surface in arrival order.
+  auto earliest = held_.front().due;
+  for (const auto& timed : held_) earliest = std::min(earliest, timed.due);
+  std::this_thread::sleep_until(earliest);
+
+  const auto now = WallClock::now();
+  std::vector<probe::Completion> due_now;
+  for (std::size_t i = 0; i < held_.size();) {
+    if (held_[i].due <= now) {
+      due_now.push_back(std::move(held_[i].completion));
+      held_.erase(held_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  return due_now;
+}
+
+void BlockingLatencyNetwork::cancel(probe::Ticket ticket) {
+  inner_->cancel(ticket);
+  // Canceled completions surface immediately: drop their latency dues.
+  for (auto& timed : held_) {
+    if (timed.completion.ticket == ticket) timed.due = WallClock::now();
+  }
+}
+
+std::size_t BlockingLatencyNetwork::pending() const {
+  return inner_->pending() + held_.size();
 }
 
 }  // namespace mmlpt::orchestrator

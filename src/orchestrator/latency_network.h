@@ -1,18 +1,61 @@
-// Network decorator that turns the simulator's VIRTUAL reply latency into
-// real wall-clock blocking, emulating what a real transport does: a probe
-// costs its round-trip time, an unanswered probe costs the reply timeout.
+// Transport decorator that turns the simulator's VIRTUAL reply latency
+// into real wall-clock blocking, emulating what a real transport does: a
+// probe costs its round-trip time, an unanswered probe costs the reply
+// timeout.
 //
 // This is the workload model behind bench_perf_fleet_throughput: Internet
 // probing is latency-bound, not CPU-bound, so a fleet's speedup comes
 // from OVERLAPPING the waits of independent destinations. Wrapping each
 // worker's simulator in this decorator reproduces that regime in-process
 // (scaled down so benches finish in seconds).
+//
+// On the submit/completion seam the emulation is per-completion: each
+// reply becomes due scale * rtt after its window was submitted, and
+// poll_completions() sleeps until the earliest due completion — so a
+// full drain of one window still blocks for its SLOWEST reply, while
+// completions of interleaved tickets surface in wall-clock arrival
+// order, exactly like a real receive loop.
+//
+// Config::per_window_cost models the FIXED price of one send burst +
+// receive-loop pass (syscalls, poll wakeups): it is charged once per
+// submitted window, and — when a SharedWire is given — serialized across
+// every transport sharing that wire, the way concurrent tracers on one
+// host contend for its single raw socket and receive loop. The fleet
+// merger pays this cost once per MERGED burst instead of once per
+// per-trace window; that amortization is the throughput effect
+// bench_perf_fleet_throughput measures.
 #ifndef MMLPT_ORCHESTRATOR_LATENCY_NETWORK_H
 #define MMLPT_ORCHESTRATOR_LATENCY_NETWORK_H
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <vector>
 
 #include "probe/network.h"
 
 namespace mmlpt::orchestrator {
+
+/// The serialized per-host transport resource (one raw socket, one
+/// receive loop): transports sharing a SharedWire charge their fixed
+/// per-window cost under its lock, one at a time.
+struct SharedWire {
+  std::mutex mutex;
+};
+
+/// Virtual RTT charged for an unanswered probe (a real transport blocks
+/// for its reply timeout): 100 ms, the simulator's RTTs are a few ms.
+/// Shared by every latency emulator so the workload model cannot drift
+/// between the per-worker decorator and the fleet merger.
+inline constexpr probe::Nanos kDefaultUnansweredRtt = 100'000'000;
+
+/// Wall-clock duration of `virtual_ns` under `scale` (<= 0 = zero).
+[[nodiscard]] inline std::chrono::nanoseconds scaled_wall(
+    double scale, probe::Nanos virtual_ns) {
+  if (scale <= 0.0) return std::chrono::nanoseconds::zero();
+  return std::chrono::nanoseconds(static_cast<std::int64_t>(
+      static_cast<double>(virtual_ns) * scale));
+}
 
 class BlockingLatencyNetwork final : public probe::Network {
  public:
@@ -20,10 +63,11 @@ class BlockingLatencyNetwork final : public probe::Network {
     /// Wall-clock seconds slept per virtual second of RTT. 1.0 = real
     /// time; benches use ~0.01-0.05 to compress a survey into seconds.
     double scale = 1.0;
-    /// Virtual RTT charged for an unanswered probe (a real transport
-    /// blocks for its reply timeout). 100 ms, the simulator's RTTs are
-    /// a few ms.
-    probe::Nanos unanswered_rtt = 100'000'000;
+    probe::Nanos unanswered_rtt = kDefaultUnansweredRtt;
+    /// Fixed virtual cost of one send burst + receive-loop pass, charged
+    /// per submitted window (0 = free). Serialized on `wire` when set.
+    probe::Nanos per_window_cost = 0;
+    SharedWire* wire = nullptr;
   };
 
   /// The inner transport must outlive this decorator.
@@ -33,17 +77,34 @@ class BlockingLatencyNetwork final : public probe::Network {
   [[nodiscard]] std::optional<probe::Received> transact(
       std::span<const std::uint8_t> datagram, probe::Nanos now) override;
 
-  /// A window blocks for its SLOWEST reply, not the sum — the batched
-  /// transport overlaps the waits within one worker the same way the
-  /// fleet overlaps them across workers.
-  [[nodiscard]] std::vector<std::optional<probe::Received>> transact_batch(
-      std::span<const probe::Datagram> batch) override;
+  void submit(std::span<const probe::Datagram> window, probe::Ticket ticket,
+              const probe::SubmitOptions& options) override;
+  using probe::Network::submit;
+  [[nodiscard]] std::vector<probe::Completion> poll_completions() override;
+  void cancel(probe::Ticket ticket) override;
+  [[nodiscard]] std::size_t pending() const override;
 
  private:
+  using WallClock = std::chrono::steady_clock;
+
   void block_for(probe::Nanos virtual_rtt) const;
+  /// Charge the fixed per-window cost, serialized on the shared wire.
+  void charge_window_cost() const;
+  [[nodiscard]] WallClock::duration scaled(probe::Nanos virtual_rtt) const;
+
+  struct TimedCompletion {
+    probe::Completion completion;
+    WallClock::time_point due;
+  };
+  struct TicketBase {
+    WallClock::time_point submitted;
+    std::size_t outstanding = 0;
+  };
 
   probe::Network* inner_;
   Config config_;
+  std::map<probe::Ticket, TicketBase> bases_;
+  std::vector<TimedCompletion> held_;
 };
 
 }  // namespace mmlpt::orchestrator

@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <string>
@@ -18,8 +19,21 @@ namespace mmlpt::orchestrator {
 
 class ResultSink {
  public:
+  struct Options {
+    /// Durable streaming: flush the stream AND fsync(2) `fd` after every
+    /// emit() that wrote lines, so each committed destination line
+    /// survives a crash of the surveying host. `fd` must be the
+    /// descriptor behind the stream (see FdJsonlFile); -1 with
+    /// fsync_each_line set means flush-only durability (no descriptor
+    /// available).
+    bool fsync_each_line = false;
+    int fd = -1;
+  };
+
   /// The stream must outlive the sink. One sink per output file.
-  explicit ResultSink(std::ostream& out) : out_(&out) {}
+  explicit ResultSink(std::ostream& out) : out_(&out), options_{false, -1} {}
+  ResultSink(std::ostream& out, Options options)
+      : out_(&out), options_(options) {}
   ~ResultSink() {
     // Best-effort flush; a failed stream already threw from emit()/an
     // explicit flush(), and destructors must not throw.
@@ -54,11 +68,54 @@ class ResultSink {
   [[nodiscard]] std::size_t buffered() const;
 
  private:
+  /// Flush the stream and, in fsync mode, fsync the descriptor; throws
+  /// SystemError on failure. Lock held.
+  void sync_locked();
+  /// Post-write durability step: surface write failures, then sync in
+  /// fsync mode. Lock held; only called after lines hit the stream.
+  void commit_locked();
+
   mutable std::mutex mutex_;
   std::ostream* out_;
+  Options options_;
   std::size_t next_ = 0;
   std::size_t written_ = 0;
   std::map<std::size_t, std::string> pending_;
+};
+
+/// A JSONL output file as a std::ostream over a raw POSIX descriptor —
+/// what ResultSink's fsync durability needs (iostreams do not expose
+/// their fd). Opens O_WRONLY|O_CREAT|O_TRUNC; writes are unbuffered at
+/// the streambuf level (ResultSink writes whole lines, and durability
+/// wants them on the way to the kernel immediately). Construction
+/// throws SystemError when the file cannot be opened.
+class FdJsonlFile {
+ public:
+  explicit FdJsonlFile(const std::string& path);
+  ~FdJsonlFile();
+
+  FdJsonlFile(const FdJsonlFile&) = delete;
+  FdJsonlFile& operator=(const FdJsonlFile&) = delete;
+
+  [[nodiscard]] std::ostream& stream() noexcept { return stream_; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+ private:
+  class Buf final : public std::streambuf {
+   public:
+    explicit Buf(int fd) : fd_(fd) {}
+
+   protected:
+    int_type overflow(int_type ch) override;
+    std::streamsize xsputn(const char* data, std::streamsize size) override;
+
+   private:
+    int fd_;
+  };
+
+  int fd_ = -1;
+  Buf buf_;
+  std::ostream stream_;
 };
 
 /// Build the standard per-destination JSONL line:

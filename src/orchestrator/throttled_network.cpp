@@ -8,12 +8,21 @@ std::optional<probe::Received> ThrottledNetwork::transact(
   return inner_->transact(datagram, now);
 }
 
-std::vector<std::optional<probe::Received>> ThrottledNetwork::transact_batch(
-    std::span<const probe::Datagram> batch) {
-  if (!batch.empty()) {
-    limiter_->acquire(static_cast<int>(batch.size()));
+void ThrottledNetwork::submit(std::span<const probe::Datagram> window,
+                              probe::Ticket ticket,
+                              const probe::SubmitOptions& options) {
+  if (!window.empty()) {
+    limiter_->acquire(static_cast<int>(window.size()));
   }
-  return inner_->transact_batch(batch);
+  inner_->submit(window, ticket, options);
 }
+
+std::vector<probe::Completion> ThrottledNetwork::poll_completions() {
+  return inner_->poll_completions();
+}
+
+void ThrottledNetwork::cancel(probe::Ticket ticket) { inner_->cancel(ticket); }
+
+std::size_t ThrottledNetwork::pending() const { return inner_->pending(); }
 
 }  // namespace mmlpt::orchestrator

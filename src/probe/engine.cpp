@@ -7,10 +7,30 @@
 
 namespace mmlpt::probe {
 
-ProbeEngine::ProbeEngine(Network& network, Config config)
+ProbeEngine::ProbeEngine(TransportQueue& network, Config config)
     : network_(&network), config_(config) {
   MMLPT_EXPECTS(!config_.destination.is_unspecified());
   MMLPT_EXPECTS(config_.source.family() == config_.destination.family());
+}
+
+std::vector<std::optional<Received>> ProbeEngine::transact_window(
+    std::span<const Datagram> window) {
+  const Ticket ticket = next_ticket_++;
+  network_->submit(window, ticket);
+  std::vector<std::optional<Received>> replies(window.size());
+  std::size_t outstanding = window.size();
+  while (outstanding > 0) {
+    auto completions = network_->poll_completions();
+    MMLPT_ASSERT(!completions.empty());
+    for (auto& completion : completions) {
+      // The engine owns this queue's tickets, so every completion is ours.
+      MMLPT_ASSERT(completion.ticket == ticket);
+      MMLPT_ASSERT(completion.slot < replies.size());
+      replies[completion.slot] = std::move(completion.reply);
+      --outstanding;
+    }
+  }
+  return replies;
 }
 
 std::pair<std::uint16_t, std::uint16_t> ProbeEngine::flow_ports(
@@ -84,7 +104,7 @@ std::vector<TraceProbeResult> ProbeEngine::probe_batch(
       window.push_back(Datagram{net::build_udp_probe(spec), now_});
     }
 
-    const auto replies = network_->transact_batch(window);
+    const auto replies = transact_window(window);
     MMLPT_ASSERT(replies.size() == pending.size());
     std::vector<std::size_t> still_pending;
     Nanos latest_reply = now_;
@@ -144,7 +164,7 @@ std::vector<EchoProbeResult> ProbeEngine::ping_batch(
       window.push_back(Datagram{std::move(datagram), now_});
     }
 
-    const auto replies = network_->transact_batch(window);
+    const auto replies = transact_window(window);
     MMLPT_ASSERT(replies.size() == pending.size());
     std::vector<std::size_t> still_pending;
     Nanos latest_reply = now_;

@@ -19,7 +19,7 @@
 
 #include "net/icmp.h"
 #include "net/ip_address.h"
-#include "probe/network.h"
+#include "probe/transport_queue.h"
 
 namespace mmlpt::probe {
 
@@ -78,7 +78,10 @@ class ProbeEngine {
     int max_retries = 2;              ///< retransmissions when unanswered
   };
 
-  ProbeEngine(Network& network, Config config);
+  /// The engine drives the transport through the submit/completion
+  /// queue and owns its tickets: do not interleave other submissions on
+  /// the same queue object (multiplexing is FleetTransportHub's job).
+  ProbeEngine(TransportQueue& network, Config config);
 
   /// The trace's address family (source and destination always agree).
   [[nodiscard]] net::Family family() const noexcept {
@@ -104,20 +107,21 @@ class ProbeEngine {
     std::uint8_t ttl = 1;
   };
 
-  /// Send a window of UDP probes through Network::transact_batch; slot i
-  /// of the result answers requests[i]. Retries run in rounds: after the
-  /// first window, every unanswered probe is resent as a (smaller) window,
-  /// up to max_retries times. The virtual clock advances send_interval per
-  /// datagram while the window goes out, then jumps to the latest reply —
-  /// the batched counterpart of probe()'s send-then-wait accounting.
+  /// Send a window of UDP probes as one TransportQueue submission and
+  /// drain its completions; slot i of the result answers requests[i].
+  /// Retries run in rounds: after the first window, every unanswered
+  /// probe is resent as a (smaller) window, up to max_retries times. The
+  /// virtual clock advances send_interval per datagram while the window
+  /// goes out, then jumps to the latest reply — the windowed counterpart
+  /// of probe()'s send-then-wait accounting.
   [[nodiscard]] std::vector<TraceProbeResult> probe_batch(
       std::span<const ProbeRequest> requests);
 
   /// Send an ICMP(v6) echo request to `target` (direct probing).
   [[nodiscard]] EchoProbeResult ping(net::IpAddress target);
 
-  /// Send a window of ICMP echo requests through Network::transact_batch;
-  /// slot i answers targets[i]. Retries run in rounds exactly like
+  /// Send a window of ICMP echo requests as one TransportQueue
+  /// submission; slot i answers targets[i]. Retries run in rounds exactly like
   /// probe_batch, and a reply that is not an Echo Reply counts as
   /// unanswered (matching ping()'s per-attempt filter). A one-element
   /// window is equivalent to ping().
@@ -139,8 +143,14 @@ class ProbeEngine {
   [[nodiscard]] const Config& config() const noexcept { return config_; }
 
  private:
-  Network* network_;
+  /// One submission, fully drained: the blocking round trip every retry
+  /// round uses. Slot i of the result answers window[i].
+  [[nodiscard]] std::vector<std::optional<Received>> transact_window(
+      std::span<const Datagram> window);
+
+  TransportQueue* network_;
   Config config_;
+  Ticket next_ticket_ = 1;
   Nanos now_ = kStartOfTime;
   std::uint64_t packets_sent_ = 0;
   std::uint64_t trace_probes_sent_ = 0;

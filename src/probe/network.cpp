@@ -1,15 +1,68 @@
 #include "probe/network.h"
 
+#include <algorithm>
+
+#include "common/assert.h"
+
 namespace mmlpt::probe {
 
 std::vector<std::optional<Received>> Network::transact_batch(
     std::span<const Datagram> batch) {
-  std::vector<std::optional<Received>> replies;
-  replies.reserve(batch.size());
-  for (const auto& datagram : batch) {
-    replies.push_back(transact(datagram.bytes, datagram.at));
+  // The shim owns the queue for the duration of the drain: completions
+  // from an unrelated in-flight ticket would be misrouted here.
+  MMLPT_EXPECTS(pending() == 0);
+  std::vector<std::optional<Received>> replies(batch.size());
+  if (batch.empty()) return replies;
+
+  // Any ticket works on an idle queue; 0 keeps the shim stateless.
+  constexpr Ticket kShimTicket = 0;
+  submit(batch, kShimTicket);
+  std::size_t outstanding = batch.size();
+  while (outstanding > 0) {
+    auto completions = poll_completions();
+    MMLPT_ASSERT(!completions.empty());
+    for (auto& completion : completions) {
+      MMLPT_ASSERT(completion.ticket == kShimTicket);
+      MMLPT_ASSERT(completion.slot < replies.size());
+      replies[completion.slot] = std::move(completion.reply);
+      --outstanding;
+    }
   }
   return replies;
 }
+
+void Network::submit(std::span<const Datagram> window, Ticket ticket,
+                     const SubmitOptions& /*options*/) {
+  queued_.reserve(queued_.size() + window.size());
+  for (std::size_t slot = 0; slot < window.size(); ++slot) {
+    queued_.push_back(QueuedProbe{ticket, slot, window[slot], false});
+  }
+}
+
+std::vector<Completion> Network::poll_completions() {
+  std::vector<Completion> completions;
+  completions.reserve(queued_.size());
+  for (auto& probe : queued_) {
+    Completion completion;
+    completion.ticket = probe.ticket;
+    completion.slot = probe.slot;
+    if (probe.canceled) {
+      completion.canceled = true;
+    } else {
+      completion.reply = transact(probe.datagram.bytes, probe.datagram.at);
+    }
+    completions.push_back(std::move(completion));
+  }
+  queued_.clear();
+  return completions;
+}
+
+void Network::cancel(Ticket ticket) {
+  for (auto& probe : queued_) {
+    if (probe.ticket == ticket) probe.canceled = true;
+  }
+}
+
+std::size_t Network::pending() const { return queued_.size(); }
 
 }  // namespace mmlpt::probe

@@ -1,14 +1,25 @@
-// Transport abstraction: a probe datagram goes out, at most one reply
-// datagram comes back. Implementations: SimulatedNetwork (Fakeroute,
-// deterministic virtual time) and RawSocketNetwork (real raw sockets,
-// requires root and Internet access).
+// Blocking-transport compatibility layer over the TransportQueue seam.
 //
-// Two probing shapes are supported: transact() blocks per datagram, and
-// transact_batch() ships a whole window of probes before collecting the
-// replies — the shape survey-scale probing needs. The base class provides
-// a serial transact_batch() fallback with identical semantics, so a
-// backend only overrides it when it can do better (RawSocketNetwork
-// overlaps the reply timeouts of the entire window).
+// The probing pipeline's primary interface is probe::TransportQueue
+// (transport_queue.h): submit a window under a ticket, poll completions.
+// Network exists for the backends and call sites that still think in
+// blocking request/response terms:
+//
+//   * transact() blocks per datagram — the shape examples and the
+//     serial code paths use. It is the one method a minimal backend
+//     must implement.
+//   * transact_batch() is a thin, NON-virtual shim that re-derives the
+//     old blocking window semantics on top of the queue: one submit()
+//     plus a drain loop. Slot i of the result answers batch[i], exactly
+//     as before the redesign; backends customise batching by
+//     implementing the queue, not by overriding the shim.
+//
+// The base class provides a default queue implementation for
+// transact-only backends: submit() buffers the window and
+// poll_completions() transacts it serially, bit-identical to the
+// historical serial fallback. Real backends (SimulatedNetwork,
+// RawSocketNetwork) and the orchestrator decorators override the queue
+// methods with genuinely concurrent implementations.
 #ifndef MMLPT_PROBE_NETWORK_H
 #define MMLPT_PROBE_NETWORK_H
 
@@ -17,38 +28,45 @@
 #include <span>
 #include <vector>
 
+#include "probe/transport_queue.h"
+
 namespace mmlpt::probe {
 
-using Nanos = std::uint64_t;
-
-struct Received {
-  std::vector<std::uint8_t> datagram;
-  Nanos rtt = 0;
-};
-
-/// One element of a probe window: the raw bytes plus the (virtual or
-/// wall-clock) instant they are sent.
-struct Datagram {
-  std::vector<std::uint8_t> bytes;
-  Nanos at = 0;
-};
-
-class Network {
+class Network : public TransportQueue {
  public:
-  virtual ~Network() = default;
-
   /// Send `datagram` at (virtual or wall-clock) time `now`; block until a
   /// matching reply arrives or the transport's timeout elapses.
   [[nodiscard]] virtual std::optional<Received> transact(
       std::span<const std::uint8_t> datagram, Nanos now) = 0;
 
-  /// Send every datagram in `batch`, then collect the replies; slot i of
-  /// the result answers batch[i] (nullopt when unanswered). The default
-  /// implementation transacts serially — correct for every backend, and
-  /// bit-identical to a loop of transact() calls. Overrides must preserve
-  /// the slot alignment and per-probe matching semantics.
-  [[nodiscard]] virtual std::vector<std::optional<Received>> transact_batch(
+  /// Compatibility shim: send every datagram in `batch`, block until the
+  /// whole window resolves, return slot-aligned replies (nullopt when
+  /// unanswered). Implemented once, on top of submit()/poll_completions()
+  /// — it must not be interleaved with in-flight direct submissions on
+  /// the same queue (asserted).
+  [[nodiscard]] std::vector<std::optional<Received>> transact_batch(
       std::span<const Datagram> batch);
+
+  /// Default queue for transact-only backends: the window is buffered at
+  /// submit() and transacted serially, in submission order, when
+  /// poll_completions() runs — deterministic and bit-identical to a loop
+  /// of transact() calls. Deadlines are not enforced mid-window (each
+  /// transact applies the backend's own timeout).
+  void submit(std::span<const Datagram> window, Ticket ticket,
+              const SubmitOptions& options) override;
+  using TransportQueue::submit;
+  [[nodiscard]] std::vector<Completion> poll_completions() override;
+  void cancel(Ticket ticket) override;
+  [[nodiscard]] std::size_t pending() const override;
+
+ private:
+  struct QueuedProbe {
+    Ticket ticket = 0;
+    std::size_t slot = 0;
+    Datagram datagram;
+    bool canceled = false;
+  };
+  std::vector<QueuedProbe> queued_;
 };
 
 }  // namespace mmlpt::probe

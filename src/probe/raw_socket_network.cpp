@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/assert.h"
 #include "common/error.h"
 #include "net/packet.h"
 
@@ -64,8 +65,9 @@ RawSocketNetwork::~RawSocketNetwork() {
 
 namespace {
 
-/// matches() on pre-parsed structures — the batch receive loop parses
-/// each packet exactly once and scans slots at struct level.
+/// True when `got` is the ICMP(v6) answer to `sent` (quoted ports / flow
+/// label match, or echo identifier/sequence match). Struct level — the
+/// receive loop parses each packet exactly once.
 bool matches_parsed(const net::ParsedProbe& sent,
                     const net::ParsedReply& got) {
   if (sent.family != got.family) return false;
@@ -101,6 +103,13 @@ bool matches_parsed(const net::ParsedProbe& sent,
          got.quoted_icmp6->identifier == sent.icmp6.identifier;
 }
 
+/// True when the reply quotes the probe's per-probe discriminator that
+/// matches_parsed() lacks: the IPv4 identification, or on IPv6 the UDP
+/// length (the engine encodes the TTL there — v6 has no identification).
+/// Two probes of the SAME flow at different TTLs carry identical flow
+/// fields, so in-flight windows need this to attribute each
+/// Time-Exceeded to the right slot. (Echo replies are already exact per
+/// identifier/sequence.)
 bool quoted_id_matches_parsed(const net::ParsedProbe& sent,
                               const net::ParsedReply& got) {
   if (got.is_echo_reply()) return true;  // identifier/sequence are exact
@@ -115,25 +124,6 @@ bool quoted_id_matches_parsed(const net::ParsedProbe& sent,
 }
 
 }  // namespace
-
-bool RawSocketNetwork::matches(std::span<const std::uint8_t> probe,
-                               std::span<const std::uint8_t> reply) {
-  try {
-    return matches_parsed(net::parse_probe(probe), net::parse_reply(reply));
-  } catch (const ParseError&) {
-    return false;
-  }
-}
-
-bool RawSocketNetwork::quoted_id_matches(std::span<const std::uint8_t> probe,
-                                         std::span<const std::uint8_t> reply) {
-  try {
-    return quoted_id_matches_parsed(net::parse_probe(probe),
-                                    net::parse_reply(reply));
-  } catch (const ParseError&) {
-    return false;
-  }
-}
 
 void RawSocketNetwork::send_datagram(const net::ParsedProbe& probe,
                                      std::span<const std::uint8_t> datagram) {
@@ -208,70 +198,133 @@ std::vector<std::uint8_t> RawSocketNetwork::receive_datagram(
   return outer.serialize({buffer, static_cast<std::size_t>(n)});
 }
 
-std::optional<Received> RawSocketNetwork::transact(
-    std::span<const std::uint8_t> datagram, Nanos /*now*/) {
-  const auto sent = net::parse_probe(datagram);
-  const auto start = std::chrono::steady_clock::now();
-  send_datagram(sent, datagram);
-
-  while (true) {
-    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
-        std::chrono::steady_clock::now() - start);
-    if (elapsed >= config_.reply_timeout) return std::nullopt;
-
-    pollfd pfd{recv_fd_, POLLIN, 0};
-    const int ready = ::poll(
-        &pfd, 1, static_cast<int>((config_.reply_timeout - elapsed).count()));
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      throw SystemError(std::string("poll: ") + std::strerror(errno));
+void RawSocketNetwork::submit(std::span<const Datagram> window, Ticket ticket,
+                              const SubmitOptions& options) {
+  const auto now = Clock::now();
+  const auto budget =
+      options.deadline
+          ? std::chrono::nanoseconds(static_cast<std::int64_t>(*options.deadline))
+          : std::chrono::nanoseconds(config_.reply_timeout);
+  pending_.reserve(pending_.size() + window.size());
+  for (std::size_t slot = 0; slot < window.size(); ++slot) {
+    PendingSlot entry;
+    entry.ticket = ticket;
+    entry.slot = slot;
+    entry.probe = net::parse_probe(window[slot].bytes);
+    entry.sent_at = Clock::now();
+    entry.deadline = now + budget;
+    try {
+      send_datagram(entry.probe, window[slot].bytes);
+    } catch (const SystemError&) {
+      // A failed send behaves like a lost probe: resolve the slot
+      // unanswered instead of throwing with part of the window already
+      // on the wire — a partially-submitted ticket would leave the
+      // queue permanently out of sync with its caller's drain loop.
+      Completion completion;
+      completion.ticket = ticket;
+      completion.slot = slot;
+      ready_.push_back(std::move(completion));
+      remember_resolved(std::move(entry.probe));
+      continue;
     }
-    if (ready == 0) return std::nullopt;
-
-    const auto reply = receive_datagram(sent.src());
-    if (reply.empty()) continue;
-    if (!matches(datagram, reply)) continue;  // someone else's ICMP
-
-    const auto rtt = std::chrono::duration_cast<std::chrono::nanoseconds>(
-        std::chrono::steady_clock::now() - start);
-    return Received{reply, static_cast<Nanos>(rtt.count())};
+    pending_.push_back(std::move(entry));
   }
 }
 
-std::vector<std::optional<Received>> RawSocketNetwork::transact_batch(
-    std::span<const Datagram> batch) {
-  std::vector<std::optional<Received>> replies(batch.size());
-  if (batch.empty()) return replies;
+void RawSocketNetwork::remember_resolved(net::ParsedProbe probe) {
+  resolved_.push_back(ResolvedSlot{std::move(probe)});
+  while (resolved_.size() > kResolvedMemory) resolved_.pop_front();
+}
 
-  // Send the whole window back-to-back; keep each probe's parsed form so
-  // the receive loop matches at struct level without re-parsing.
-  const auto start = std::chrono::steady_clock::now();
-  std::vector<std::chrono::steady_clock::time_point> sent_at(batch.size());
-  std::vector<net::ParsedProbe> probes;
-  probes.reserve(batch.size());
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    probes.push_back(net::parse_probe(batch[i].bytes));
-    sent_at[i] = std::chrono::steady_clock::now();
-    send_datagram(probes[i], batch[i].bytes);
+void RawSocketNetwork::expire_slots(Clock::time_point now) {
+  for (std::size_t i = 0; i < pending_.size();) {
+    if (pending_[i].deadline <= now) {
+      Completion completion;
+      completion.ticket = pending_[i].ticket;
+      completion.slot = pending_[i].slot;
+      ready_.push_back(std::move(completion));
+      // An expired slot's reply may still arrive; remember the probe so
+      // the late reply is dropped, not loose-matched onto another slot.
+      remember_resolved(std::move(pending_[i].probe));
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
   }
+}
 
-  // One receive window for all of them: the per-probe timeouts overlap.
-  std::size_t unanswered = batch.size();
-  while (unanswered > 0) {
-    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
-        std::chrono::steady_clock::now() - start);
-    if (elapsed >= config_.reply_timeout) break;
+void RawSocketNetwork::attribute_reply(const net::ParsedReply& got,
+                                       std::vector<std::uint8_t> reply,
+                                       Clock::time_point now) {
+  // Two-tier slot attribution: flow matching alone cannot tell apart two
+  // outstanding probes of the same flow at different TTLs, so prefer the
+  // slot whose per-probe discriminator the reply quotes (IPv4
+  // identification / IPv6 UDP length); fall back to the first flow match
+  // for routers that mangle the quoted header. A quoted discriminator
+  // whose matching slots are ALL already answered is a duplicated reply
+  // — drop it rather than loose-matching it onto a different pending
+  // slot of the same flow. (The v4 IP-ID is unique per probe; the v6
+  // discriminator is per (flow, ttl), so duplicate requests in one
+  // window share it — keep scanning for a pending slot before declaring
+  // a duplicate.) The scan covers every in-flight ticket: one receive
+  // loop serves all tracers multiplexed onto this socket pair.
+  std::ptrdiff_t exact = -1;
+  std::ptrdiff_t loose = -1;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (!matches_parsed(pending_[i].probe, got)) continue;
+    if (quoted_id_matches_parsed(pending_[i].probe, got)) {
+      exact = static_cast<std::ptrdiff_t>(i);
+      break;
+    }
+    if (loose < 0) loose = static_cast<std::ptrdiff_t>(i);
+  }
+  if (exact < 0) {
+    for (const auto& resolved : resolved_) {
+      if (matches_parsed(resolved.probe, got) &&
+          quoted_id_matches_parsed(resolved.probe, got)) {
+        return;  // late or duplicated reply to a resolved probe
+      }
+    }
+  }
+  const std::ptrdiff_t hit = exact >= 0 ? exact : loose;
+  if (hit < 0) return;  // someone else's ICMP
+
+  auto& slot = pending_[static_cast<std::size_t>(hit)];
+  const auto rtt =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - slot.sent_at);
+  Completion completion;
+  completion.ticket = slot.ticket;
+  completion.slot = slot.slot;
+  completion.reply =
+      Received{std::move(reply), static_cast<Nanos>(rtt.count())};
+  ready_.push_back(std::move(completion));
+  remember_resolved(std::move(slot.probe));
+  pending_.erase(pending_.begin() + hit);
+}
+
+std::vector<Completion> RawSocketNetwork::poll_completions() {
+  while (ready_.empty() && !pending_.empty()) {
+    // Recompute the remaining budget from the monotonic clock on EVERY
+    // wakeup — EINTR, a stray packet, or poll()'s millisecond-truncated
+    // timeout must not shorten (or extend) any ticket's deadline.
+    const auto now = Clock::now();
+    expire_slots(now);
+    if (!ready_.empty()) break;
+
+    auto earliest = pending_.front().deadline;
+    for (const auto& slot : pending_) {
+      earliest = std::min(earliest, slot.deadline);
+    }
 
     pollfd pfd{recv_fd_, POLLIN, 0};
-    const int ready = ::poll(
-        &pfd, 1, static_cast<int>((config_.reply_timeout - elapsed).count()));
-    if (ready < 0) {
-      if (errno == EINTR) continue;
+    const int rc = ::poll(&pfd, 1, poll_budget_ms(now, earliest));
+    if (rc < 0) {
+      if (errno == EINTR) continue;  // loop top re-derives the budget
       throw SystemError(std::string("poll: ") + std::strerror(errno));
     }
-    if (ready == 0) break;
+    if (rc == 0) continue;  // maybe expired: the loop top decides
 
-    const auto reply = receive_datagram(probes[0].src());
+    auto reply = receive_datagram(pending_.front().probe.src());
     if (reply.empty()) continue;
     net::ParsedReply got;
     try {
@@ -279,43 +332,52 @@ std::vector<std::optional<Received>> RawSocketNetwork::transact_batch(
     } catch (const ParseError&) {
       continue;  // not an ICMP shape we understand
     }
-    // Two-tier slot attribution: flow matching alone cannot tell apart
-    // two outstanding probes of the same flow at different TTLs, so
-    // prefer the slot whose per-probe discriminator the reply quotes
-    // (IPv4 identification / IPv6 UDP length); fall back to the first
-    // flow match for routers that mangle the quoted header. A quoted
-    // discriminator whose matching slots are ALL already answered is a
-    // duplicated reply — drop it rather than loose-matching it onto a
-    // different pending slot of the same flow. (The v4 IP-ID is unique
-    // per probe; the v6 discriminator is per (flow, ttl), so duplicate
-    // requests in one window share it — keep scanning for a pending
-    // slot before declaring a duplicate.)
-    std::ptrdiff_t exact = -1;
-    std::ptrdiff_t loose = -1;
-    bool exact_answered = false;
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      if (!matches_parsed(probes[i], got)) continue;
-      if (quoted_id_matches_parsed(probes[i], got)) {
-        if (!replies[i]) {
-          exact = static_cast<std::ptrdiff_t>(i);
-          break;
-        }
-        exact_answered = true;
-        continue;
-      }
-      if (!replies[i] && loose < 0) loose = static_cast<std::ptrdiff_t>(i);
-    }
-    if (exact < 0 && exact_answered) continue;  // duplicated reply
-    const std::ptrdiff_t hit = exact >= 0 ? exact : loose;
-    if (hit < 0) continue;
-    const auto rtt = std::chrono::duration_cast<std::chrono::nanoseconds>(
-        std::chrono::steady_clock::now() -
-        sent_at[static_cast<std::size_t>(hit)]);
-    replies[static_cast<std::size_t>(hit)] =
-        Received{reply, static_cast<Nanos>(rtt.count())};
-    --unanswered;
+    attribute_reply(got, std::move(reply), Clock::now());
   }
-  return replies;
+  auto completions = std::move(ready_);
+  ready_.clear();
+  return completions;
+}
+
+void RawSocketNetwork::cancel(Ticket ticket) {
+  for (std::size_t i = 0; i < pending_.size();) {
+    if (pending_[i].ticket == ticket) {
+      Completion completion;
+      completion.ticket = ticket;
+      completion.slot = pending_[i].slot;
+      completion.canceled = true;
+      ready_.push_back(std::move(completion));
+      remember_resolved(std::move(pending_[i].probe));
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+std::size_t RawSocketNetwork::pending() const {
+  return pending_.size() + ready_.size();
+}
+
+std::optional<Received> RawSocketNetwork::transact(
+    std::span<const std::uint8_t> datagram, Nanos /*now*/) {
+  // The serial path is the queue path with a one-slot window; it must
+  // not interleave with in-flight submissions (their completions would
+  // be misrouted).
+  MMLPT_EXPECTS(pending() == 0);
+  const Datagram window[] = {Datagram{{datagram.begin(), datagram.end()}, 0}};
+  submit(window, /*ticket=*/0);
+  std::optional<Received> reply;
+  std::size_t outstanding = 1;
+  while (outstanding > 0) {
+    auto completions = poll_completions();
+    MMLPT_ASSERT(!completions.empty());
+    for (auto& completion : completions) {
+      reply = std::move(completion.reply);
+      --outstanding;
+    }
+  }
+  return reply;
 }
 
 }  // namespace mmlpt::probe

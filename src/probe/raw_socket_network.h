@@ -9,6 +9,22 @@
 // reconstructs one from the peer address and ancillary hop limit before
 // handing the datagram to the shared parser.
 //
+// Completion-queue backend: submit() fires a window back-to-back and
+// records each probe as a pending slot with a per-ticket deadline
+// (Config::reply_timeout unless SubmitOptions::deadline overrides it);
+// poll_completions() runs ONE poll()-driven receive loop over every
+// pending slot of every in-flight ticket, so N concurrent tracers
+// multiplexed onto this socket pair (the fleet merger) share a single
+// receive loop and their reply timeouts all overlap. Replies are matched
+// to slots by quoted ports / flow labels / echo identifiers with the
+// same two-tier per-probe discrimination the blocking path used.
+//
+// The receive loop is hardened against EINTR and deadline drift: after
+// every wakeup — signal, stray packet, poll() returning early on its
+// truncated millisecond budget — the remaining timeout is recomputed
+// from the monotonic clock against each ticket's absolute deadline
+// (see poll_budget_ms), never reused from the original budget.
+//
 // Requires CAP_NET_RAW (root) and Internet access; constructing without
 // privileges throws mmlpt::SystemError. Unit tests therefore run against
 // SimulatedNetwork; this backend is exercised by examples/quickstart when
@@ -16,13 +32,34 @@
 #ifndef MMLPT_PROBE_RAW_SOCKET_NETWORK_H
 #define MMLPT_PROBE_RAW_SOCKET_NETWORK_H
 
+#include <algorithm>
 #include <chrono>
+#include <deque>
+#include <limits>
 
 #include "net/ip_address.h"
 #include "net/packet.h"
 #include "probe/network.h"
 
 namespace mmlpt::probe {
+
+/// The poll() budget for one receive-loop wakeup: the time remaining
+/// until `deadline`, measured from `now` (a fresh monotonic-clock
+/// sample), rounded UP to whole milliseconds so a sub-millisecond
+/// remainder still waits instead of spinning or expiring early. Returns
+/// 0 when the deadline has passed — the caller resolves expired slots
+/// rather than polling. Pure so the EINTR/drift discipline is unit
+/// testable without a socket.
+[[nodiscard]] constexpr int poll_budget_ms(
+    std::chrono::steady_clock::time_point now,
+    std::chrono::steady_clock::time_point deadline) noexcept {
+  if (deadline <= now) return 0;
+  const auto remaining = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      deadline - now);
+  const auto ms = (remaining.count() + 999'999) / 1'000'000;  // ceil
+  return static_cast<int>(std::min<long long>(
+      ms, std::numeric_limits<int>::max()));
+}
 
 class RawSocketNetwork final : public Network {
  public:
@@ -43,31 +80,34 @@ class RawSocketNetwork final : public Network {
   [[nodiscard]] std::optional<Received> transact(
       std::span<const std::uint8_t> datagram, Nanos now) override;
 
-  /// Batched path: fire the whole window back-to-back, then run ONE
-  /// poll()-driven receive loop whose deadline covers the window — the
-  /// reply timeouts overlap instead of accruing serially, so an
-  /// unanswered hop costs one timeout for the window rather than one per
-  /// probe. Replies are matched back to their probe slot by quoted
-  /// ports / flow labels / echo identifiers, exactly as in transact().
-  [[nodiscard]] std::vector<std::optional<Received>> transact_batch(
-      std::span<const Datagram> batch) override;
+  void submit(std::span<const Datagram> window, Ticket ticket,
+              const SubmitOptions& options) override;
+  using Network::submit;
+  [[nodiscard]] std::vector<Completion> poll_completions() override;
+  void cancel(Ticket ticket) override;
+  [[nodiscard]] std::size_t pending() const override;
 
  private:
-  /// True when `reply` is the ICMP(v6) answer to `probe` (quoted
-  /// ports / flow label match, or echo identifier/sequence match).
-  [[nodiscard]] static bool matches(std::span<const std::uint8_t> probe,
-                                    std::span<const std::uint8_t> reply);
+  using Clock = std::chrono::steady_clock;
 
-  /// True when the reply quotes the probe's per-probe discriminator that
-  /// matches() lacks: the IPv4 identification, or on IPv6 the UDP length
-  /// (the engine encodes the TTL there — v6 has no identification). Two
-  /// probes of the SAME flow at different TTLs carry identical flow
-  /// fields, so a batched window needs this to attribute each
-  /// Time-Exceeded to the right slot. (Echo replies are already exact
-  /// per identifier/sequence.)
-  [[nodiscard]] static bool quoted_id_matches(
-      std::span<const std::uint8_t> probe,
-      std::span<const std::uint8_t> reply);
+  /// One in-flight probe slot awaiting its reply.
+  struct PendingSlot {
+    Ticket ticket = 0;
+    std::size_t slot = 0;
+    net::ParsedProbe probe;
+    Clock::time_point sent_at;
+    Clock::time_point deadline;
+  };
+
+  /// A slot already resolved — answered, expired or canceled — kept
+  /// (parsed form only) so a late or duplicated reply that names it via
+  /// the quoted per-probe discriminator is recognised and dropped
+  /// instead of loose-matching onto a different pending slot of the
+  /// same flow. Bounded: the newest kResolvedMemory records are kept.
+  struct ResolvedSlot {
+    net::ParsedProbe probe;
+  };
+  static constexpr std::size_t kResolvedMemory = 1024;
 
   /// Send one crafted datagram; `probe` is its parsed form (the
   /// destination comes from there — no re-parse on the send path).
@@ -80,9 +120,25 @@ class RawSocketNetwork final : public Network {
   [[nodiscard]] std::vector<std::uint8_t> receive_datagram(
       const net::IpAddress& reply_dst);
 
+  /// Move every pending slot past its deadline into ready_ (unanswered).
+  void expire_slots(Clock::time_point now);
+
+  /// Remember a resolved slot's parsed probe for the duplicate check.
+  void remember_resolved(net::ParsedProbe probe);
+
+  /// Match one parsed reply against the pending slots (two-tier: exact
+  /// per-probe discriminator first, flow-level fallback, duplicate
+  /// drop); on a hit, resolve the slot into ready_.
+  void attribute_reply(const net::ParsedReply& got,
+                       std::vector<std::uint8_t> reply,
+                       Clock::time_point now);
+
   Config config_;
   int send_fd_ = -1;
   int recv_fd_ = -1;
+  std::vector<PendingSlot> pending_;
+  std::deque<ResolvedSlot> resolved_;
+  std::vector<Completion> ready_;
 };
 
 }  // namespace mmlpt::probe

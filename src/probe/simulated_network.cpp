@@ -9,19 +9,31 @@ std::optional<Received> SimulatedNetwork::transact(
   return Received{std::move(reply->datagram), reply->rtt};
 }
 
-std::vector<std::optional<Received>> SimulatedNetwork::transact_batch(
-    std::span<const Datagram> batch) {
-  std::vector<std::optional<Received>> replies;
-  replies.reserve(batch.size());
-  for (const auto& datagram : batch) {
-    auto reply = simulator_->handle(datagram.bytes, datagram.at);
+void SimulatedNetwork::submit(std::span<const Datagram> window, Ticket ticket,
+                              const SubmitOptions& /*options*/) {
+  ready_.reserve(ready_.size() + window.size());
+  for (std::size_t slot = 0; slot < window.size(); ++slot) {
+    Completion completion;
+    completion.ticket = ticket;
+    completion.slot = slot;
+    auto reply = simulator_->handle(window[slot].bytes, window[slot].at);
     if (reply) {
-      replies.push_back(Received{std::move(reply->datagram), reply->rtt});
-    } else {
-      replies.emplace_back(std::nullopt);
+      completion.reply = Received{std::move(reply->datagram), reply->rtt};
     }
+    ready_.push_back(std::move(completion));
   }
-  return replies;
 }
+
+std::vector<Completion> SimulatedNetwork::poll_completions() {
+  auto completions = std::move(ready_);
+  ready_.clear();
+  return completions;
+}
+
+void SimulatedNetwork::cancel(Ticket /*ticket*/) {
+  // Every slot resolves at submit(); there is never anything to cancel.
+}
+
+std::size_t SimulatedNetwork::pending() const { return ready_.size(); }
 
 }  // namespace mmlpt::probe

@@ -16,15 +16,21 @@ class SimulatedNetwork final : public Network {
   [[nodiscard]] std::optional<Received> transact(
       std::span<const std::uint8_t> datagram, Nanos now) override;
 
-  /// Batched path: hands the window to the simulator in send order, one
-  /// virtual-time step per datagram. Deterministic and bit-identical to
-  /// the serial fallback — the simulator is a sequential machine — but
-  /// skips the per-probe virtual dispatch.
-  [[nodiscard]] std::vector<std::optional<Received>> transact_batch(
-      std::span<const Datagram> batch) override;
+  /// Queue path: the simulator is a sequential machine with no real
+  /// latency, so every slot resolves AT submit() — one virtual-time step
+  /// per datagram, in submission order, deterministic and bit-identical
+  /// to a serial loop of transact() calls. poll_completions() merely
+  /// hands the resolved slots over; per-ticket deadlines never trigger.
+  void submit(std::span<const Datagram> window, Ticket ticket,
+              const SubmitOptions& options) override;
+  using Network::submit;
+  [[nodiscard]] std::vector<Completion> poll_completions() override;
+  void cancel(Ticket ticket) override;
+  [[nodiscard]] std::size_t pending() const override;
 
  private:
   fakeroute::Simulator* simulator_;
+  std::vector<Completion> ready_;
 };
 
 }  // namespace mmlpt::probe

@@ -13,7 +13,18 @@ core::TraceResult trace_route_task(const topo::GroundTruth& route,
                                    const core::TraceConfig& trace,
                                    const fakeroute::SimConfig& sim,
                                    std::uint64_t seed,
-                                   orchestrator::RateLimiter* limiter) {
+                                   orchestrator::RateLimiter* limiter,
+                                   orchestrator::FleetTransportHub* hub) {
+  if (hub) {
+    // Merged path: this trace's windows join the shared fleet bursts.
+    // The hub charges the fleet limiter per burst, so no ThrottledNetwork
+    // here — that would bill every probe twice.
+    fakeroute::Simulator simulator(route, sim, seed);
+    probe::SimulatedNetwork network(simulator);
+    const auto channel = hub->open_channel(network);
+    return core::run_trace_with_network(*channel, route.source,
+                                        route.destination, algorithm, trace);
+  }
   if (!limiter) {
     return core::run_trace(route, algorithm, trace, sim, seed);
   }
@@ -45,7 +56,8 @@ IpSurveyResult run_ip_survey(const IpSurveyConfig& config,
   IpSurveyResult result;
   result.accounting = DiamondAccounting(config.phi_for_meshing_analysis);
   orchestrator::FleetScheduler fleet(
-      {config.jobs, config.seed, config.pps, config.burst});
+      {config.jobs, config.seed, config.pps, config.burst,
+       config.merge_windows});
   fleet.run_streaming(
       config.routes,
       [&](orchestrator::WorkerContext& context) {
@@ -53,7 +65,7 @@ IpSurveyResult run_ip_survey(const IpSurveyConfig& config,
         return trace_route_task(feeder.route(i), config.algorithm,
                                 config.trace, config.sim,
                                 ip_trace_seed(config.seed, i),
-                                context.limiter);
+                                context.limiter, context.hub);
       },
       [&](std::size_t i, core::TraceResult& trace) {
         if (sink) {

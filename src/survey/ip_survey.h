@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "core/validation.h"
+#include "orchestrator/fleet_transport.h"
 #include "orchestrator/rate_limiter.h"
 #include "orchestrator/result_sink.h"
 #include "survey/accounting.h"
@@ -34,6 +35,10 @@ struct IpSurveyConfig {
   /// Fleet-wide probe rate limit in packets/second; <= 0 = unlimited.
   double pps = 0.0;
   int burst = 64;
+  /// Merge concurrent traces' probe windows into shared fleet bursts
+  /// (FleetTransportHub). Output is invariant — only wall-clock and the
+  /// wire's burst composition change.
+  bool merge_windows = false;
 };
 
 struct IpSurveyResult {
@@ -57,13 +62,16 @@ struct IpSurveyResult {
 }
 
 /// Trace one generated route as a fleet task: plain core::run_trace when
-/// unthrottled, or a ThrottledNetwork stack charging `limiter` otherwise.
+/// undecorated, a ThrottledNetwork stack charging `limiter`, or — when
+/// `hub` is non-null — a FleetTransportHub channel whose windows merge
+/// into shared fleet bursts (the hub then owns the limiter charge).
 /// Shared by the survey and the mmlpt_fleet CLI so the decoration path
 /// (and its determinism guarantees) live in one place.
 [[nodiscard]] core::TraceResult trace_route_task(
     const topo::GroundTruth& route, core::Algorithm algorithm,
     const core::TraceConfig& trace, const fakeroute::SimConfig& sim,
-    std::uint64_t seed, orchestrator::RateLimiter* limiter);
+    std::uint64_t seed, orchestrator::RateLimiter* limiter,
+    orchestrator::FleetTransportHub* hub = nullptr);
 
 }  // namespace mmlpt::survey
 

@@ -1,6 +1,7 @@
 #include "survey/router_survey.h"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 #include <set>
 #include <vector>
@@ -170,7 +171,8 @@ RouterSurveyResult run_router_survey(const RouterSurveyConfig& config,
   AddressUnionFind aggregated;
 
   orchestrator::FleetScheduler fleet(
-      {config.jobs, config.seed, config.pps, config.burst});
+      {config.jobs, config.seed, config.pps, config.burst,
+       config.merge_windows});
   const std::uint64_t base_seed = config.seed * 0x2545F491ULL + 99;
   fleet.run_streaming(
       config.routes,
@@ -180,8 +182,14 @@ RouterSurveyResult run_router_survey(const RouterSurveyConfig& config,
                                        base_seed + context.task_index);
         probe::SimulatedNetwork network(simulator);
         std::optional<orchestrator::ThrottledNetwork> throttled;
-        probe::Network* transport = &network;
-        if (context.limiter) {
+        std::unique_ptr<orchestrator::FleetTransportHub::Channel> channel;
+        probe::TransportQueue* transport = &network;
+        if (context.hub) {
+          // Merged: windows join the fleet bursts; the hub pays the
+          // limiter per burst.
+          channel = context.hub->open_channel(network);
+          transport = channel.get();
+        } else if (context.limiter) {
           throttled.emplace(network, *context.limiter);
           transport = &*throttled;
         }

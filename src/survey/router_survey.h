@@ -37,6 +37,8 @@ struct RouterSurveyConfig {
   /// Fleet-wide probe rate limit in packets/second; <= 0 = unlimited.
   double pps = 0.0;
   int burst = 64;
+  /// Merge concurrent traces' probe windows into shared fleet bursts.
+  bool merge_windows = false;
 };
 
 struct RouterSurveyResult {

@@ -1,0 +1,266 @@
+// FleetTransportHub: merged fleet windows must change only the wire's
+// burst composition — never a byte of any trace — while demultiplexing
+// completions across channels (including channels sharing one backend)
+// and charging the fleet limiter once per merged burst.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/trace_json.h"
+#include "core/validation.h"
+#include "fakeroute/simulator.h"
+#include "orchestrator/fleet.h"
+#include "orchestrator/fleet_transport.h"
+#include "orchestrator/rate_limiter.h"
+#include "probe/simulated_network.h"
+#include "topology/generator.h"
+
+namespace mmlpt::orchestrator {
+namespace {
+
+std::vector<topo::GroundTruth> make_routes(std::size_t n,
+                                           std::uint64_t seed = 5) {
+  topo::GeneratorConfig generator;
+  topo::SurveyWorld world(generator, 16, seed);
+  std::vector<topo::GroundTruth> routes;
+  routes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) routes.push_back(world.next_route());
+  return routes;
+}
+
+/// Trace route i over `transport_of(i)`'s stack and return its JSON.
+std::vector<std::string> trace_all_merged(
+    const std::vector<topo::GroundTruth>& routes, int jobs,
+    FleetTransportHub::Config hub_config, RateLimiter* limiter,
+    FleetTransportHub::Stats* stats_out = nullptr) {
+  hub_config.limiter = limiter;
+  FleetTransportHub hub(hub_config);
+  FleetScheduler fleet({jobs, /*seed=*/1});
+  auto traces =
+      fleet.run(routes.size(), [&](WorkerContext& context) {
+        const auto& route = routes[context.task_index];
+        fakeroute::Simulator simulator(route, {}, 77 + context.task_index);
+        probe::SimulatedNetwork network(simulator);
+        const auto channel = hub.open_channel(network);
+        core::TraceConfig config;
+        config.window = 4;
+        return core::run_trace_with_network(*channel, route.source,
+                                            route.destination,
+                                            core::Algorithm::kMdaLite,
+                                            config);
+      });
+  if (stats_out) *stats_out = hub.stats();
+  std::vector<std::string> json;
+  json.reserve(traces.size());
+  for (const auto& trace : traces) json.push_back(core::trace_to_json(trace));
+  return json;
+}
+
+TEST(FleetTransport, MergedTracesAreByteIdenticalToUnmerged) {
+  const auto routes = make_routes(8);
+  // Unmerged baseline: plain per-trace stacks, serial.
+  std::vector<std::string> baseline;
+  for (std::size_t i = 0; i < routes.size(); ++i) {
+    fakeroute::Simulator simulator(routes[i], {}, 77 + i);
+    probe::SimulatedNetwork network(simulator);
+    core::TraceConfig config;
+    config.window = 4;
+    baseline.push_back(core::trace_to_json(core::run_trace_with_network(
+        network, routes[i].source, routes[i].destination,
+        core::Algorithm::kMdaLite, config)));
+  }
+
+  FleetTransportHub::Stats stats;
+  const auto merged =
+      trace_all_merged(routes, /*jobs=*/4, {}, nullptr, &stats);
+  ASSERT_EQ(merged.size(), baseline.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i], baseline[i]) << "trace " << i;
+  }
+  EXPECT_GT(stats.bursts, 0u);
+  // Every probe of every trace crossed the hub.
+  EXPECT_GT(stats.probes, 0u);
+}
+
+TEST(FleetTransport, BurstsMergeWindowsOfConcurrentDestinations) {
+  // All channels open before any trace starts, and the flush needs every
+  // open channel blocked (or a generous deadline): the first burst must
+  // merge all four destinations.
+  const auto routes = make_routes(4);
+  FleetTransportHub::Config config;
+  config.gather_timeout = std::chrono::milliseconds(100);
+  FleetTransportHub hub(config);
+
+  std::vector<std::unique_ptr<fakeroute::Simulator>> simulators;
+  std::vector<std::unique_ptr<probe::SimulatedNetwork>> networks;
+  std::vector<std::unique_ptr<FleetTransportHub::Channel>> channels;
+  for (const auto& route : routes) {
+    simulators.push_back(std::make_unique<fakeroute::Simulator>(
+        route, fakeroute::SimConfig{}, 3));
+    networks.push_back(
+        std::make_unique<probe::SimulatedNetwork>(*simulators.back()));
+    channels.push_back(hub.open_channel(*networks.back()));
+  }
+
+  std::vector<std::thread> workers;
+  for (std::size_t i = 0; i < routes.size(); ++i) {
+    workers.emplace_back([&, i] {
+      core::TraceConfig config_i;
+      config_i.window = 4;
+      (void)core::run_trace_with_network(*channels[i], routes[i].source,
+                                         routes[i].destination,
+                                         core::Algorithm::kMdaLite,
+                                         config_i);
+      // Close this trace's channel so the remaining workers' "everyone
+      // is blocked" flush condition keeps firing without the deadline.
+      channels[i].reset();
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  const auto stats = hub.stats();
+  EXPECT_GE(stats.merged_bursts, 1u);
+  EXPECT_GE(stats.max_channels_in_burst, 2u);
+  EXPECT_GT(stats.windows, stats.bursts);  // bursts carry several windows
+}
+
+TEST(FleetTransport, LimiterChargedExactlyOncePerProbeAcrossMergedTraces) {
+  const auto routes = make_routes(6);
+  RateLimiter limiter(1e9, 1 << 20);  // effectively unlimited, counts grants
+  FleetTransportHub::Stats stats;
+  (void)trace_all_merged(routes, /*jobs=*/3, {}, &limiter, &stats);
+  // One token per probe that crossed the hub — no matter how windows
+  // were gathered into bursts or how completions interleaved.
+  EXPECT_EQ(limiter.granted(), stats.probes);
+  EXPECT_GT(stats.probes, 0u);
+}
+
+/// Backend double shared by two channels: resolves every slot at submit
+/// but hands completions back in REVERSE submission order, so correct
+/// per-ticket demultiplexing is observable.
+class ReversingQueue final : public probe::TransportQueue {
+ public:
+  void submit(std::span<const probe::Datagram> window, probe::Ticket ticket,
+              const probe::SubmitOptions&) override {
+    for (std::size_t slot = 0; slot < window.size(); ++slot) {
+      probe::Completion completion;
+      completion.ticket = ticket;
+      completion.slot = slot;
+      completion.reply =
+          probe::Received{{}, ticket * 1000 + slot};  // recognisable rtt
+      ready_.push_back(std::move(completion));
+    }
+  }
+  [[nodiscard]] std::vector<probe::Completion> poll_completions() override {
+    std::vector<probe::Completion> out(ready_.rbegin(), ready_.rend());
+    ready_.clear();
+    return out;
+  }
+  void cancel(probe::Ticket) override {}
+  [[nodiscard]] std::size_t pending() const override { return ready_.size(); }
+
+ private:
+  std::vector<probe::Completion> ready_;
+};
+
+TEST(FleetTransport, SharedBackendCompletionsDemultiplexByTicket) {
+  FleetTransportHub::Config config;
+  config.gather_timeout = std::chrono::milliseconds(100);
+  FleetTransportHub hub(config);
+  ReversingQueue backend;
+  auto first = hub.open_channel(backend);
+  auto second = hub.open_channel(backend);
+
+  const auto drain = [](probe::TransportQueue& queue, std::size_t slots) {
+    std::vector<probe::Completion> all;
+    while (all.size() < slots) {
+      auto batch = queue.poll_completions();
+      if (batch.empty()) {
+        ADD_FAILURE() << "poll_completions returned empty mid-drain";
+        break;
+      }
+      for (auto& completion : batch) all.push_back(std::move(completion));
+    }
+    return all;
+  };
+
+  std::vector<probe::Completion> got_first;
+  std::vector<probe::Completion> got_second;
+  std::thread worker_first([&] {
+    const std::vector<probe::Datagram> window(3);
+    first->submit(window, /*ticket=*/1);
+    drain(*first, 3).swap(got_first);
+  });
+  std::thread worker_second([&] {
+    const std::vector<probe::Datagram> window(2);
+    second->submit(window, /*ticket=*/1);  // SAME caller ticket on purpose
+    drain(*second, 2).swap(got_second);
+  });
+  worker_first.join();
+  worker_second.join();
+
+  // Each channel saw exactly its own slots, under its own caller ticket,
+  // even though both used ticket 1 over one shared backend and the
+  // backend reversed completion order.
+  ASSERT_EQ(got_first.size(), 3u);
+  ASSERT_EQ(got_second.size(), 2u);
+  std::vector<std::uint64_t> slots_first;
+  for (const auto& completion : got_first) {
+    EXPECT_EQ(completion.ticket, 1u);
+    ASSERT_TRUE(completion.reply.has_value());
+    slots_first.push_back(completion.reply->rtt % 1000);
+  }
+  std::sort(slots_first.begin(), slots_first.end());
+  EXPECT_EQ(slots_first, (std::vector<std::uint64_t>{0, 1, 2}));
+  std::vector<std::uint64_t> slots_second;
+  for (const auto& completion : got_second) {
+    EXPECT_EQ(completion.ticket, 1u);
+    ASSERT_TRUE(completion.reply.has_value());
+    slots_second.push_back(completion.reply->rtt % 1000);
+  }
+  std::sort(slots_second.begin(), slots_second.end());
+  EXPECT_EQ(slots_second, (std::vector<std::uint64_t>{0, 1}));
+  // And the two backend tickets were distinct on the wire.
+  const auto base_first = got_first.front().reply->rtt / 1000;
+  const auto base_second = got_second.front().reply->rtt / 1000;
+  EXPECT_NE(base_first, base_second);
+
+  first.reset();
+  second.reset();
+}
+
+TEST(FleetTransport, CancelResolvesGatheredWindowsAsCanceled) {
+  FleetTransportHub::Config config;
+  config.gather_timeout = std::chrono::hours(1);  // never fire on time
+  FleetTransportHub hub(config);
+  ReversingQueue backend;
+  auto channel = hub.open_channel(backend);
+
+  const std::vector<probe::Datagram> window(4);
+  channel->submit(window, /*ticket=*/9);
+  EXPECT_EQ(channel->pending(), 4u);
+  channel->cancel(9);
+  const auto completions = channel->poll_completions();
+  ASSERT_EQ(completions.size(), 4u);
+  for (const auto& completion : completions) {
+    EXPECT_EQ(completion.ticket, 9u);
+    EXPECT_TRUE(completion.canceled);
+    EXPECT_FALSE(completion.reply.has_value());
+  }
+  EXPECT_EQ(channel->pending(), 0u);
+  EXPECT_EQ(backend.pending(), 0u);  // the window never reached the wire
+  channel.reset();
+}
+
+TEST(FleetTransport, SchedulerOwnsHubWhenMergeWindowsIsOn) {
+  FleetScheduler plain({1, 1});
+  EXPECT_EQ(plain.hub(), nullptr);
+  FleetScheduler merged({2, 1, 0.0, 64, true});
+  EXPECT_NE(merged.hub(), nullptr);
+}
+
+}  // namespace
+}  // namespace mmlpt::orchestrator

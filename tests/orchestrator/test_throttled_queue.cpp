@@ -1,0 +1,113 @@
+// Decorator composition on the completion-queue seam: ThrottledNetwork
+// over a TransportQueue must charge EXACTLY one limiter token per
+// submitted probe, no matter how submissions and completions interleave
+// across tickets — and the same exactness must survive end-to-end when
+// the FleetTransportHub merges many traces' windows into shared bursts.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/validation.h"
+#include "orchestrator/fleet.h"
+#include "orchestrator/rate_limiter.h"
+#include "orchestrator/throttled_network.h"
+#include "probe/network.h"
+#include "probe/simulated_network.h"
+#include "survey/ip_survey.h"
+#include "topology/generator.h"
+
+namespace mmlpt::orchestrator {
+namespace {
+
+/// Transact-only inner backend (the base class's default queue buffers
+/// submissions and resolves them at poll): answers nothing, counts
+/// datagrams that reached the wire.
+class CountingNetwork final : public probe::Network {
+ public:
+  [[nodiscard]] std::optional<probe::Received> transact(
+      std::span<const std::uint8_t>, probe::Nanos) override {
+    ++wire_datagrams;
+    return std::nullopt;
+  }
+  std::uint64_t wire_datagrams = 0;
+};
+
+TEST(ThrottledQueue, PropertyOneTokenPerSubmittedProbe) {
+  // 64 random schedules: interleave submits of random windows (several
+  // in-flight tickets at once) with polls that surface completions in
+  // bursts. The token count must always equal the probes submitted —
+  // never re-charged at poll, never skipped under interleaving.
+  Rng rng(20260729);
+  for (int schedule = 0; schedule < 64; ++schedule) {
+    CountingNetwork inner;
+    RateLimiter limiter(1e9, 1 << 20);
+    ThrottledNetwork throttled(inner, limiter);
+
+    std::uint64_t submitted = 0;
+    std::size_t unresolved = 0;
+    probe::Ticket next_ticket = 1;
+    const int steps = 3 + static_cast<int>(rng.index(20));
+    for (int step = 0; step < steps; ++step) {
+      if (rng.index(3) != 0) {  // submit, ~2/3 of steps
+        const auto size = 1 + rng.index(8);
+        const std::vector<probe::Datagram> window(size);
+        throttled.submit(window, next_ticket++);
+        submitted += size;
+        unresolved += size;
+        EXPECT_EQ(limiter.granted(), submitted);  // charged at submit
+      } else if (unresolved > 0) {  // poll, surfacing a completion burst
+        const auto completions = throttled.poll_completions();
+        EXPECT_FALSE(completions.empty());
+        unresolved -= completions.size();
+      }
+    }
+    while (unresolved > 0) {
+      unresolved -= throttled.poll_completions().size();
+    }
+    EXPECT_EQ(limiter.granted(), submitted);
+    EXPECT_EQ(inner.wire_datagrams, submitted);
+    EXPECT_EQ(throttled.pending(), 0u);
+  }
+}
+
+TEST(ThrottledQueue, EmptyWindowCostsNothing) {
+  CountingNetwork inner;
+  RateLimiter limiter(1e9, 16);
+  ThrottledNetwork throttled(inner, limiter);
+  const std::vector<probe::Datagram> empty;
+  throttled.submit(empty, 1);
+  EXPECT_EQ(limiter.granted(), 0u);
+}
+
+TEST(ThrottledQueue, MergedFleetChargesMatchWireProbesExactly) {
+  // End-to-end composition: a merged fleet (hub owns the limiter, one
+  // acquire per burst) over real traces. Whatever way the scheduler
+  // interleaved the workers' windows into bursts, tokens == wire probes.
+  topo::GeneratorConfig generator;
+  topo::SurveyWorld world(generator, 12, 9);
+  std::vector<topo::GroundTruth> routes;
+  for (int i = 0; i < 6; ++i) routes.push_back(world.next_route());
+
+  // pps high enough to never stall the test, low enough to be "on".
+  FleetScheduler fleet({/*jobs=*/3, /*seed=*/1, /*pps=*/1e8, /*burst=*/256,
+                        /*merge_windows=*/true});
+  ASSERT_NE(fleet.hub(), nullptr);
+  ASSERT_NE(fleet.limiter(), nullptr);
+  core::TraceConfig trace_config;
+  trace_config.window = 4;
+  const auto traces = fleet.run(routes.size(), [&](WorkerContext& context) {
+    return survey::trace_route_task(routes[context.task_index],
+                                    core::Algorithm::kMdaLite, trace_config,
+                                    {}, 100 + context.task_index,
+                                    context.limiter, context.hub);
+  });
+  ASSERT_EQ(traces.size(), routes.size());
+
+  const auto stats = fleet.hub()->stats();
+  EXPECT_EQ(fleet.limiter()->granted(), stats.probes);
+  EXPECT_GT(stats.probes, 0u);
+}
+
+}  // namespace
+}  // namespace mmlpt::orchestrator

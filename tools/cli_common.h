@@ -1,6 +1,9 @@
 // Helpers shared by the mmlpt_* CLIs: --version output (git describe +
-// build type injected by tools/CMakeLists.txt) and address-family flag
-// parsing (--family 4|6|ipv4|ipv6, or the traceroute-style bare "-6").
+// build type injected by tools/CMakeLists.txt), address-family flag
+// parsing (--family 4|6|ipv4|ipv6, or the traceroute-style bare "-6"),
+// and the fleet/window flag block (--window/--jobs/--pps/--burst/
+// --merge-windows/--fsync) that mmlpt_trace, mmlpt_survey and
+// mmlpt_fleet all share — declared and validated here exactly once.
 #ifndef MMLPT_TOOLS_CLI_COMMON_H
 #define MMLPT_TOOLS_CLI_COMMON_H
 
@@ -39,6 +42,58 @@ inline net::Family parse_family(const Flags& flags) {
   }
   return *family;
 }
+
+/// The per-trace probe window: --window N, N >= 1 (1 = serial probing).
+inline int parse_window(const Flags& flags) {
+  const auto window = static_cast<int>(flags.get_int("window", 1));
+  if (window < 1) throw ConfigError("--window must be >= 1");
+  return window;
+}
+
+/// The fleet flag block shared by mmlpt_survey and mmlpt_fleet. Every
+/// field is validated here so the three CLIs cannot drift apart.
+struct FleetOptions {
+  int jobs = 1;
+  double pps = 0.0;
+  int burst = 64;
+  int window = 1;
+  bool merge_windows = false;
+};
+
+inline FleetOptions parse_fleet_options(const Flags& flags) {
+  FleetOptions options;
+  options.jobs = static_cast<int>(flags.get_int("jobs", 1));
+  if (options.jobs < 1) throw ConfigError("--jobs must be >= 1");
+  options.pps = flags.get_double("pps", 0.0);
+  if (options.pps < 0.0) throw ConfigError("--pps must be >= 0");
+  options.burst = static_cast<int>(flags.get_int("burst", 64));
+  if (options.burst < 1) throw ConfigError("--burst must be >= 1");
+  options.window = parse_window(flags);
+  options.merge_windows = flags.get_bool("merge-windows", false);
+  return options;
+}
+
+/// The usage text for the shared fleet flag block, so all CLIs describe
+/// the same flags with the same words.
+constexpr const char kFleetOptionsUsage[] =
+    "  --jobs N             concurrent trace workers (default 1; results\n"
+    "                       are identical for every N, only wall-clock\n"
+    "                       changes)\n"
+    "  --window N           per-trace probe window (default 1 = serial\n"
+    "                       probing; output is identical for every N; a\n"
+    "                       window of N costs N rate-limiter tokens, so\n"
+    "                       it composes with --pps/--burst)\n"
+    "  --pps X              fleet-wide probe rate limit, packets/second\n"
+    "                       (default unlimited)\n"
+    "  --burst N            rate-limiter burst capacity (default 64)\n"
+    "  --merge-windows      merge concurrent traces' committed windows\n"
+    "                       into shared fleet send bursts (one burst\n"
+    "                       serves N tracers; one rate-limiter charge per\n"
+    "                       burst). Output stays byte-identical to the\n"
+    "                       unmerged run\n"
+    "  --fsync              with --output: fsync after every destination\n"
+    "                       line, so a crash never loses committed\n"
+    "                       results\n";
 
 }  // namespace mmlpt::tools
 

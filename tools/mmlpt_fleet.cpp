@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -33,12 +34,12 @@ using namespace mmlpt;
 
 namespace {
 
-constexpr const char kUsage[] =
+constexpr const char kUsagePrefix[] =
     "usage: mmlpt_fleet [options]\n"
     "\n"
     "  mmlpt_fleet --routes 64 --jobs 8                 # 8-worker fleet\n"
     "  mmlpt_fleet --destinations dests.txt --jobs 8 --pps 500 \\\n"
-    "              --output traces.jsonl\n"
+    "              --merge-windows --output traces.jsonl --fsync\n"
     "\n"
     "Traces N destinations concurrently over the Fakeroute simulator and\n"
     "streams one JSON line per destination, in destination order:\n"
@@ -52,16 +53,8 @@ constexpr const char kUsage[] =
     "  --routes N           destination count when no --destinations (64)\n"
     "  -6 | --family 4|6    address family of the synthetic world\n"
     "                       (default IPv4; v6 Paris probes vary only the\n"
-    "                       flow label)\n"
-    "  --jobs N             concurrent trace workers (default 1)\n"
-    "  --pps X              fleet-wide probe rate limit, packets/second\n"
-    "                       (default unlimited)\n"
-    "  --burst N            rate-limiter burst capacity (default 64)\n"
-    "  --window N           per-trace probe window (default 1 = serial\n"
-    "                       probing; output is identical for every N, only\n"
-    "                       wall-clock changes; a window of N costs N\n"
-    "                       rate-limiter tokens up front, so it composes\n"
-    "                       with --pps/--burst)\n"
+    "                       flow label)\n";
+constexpr const char kUsageSuffix[] =
     "  --algorithm A        mda | mda-lite | single-flow (default mda-lite)\n"
     "  --distinct N         distinct diamond templates in the world (100)\n"
     "  --seed N             world + trace seed (default 1)\n"
@@ -70,6 +63,12 @@ constexpr const char kUsage[] =
     "\n"
     "A summary line (destinations, packets, wall seconds, effective pps)\n"
     "goes to stderr when done.\n";
+
+void print_usage() {
+  std::fputs(kUsagePrefix, stdout);
+  std::fputs(tools::kFleetOptionsUsage, stdout);
+  std::fputs(kUsageSuffix, stdout);
+}
 
 std::vector<std::string> read_destination_labels(const std::string& path) {
   std::ifstream in(path);
@@ -109,11 +108,13 @@ int run_fleet(const Flags& flags) {
 
   const auto algorithm = parse_algorithm(flags.get("algorithm", "mda-lite"));
   const auto seed = flags.get_uint("seed", 1);
+  const auto fleet_options = tools::parse_fleet_options(flags);
   orchestrator::FleetConfig fleet_config;
-  fleet_config.jobs = static_cast<int>(flags.get_int("jobs", 1));
+  fleet_config.jobs = fleet_options.jobs;
   fleet_config.seed = seed;
-  fleet_config.pps = flags.get_double("pps", 0.0);
-  fleet_config.burst = static_cast<int>(flags.get_int("burst", 64));
+  fleet_config.pps = fleet_options.pps;
+  fleet_config.burst = fleet_options.burst;
+  fleet_config.merge_windows = fleet_options.merge_windows;
 
   // The synthetic world, one route per destination — generated lazily in
   // task order a window ahead of the tracers and released after each
@@ -123,21 +124,32 @@ int run_fleet(const Flags& flags) {
   topo::SurveyWorld world(generator, flags.get_uint("distinct", 100), seed);
   survey::RouteFeeder feeder(world, count);
 
+  const bool fsync_lines = flags.get_bool("fsync", false);
+  if (fsync_lines && !flags.has("output")) {
+    throw ConfigError("--fsync requires --output FILE");
+  }
   std::ofstream file;
+  std::unique_ptr<orchestrator::FdJsonlFile> durable;
   std::ostream* out = &std::cout;
+  orchestrator::ResultSink::Options sink_options;
   if (flags.has("output")) {
     const auto path = flags.get("output", "");
-    file.open(path);
-    if (!file) throw SystemError("cannot open --output file: " + path);
-    out = &file;
+    if (fsync_lines) {
+      // Durable streaming needs the raw descriptor to fsync per line.
+      durable = std::make_unique<orchestrator::FdJsonlFile>(path);
+      out = &durable->stream();
+      sink_options.fsync_each_line = true;
+      sink_options.fd = durable->fd();
+    } else {
+      file.open(path);
+      if (!file) throw SystemError("cannot open --output file: " + path);
+      out = &file;
+    }
   }
-  orchestrator::ResultSink sink(*out);
+  orchestrator::ResultSink sink(*out, sink_options);
 
   core::TraceConfig trace_config;
-  trace_config.window = static_cast<int>(flags.get_int("window", 1));
-  if (trace_config.window < 1) {
-    throw ConfigError("--window must be >= 1");
-  }
+  trace_config.window = fleet_options.window;
   const fakeroute::SimConfig sim_config;
   orchestrator::FleetScheduler fleet(fleet_config);
 
@@ -152,7 +164,7 @@ int run_fleet(const Flags& flags) {
         return survey::trace_route_task(
             feeder.route(context.task_index), algorithm, trace_config,
             sim_config, survey::ip_trace_seed(seed, context.task_index),
-            context.limiter);
+            context.limiter, context.hub);
       },
       [&](std::size_t i, core::TraceResult& trace) {
         const std::string label =
@@ -189,7 +201,7 @@ int main(int argc, char** argv) {
   try {
     const Flags flags(argc, argv);
     if (flags.has("help")) {
-      std::fputs(kUsage, stdout);
+      print_usage();
       return 0;
     }
     if (tools::handle_version(flags, "mmlpt_fleet")) return 0;

@@ -23,7 +23,7 @@ using namespace mmlpt;
 
 namespace {
 
-constexpr const char kUsage[] =
+constexpr const char kUsagePrefix[] =
     "usage: mmlpt_survey [options]\n"
     "\n"
     "  mmlpt_survey --mode ip --routes 1000        # Sec. 5.1 IP survey\n"
@@ -40,19 +40,16 @@ constexpr const char kUsage[] =
     "  --distinct N                  distinct diamonds to collect\n"
     "  --rounds N                    alias-resolution rounds (router mode)\n"
     "  --seed N                      simulator seed\n"
-    "  --jobs N                      concurrent trace workers (default 1;\n"
-    "                                ip/router modes; results are identical\n"
-    "                                for every N, only wall-clock changes)\n"
-    "  --window N                    per-trace probe window (default 1 =\n"
-    "                                serial probing; results are identical\n"
-    "                                for every N, only wall-clock changes)\n"
-    "  --pps X                       fleet-wide probe rate limit in\n"
-    "                                packets/second (default unlimited)\n"
-    "  --burst N                     rate-limiter burst capacity\n"
-    "                                (default 64; used with --pps)\n"
     "  --output FILE                 stream one JSON line per destination\n"
     "                                to FILE while the survey runs\n"
-    "  --version                     print version and exit\n";
+    "  --version                     print version and exit\n"
+    "\n"
+    "fleet options (ip/router modes):\n";
+
+void print_usage() {
+  std::fputs(kUsagePrefix, stdout);
+  std::fputs(tools::kFleetOptionsUsage, stdout);
+}
 
 void emit_histogram(JsonWriter& w, const Histogram& h) {
   w.begin_object();
@@ -63,12 +60,22 @@ void emit_histogram(JsonWriter& w, const Histogram& h) {
   w.end_object();
 }
 
-/// Per-destination JSONL sink bound to --output; nullopt when absent.
+/// Per-destination JSONL sink bound to --output; nullptr when absent.
+/// With --fsync every committed line is flushed and fsynced so a crashed
+/// survey keeps everything it already merged.
 struct StreamingOutput {
   std::ofstream file;
+  std::unique_ptr<orchestrator::FdJsonlFile> durable;
   std::optional<orchestrator::ResultSink> sink;
 
-  explicit StreamingOutput(const std::string& path) : file(path) {
+  StreamingOutput(const std::string& path, bool fsync_lines) {
+    if (fsync_lines) {
+      durable = std::make_unique<orchestrator::FdJsonlFile>(path);
+      sink.emplace(durable->stream(),
+                   orchestrator::ResultSink::Options{true, durable->fd()});
+      return;
+    }
+    file.open(path);
     if (!file) throw SystemError("cannot open --output file: " + path);
     sink.emplace(file);
   }
@@ -76,14 +83,12 @@ struct StreamingOutput {
 
 std::unique_ptr<StreamingOutput> make_output(const Flags& flags) {
   const auto path = flags.get("output", "");
-  if (path.empty()) return nullptr;
-  return std::make_unique<StreamingOutput>(path);
-}
-
-int parse_window(const Flags& flags) {
-  const auto window = static_cast<int>(flags.get_int("window", 1));
-  if (window < 1) throw ConfigError("--window must be >= 1");
-  return window;
+  const bool fsync_lines = flags.get_bool("fsync", false);
+  if (path.empty()) {
+    if (fsync_lines) throw ConfigError("--fsync requires --output FILE");
+    return nullptr;
+  }
+  return std::make_unique<StreamingOutput>(path, fsync_lines);
 }
 
 int run_ip(const Flags& flags, JsonWriter& w) {
@@ -92,10 +97,12 @@ int run_ip(const Flags& flags, JsonWriter& w) {
   config.routes = flags.get_uint("routes", 500);
   config.distinct_diamonds = flags.get_uint("distinct", 200);
   config.seed = flags.get_uint("seed", 1);
-  config.jobs = static_cast<int>(flags.get_int("jobs", 1));
-  config.pps = flags.get_double("pps", 0.0);
-  config.burst = static_cast<int>(flags.get_int("burst", 64));
-  config.trace.window = parse_window(flags);
+  const auto fleet_options = tools::parse_fleet_options(flags);
+  config.jobs = fleet_options.jobs;
+  config.pps = fleet_options.pps;
+  config.burst = fleet_options.burst;
+  config.merge_windows = fleet_options.merge_windows;
+  config.trace.window = fleet_options.window;
   const auto output = make_output(flags);
   const auto result = survey::run_ip_survey(
       config, output ? &*output->sink : nullptr);
@@ -140,7 +147,7 @@ int run_evaluation(const Flags& flags, JsonWriter& w) {
   // it is not fleet-wired (yet), so say so instead of silently ignoring
   // the fleet flags.
   for (const char* flag : {"jobs", "pps", "burst", "output", "window",
-                           "family"}) {
+                           "family", "merge-windows", "fsync"}) {
     if (flags.has(flag)) {
       std::fprintf(stderr,
                    "mmlpt_survey: --%s is ignored in evaluation mode\n",
@@ -185,10 +192,12 @@ int run_router(const Flags& flags, JsonWriter& w) {
   config.distinct_diamonds = flags.get_uint("distinct", 80);
   config.multilevel.rounds = static_cast<int>(flags.get_int("rounds", 10));
   config.seed = flags.get_uint("seed", 1);
-  config.jobs = static_cast<int>(flags.get_int("jobs", 1));
-  config.pps = flags.get_double("pps", 0.0);
-  config.burst = static_cast<int>(flags.get_int("burst", 64));
-  config.multilevel.trace.window = parse_window(flags);
+  const auto fleet_options = tools::parse_fleet_options(flags);
+  config.jobs = fleet_options.jobs;
+  config.pps = fleet_options.pps;
+  config.burst = fleet_options.burst;
+  config.merge_windows = fleet_options.merge_windows;
+  config.multilevel.trace.window = fleet_options.window;
   const auto output = make_output(flags);
   const auto result = survey::run_router_survey(
       config, output ? &*output->sink : nullptr);
@@ -227,7 +236,7 @@ int main(int argc, char** argv) {
   try {
     const Flags flags(argc, argv);
     if (flags.has("help")) {
-      std::fputs(kUsage, stdout);
+      print_usage();
       return 0;
     }
     if (tools::handle_version(flags, "mmlpt_survey")) return 0;

@@ -174,10 +174,7 @@ int run(const Flags& flags) {
   trace_config.max_branching =
       static_cast<int>(flags.get_int("branching", 30));
   trace_config.phi = static_cast<int>(flags.get_int("phi", 2));
-  trace_config.window = static_cast<int>(flags.get_int("window", 1));
-  if (trace_config.window < 1) {
-    throw ConfigError("--window must be >= 1");
-  }
+  trace_config.window = tools::parse_window(flags);
 
   const auto algorithm_name = flags.get("algorithm", "lite");
   core::Algorithm algorithm = core::Algorithm::kMdaLite;
