@@ -34,12 +34,24 @@
 // google-benchmark dependency): the Release CI job runs it with --smoke
 // and archives the JSON it writes via --output, for v4 and v6 worlds.
 //
+// --stop-set adds the Doubletree axis on a shared-prefix world (every
+// route leaves the same vantage point through the same first hops): a
+// cold record-only run (must be byte-identical to the baseline — the
+// cache-warming invariance), then a warm consulted run seeded from the
+// cold run's discoveries. Hard gates: the warm run's visible ∪ pending
+// union digest equals the cold full-probe digest (no topology lost to
+// stopping), strictly fewer probes warm than cold, savings ratio
+// >= 1.2x, and warm jobs=N byte-identical to warm jobs=1.
+//
 // flags:
 //   --smoke            small, CI-sized configuration (~seconds)
 //   --routes N         destinations to trace        (default 48; smoke 16)
 //   --jobs N           fleet worker count           (default 8)
 //   --window N         per-trace probe window       (default 4)
 //   --merge-windows    run + gate the merged-fleet leg
+//   --stop-set         run + gate the Doubletree stop-set axis
+//   --shared-prefix N  shared leading routers per route (default 4 with
+//                      --stop-set, else 0)
 //   --family 4|6       address family of the world  (default 4)
 //   --latency-scale X  wall seconds per virtual RTT second
 //                      (default 0.02; smoke 0.004)
@@ -66,6 +78,7 @@
 #include "orchestrator/fleet_transport.h"
 #include "orchestrator/latency_network.h"
 #include "orchestrator/result_sink.h"
+#include "orchestrator/stop_set.h"
 #include "probe/simulated_network.h"
 #include "topology/generator.h"
 
@@ -96,7 +109,9 @@ struct RunOutcome {
 enum class Mode { kPerTraceWindows, kMergedWindows };
 
 RunOutcome run_fleet(const std::vector<topo::GroundTruth>& routes, int jobs,
-                     Mode mode, const BenchConfig& bench) {
+                     Mode mode, const BenchConfig& bench,
+                     core::StopSet* stop_set = nullptr,
+                     bool consult_stop_set = false) {
   orchestrator::FleetConfig config;
   config.jobs = jobs;
   config.seed = bench.seed;
@@ -104,6 +119,8 @@ RunOutcome run_fleet(const std::vector<topo::GroundTruth>& routes, int jobs,
   const std::uint64_t base_seed = bench.seed ^ 0x5353ULL;
   core::TraceConfig trace_config;
   trace_config.window = bench.window;
+  trace_config.stop_set = stop_set;
+  trace_config.consult_stop_set = consult_stop_set;
   const fakeroute::SimConfig sim_config;
 
   // The single raw socket / receive loop every unmerged worker contends
@@ -159,7 +176,8 @@ RunOutcome run_fleet(const std::vector<topo::GroundTruth>& routes, int jobs,
     outcome.per_trace.push_back(
         {trace.packets, trace.graph.vertex_count(), trace.graph.edge_count()});
     outcome.jsonl += orchestrator::destination_line(
-        i, routes[i].destination.to_string(), "trace",
+        i, routes[i].destination.to_string(),
+        core::stop_set_envelope_fields(trace), "trace",
         core::trace_to_json(trace));
     outcome.jsonl += '\n';
   }
@@ -179,6 +197,7 @@ int main(int argc, char** argv) {
     const Flags flags(argc, argv);
     const bool smoke = flags.has("smoke");
     const bool merge = flags.get_bool("merge-windows", false);
+    const bool stop_set_axis = flags.get_bool("stop-set", false);
     const auto routes_n = flags.get_uint("routes", smoke ? 16 : 48);
     const int jobs = static_cast<int>(flags.get_int("jobs", 8));
 
@@ -199,6 +218,8 @@ int main(int argc, char** argv) {
       return 1;
     }
     generator.family = *family;
+    generator.shared_prefix_hops = static_cast<int>(
+        flags.get_int("shared-prefix", stop_set_axis ? 4 : 0));
     topo::SurveyWorld world(generator, flags.get_uint("distinct", 40),
                             bench.seed);
     std::vector<topo::GroundTruth> routes;
@@ -266,6 +287,73 @@ int main(int argc, char** argv) {
       merged_ok = jsonl_identical && bursts_merged;
     }
 
+    // ---- Doubletree stop-set axis ----
+    bool stop_set_ok = true;
+    RunOutcome cold;
+    RunOutcome warm;
+    double savings_ratio = 0.0;
+    bool cold_identical = false;
+    bool digest_match = false;
+    bool warm_deterministic = false;
+    if (stop_set_axis) {
+      // Cold leg: record-only (never consulted). Its output must be
+      // byte-identical to the baseline serial run — warming the cache is
+      // free of observable effect.
+      orchestrator::SharedStopSet recorder;
+      cold = run_fleet(routes, 1, Mode::kPerTraceWindows, bench, &recorder,
+                       /*consult_stop_set=*/false);
+      print_run("cold", cold);
+      cold_identical = cold.jsonl == serial.jsonl;
+      const auto snapshot = recorder.full_snapshot();
+      const auto full_probe_digest = recorder.union_digest();
+
+      // Warm leg: a fresh epoch seeded from the cold run's discoveries,
+      // consulted Doubletree-style.
+      orchestrator::SharedStopSet warm_set;
+      warm_set.seed(snapshot);
+      warm = run_fleet(routes, 1, Mode::kPerTraceWindows, bench, &warm_set,
+                       /*consult_stop_set=*/true);
+      print_run("warm", warm);
+      // Union gate: what the warm run knows (cache) plus what it probed
+      // must be exactly the full-probe topology — stopping early lost
+      // nothing.
+      digest_match = warm_set.union_digest() == full_probe_digest;
+
+      // Warm determinism: jobs=N byte-identical to jobs=1 given the same
+      // seeded cache state (the frozen-epoch contract).
+      orchestrator::SharedStopSet warm_set_jobs;
+      warm_set_jobs.seed(snapshot);
+      const auto warm_jobs = run_fleet(routes, jobs, Mode::kPerTraceWindows,
+                                       bench, &warm_set_jobs,
+                                       /*consult_stop_set=*/true);
+      warm_deterministic = warm.per_trace == warm_jobs.per_trace &&
+                           warm.jsonl == warm_jobs.jsonl;
+
+      savings_ratio = warm.packets > 0
+                          ? static_cast<double>(cold.packets) /
+                                static_cast<double>(warm.packets)
+                          : 0.0;
+      std::printf(
+          "  stop-set: %.2fx probe savings (gate >= 1.2x), cold %llu -> "
+          "warm %llu packets\n",
+          savings_ratio, static_cast<unsigned long long>(cold.packets),
+          static_cast<unsigned long long>(warm.packets));
+      if (!cold_identical) {
+        std::printf("  RECORD-ONLY JSONL DIVERGED from the baseline — "
+                    "cache warming is not invisible\n");
+      }
+      if (!digest_match) {
+        std::printf("  UNION DIGEST MISMATCH — the warm run lost topology "
+                    "to early stopping\n");
+      }
+      if (!warm_deterministic) {
+        std::printf("  WARM TRACES DIVERGED across jobs — frozen-epoch "
+                    "determinism bug\n");
+      }
+      stop_set_ok = cold_identical && digest_match && warm_deterministic &&
+                    warm.packets < cold.packets && savings_ratio >= 1.2;
+    }
+
     JsonWriter w;
     w.begin_object();
     w.key("bench");
@@ -311,6 +399,22 @@ int main(int argc, char** argv) {
       w.key("max_probes_in_burst");
       w.value(merged.bursts.max_probes_in_burst);
     }
+    if (stop_set_axis) {
+      w.key("shared_prefix_hops");
+      w.value(static_cast<std::int64_t>(generator.shared_prefix_hops));
+      w.key("cold_packets");
+      w.value(cold.packets);
+      w.key("warm_packets");
+      w.value(warm.packets);
+      w.key("probe_savings_ratio");
+      w.value(savings_ratio);
+      w.key("record_only_jsonl_identical");
+      w.value(cold_identical);
+      w.key("union_digest_match");
+      w.value(digest_match);
+      w.key("warm_deterministic");
+      w.value(warm_deterministic);
+    }
     w.end_object();
     const auto report = std::move(w).take();
     std::printf("%s\n", report.c_str());
@@ -322,10 +426,11 @@ int main(int argc, char** argv) {
       }
       out << report << '\n';
     }
-    // Determinism, merged-output invariance and burst composition are
-    // hard invariants; the speedup targets are reported but only enforced
-    // where the hardware can express them (CI samples vary).
-    return deterministic && merged_ok ? 0 : 1;
+    // Determinism, merged-output invariance, burst composition and the
+    // stop-set gates are hard invariants; the speedup targets are
+    // reported but only enforced where the hardware can express them (CI
+    // samples vary).
+    return deterministic && merged_ok && stop_set_ok ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench_perf_fleet_throughput: %s\n", e.what());
     return 1;

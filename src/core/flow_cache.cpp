@@ -38,6 +38,7 @@ const probe::TraceProbeResult& FlowCache::consume(FlowId flow, int ttl,
   const auto& stored = entry.result;
   if (stored.answered) {
     by_responder_[{ttl, stored.responder}].push_back(flow);
+    if (stop_set_) stop_set_->record(stored.responder, ttl);
     if (observer_) observer_(flow, ttl, stored);
   }
   return stored;

@@ -25,6 +25,7 @@
 #include <span>
 #include <vector>
 
+#include "core/stop_set.h"
 #include "net/ip_address.h"
 #include "probe/engine.h"
 
@@ -45,6 +46,15 @@ class FlowCache {
   /// With prefetching the observer fires when the probe is CONSUMED via
   /// probe(), not when its packet goes out — the serial order.
   void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+  /// Feed every answered CONSUMED probe into the fleet stop set as a
+  /// confirmed (interface, distance) pair. Consumption is the single
+  /// choke point all tracers' replies pass through, and it is
+  /// serial-equivalent, so the recorded set is identical for every
+  /// window size (speculative prefetched-but-abandoned probes are never
+  /// recorded). Recording happens whether or not the tracer consults
+  /// the set — record-only mode warms the cache without touching output.
+  void set_stop_set(StopSet* stop_set) { stop_set_ = stop_set; }
 
   /// Fill the cache for every (flow, ttl) in `requests` that has no entry
   /// yet, as ONE batched window through ProbeEngine::probe_batch (requests
@@ -108,6 +118,7 @@ class FlowCache {
 
   probe::ProbeEngine* engine_;
   Observer observer_;
+  StopSet* stop_set_ = nullptr;
   std::map<std::pair<int, FlowId>, Entry> results_;
   std::map<int, std::vector<FlowId>> flows_by_ttl_;
   /// (ttl, responder) -> flows; std::map for reference stability.

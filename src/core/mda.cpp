@@ -17,6 +17,7 @@ MdaTracer::MdaTracer(probe::ProbeEngine& engine, TraceConfig config,
 
 TraceResult MdaTracer::run() {
   FlowCache cache(*engine_);
+  cache.set_stop_set(config_.stop_set);
   if (observer_ != nullptr) {
     cache.set_observer(
         [this](FlowId flow, int ttl, const probe::TraceProbeResult& r) {
@@ -33,7 +34,10 @@ TraceResult MdaTracer::run_with(FlowCache& cache,
   const auto destination = engine_->config().destination;
   recorder.add_vertex(0, source, 0);
 
+  StopSet* consult = config_.consulted_stop_set();
   bool reached = false;
+  bool stopped = false;
+  int destination_distance = 0;
   for (int h = 1; h <= config_.max_ttl; ++h) {
     // The worklist can grow while we process it: node-control probes at
     // hop h-1 sometimes reveal new hop h-1 vertices.
@@ -46,6 +50,13 @@ TraceResult MdaTracer::run_with(FlowCache& cache,
     if (found.empty()) break;  // silent hop: cannot steer further
     if (found.size() == 1 && found[0] == destination) {
       reached = true;
+      destination_distance = h;
+      break;
+    }
+    // Doubletree forward halt: the hop's n_k waves are committed and
+    // every vertex they revealed is a confirmed hop from an earlier run.
+    if (consult != nullptr && all_in_stop_set(*consult, found, h)) {
+      stopped = true;
       break;
     }
   }
@@ -57,7 +68,9 @@ TraceResult MdaTracer::run_with(FlowCache& cache,
   result.packets = cache.packets_accounted();
   result.events = recorder.events();
   result.reached_destination = reached;
+  result.stopped_on_hit = stopped;
   result.node_control_probes = node_control_probes_;
+  finalize_stop_set(config_, destination, destination_distance, result);
   return result;
 }
 

@@ -20,6 +20,7 @@ MdaLiteTracer::MdaLiteTracer(probe::ProbeEngine& engine, TraceConfig config,
 
 TraceResult MdaLiteTracer::run() {
   FlowCache cache(*engine_);
+  cache.set_stop_set(config_.stop_set);
   if (observer_ != nullptr) {
     cache.set_observer(
         [this](FlowId flow, int ttl, const probe::TraceProbeResult& r) {
@@ -31,12 +32,26 @@ TraceResult MdaLiteTracer::run() {
   const auto source = engine_->config().source;
   recorder.add_vertex(0, source, 0);
 
+  StopSet* consult = config_.consulted_stop_set();
   bool reached = false;
+  bool stopped = false;
+  int destination_distance = 0;
   bool switch_to_mda = false;
   for (int h = 1; h <= config_.max_ttl && !switch_to_mda; ++h) {
     const bool at_destination = scan_hop(cache, recorder, h);
     if (recorder.vertices(h).empty()) break;  // silent hop
     complete_edges(cache, recorder, h);
+
+    // Doubletree forward halt: the hop's windows are committed, and every
+    // vertex it revealed is a confirmed hop from an earlier run — the
+    // path beyond lives in the cache, so stop before paying for the
+    // meshing test and the next hops. Reaching the destination wins over
+    // stopping: that is the full-trace outcome.
+    if (!at_destination && consult != nullptr &&
+        all_in_stop_set(*consult, recorder.vertices(h), h)) {
+      stopped = true;
+      break;
+    }
 
     const std::size_t prev_width = recorder.vertices(h - 1).size();
     const std::size_t width = recorder.vertices(h).size();
@@ -51,6 +66,7 @@ TraceResult MdaLiteTracer::run() {
     }
     if (at_destination) {
       reached = true;
+      destination_distance = h;
       break;
     }
   }
@@ -72,8 +88,11 @@ TraceResult MdaLiteTracer::run() {
   result.packets = cache.packets_accounted();
   result.events = recorder.events();
   result.reached_destination = reached;
+  result.stopped_on_hit = stopped;
   result.meshing_test_probes = meshing_test_probes_;
   result.node_control_probes = node_control_probes_;
+  finalize_stop_set(config_, engine_->config().destination,
+                    destination_distance, result);
   return result;
 }
 

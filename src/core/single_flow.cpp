@@ -1,11 +1,13 @@
 #include "core/single_flow.h"
 
 #include <algorithm>
+#include <map>
 
 namespace mmlpt::core {
 
 TraceResult SingleFlowTracer::run() {
   FlowCache cache(*engine_);
+  cache.set_stop_set(config_.stop_set);
   if (observer_ != nullptr) {
     cache.set_observer(
         [this](FlowId flow, int ttl, const probe::TraceProbeResult& r) {
@@ -18,19 +20,34 @@ TraceResult SingleFlowTracer::run() {
   const auto destination = engine_->config().destination;
   recorder.add_vertex(0, source, 0);
 
-  // Speculative multi-TTL windows: the serial tracer walks ttl = 1, 2, ...
-  // and stops at the destination, so a window of the next W ttls is
-  // speculation — probes beyond the destination hop are wasted on the
-  // wire. They are never consumed, so the cache's serial-equivalent
-  // accounting (and with it the reported packet count, the discovery
-  // stamps and the JSON) is identical for every window size; only
-  // engine().packets_sent() shows the speculative overshoot.
+  // Doubletree (when consulting a warm stop set): start forward probing
+  // at the adaptive mid-path TTL instead of 1, halt forward on a
+  // confirmed-hop hit, then run the backward phase from start-1 toward
+  // the source until another hit. With no stop set (or record-only) the
+  // start TTL is 1 and no stop check fires, reproducing the historical
+  // tracer byte for byte.
+  StopSet* consult = config_.consulted_stop_set();
+  int start = 1;
+  if (consult != nullptr) {
+    start = std::clamp(consult->midpoint_ttl(), 1, config_.max_ttl);
+  }
+
+  // Speculative multi-TTL windows: the serial tracer walks ttl = start,
+  // start+1, ... and stops at the destination (or a stop-set hit), so a
+  // window of the next W ttls is speculation — probes beyond the stopping
+  // hop are wasted on the wire. They are never consumed, so the cache's
+  // serial-equivalent accounting (and with it the reported packet count,
+  // the discovery stamps and the JSON) is identical for every window
+  // size; only engine().packets_sent() shows the speculative overshoot.
   const auto window = static_cast<std::size_t>(std::max(1, config_.window));
   const FlowId flow = cache.fresh_flow();
-  net::Ipv4Address previous = source;
+  std::map<int, net::Ipv4Address> responder_at;
+  net::Ipv4Address previous = start == 1 ? source : net::Ipv4Address{};
   bool reached = false;
+  bool stopped = false;
   std::vector<FlowCache::ProbeRequest> requests;
-  for (int h = 1; h <= config_.max_ttl && !reached; /* advanced below */) {
+  for (int h = start; h <= config_.max_ttl && !reached && !stopped;
+       /* advanced below */) {
     const auto span = std::min<std::size_t>(
         window, static_cast<std::size_t>(config_.max_ttl - h + 1));
     requests.clear();
@@ -47,6 +64,7 @@ TraceResult SingleFlowTracer::run() {
         continue;
       }
       recorder.add_vertex(h, r.responder, cache.packets());
+      responder_at[h] = r.responder;
       if (!previous.is_unspecified()) {
         recorder.add_edge(h - 1, previous, r.responder, cache.packets());
       }
@@ -55,7 +73,48 @@ TraceResult SingleFlowTracer::run() {
         reached = true;
         break;
       }
+      if (consult != nullptr && consult->contains(r.responder, h)) {
+        stopped = true;  // confirmed hop: the rest of the path is cached
+        break;
+      }
     }
+  }
+
+  // Backward phase: fill in start-1 .. 1 until a confirmed hop says the
+  // remainder toward the source is already known. Stopping mid-way makes
+  // the trace partial even if forward reached the destination.
+  if (consult != nullptr && start > 1) {
+    bool backward_stopped = false;
+    for (int t = start - 1; t >= 1 && !backward_stopped;
+         /* advanced below */) {
+      const auto span = std::min<std::size_t>(
+          window, static_cast<std::size_t>(t));
+      requests.clear();
+      for (std::size_t i = 0; i < span; ++i) {
+        requests.push_back(
+            {flow, static_cast<std::uint8_t>(t - static_cast<int>(i))});
+      }
+      cache.prefetch(requests);
+
+      for (std::size_t i = 0; i < span; ++i, --t) {
+        const auto& r = cache.probe(flow, t);
+        if (!r.answered) continue;  // star: keep probing backward
+        recorder.add_vertex(t, r.responder, cache.packets());
+        responder_at[t] = r.responder;
+        const auto above = responder_at.find(t + 1);
+        if (above != responder_at.end()) {
+          recorder.add_edge(t, r.responder, above->second, cache.packets());
+        }
+        if (t == 1) {
+          recorder.add_edge(0, source, r.responder, cache.packets());
+        }
+        if (consult->contains(r.responder, t)) {
+          backward_stopped = true;
+          break;
+        }
+      }
+    }
+    stopped = stopped || backward_stopped;
   }
 
   TraceResult result;
@@ -63,6 +122,13 @@ TraceResult SingleFlowTracer::run() {
   result.packets = cache.packets_accounted();
   result.events = recorder.events();
   result.reached_destination = reached;
+  result.stopped_on_hit = stopped;
+  const auto dest_it = std::find_if(
+      responder_at.begin(), responder_at.end(),
+      [&](const auto& entry) { return entry.second == destination; });
+  finalize_stop_set(config_, destination,
+                    dest_it == responder_at.end() ? 0 : dest_it->first,
+                    result);
   return result;
 }
 

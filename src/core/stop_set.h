@@ -1,0 +1,82 @@
+// Doubletree-style fleet stop set (Donnet et al., "Efficient Route
+// Tracing from a Single Source"): the interface tracers consult to turn
+// stopping from a per-trace decision into a fleet-wide, cross-run one.
+//
+// The set is keyed on (interface, distance): an entry means some earlier
+// trace — this run or a previous survey loaded from the topology cache —
+// confirmed that interface at that TTL. Tracers check it after each
+// committed window and halt forward probing on a hit; the single-flow
+// tracer additionally runs Doubletree's backward phase (start at an
+// adaptive mid-path TTL, probe backward until a stop-set hit).
+//
+// Determinism contract: implementations must answer queries from a
+// FROZEN epoch — the state visible when the run started — while record()
+// calls accumulate invisibly for later runs. That is what keeps jobs=N
+// output byte-identical to jobs=1 given the same warm/cold cache state:
+// no trace's stopping decision can depend on what a concurrent trace
+// discovered moments earlier.
+#ifndef MMLPT_CORE_STOP_SET_H
+#define MMLPT_CORE_STOP_SET_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/ip_address.h"
+
+namespace mmlpt::core {
+
+/// What a completed full trace knew about its destination — the basis of
+/// the probes_saved_by_stop_set accounting (a stopped trace cannot count
+/// the probes it did not send; the prior full trace can).
+struct DestinationRecord {
+  int distance = 0;           ///< TTL at which the destination answered
+  std::uint64_t probes = 0;   ///< packets the full trace spent
+
+  friend bool operator==(const DestinationRecord&,
+                         const DestinationRecord&) = default;
+};
+
+class StopSet {
+ public:
+  virtual ~StopSet() = default;
+
+  /// Confirmed-hop query: did an EARLIER run confirm `addr` at TTL
+  /// `distance`? Must read only the frozen epoch (see file comment).
+  [[nodiscard]] virtual bool contains(const net::IpAddress& addr,
+                                      int distance) const = 0;
+
+  /// Record a discovered (interface, distance) pair for later runs.
+  /// Never affects contains() within the current run.
+  virtual void record(const net::IpAddress& addr, int distance) = 0;
+
+  /// Frozen-epoch lookup of a destination's full-trace record.
+  [[nodiscard]] virtual std::optional<DestinationRecord> destination(
+      const net::IpAddress& addr) const = 0;
+
+  /// Record a completed full trace's destination distance and cost.
+  virtual void record_destination(const net::IpAddress& addr,
+                                  const DestinationRecord& record) = 0;
+
+  /// Doubletree's adaptive mid-path start TTL, derived from the frozen
+  /// epoch's destination distances (half the median path length).
+  /// 0 = no cached data; start at TTL 1 with no backward phase.
+  [[nodiscard]] virtual int midpoint_ttl() const = 0;
+};
+
+/// True when every address in `addrs` is a confirmed hop at `distance` —
+/// the forward-halt condition the hop-by-hop tracers use once a hop's
+/// windows are committed. An empty hop never stops a trace.
+[[nodiscard]] inline bool all_in_stop_set(
+    const StopSet& stop_set, const std::vector<net::IpAddress>& addrs,
+    int distance) {
+  if (addrs.empty()) return false;
+  for (const auto& addr : addrs) {
+    if (!stop_set.contains(addr, distance)) return false;
+  }
+  return true;
+}
+
+}  // namespace mmlpt::core
+
+#endif  // MMLPT_CORE_STOP_SET_H

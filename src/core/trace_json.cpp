@@ -87,6 +87,29 @@ std::string trace_to_json(const TraceResult& result) {
   return std::move(w).take();
 }
 
+namespace {
+
+std::string envelope_fields(std::uint64_t probes_sent, std::uint64_t saved) {
+  std::string fields = "\"probes_sent\":";
+  fields += std::to_string(probes_sent);
+  fields += ",\"probes_saved_by_stop_set\":";
+  fields += std::to_string(saved);
+  return fields;
+}
+
+}  // namespace
+
+std::string stop_set_envelope_fields(const TraceResult& result) {
+  if (!result.stop_set_active) return {};
+  return envelope_fields(result.packets, result.probes_saved_by_stop_set);
+}
+
+std::string stop_set_envelope_fields(const MultilevelResult& result) {
+  if (!result.trace.stop_set_active) return {};
+  return envelope_fields(result.total_packets,
+                         result.trace.probes_saved_by_stop_set);
+}
+
 std::string multilevel_to_json(const MultilevelResult& result) {
   JsonWriter w;
   w.begin_object();

@@ -102,4 +102,26 @@ topo::MultipathGraph DiscoveryRecorder::to_graph() const {
   return g;
 }
 
+void finalize_stop_set(const TraceConfig& config, net::IpAddress destination,
+                       int destination_distance, TraceResult& result) {
+  StopSet* stop_set = config.stop_set;
+  if (stop_set == nullptr) return;
+  result.stop_set_active = config.consult_stop_set;
+  if (result.stop_set_active && result.stopped_on_hit) {
+    if (const auto prior = stop_set->destination(destination)) {
+      if (prior->probes > result.packets) {
+        result.probes_saved_by_stop_set = prior->probes - result.packets;
+      }
+    }
+  }
+  // Only a FULL trace that reached its destination updates the record:
+  // stopped traces would otherwise decay the baseline the savings are
+  // measured against.
+  if (result.reached_destination && !result.stopped_on_hit &&
+      destination_distance > 0) {
+    stop_set->record_destination(
+        destination, {destination_distance, result.packets});
+  }
+}
+
 }  // namespace mmlpt::core

@@ -9,6 +9,7 @@
 #include <set>
 #include <vector>
 
+#include "core/stop_set.h"
 #include "net/ip_address.h"
 #include "topology/graph.h"
 
@@ -78,6 +79,15 @@ struct TraceResult {
   bool switched_to_mda = false;  ///< MDA-Lite only
   std::uint64_t meshing_test_probes = 0;
   std::uint64_t node_control_probes = 0;
+  /// A stop set was CONSULTED (not merely recorded into): the trace may
+  /// have stopped early, and the JSONL envelope carries the probe-savings
+  /// counters. False in record-only mode so output stays byte-stable.
+  bool stop_set_active = false;
+  /// Forward probing halted on a confirmed-hop stop-set hit.
+  bool stopped_on_hit = false;
+  /// Probes the stop set saved versus the destination's prior full trace
+  /// (0 when the trace ran to completion or no prior record exists).
+  std::uint64_t probes_saved_by_stop_set = 0;
 };
 
 /// Shared tracer tuning knobs.
@@ -98,7 +108,33 @@ struct TraceConfig {
   /// every value; 1 reproduces the historical serial tracer byte for
   /// byte, larger values collapse RTT waits (latency, not probes).
   int window = 1;
+  /// Fleet-wide Doubletree stop set, shared by every tracer of a run (the
+  /// pointed-to object outlives all traces; implementations are
+  /// thread-safe). nullptr = the feature is fully off and the tracer
+  /// behaves byte-identically to builds that predate it.
+  StopSet* stop_set = nullptr;
+  /// With a stop set attached: false = record-only (discoveries feed the
+  /// set but stopping decisions never consult it, so output is
+  /// byte-identical to stop_set == nullptr — the cache-warming mode);
+  /// true = full Doubletree stopping.
+  bool consult_stop_set = true;
+
+  /// The stop set to consult for stopping decisions, or nullptr.
+  [[nodiscard]] StopSet* consulted_stop_set() const noexcept {
+    return consult_stop_set ? stop_set : nullptr;
+  }
 };
+
+/// Shared post-trace stop-set bookkeeping, called by every tracer once
+/// `result.reached_destination` / `result.stopped_on_hit` / `packets`
+/// are final: marks the result active (consulting runs only), computes
+/// probes_saved_by_stop_set against the destination's prior full-trace
+/// record, and — when this trace itself ran to the destination without
+/// stopping — feeds its own record back for future runs.
+/// `destination_distance` is the TTL at which the destination answered
+/// (<= 0 when unknown/not reached). No-op without a stop set.
+void finalize_stop_set(const TraceConfig& config, net::IpAddress destination,
+                       int destination_distance, TraceResult& result);
 
 }  // namespace mmlpt::core
 

@@ -76,11 +76,24 @@ std::size_t ResultSink::buffered() const {
 std::string destination_line(std::size_t index, const std::string& label,
                              const std::string& payload_key,
                              const std::string& payload_json) {
+  return destination_line(index, label, std::string(), payload_key,
+                          payload_json);
+}
+
+std::string destination_line(std::size_t index, const std::string& label,
+                             const std::string& extra_fields,
+                             const std::string& payload_key,
+                             const std::string& payload_json) {
   std::string line = "{\"index\":";
   line += std::to_string(index);
   line += ",\"destination\":\"";
   line += JsonWriter::escape(label);
-  line += "\",\"";
+  line += "\",";
+  if (!extra_fields.empty()) {
+    line += extra_fields;
+    line += ',';
+  }
+  line += '"';
   line += JsonWriter::escape(payload_key);
   line += "\":";
   line += payload_json;

@@ -129,6 +129,18 @@ class FdJsonlFile {
                                            const std::string& payload_key,
                                            const std::string& payload_json);
 
+/// Same, with extra envelope fields spliced between "destination" and the
+/// payload key:
+///   {"index":N,"destination":"<label>",<extra_fields>,"<key>":<payload>}
+/// `extra_fields` must be valid `"key":value` JSON member text without
+/// surrounding braces; empty means no extra members (identical bytes to
+/// the base overload, so disabled features cost nothing).
+[[nodiscard]] std::string destination_line(std::size_t index,
+                                           const std::string& label,
+                                           const std::string& extra_fields,
+                                           const std::string& payload_key,
+                                           const std::string& payload_json);
+
 }  // namespace mmlpt::orchestrator
 
 #endif  // MMLPT_ORCHESTRATOR_RESULT_SINK_H

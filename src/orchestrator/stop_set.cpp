@@ -1,0 +1,154 @@
+#include "orchestrator/stop_set.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace mmlpt::orchestrator {
+
+namespace {
+
+/// Deterministic merge for two records of the same destination: keep the
+/// cheaper full trace (ties broken on distance) so the outcome does not
+/// depend on arrival order.
+core::DestinationRecord merge(const core::DestinationRecord& a,
+                              const core::DestinationRecord& b) {
+  if (a.probes != b.probes) return a.probes < b.probes ? a : b;
+  return a.distance <= b.distance ? a : b;
+}
+
+}  // namespace
+
+void SharedStopSet::seed(const store::TopologySnapshot& snapshot) {
+  for (const auto& hop : snapshot.hops) {
+    visible_.insert({hop.addr, hop.distance});
+  }
+  for (const auto& dest : snapshot.destinations) {
+    auto [it, inserted] = visible_destinations_.try_emplace(
+        dest.addr, dest.record);
+    if (!inserted) it->second = merge(it->second, dest.record);
+  }
+  // Doubletree's adaptive start TTL: half the median known destination
+  // distance, so the backward phase covers the near half of a typical
+  // path and the forward phase the far half.
+  if (!visible_destinations_.empty()) {
+    std::vector<int> distances;
+    distances.reserve(visible_destinations_.size());
+    for (const auto& [addr, record] : visible_destinations_) {
+      distances.push_back(record.distance);
+    }
+    const auto mid = distances.begin() +
+                     static_cast<std::ptrdiff_t>(distances.size() / 2);
+    std::nth_element(distances.begin(), mid, distances.end());
+    midpoint_ttl_ = std::max(1, *mid / 2);
+  }
+}
+
+bool SharedStopSet::contains(const net::IpAddress& addr,
+                             int distance) const {
+  return visible_.count({addr, distance}) != 0;
+}
+
+void SharedStopSet::record(const net::IpAddress& addr, int distance) {
+  const Key key{addr, distance};
+  if (visible_.count(key) != 0) return;  // already durable
+  const std::lock_guard<std::mutex> lock(mutex_);
+  pending_.insert(key);
+}
+
+std::optional<core::DestinationRecord> SharedStopSet::destination(
+    const net::IpAddress& addr) const {
+  const auto it = visible_destinations_.find(addr);
+  if (it == visible_destinations_.end()) return std::nullopt;
+  return it->second;
+}
+
+void SharedStopSet::record_destination(
+    const net::IpAddress& addr, const core::DestinationRecord& record) {
+  if (visible_destinations_.count(addr) != 0) return;  // epoch is frozen
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = pending_destinations_.try_emplace(addr, record);
+  if (!inserted) it->second = merge(it->second, record);
+}
+
+int SharedStopSet::midpoint_ttl() const { return midpoint_ttl_; }
+
+store::TopologySnapshot SharedStopSet::delta() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  store::TopologySnapshot snapshot;
+  snapshot.hops.reserve(pending_.size());
+  for (const auto& [addr, distance] : pending_) {
+    snapshot.hops.push_back({addr, distance});
+  }
+  snapshot.destinations.reserve(pending_destinations_.size());
+  for (const auto& [addr, record] : pending_destinations_) {
+    snapshot.destinations.push_back({addr, record});
+  }
+  return snapshot;
+}
+
+store::TopologySnapshot SharedStopSet::full_snapshot() const {
+  std::set<Key> hops;
+  std::map<net::IpAddress, core::DestinationRecord> destinations(
+      visible_destinations_.begin(), visible_destinations_.end());
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    hops = pending_;
+    for (const auto& [addr, record] : pending_destinations_) {
+      auto [it, inserted] = destinations.try_emplace(addr, record);
+      if (!inserted) it->second = merge(it->second, record);
+    }
+  }
+  hops.insert(visible_.begin(), visible_.end());
+
+  store::TopologySnapshot snapshot;
+  snapshot.hops.reserve(hops.size());
+  for (const auto& [addr, distance] : hops) {
+    snapshot.hops.push_back({addr, distance});
+  }
+  snapshot.destinations.reserve(destinations.size());
+  for (const auto& [addr, record] : destinations) {
+    snapshot.destinations.push_back({addr, record});
+  }
+  return snapshot;
+}
+
+std::uint64_t SharedStopSet::union_digest() const {
+  const auto snapshot = full_snapshot();
+  std::uint64_t digest = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  const auto mix = [&digest](std::uint8_t byte) {
+    digest ^= byte;
+    digest *= 0x100000001B3ULL;  // FNV prime
+  };
+  for (const auto& hop : snapshot.hops) {
+    mix(hop.addr.family() == net::Family::kIpv6 ? 6 : 4);
+    for (const auto byte : hop.addr.bytes()) mix(byte);
+    mix(static_cast<std::uint8_t>(hop.distance & 0xFF));
+    mix(static_cast<std::uint8_t>((hop.distance >> 8) & 0xFF));
+  }
+  return digest;
+}
+
+std::size_t SharedStopSet::pending_hop_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+StopSetSession::StopSetSession(std::string cache_path, bool consult)
+    : cache_path_(std::move(cache_path)), consult_(consult) {
+  if (!active()) return;
+  loaded_ = store::TopologyStore::load(cache_path_);
+  set_.seed(loaded_.snapshot);
+}
+
+void StopSetSession::configure(core::TraceConfig& config) {
+  if (!active()) return;
+  config.stop_set = &set_;
+  config.consult_stop_set = consult_;
+}
+
+void StopSetSession::flush() {
+  if (!active()) return;
+  store::TopologyStore::append(cache_path_, set_.delta());
+}
+
+}  // namespace mmlpt::orchestrator

@@ -71,10 +71,16 @@ IpSurveyResult run_ip_survey(const IpSurveyConfig& config,
         if (sink) {
           sink->emit(i, orchestrator::destination_line(
                             i, feeder.route(i).destination.to_string(),
-                            "trace", core::trace_to_json(trace)));
+                            core::stop_set_envelope_fields(trace), "trace",
+                            core::trace_to_json(trace)));
         }
         result.total_packets += trace.packets;
         ++result.routes_traced;
+        if (trace.stop_set_active) {
+          result.stop_set_active = true;
+          result.probes_saved_by_stop_set += trace.probes_saved_by_stop_set;
+          if (trace.stopped_on_hit) ++result.traces_stopped;
+        }
         const auto diamonds = topo::extract_diamonds(trace.graph);
         if (!diamonds.empty()) ++result.routes_with_diamonds;
         for (const auto& d : diamonds) {

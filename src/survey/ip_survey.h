@@ -46,6 +46,13 @@ struct IpSurveyResult {
   std::uint64_t routes_traced = 0;
   std::uint64_t routes_with_diamonds = 0;
   std::uint64_t total_packets = 0;
+  /// Doubletree accounting, aggregated from the per-trace counters. The
+  /// active flag mirrors the traces' stop_set_active (a consulted stop
+  /// set was configured); zero savings with the flag set is meaningful
+  /// (cold cache).
+  bool stop_set_active = false;
+  std::uint64_t probes_saved_by_stop_set = 0;
+  std::uint64_t traces_stopped = 0;
 };
 
 /// Run the survey. When `sink` is non-null, one JSON line per destination

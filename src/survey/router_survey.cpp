@@ -205,7 +205,14 @@ RouterSurveyResult run_router_survey(const RouterSurveyConfig& config,
         if (sink) {
           sink->emit(i, orchestrator::destination_line(
                             i, feeder.route(i).destination.to_string(),
-                            "multilevel", core::multilevel_to_json(ml)));
+                            core::stop_set_envelope_fields(ml), "multilevel",
+                            core::multilevel_to_json(ml)));
+        }
+        if (ml.trace.stop_set_active) {
+          result.stop_set_active = true;
+          result.probes_saved_by_stop_set +=
+              ml.trace.probes_saved_by_stop_set;
+          if (ml.trace.stopped_on_hit) ++result.traces_stopped;
         }
         merge_route(ml, result, distinct_sets, seen_diamonds, aggregated);
         feeder.release(i);

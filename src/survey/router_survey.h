@@ -56,6 +56,11 @@ struct RouterSurveyResult {
   std::uint64_t unique_diamonds = 0;
   std::uint64_t routes_traced = 0;
   std::uint64_t total_packets = 0;
+  /// Doubletree accounting, aggregated from the per-trace counters (see
+  /// IpSurveyResult).
+  bool stop_set_active = false;
+  std::uint64_t probes_saved_by_stop_set = 0;
+  std::uint64_t traces_stopped = 0;
 
   [[nodiscard]] double resolution_fraction(topo::ResolutionClass c) const;
 };

@@ -372,17 +372,46 @@ GroundTruth RouteGenerator::make_route(
     return v;
   };
 
-  // Hop 0: the vantage point itself.
-  VertexId tail = add_single_hop(fresh_addr());
-  route.source = g.vertex(tail).addr;
+  VertexId tail;
+  if (config_.shared_prefix_hops > 0) {
+    // Fleet-shared leading chain: the same vantage point and first
+    // routers on every route (see GeneratorConfig::shared_prefix_hops).
+    if (shared_prefix_.empty()) {
+      shared_prefix_.reserve(
+          static_cast<std::size_t>(config_.shared_prefix_hops) + 1);
+      for (int i = 0; i <= config_.shared_prefix_hops; ++i) {
+        shared_prefix_.push_back(
+            {fresh_addr(), make_router_spec(false, false)});
+      }
+    }
+    const auto add_shared = [&](const SharedHop& shared) -> VertexId {
+      const auto hop = g.add_hop();
+      const VertexId v = g.add_vertex(hop, shared.addr);
+      route.vertex_router.push_back(
+          static_cast<std::uint32_t>(route.routers.size()));
+      route.routers.push_back(shared.spec);
+      return v;
+    };
+    tail = add_shared(shared_prefix_[0]);
+    route.source = g.vertex(tail).addr;
+    for (std::size_t i = 1; i < shared_prefix_.size(); ++i) {
+      const VertexId v = add_shared(shared_prefix_[i]);
+      g.add_edge(tail, v);
+      tail = v;
+    }
+  } else {
+    // Hop 0: the vantage point itself.
+    tail = add_single_hop(fresh_addr());
+    route.source = g.vertex(tail).addr;
 
-  const int prefix = static_cast<int>(
-      rng_.uniform(static_cast<std::uint64_t>(config_.min_prefix_hops),
-                   static_cast<std::uint64_t>(config_.max_prefix_hops)));
-  for (int i = 0; i < prefix; ++i) {
-    const VertexId v = add_single_hop(fresh_addr());
-    g.add_edge(tail, v);
-    tail = v;
+    const int prefix = static_cast<int>(
+        rng_.uniform(static_cast<std::uint64_t>(config_.min_prefix_hops),
+                     static_cast<std::uint64_t>(config_.max_prefix_hops)));
+    for (int i = 0; i < prefix; ++i) {
+      const VertexId v = add_single_hop(fresh_addr());
+      g.add_edge(tail, v);
+      tail = v;
+    }
   }
 
   for (std::size_t d = 0; d < diamonds.size(); ++d) {

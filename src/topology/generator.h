@@ -51,6 +51,14 @@ struct GeneratorConfig {
   // ---- route shape ----
   int min_prefix_hops = 1;
   int max_prefix_hops = 4;
+  /// When > 0, every route starts with the SAME vantage point followed by
+  /// this many shared single-interface routers (addresses and router
+  /// specs reused verbatim), replacing the random per-route prefix. This
+  /// models a fleet probing from one site whose first hops are common —
+  /// the regime where Doubletree stop sets pay off, and the topology the
+  /// warm-cache savings gates measure against. 0 keeps the fully random
+  /// prefix.
+  int shared_prefix_hops = 0;
   int min_suffix_hops = 1;
   int max_suffix_hops = 2;
   /// P(a route contains a second diamond): the survey saw 220,193 measured
@@ -157,6 +165,13 @@ class RouteGenerator {
   Rng rng_;
   std::uint32_t next_addr_;
   std::uint32_t next_router_id_ = 0;
+  /// Lazily built shared leading chain ([0] is the vantage point) when
+  /// `shared_prefix_hops > 0`; reused verbatim by every make_route().
+  struct SharedHop {
+    net::IpAddress addr;
+    RouterSpec spec;
+  };
+  std::vector<SharedHop> shared_prefix_;
 };
 
 /// A pool of distinct diamonds plus a stream of routes over them — the

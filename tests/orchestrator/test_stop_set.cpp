@@ -1,0 +1,193 @@
+#include "orchestrator/stop_set.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mmlpt::orchestrator {
+namespace {
+
+struct TempPath {
+  std::string path;
+  explicit TempPath(const char* name)
+      : path(std::string(::testing::TempDir()) + name) {
+    std::remove(path.c_str());
+  }
+  ~TempPath() { std::remove(path.c_str()); }
+};
+
+const net::IpAddress kA(10, 0, 0, 1);
+const net::IpAddress kB(10, 0, 0, 2);
+const net::IpAddress kDest(10, 9, 9, 9);
+
+TEST(SharedStopSet, FrozenEpochHidesThisRunsDiscoveries) {
+  SharedStopSet set;
+  store::TopologySnapshot seed;
+  seed.hops.push_back({kA, 3});
+  set.seed(seed);
+
+  EXPECT_TRUE(set.contains(kA, 3));
+  EXPECT_FALSE(set.contains(kA, 4));  // distance is part of the key
+
+  // record() goes to pending: never visible to this run's queries.
+  set.record(kB, 5);
+  EXPECT_FALSE(set.contains(kB, 5));
+  EXPECT_EQ(set.pending_hop_count(), 1u);
+  EXPECT_EQ(set.visible_hop_count(), 1u);
+}
+
+TEST(SharedStopSet, RecordDeduplicatesAgainstVisibleAndItself) {
+  SharedStopSet set;
+  store::TopologySnapshot seed;
+  seed.hops.push_back({kA, 3});
+  set.seed(seed);
+  set.record(kA, 3);  // already durable: not pending again
+  set.record(kB, 5);
+  set.record(kB, 5);
+  EXPECT_EQ(set.pending_hop_count(), 1u);
+  const auto delta = set.delta();
+  ASSERT_EQ(delta.hops.size(), 1u);
+  EXPECT_EQ(delta.hops[0], (store::HopRecord{kB, 5}));
+}
+
+TEST(SharedStopSet, DestinationRecordsFollowTheSameEpochRule) {
+  SharedStopSet set;
+  store::TopologySnapshot seed;
+  seed.destinations.push_back({kDest, {10, 200}});
+  set.seed(seed);
+
+  const auto prior = set.destination(kDest);
+  ASSERT_TRUE(prior.has_value());
+  EXPECT_EQ(prior->distance, 10);
+  EXPECT_EQ(prior->probes, 200u);
+
+  // A visible destination is frozen; a new one is pending-only.
+  set.record_destination(kDest, {9, 100});
+  EXPECT_EQ(set.destination(kDest)->probes, 200u);
+  set.record_destination(kB, {4, 50});
+  EXPECT_FALSE(set.destination(kB).has_value());
+  const auto delta = set.delta();
+  ASSERT_EQ(delta.destinations.size(), 1u);
+  EXPECT_EQ(delta.destinations[0].addr, kB);
+}
+
+TEST(SharedStopSet, MidpointIsHalfTheMedianDestinationDistance) {
+  SharedStopSet empty;
+  EXPECT_EQ(empty.midpoint_ttl(), 0);  // no data, no adaptive start
+
+  SharedStopSet set;
+  store::TopologySnapshot seed;
+  seed.destinations.push_back({net::IpAddress(10, 0, 0, 10), {8, 1}});
+  seed.destinations.push_back({net::IpAddress(10, 0, 0, 11), {12, 1}});
+  seed.destinations.push_back({net::IpAddress(10, 0, 0, 12), {20, 1}});
+  set.seed(seed);
+  EXPECT_EQ(set.midpoint_ttl(), 6);  // median 12 / 2
+
+  SharedStopSet shallow;
+  store::TopologySnapshot shallow_seed;
+  shallow_seed.destinations.push_back({kDest, {1, 1}});
+  shallow.seed(shallow_seed);
+  EXPECT_EQ(shallow.midpoint_ttl(), 1);  // clamped to a probeable TTL
+}
+
+TEST(SharedStopSet, UnionDigestIsOrderAndSplitInvariant) {
+  // Same hops, discovered differently: all from disk vs all recorded vs
+  // half and half — one digest.
+  store::TopologySnapshot all;
+  all.hops.push_back({kA, 1});
+  all.hops.push_back({kB, 2});
+
+  SharedStopSet from_disk;
+  from_disk.seed(all);
+
+  SharedStopSet recorded;
+  recorded.record(kB, 2);
+  recorded.record(kA, 1);
+
+  SharedStopSet split;
+  store::TopologySnapshot half;
+  half.hops.push_back({kA, 1});
+  split.seed(half);
+  split.record(kB, 2);
+
+  EXPECT_EQ(from_disk.union_digest(), recorded.union_digest());
+  EXPECT_EQ(from_disk.union_digest(), split.union_digest());
+
+  SharedStopSet different;
+  different.record(kA, 2);  // same address, different distance
+  different.record(kB, 2);
+  EXPECT_NE(from_disk.union_digest(), different.union_digest());
+}
+
+TEST(SharedStopSet, ConcurrentRecordsAllLand) {
+  SharedStopSet set;
+  constexpr int kThreads = 8;
+  constexpr int kRecords = 64;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kRecords; ++i) {
+        set.record(net::IpAddress(10, 2, static_cast<std::uint8_t>(t),
+                                  static_cast<std::uint8_t>(i)),
+                   i + 1);
+        set.record_destination(
+            net::IpAddress(10, 3, static_cast<std::uint8_t>(t),
+                           static_cast<std::uint8_t>(i)),
+            {i + 1, static_cast<std::uint64_t>(i) + 1});
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(set.pending_hop_count(),
+            static_cast<std::size_t>(kThreads * kRecords));
+  EXPECT_EQ(set.delta().destinations.size(),
+            static_cast<std::size_t>(kThreads * kRecords));
+}
+
+TEST(StopSetSession, InactiveWithoutCachePath) {
+  StopSetSession session("", true);
+  EXPECT_FALSE(session.active());
+  EXPECT_EQ(session.stop_set(), nullptr);
+  core::TraceConfig config;
+  session.configure(config);
+  EXPECT_EQ(config.stop_set, nullptr);
+  session.flush();  // no-op, no file
+}
+
+TEST(StopSetSession, PersistsDiscoveriesAcrossSessions) {
+  TempPath file("stop_set_session.mtps");
+
+  {
+    StopSetSession first(file.path, /*consult=*/false);
+    ASSERT_TRUE(first.active());
+    core::TraceConfig config;
+    first.configure(config);
+    ASSERT_EQ(config.stop_set, first.stop_set());
+    EXPECT_EQ(config.consulted_stop_set(), nullptr);  // record-only
+    config.stop_set->record(kA, 2);
+    config.stop_set->record_destination(kDest, {7, 40});
+    first.flush();
+  }
+
+  StopSetSession second(file.path, /*consult=*/true);
+  EXPECT_EQ(second.loaded().blocks, 1u);
+  core::TraceConfig config;
+  second.configure(config);
+  ASSERT_NE(config.consulted_stop_set(), nullptr);
+  // Last session's pending is this session's frozen visible epoch.
+  EXPECT_TRUE(config.stop_set->contains(kA, 2));
+  const auto prior = config.stop_set->destination(kDest);
+  ASSERT_TRUE(prior.has_value());
+  EXPECT_EQ(prior->probes, 40u);
+  // Flushing with nothing new appends nothing.
+  second.flush();
+  StopSetSession third(file.path, true);
+  EXPECT_EQ(third.loaded().blocks, 1u);
+}
+
+}  // namespace
+}  // namespace mmlpt::orchestrator

@@ -1,0 +1,101 @@
+// The shared CLI helpers in tools/cli_common.h: usage blocks rendered
+// from one option table (so the three tools cannot drift), and the
+// stop-set flag-pair validation.
+#include "cli_common.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace mmlpt::tools {
+namespace {
+
+Flags make_flags(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>("test"));
+  for (auto& arg : args) argv.push_back(arg.data());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+std::string padded_flag(const std::string& flag) {
+  std::string line = "  " + flag;
+  line.append(kUsageHelpColumn - line.size(), ' ');
+  return line;
+}
+
+TEST(FormatOptionBlock, AlignsHelpAtTheSharedColumn) {
+  const OptionSpec table[] = {{"--jobs N", "worker count"}};
+  const auto block = format_option_block(table);
+  EXPECT_EQ(block, padded_flag("--jobs N") + "worker count\n");
+  // Two-space indent + flag + padding lands exactly on the help column.
+  EXPECT_EQ(block.find("worker"), kUsageHelpColumn);
+}
+
+TEST(FormatOptionBlock, ContinuationLinesShareTheColumn) {
+  const OptionSpec table[] = {{"--pps X", "first line\nsecond line"}};
+  const auto block = format_option_block(table);
+  const std::string indent(kUsageHelpColumn, ' ');
+  EXPECT_EQ(block, padded_flag("--pps X") + "first line\n" + indent +
+                       "second line\n");
+}
+
+TEST(FormatOptionBlock, WideFlagDropsHelpToTheNextLine) {
+  // Flag + indent + two mandatory spaces exceeds the column: the help
+  // starts on its own line rather than drifting right.
+  const OptionSpec table[] = {
+      {"--a-very-long-flag NAME", "does a thing"}};
+  const auto block = format_option_block(table);
+  const std::string indent(kUsageHelpColumn, ' ');
+  EXPECT_EQ(block, "  --a-very-long-flag NAME\n" + indent + "does a thing\n");
+}
+
+TEST(UsageBlocks, FleetUsageListsEveryFlagExactlyOnce) {
+  // Match the flag column only ("\n  --flag"): help text legitimately
+  // cross-references other flags.
+  const auto usage = "\n" + fleet_options_usage();
+  for (const char* flag :
+       {"--jobs", "--window", "--pps", "--burst", "--merge-windows",
+        "--fsync", "--topology-cache", "--stop-set"}) {
+    const auto entry = std::string("\n  ") + flag;
+    const auto first = usage.find(entry);
+    ASSERT_NE(first, std::string::npos) << flag;
+    EXPECT_EQ(usage.find(entry, first + 1), std::string::npos)
+        << flag << " documented twice";
+  }
+  // The trace-only block is the stop-set tail of the fleet block.
+  const auto stop_set = stop_set_options_usage();
+  EXPECT_EQ(usage.substr(usage.size() - stop_set.size()), stop_set);
+}
+
+TEST(StopSetOptionsParsing, DefaultsToFeatureOff) {
+  const auto options = parse_stop_set_options(make_flags({}));
+  EXPECT_TRUE(options.topology_cache.empty());
+  EXPECT_FALSE(options.consult);
+}
+
+TEST(StopSetOptionsParsing, CachePathAloneMeansRecordOnly) {
+  const auto options = parse_stop_set_options(
+      make_flags({"--topology-cache", "warm.mtps"}));
+  EXPECT_EQ(options.topology_cache, "warm.mtps");
+  EXPECT_FALSE(options.consult);
+}
+
+TEST(StopSetOptionsParsing, ConsultRequiresACachePath) {
+  EXPECT_THROW((void)parse_stop_set_options(make_flags({"--stop-set"})),
+               ConfigError);
+  const auto options = parse_stop_set_options(
+      make_flags({"--stop-set", "--topology-cache", "warm.mtps"}));
+  EXPECT_TRUE(options.consult);
+}
+
+TEST(FleetOptionsParsing, CarriesTheStopSetPair) {
+  const auto options = parse_fleet_options(make_flags(
+      {"--jobs", "3", "--topology-cache", "warm.mtps", "--stop-set"}));
+  EXPECT_EQ(options.jobs, 3);
+  EXPECT_EQ(options.stop_set.topology_cache, "warm.mtps");
+  EXPECT_TRUE(options.stop_set.consult);
+}
+
+}  // namespace
+}  // namespace mmlpt::tools

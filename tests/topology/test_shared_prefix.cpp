@@ -1,0 +1,79 @@
+// GeneratorConfig::shared_prefix_hops — the fleet-from-one-site knob the
+// Doubletree warm-cache gates probe against: every route leaves the same
+// vantage point through the same leading routers.
+#include "topology/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mmlpt::topo {
+namespace {
+
+std::vector<GroundTruth> make_routes(const GeneratorConfig& config, int count,
+                                     std::uint64_t seed) {
+  RouteGenerator generator(config, seed);
+  std::vector<GroundTruth> routes;
+  for (int i = 0; i < count; ++i) routes.push_back(generator.make_route());
+  return routes;
+}
+
+TEST(SharedPrefix, EveryRouteLeavesThroughTheSameChain) {
+  GeneratorConfig config;
+  config.shared_prefix_hops = 3;
+  const auto routes = make_routes(config, 4, 7);
+
+  const auto& first = routes.front();
+  for (const auto& route : routes) {
+    route.graph.validate();
+    EXPECT_EQ(route.source, first.source);
+    // The shared chain is single-interface: hops 1..3 hold exactly the
+    // same address (and the same underlying router) on every route.
+    for (std::uint16_t hop = 1; hop <= 3; ++hop) {
+      const auto vertices = route.graph.vertices_at(hop);
+      ASSERT_EQ(vertices.size(), 1u) << "hop " << hop;
+      const auto reference = first.graph.vertices_at(hop);
+      EXPECT_EQ(route.graph.vertex(vertices[0]).addr,
+                first.graph.vertex(reference[0]).addr)
+          << "hop " << hop;
+      EXPECT_EQ(route.router_of(vertices[0]).id,
+                first.router_of(reference[0]).id)
+          << "hop " << hop;
+    }
+  }
+
+  // Only the prefix is shared: the routes still go somewhere different.
+  EXPECT_NE(routes[0].destination, routes[1].destination);
+}
+
+TEST(SharedPrefix, ZeroKeepsTheFullyRandomPrefix) {
+  const auto routes = make_routes(GeneratorConfig{}, 2, 7);
+  EXPECT_NE(routes[0].source, routes[1].source);
+}
+
+TEST(SharedPrefix, ComposesWithIpv6Worlds) {
+  GeneratorConfig config;
+  config.family = net::Family::kIpv6;
+  config.shared_prefix_hops = 2;
+  const auto routes = make_routes(config, 3, 11);
+  for (const auto& route : routes) {
+    EXPECT_EQ(route.source.family(), net::Family::kIpv6);
+    EXPECT_EQ(route.source, routes.front().source);
+  }
+}
+
+TEST(SharedPrefix, SurveyWorldRoutesShareThePrefixToo) {
+  GeneratorConfig config;
+  config.shared_prefix_hops = 2;
+  SurveyWorld world(config, 3, 13);
+  const auto a = world.next_route();
+  const auto b = world.next_route();
+  EXPECT_EQ(a.source, b.source);
+  ASSERT_EQ(a.graph.vertices_at(1).size(), 1u);
+  ASSERT_EQ(b.graph.vertices_at(1).size(), 1u);
+  EXPECT_EQ(a.graph.vertex(a.graph.vertices_at(1)[0]).addr,
+            b.graph.vertex(b.graph.vertices_at(1)[0]).addr);
+}
+
+}  // namespace
+}  // namespace mmlpt::topo

@@ -8,7 +8,9 @@
 #define MMLPT_TOOLS_CLI_COMMON_H
 
 #include <cstdio>
+#include <span>
 #include <string>
+#include <string_view>
 
 #include "common/error.h"
 #include "common/flags.h"
@@ -50,6 +52,26 @@ inline int parse_window(const Flags& flags) {
   return window;
 }
 
+/// The Doubletree stop-set flag pair shared by every tracing CLI.
+/// An empty cache path means the feature is fully off.
+struct StopSetOptions {
+  /// --topology-cache F: the persistent store file ("" = feature off).
+  std::string topology_cache;
+  /// --stop-set: consult the cache (Doubletree stopping). Without it a
+  /// cache only records — output stays byte-identical to no cache.
+  bool consult = false;
+};
+
+inline StopSetOptions parse_stop_set_options(const Flags& flags) {
+  StopSetOptions options;
+  options.topology_cache = flags.get("topology-cache", "");
+  options.consult = flags.get_bool("stop-set", false);
+  if (options.consult && options.topology_cache.empty()) {
+    throw ConfigError("--stop-set requires --topology-cache <file>");
+  }
+  return options;
+}
+
 /// The fleet flag block shared by mmlpt_survey and mmlpt_fleet. Every
 /// field is validated here so the three CLIs cannot drift apart.
 struct FleetOptions {
@@ -58,6 +80,7 @@ struct FleetOptions {
   int burst = 64;
   int window = 1;
   bool merge_windows = false;
+  StopSetOptions stop_set;
 };
 
 inline FleetOptions parse_fleet_options(const Flags& flags) {
@@ -70,30 +93,116 @@ inline FleetOptions parse_fleet_options(const Flags& flags) {
   if (options.burst < 1) throw ConfigError("--burst must be >= 1");
   options.window = parse_window(flags);
   options.merge_windows = flags.get_bool("merge-windows", false);
+  options.stop_set = parse_stop_set_options(flags);
   return options;
 }
 
-/// The usage text for the shared fleet flag block, so all CLIs describe
-/// the same flags with the same words.
-constexpr const char kFleetOptionsUsage[] =
-    "  --jobs N             concurrent trace workers (default 1; results\n"
-    "                       are identical for every N, only wall-clock\n"
-    "                       changes)\n"
-    "  --window N           per-trace probe window (default 1 = serial\n"
-    "                       probing; output is identical for every N; a\n"
-    "                       window of N costs N rate-limiter tokens, so\n"
-    "                       it composes with --pps/--burst)\n"
-    "  --pps X              fleet-wide probe rate limit, packets/second\n"
-    "                       (default unlimited)\n"
-    "  --burst N            rate-limiter burst capacity (default 64)\n"
-    "  --merge-windows      merge concurrent traces' committed windows\n"
-    "                       into shared fleet send bursts (one burst\n"
-    "                       serves N tracers; one rate-limiter charge per\n"
-    "                       burst). Output stays byte-identical to the\n"
-    "                       unmerged run\n"
-    "  --fsync              with --output: fsync after every destination\n"
-    "                       line, so a crash never loses committed\n"
-    "                       results\n";
+// ---- shared usage text, generated from one option table ----------------
+//
+// Each CLI used to carry a hand-wrapped copy of the shared flag help;
+// they drifted. Now there is one table per flag block and one formatter,
+// and every print_usage() renders from it.
+
+/// One flag's usage entry. `help` holds pre-wrapped lines separated by
+/// '\n'; the formatter supplies indentation and column alignment.
+struct OptionSpec {
+  const char* flag;  ///< flag with its metavariable, e.g. "--jobs N"
+  const char* help;
+};
+
+/// Render a flag block: two-space indent, help aligned at column
+/// `kUsageHelpColumn`, continuation lines indented to the same column.
+/// A flag too wide for the column gets its help on the following lines.
+inline constexpr std::size_t kUsageHelpColumn = 23;
+
+inline std::string format_option_block(std::span<const OptionSpec> options) {
+  std::string out;
+  for (const auto& option : options) {
+    std::string line = "  ";
+    line += option.flag;
+    // Keep at least two spaces between flag and help.
+    if (line.size() + 2 > kUsageHelpColumn) {
+      out += line;
+      out += '\n';
+      line.assign(kUsageHelpColumn, ' ');
+    } else {
+      line.append(kUsageHelpColumn - line.size(), ' ');
+    }
+    std::string_view help = option.help;
+    while (!help.empty()) {
+      const auto newline = help.find('\n');
+      out += line;
+      out += help.substr(0, newline);
+      out += '\n';
+      line.assign(kUsageHelpColumn, ' ');
+      if (newline == std::string_view::npos) break;
+      help.remove_prefix(newline + 1);
+    }
+  }
+  return out;
+}
+
+/// The fleet flag block (--jobs/--window/--pps/--burst/--merge-windows/
+/// --fsync).
+inline std::span<const OptionSpec> fleet_option_table() {
+  static const OptionSpec table[] = {
+      {"--jobs N",
+       "concurrent trace workers (default 1; results\n"
+       "are identical for every N, only wall-clock\n"
+       "changes)"},
+      {"--window N",
+       "per-trace probe window (default 1 = serial\n"
+       "probing; output is identical for every N; a\n"
+       "window of N costs N rate-limiter tokens, so\n"
+       "it composes with --pps/--burst)"},
+      {"--pps X",
+       "fleet-wide probe rate limit, packets/second\n"
+       "(default unlimited)"},
+      {"--burst N", "rate-limiter burst capacity (default 64)"},
+      {"--merge-windows",
+       "merge concurrent traces' committed windows\n"
+       "into shared fleet send bursts (one burst\n"
+       "serves N tracers; one rate-limiter charge per\n"
+       "burst). Output stays byte-identical to the\n"
+       "unmerged run"},
+      {"--fsync",
+       "with --output: fsync after every destination\n"
+       "line, so a crash never loses committed\n"
+       "results"},
+  };
+  return table;
+}
+
+/// The Doubletree stop-set flag pair (--topology-cache/--stop-set).
+inline std::span<const OptionSpec> stop_set_option_table() {
+  static const OptionSpec table[] = {
+      {"--topology-cache F",
+       "persistent topology store backing the\n"
+       "Doubletree stop set: loaded at start as a\n"
+       "frozen epoch, this run's discoveries appended\n"
+       "at exit. Without --stop-set the cache only\n"
+       "records (output stays byte-identical)"},
+      {"--stop-set",
+       "consult the cache: halt forward probing at\n"
+       "hops confirmed by earlier runs, trace the\n"
+       "near side backward Doubletree-style, and\n"
+       "report probes_saved_by_stop_set. Requires\n"
+       "--topology-cache"},
+  };
+  return table;
+}
+
+/// Usage text for the stop-set flags alone (mmlpt_trace).
+inline std::string stop_set_options_usage() {
+  return format_option_block(stop_set_option_table());
+}
+
+/// Usage text for the full shared fleet flag block, stop-set flags
+/// included (mmlpt_survey, mmlpt_fleet).
+inline std::string fleet_options_usage() {
+  return format_option_block(fleet_option_table()) +
+         format_option_block(stop_set_option_table());
+}
 
 }  // namespace mmlpt::tools
 

@@ -24,6 +24,7 @@
 #include "core/validation.h"
 #include "orchestrator/fleet.h"
 #include "orchestrator/result_sink.h"
+#include "orchestrator/stop_set.h"
 #include "survey/accounting.h"
 #include "survey/ip_survey.h"
 #include "survey/route_feeder.h"
@@ -57,16 +58,21 @@ constexpr const char kUsagePrefix[] =
 constexpr const char kUsageSuffix[] =
     "  --algorithm A        mda | mda-lite | single-flow (default mda-lite)\n"
     "  --distinct N         distinct diamond templates in the world (100)\n"
+    "  --shared-prefix N    every synthetic route starts with the same N\n"
+    "                       leading routers (one vantage point, common\n"
+    "                       first hops — the topology where the stop set\n"
+    "                       pays off). Default 0 = fully random prefixes\n"
     "  --seed N             world + trace seed (default 1)\n"
     "  --output FILE        JSONL destination (default stdout)\n"
     "  --version            print version and exit\n"
     "\n"
     "A summary line (destinations, packets, wall seconds, effective pps)\n"
-    "goes to stderr when done.\n";
+    "goes to stderr when done; with --topology-cache a second stop-set\n"
+    "line reports cache size, discoveries, savings and the union digest.\n";
 
 void print_usage() {
   std::fputs(kUsagePrefix, stdout);
-  std::fputs(tools::kFleetOptionsUsage, stdout);
+  std::fputs(tools::fleet_options_usage().c_str(), stdout);
   std::fputs(kUsageSuffix, stdout);
 }
 
@@ -121,6 +127,11 @@ int run_fleet(const Flags& flags) {
   // merge, so live routes track the in-flight window.
   topo::GeneratorConfig generator;
   generator.family = tools::parse_family(flags);
+  generator.shared_prefix_hops =
+      static_cast<int>(flags.get_int("shared-prefix", 0));
+  if (generator.shared_prefix_hops < 0) {
+    throw ConfigError("--shared-prefix must be >= 0");
+  }
   topo::SurveyWorld world(generator, flags.get_uint("distinct", 100), seed);
   survey::RouteFeeder feeder(world, count);
 
@@ -150,11 +161,16 @@ int run_fleet(const Flags& flags) {
 
   core::TraceConfig trace_config;
   trace_config.window = fleet_options.window;
+  orchestrator::StopSetSession stop_set_session(
+      fleet_options.stop_set.topology_cache, fleet_options.stop_set.consult);
+  stop_set_session.configure(trace_config);
   const fakeroute::SimConfig sim_config;
   orchestrator::FleetScheduler fleet(fleet_config);
 
   std::uint64_t packets = 0;
   std::uint64_t reached = 0;
+  std::uint64_t probes_saved = 0;
+  std::uint64_t traces_stopped = 0;
   survey::DiamondAccounting accounting(2);
 
   const auto start = std::chrono::steady_clock::now();
@@ -171,9 +187,12 @@ int run_fleet(const Flags& flags) {
             labels.empty() ? feeder.route(i).destination.to_string()
                            : labels[i];
         sink.emit(i, orchestrator::destination_line(
-                         i, label, "trace", core::trace_to_json(trace)));
+                         i, label, core::stop_set_envelope_fields(trace),
+                         "trace", core::trace_to_json(trace)));
         packets += trace.packets;
         if (trace.reached_destination) ++reached;
+        probes_saved += trace.probes_saved_by_stop_set;
+        if (trace.stop_set_active && trace.stopped_on_hit) ++traces_stopped;
         accounting.record_all(trace.graph);
         feeder.release(i);
       });
@@ -192,6 +211,20 @@ int run_fleet(const Flags& flags) {
       elapsed.count() > 0 ? static_cast<double>(packets) / elapsed.count()
                           : 0.0,
       fleet_config.jobs);
+  if (const auto* stop_set = stop_set_session.stop_set()) {
+    // Machine-parsable (the CI warm-cache gate greps these key=value
+    // pairs); the digest identifies the discovered topology regardless
+    // of how discovery was split between cache and probing.
+    std::fprintf(
+        stderr,
+        "mmlpt_fleet: stop-set visible_hops=%zu pending_hops=%zu "
+        "probes_saved=%llu stopped=%llu union_digest=%016llx\n",
+        stop_set->visible_hop_count(), stop_set->pending_hop_count(),
+        static_cast<unsigned long long>(probes_saved),
+        static_cast<unsigned long long>(traces_stopped),
+        static_cast<unsigned long long>(stop_set->union_digest()));
+  }
+  stop_set_session.flush();
   return 0;
 }
 

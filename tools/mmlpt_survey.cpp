@@ -15,6 +15,7 @@
 #include "common/flags.h"
 #include "common/json.h"
 #include "orchestrator/result_sink.h"
+#include "orchestrator/stop_set.h"
 #include "survey/evaluation.h"
 #include "survey/ip_survey.h"
 #include "survey/router_survey.h"
@@ -48,7 +49,7 @@ constexpr const char kUsagePrefix[] =
 
 void print_usage() {
   std::fputs(kUsagePrefix, stdout);
-  std::fputs(tools::kFleetOptionsUsage, stdout);
+  std::fputs(tools::fleet_options_usage().c_str(), stdout);
 }
 
 void emit_histogram(JsonWriter& w, const Histogram& h) {
@@ -91,6 +92,29 @@ std::unique_ptr<StreamingOutput> make_output(const Flags& flags) {
   return std::make_unique<StreamingOutput>(path, fsync_lines);
 }
 
+/// The "stop_set" summary object — only emitted when a topology cache is
+/// in use, so default output stays byte-stable.
+void emit_stop_set_summary(JsonWriter& w,
+                           const orchestrator::StopSetSession& session,
+                           std::uint64_t probes_saved,
+                           std::uint64_t traces_stopped) {
+  const auto* set = session.stop_set();
+  if (set == nullptr) return;
+  w.key("stop_set");
+  w.begin_object();
+  w.key("consulted");
+  w.value(session.consult());
+  w.key("visible_hops");
+  w.value(static_cast<std::uint64_t>(set->visible_hop_count()));
+  w.key("pending_hops");
+  w.value(static_cast<std::uint64_t>(set->pending_hop_count()));
+  w.key("probes_saved_by_stop_set");
+  w.value(probes_saved);
+  w.key("traces_stopped");
+  w.value(traces_stopped);
+  w.end_object();
+}
+
 int run_ip(const Flags& flags, JsonWriter& w) {
   survey::IpSurveyConfig config;
   config.generator.family = tools::parse_family(flags);
@@ -103,9 +127,13 @@ int run_ip(const Flags& flags, JsonWriter& w) {
   config.burst = fleet_options.burst;
   config.merge_windows = fleet_options.merge_windows;
   config.trace.window = fleet_options.window;
+  orchestrator::StopSetSession stop_set_session(
+      fleet_options.stop_set.topology_cache, fleet_options.stop_set.consult);
+  stop_set_session.configure(config.trace);
   const auto output = make_output(flags);
   const auto result = survey::run_ip_survey(
       config, output ? &*output->sink : nullptr);
+  stop_set_session.flush();
 
   w.begin_object();
   w.key("mode");
@@ -116,6 +144,8 @@ int run_ip(const Flags& flags, JsonWriter& w) {
   w.value(result.routes_with_diamonds);
   w.key("total_packets");
   w.value(result.total_packets);
+  emit_stop_set_summary(w, stop_set_session, result.probes_saved_by_stop_set,
+                        result.traces_stopped);
   for (const auto side : {"measured", "distinct"}) {
     const auto& d = side == std::string("measured")
                         ? result.accounting.measured()
@@ -146,8 +176,9 @@ int run_evaluation(const Flags& flags, JsonWriter& w) {
   // The evaluation runs five tracer variants over shared per-pair state;
   // it is not fleet-wired (yet), so say so instead of silently ignoring
   // the fleet flags.
-  for (const char* flag : {"jobs", "pps", "burst", "output", "window",
-                           "family", "merge-windows", "fsync"}) {
+  for (const char* flag :
+       {"jobs", "pps", "burst", "output", "window", "family",
+        "merge-windows", "fsync", "stop-set", "topology-cache"}) {
     if (flags.has(flag)) {
       std::fprintf(stderr,
                    "mmlpt_survey: --%s is ignored in evaluation mode\n",
@@ -198,9 +229,13 @@ int run_router(const Flags& flags, JsonWriter& w) {
   config.burst = fleet_options.burst;
   config.merge_windows = fleet_options.merge_windows;
   config.multilevel.trace.window = fleet_options.window;
+  orchestrator::StopSetSession stop_set_session(
+      fleet_options.stop_set.topology_cache, fleet_options.stop_set.consult);
+  stop_set_session.configure(config.multilevel.trace);
   const auto output = make_output(flags);
   const auto result = survey::run_router_survey(
       config, output ? &*output->sink : nullptr);
+  stop_set_session.flush();
 
   w.begin_object();
   w.key("mode");
@@ -209,6 +244,8 @@ int run_router(const Flags& flags, JsonWriter& w) {
   w.value(result.routes_traced);
   w.key("unique_diamonds");
   w.value(result.unique_diamonds);
+  emit_stop_set_summary(w, stop_set_session, result.probes_saved_by_stop_set,
+                        result.traces_stopped);
   w.key("resolution");
   w.begin_object();
   w.key("no_change");

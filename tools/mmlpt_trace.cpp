@@ -19,6 +19,7 @@
 #include "core/trace_json.h"
 #include "core/validation.h"
 #include "fakeroute/simulator.h"
+#include "orchestrator/stop_set.h"
 #include "probe/raw_socket_network.h"
 #include "probe/simulated_network.h"
 #include "topology/generator.h"
@@ -66,8 +67,16 @@ constexpr const char kUsage[] =
     "  --real --destination IP       raw sockets (needs CAP_NET_RAW)\n"
     "  --source IP                   source address for --real (default\n"
     "                                0.0.0.0; IPv6 requires an explicit\n"
-    "                                source)\n"
-    "  --version                     print version and exit\n";
+    "                                source)\n";
+
+constexpr const char kUsageSuffix[] =
+    "  --version            print version and exit\n";
+
+void print_usage() {
+  std::fputs(kUsage, stdout);
+  std::fputs(tools::stop_set_options_usage().c_str(), stdout);
+  std::fputs(kUsageSuffix, stdout);
+}
 
 topo::MultipathGraph builtin_topology(const std::string& name) {
   if (name == "simplest") return topo::simplest_diamond();
@@ -125,10 +134,11 @@ void print_text_trace(const core::TraceResult& result) {
     }
     std::printf("\n");
   }
-  std::printf("# %llu packets%s%s\n",
+  std::printf("# %llu packets%s%s%s\n",
               static_cast<unsigned long long>(result.packets),
               result.reached_destination ? "" : " (destination not reached)",
-              result.switched_to_mda ? ", switched to full MDA" : "");
+              result.switched_to_mda ? ", switched to full MDA" : "",
+              result.stopped_on_hit ? ", stopped on stop-set hit" : "");
 }
 
 void print_text_multilevel(const core::MultilevelResult& result) {
@@ -164,7 +174,7 @@ void print_text_multilevel(const core::MultilevelResult& result) {
 int run(const Flags& flags) {
   // has(), not get_bool(): "--help <positional>" must still print usage.
   if (flags.has("help")) {
-    std::fputs(kUsage, stdout);
+    print_usage();
     return 0;
   }
   if (tools::handle_version(flags, "mmlpt_trace")) return 0;
@@ -175,6 +185,10 @@ int run(const Flags& flags) {
       static_cast<int>(flags.get_int("branching", 30));
   trace_config.phi = static_cast<int>(flags.get_int("phi", 2));
   trace_config.window = tools::parse_window(flags);
+  const auto stop_set_options = tools::parse_stop_set_options(flags);
+  orchestrator::StopSetSession stop_set_session(
+      stop_set_options.topology_cache, stop_set_options.consult);
+  stop_set_session.configure(trace_config);
 
   const auto algorithm_name = flags.get("algorithm", "lite");
   core::Algorithm algorithm = core::Algorithm::kMdaLite;
@@ -231,6 +245,7 @@ int run(const Flags& flags) {
     } else {
       print_text_multilevel(result);
     }
+    stop_set_session.flush();
     return 0;
   }
 
@@ -251,6 +266,7 @@ int run(const Flags& flags) {
   } else {
     print_text_trace(result);
   }
+  stop_set_session.flush();
   return 0;
 }
 

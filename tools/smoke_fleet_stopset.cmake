@@ -1,0 +1,30 @@
+# Smoke script for the Doubletree stop set: a cold record-only fleet run
+# warms a fresh topology cache, then a consulting re-run over the same
+# shared-prefix world must report probes saved. Driven by add_test in
+# tools/CMakeLists.txt (variables: FLEET_TOOL, CACHE_FILE, OUTPUT_FILE).
+file(REMOVE "${CACHE_FILE}")
+
+execute_process(
+  COMMAND "${FLEET_TOOL}" --routes 6 --distinct 5 --jobs 3
+    --shared-prefix 3 --topology-cache "${CACHE_FILE}"
+    --output "${OUTPUT_FILE}"
+  RESULT_VARIABLE cold_rc)
+if(NOT cold_rc EQUAL 0)
+  message(FATAL_ERROR "cold record-only fleet run failed (${cold_rc})")
+endif()
+if(NOT EXISTS "${CACHE_FILE}")
+  message(FATAL_ERROR "record-only run did not write the topology cache")
+endif()
+
+execute_process(
+  COMMAND "${FLEET_TOOL}" --routes 6 --distinct 5 --jobs 3
+    --shared-prefix 3 --topology-cache "${CACHE_FILE}" --stop-set
+    --output "${OUTPUT_FILE}"
+  ERROR_VARIABLE warm_stderr
+  RESULT_VARIABLE warm_rc)
+if(NOT warm_rc EQUAL 0)
+  message(FATAL_ERROR "warm --stop-set fleet run failed (${warm_rc})")
+endif()
+if(NOT warm_stderr MATCHES "stop-set visible_hops=")
+  message(FATAL_ERROR "warm run printed no stop-set summary: ${warm_stderr}")
+endif()
