@@ -1,0 +1,110 @@
+#include "daemon/admission.h"
+
+#include "common/json.h"
+
+namespace mmlpt::daemon {
+
+AdmissionController::AdmissionController(AdmissionLimits limits)
+    : limits_(limits) {}
+
+AdmissionTicket AdmissionController::try_admit(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TenantRecord& record = tenants_[tenant];
+  AdmissionTicket ticket;
+  if (limits_.max_jobs_total > 0 && active_total_ >= limits_.max_jobs_total) {
+    ticket.reason = "daemon job limit reached (max_jobs_total=" +
+                    std::to_string(limits_.max_jobs_total) + ")";
+  } else if (limits_.max_jobs_per_tenant > 0 &&
+             record.active >= limits_.max_jobs_per_tenant) {
+    ticket.reason = "tenant job limit reached (max_jobs_per_tenant=" +
+                    std::to_string(limits_.max_jobs_per_tenant) + ")";
+  } else {
+    ticket.admitted = true;
+  }
+  if (!ticket.admitted) {
+    ++record.rejected;
+    ++rejected_total_;
+    return ticket;
+  }
+  ++record.active;
+  ++record.admitted;
+  ++active_total_;
+  ++admitted_total_;
+  if (limits_.tenant_pps > 0.0 && !record.limiter) {
+    record.limiter = std::make_unique<orchestrator::RateLimiter>(
+        limits_.tenant_pps, limits_.tenant_burst);
+  }
+  ticket.limiter = record.limiter.get();
+  return ticket;
+}
+
+void AdmissionController::release(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end() || it->second.active <= 0) return;
+  --it->second.active;
+  --active_total_;
+}
+
+int AdmissionController::jobs_active() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_total_;
+}
+
+std::uint64_t AdmissionController::jobs_admitted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return admitted_total_;
+}
+
+std::uint64_t AdmissionController::jobs_rejected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_total_;
+}
+
+std::string AdmissionController::status_json() const {
+  JsonWriter w;
+  write_status(w);
+  return std::move(w).take();
+}
+
+void AdmissionController::write_status(JsonWriter& w) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  w.begin_object();
+  w.key("jobs_active");
+  w.value(static_cast<std::int64_t>(active_total_));
+  w.key("jobs_admitted");
+  w.value(admitted_total_);
+  w.key("jobs_rejected");
+  w.value(rejected_total_);
+  w.key("limits");
+  w.begin_object();
+  w.key("max_jobs_total");
+  w.value(static_cast<std::int64_t>(limits_.max_jobs_total));
+  w.key("max_jobs_per_tenant");
+  w.value(static_cast<std::int64_t>(limits_.max_jobs_per_tenant));
+  w.key("tenant_pps");
+  w.value(limits_.tenant_pps);
+  w.key("tenant_burst");
+  w.value(static_cast<std::int64_t>(limits_.tenant_burst));
+  w.end_object();
+  w.key("tenants");
+  w.begin_array();
+  for (const auto& [name, record] : tenants_) {
+    w.begin_object();
+    w.key("tenant");
+    w.value(name);
+    w.key("active");
+    w.value(static_cast<std::int64_t>(record.active));
+    w.key("admitted");
+    w.value(record.admitted);
+    w.key("rejected");
+    w.value(record.rejected);
+    w.key("tokens_granted");
+    w.value(record.limiter ? record.limiter->granted() : std::uint64_t{0});
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace mmlpt::daemon

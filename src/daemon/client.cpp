@@ -1,0 +1,173 @@
+#include "daemon/client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/error.h"
+
+namespace mmlpt::daemon {
+namespace {
+
+int connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof addr.sun_path) {
+    throw ConfigError("bad mmlptd socket path: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw SystemError(std::string("cannot create unix socket: ") +
+                      std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    throw SystemError("cannot connect to mmlptd at " + path + ": " +
+                      std::strerror(err));
+  }
+  ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  return fd;
+}
+
+}  // namespace
+
+Client::Client(const std::string& socket_path, const std::string& tenant)
+    : fd_(connect_unix(socket_path)), reader_(fd_) {
+  try {
+    Hello hello;
+    hello.tenant = tenant;
+    write_frame(fd_, encode_hello(hello));
+    for (;;) {
+      const auto frame = read_frame(/*wake_fd=*/-1);
+      if (!is_known_frame_type(frame->type)) continue;  // forward compat
+      if (frame->type == static_cast<std::uint8_t>(FrameType::kError)) {
+        throw Error("daemon refused handshake: " +
+                    decode_error(*frame).message);
+      }
+      if (frame->type == static_cast<std::uint8_t>(FrameType::kHelloAck)) {
+        version_ = decode_hello_ack(*frame).version;
+        return;
+      }
+      // Anything else before the ack is a confused daemon; keep reading.
+    }
+  } catch (...) {
+    ::close(fd_);
+    throw;
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::optional<Frame> Client::read_frame(int wake_fd) {
+  for (;;) {
+    if (auto frame = reader_.next()) return frame;
+    struct pollfd fds[2] = {{fd_, POLLIN, 0}, {wake_fd, POLLIN, 0}};
+    const int count = wake_fd >= 0 ? 2 : 1;
+    const int n = ::poll(fds, static_cast<nfds_t>(count), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw SystemError(std::string("client poll failed: ") +
+                        std::strerror(errno));
+    }
+    if (count == 2 && fds[1].revents != 0) return std::nullopt;
+    if (fds[0].revents == 0) continue;
+    if (!reader_.fill()) {
+      throw Error(reader_.has_partial_frame()
+                      ? "daemon closed the connection mid-frame"
+                      : "daemon closed the connection");
+    }
+  }
+}
+
+ClientJobResult Client::run_job(const FleetJobSpec& spec,
+                                const ClientRunOptions& options) {
+  const std::uint64_t job_id = next_job_id_++;
+  write_frame(fd_, encode_job_request({job_id, spec}));
+
+  ClientJobResult result;
+  bool cancel_sent = false;
+  std::uint64_t lines = 0;
+  int wake_fd = options.cancel_fd;
+  const auto send_cancel_once = [&] {
+    if (cancel_sent) return;
+    write_frame(fd_, encode_cancel({job_id}));
+    cancel_sent = true;
+  };
+
+  for (;;) {
+    const auto frame = read_frame(wake_fd);
+    if (!frame) {  // wake_fd fired (a signal arrived): cancel, keep reading
+      wake_fd = -1;
+      send_cancel_once();
+      continue;
+    }
+    if (!is_known_frame_type(frame->type)) continue;
+    switch (static_cast<FrameType>(frame->type)) {
+      case FrameType::kResultLine: {
+        auto line = decode_result_line(*frame);
+        if (line.job_id != job_id) break;
+        ++lines;
+        if (options.on_line) options.on_line(line.line);
+        if (options.cancel_after_lines > 0 &&
+            lines >= options.cancel_after_lines) {
+          send_cancel_once();
+        }
+        break;
+      }
+      case FrameType::kProgress: {
+        const auto progress = decode_progress(*frame);
+        if (progress.job_id == job_id && options.on_progress) {
+          options.on_progress(progress);
+        }
+        break;
+      }
+      case FrameType::kStopSetSummary: {
+        auto summary = decode_stop_set_summary(*frame);
+        if (summary.job_id == job_id) {
+          result.stop_set_summary = std::move(summary.text);
+        }
+        break;
+      }
+      case FrameType::kJobStatus: {
+        auto status = decode_job_status(*frame);
+        if (status.job_id != job_id) break;
+        result.outcome = status.outcome;
+        result.message = std::move(status.message);
+        result.lines = status.lines;
+        result.packets = status.packets;
+        return result;
+      }
+      case FrameType::kError:
+        throw Error("daemon error: " + decode_error(*frame).message);
+      default:
+        break;  // ServerStatus for someone else, stray handshake frames
+    }
+  }
+}
+
+std::string Client::server_status() {
+  write_frame(fd_, encode_status_request());
+  for (;;) {
+    const auto frame = read_frame(/*wake_fd=*/-1);
+    if (!is_known_frame_type(frame->type)) continue;
+    if (frame->type == static_cast<std::uint8_t>(FrameType::kServerStatus)) {
+      return decode_server_status(*frame).json;
+    }
+    if (frame->type == static_cast<std::uint8_t>(FrameType::kError)) {
+      throw Error("daemon error: " + decode_error(*frame).message);
+    }
+    // A stale ResultLine/JobStatus from a prior canceled job: skip.
+  }
+}
+
+}  // namespace mmlpt::daemon

@@ -1,0 +1,59 @@
+#include "daemon/frame_io.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/error.h"
+
+namespace mmlpt::daemon {
+
+std::optional<Frame> FrameReader::next() {
+  auto frame = decode_frame(buffer_, offset_);
+  if (frame && offset_ == buffer_.size()) {
+    // Frame boundary: drop the consumed bytes so the buffer tracks the
+    // in-flight frame, not the connection lifetime.
+    buffer_.clear();
+    offset_ = 0;
+  }
+  return frame;
+}
+
+bool FrameReader::fill() {
+  char chunk[4096];
+  ssize_t n;
+  do {
+    n = ::read(fd_, chunk, sizeof chunk);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
+    throw SystemError(std::string("frame read failed: ") +
+                      std::strerror(errno));
+  }
+  if (n == 0) return false;
+  buffer_.append(chunk, static_cast<std::size_t>(n));
+  return true;
+}
+
+void write_frame(int fd, const Frame& frame) {
+  const std::string bytes = encode_frame(frame);
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    // MSG_NOSIGNAL: a peer that disconnected mid-stream must surface as
+    // EPIPE (an exception), not kill the daemon with SIGPIPE.
+    ssize_t n = ::send(fd, bytes.data() + written, bytes.size() - written,
+                       MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) {
+      n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw SystemError(std::string("frame write failed: ") +
+                        std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace mmlpt::daemon

@@ -1,0 +1,376 @@
+#include "daemon/protocol.h"
+
+#include "common/assert.h"
+#include "store/topology_store.h"
+
+namespace mmlpt::daemon {
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+[[nodiscard]] std::uint32_t get_u32(const char* data) {
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data);
+  return static_cast<std::uint32_t>(bytes[0]) |
+         (static_cast<std::uint32_t>(bytes[1]) << 8) |
+         (static_cast<std::uint32_t>(bytes[2]) << 16) |
+         (static_cast<std::uint32_t>(bytes[3]) << 24);
+}
+
+[[nodiscard]] PayloadReader reader_for(const Frame& frame, FrameType expect) {
+  if (frame.type != static_cast<std::uint8_t>(expect)) {
+    throw ParseError("frame type mismatch: got " +
+                     std::to_string(frame.type) + ", want " +
+                     std::to_string(static_cast<int>(expect)));
+  }
+  return PayloadReader(frame.payload);
+}
+
+}  // namespace
+
+bool is_known_frame_type(std::uint8_t type) noexcept {
+  switch (static_cast<FrameType>(type)) {
+    case FrameType::kHello:
+    case FrameType::kJobRequest:
+    case FrameType::kCancel:
+    case FrameType::kStatusRequest:
+    case FrameType::kHelloAck:
+    case FrameType::kProgress:
+    case FrameType::kResultLine:
+    case FrameType::kStopSetSummary:
+    case FrameType::kJobStatus:
+    case FrameType::kError:
+    case FrameType::kServerStatus:
+      return true;
+  }
+  return false;
+}
+
+std::string encode_frame(const Frame& frame) {
+  MMLPT_EXPECTS(frame.payload.size() <= kMaxFramePayload);
+  std::string out;
+  out.reserve(kFrameHeaderSize + frame.payload.size());
+  put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  out.push_back(static_cast<char>(frame.type));
+  put_u32(out, store::crc32(frame.payload));
+  out += frame.payload;
+  return out;
+}
+
+std::optional<Frame> decode_frame(std::string_view buffer,
+                                  std::size_t& offset) {
+  MMLPT_EXPECTS(offset <= buffer.size());
+  const std::size_t available = buffer.size() - offset;
+  if (available < kFrameHeaderSize) return std::nullopt;
+  const std::uint32_t length = get_u32(buffer.data() + offset);
+  // Reject before waiting for the payload: a corrupt length must not
+  // make the reader buffer (or "need") gigabytes.
+  if (length > kMaxFramePayload) {
+    throw ParseError("frame payload length " + std::to_string(length) +
+                     " exceeds the " + std::to_string(kMaxFramePayload) +
+                     "-byte cap");
+  }
+  if (available < kFrameHeaderSize + length) return std::nullopt;
+  Frame frame;
+  frame.type = static_cast<std::uint8_t>(buffer[offset + 4]);
+  const std::uint32_t crc = get_u32(buffer.data() + offset + 5);
+  frame.payload.assign(buffer.data() + offset + kFrameHeaderSize, length);
+  if (store::crc32(frame.payload) != crc) {
+    throw ParseError("frame CRC mismatch (torn or corrupted stream)");
+  }
+  offset += kFrameHeaderSize + length;
+  return frame;
+}
+
+// ---- payload cursors ---------------------------------------------------
+
+void PayloadWriter::u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+
+void PayloadWriter::u32(std::uint32_t v) { put_u32(out_, v); }
+
+void PayloadWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v & 0xFFFFFFFFULL));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void PayloadWriter::string(std::string_view v) {
+  MMLPT_EXPECTS(v.size() <= kMaxFramePayload);
+  u32(static_cast<std::uint32_t>(v.size()));
+  out_ += v;
+}
+
+std::uint8_t PayloadReader::u8() {
+  if (pos_ + 1 > data_.size()) throw ParseError("payload truncated (u8)");
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint32_t PayloadReader::u32() {
+  if (pos_ + 4 > data_.size()) throw ParseError("payload truncated (u32)");
+  const std::uint32_t v = get_u32(data_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t PayloadReader::u64() {
+  const std::uint64_t lo = u32();
+  const std::uint64_t hi = u32();
+  return lo | (hi << 32);
+}
+
+std::string PayloadReader::string() {
+  const std::uint32_t length = u32();
+  if (length > kMaxFramePayload || pos_ + length > data_.size()) {
+    throw ParseError("payload truncated (string of " +
+                     std::to_string(length) + " bytes)");
+  }
+  std::string v(data_.substr(pos_, length));
+  pos_ += length;
+  return v;
+}
+
+void PayloadReader::expect_end() const {
+  if (pos_ != data_.size()) {
+    throw ParseError("payload has " + std::to_string(data_.size() - pos_) +
+                     " trailing bytes");
+  }
+}
+
+// ---- frame payloads ----------------------------------------------------
+
+std::optional<std::uint32_t> negotiate_version(const Hello& hello) noexcept {
+  if (hello.min_version > hello.max_version) return std::nullopt;
+  if (hello.min_version > kProtocolVersion ||
+      hello.max_version < kProtocolVersion) {
+    return std::nullopt;
+  }
+  return kProtocolVersion;
+}
+
+Frame encode_hello(const Hello& hello) {
+  PayloadWriter w;
+  w.u32(kProtocolMagic);
+  w.u32(hello.min_version);
+  w.u32(hello.max_version);
+  w.string(hello.tenant);
+  return {static_cast<std::uint8_t>(FrameType::kHello), std::move(w).take()};
+}
+
+Hello decode_hello(const Frame& frame) {
+  auto r = reader_for(frame, FrameType::kHello);
+  if (r.u32() != kProtocolMagic) {
+    throw ParseError("hello magic mismatch: not an mmlptd client");
+  }
+  Hello hello;
+  hello.min_version = r.u32();
+  hello.max_version = r.u32();
+  hello.tenant = r.string();
+  r.expect_end();
+  return hello;
+}
+
+Frame encode_hello_ack(const HelloAck& ack) {
+  PayloadWriter w;
+  w.u32(ack.version);
+  return {static_cast<std::uint8_t>(FrameType::kHelloAck),
+          std::move(w).take()};
+}
+
+HelloAck decode_hello_ack(const Frame& frame) {
+  auto r = reader_for(frame, FrameType::kHelloAck);
+  HelloAck ack;
+  ack.version = r.u32();
+  r.expect_end();
+  return ack;
+}
+
+Frame encode_job_request(const JobRequest& request) {
+  PayloadWriter w;
+  w.u64(request.job_id);
+  w.u8(static_cast<std::uint8_t>(request.spec.family));
+  w.u8(static_cast<std::uint8_t>(request.spec.algorithm));
+  w.u64(request.spec.routes);
+  w.u64(request.spec.seed);
+  w.u64(request.spec.distinct);
+  w.u32(static_cast<std::uint32_t>(request.spec.shared_prefix));
+  w.u32(static_cast<std::uint32_t>(request.spec.window));
+  w.u32(static_cast<std::uint32_t>(request.spec.labels.size()));
+  for (const auto& label : request.spec.labels) w.string(label);
+  return {static_cast<std::uint8_t>(FrameType::kJobRequest),
+          std::move(w).take()};
+}
+
+JobRequest decode_job_request(const Frame& frame) {
+  auto r = reader_for(frame, FrameType::kJobRequest);
+  JobRequest request;
+  request.job_id = r.u64();
+  const auto family = r.u8();
+  if (family != 4 && family != 6) {
+    throw ParseError("job request: bad family tag " + std::to_string(family));
+  }
+  request.spec.family = static_cast<net::Family>(family);
+  const auto algorithm = r.u8();
+  if (algorithm > static_cast<std::uint8_t>(core::Algorithm::kSingleFlow)) {
+    throw ParseError("job request: bad algorithm tag " +
+                     std::to_string(algorithm));
+  }
+  request.spec.algorithm = static_cast<core::Algorithm>(algorithm);
+  request.spec.routes = r.u64();
+  request.spec.seed = r.u64();
+  request.spec.distinct = r.u64();
+  request.spec.shared_prefix = static_cast<int>(r.u32());
+  request.spec.window = static_cast<int>(r.u32());
+  if (request.spec.shared_prefix < 0 || request.spec.window < 1) {
+    throw ParseError("job request: shared_prefix/window out of range");
+  }
+  const std::uint32_t label_count = r.u32();
+  // Each label costs at least its 4-byte length prefix, so a count the
+  // remaining payload cannot hold is torn — reject it BEFORE reserve()
+  // turns a corrupt u32 into a multi-gigabyte allocation.
+  if (label_count > (frame.payload.size() - r.consumed()) / 4) {
+    throw ParseError("job request: label count " +
+                     std::to_string(label_count) +
+                     " exceeds the payload");
+  }
+  request.spec.labels.reserve(label_count);
+  for (std::uint32_t i = 0; i < label_count; ++i) {
+    request.spec.labels.push_back(r.string());
+  }
+  r.expect_end();
+  return request;
+}
+
+Frame encode_cancel(const CancelRequest& cancel) {
+  PayloadWriter w;
+  w.u64(cancel.job_id);
+  return {static_cast<std::uint8_t>(FrameType::kCancel), std::move(w).take()};
+}
+
+CancelRequest decode_cancel(const Frame& frame) {
+  auto r = reader_for(frame, FrameType::kCancel);
+  CancelRequest cancel;
+  cancel.job_id = r.u64();
+  r.expect_end();
+  return cancel;
+}
+
+Frame encode_status_request() {
+  return {static_cast<std::uint8_t>(FrameType::kStatusRequest), ""};
+}
+
+Frame encode_progress(const Progress& progress) {
+  PayloadWriter w;
+  w.u64(progress.job_id);
+  w.u64(progress.completed);
+  w.u64(progress.total);
+  w.u64(progress.packets);
+  return {static_cast<std::uint8_t>(FrameType::kProgress),
+          std::move(w).take()};
+}
+
+Progress decode_progress(const Frame& frame) {
+  auto r = reader_for(frame, FrameType::kProgress);
+  Progress progress;
+  progress.job_id = r.u64();
+  progress.completed = r.u64();
+  progress.total = r.u64();
+  progress.packets = r.u64();
+  r.expect_end();
+  return progress;
+}
+
+Frame encode_result_line(const ResultLine& line) {
+  PayloadWriter w;
+  w.u64(line.job_id);
+  w.string(line.line);
+  return {static_cast<std::uint8_t>(FrameType::kResultLine),
+          std::move(w).take()};
+}
+
+ResultLine decode_result_line(const Frame& frame) {
+  auto r = reader_for(frame, FrameType::kResultLine);
+  ResultLine line;
+  line.job_id = r.u64();
+  line.line = r.string();
+  r.expect_end();
+  return line;
+}
+
+Frame encode_stop_set_summary(const StopSetSummary& summary) {
+  PayloadWriter w;
+  w.u64(summary.job_id);
+  w.string(summary.text);
+  return {static_cast<std::uint8_t>(FrameType::kStopSetSummary),
+          std::move(w).take()};
+}
+
+StopSetSummary decode_stop_set_summary(const Frame& frame) {
+  auto r = reader_for(frame, FrameType::kStopSetSummary);
+  StopSetSummary summary;
+  summary.job_id = r.u64();
+  summary.text = r.string();
+  r.expect_end();
+  return summary;
+}
+
+Frame encode_job_status(const JobStatus& status) {
+  PayloadWriter w;
+  w.u64(status.job_id);
+  w.u8(static_cast<std::uint8_t>(status.outcome));
+  w.string(status.message);
+  w.u64(status.lines);
+  w.u64(status.packets);
+  return {static_cast<std::uint8_t>(FrameType::kJobStatus),
+          std::move(w).take()};
+}
+
+JobStatus decode_job_status(const Frame& frame) {
+  auto r = reader_for(frame, FrameType::kJobStatus);
+  JobStatus status;
+  status.job_id = r.u64();
+  const auto outcome = r.u8();
+  if (outcome > static_cast<std::uint8_t>(JobOutcome::kFailed)) {
+    throw ParseError("job status: bad outcome tag " +
+                     std::to_string(outcome));
+  }
+  status.outcome = static_cast<JobOutcome>(outcome);
+  status.message = r.string();
+  status.lines = r.u64();
+  status.packets = r.u64();
+  r.expect_end();
+  return status;
+}
+
+Frame encode_error(const ErrorFrame& error) {
+  PayloadWriter w;
+  w.string(error.message);
+  return {static_cast<std::uint8_t>(FrameType::kError), std::move(w).take()};
+}
+
+ErrorFrame decode_error(const Frame& frame) {
+  auto r = reader_for(frame, FrameType::kError);
+  ErrorFrame error;
+  error.message = r.string();
+  r.expect_end();
+  return error;
+}
+
+Frame encode_server_status(const ServerStatus& status) {
+  PayloadWriter w;
+  w.string(status.json);
+  return {static_cast<std::uint8_t>(FrameType::kServerStatus),
+          std::move(w).take()};
+}
+
+ServerStatus decode_server_status(const Frame& frame) {
+  auto r = reader_for(frame, FrameType::kServerStatus);
+  ServerStatus status;
+  status.json = r.string();
+  r.expect_end();
+  return status;
+}
+
+}  // namespace mmlpt::daemon

@@ -1,0 +1,107 @@
+// mmlptd: the measurement daemon. ONE privileged process owns the whole
+// probing stack — FleetScheduler (fleet-wide RateLimiter +
+// FleetTransportHub) and StopSetSession — and serves trace jobs to many
+// cheap unprivileged clients over a unix stream socket speaking the
+// framed protocol in protocol.h.
+//
+// Concurrency shape:
+//   * one accept thread polls { listen fd, shutdown pipe };
+//   * one thread per connection polls { conn fd, shutdown pipe } and
+//     decodes request frames;
+//   * each admitted job runs on its own thread through the SHARED
+//     scheduler (FleetScheduler::run is re-entrant; per-job determinism
+//     comes from the job spec's seed alone), streaming ResultLine /
+//     Progress frames back under a per-connection write mutex;
+//   * jobs submitted while one is running queue per connection, bounded
+//     — overflow is refused with a kRejected status, never buffered
+//     unboundedly.
+//
+// Cancellation: a kCancel frame (or the client disconnecting) fires the
+// job's probe::CancelToken; in-flight tickets resolve through
+// TransportQueue::cancel and the job unwinds as probe::CanceledError —
+// other tenants' jobs never notice.
+//
+// Shutdown (stop()): close the listener, wake every connection thread
+// through the shutdown pipe, SHUT_RDWR idle connections, let RUNNING
+// jobs finish (drain, not abort), join everything, flush the
+// StopSetSession, unlink the socket.
+#ifndef MMLPT_DAEMON_SERVER_H
+#define MMLPT_DAEMON_SERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "daemon/admission.h"
+#include "daemon/fleet_job.h"
+#include "daemon/protocol.h"
+#include "fakeroute/simulator.h"
+#include "orchestrator/fleet.h"
+#include "orchestrator/stop_set.h"
+
+namespace mmlpt::daemon {
+
+struct DaemonConfig {
+  std::string socket_path;
+  orchestrator::FleetConfig fleet;  ///< shared scheduler (jobs/pps/burst/hub)
+  AdmissionLimits admission;
+  /// Stop-set store shared across ALL clients ("" = feature off).
+  std::string topology_cache;
+  bool consult_stop_set = true;
+  fakeroute::SimConfig sim;
+  /// Jobs a connection may have queued behind its running one.
+  int max_queued_jobs_per_connection = 4;
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonConfig config);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Bind + listen on config.socket_path and spawn the accept thread.
+  /// Throws SystemError when the socket cannot be set up.
+  void start();
+
+  /// Drain-and-exit: see the file comment. Idempotent; also runs from
+  /// the destructor if the caller forgot.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const DaemonConfig& config() const noexcept { return config_; }
+  [[nodiscard]] AdmissionController& admission() noexcept { return admission_; }
+  /// The daemon status document sent in ServerStatus frames.
+  [[nodiscard]] std::string status_json() const;
+
+ private:
+  class Connection;
+
+  void accept_loop();
+  void reap_finished_connections();
+
+  DaemonConfig config_;
+  orchestrator::FleetScheduler fleet_;
+  orchestrator::StopSetSession stop_set_session_;
+  AdmissionController admission_;
+
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  int shutdown_pipe_[2] = {-1, -1};  ///< [read, write]; never drained
+  std::thread accept_thread_;
+
+  mutable std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::uint64_t connections_accepted_ = 0;
+};
+
+}  // namespace mmlpt::daemon
+
+#endif  // MMLPT_DAEMON_SERVER_H

@@ -1,0 +1,76 @@
+#include "daemon/signals.h"
+
+#include <atomic>
+#include <csignal>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/error.h"
+
+namespace mmlpt::daemon {
+namespace {
+
+// Handler-visible state. The token pointer is written only from the
+// main thread (link) before signals are expected; the handler reads it.
+volatile std::sig_atomic_t g_signal = 0;
+std::atomic<probe::CancelToken*> g_token{nullptr};
+int g_pipe_read = -1;
+int g_pipe_write = -1;
+
+extern "C" void handle_shutdown_signal(int sig) {
+  if (g_signal != 0) {
+    // Second delivery: the drain wedged or the user is insistent.
+    _exit(128 + sig);
+  }
+  g_signal = sig;
+  if (auto* token = g_token.load(std::memory_order_relaxed)) {
+    token->request();  // relaxed atomic store: async-signal-safe
+  }
+  // One byte makes the read end readable forever (never drained). A full
+  // pipe would mean it is already readable, so a failed write is fine.
+  const char byte = 1;
+  [[maybe_unused]] const auto n = ::write(g_pipe_write, &byte, 1);
+}
+
+}  // namespace
+
+ShutdownSignal& ShutdownSignal::install() {
+  static ShutdownSignal instance = [] {
+    int fds[2];
+    if (::pipe(fds) != 0) {
+      throw SystemError("cannot create shutdown self-pipe");
+    }
+    g_pipe_read = fds[0];
+    g_pipe_write = fds[1];
+    ::fcntl(g_pipe_write, F_SETFL, O_NONBLOCK);
+    ::fcntl(g_pipe_read, F_SETFD, FD_CLOEXEC);
+    ::fcntl(g_pipe_write, F_SETFD, FD_CLOEXEC);
+    struct sigaction action {};
+    action.sa_handler = handle_shutdown_signal;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;  // no SA_RESTART: blocked reads must wake
+    ::sigaction(SIGINT, &action, nullptr);
+    ::sigaction(SIGTERM, &action, nullptr);
+    return ShutdownSignal();
+  }();
+  return instance;
+}
+
+bool ShutdownSignal::requested() const noexcept { return g_signal != 0; }
+
+int ShutdownSignal::signal() const noexcept {
+  return static_cast<int>(g_signal);
+}
+
+int ShutdownSignal::exit_code() const noexcept {
+  return g_signal == 0 ? 0 : 128 + static_cast<int>(g_signal);
+}
+
+int ShutdownSignal::fd() const noexcept { return g_pipe_read; }
+
+void ShutdownSignal::link(probe::CancelToken* token) noexcept {
+  g_token.store(token, std::memory_order_relaxed);
+}
+
+}  // namespace mmlpt::daemon

@@ -1,0 +1,46 @@
+// SIGINT/SIGTERM plumbing shared by every long-running mmlpt tool: the
+// fleet/survey CLIs use it so an interrupt still flushes the
+// StopSetSession and fsyncs the JSONL sink, and mmlptd uses the same
+// latch for its clean drain-and-exit.
+//
+// Classic self-pipe design, in three async-signal-safe moves: the
+// handler (1) latches which signal arrived in a sig_atomic_t, (2) fires
+// an optional linked probe::CancelToken (a relaxed atomic store — this
+// is what aborts in-flight traces through CancellableNetwork), and (3)
+// writes one byte to a non-blocking pipe whose read end is pollable
+// alongside sockets. The pipe is never drained, so it stays
+// level-triggered for every poller. A SECOND delivery _exit(128+sig)s:
+// the escape hatch when a drain wedges.
+#ifndef MMLPT_DAEMON_SIGNALS_H
+#define MMLPT_DAEMON_SIGNALS_H
+
+#include "probe/cancel.h"
+
+namespace mmlpt::daemon {
+
+class ShutdownSignal {
+ public:
+  /// Install the SIGINT/SIGTERM handlers (idempotent; first call wins)
+  /// and return the process-wide instance.
+  static ShutdownSignal& install();
+
+  /// Has a shutdown signal been delivered?
+  [[nodiscard]] bool requested() const noexcept;
+  /// The signal number delivered (0 when none yet).
+  [[nodiscard]] int signal() const noexcept;
+  /// The conventional exit code for that signal (128 + signo), or 0.
+  [[nodiscard]] int exit_code() const noexcept;
+  /// Read end of the self-pipe: becomes (and stays) readable once a
+  /// signal is delivered. poll(2) it next to sockets.
+  [[nodiscard]] int fd() const noexcept;
+  /// Also request() this token from the handler (nullptr unlinks). The
+  /// token must outlive the link.
+  void link(probe::CancelToken* token) noexcept;
+
+ private:
+  ShutdownSignal() = default;
+};
+
+}  // namespace mmlpt::daemon
+
+#endif  // MMLPT_DAEMON_SIGNALS_H

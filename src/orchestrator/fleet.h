@@ -17,6 +17,15 @@
 // The shared RateLimiter (config.pps > 0) bounds the SUM of all workers'
 // probe traffic; workers wrap their transports in ThrottledNetwork
 // against limiter().
+//
+// Lifetime / re-entrancy: a FleetScheduler is NOT tied to a single run.
+// run() and run_streaming() keep every piece of mutable state local to
+// the call (base_rng_ is only fork()ed, never drawn from; the limiter
+// and hub are internally synchronized), so a long-lived scheduler — the
+// mmlptd daemon owns exactly one — may execute MANY runs concurrently
+// from different threads. Each run's determinism still holds
+// independently: task i of a run draws from Rng(config.seed).fork(i)
+// regardless of what other runs are in flight.
 #ifndef MMLPT_ORCHESTRATOR_FLEET_H
 #define MMLPT_ORCHESTRATOR_FLEET_H
 

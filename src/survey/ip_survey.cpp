@@ -1,5 +1,8 @@
 #include "survey/ip_survey.h"
 
+#include <memory>
+#include <optional>
+
 #include "core/trace_json.h"
 #include "orchestrator/fleet.h"
 #include "orchestrator/throttled_network.h"
@@ -14,24 +17,45 @@ core::TraceResult trace_route_task(const topo::GroundTruth& route,
                                    const fakeroute::SimConfig& sim,
                                    std::uint64_t seed,
                                    orchestrator::RateLimiter* limiter,
-                                   orchestrator::FleetTransportHub* hub) {
-  if (hub) {
-    // Merged path: this trace's windows join the shared fleet bursts.
-    // The hub charges the fleet limiter per burst, so no ThrottledNetwork
-    // here — that would bill every probe twice.
-    fakeroute::Simulator simulator(route, sim, seed);
-    probe::SimulatedNetwork network(simulator);
-    const auto channel = hub->open_channel(network);
-    return core::run_trace_with_network(*channel, route.source,
-                                        route.destination, algorithm, trace);
-  }
-  if (!limiter) {
+                                   orchestrator::FleetTransportHub* hub,
+                                   orchestrator::RateLimiter* tenant_limiter,
+                                   probe::CancelToken* cancel) {
+  if (!hub && !limiter && !tenant_limiter && !cancel) {
     return core::run_trace(route, algorithm, trace, sim, seed);
   }
   fakeroute::Simulator simulator(route, sim, seed);
   probe::SimulatedNetwork network(simulator);
-  orchestrator::ThrottledNetwork throttled(network, *limiter);
-  return core::run_trace_with_network(throttled, route.source,
+  probe::Network* transport = &network;
+
+  // Fleet layer: merged windows (the hub charges the fleet limiter per
+  // burst — a ThrottledNetwork here would bill every probe twice) or a
+  // plain fleet-wide throttle.
+  std::unique_ptr<orchestrator::FleetTransportHub::Channel> channel;
+  std::optional<orchestrator::ThrottledNetwork> fleet_throttled;
+  if (hub) {
+    channel = hub->open_channel(network);
+    transport = channel.get();
+  } else if (limiter) {
+    fleet_throttled.emplace(*transport, *limiter);
+    transport = &*fleet_throttled;
+  }
+
+  // Tenant layer: the daemon's per-tenant bucket charges IN ADDITION to
+  // the fleet-wide budget, so one tenant cannot starve the rest.
+  std::optional<orchestrator::ThrottledNetwork> tenant_throttled;
+  if (tenant_limiter) {
+    tenant_throttled.emplace(*transport, *tenant_limiter);
+    transport = &*tenant_throttled;
+  }
+
+  // Cancellation outermost: a fired token stops NEW probes before they
+  // are billed and resolves in-flight tickets through the layers below.
+  std::optional<probe::CancellableNetwork> cancellable;
+  if (cancel) {
+    cancellable.emplace(*transport, *cancel);
+    transport = &*cancellable;
+  }
+  return core::run_trace_with_network(*transport, route.source,
                                       route.destination, algorithm, trace);
 }
 
@@ -65,7 +89,8 @@ IpSurveyResult run_ip_survey(const IpSurveyConfig& config,
         return trace_route_task(feeder.route(i), config.algorithm,
                                 config.trace, config.sim,
                                 ip_trace_seed(config.seed, i),
-                                context.limiter, context.hub);
+                                context.limiter, context.hub,
+                                /*tenant_limiter=*/nullptr, config.cancel);
       },
       [&](std::size_t i, core::TraceResult& trace) {
         if (sink) {

@@ -16,6 +16,7 @@
 #include "orchestrator/fleet_transport.h"
 #include "orchestrator/rate_limiter.h"
 #include "orchestrator/result_sink.h"
+#include "probe/cancel.h"
 #include "survey/accounting.h"
 #include "topology/generator.h"
 
@@ -39,6 +40,10 @@ struct IpSurveyConfig {
   /// (FleetTransportHub). Output is invariant — only wall-clock and the
   /// wire's burst composition change.
   bool merge_windows = false;
+  /// Cooperative cancellation (SIGINT plumbing): when the token fires,
+  /// in-flight tickets are canceled and run_ip_survey throws
+  /// probe::CanceledError. nullptr = not cancelable.
+  probe::CancelToken* cancel = nullptr;
 };
 
 struct IpSurveyResult {
@@ -72,13 +77,22 @@ struct IpSurveyResult {
 /// undecorated, a ThrottledNetwork stack charging `limiter`, or — when
 /// `hub` is non-null — a FleetTransportHub channel whose windows merge
 /// into shared fleet bursts (the hub then owns the limiter charge).
-/// Shared by the survey and the mmlpt_fleet CLI so the decoration path
-/// (and its determinism guarantees) live in one place.
+/// Shared by the survey, the mmlpt_fleet CLI and the mmlptd daemon so
+/// the decoration path (and its determinism guarantees) live in one
+/// place. Two optional daemon-facing layers stack OUTSIDE the fleet
+/// decorations: `tenant_limiter` charges a per-tenant token bucket per
+/// submitted probe (on top of — never instead of — the fleet-wide
+/// limiter or hub charge), and `cancel` wraps the whole stack in a
+/// probe::CancellableNetwork, so a fired token resolves the trace's
+/// in-flight tickets through TransportQueue::cancel and unwinds as
+/// probe::CanceledError. Both default off and change no output byte.
 [[nodiscard]] core::TraceResult trace_route_task(
     const topo::GroundTruth& route, core::Algorithm algorithm,
     const core::TraceConfig& trace, const fakeroute::SimConfig& sim,
     std::uint64_t seed, orchestrator::RateLimiter* limiter,
-    orchestrator::FleetTransportHub* hub = nullptr);
+    orchestrator::FleetTransportHub* hub = nullptr,
+    orchestrator::RateLimiter* tenant_limiter = nullptr,
+    probe::CancelToken* cancel = nullptr);
 
 }  // namespace mmlpt::survey
 

@@ -193,6 +193,17 @@ RouterSurveyResult run_router_survey(const RouterSurveyConfig& config,
           throttled.emplace(network, *context.limiter);
           transport = &*throttled;
         }
+        std::optional<probe::CancellableNetwork> cancellable;
+        if (config.cancel) {
+          // Outermost: a fired token stops new probes before they are
+          // billed and resolves in-flight tickets through the stack.
+          probe::Network* outer =
+              channel ? static_cast<probe::Network*>(channel.get())
+                      : throttled ? static_cast<probe::Network*>(&*throttled)
+                                  : &network;
+          cancellable.emplace(*outer, *config.cancel);
+          transport = &*cancellable;
+        }
         probe::ProbeEngine::Config engine_config;
         engine_config.source = route.source;
         engine_config.destination = route.destination;

@@ -13,6 +13,7 @@
 #include "core/multilevel.h"
 #include "fakeroute/simulator.h"
 #include "orchestrator/result_sink.h"
+#include "probe/cancel.h"
 #include "topology/generator.h"
 #include "topology/metrics.h"
 
@@ -39,6 +40,10 @@ struct RouterSurveyConfig {
   int burst = 64;
   /// Merge concurrent traces' probe windows into shared fleet bursts.
   bool merge_windows = false;
+  /// Cooperative cancellation (SIGINT plumbing): when the token fires,
+  /// in-flight tickets are canceled and run_router_survey throws
+  /// probe::CanceledError. nullptr = not cancelable.
+  probe::CancelToken* cancel = nullptr;
 };
 
 struct RouterSurveyResult {

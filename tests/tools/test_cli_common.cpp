@@ -5,8 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 namespace mmlpt::tools {
 namespace {
@@ -95,6 +99,150 @@ TEST(FleetOptionsParsing, CarriesTheStopSetPair) {
   EXPECT_EQ(options.jobs, 3);
   EXPECT_EQ(options.stop_set.topology_cache, "warm.mtps");
   EXPECT_TRUE(options.stop_set.consult);
+}
+
+TEST(ParseAlgorithm, KnowsEveryNameAndRejectsTheRest) {
+  EXPECT_EQ(parse_algorithm(make_flags({})), core::Algorithm::kMdaLite);
+  EXPECT_EQ(parse_algorithm(make_flags({"--algorithm", "mda"})),
+            core::Algorithm::kMda);
+  EXPECT_EQ(parse_algorithm(make_flags({"--algorithm", "mda-lite"})),
+            core::Algorithm::kMdaLite);
+  EXPECT_EQ(parse_algorithm(make_flags({"--algorithm", "single-flow"})),
+            core::Algorithm::kSingleFlow);
+  EXPECT_THROW((void)parse_algorithm(make_flags({"--algorithm", "dfs"})),
+               ConfigError);
+}
+
+/// Writes `content` to a temp file, removes it on scope exit.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& content)
+      : path_("/tmp/mmlpt-cli-test-" + std::to_string(::getpid()) + "-" +
+              std::to_string(++counter_) + ".txt") {
+    std::ofstream out(path_);
+    out << content;
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  static inline int counter_ = 0;
+  std::string path_;
+};
+
+TEST(ReadDestinationLabels, SkipsBlanksCommentsAndCarriageReturns) {
+  const TempFile file("10.0.0.1\r\n\n# a comment\n10.0.0.2\n");
+  const auto labels = read_destination_labels(file.path());
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0], "10.0.0.1");
+  EXPECT_EQ(labels[1], "10.0.0.2");
+}
+
+TEST(ReadDestinationLabels, MissingFileIsASystemError) {
+  EXPECT_THROW((void)read_destination_labels("/nonexistent/dests.txt"),
+               SystemError);
+}
+
+TEST(ParseJobSpec, DefaultsMatchTheFleetJobSpecDefaults) {
+  const auto spec = parse_job_spec(make_flags({}));
+  EXPECT_EQ(spec, daemon::FleetJobSpec{});
+}
+
+TEST(ParseJobSpec, CarriesEveryFlagIntoTheSpec) {
+  const auto spec = parse_job_spec(make_flags(
+      {"--routes", "12", "--family", "6", "--algorithm", "mda", "--seed",
+       "42", "--distinct", "7", "--shared-prefix", "3", "--window", "4"}));
+  EXPECT_TRUE(spec.labels.empty());
+  EXPECT_EQ(spec.routes, 12u);
+  EXPECT_EQ(spec.family, net::Family::kIpv6);
+  EXPECT_EQ(spec.algorithm, core::Algorithm::kMda);
+  EXPECT_EQ(spec.seed, 42u);
+  EXPECT_EQ(spec.distinct, 7u);
+  EXPECT_EQ(spec.shared_prefix, 3);
+  EXPECT_EQ(spec.window, 4);
+}
+
+TEST(ParseJobSpec, DestinationsFileOverridesRoutes) {
+  const TempFile file("a\nb\nc\n");
+  const auto spec = parse_job_spec(
+      make_flags({"--destinations", file.path(), "--routes", "99"}));
+  EXPECT_EQ(spec.labels, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(spec.destination_count(), 3u);
+}
+
+TEST(ParseJobSpec, RejectsEmptyListAndNegativePrefix) {
+  const TempFile empty("# only comments\n\n");
+  EXPECT_THROW(
+      (void)parse_job_spec(make_flags({"--destinations", empty.path()})),
+      ConfigError);
+  EXPECT_THROW((void)parse_job_spec(make_flags({"--shared-prefix", "-1"})),
+               ConfigError);
+  EXPECT_THROW((void)parse_job_spec(make_flags({"--window", "0"})),
+               ConfigError);
+}
+
+TEST(ParseDaemonOptions, RequiresTheSocketPath) {
+  EXPECT_THROW((void)parse_daemon_options(make_flags({})), ConfigError);
+}
+
+TEST(ParseDaemonOptions, DefaultsAndOverrides) {
+  const auto defaults =
+      parse_daemon_options(make_flags({"--socket", "/tmp/d.sock"}));
+  EXPECT_EQ(defaults.socket, "/tmp/d.sock");
+  EXPECT_EQ(defaults.admission.max_jobs_total, 8);
+  EXPECT_EQ(defaults.admission.max_jobs_per_tenant, 2);
+  EXPECT_EQ(defaults.admission.tenant_pps, 0.0);
+  EXPECT_EQ(defaults.admission.tenant_burst, 64);
+  EXPECT_EQ(defaults.queue, 4);
+
+  const auto tuned = parse_daemon_options(make_flags(
+      {"--socket", "/tmp/d.sock", "--max-jobs", "16",
+       "--max-jobs-per-tenant", "4", "--tenant-pps", "250.5",
+       "--tenant-burst", "8", "--queue", "0"}));
+  EXPECT_EQ(tuned.admission.max_jobs_total, 16);
+  EXPECT_EQ(tuned.admission.max_jobs_per_tenant, 4);
+  EXPECT_DOUBLE_EQ(tuned.admission.tenant_pps, 250.5);
+  EXPECT_EQ(tuned.admission.tenant_burst, 8);
+  EXPECT_EQ(tuned.queue, 0);
+}
+
+TEST(ParseDaemonOptions, RejectsOutOfRangeValues) {
+  EXPECT_THROW((void)parse_daemon_options(make_flags(
+                   {"--socket", "s", "--tenant-pps", "-1"})),
+               ConfigError);
+  EXPECT_THROW((void)parse_daemon_options(make_flags(
+                   {"--socket", "s", "--tenant-burst", "0"})),
+               ConfigError);
+  EXPECT_THROW((void)parse_daemon_options(
+                   make_flags({"--socket", "s", "--queue", "-1"})),
+               ConfigError);
+}
+
+TEST(UsageBlocks, DaemonAndClientBlocksListEveryFlagExactlyOnce) {
+  const struct {
+    std::string usage;
+    std::vector<const char*> flags;
+  } blocks[] = {
+      {job_spec_options_usage(),
+       {"--destinations", "--routes", "-6 | --family", "--algorithm",
+        "--distinct", "--shared-prefix", "--seed", "--window"}},
+      {daemon_options_usage(),
+       {"--socket", "--max-jobs N", "--max-jobs-per-tenant", "--tenant-pps",
+        "--tenant-burst", "--queue"}},
+      {client_options_usage(),
+       {"--socket", "--tenant", "--output", "--status",
+        "--cancel-after-lines"}},
+  };
+  for (const auto& block : blocks) {
+    const auto usage = "\n" + block.usage;
+    for (const char* flag : block.flags) {
+      const auto entry = std::string("\n  ") + flag;
+      const auto first = usage.find(entry);
+      ASSERT_NE(first, std::string::npos) << flag;
+      EXPECT_EQ(usage.find(entry, first + 1), std::string::npos)
+          << flag << " documented twice";
+    }
+  }
 }
 
 }  // namespace

@@ -8,12 +8,16 @@
 #define MMLPT_TOOLS_CLI_COMMON_H
 
 #include <cstdio>
+#include <fstream>
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/error.h"
 #include "common/flags.h"
+#include "core/validation.h"
+#include "daemon/server.h"
 #include "net/ip_address.h"
 
 #ifndef MMLPT_GIT_DESCRIBE
@@ -43,6 +47,32 @@ inline net::Family parse_family(const Flags& flags) {
     throw ConfigError("unknown --family '" + name + "' (4|6|ipv4|ipv6)");
   }
   return *family;
+}
+
+/// --algorithm mda|mda-lite|single-flow (default mda-lite) — shared by
+/// mmlpt_fleet and mmlpt_client so the names cannot drift.
+inline core::Algorithm parse_algorithm(const Flags& flags) {
+  const std::string name = flags.get("algorithm", "mda-lite");
+  if (name == "mda") return core::Algorithm::kMda;
+  if (name == "mda-lite") return core::Algorithm::kMdaLite;
+  if (name == "single-flow") return core::Algorithm::kSingleFlow;
+  throw ConfigError("unknown --algorithm (mda|mda-lite|single-flow): " + name);
+}
+
+/// Read a --destinations label file: one label per line, blanks and
+/// '#' comments skipped, CRLF tolerated.
+inline std::vector<std::string> read_destination_labels(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw SystemError("cannot open --destinations file: " + path);
+  std::vector<std::string> labels;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    labels.push_back(line);
+  }
+  return labels;
 }
 
 /// The per-trace probe window: --window N, N >= 1 (1 = serial probing).
@@ -94,6 +124,65 @@ inline FleetOptions parse_fleet_options(const Flags& flags) {
   options.window = parse_window(flags);
   options.merge_windows = flags.get_bool("merge-windows", false);
   options.stop_set = parse_stop_set_options(flags);
+  return options;
+}
+
+/// The fleet-job spec flag block shared by mmlpt_fleet and mmlpt_client
+/// (--destinations/--routes/--family/--algorithm/--distinct/
+/// --shared-prefix/--seed/--window): one parser, so a job submitted over
+/// the daemon socket means exactly what the same flags mean standalone.
+inline daemon::FleetJobSpec parse_job_spec(const Flags& flags) {
+  daemon::FleetJobSpec spec;
+  if (flags.has("destinations")) {
+    spec.labels = read_destination_labels(flags.get("destinations", ""));
+    if (spec.labels.empty()) {
+      throw ConfigError("--destinations list is empty");
+    }
+  } else {
+    spec.routes = flags.get_uint("routes", 64);
+  }
+  spec.algorithm = parse_algorithm(flags);
+  spec.family = parse_family(flags);
+  spec.seed = flags.get_uint("seed", 1);
+  spec.distinct = flags.get_uint("distinct", 100);
+  spec.shared_prefix = static_cast<int>(flags.get_int("shared-prefix", 0));
+  if (spec.shared_prefix < 0) {
+    throw ConfigError("--shared-prefix must be >= 0");
+  }
+  spec.window = parse_window(flags);
+  return spec;
+}
+
+/// The mmlptd admission/daemon flag block. The fleet block
+/// (--jobs/--pps/--burst/--merge-windows) and the stop-set pair are
+/// parsed separately with the shared helpers above.
+struct DaemonCliOptions {
+  std::string socket;
+  daemon::AdmissionLimits admission;
+  int queue = 4;
+};
+
+inline DaemonCliOptions parse_daemon_options(const Flags& flags) {
+  DaemonCliOptions options;
+  options.socket = flags.get("socket", "");
+  if (options.socket.empty()) {
+    throw ConfigError("--socket PATH is required");
+  }
+  options.admission.max_jobs_total =
+      static_cast<int>(flags.get_int("max-jobs", 8));
+  options.admission.max_jobs_per_tenant =
+      static_cast<int>(flags.get_int("max-jobs-per-tenant", 2));
+  options.admission.tenant_pps = flags.get_double("tenant-pps", 0.0);
+  if (options.admission.tenant_pps < 0.0) {
+    throw ConfigError("--tenant-pps must be >= 0");
+  }
+  options.admission.tenant_burst =
+      static_cast<int>(flags.get_int("tenant-burst", 64));
+  if (options.admission.tenant_burst < 1) {
+    throw ConfigError("--tenant-burst must be >= 1");
+  }
+  options.queue = static_cast<int>(flags.get_int("queue", 4));
+  if (options.queue < 0) throw ConfigError("--queue must be >= 0");
   return options;
 }
 
@@ -192,6 +281,71 @@ inline std::span<const OptionSpec> stop_set_option_table() {
   return table;
 }
 
+/// The fleet-job spec flag block (mmlpt_fleet's trace flags, reused
+/// verbatim by mmlpt_client so daemon jobs mean what standalone runs
+/// mean).
+inline std::span<const OptionSpec> job_spec_option_table() {
+  static const OptionSpec table[] = {
+      {"--destinations FILE",
+       "one label per line (e.g. an IPv4 address);\n"
+       "each line becomes one destination task,\n"
+       "labelled with that string. Without it,\n"
+       "--routes synthetic destinations are generated"},
+      {"--routes N", "destination count when no --destinations (64)"},
+      {"-6 | --family 4|6",
+       "address family of the synthetic world\n"
+       "(default IPv4)"},
+      {"--algorithm A", "mda | mda-lite | single-flow (default mda-lite)"},
+      {"--distinct N", "distinct diamond templates in the world (100)"},
+      {"--shared-prefix N",
+       "every synthetic route starts with the same N\n"
+       "leading routers (default 0 = fully random)"},
+      {"--seed N", "world + trace seed (default 1)"},
+      {"--window N", "per-trace probe window (default 1 = serial)"},
+  };
+  return table;
+}
+
+/// The mmlptd daemon flag block (--socket plus admission control).
+inline std::span<const OptionSpec> daemon_option_table() {
+  static const OptionSpec table[] = {
+      {"--socket PATH", "unix socket to listen on (required)"},
+      {"--max-jobs N",
+       "concurrent jobs across all tenants (default 8;\n"
+       "0 = unlimited). Excess jobs are REFUSED with a\n"
+       "rejected status, never queued daemon-side"},
+      {"--max-jobs-per-tenant N",
+       "concurrent jobs per tenant identity (default 2;\n"
+       "0 = unlimited)"},
+      {"--tenant-pps X",
+       "per-tenant probe rate limit, layered on the\n"
+       "fleet-wide --pps budget (default unlimited)"},
+      {"--tenant-burst N", "per-tenant token-bucket burst (default 64)"},
+      {"--queue N",
+       "jobs a connection may hold queued behind its\n"
+       "running one (default 4)"},
+  };
+  return table;
+}
+
+/// The mmlpt_client connection flag block.
+inline std::span<const OptionSpec> client_option_table() {
+  static const OptionSpec table[] = {
+      {"--socket PATH", "mmlptd unix socket to connect to (required)"},
+      {"--tenant NAME",
+       "tenant identity for admission control and\n"
+       "per-tenant rate limits (default \"default\")"},
+      {"--output FILE", "JSONL destination (default stdout)"},
+      {"--status",
+       "print the daemon's machine-parsable status\n"
+       "JSON and exit (no job is submitted)"},
+      {"--cancel-after-lines N",
+       "send a cancel after N result lines (testing\n"
+       "and demos; default 0 = never)"},
+  };
+  return table;
+}
+
 /// Usage text for the stop-set flags alone (mmlpt_trace).
 inline std::string stop_set_options_usage() {
   return format_option_block(stop_set_option_table());
@@ -202,6 +356,21 @@ inline std::string stop_set_options_usage() {
 inline std::string fleet_options_usage() {
   return format_option_block(fleet_option_table()) +
          format_option_block(stop_set_option_table());
+}
+
+/// Usage text for the fleet-job spec block (mmlpt_client).
+inline std::string job_spec_options_usage() {
+  return format_option_block(job_spec_option_table());
+}
+
+/// Usage text for the daemon flag block (mmlptd).
+inline std::string daemon_options_usage() {
+  return format_option_block(daemon_option_table());
+}
+
+/// Usage text for the client connection flag block (mmlpt_client).
+inline std::string client_options_usage() {
+  return format_option_block(client_option_table());
 }
 
 }  // namespace mmlpt::tools

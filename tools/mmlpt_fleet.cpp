@@ -7,29 +7,30 @@
 // optional fleet-wide probe rate limit.
 //
 // Results are a pure function of (inputs, --seed): --jobs only changes
-// wall-clock time, never a byte of output.
+// wall-clock time, never a byte of output. The trace core is the shared
+// daemon::run_fleet_job — the same code path mmlptd serves over its
+// socket, which is what makes daemon output byte-identical to this tool.
+//
+// SIGINT/SIGTERM cancel the run cooperatively: in-flight probes resolve
+// through the transport cancel path, committed lines are flushed (and
+// fsynced under --fsync), the stop set is written, and the process exits
+// 128+signal.
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
-#include <optional>
 #include <string>
-#include <vector>
 
 #include "cli_common.h"
 #include "common/error.h"
 #include "common/flags.h"
-#include "core/trace_json.h"
-#include "core/validation.h"
+#include "daemon/fleet_job.h"
+#include "daemon/signals.h"
 #include "orchestrator/fleet.h"
 #include "orchestrator/result_sink.h"
 #include "orchestrator/stop_set.h"
-#include "survey/accounting.h"
-#include "survey/ip_survey.h"
-#include "survey/route_feeder.h"
-#include "topology/generator.h"
-#include "topology/metrics.h"
+#include "probe/cancel.h"
 
 using namespace mmlpt;
 
@@ -76,64 +77,16 @@ void print_usage() {
   std::fputs(kUsageSuffix, stdout);
 }
 
-std::vector<std::string> read_destination_labels(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw SystemError("cannot open --destinations file: " + path);
-  std::vector<std::string> labels;
-  std::string line;
-  while (std::getline(in, line)) {
-    // Trim trailing CR (CRLF lists) and skip blanks/comments.
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty() || line[0] == '#') continue;
-    labels.push_back(line);
-  }
-  return labels;
-}
-
-core::Algorithm parse_algorithm(const std::string& name) {
-  if (name == "mda") return core::Algorithm::kMda;
-  if (name == "mda-lite") return core::Algorithm::kMdaLite;
-  if (name == "single-flow") return core::Algorithm::kSingleFlow;
-  throw ContractViolation("unknown --algorithm (mda|mda-lite|single-flow): " +
-                          name);
-}
-
 int run_fleet(const Flags& flags) {
-  std::vector<std::string> labels;
-  std::size_t count = 0;
-  if (flags.has("destinations")) {
-    labels = read_destination_labels(flags.get("destinations", ""));
-    count = labels.size();
-    if (count == 0) {
-      std::fprintf(stderr, "mmlpt_fleet: destination list is empty\n");
-      return 1;
-    }
-  } else {
-    count = flags.get_uint("routes", 64);
-  }
-
-  const auto algorithm = parse_algorithm(flags.get("algorithm", "mda-lite"));
-  const auto seed = flags.get_uint("seed", 1);
+  const auto spec = tools::parse_job_spec(flags);  // throws on empty list
+  const std::size_t count = spec.destination_count();
   const auto fleet_options = tools::parse_fleet_options(flags);
   orchestrator::FleetConfig fleet_config;
   fleet_config.jobs = fleet_options.jobs;
-  fleet_config.seed = seed;
+  fleet_config.seed = spec.seed;
   fleet_config.pps = fleet_options.pps;
   fleet_config.burst = fleet_options.burst;
   fleet_config.merge_windows = fleet_options.merge_windows;
-
-  // The synthetic world, one route per destination — generated lazily in
-  // task order a window ahead of the tracers and released after each
-  // merge, so live routes track the in-flight window.
-  topo::GeneratorConfig generator;
-  generator.family = tools::parse_family(flags);
-  generator.shared_prefix_hops =
-      static_cast<int>(flags.get_int("shared-prefix", 0));
-  if (generator.shared_prefix_hops < 0) {
-    throw ConfigError("--shared-prefix must be >= 0");
-  }
-  topo::SurveyWorld world(generator, flags.get_uint("distinct", 100), seed);
-  survey::RouteFeeder feeder(world, count);
 
   const bool fsync_lines = flags.get_bool("fsync", false);
   if (fsync_lines && !flags.has("output")) {
@@ -159,70 +112,70 @@ int run_fleet(const Flags& flags) {
   }
   orchestrator::ResultSink sink(*out, sink_options);
 
-  core::TraceConfig trace_config;
-  trace_config.window = fleet_options.window;
   orchestrator::StopSetSession stop_set_session(
       fleet_options.stop_set.topology_cache, fleet_options.stop_set.consult);
-  stop_set_session.configure(trace_config);
   const fakeroute::SimConfig sim_config;
   orchestrator::FleetScheduler fleet(fleet_config);
 
-  std::uint64_t packets = 0;
-  std::uint64_t reached = 0;
-  std::uint64_t probes_saved = 0;
-  std::uint64_t traces_stopped = 0;
-  survey::DiamondAccounting accounting(2);
+  // An interrupt fires the token; in-flight probes resolve through the
+  // transport cancel path and the run unwinds as CanceledError below.
+  auto& shutdown = daemon::ShutdownSignal::install();
+  probe::CancelToken cancel;
+  shutdown.link(&cancel);
 
+  daemon::FleetJobHooks hooks;
+  hooks.on_line = [&](std::size_t i, std::string line) {
+    sink.emit(i, std::move(line));
+  };
+  hooks.cancel = &cancel;
+
+  bool canceled = false;
+  daemon::FleetJobCounters counters;
   const auto start = std::chrono::steady_clock::now();
-  fleet.run_streaming(
-      count,
-      [&](orchestrator::WorkerContext& context) {
-        return survey::trace_route_task(
-            feeder.route(context.task_index), algorithm, trace_config,
-            sim_config, survey::ip_trace_seed(seed, context.task_index),
-            context.limiter, context.hub);
-      },
-      [&](std::size_t i, core::TraceResult& trace) {
-        const std::string label =
-            labels.empty() ? feeder.route(i).destination.to_string()
-                           : labels[i];
-        sink.emit(i, orchestrator::destination_line(
-                         i, label, core::stop_set_envelope_fields(trace),
-                         "trace", core::trace_to_json(trace)));
-        packets += trace.packets;
-        if (trace.reached_destination) ++reached;
-        probes_saved += trace.probes_saved_by_stop_set;
-        if (trace.stop_set_active && trace.stopped_on_hit) ++traces_stopped;
-        accounting.record_all(trace.graph);
-        feeder.release(i);
-      });
-  const auto elapsed = std::chrono::duration_cast<std::chrono::duration<double>>(
-      std::chrono::steady_clock::now() - start);
+  try {
+    counters =
+        daemon::run_fleet_job(fleet, &stop_set_session, spec, sim_config,
+                              hooks);
+  } catch (const probe::CanceledError&) {
+    canceled = true;
+  }
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - start);
+  shutdown.link(nullptr);
+  // Committed lines survive the interrupt: flush (and fsync) them, then
+  // persist the stop set's discoveries, exactly like a clean exit.
   sink.flush();
+  if (canceled) {
+    std::fprintf(stderr,
+                 "mmlpt_fleet: interrupted by signal %d, committed results "
+                 "flushed\n",
+                 shutdown.signal());
+    stop_set_session.flush();
+    return shutdown.exit_code();
+  }
   std::fprintf(
       stderr,
       "mmlpt_fleet: %zu destinations (%llu reached), %llu packets, "
       "%llu diamonds (%llu distinct), %.2fs wall, %.0f pkt/s, jobs=%d\n",
-      count, static_cast<unsigned long long>(reached),
-      static_cast<unsigned long long>(packets),
-      static_cast<unsigned long long>(accounting.measured().total),
-      static_cast<unsigned long long>(accounting.distinct().total),
+      count, static_cast<unsigned long long>(counters.reached),
+      static_cast<unsigned long long>(counters.packets),
+      static_cast<unsigned long long>(counters.diamonds),
+      static_cast<unsigned long long>(counters.distinct_diamonds),
       elapsed.count(),
-      elapsed.count() > 0 ? static_cast<double>(packets) / elapsed.count()
-                          : 0.0,
+      elapsed.count() > 0
+          ? static_cast<double>(counters.packets) / elapsed.count()
+          : 0.0,
       fleet_config.jobs);
   if (const auto* stop_set = stop_set_session.stop_set()) {
     // Machine-parsable (the CI warm-cache gate greps these key=value
     // pairs); the digest identifies the discovered topology regardless
     // of how discovery was split between cache and probing.
-    std::fprintf(
-        stderr,
-        "mmlpt_fleet: stop-set visible_hops=%zu pending_hops=%zu "
-        "probes_saved=%llu stopped=%llu union_digest=%016llx\n",
-        stop_set->visible_hop_count(), stop_set->pending_hop_count(),
-        static_cast<unsigned long long>(probes_saved),
-        static_cast<unsigned long long>(traces_stopped),
-        static_cast<unsigned long long>(stop_set->union_digest()));
+    std::fprintf(stderr, "mmlpt_fleet: %s\n",
+                 daemon::stop_set_summary_text(
+                     *stop_set, counters.probes_saved_by_stop_set,
+                     counters.traces_stopped)
+                     .c_str());
   }
   stop_set_session.flush();
   return 0;

@@ -14,8 +14,10 @@
 #include "common/error.h"
 #include "common/flags.h"
 #include "common/json.h"
+#include "daemon/signals.h"
 #include "orchestrator/result_sink.h"
 #include "orchestrator/stop_set.h"
+#include "probe/cancel.h"
 #include "survey/evaluation.h"
 #include "survey/ip_survey.h"
 #include "survey/router_survey.h"
@@ -115,6 +117,31 @@ void emit_stop_set_summary(JsonWriter& w,
   w.end_object();
 }
 
+/// RAII link of a CancelToken to the ShutdownSignal: SIGINT/SIGTERM fire
+/// the token, the survey unwinds as CanceledError, and the caller gets
+/// the committed-results flush either way.
+struct SignalCancelScope {
+  daemon::ShutdownSignal& shutdown = daemon::ShutdownSignal::install();
+  probe::CancelToken token;
+
+  SignalCancelScope() { shutdown.link(&token); }
+  ~SignalCancelScope() { shutdown.link(nullptr); }
+};
+
+/// Shared interrupt epilogue: flush what was committed, report, and turn
+/// the signal into the conventional 128+N exit code.
+int finish_interrupted(const SignalCancelScope& scope,
+                       StreamingOutput* output,
+                       orchestrator::StopSetSession& session) {
+  if (output != nullptr) output->sink->flush();
+  session.flush();
+  std::fprintf(stderr,
+               "mmlpt_survey: interrupted by signal %d, committed results "
+               "flushed\n",
+               scope.shutdown.signal());
+  return scope.shutdown.exit_code();
+}
+
 int run_ip(const Flags& flags, JsonWriter& w) {
   survey::IpSurveyConfig config;
   config.generator.family = tools::parse_family(flags);
@@ -131,8 +158,15 @@ int run_ip(const Flags& flags, JsonWriter& w) {
       fleet_options.stop_set.topology_cache, fleet_options.stop_set.consult);
   stop_set_session.configure(config.trace);
   const auto output = make_output(flags);
-  const auto result = survey::run_ip_survey(
-      config, output ? &*output->sink : nullptr);
+  SignalCancelScope cancel_scope;
+  config.cancel = &cancel_scope.token;
+  std::optional<decltype(survey::run_ip_survey(config, nullptr))> maybe;
+  try {
+    maybe = survey::run_ip_survey(config, output ? &*output->sink : nullptr);
+  } catch (const probe::CanceledError&) {
+    return finish_interrupted(cancel_scope, output.get(), stop_set_session);
+  }
+  const auto& result = *maybe;
   stop_set_session.flush();
 
   w.begin_object();
@@ -233,8 +267,16 @@ int run_router(const Flags& flags, JsonWriter& w) {
       fleet_options.stop_set.topology_cache, fleet_options.stop_set.consult);
   stop_set_session.configure(config.multilevel.trace);
   const auto output = make_output(flags);
-  const auto result = survey::run_router_survey(
-      config, output ? &*output->sink : nullptr);
+  SignalCancelScope cancel_scope;
+  config.cancel = &cancel_scope.token;
+  std::optional<decltype(survey::run_router_survey(config, nullptr))> maybe;
+  try {
+    maybe =
+        survey::run_router_survey(config, output ? &*output->sink : nullptr);
+  } catch (const probe::CanceledError&) {
+    return finish_interrupted(cancel_scope, output.get(), stop_set_session);
+  }
+  const auto& result = *maybe;
   stop_set_session.flush();
 
   w.begin_object();
@@ -290,7 +332,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown --mode (ip|evaluation|router)\n");
       return 1;
     }
-    std::printf("%s\n", w.view().c_str());
+    // An interrupted survey (rc = 128+signal) has no report to print.
+    if (rc == 0) std::printf("%s\n", w.view().c_str());
     return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mmlpt_survey: %s\n", e.what());
