@@ -58,6 +58,19 @@
 //   --wire-cost N      virtual ns of fixed cost per send burst
 //                      (default 20000000 = 20 ms with --merge-windows,
 //                      else 0 — the historical latency-only model)
+//   --transport T      workload model of the probing backend: uring
+//                      (batched submission, no per-probe cost — the
+//                      default, numerically identical to the historical
+//                      bench) or poll (one syscall per probe: each probe
+//                      adds --probe-cost to its burst's wire charge)
+//   --probe-cost N     virtual ns per probe on the wire (default 0 for
+//                      --transport uring, 10000000 = 10 ms for poll)
+//   --pipeline-depth N merged bursts in flight at once (default 1)
+//   --compare-transports
+//                      run the merged leg under BOTH transport models at
+//                      --jobs workers and gate: byte-identical JSONL for
+//                      poll/uring and pipeline depths 1 and 4, and
+//                      modeled uring throughput >= 1.5x poll
 //   --distinct N       distinct diamond templates   (default 40)
 //   --seed N           world + trace seed           (default 1)
 //   --output FILE      write the JSON report to FILE (default stdout only)
@@ -89,6 +102,8 @@ namespace {
 struct BenchConfig {
   double latency_scale = 0.02;
   probe::Nanos wire_cost = 20'000'000;
+  probe::Nanos probe_cost = 0;
+  int pipeline_depth = 1;
   int window = 4;
   std::uint64_t seed = 1;
 };
@@ -131,6 +146,8 @@ RunOutcome run_fleet(const std::vector<topo::GroundTruth>& routes, int jobs,
     orchestrator::FleetTransportHub::Config hub_config;
     hub_config.latency_scale = bench.latency_scale;
     hub_config.per_burst_cost = bench.wire_cost;
+    hub_config.per_probe_cost = bench.probe_cost;
+    hub_config.pipeline_depth = bench.pipeline_depth;
     // Give late tracers one wire-pass to join the burst before it fires.
     hub_config.gather_timeout = std::chrono::nanoseconds(
         static_cast<std::int64_t>(static_cast<double>(bench.wire_cost) *
@@ -155,6 +172,7 @@ RunOutcome run_fleet(const std::vector<topo::GroundTruth>& routes, int jobs,
         orchestrator::BlockingLatencyNetwork::Config latency;
         latency.scale = bench.latency_scale;
         latency.per_window_cost = bench.wire_cost;
+        latency.per_probe_cost = bench.probe_cost;
         latency.wire = &wire;
         orchestrator::BlockingLatencyNetwork blocking(network, latency);
         return core::run_trace_with_network(blocking, route.source,
@@ -196,10 +214,26 @@ int main(int argc, char** argv) {
   try {
     const Flags flags(argc, argv);
     const bool smoke = flags.has("smoke");
-    const bool merge = flags.get_bool("merge-windows", false);
+    const bool compare_transports =
+        flags.get_bool("compare-transports", false);
+    const bool merge =
+        flags.get_bool("merge-windows", false) || compare_transports;
     const bool stop_set_axis = flags.get_bool("stop-set", false);
     const auto routes_n = flags.get_uint("routes", smoke ? 16 : 48);
     const int jobs = static_cast<int>(flags.get_int("jobs", 8));
+
+    // The transport axis is a workload MODEL, not a real backend: poll
+    // pays --probe-cost virtual ns per probe on the wire (its
+    // one-syscall-per-datagram submission loop), uring submits the whole
+    // burst batched for free. uring is the default and is numerically
+    // identical to the historical bench.
+    const std::string transport = flags.get("transport", "uring");
+    if (transport != "poll" && transport != "uring") {
+      std::fprintf(stderr, "unknown --transport (poll|uring)\n");
+      return 1;
+    }
+    const probe::Nanos poll_probe_cost =
+        flags.get_uint("probe-cost", 10'000'000);
 
     BenchConfig bench;
     bench.latency_scale =
@@ -208,6 +242,9 @@ int main(int argc, char** argv) {
     // merged bursts; the plain fleet-vs-serial leg keeps its historical
     // latency-only workload.
     bench.wire_cost = flags.get_uint("wire-cost", merge ? 20'000'000 : 0);
+    bench.probe_cost = transport == "poll" ? poll_probe_cost : 0;
+    bench.pipeline_depth =
+        static_cast<int>(flags.get_int("pipeline-depth", 1));
     bench.window = static_cast<int>(flags.get_int("window", 4));
     bench.seed = flags.get_uint("seed", 1);
 
@@ -285,6 +322,63 @@ int main(int argc, char** argv) {
                     "destination\n");
       }
       merged_ok = jsonl_identical && bursts_merged;
+    }
+
+    // ---- transport-model comparison axis ----
+    bool compare_ok = true;
+    RunOutcome poll_leg;
+    RunOutcome uring_leg;
+    double transport_speedup = 0.0;
+    bool transports_identical = false;
+    bool depths_identical = false;
+    if (compare_transports) {
+      // Same merged fleet, two wire models: poll charges every probe its
+      // submission syscall, uring submits the burst batched. The JSONL
+      // must not care; the throughput should.
+      BenchConfig poll_bench = bench;
+      poll_bench.probe_cost = poll_probe_cost;
+      BenchConfig uring_bench = bench;
+      uring_bench.probe_cost = 0;
+      poll_leg = run_fleet(routes, jobs, Mode::kMergedWindows, poll_bench);
+      print_run("poll", poll_leg);
+      uring_leg = run_fleet(routes, jobs, Mode::kMergedWindows, uring_bench);
+      print_run("uring", uring_leg);
+
+      // Pipeline-depth invariance: the same uring model at depth 4 —
+      // bursts overlap the previous burst's stragglers — must still be
+      // byte-identical.
+      BenchConfig deep_bench = uring_bench;
+      deep_bench.pipeline_depth = 4;
+      const auto deep =
+          run_fleet(routes, jobs, Mode::kMergedWindows, deep_bench);
+      print_run("depth4", deep);
+
+      transports_identical =
+          poll_leg.jsonl == serial.jsonl && uring_leg.jsonl == serial.jsonl;
+      depths_identical = deep.jsonl == serial.jsonl;
+      const double poll_pps =
+          poll_leg.seconds > 0.0
+              ? static_cast<double>(poll_leg.packets) / poll_leg.seconds
+              : 0.0;
+      const double uring_pps =
+          uring_leg.seconds > 0.0
+              ? static_cast<double>(uring_leg.packets) / uring_leg.seconds
+              : 0.0;
+      transport_speedup = poll_pps > 0.0 ? uring_pps / poll_pps : 0.0;
+      std::printf(
+          "  uring  : %.2fx probes/sec vs poll (gate >= 1.5x): %.0f vs "
+          "%.0f pkt/s\n",
+          transport_speedup, uring_pps, poll_pps);
+      if (!transports_identical) {
+        std::printf("  TRANSPORT JSONL DIVERGED from the serial run — "
+                    "backend invariance bug\n");
+      }
+      if (!depths_identical) {
+        std::printf("  PIPELINE-DEPTH JSONL DIVERGED from the serial run — "
+                    "overlap invariance bug\n");
+      }
+      compare_ok = transports_identical && depths_identical &&
+                   transport_speedup >= 1.5;
     }
 
     // ---- Doubletree stop-set axis ----
@@ -371,6 +465,12 @@ int main(int argc, char** argv) {
     w.value(bench.latency_scale);
     w.key("wire_cost_ns");
     w.value(static_cast<std::uint64_t>(bench.wire_cost));
+    w.key("transport");
+    w.value(transport);
+    w.key("probe_cost_ns");
+    w.value(static_cast<std::uint64_t>(bench.probe_cost));
+    w.key("pipeline_depth");
+    w.value(static_cast<std::int64_t>(bench.pipeline_depth));
     w.key("serial_seconds");
     w.value(serial.seconds);
     w.key("fleet_seconds");
@@ -379,6 +479,10 @@ int main(int argc, char** argv) {
     w.value(speedup);
     w.key("packets");
     w.value(serial.packets);
+    w.key("probes_per_sec");
+    w.value(unmerged.seconds > 0.0
+                ? static_cast<double>(unmerged.packets) / unmerged.seconds
+                : 0.0);
     w.key("deterministic");
     w.value(deterministic);
     if (merge) {
@@ -398,6 +502,31 @@ int main(int argc, char** argv) {
       w.value(merged.bursts.max_channels_in_burst);
       w.key("max_probes_in_burst");
       w.value(merged.bursts.max_probes_in_burst);
+      w.key("merged_probes_per_sec");
+      w.value(merged.seconds > 0.0
+                  ? static_cast<double>(merged.packets) / merged.seconds
+                  : 0.0);
+      w.key("overlapped_bursts");
+      w.value(merged.bursts.overlapped_bursts);
+      w.key("max_bursts_in_flight");
+      w.value(merged.bursts.max_bursts_in_flight);
+    }
+    if (compare_transports) {
+      w.key("poll_probes_per_sec");
+      w.value(poll_leg.seconds > 0.0
+                  ? static_cast<double>(poll_leg.packets) / poll_leg.seconds
+                  : 0.0);
+      w.key("uring_probes_per_sec");
+      w.value(uring_leg.seconds > 0.0
+                  ? static_cast<double>(uring_leg.packets) /
+                        uring_leg.seconds
+                  : 0.0);
+      w.key("uring_speedup_vs_poll");
+      w.value(transport_speedup);
+      w.key("transports_jsonl_identical");
+      w.value(transports_identical);
+      w.key("pipeline_depth_jsonl_identical");
+      w.value(depths_identical);
     }
     if (stop_set_axis) {
       w.key("shared_prefix_hops");
@@ -430,7 +559,7 @@ int main(int argc, char** argv) {
     // stop-set gates are hard invariants; the speedup targets are
     // reported but only enforced where the hardware can express them (CI
     // samples vary).
-    return deterministic && merged_ok && stop_set_ok ? 0 : 1;
+    return deterministic && merged_ok && compare_ok && stop_set_ok ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench_perf_fleet_throughput: %s\n", e.what());
     return 1;

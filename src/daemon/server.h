@@ -42,6 +42,7 @@
 #include "fakeroute/simulator.h"
 #include "orchestrator/fleet.h"
 #include "orchestrator/stop_set.h"
+#include "probe/transport_select.h"
 
 namespace mmlpt::daemon {
 
@@ -55,6 +56,9 @@ struct DaemonConfig {
   fakeroute::SimConfig sim;
   /// Jobs a connection may have queued behind its running one.
   int max_queued_jobs_per_connection = 4;
+  /// Real-network backend choice, echoed (resolved) in status_json so
+  /// operators can tell which transport a daemon would probe with.
+  probe::TransportKind transport = probe::TransportKind::kAuto;
 };
 
 class Daemon {

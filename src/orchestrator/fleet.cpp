@@ -11,6 +11,7 @@ FleetScheduler::FleetScheduler(FleetConfig config)
   if (config_.merge_windows) {
     FleetTransportHub::Config hub_config;
     hub_config.limiter = limiter_.get();
+    hub_config.pipeline_depth = config_.pipeline_depth;
     hub_ = std::make_unique<FleetTransportHub>(hub_config);
   }
 }

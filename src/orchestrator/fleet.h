@@ -60,6 +60,10 @@ struct FleetConfig {
   /// bursts through a FleetTransportHub (see fleet_transport.h). Results
   /// are invariant: merging only changes wall-clock behaviour.
   bool merge_windows = false;
+  /// Merged bursts that may be in flight at once (see
+  /// FleetTransportHub::Config::pipeline_depth). 1 = strict
+  /// resolve-before-next-burst; only meaningful with merge_windows.
+  int pipeline_depth = 1;
 };
 
 /// Everything a task callback gets handed: its identity, its private

@@ -7,7 +7,9 @@
 
 namespace mmlpt::orchestrator {
 
-FleetTransportHub::FleetTransportHub(Config config) : config_(config) {}
+FleetTransportHub::FleetTransportHub(Config config) : config_(config) {
+  MMLPT_EXPECTS(config_.pipeline_depth >= 1);
+}
 
 FleetTransportHub::~FleetTransportHub() {
   // Channels must not outlive the hub (open_channel documents it).
@@ -21,7 +23,7 @@ std::unique_ptr<FleetTransportHub::Channel> FleetTransportHub::open_channel(
   state->backend = &backend;
   channels_.push_back(std::move(state));
   ++open_channels_;
-  // A new contributor arrived: flush conditions must be re-evaluated.
+  // A new contributor arrived: staging conditions must be re-evaluated.
   cv_.notify_all();
   return std::unique_ptr<Channel>(new Channel(*this, *channels_.back()));
 }
@@ -61,23 +63,25 @@ void FleetTransportHub::release_due_locked(ChannelState& state,
   }
 }
 
-bool FleetTransportHub::should_flush_locked(WallClock::time_point now) const {
+bool FleetTransportHub::can_stage_locked(WallClock::time_point now) const {
   if (gathered_probes_ == 0) return false;
+  // Pipeline discipline: at most pipeline_depth bursts staged/on-wire.
+  if (bursts_in_flight_locked() >=
+      static_cast<std::size_t>(config_.pipeline_depth)) {
+    return false;
+  }
   // Every open channel is blocked in poll: nobody is left to contribute
   // another window, so waiting longer only adds latency.
   if (polling_ == open_channels_) return true;
   return gather_deadline_ && now >= *gather_deadline_;
 }
 
-void FleetTransportHub::run_flush(std::unique_lock<std::mutex>& lock) {
-  MMLPT_ASSERT(!flush_in_progress_);
-  flush_in_progress_ = true;
-
+void FleetTransportHub::stage_burst_locked() {
   // Snapshot the burst: every gathered window, in channel order, each
   // channel's windows in submission order. The whole backlog goes out —
   // the limiter chunks oversized bursts to its own burst capacity.
-  std::vector<BurstItem> burst;
-  std::size_t burst_probes = 0;
+  StagedBurst burst;
+  burst.id = next_burst_id_++;
   std::size_t burst_channels = 0;
   for (auto& channel : channels_) {
     bool contributed = false;
@@ -88,70 +92,217 @@ void FleetTransportHub::run_flush(std::unique_lock<std::mutex>& lock) {
       item.submission = std::move(channel->gathered.front());
       channel->gathered.pop_front();
       item.backend_ticket = next_backend_ticket_++;
-      routes_[item.backend_ticket] = Route{channel.get(),
-                                           item.submission.ticket, size,
-                                           std::vector<bool>(size, false)};
+      Route route;
+      route.channel = channel.get();
+      route.caller_ticket = item.submission.ticket;
+      route.remaining = size;
+      route.resolved.assign(size, false);
+      route.burst = burst.id;
+      routes_[item.backend_ticket] = std::move(route);
       channel->in_flight += size;
-      burst_probes += size;
+      burst.probes += size;
       gathered_probes_ -= size;
       contributed = true;
-      burst.push_back(std::move(item));
+      burst.items.push_back(std::move(item));
     }
     if (contributed) ++burst_channels;
   }
   MMLPT_ASSERT(gathered_probes_ == 0);
   gather_deadline_.reset();
 
-  if (!burst.empty()) {
-    ++stats_.bursts;
-    stats_.probes += burst_probes;
-    stats_.windows += burst.size();
-    if (burst_channels >= 2) ++stats_.merged_bursts;
-    stats_.max_channels_in_burst =
-        std::max<std::uint64_t>(stats_.max_channels_in_burst, burst_channels);
-    stats_.max_probes_in_burst =
-        std::max<std::uint64_t>(stats_.max_probes_in_burst, burst_probes);
-  }
-
-  lock.unlock();
-  try {
-    dispatch_burst(burst, burst_probes);
-  } catch (...) {
-    // A backend failed mid-burst. First scrub the backends while still
-    // holding the flush (cancel + drain every ticket of this burst), so
-    // no stale completion of an abandoned ticket can surface in a later
-    // burst's collection loop; then resolve the burst's unrouted slots
-    // as unanswered so the other tracers see timeouts instead of
-    // blocking forever. The flusher's own trace gets the exception.
-    scrub_backends_after_failure(burst);
-    lock.lock();
-    abandon_outstanding_locked();
-    flush_in_progress_ = false;
-    cv_.notify_all();
-    throw;
-  }
-  lock.lock();
-  flush_in_progress_ = false;
+  if (burst.items.empty()) return;
+  ++stats_.bursts;
+  stats_.probes += burst.probes;
+  stats_.windows += burst.items.size();
+  if (burst_channels >= 2) ++stats_.merged_bursts;
+  stats_.max_channels_in_burst =
+      std::max<std::uint64_t>(stats_.max_channels_in_burst, burst_channels);
+  stats_.max_probes_in_burst =
+      std::max<std::uint64_t>(stats_.max_probes_in_burst, burst.probes);
+  staged_.push_back(std::move(burst));
   cv_.notify_all();
 }
 
-void FleetTransportHub::scrub_backends_after_failure(
-    std::vector<BurstItem>& burst) noexcept {
-  for (auto& item : burst) {
+FleetTransportHub::WallClock::time_point FleetTransportHub::dispatch_burst(
+    StagedBurst& burst) {
+  // One fleet-wide pacing charge for the whole burst: the pps budget is
+  // spent by fleet in-flight probes, not per-trace windows.
+  if (config_.limiter != nullptr) {
+    config_.limiter->acquire(static_cast<int>(burst.probes));
+  }
+  // The fixed receive-loop pass (once per merged burst) plus the
+  // transport's per-probe submission tax.
+  if (config_.latency_scale > 0.0) {
+    const probe::Nanos cost =
+        config_.per_burst_cost +
+        config_.per_probe_cost * static_cast<probe::Nanos>(burst.probes);
+    if (cost > 0) {
+      std::this_thread::sleep_for(scaled_wall(config_.latency_scale, cost));
+    }
+  }
+  // Send: dispatch each window to its backend, in gathered order. The
+  // wire owner is the only thread touching backends, so task-private
+  // backends need no locking.
+  for (auto& item : burst.items) {
+    item.channel->backend->submit(item.submission.window, item.backend_ticket,
+                                  item.submission.options);
+  }
+  return WallClock::now();
+}
+
+void FleetTransportHub::sweep_backends(std::unique_lock<std::mutex>& lock) {
+  // Backends holding dispatched, unrouted slots — collected under the
+  // lock, polled outside it.
+  std::vector<probe::TransportQueue*> backends;
+  for (const auto& entry : routes_) {
+    if (!entry.second.dispatched) continue;
+    auto* backend = entry.second.channel->backend;
+    if (std::find(backends.begin(), backends.end(), backend) ==
+        backends.end()) {
+      backends.push_back(backend);
+    }
+  }
+  if (backends.empty()) return;
+
+  lock.unlock();
+  bool progressed = false;
+  try {
+    for (auto* backend : backends) {
+      if (backend->pending() == 0) continue;
+      auto completions = backend->poll_completions();
+      if (completions.empty()) continue;
+      progressed = true;
+      std::lock_guard<std::mutex> route_lock(mutex_);
+      for (auto& completion : completions) {
+        const auto it = routes_.find(completion.ticket);
+        MMLPT_ASSERT(it != routes_.end());
+        Route& route = it->second;
+        ChannelState* channel = route.channel;
+        probe::Completion out;
+        out.ticket = route.caller_ticket;
+        out.slot = completion.slot;
+        out.reply = std::move(completion.reply);
+        out.canceled = completion.canceled;
+        MMLPT_ASSERT(channel->in_flight > 0);
+        --channel->in_flight;
+        MMLPT_ASSERT(completion.slot < route.resolved.size() &&
+                     !route.resolved[completion.slot]);
+        route.resolved[completion.slot] = true;
+        MMLPT_ASSERT(dispatched_unrouted_ > 0);
+        --dispatched_unrouted_;
+        const auto unrouted = burst_unrouted_.find(route.burst);
+        MMLPT_ASSERT(unrouted != burst_unrouted_.end());
+        if (--unrouted->second == 0) burst_unrouted_.erase(unrouted);
+        if (config_.latency_scale > 0.0 && !out.canceled) {
+          const auto rtt = out.reply ? out.reply->rtt : config_.unanswered_rtt;
+          channel->timed.push_back(TimedCompletion{
+              std::move(out),
+              route.base + scaled_wall(config_.latency_scale, rtt)});
+        } else {
+          channel->ready.push_back(std::move(out));
+        }
+        if (--route.remaining == 0) routes_.erase(it);
+      }
+      cv_.notify_all();
+    }
+  } catch (...) {
+    lock.lock();
+    throw;
+  }
+  lock.lock();
+  // Backends resolve every submitted slot (reply, deadline expiry or
+  // cancellation); an empty sweep with slots still outstanding is a
+  // backend contract violation.
+  MMLPT_ASSERT(progressed || dispatched_unrouted_ == 0);
+}
+
+void FleetTransportHub::drive_wire(std::unique_lock<std::mutex>& lock,
+                                   const std::function<bool()>& stop) {
+  MMLPT_ASSERT(!wire_owner_);
+  wire_owner_ = true;
+  for (;;) {
+    if (stop && stop()) break;
+    if (!staged_.empty()) {
+      StagedBurst burst = std::move(staged_.front());
+      staged_.pop_front();
+      if (!burst_unrouted_.empty()) ++stats_.overlapped_bursts;
+      burst_unrouted_[burst.id] = burst.probes;
+      stats_.max_bursts_in_flight = std::max<std::uint64_t>(
+          stats_.max_bursts_in_flight, burst_unrouted_.size());
+      dispatched_unrouted_ += burst.probes;
+      for (const auto& item : burst.items) {
+        routes_.at(item.backend_ticket).dispatched = true;
+      }
+      lock.unlock();
+      WallClock::time_point base;
+      try {
+        base = dispatch_burst(burst);
+      } catch (...) {
+        lock.lock();
+        fail_wire_locked(lock);
+        throw;
+      }
+      lock.lock();
+      for (const auto& item : burst.items) {
+        const auto it = routes_.find(item.backend_ticket);
+        if (it != routes_.end()) it->second.base = base;
+      }
+      cv_.notify_all();
+      continue;
+    }
+    if (dispatched_unrouted_ == 0) break;  // wire idle
     try {
-      item.channel->backend->cancel(item.backend_ticket);
+      sweep_backends(lock);
+    } catch (...) {
+      fail_wire_locked(lock);
+      throw;
+    }
+  }
+  wire_owner_ = false;
+  cv_.notify_all();
+}
+
+void FleetTransportHub::fail_wire_locked(std::unique_lock<std::mutex>& lock) {
+  // Scrub the backends first (cancel + drain every dispatched ticket),
+  // so no stale completion of an abandoned ticket can surface in a later
+  // sweep; the backends are still exclusively ours — wire_owner_ stays
+  // set until the end.
+  std::vector<std::pair<probe::TransportQueue*, probe::Ticket>> dispatched;
+  std::vector<probe::TransportQueue*> backends;
+  for (const auto& entry : routes_) {
+    if (!entry.second.dispatched) continue;
+    auto* backend = entry.second.channel->backend;
+    dispatched.emplace_back(backend, entry.first);
+    if (std::find(backends.begin(), backends.end(), backend) ==
+        backends.end()) {
+      backends.push_back(backend);
+    }
+  }
+  lock.unlock();
+  for (const auto& [backend, ticket] : dispatched) {
+    try {
+      backend->cancel(ticket);
     } catch (...) {
     }
   }
-  for (auto& item : burst) {
+  for (auto* backend : backends) {
     try {
-      auto* backend = item.channel->backend;
       while (backend->pending() > 0) {
         if (backend->poll_completions().empty()) break;
       }
     } catch (...) {
     }
   }
+  lock.lock();
+  // Resolve every unrouted slot — dispatched and merely staged alike —
+  // as unanswered so the other tracers see timeouts instead of blocking
+  // forever. The thread that hit the failure gets the exception.
+  abandon_outstanding_locked();
+  staged_.clear();
+  burst_unrouted_.clear();
+  dispatched_unrouted_ = 0;
+  wire_owner_ = false;
+  cv_.notify_all();
 }
 
 void FleetTransportHub::abandon_outstanding_locked() {
@@ -170,91 +321,11 @@ void FleetTransportHub::abandon_outstanding_locked() {
   routes_.clear();
 }
 
-void FleetTransportHub::dispatch_burst(std::vector<BurstItem>& burst,
-                                       std::size_t burst_probes) {
-  if (!burst.empty()) {
-    // One fleet-wide pacing charge for the whole burst: the pps budget
-    // is spent by fleet in-flight probes, not per-trace windows.
-    if (config_.limiter != nullptr) {
-      config_.limiter->acquire(static_cast<int>(burst_probes));
-    }
-    // The fixed receive-loop pass, paid once per merged burst.
-    if (config_.latency_scale > 0.0 && config_.per_burst_cost > 0) {
-      std::this_thread::sleep_for(
-          scaled_wall(config_.latency_scale, config_.per_burst_cost));
-    }
-
-    // Send: dispatch each window to its backend, in gathered order. The
-    // flusher is the only thread touching backends (flushes are
-    // serialized by flush_in_progress_), so task-private backends need
-    // no locking.
-    for (auto& item : burst) {
-      item.channel->backend->submit(item.submission.window,
-                                    item.backend_ticket,
-                                    item.submission.options);
-    }
-    const auto burst_base = WallClock::now();
-
-    // Collect until every slot of this burst resolves, routing
-    // completions back incrementally so finished tracers resume while
-    // slower windows keep waiting.
-    std::vector<probe::TransportQueue*> backends;
-    for (const auto& item : burst) {
-      if (std::find(backends.begin(), backends.end(),
-                    item.channel->backend) == backends.end()) {
-        backends.push_back(item.channel->backend);
-      }
-    }
-    std::size_t outstanding = burst_probes;
-    while (outstanding > 0) {
-      bool progressed = false;
-      for (auto* backend : backends) {
-        if (backend->pending() == 0) continue;
-        auto completions = backend->poll_completions();
-        if (completions.empty()) continue;
-        progressed = true;
-        std::lock_guard<std::mutex> route_lock(mutex_);
-        for (auto& completion : completions) {
-          const auto it = routes_.find(completion.ticket);
-          MMLPT_ASSERT(it != routes_.end());
-          ChannelState* channel = it->second.channel;
-          probe::Completion out;
-          out.ticket = it->second.caller_ticket;
-          out.slot = completion.slot;
-          out.reply = std::move(completion.reply);
-          out.canceled = completion.canceled;
-          MMLPT_ASSERT(channel->in_flight > 0);
-          --channel->in_flight;
-          MMLPT_ASSERT(completion.slot < it->second.resolved.size() &&
-                       !it->second.resolved[completion.slot]);
-          it->second.resolved[completion.slot] = true;
-          if (--it->second.remaining == 0) routes_.erase(it);
-          if (config_.latency_scale > 0.0 && !out.canceled) {
-            const auto rtt =
-                out.reply ? out.reply->rtt : config_.unanswered_rtt;
-            channel->timed.push_back(TimedCompletion{
-                std::move(out),
-                burst_base + scaled_wall(config_.latency_scale, rtt)});
-          } else {
-            channel->ready.push_back(std::move(out));
-          }
-          --outstanding;
-        }
-        cv_.notify_all();
-      }
-      // Backends resolve every submitted slot (reply, deadline expiry or
-      // cancellation); an empty sweep with slots still outstanding is a
-      // backend contract violation.
-      MMLPT_ASSERT(progressed || outstanding == 0);
-    }
-  }
-}
-
 std::vector<probe::Completion> FleetTransportHub::channel_poll(
     ChannelState& state) {
   std::unique_lock<std::mutex> lock(mutex_);
   MMLPT_ASSERT(!state.in_poll);
-  // RAII over the blocked-waiter accounting: run_flush may throw.
+  // RAII over the blocked-waiter accounting: drive_wire may throw.
   struct PollScope {
     ChannelState& state;
     std::size_t& polling;
@@ -265,7 +336,7 @@ std::vector<probe::Completion> FleetTransportHub::channel_poll(
   } scope{state, polling_};
   state.in_poll = true;
   ++polling_;
-  cv_.notify_all();  // the flush condition may just have become true
+  cv_.notify_all();  // the staging condition may just have become true
 
   std::vector<probe::Completion> out;
   for (;;) {
@@ -280,18 +351,30 @@ std::vector<probe::Completion> FleetTransportHub::channel_poll(
         state.timed.empty()) {
       break;  // nothing outstanding for this channel
     }
-    if (!flush_in_progress_ && should_flush_locked(now)) {
-      run_flush(lock);  // this worker becomes the flusher
+    if (can_stage_locked(now)) {
+      stage_burst_locked();
+      continue;
+    }
+    if (!wire_owner_ && (!staged_.empty() || dispatched_unrouted_ > 0)) {
+      // This worker becomes the wire owner; it hands the receive loop
+      // back as soon as its own completions are ready.
+      drive_wire(lock, [&] {
+        release_due_locked(state, WallClock::now());
+        return !state.ready.empty();
+      });
       continue;
     }
     // Wake for whichever comes first: my earliest latency due, the
-    // gather deadline (meaningless while a flush runs — its end
-    // notifies), or a notify (delivery / flush end / new channel).
+    // gather deadline (meaningless while the pipeline is full — a burst
+    // resolving notifies), or a notify (delivery / wire release / new
+    // channel).
     auto wake = WallClock::time_point::max();
     for (const auto& timed : state.timed) {
       wake = std::min(wake, timed.due);
     }
-    if (!flush_in_progress_ && gathered_probes_ > 0 && gather_deadline_) {
+    if (gathered_probes_ > 0 && gather_deadline_ &&
+        bursts_in_flight_locked() <
+            static_cast<std::size_t>(config_.pipeline_depth)) {
       wake = std::min(wake, *gather_deadline_);
     }
     if (wake == WallClock::time_point::max()) {
@@ -341,22 +424,38 @@ std::size_t FleetTransportHub::channel_pending(
 void FleetTransportHub::close_channel(ChannelState& state) {
   std::unique_lock<std::mutex> lock(mutex_);
   // Un-gather anything a dying trace left behind: nobody will ever poll
-  // for it, so it must not reach the wire.
+  // for it, so it must not reach the wire. (Staged windows are past the
+  // point of no return — they are waited out below like dispatched
+  // ones.)
   for (const auto& submission : state.gathered) {
     gathered_probes_ -= submission.window.size();
   }
   state.gathered.clear();
   if (gathered_probes_ == 0) gather_deadline_.reset();
   // A trace abandoned mid-window (exception) may still have slots on the
-  // wire; wait them out — and wait out the whole flush, which may still
-  // touch this channel's backend — so the flusher never routes to a dead
-  // channel. Count as "polling" meanwhile: this channel contributes
-  // nothing more, so it must not hold up the flush condition for
-  // everyone else; but never BECOME the flusher here, only wait.
+  // wire; wait them out — and wait out the wire owner, whose current
+  // sweep may still touch this channel's backend — so completions are
+  // never routed to a dead channel. Count as "polling" meanwhile: this
+  // channel contributes nothing more, so it must not hold up the staging
+  // condition for everyone else. Unlike the old flusher discipline, the
+  // closer may have to DRIVE the wire itself: its slots may sit in a
+  // staged burst no other worker is awake to dispatch.
   ++polling_;
   state.in_poll = true;
   cv_.notify_all();
-  cv_.wait(lock, [&] { return state.in_flight == 0 && !flush_in_progress_; });
+  for (;;) {
+    if (state.in_flight == 0 && !wire_owner_) break;
+    if (!wire_owner_ && (!staged_.empty() || dispatched_unrouted_ > 0)) {
+      try {
+        drive_wire(lock, [&] { return state.in_flight == 0; });
+      } catch (...) {
+        // Destructor context: fail_wire_locked already resolved every
+        // outstanding slot (ours included); nothing to rethrow into.
+      }
+      continue;
+    }
+    cv_.wait(lock);
+  }
   state.in_poll = false;
   --polling_;
   const auto it = std::find_if(

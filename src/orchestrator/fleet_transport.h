@@ -8,35 +8,45 @@
 // Shape: each fleet task opens a Channel (a probe::TransportQueue — also
 // a probe::Network for the compatibility surface) over its backend
 // transport. Channels may share one backend (the real deployment: every
-// tracer multiplexed onto one RawSocketNetwork socket pair, whose
-// receive loop already attributes replies across tickets) or own one
-// each (simulation: one Fakeroute simulator per destination). submit()
-// only GATHERS the window; the burst fires when every open channel is
-// blocked waiting (nobody left to contribute) or the gather timeout
-// expires, whichever is first. There is no dedicated hub thread: the
-// waiting workers themselves drive the flush, exactly like
+// tracer multiplexed onto one RawSocketNetwork/IoUringNetwork socket
+// pair, whose receive loop already attributes replies across tickets) or
+// own one each (simulation: one Fakeroute simulator per destination).
+// submit() only GATHERS the window; the burst is staged when every open
+// channel is blocked waiting (nobody left to contribute) or the gather
+// timeout expires, whichever is first. There is no dedicated hub thread:
+// the waiting workers themselves drive the wire, exactly like
 // FleetScheduler's result drainer.
 //
-// A flush charges the fleet-wide RateLimiter ONCE for the whole burst —
-// the pps budget is saturated by fleet-wide in-flight probes, not
-// per-trace windows — then dispatches each gathered window to its
-// backend and routes completions back as they resolve.
+// Pipelined bursts: up to Config::pipeline_depth bursts may be in
+// flight at once. One worker at a time owns the wire (wire_owner_) —
+// backends stay single-threaded objects — dispatching staged bursts and
+// sweeping completions; when the owner's OWN completions arrive it
+// releases the wire and any other waiting worker takes over the receive
+// loop, so a new merged burst launches while the previous burst's
+// stragglers are still pending. depth 1 reproduces the strict
+// resolve-before-next-burst discipline of the original flusher.
 //
-// Invariance: merging changes only WHEN a backend sees a window on the
-// wall clock, never which datagrams it sees or in what order (each
-// channel's windows dispatch in submission order, and a tracer blocks on
-// its window before assembling the next). Per-trace topology, packet
-// accounting and stopping decisions are therefore identical under
-// merging, and merged fleet output is byte-identical to the unmerged
-// jobs=1 run — the bench and tests/orchestrator/test_fleet_transport.cpp
-// gate this.
+// A dispatch charges the fleet-wide RateLimiter ONCE for the whole
+// burst — the pps budget is saturated by fleet-wide in-flight probes,
+// not per-trace windows.
+//
+// Invariance: merging and pipelining change only WHEN a backend sees a
+// window on the wall clock, never which datagrams it sees or in what
+// order (each channel's windows dispatch in submission order, and a
+// tracer blocks on its window before assembling the next). Per-trace
+// topology, packet accounting and stopping decisions are therefore
+// identical under merging at any pipeline depth, and merged fleet output
+// is byte-identical to the unmerged jobs=1 run — the bench and
+// tests/orchestrator/ gate this.
 //
 // Latency emulation (benches): with latency_scale > 0 the hub assumes
 // instant simulated backends and emulates the wall-clock cost itself —
 // per_burst_cost once per merged burst (the fixed receive-loop pass that
-// unmerged tracers each pay per window), then each completion comes due
-// scale * rtt after the burst. Real backends time themselves: leave the
-// scale at 0.
+// unmerged tracers each pay per window) plus per_probe_cost for every
+// probe in it (the per-probe syscall cost of the poll transport; zero
+// models the batched-submission transports), then each completion comes
+// due scale * rtt after the burst. Real backends time themselves: leave
+// the scale at 0.
 #ifndef MMLPT_ORCHESTRATOR_FLEET_TRANSPORT_H
 #define MMLPT_ORCHESTRATOR_FLEET_TRANSPORT_H
 
@@ -44,6 +54,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -62,20 +73,30 @@ class FleetTransportHub {
     /// How long the first gathered window may wait for co-travellers
     /// before the burst fires anyway (wall clock).
     std::chrono::nanoseconds gather_timeout{2'000'000};
-    /// Fleet-wide pacing: one acquire(probes-in-burst) per flush. The
+    /// Fleet-wide pacing: one acquire(probes-in-burst) per dispatch. The
     /// limiter itself chunks a large burst to its token-bucket burst
     /// capacity, so the hub needs no probe cap of its own.
     RateLimiter* limiter = nullptr;
+    /// Merged bursts that may be in flight (staged or on the wire with
+    /// unrouted slots) at once. 1 = the strict resolve-before-next
+    /// discipline; higher lets a new burst launch over the previous
+    /// burst's stragglers.
+    int pipeline_depth = 1;
     /// Latency emulation over instant simulated backends; 0 = off.
     double latency_scale = 0.0;
     probe::Nanos unanswered_rtt = kDefaultUnansweredRtt;
     /// Fixed virtual cost of one send burst + receive-loop pass, paid
     /// once per MERGED burst (the unmerged pipeline pays it per window).
     probe::Nanos per_burst_cost = 0;
+    /// Virtual per-probe submission cost (the poll transport's
+    /// one-syscall-per-probe tax; 0 models batched submission).
+    probe::Nanos per_probe_cost = 0;
   };
 
   /// Burst composition counters — the bench's "send bursts contain
-  /// probes from >= 2 distinct destinations" evidence.
+  /// probes from >= 2 distinct destinations" evidence, plus the
+  /// pipelining evidence (bursts dispatched over an unresolved
+  /// predecessor).
   struct Stats {
     std::uint64_t bursts = 0;
     std::uint64_t probes = 0;
@@ -84,6 +105,11 @@ class FleetTransportHub {
     std::uint64_t merged_bursts = 0;
     std::uint64_t max_channels_in_burst = 0;
     std::uint64_t max_probes_in_burst = 0;
+    /// Bursts dispatched while a previous burst still had unrouted
+    /// slots on the wire (requires pipeline_depth > 1 and a backend
+    /// that actually keeps slots in flight).
+    std::uint64_t overlapped_bursts = 0;
+    std::uint64_t max_bursts_in_flight = 0;
   };
 
   explicit FleetTransportHub(Config config);
@@ -122,7 +148,7 @@ class FleetTransportHub {
     std::deque<Submission> gathered;
     std::vector<TimedCompletion> timed;  ///< latency-emulated, not yet due
     std::vector<probe::Completion> ready;
-    std::size_t in_flight = 0;  ///< slots dispatched, completion not routed
+    std::size_t in_flight = 0;  ///< slots staged/dispatched, not routed
     bool in_poll = false;
   };
   /// Where a backend ticket's completions go. `resolved` tracks which
@@ -132,12 +158,24 @@ class FleetTransportHub {
     probe::Ticket caller_ticket = 0;
     std::size_t remaining = 0;
     std::vector<bool> resolved;
+    /// Which staged burst the window belongs to (depth accounting).
+    std::uint64_t burst = 0;
+    /// Submitted to the backend (false while merely staged).
+    bool dispatched = false;
+    /// When the owning burst hit the wire (latency-emulation base).
+    WallClock::time_point base{};
   };
-  /// One window of a snapshot burst, retagged with its backend ticket.
+  /// One window of a staged burst, retagged with its backend ticket.
   struct BurstItem {
     ChannelState* channel = nullptr;
     Submission submission;
     probe::Ticket backend_ticket = 0;
+  };
+  /// A snapshot burst waiting for the wire owner to dispatch it.
+  struct StagedBurst {
+    std::uint64_t id = 0;
+    std::vector<BurstItem> items;
+    std::size_t probes = 0;
   };
 
   void channel_submit(ChannelState& state,
@@ -150,21 +188,35 @@ class FleetTransportHub {
   [[nodiscard]] std::size_t channel_pending(const ChannelState& state) const;
   void close_channel(ChannelState& state);
 
-  [[nodiscard]] bool should_flush_locked(WallClock::time_point now) const;
-  /// Gather -> burst -> dispatch -> route completions. Called with the
-  /// lock held by the worker that becomes the flusher; the lock is
-  /// released while the burst is on the wire.
-  void run_flush(std::unique_lock<std::mutex>& lock);
-  /// The unlocked half of a flush: pace, send, collect, route.
-  void dispatch_burst(std::vector<BurstItem>& burst,
-                      std::size_t burst_probes);
-  /// Resolve every still-unrouted slot of the current burst as
-  /// unanswered — the degradation path when a backend throws mid-burst,
-  /// so the other tracers see timeouts instead of hanging forever.
+  /// Bursts counted against pipeline_depth: staged plus on-wire.
+  [[nodiscard]] std::size_t bursts_in_flight_locked() const {
+    return staged_.size() + burst_unrouted_.size();
+  }
+  [[nodiscard]] bool can_stage_locked(WallClock::time_point now) const;
+  /// Snapshot every gathered window into one staged burst (routes
+  /// created, in_flight counted); the wire owner dispatches it.
+  void stage_burst_locked();
+  /// Become the wire owner: dispatch staged bursts and sweep backend
+  /// completions until the wire is idle or `stop()` (checked under the
+  /// lock) asks to hand the receive loop to another worker. Entered and
+  /// left with the lock held; unlocked while touching backends.
+  void drive_wire(std::unique_lock<std::mutex>& lock,
+                  const std::function<bool()>& stop);
+  /// One unlocked pass over every backend with dispatched unrouted
+  /// slots, routing whatever completed. Lock held on entry and exit.
+  void sweep_backends(std::unique_lock<std::mutex>& lock);
+  /// Pace, emulate latency cost, submit every window of `burst` to its
+  /// backend. Called unlocked (only the wire owner gets here). Returns
+  /// the burst's wall-clock base for latency emulation.
+  [[nodiscard]] WallClock::time_point dispatch_burst(StagedBurst& burst);
+  /// A backend threw while this thread owned the wire: cancel + drain
+  /// every dispatched ticket so stale completions cannot leak into a
+  /// later sweep, resolve every unrouted slot (staged included) as
+  /// unanswered so the other tracers see timeouts instead of hanging
+  /// forever, and release the wire. Lock held on entry and exit.
+  void fail_wire_locked(std::unique_lock<std::mutex>& lock);
+  /// Resolve every still-unrouted slot of every route as unanswered.
   void abandon_outstanding_locked();
-  /// Cancel + drain every backend ticket of a failed burst so stale
-  /// completions cannot leak into the next burst's collection loop.
-  void scrub_backends_after_failure(std::vector<BurstItem>& burst) noexcept;
   /// Move state.timed completions that have come due into state.ready.
   void release_due_locked(ChannelState& state, WallClock::time_point now);
 
@@ -174,10 +226,19 @@ class FleetTransportHub {
   std::vector<std::unique_ptr<ChannelState>> channels_;
   std::size_t open_channels_ = 0;
   std::size_t polling_ = 0;
-  bool flush_in_progress_ = false;
+  /// A worker is currently dispatching/sweeping (backends are
+  /// single-threaded: exactly one wire owner at a time).
+  bool wire_owner_ = false;
   std::size_t gathered_probes_ = 0;
   std::optional<WallClock::time_point> gather_deadline_;
   probe::Ticket next_backend_ticket_ = 1;
+  std::uint64_t next_burst_id_ = 1;
+  std::deque<StagedBurst> staged_;
+  /// Unrouted slot count per dispatched burst; an entry disappearing is
+  /// a burst fully resolved (frees a pipeline_depth slot).
+  std::unordered_map<std::uint64_t, std::size_t> burst_unrouted_;
+  /// Slots submitted to backends whose completions are not yet routed.
+  std::size_t dispatched_unrouted_ = 0;
   std::unordered_map<probe::Ticket, Route> routes_;
   Stats stats_;
 };
@@ -200,8 +261,8 @@ class FleetTransportHub::Channel final : public probe::Network {
   using probe::Network::submit;
   [[nodiscard]] std::vector<probe::Completion> poll_completions() override;
   /// Cancels still-GATHERED windows of `ticket` (canceled completions
-  /// surface on the next poll). Windows already dispatched to the wire
-  /// resolve normally.
+  /// surface on the next poll). Windows already staged or dispatched to
+  /// the wire resolve normally.
   void cancel(probe::Ticket ticket) override;
   [[nodiscard]] std::size_t pending() const override;
 

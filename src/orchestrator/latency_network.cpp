@@ -17,21 +17,24 @@ void BlockingLatencyNetwork::block_for(probe::Nanos virtual_rtt) const {
   std::this_thread::sleep_for(scaled(virtual_rtt));
 }
 
-void BlockingLatencyNetwork::charge_window_cost() const {
-  if (config_.per_window_cost == 0) return;
+void BlockingLatencyNetwork::charge_window_cost(std::size_t probes) const {
+  const probe::Nanos cost =
+      config_.per_window_cost +
+      config_.per_probe_cost * static_cast<probe::Nanos>(probes);
+  if (cost == 0) return;
   if (config_.wire != nullptr) {
     // One raw socket, one receive loop: concurrent windows pay the fixed
     // cost one after another, not in parallel.
     std::lock_guard<std::mutex> lock(config_.wire->mutex);
-    block_for(config_.per_window_cost);
+    block_for(cost);
     return;
   }
-  block_for(config_.per_window_cost);
+  block_for(cost);
 }
 
 std::optional<probe::Received> BlockingLatencyNetwork::transact(
     std::span<const std::uint8_t> datagram, probe::Nanos now) {
-  charge_window_cost();
+  charge_window_cost(1);
   auto reply = inner_->transact(datagram, now);
   block_for(reply ? reply->rtt : config_.unanswered_rtt);
   return reply;
@@ -40,7 +43,7 @@ std::optional<probe::Received> BlockingLatencyNetwork::transact(
 void BlockingLatencyNetwork::submit(std::span<const probe::Datagram> window,
                                     probe::Ticket ticket,
                                     const probe::SubmitOptions& options) {
-  charge_window_cost();
+  charge_window_cost(window.size());
   auto& base = bases_[ticket];
   base.submitted = WallClock::now();
   base.outstanding += window.size();

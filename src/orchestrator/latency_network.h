@@ -67,6 +67,11 @@ class BlockingLatencyNetwork final : public probe::Network {
     /// Fixed virtual cost of one send burst + receive-loop pass, charged
     /// per submitted window (0 = free). Serialized on `wire` when set.
     probe::Nanos per_window_cost = 0;
+    /// Virtual cost per probe IN the window (the poll transport's
+    /// one-syscall-per-datagram submission tax; 0 models the batched
+    /// sendmmsg/io_uring transports). Charged with per_window_cost,
+    /// under the same wire serialization.
+    probe::Nanos per_probe_cost = 0;
     SharedWire* wire = nullptr;
   };
 
@@ -88,8 +93,9 @@ class BlockingLatencyNetwork final : public probe::Network {
   using WallClock = std::chrono::steady_clock;
 
   void block_for(probe::Nanos virtual_rtt) const;
-  /// Charge the fixed per-window cost, serialized on the shared wire.
-  void charge_window_cost() const;
+  /// Charge the fixed per-window cost plus the per-probe submission tax
+  /// for `probes` datagrams, serialized on the shared wire.
+  void charge_window_cost(std::size_t probes) const;
   [[nodiscard]] WallClock::duration scaled(probe::Nanos virtual_rtt) const;
 
   struct TimedCompletion {

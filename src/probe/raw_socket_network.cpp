@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <array>
 #include <cerrno>
 #include <cstring>
 
@@ -63,300 +64,173 @@ RawSocketNetwork::~RawSocketNetwork() {
   if (recv_fd_ >= 0) ::close(recv_fd_);
 }
 
-namespace {
-
-/// True when `got` is the ICMP(v6) answer to `sent` (quoted ports / flow
-/// label match, or echo identifier/sequence match). Struct level — the
-/// receive loop parses each packet exactly once.
-bool matches_parsed(const net::ParsedProbe& sent,
-                    const net::ParsedReply& got) {
-  if (sent.family != got.family) return false;
-  if (got.is_echo_reply()) {
-    if (!sent.is_echo_request()) return false;
-    if (sent.family == net::Family::kIpv4) {
-      return got.icmp.identifier == sent.icmp.identifier &&
-             got.icmp.sequence == sent.icmp.sequence;
-    }
-    return got.icmp6.identifier == sent.icmp6.identifier &&
-           got.icmp6.sequence == sent.icmp6.sequence;
-  }
-  if (sent.family == net::Family::kIpv4) {
-    if (!got.quoted_ip) return false;
-    if (got.quoted_ip->dst != sent.ip.dst) return false;
-    if (sent.ip.protocol == net::IpProto::kUdp) {
-      return got.quoted_udp && got.quoted_udp->src_port == sent.udp.src_port &&
-             got.quoted_udp->dst_port == sent.udp.dst_port;
-    }
-    return got.quoted_icmp &&
-           got.quoted_icmp->identifier == sent.icmp.identifier;
-  }
-  if (!got.quoted_ip6) return false;
-  if (got.quoted_ip6->dst != sent.ip6.dst) return false;
-  if (sent.ip6.next_header == net::IpProto::kUdp) {
-    // The flow label is the Paris identifier on v6; the (constant) ports
-    // guard against unrelated traffic towards the same destination.
-    return got.quoted_ip6->flow_label == sent.ip6.flow_label &&
-           got.quoted_udp && got.quoted_udp->src_port == sent.udp.src_port &&
-           got.quoted_udp->dst_port == sent.udp.dst_port;
-  }
-  return got.quoted_icmp6 &&
-         got.quoted_icmp6->identifier == sent.icmp6.identifier;
-}
-
-/// True when the reply quotes the probe's per-probe discriminator that
-/// matches_parsed() lacks: the IPv4 identification, or on IPv6 the UDP
-/// length (the engine encodes the TTL there — v6 has no identification).
-/// Two probes of the SAME flow at different TTLs carry identical flow
-/// fields, so in-flight windows need this to attribute each
-/// Time-Exceeded to the right slot. (Echo replies are already exact per
-/// identifier/sequence.)
-bool quoted_id_matches_parsed(const net::ParsedProbe& sent,
-                              const net::ParsedReply& got) {
-  if (got.is_echo_reply()) return true;  // identifier/sequence are exact
-  if (sent.family == net::Family::kIpv4) {
-    if (!got.quoted_ip) return false;
-    return got.quoted_ip->identification == sent.ip.identification;
-  }
-  // v6 has no identification; the engine encodes the probe TTL in the
-  // UDP length, which the quoted UDP header echoes back.
-  if (!got.quoted_udp) return false;
-  return got.quoted_udp->length == sent.udp.length;
-}
-
-}  // namespace
-
-void RawSocketNetwork::send_datagram(const net::ParsedProbe& probe,
-                                     std::span<const std::uint8_t> datagram) {
-  if (config_.family == net::Family::kIpv4) {
-    sockaddr_in to{};
-    to.sin_family = AF_INET;
-    to.sin_addr.s_addr = htonl(probe.ip.dst.value());
-    if (::sendto(send_fd_, datagram.data(), datagram.size(), 0,
-                 reinterpret_cast<const sockaddr*>(&to), sizeof(to)) < 0) {
-      throw SystemError(std::string("sendto: ") + std::strerror(errno));
-    }
-    return;
-  }
-  sockaddr_in6 to{};
-  to.sin6_family = AF_INET6;
-  std::memcpy(to.sin6_addr.s6_addr, probe.ip6.dst.bytes().data(), 16);
-  if (::sendto(send_fd_, datagram.data(), datagram.size(), 0,
-               reinterpret_cast<const sockaddr*>(&to), sizeof(to)) < 0) {
-    throw SystemError(std::string("sendto: ") + std::strerror(errno));
-  }
-}
-
-std::vector<std::uint8_t> RawSocketNetwork::receive_datagram(
-    const net::IpAddress& reply_dst) {
-  std::uint8_t buffer[2048];
-  if (config_.family == net::Family::kIpv4) {
-    const ssize_t n = ::recv(recv_fd_, buffer, sizeof(buffer), 0);
-    if (n <= 0) return {};
-    return {buffer, buffer + n};
-  }
-
-  // v6: the kernel strips the IPv6 header; rebuild it from the peer
-  // address and the ancillary hop limit so the shared parser sees a full
-  // datagram. The kernel has already verified the ICMPv6 checksum, and
-  // our reconstructed header cannot re-verify it (the true destination
-  // may differ from the crafted source), so the checksum field is zeroed
-  // — the parser's "unset, skip verification" convention.
-  sockaddr_in6 from{};
-  iovec iov{buffer, sizeof(buffer)};
-  alignas(cmsghdr) std::uint8_t control[256];
-  msghdr msg{};
-  msg.msg_name = &from;
-  msg.msg_namelen = sizeof(from);
-  msg.msg_iov = &iov;
-  msg.msg_iovlen = 1;
-  msg.msg_control = control;
-  msg.msg_controllen = sizeof(control);
-  const ssize_t n = ::recvmsg(recv_fd_, &msg, 0);
-  if (n <= 0) return {};
-
-  int hop_limit = 64;
-  for (cmsghdr* cmsg = CMSG_FIRSTHDR(&msg); cmsg != nullptr;
-       cmsg = CMSG_NXTHDR(&msg, cmsg)) {
-    if (cmsg->cmsg_level == IPPROTO_IPV6 &&
-        cmsg->cmsg_type == IPV6_HOPLIMIT) {
-      std::memcpy(&hop_limit, CMSG_DATA(cmsg), sizeof(int));
-    }
-  }
-
-  if (n >= 4) {
-    buffer[2] = 0;  // zero the ICMPv6 checksum (see above)
-    buffer[3] = 0;
-  }
-
-  net::IpAddress::Bytes src_bytes{};
-  std::memcpy(src_bytes.data(), from.sin6_addr.s6_addr, 16);
-  net::Ipv6Header outer;
-  outer.src = net::IpAddress::v6(src_bytes);
-  outer.dst = reply_dst;
-  outer.next_header = net::IpProto::kIcmpv6;
-  outer.hop_limit = static_cast<std::uint8_t>(hop_limit);
-  return outer.serialize({buffer, static_cast<std::size_t>(n)});
-}
-
 void RawSocketNetwork::submit(std::span<const Datagram> window, Ticket ticket,
                               const SubmitOptions& options) {
   const auto now = Clock::now();
   const auto budget =
       options.deadline
-          ? std::chrono::nanoseconds(static_cast<std::int64_t>(*options.deadline))
+          ? std::chrono::nanoseconds(
+                static_cast<std::int64_t>(*options.deadline))
           : std::chrono::nanoseconds(config_.reply_timeout);
-  pending_.reserve(pending_.size() + window.size());
-  for (std::size_t slot = 0; slot < window.size(); ++slot) {
-    PendingSlot entry;
-    entry.ticket = ticket;
-    entry.slot = slot;
-    entry.probe = net::parse_probe(window[slot].bytes);
-    entry.sent_at = Clock::now();
-    entry.deadline = now + budget;
-    try {
-      send_datagram(entry.probe, window[slot].bytes);
-    } catch (const SystemError&) {
-      // A failed send behaves like a lost probe: resolve the slot
-      // unanswered instead of throwing with part of the window already
-      // on the wire — a partially-submitted ticket would leave the
-      // queue permanently out of sync with its caller's drain loop.
-      Completion completion;
-      completion.ticket = ticket;
-      completion.slot = slot;
-      ready_.push_back(std::move(completion));
-      remember_resolved(std::move(entry.probe));
+  const auto deadline = now + budget;
+  const bool v6 = config_.family == net::Family::kIpv6;
+
+  // Build the whole window up front — parsed probes for attribution,
+  // per-datagram destinations for the vectorised send.
+  const std::size_t count = window.size();
+  std::vector<net::ParsedProbe> probes;
+  probes.reserve(count);
+  std::vector<sockaddr_storage> addrs(count);
+  std::vector<iovec> iovs(count);
+  std::vector<mmsghdr> msgs(count);
+  for (std::size_t slot = 0; slot < count; ++slot) {
+    probes.push_back(net::parse_probe(window[slot].bytes));
+    auto& addr = addrs[slot];
+    socklen_t addr_len = 0;
+    if (v6) {
+      auto* to = reinterpret_cast<sockaddr_in6*>(&addr);
+      to->sin6_family = AF_INET6;
+      std::memcpy(to->sin6_addr.s6_addr, probes[slot].ip6.dst.bytes().data(),
+                  16);
+      addr_len = sizeof(sockaddr_in6);
+    } else {
+      auto* to = reinterpret_cast<sockaddr_in*>(&addr);
+      to->sin_family = AF_INET;
+      to->sin_addr.s_addr = htonl(probes[slot].ip.dst.value());
+      addr_len = sizeof(sockaddr_in);
+    }
+    iovs[slot] = iovec{const_cast<std::uint8_t*>(window[slot].bytes.data()),
+                       window[slot].bytes.size()};
+    msgs[slot] = mmsghdr{};
+    msgs[slot].msg_hdr.msg_name = &addr;
+    msgs[slot].msg_hdr.msg_namelen = addr_len;
+    msgs[slot].msg_hdr.msg_iov = &iovs[slot];
+    msgs[slot].msg_hdr.msg_iovlen = 1;
+  }
+
+  // One sendmmsg() per window (more only after a mid-batch failure). A
+  // failed send behaves like a lost probe: resolve the slot unanswered
+  // instead of throwing with part of the window already on the wire — a
+  // partially-submitted ticket would leave the queue permanently out of
+  // sync with its caller's drain loop.
+  std::size_t done = 0;
+  while (done < count) {
+    const int rc = ::sendmmsg(send_fd_, msgs.data() + done,
+                              static_cast<unsigned>(count - done), 0);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      ++stats_.sendmmsg_calls;
+      attributor_.resolve_unsent(ticket, done, std::move(probes[done]));
+      ++done;
       continue;
     }
-    pending_.push_back(std::move(entry));
-  }
-}
-
-void RawSocketNetwork::remember_resolved(net::ParsedProbe probe) {
-  resolved_.push_back(ResolvedSlot{std::move(probe)});
-  while (resolved_.size() > kResolvedMemory) resolved_.pop_front();
-}
-
-void RawSocketNetwork::expire_slots(Clock::time_point now) {
-  for (std::size_t i = 0; i < pending_.size();) {
-    if (pending_[i].deadline <= now) {
-      Completion completion;
-      completion.ticket = pending_[i].ticket;
-      completion.slot = pending_[i].slot;
-      ready_.push_back(std::move(completion));
-      // An expired slot's reply may still arrive; remember the probe so
-      // the late reply is dropped, not loose-matched onto another slot.
-      remember_resolved(std::move(pending_[i].probe));
-      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
-    } else {
-      ++i;
+    ++stats_.sendmmsg_calls;
+    stats_.send_datagrams += static_cast<std::uint64_t>(rc);
+    for (std::size_t slot = done; slot < done + static_cast<std::size_t>(rc);
+         ++slot) {
+      attributor_.add_pending(ReplyAttributor::PendingSlot{
+          ticket, slot, std::move(probes[slot]), now, deadline});
     }
+    done += static_cast<std::size_t>(rc);
   }
 }
 
-void RawSocketNetwork::attribute_reply(const net::ParsedReply& got,
-                                       std::vector<std::uint8_t> reply,
-                                       Clock::time_point now) {
-  // Two-tier slot attribution: flow matching alone cannot tell apart two
-  // outstanding probes of the same flow at different TTLs, so prefer the
-  // slot whose per-probe discriminator the reply quotes (IPv4
-  // identification / IPv6 UDP length); fall back to the first flow match
-  // for routers that mangle the quoted header. A quoted discriminator
-  // whose matching slots are ALL already answered is a duplicated reply
-  // — drop it rather than loose-matching it onto a different pending
-  // slot of the same flow. (The v4 IP-ID is unique per probe; the v6
-  // discriminator is per (flow, ttl), so duplicate requests in one
-  // window share it — keep scanning for a pending slot before declaring
-  // a duplicate.) The scan covers every in-flight ticket: one receive
-  // loop serves all tracers multiplexed onto this socket pair.
-  std::ptrdiff_t exact = -1;
-  std::ptrdiff_t loose = -1;
-  for (std::size_t i = 0; i < pending_.size(); ++i) {
-    if (!matches_parsed(pending_[i].probe, got)) continue;
-    if (quoted_id_matches_parsed(pending_[i].probe, got)) {
-      exact = static_cast<std::ptrdiff_t>(i);
-      break;
-    }
-    if (loose < 0) loose = static_cast<std::ptrdiff_t>(i);
-  }
-  if (exact < 0) {
-    for (const auto& resolved : resolved_) {
-      if (matches_parsed(resolved.probe, got) &&
-          quoted_id_matches_parsed(resolved.probe, got)) {
-        return;  // late or duplicated reply to a resolved probe
+void RawSocketNetwork::drain_replies() {
+  const bool v6 = config_.family == net::Family::kIpv6;
+  std::array<std::array<std::uint8_t, 2048>, kRecvBatch> buffers;
+  std::array<sockaddr_in6, kRecvBatch> froms;
+  alignas(cmsghdr) std::array<std::array<std::uint8_t, 256>, kRecvBatch>
+      controls;
+  std::array<iovec, kRecvBatch> iovs;
+  std::array<mmsghdr, kRecvBatch> msgs;
+
+  while (!attributor_.pending_slots().empty()) {
+    for (unsigned i = 0; i < kRecvBatch; ++i) {
+      iovs[i] = iovec{buffers[i].data(), buffers[i].size()};
+      msgs[i] = mmsghdr{};
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+      if (v6) {
+        froms[i] = sockaddr_in6{};
+        controls[i].fill(0);
+        msgs[i].msg_hdr.msg_name = &froms[i];
+        msgs[i].msg_hdr.msg_namelen = sizeof(froms[i]);
+        msgs[i].msg_hdr.msg_control = controls[i].data();
+        msgs[i].msg_hdr.msg_controllen = controls[i].size();
       }
     }
-  }
-  const std::ptrdiff_t hit = exact >= 0 ? exact : loose;
-  if (hit < 0) return;  // someone else's ICMP
+    const int rc =
+        ::recvmmsg(recv_fd_, msgs.data(), kRecvBatch, MSG_DONTWAIT, nullptr);
+    if (rc <= 0) return;  // dry (EAGAIN), interrupted, or transient error
+    ++stats_.recvmmsg_calls;
+    stats_.recv_datagrams += static_cast<std::uint64_t>(rc);
 
-  auto& slot = pending_[static_cast<std::size_t>(hit)];
-  const auto rtt =
-      std::chrono::duration_cast<std::chrono::nanoseconds>(now - slot.sent_at);
-  Completion completion;
-  completion.ticket = slot.ticket;
-  completion.slot = slot.slot;
-  completion.reply =
-      Received{std::move(reply), static_cast<Nanos>(rtt.count())};
-  ready_.push_back(std::move(completion));
-  remember_resolved(std::move(slot.probe));
-  pending_.erase(pending_.begin() + hit);
+    const auto now = Clock::now();
+    for (int i = 0; i < rc; ++i) {
+      if (attributor_.pending_slots().empty()) break;
+      const auto n = static_cast<std::size_t>(msgs[i].msg_len);
+      if (n == 0) continue;
+      std::vector<std::uint8_t> reply;
+      if (v6) {
+        int hop_limit = 64;
+        for (cmsghdr* cmsg = CMSG_FIRSTHDR(&msgs[i].msg_hdr); cmsg != nullptr;
+             cmsg = CMSG_NXTHDR(&msgs[i].msg_hdr, cmsg)) {
+          if (cmsg->cmsg_level == IPPROTO_IPV6 &&
+              cmsg->cmsg_type == IPV6_HOPLIMIT) {
+            std::memcpy(&hop_limit, CMSG_DATA(cmsg), sizeof(int));
+          }
+        }
+        net::IpAddress::Bytes src_bytes{};
+        std::memcpy(src_bytes.data(), froms[i].sin6_addr.s6_addr, 16);
+        reply = reconstruct_ipv6_reply(
+            {buffers[i].data(), n}, net::IpAddress::v6(src_bytes), hop_limit,
+            attributor_.pending_slots().front().probe.src());
+      } else {
+        reply.assign(buffers[i].data(), buffers[i].data() + n);
+      }
+      net::ParsedReply got;
+      try {
+        got = net::parse_reply(reply);
+      } catch (const ParseError&) {
+        continue;  // not an ICMP shape we understand
+      }
+      attributor_.attribute(got, std::move(reply), now);
+    }
+    if (rc < static_cast<int>(kRecvBatch)) return;  // socket drained
+  }
 }
 
 std::vector<Completion> RawSocketNetwork::poll_completions() {
-  while (ready_.empty() && !pending_.empty()) {
-    // Recompute the remaining budget from the monotonic clock on EVERY
-    // wakeup — EINTR, a stray packet, or poll()'s millisecond-truncated
-    // timeout must not shorten (or extend) any ticket's deadline.
+  while (!attributor_.has_ready() && !attributor_.pending_slots().empty()) {
+    // Recompute the remaining budget from the monotonic clock on every
+    // WAKEUP — EINTR, a stray packet, or poll()'s millisecond-truncated
+    // timeout must not shorten (or extend) any ticket's deadline. The
+    // recompute is hoisted out of the datagram loop: a burst of replies
+    // costs one budget derivation, not one per packet.
     const auto now = Clock::now();
-    expire_slots(now);
-    if (!ready_.empty()) break;
+    attributor_.expire(now);
+    if (attributor_.has_ready()) break;
 
-    auto earliest = pending_.front().deadline;
-    for (const auto& slot : pending_) {
-      earliest = std::min(earliest, slot.deadline);
-    }
+    const auto earliest = *attributor_.earliest_deadline();
+    ++stats_.budget_recomputes;
 
     pollfd pfd{recv_fd_, POLLIN, 0};
+    ++stats_.poll_calls;
     const int rc = ::poll(&pfd, 1, poll_budget_ms(now, earliest));
     if (rc < 0) {
       if (errno == EINTR) continue;  // loop top re-derives the budget
       throw SystemError(std::string("poll: ") + std::strerror(errno));
     }
     if (rc == 0) continue;  // maybe expired: the loop top decides
-
-    auto reply = receive_datagram(pending_.front().probe.src());
-    if (reply.empty()) continue;
-    net::ParsedReply got;
-    try {
-      got = net::parse_reply(reply);
-    } catch (const ParseError&) {
-      continue;  // not an ICMP shape we understand
-    }
-    attribute_reply(got, std::move(reply), Clock::now());
+    drain_replies();
   }
-  auto completions = std::move(ready_);
-  ready_.clear();
-  return completions;
+  return attributor_.take_ready();
 }
 
-void RawSocketNetwork::cancel(Ticket ticket) {
-  for (std::size_t i = 0; i < pending_.size();) {
-    if (pending_[i].ticket == ticket) {
-      Completion completion;
-      completion.ticket = ticket;
-      completion.slot = pending_[i].slot;
-      completion.canceled = true;
-      ready_.push_back(std::move(completion));
-      remember_resolved(std::move(pending_[i].probe));
-      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
-    } else {
-      ++i;
-    }
-  }
-}
+void RawSocketNetwork::cancel(Ticket ticket) { attributor_.cancel(ticket); }
 
 std::size_t RawSocketNetwork::pending() const {
-  return pending_.size() + ready_.size();
+  return attributor_.unresolved();
 }
 
 std::optional<Received> RawSocketNetwork::transact(

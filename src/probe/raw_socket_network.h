@@ -9,37 +9,41 @@
 // reconstructs one from the peer address and ancillary hop limit before
 // handing the datagram to the shared parser.
 //
-// Completion-queue backend: submit() fires a window back-to-back and
-// records each probe as a pending slot with a per-ticket deadline
-// (Config::reply_timeout unless SubmitOptions::deadline overrides it);
-// poll_completions() runs ONE poll()-driven receive loop over every
-// pending slot of every in-flight ticket, so N concurrent tracers
-// multiplexed onto this socket pair (the fleet merger) share a single
-// receive loop and their reply timeouts all overlap. Replies are matched
-// to slots by quoted ports / flow labels / echo identifiers with the
-// same two-tier per-probe discrimination the blocking path used.
+// Completion-queue backend: submit() fires a window with ONE sendmmsg()
+// batch and records each probe as a pending slot with a per-ticket
+// deadline (Config::reply_timeout unless SubmitOptions::deadline
+// overrides it); poll_completions() runs ONE poll()-driven receive loop
+// over every pending slot of every in-flight ticket, draining each
+// wakeup with recvmmsg() so a burst of replies costs one syscall, not
+// one per datagram. N concurrent tracers multiplexed onto this socket
+// pair (the fleet merger) share a single receive loop and their reply
+// timeouts all overlap. Reply-to-slot matching is the shared two-tier
+// attribution policy (probe::ReplyAttributor).
 //
 // The receive loop is hardened against EINTR and deadline drift: after
 // every wakeup — signal, stray packet, poll() returning early on its
 // truncated millisecond budget — the remaining timeout is recomputed
 // from the monotonic clock against each ticket's absolute deadline
-// (see poll_budget_ms), never reused from the original budget.
+// (see poll_budget_ms), never reused from the original budget. The
+// recompute happens once per WAKEUP, not once per received datagram
+// (stats().budget_recomputes is the regression guard).
 //
 // Requires CAP_NET_RAW (root) and Internet access; constructing without
 // privileges throws mmlpt::SystemError. Unit tests therefore run against
-// SimulatedNetwork; this backend is exercised by examples/quickstart when
-// run with --real on a privileged host.
+// SimulatedNetwork; the loopback conformance suite exercises this
+// backend directly when run privileged.
 #ifndef MMLPT_PROBE_RAW_SOCKET_NETWORK_H
 #define MMLPT_PROBE_RAW_SOCKET_NETWORK_H
 
 #include <algorithm>
 #include <chrono>
-#include <deque>
+#include <cstdint>
 #include <limits>
 
 #include "net/ip_address.h"
 #include "net/packet.h"
 #include "probe/network.h"
+#include "probe/reply_attribution.h"
 
 namespace mmlpt::probe {
 
@@ -87,58 +91,35 @@ class RawSocketNetwork final : public Network {
   void cancel(Ticket ticket) override;
   [[nodiscard]] std::size_t pending() const override;
 
+  /// Observable syscall-shape counters: the batched fast path and the
+  /// once-per-wakeup budget discipline are regression-tested through
+  /// these, not timed.
+  struct Stats {
+    std::uint64_t sendmmsg_calls = 0;   ///< send batches shipped
+    std::uint64_t send_datagrams = 0;   ///< probes sent (all batches)
+    std::uint64_t recvmmsg_calls = 0;   ///< receive batches drained
+    std::uint64_t recv_datagrams = 0;   ///< datagrams scooped up
+    std::uint64_t poll_calls = 0;       ///< poll() wakeup waits
+    std::uint64_t budget_recomputes = 0;  ///< deadline-budget derivations
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
  private:
-  using Clock = std::chrono::steady_clock;
+  using Clock = ReplyAttributor::Clock;
 
-  /// One in-flight probe slot awaiting its reply.
-  struct PendingSlot {
-    Ticket ticket = 0;
-    std::size_t slot = 0;
-    net::ParsedProbe probe;
-    Clock::time_point sent_at;
-    Clock::time_point deadline;
-  };
+  /// Receive datagrams per recvmmsg() batch; a poll() wakeup loops
+  /// batches until the socket is dry, so this only bounds one syscall.
+  static constexpr unsigned kRecvBatch = 16;
 
-  /// A slot already resolved — answered, expired or canceled — kept
-  /// (parsed form only) so a late or duplicated reply that names it via
-  /// the quoted per-probe discriminator is recognised and dropped
-  /// instead of loose-matching onto a different pending slot of the
-  /// same flow. Bounded: the newest kResolvedMemory records are kept.
-  struct ResolvedSlot {
-    net::ParsedProbe probe;
-  };
-  static constexpr std::size_t kResolvedMemory = 1024;
-
-  /// Send one crafted datagram; `probe` is its parsed form (the
-  /// destination comes from there — no re-parse on the send path).
-  void send_datagram(const net::ParsedProbe& probe,
-                     std::span<const std::uint8_t> datagram);
-
-  /// Drain one packet from recv_fd_; returns the reply as a full
-  /// IP datagram (reconstructing the IPv6 header when family is v6,
-  /// `reply_dst` being the probes' source). Empty when nothing usable.
-  [[nodiscard]] std::vector<std::uint8_t> receive_datagram(
-      const net::IpAddress& reply_dst);
-
-  /// Move every pending slot past its deadline into ready_ (unanswered).
-  void expire_slots(Clock::time_point now);
-
-  /// Remember a resolved slot's parsed probe for the duplicate check.
-  void remember_resolved(net::ParsedProbe probe);
-
-  /// Match one parsed reply against the pending slots (two-tier: exact
-  /// per-probe discriminator first, flow-level fallback, duplicate
-  /// drop); on a hit, resolve the slot into ready_.
-  void attribute_reply(const net::ParsedReply& got,
-                       std::vector<std::uint8_t> reply,
-                       Clock::time_point now);
+  /// Drain every datagram already queued on recv_fd_ (non-blocking
+  /// recvmmsg until EAGAIN), attributing each to its pending slot.
+  void drain_replies();
 
   Config config_;
   int send_fd_ = -1;
   int recv_fd_ = -1;
-  std::vector<PendingSlot> pending_;
-  std::deque<ResolvedSlot> resolved_;
-  std::vector<Completion> ready_;
+  ReplyAttributor attributor_;
+  Stats stats_;
 };
 
 }  // namespace mmlpt::probe

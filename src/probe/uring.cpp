@@ -1,0 +1,195 @@
+#include "probe/uring.h"
+
+#if MMLPT_HAS_IO_URING
+
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "common/assert.h"
+#include "common/error.h"
+
+namespace mmlpt::probe::uring {
+
+namespace {
+
+int sys_io_uring_setup(unsigned entries, io_uring_params* params) noexcept {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, params));
+}
+
+int sys_io_uring_enter(int fd, unsigned to_submit, unsigned min_complete,
+                       unsigned flags) noexcept {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+[[nodiscard]] std::atomic_ref<unsigned> shared(unsigned* p) noexcept {
+  return std::atomic_ref<unsigned>(*p);
+}
+
+}  // namespace
+
+bool kernel_supported() noexcept {
+  static const bool supported = [] {
+    io_uring_params params{};
+    const int fd = sys_io_uring_setup(4, &params);
+    if (fd < 0) return false;
+    ::close(fd);
+    return true;
+  }();
+  return supported;
+}
+
+Ring::Ring(unsigned entries) {
+  io_uring_params params{};
+  fd_ = sys_io_uring_setup(entries, &params);
+  if (fd_ < 0) {
+    throw SystemError(std::string("io_uring_setup: ") + std::strerror(errno));
+  }
+
+  sq_ring_bytes_ = params.sq_off.array + params.sq_entries * sizeof(unsigned);
+  cq_ring_bytes_ = params.cq_off.cqes + params.cq_entries * sizeof(Cqe);
+  const bool single_mmap = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+  if (single_mmap) {
+    sq_ring_bytes_ = cq_ring_bytes_ = std::max(sq_ring_bytes_, cq_ring_bytes_);
+  }
+
+  sq_ring_ = ::mmap(nullptr, sq_ring_bytes_, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, fd_, IORING_OFF_SQ_RING);
+  if (sq_ring_ == MAP_FAILED) {
+    const int err = errno;
+    ::close(fd_);
+    throw SystemError(std::string("io_uring sq mmap: ") + std::strerror(err));
+  }
+  if (single_mmap) {
+    cq_ring_ = sq_ring_;
+  } else {
+    cq_ring_ = ::mmap(nullptr, cq_ring_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, fd_, IORING_OFF_CQ_RING);
+    if (cq_ring_ == MAP_FAILED) {
+      const int err = errno;
+      ::munmap(sq_ring_, sq_ring_bytes_);
+      ::close(fd_);
+      throw SystemError(std::string("io_uring cq mmap: ") + std::strerror(err));
+    }
+  }
+
+  sqes_bytes_ = params.sq_entries * sizeof(Sqe);
+  sqes_ = static_cast<Sqe*>(::mmap(nullptr, sqes_bytes_,
+                                   PROT_READ | PROT_WRITE,
+                                   MAP_SHARED | MAP_POPULATE, fd_,
+                                   IORING_OFF_SQES));
+  if (sqes_ == MAP_FAILED) {
+    const int err = errno;
+    if (cq_ring_ != sq_ring_) ::munmap(cq_ring_, cq_ring_bytes_);
+    ::munmap(sq_ring_, sq_ring_bytes_);
+    ::close(fd_);
+    throw SystemError(std::string("io_uring sqes mmap: ") + std::strerror(err));
+  }
+
+  auto* sq_base = static_cast<std::uint8_t*>(sq_ring_);
+  sq_head_ = reinterpret_cast<unsigned*>(sq_base + params.sq_off.head);
+  sq_tail_ = reinterpret_cast<unsigned*>(sq_base + params.sq_off.tail);
+  sq_mask_ = *reinterpret_cast<unsigned*>(sq_base + params.sq_off.ring_mask);
+  sq_entries_ = params.sq_entries;
+  sq_array_ = reinterpret_cast<unsigned*>(sq_base + params.sq_off.array);
+
+  auto* cq_base = static_cast<std::uint8_t*>(cq_ring_);
+  cq_head_ = reinterpret_cast<unsigned*>(cq_base + params.cq_off.head);
+  cq_tail_ = reinterpret_cast<unsigned*>(cq_base + params.cq_off.tail);
+  cq_mask_ = *reinterpret_cast<unsigned*>(cq_base + params.cq_off.ring_mask);
+  cqes_ = reinterpret_cast<Cqe*>(cq_base + params.cq_off.cqes);
+
+  // Identity-map the SQ index array once: slot i of the array always
+  // names SQE i, so publishing an SQE is just a tail store.
+  for (unsigned i = 0; i < sq_entries_; ++i) sq_array_[i] = i;
+  sqe_tail_ = shared(sq_tail_).load(std::memory_order_relaxed);
+}
+
+Ring::~Ring() {
+  if (sqes_ != nullptr) ::munmap(sqes_, sqes_bytes_);
+  if (cq_ring_ != nullptr && cq_ring_ != sq_ring_) {
+    ::munmap(cq_ring_, cq_ring_bytes_);
+  }
+  if (sq_ring_ != nullptr) ::munmap(sq_ring_, sq_ring_bytes_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Sqe* Ring::try_get_sqe() noexcept {
+  const unsigned head = shared(sq_head_).load(std::memory_order_acquire);
+  if (sqe_tail_ - head >= sq_entries_) return nullptr;  // SQ full
+  Sqe* sqe = &sqes_[sqe_tail_ & sq_mask_];
+  ++sqe_tail_;
+  std::memset(sqe, 0, sizeof(*sqe));
+  return sqe;
+}
+
+Sqe* Ring::get_sqe() {
+  if (Sqe* sqe = try_get_sqe()) return sqe;
+  flush();
+  Sqe* sqe = try_get_sqe();
+  if (sqe == nullptr) {
+    throw SystemError("io_uring submission queue stuck full after flush");
+  }
+  return sqe;
+}
+
+unsigned Ring::unflushed() const noexcept {
+  return sqe_tail_ - shared(sq_tail_).load(std::memory_order_relaxed);
+}
+
+unsigned Ring::flush(unsigned wait_for) {
+  shared(sq_tail_).store(sqe_tail_, std::memory_order_release);
+  unsigned consumed = 0;
+  bool waited = false;
+  for (;;) {
+    const unsigned to_submit =
+        sqe_tail_ - shared(sq_head_).load(std::memory_order_acquire);
+    const bool want_wait = wait_for > 0 && !waited;
+    if (to_submit == 0 && !want_wait) return consumed;
+    const int rc = sys_io_uring_enter(fd_, to_submit,
+                                      want_wait ? wait_for : 0u,
+                                      want_wait ? IORING_ENTER_GETEVENTS : 0u);
+    if (rc < 0) {
+      if (errno == EINTR) continue;  // absolute deadlines live in-kernel
+      // CQ overflow backpressure: hand control back so the caller reaps
+      // completions before retrying the remaining SQEs.
+      if (errno == EBUSY) return consumed;
+      throw SystemError(std::string("io_uring_enter: ") +
+                        std::strerror(errno));
+    }
+    consumed += static_cast<unsigned>(rc);
+    if (want_wait) waited = true;
+  }
+}
+
+std::size_t Ring::reap(std::vector<Cqe>& out) {
+  unsigned head = shared(cq_head_).load(std::memory_order_relaxed);
+  const unsigned tail = shared(cq_tail_).load(std::memory_order_acquire);
+  std::size_t count = 0;
+  while (head != tail) {
+    out.push_back(cqes_[head & cq_mask_]);
+    ++head;
+    ++count;
+  }
+  if (count > 0) shared(cq_head_).store(head, std::memory_order_release);
+  return count;
+}
+
+}  // namespace mmlpt::probe::uring
+
+#else  // !MMLPT_HAS_IO_URING
+
+namespace mmlpt::probe::uring {
+
+bool kernel_supported() noexcept { return false; }
+
+}  // namespace mmlpt::probe::uring
+
+#endif  // MMLPT_HAS_IO_URING

@@ -1,0 +1,110 @@
+// Thin, liburing-free io_uring shim: raw io_uring_setup/io_uring_enter
+// syscalls plus the mmap'd submission/completion ring bookkeeping, just
+// enough surface for IoUringNetwork. No new build dependency — the shim
+// compiles against <linux/io_uring.h> alone and degrades to a
+// "not supported" stub when the uapi header is absent (non-Linux or
+// ancient sysroot), so every call site must consult kernel_supported()
+// (the runtime io_uring_setup capability probe) before constructing a
+// Ring.
+//
+// Scope deliberately small: single-issuer single-thread rings (the
+// TransportQueue contract is single-threaded), identity-mapped SQ array,
+// no SQPOLL, no registered buffers/files. The kernel-shared head/tail
+// indices are accessed through std::atomic_ref with acquire/release
+// ordering per the io_uring memory model.
+#ifndef MMLPT_PROBE_URING_H
+#define MMLPT_PROBE_URING_H
+
+#if defined(__linux__) && __has_include(<linux/io_uring.h>)
+#define MMLPT_HAS_IO_URING 1
+#else
+#define MMLPT_HAS_IO_URING 0
+#endif
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#if MMLPT_HAS_IO_URING
+#include <linux/io_uring.h>
+#endif
+
+namespace mmlpt::probe::uring {
+
+/// Runtime capability probe, cached after the first call: true when
+/// io_uring_setup() succeeds on this kernel (it can fail with ENOSYS on
+/// pre-5.1 kernels, or EPERM under seccomp/sysctl lockdown). The
+/// transport selector uses this to fall back to RawSocketNetwork.
+[[nodiscard]] bool kernel_supported() noexcept;
+
+#if MMLPT_HAS_IO_URING
+
+/// A completion as the network backend consumes it (the kernel struct,
+/// re-exported so callers need not include the uapi header themselves).
+using Cqe = ::io_uring_cqe;
+using Sqe = ::io_uring_sqe;
+
+class Ring {
+ public:
+  /// Create a ring with (at least) `entries` SQ slots; throws
+  /// mmlpt::SystemError when the kernel refuses.
+  explicit Ring(unsigned entries);
+  ~Ring();
+
+  Ring(const Ring&) = delete;
+  Ring& operator=(const Ring&) = delete;
+
+  /// Next free SQE, zero-initialised, or nullptr when the submission
+  /// queue is full (the caller should flush() and retry).
+  [[nodiscard]] Sqe* try_get_sqe() noexcept;
+
+  /// Like try_get_sqe(), but flushes the queue to the kernel when full;
+  /// throws SystemError if the kernel cannot drain it.
+  [[nodiscard]] Sqe* get_sqe();
+
+  /// Publish every prepared SQE and enter the kernel once. When
+  /// `wait_for` > 0, blocks until that many completions are available
+  /// (EINTR is retried — in-kernel timeouts hold the absolute deadline,
+  /// so retrying cannot stretch it). Returns the number of SQEs the
+  /// kernel consumed.
+  unsigned flush(unsigned wait_for = 0);
+
+  /// Pop every available CQE into `out` (appending); returns how many.
+  std::size_t reap(std::vector<Cqe>& out);
+
+  /// SQEs prepared but not yet flushed to the kernel.
+  [[nodiscard]] unsigned unflushed() const noexcept;
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+ private:
+  int fd_ = -1;
+
+  // SQ ring (mmap'd, shared with the kernel).
+  void* sq_ring_ = nullptr;
+  std::size_t sq_ring_bytes_ = 0;
+  unsigned* sq_head_ = nullptr;
+  unsigned* sq_tail_ = nullptr;
+  unsigned sq_mask_ = 0;
+  unsigned sq_entries_ = 0;
+  unsigned* sq_array_ = nullptr;
+  Sqe* sqes_ = nullptr;
+  std::size_t sqes_bytes_ = 0;
+  /// Local (unpublished) tail: SQEs handed out by get_sqe() but not yet
+  /// visible to the kernel.
+  unsigned sqe_tail_ = 0;
+
+  // CQ ring. With IORING_FEAT_SINGLE_MMAP it aliases sq_ring_.
+  void* cq_ring_ = nullptr;
+  std::size_t cq_ring_bytes_ = 0;
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned cq_mask_ = 0;
+  Cqe* cqes_ = nullptr;
+};
+
+#endif  // MMLPT_HAS_IO_URING
+
+}  // namespace mmlpt::probe::uring
+
+#endif  // MMLPT_PROBE_URING_H

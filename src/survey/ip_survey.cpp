@@ -81,7 +81,7 @@ IpSurveyResult run_ip_survey(const IpSurveyConfig& config,
   result.accounting = DiamondAccounting(config.phi_for_meshing_analysis);
   orchestrator::FleetScheduler fleet(
       {config.jobs, config.seed, config.pps, config.burst,
-       config.merge_windows});
+       config.merge_windows, config.pipeline_depth});
   fleet.run_streaming(
       config.routes,
       [&](orchestrator::WorkerContext& context) {

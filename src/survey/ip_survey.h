@@ -40,6 +40,9 @@ struct IpSurveyConfig {
   /// (FleetTransportHub). Output is invariant — only wall-clock and the
   /// wire's burst composition change.
   bool merge_windows = false;
+  /// Merged bursts that may be in flight at once (1 = strict
+  /// resolve-before-next-burst); output is invariant for every depth.
+  int pipeline_depth = 1;
   /// Cooperative cancellation (SIGINT plumbing): when the token fires,
   /// in-flight tickets are canceled and run_ip_survey throws
   /// probe::CanceledError. nullptr = not cancelable.

@@ -172,7 +172,7 @@ RouterSurveyResult run_router_survey(const RouterSurveyConfig& config,
 
   orchestrator::FleetScheduler fleet(
       {config.jobs, config.seed, config.pps, config.burst,
-       config.merge_windows});
+       config.merge_windows, config.pipeline_depth});
   const std::uint64_t base_seed = config.seed * 0x2545F491ULL + 99;
   fleet.run_streaming(
       config.routes,

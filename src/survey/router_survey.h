@@ -40,6 +40,9 @@ struct RouterSurveyConfig {
   int burst = 64;
   /// Merge concurrent traces' probe windows into shared fleet bursts.
   bool merge_windows = false;
+  /// Merged bursts that may be in flight at once (1 = strict
+  /// resolve-before-next-burst); output is invariant for every depth.
+  int pipeline_depth = 1;
   /// Cooperative cancellation (SIGINT plumbing): when the token fires,
   /// in-flight tickets are canceled and run_router_survey throws
   /// probe::CanceledError. nullptr = not cancelable.

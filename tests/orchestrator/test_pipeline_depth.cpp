@@ -1,0 +1,238 @@
+// Pipelined fleet bursts: with pipeline_depth > 1 the hub launches a new
+// merged burst while the previous burst's stragglers are still on the
+// wire, and with depth 1 it reproduces the strict
+// resolve-before-next-burst discipline of the original flusher. The
+// simulated backends resolve at submit, so genuine overlap needs a
+// backend that actually KEEPS slots in flight — GatedBackend below
+// blocks poll_completions() until the test releases slots one by one,
+// letting the test freeze a burst mid-flight and watch what the hub
+// does with the next one.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "orchestrator/fleet_transport.h"
+
+namespace mmlpt::orchestrator {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// A transport whose completions are hand-cranked by the test: submitted
+/// slots stay in flight until release()d, then resolve unanswered in
+/// submission order. Thread-safe because the test thread cranks it while
+/// a hub wire owner polls it.
+class GatedBackend final : public probe::TransportQueue {
+ public:
+  void submit(std::span<const probe::Datagram> window, probe::Ticket ticket,
+              const probe::SubmitOptions&) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t slot = 0; slot < window.size(); ++slot) {
+      slots_.push_back({ticket, slot});
+    }
+    ++windows_;
+    cv_.notify_all();
+  }
+  using probe::TransportQueue::submit;
+
+  [[nodiscard]] std::vector<probe::Completion> poll_completions() override {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (slots_.empty()) return {};
+    cv_.wait(lock, [&] { return released_ > 0; });
+    std::vector<probe::Completion> out;
+    while (released_ > 0 && !slots_.empty()) {
+      const auto [ticket, slot] = slots_.front();
+      slots_.pop_front();
+      --released_;
+      probe::Completion completion;
+      completion.ticket = ticket;
+      completion.slot = slot;
+      out.push_back(std::move(completion));
+    }
+    return out;
+  }
+
+  void cancel(probe::Ticket) override {}
+
+  [[nodiscard]] std::size_t pending() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return slots_.size();
+  }
+
+  /// Let the next `n` in-flight slots resolve (in submission order).
+  void release(std::size_t n) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    released_ += n;
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t submitted_windows() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return windows_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::pair<probe::Ticket, std::size_t>> slots_;
+  std::size_t released_ = 0;
+  std::size_t windows_ = 0;
+};
+
+std::vector<probe::Datagram> window_of(std::size_t n) {
+  std::vector<probe::Datagram> window(n);
+  for (std::size_t i = 0; i < n; ++i) window[i].at = (i + 1) * 1'000'000;
+  return window;
+}
+
+/// Spin (with a generous ceiling) until `ready` holds; the hub has no
+/// hooks to wait on, and the conditions are monotone.
+template <typename Predicate>
+[[nodiscard]] bool eventually(Predicate ready) {
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (!ready()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(1ms);
+  }
+  return true;
+}
+
+/// Drain `expect` completions from a channel on the calling thread.
+void drain(probe::Network& channel, std::size_t expect,
+           std::vector<probe::Completion>& out) {
+  while (out.size() < expect) {
+    auto batch = channel.poll_completions();
+    if (batch.empty() && channel.pending() == 0) break;
+    for (auto& completion : batch) out.push_back(std::move(completion));
+  }
+}
+
+TEST(PipelineDepth, DepthTwoDispatchesOverTheFirstBurstsStragglers) {
+  FleetTransportHub::Config config;
+  config.gather_timeout = std::chrono::milliseconds(1);
+  config.pipeline_depth = 2;
+  FleetTransportHub hub(config);
+  GatedBackend backend_a;
+  GatedBackend backend_b;
+  auto channel_a = hub.open_channel(backend_a);
+  auto channel_b = hub.open_channel(backend_b);
+
+  // Tracer A commits a 2-probe window; the gather deadline stages it as
+  // burst 1 and A's poll dispatches it, then blocks sweeping backend A.
+  std::vector<probe::Completion> got_a;
+  std::thread worker_a([&] {
+    channel_a->submit(window_of(2), /*ticket=*/100);
+    drain(*channel_a, 2, got_a);
+  });
+  ASSERT_TRUE(eventually([&] { return backend_a.submitted_windows() == 1; }))
+      << "burst 1 never reached backend A";
+
+  // Tracer B commits its window while burst 1 is frozen mid-flight. At
+  // depth 2 the hub may stage it immediately (bursts counted at stage).
+  std::vector<probe::Completion> got_b;
+  std::thread worker_b([&] {
+    channel_b->submit(window_of(1), /*ticket=*/200);
+    drain(*channel_b, 1, got_b);
+  });
+  ASSERT_TRUE(eventually([&] { return hub.stats().bursts == 2; }))
+      << "burst 2 was not staged over burst 1's stragglers";
+  EXPECT_EQ(backend_b.submitted_windows(), 0u);  // staged, wire still busy
+
+  // Resolve ONE of burst 1's two slots: the wire owner routes it, hands
+  // the wire over, and the next owner must dispatch burst 2 even though
+  // burst 1 still has a straggler in flight.
+  backend_a.release(1);
+  ASSERT_TRUE(eventually([&] { return backend_b.submitted_windows() == 1; }))
+      << "burst 2 never dispatched while burst 1 had a straggler";
+  {
+    const auto stats = hub.stats();
+    EXPECT_EQ(stats.overlapped_bursts, 1u);
+    EXPECT_EQ(stats.max_bursts_in_flight, 2u);
+  }
+
+  // Let everything finish; every slot must resolve exactly once, on the
+  // right channel.
+  backend_a.release(1);
+  backend_b.release(1);
+  worker_a.join();
+  worker_b.join();
+  ASSERT_EQ(got_a.size(), 2u);
+  bool slot_seen[2] = {};
+  for (const auto& completion : got_a) {
+    EXPECT_EQ(completion.ticket, 100u);
+    ASSERT_LT(completion.slot, 2u);
+    EXPECT_FALSE(slot_seen[completion.slot]) << "slot resolved twice";
+    slot_seen[completion.slot] = true;
+    EXPECT_FALSE(completion.canceled);
+  }
+  ASSERT_EQ(got_b.size(), 1u);
+  EXPECT_EQ(got_b[0].ticket, 200u);
+  EXPECT_EQ(got_b[0].slot, 0u);
+  EXPECT_EQ(channel_a->pending(), 0u);
+  EXPECT_EQ(channel_b->pending(), 0u);
+}
+
+TEST(PipelineDepth, DepthOneHoldsTheNextBurstUntilTheWireIsClear) {
+  FleetTransportHub::Config config;
+  config.gather_timeout = std::chrono::milliseconds(1);
+  config.pipeline_depth = 1;
+  FleetTransportHub hub(config);
+  GatedBackend backend_a;
+  GatedBackend backend_b;
+  auto channel_a = hub.open_channel(backend_a);
+  auto channel_b = hub.open_channel(backend_b);
+
+  std::vector<probe::Completion> got_a;
+  std::thread worker_a([&] {
+    channel_a->submit(window_of(2), /*ticket=*/100);
+    drain(*channel_a, 2, got_a);
+  });
+  ASSERT_TRUE(eventually([&] { return backend_a.submitted_windows() == 1; }));
+
+  std::vector<probe::Completion> got_b;
+  std::thread worker_b([&] {
+    channel_b->submit(window_of(1), /*ticket=*/200);
+    drain(*channel_b, 1, got_b);
+  });
+
+  // Resolve half of burst 1. The straggler still holds the depth-1
+  // slot: burst 2 must neither stage nor dispatch while it is on the
+  // wire — the strict discipline the pre-pipelining hub enforced.
+  backend_a.release(1);
+  ASSERT_TRUE(eventually([&] { return got_a.size() == 1; }));
+  std::this_thread::sleep_for(50ms);
+  EXPECT_EQ(hub.stats().bursts, 1u);
+  EXPECT_EQ(backend_b.submitted_windows(), 0u);
+
+  // Clear the wire: only now may burst 2 go out.
+  backend_a.release(1);
+  ASSERT_TRUE(eventually([&] { return backend_b.submitted_windows() == 1; }));
+  backend_b.release(1);
+  worker_a.join();
+  worker_b.join();
+
+  const auto stats = hub.stats();
+  EXPECT_EQ(stats.bursts, 2u);
+  EXPECT_EQ(stats.overlapped_bursts, 0u);
+  EXPECT_EQ(stats.max_bursts_in_flight, 1u);
+  ASSERT_EQ(got_a.size(), 2u);
+  ASSERT_EQ(got_b.size(), 1u);
+  EXPECT_EQ(got_b[0].ticket, 200u);
+}
+
+TEST(PipelineDepth, DepthMustBePositive) {
+  FleetTransportHub::Config config;
+  config.pipeline_depth = 1;
+  FleetTransportHub hub(config);  // 1 is the floor and must construct
+  EXPECT_EQ(hub.config().pipeline_depth, 1);
+}
+
+}  // namespace
+}  // namespace mmlpt::orchestrator

@@ -60,7 +60,8 @@ TEST(UsageBlocks, FleetUsageListsEveryFlagExactlyOnce) {
   const auto usage = "\n" + fleet_options_usage();
   for (const char* flag :
        {"--jobs", "--window", "--pps", "--burst", "--merge-windows",
-        "--fsync", "--topology-cache", "--stop-set"}) {
+        "--pipeline-depth", "--transport", "--fsync", "--topology-cache",
+        "--stop-set"}) {
     const auto entry = std::string("\n  ") + flag;
     const auto first = usage.find(entry);
     ASSERT_NE(first, std::string::npos) << flag;
@@ -99,6 +100,51 @@ TEST(FleetOptionsParsing, CarriesTheStopSetPair) {
   EXPECT_EQ(options.jobs, 3);
   EXPECT_EQ(options.stop_set.topology_cache, "warm.mtps");
   EXPECT_TRUE(options.stop_set.consult);
+}
+
+TEST(ParseTransport, DefaultsToAutoAndRejectsUnknownBackends) {
+  EXPECT_EQ(parse_transport(make_flags({})), probe::TransportKind::kAuto);
+  EXPECT_EQ(parse_transport(make_flags({"--transport", "auto"})),
+            probe::TransportKind::kAuto);
+  EXPECT_EQ(parse_transport(make_flags({"--transport", "poll"})),
+            probe::TransportKind::kPoll);
+  EXPECT_EQ(parse_transport(make_flags({"--transport", "uring"})),
+            probe::TransportKind::kUring);
+  EXPECT_THROW((void)parse_transport(make_flags({"--transport", "dpdk"})),
+               ConfigError);
+}
+
+TEST(ParsePipelineDepth, DefaultsToOneAndRejectsNonPositive) {
+  EXPECT_EQ(parse_pipeline_depth(make_flags({})), 1);
+  EXPECT_EQ(parse_pipeline_depth(make_flags({"--pipeline-depth", "4"})), 4);
+  EXPECT_THROW(
+      (void)parse_pipeline_depth(make_flags({"--pipeline-depth", "0"})),
+      ConfigError);
+  EXPECT_THROW(
+      (void)parse_pipeline_depth(make_flags({"--pipeline-depth", "-2"})),
+      ConfigError);
+}
+
+TEST(FleetOptionsParsing, CarriesTransportAndPipelineDepth) {
+  const auto defaults = parse_fleet_options(make_flags({}));
+  EXPECT_EQ(defaults.transport, probe::TransportKind::kAuto);
+  EXPECT_EQ(defaults.pipeline_depth, 1);
+
+  const auto tuned = parse_fleet_options(make_flags(
+      {"--transport", "poll", "--pipeline-depth", "3"}));
+  EXPECT_EQ(tuned.transport, probe::TransportKind::kPoll);
+  EXPECT_EQ(tuned.pipeline_depth, 3);
+}
+
+TEST(TransportNames, RoundTripAndResolveToARealBackend) {
+  EXPECT_EQ(probe::transport_name(probe::TransportKind::kPoll),
+            std::string("poll"));
+  EXPECT_EQ(probe::transport_name(probe::TransportKind::kUring),
+            std::string("uring"));
+  // auto resolves to whatever this kernel supports — never "auto".
+  const std::string resolved(
+      probe::resolved_transport_name(probe::TransportKind::kAuto));
+  EXPECT_TRUE(resolved == "poll" || resolved == "uring") << resolved;
 }
 
 TEST(ParseAlgorithm, KnowsEveryNameAndRejectsTheRest) {

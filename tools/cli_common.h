@@ -19,6 +19,7 @@
 #include "core/validation.h"
 #include "daemon/server.h"
 #include "net/ip_address.h"
+#include "probe/transport_select.h"
 
 #ifndef MMLPT_GIT_DESCRIBE
 #define MMLPT_GIT_DESCRIBE "unknown"
@@ -82,6 +83,30 @@ inline int parse_window(const Flags& flags) {
   return window;
 }
 
+/// --transport auto|poll|uring (default auto): the real-network backend
+/// shared by every CLI that can touch the wire. `auto` resolves through
+/// the kernel capability probe (see probe/transport_select.h); the
+/// resolved choice is echoed in each tool's status/summary output so
+/// scripts can tell which backend actually ran.
+inline probe::TransportKind parse_transport(const Flags& flags) {
+  const std::string name = flags.get("transport", "auto");
+  const auto kind = probe::parse_transport_name(name);
+  if (!kind) {
+    throw ConfigError("unknown --transport '" + name +
+                      "' (auto|poll|uring)");
+  }
+  return *kind;
+}
+
+/// --pipeline-depth N, N >= 1: merged fleet bursts that may be in flight
+/// at once (only meaningful with --merge-windows; 1 = the strict
+/// resolve-before-next-burst discipline).
+inline int parse_pipeline_depth(const Flags& flags) {
+  const auto depth = static_cast<int>(flags.get_int("pipeline-depth", 1));
+  if (depth < 1) throw ConfigError("--pipeline-depth must be >= 1");
+  return depth;
+}
+
 /// The Doubletree stop-set flag pair shared by every tracing CLI.
 /// An empty cache path means the feature is fully off.
 struct StopSetOptions {
@@ -110,6 +135,8 @@ struct FleetOptions {
   int burst = 64;
   int window = 1;
   bool merge_windows = false;
+  int pipeline_depth = 1;
+  probe::TransportKind transport = probe::TransportKind::kAuto;
   StopSetOptions stop_set;
 };
 
@@ -123,6 +150,8 @@ inline FleetOptions parse_fleet_options(const Flags& flags) {
   if (options.burst < 1) throw ConfigError("--burst must be >= 1");
   options.window = parse_window(flags);
   options.merge_windows = flags.get_bool("merge-windows", false);
+  options.pipeline_depth = parse_pipeline_depth(flags);
+  options.transport = parse_transport(flags);
   options.stop_set = parse_stop_set_options(flags);
   return options;
 }
@@ -254,6 +283,19 @@ inline std::span<const OptionSpec> fleet_option_table() {
        "serves N tracers; one rate-limiter charge per\n"
        "burst). Output stays byte-identical to the\n"
        "unmerged run"},
+      {"--pipeline-depth N",
+       "merged bursts that may be in flight at once\n"
+       "(default 1 = resolve before the next burst;\n"
+       "higher overlaps a new burst with the previous\n"
+       "burst's stragglers; output stays byte-identical\n"
+       "for every N). Needs --merge-windows"},
+      {"--transport T",
+       "real-network backend: auto | poll | uring\n"
+       "(default auto = io_uring when the kernel\n"
+       "supports it, else the poll()-driven raw-socket\n"
+       "loop). Explicit uring on a kernel without\n"
+       "io_uring is an error; the resolved choice is\n"
+       "echoed in the summary"},
       {"--fsync",
        "with --output: fsync after every destination\n"
        "line, so a crash never loses committed\n"

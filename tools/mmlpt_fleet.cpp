@@ -87,6 +87,7 @@ int run_fleet(const Flags& flags) {
   fleet_config.pps = fleet_options.pps;
   fleet_config.burst = fleet_options.burst;
   fleet_config.merge_windows = fleet_options.merge_windows;
+  fleet_config.pipeline_depth = fleet_options.pipeline_depth;
 
   const bool fsync_lines = flags.get_bool("fsync", false);
   if (fsync_lines && !flags.has("output")) {
@@ -157,7 +158,8 @@ int run_fleet(const Flags& flags) {
   std::fprintf(
       stderr,
       "mmlpt_fleet: %zu destinations (%llu reached), %llu packets, "
-      "%llu diamonds (%llu distinct), %.2fs wall, %.0f pkt/s, jobs=%d\n",
+      "%llu diamonds (%llu distinct), %.2fs wall, %.0f pkt/s, jobs=%d, "
+      "transport=%s, pipeline_depth=%d\n",
       count, static_cast<unsigned long long>(counters.reached),
       static_cast<unsigned long long>(counters.packets),
       static_cast<unsigned long long>(counters.diamonds),
@@ -166,7 +168,10 @@ int run_fleet(const Flags& flags) {
       elapsed.count() > 0
           ? static_cast<double>(counters.packets) / elapsed.count()
           : 0.0,
-      fleet_config.jobs);
+      fleet_config.jobs,
+      std::string(probe::resolved_transport_name(fleet_options.transport))
+          .c_str(),
+      fleet_config.pipeline_depth);
   if (const auto* stop_set = stop_set_session.stop_set()) {
     // Machine-parsable (the CI warm-cache gate greps these key=value
     // pairs); the digest identifies the discovered topology regardless

@@ -153,6 +153,7 @@ int run_ip(const Flags& flags, JsonWriter& w) {
   config.pps = fleet_options.pps;
   config.burst = fleet_options.burst;
   config.merge_windows = fleet_options.merge_windows;
+  config.pipeline_depth = fleet_options.pipeline_depth;
   config.trace.window = fleet_options.window;
   orchestrator::StopSetSession stop_set_session(
       fleet_options.stop_set.topology_cache, fleet_options.stop_set.consult);
@@ -172,6 +173,11 @@ int run_ip(const Flags& flags, JsonWriter& w) {
   w.begin_object();
   w.key("mode");
   w.value("ip_survey");
+  w.key("transport");
+  w.value(std::string(
+      probe::resolved_transport_name(fleet_options.transport)));
+  w.key("pipeline_depth");
+  w.value(static_cast<std::int64_t>(config.pipeline_depth));
   w.key("routes");
   w.value(result.routes_traced);
   w.key("routes_with_diamonds");
@@ -212,7 +218,8 @@ int run_evaluation(const Flags& flags, JsonWriter& w) {
   // the fleet flags.
   for (const char* flag :
        {"jobs", "pps", "burst", "output", "window", "family",
-        "merge-windows", "fsync", "stop-set", "topology-cache"}) {
+        "merge-windows", "pipeline-depth", "transport", "fsync",
+        "stop-set", "topology-cache"}) {
     if (flags.has(flag)) {
       std::fprintf(stderr,
                    "mmlpt_survey: --%s is ignored in evaluation mode\n",
@@ -262,6 +269,7 @@ int run_router(const Flags& flags, JsonWriter& w) {
   config.pps = fleet_options.pps;
   config.burst = fleet_options.burst;
   config.merge_windows = fleet_options.merge_windows;
+  config.pipeline_depth = fleet_options.pipeline_depth;
   config.multilevel.trace.window = fleet_options.window;
   orchestrator::StopSetSession stop_set_session(
       fleet_options.stop_set.topology_cache, fleet_options.stop_set.consult);
@@ -282,6 +290,11 @@ int run_router(const Flags& flags, JsonWriter& w) {
   w.begin_object();
   w.key("mode");
   w.value("router_survey");
+  w.key("transport");
+  w.value(std::string(
+      probe::resolved_transport_name(fleet_options.transport)));
+  w.key("pipeline_depth");
+  w.value(static_cast<std::int64_t>(config.pipeline_depth));
   w.key("routes");
   w.value(result.routes_traced);
   w.key("unique_diamonds");

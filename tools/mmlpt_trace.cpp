@@ -67,7 +67,10 @@ constexpr const char kUsage[] =
     "  --real --destination IP       raw sockets (needs CAP_NET_RAW)\n"
     "  --source IP                   source address for --real (default\n"
     "                                0.0.0.0; IPv6 requires an explicit\n"
-    "                                source)\n";
+    "                                source)\n"
+    "  --transport T                 auto | poll | uring backend for\n"
+    "                                --real (default auto; the resolved\n"
+    "                                choice is echoed on stderr)\n";
 
 constexpr const char kUsageSuffix[] =
     "  --version            print version and exit\n";
@@ -200,7 +203,10 @@ int run(const Flags& flags) {
 
   const bool json = flags.get_bool("json", false);
 
-  // Transport: raw sockets (--real) or the Fakeroute simulator.
+  // Transport: raw sockets (--real) or the Fakeroute simulator. The
+  // --transport value is validated even in simulator mode so a typo is
+  // caught before a run that would silently ignore it.
+  const auto transport = tools::parse_transport(flags);
   std::unique_ptr<probe::Network> network;
   std::unique_ptr<fakeroute::Simulator> simulator;
   probe::ProbeEngine::Config engine_config;
@@ -221,9 +227,12 @@ int run(const Flags& flags) {
       throw ConfigError("--real -6 needs an explicit --source address "
                         "(IPv6 raw probes carry the crafted source)");
     }
-    probe::RawSocketNetwork::Config raw_config;
-    raw_config.family = family;
-    network = std::make_unique<probe::RawSocketNetwork>(raw_config);
+    network = probe::make_transport(
+        transport, family,
+        probe::RawSocketNetwork::Config{}.reply_timeout);
+    std::fprintf(stderr, "mmlpt_trace: transport=%s\n",
+                 std::string(probe::resolved_transport_name(transport))
+                     .c_str());
   } else {
     truth = load_ground_truth(flags, family);
     simulator = std::make_unique<fakeroute::Simulator>(

@@ -63,6 +63,8 @@ int run_daemon(const Flags& flags) {
   config.fleet.pps = fleet_options.pps;
   config.fleet.burst = fleet_options.burst;
   config.fleet.merge_windows = fleet_options.merge_windows;
+  config.fleet.pipeline_depth = fleet_options.pipeline_depth;
+  config.transport = fleet_options.transport;
   config.admission = options.admission;
   config.topology_cache = fleet_options.stop_set.topology_cache;
   config.consult_stop_set = fleet_options.stop_set.consult;
@@ -76,10 +78,14 @@ int run_daemon(const Flags& flags) {
   daemon.start();
   std::fprintf(stderr,
                "mmlptd: listening on %s (workers=%d, pps=%.0f, "
-               "max_jobs=%d, max_jobs_per_tenant=%d)\n",
+               "max_jobs=%d, max_jobs_per_tenant=%d, transport=%s, "
+               "pipeline_depth=%d)\n",
                config.socket_path.c_str(), config.fleet.jobs,
                config.fleet.pps, config.admission.max_jobs_total,
-               config.admission.max_jobs_per_tenant);
+               config.admission.max_jobs_per_tenant,
+               std::string(probe::resolved_transport_name(config.transport))
+                   .c_str(),
+               config.fleet.pipeline_depth);
 
   struct pollfd signal_fd = {shutdown.fd(), POLLIN, 0};
   while (::poll(&signal_fd, 1, -1) < 0 && errno == EINTR) {
