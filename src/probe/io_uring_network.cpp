@@ -68,7 +68,18 @@ struct IoUringNetwork::RecvOp {
   msghdr msg{};
   sockaddr_in6 from{};  // covers both families
   alignas(cmsghdr) std::array<std::uint8_t, 256> control{};
+  /// Error completions since the last successful receive; the slot is
+  /// retired (not re-armed) when it hits kMaxConsecutiveRecvErrors.
+  unsigned consecutive_errors = 0;
 };
+
+namespace {
+/// A receive failing persistently (EBADF, ENOBUFS) completes again the
+/// instant it is re-armed, so unconditional re-arming turns the poll
+/// drain loop into a CPU-bound spin until the ticket deadline fires.
+/// Transient errors get this many retries before the slot retires.
+constexpr unsigned kMaxConsecutiveRecvErrors = 8;
+}  // namespace
 
 /// A ticket's reply deadline living in the kernel; the timespec must
 /// stay valid while the op is in flight.
@@ -207,6 +218,15 @@ void IoUringNetwork::submit(std::span<const Datagram> window, Ticket ticket,
           : std::chrono::nanoseconds(config_.reply_timeout);
   const auto deadline = now + budget;
 
+  // Ring errors (get_sqe stuck full after an EBUSY flush, io_uring_enter
+  // failure) must not throw mid-window: part of the window may already
+  // be queued and attributed, and a partially-submitted ticket would
+  // desync the caller's drain loop — the failure mode RawSocketNetwork
+  // degrades around too. Failed sends become unanswered slots, and the
+  // whole ticket expires whenever its in-kernel deadline cannot be
+  // guaranteed.
+  bool ring_failed = false;
+
   // One SENDMSG SQE per probe, all published with a single enter below.
   for (std::size_t slot = 0; slot < window.size(); ++slot) {
     auto op = std::make_unique<SendOp>();
@@ -214,6 +234,20 @@ void IoUringNetwork::submit(std::span<const Datagram> window, Ticket ticket,
     op->slot = slot;
     op->bytes.assign(window[slot].bytes.begin(), window[slot].bytes.end());
     net::ParsedProbe probe = net::parse_probe(op->bytes);
+    uring::Sqe* sqe = nullptr;
+    if (!ring_failed) {
+      try {
+        sqe = ring_->get_sqe();
+      } catch (const SystemError&) {
+        ring_failed = true;
+      }
+    }
+    if (ring_failed) {
+      // The probe never reaches the wire — a failed send is a lost
+      // probe, same policy as the poll backend.
+      attributor_.resolve_unsent(ticket, slot, std::move(probe));
+      continue;
+    }
     if (config_.family == net::Family::kIpv4) {
       auto* to = reinterpret_cast<sockaddr_in*>(&op->to);
       to->sin_family = AF_INET;
@@ -231,7 +265,6 @@ void IoUringNetwork::submit(std::span<const Datagram> window, Ticket ticket,
     op->msg.msg_iovlen = 1;
 
     const std::uint64_t id = next_op_++;
-    uring::Sqe* sqe = ring_->get_sqe();
     sqe->opcode = IORING_OP_SENDMSG;
     sqe->fd = send_fd_;
     sqe->addr = reinterpret_cast<std::uint64_t>(&op->msg);
@@ -249,27 +282,51 @@ void IoUringNetwork::submit(std::span<const Datagram> window, Ticket ticket,
   // LINK_TIMEOUT would bound the sendmsg, which completes immediately
   // on a raw socket — the deadline we owe the contract is on the REPLY,
   // so the timeout is a free-standing op.)
-  auto timeout = std::make_unique<TimeoutOp>();
-  timeout->ticket = ticket;
-  timeout->ts.tv_sec = budget.count() / 1'000'000'000;
-  timeout->ts.tv_nsec = budget.count() % 1'000'000'000;
-  const std::uint64_t id = next_op_++;
-  uring::Sqe* sqe = ring_->get_sqe();
-  sqe->opcode = IORING_OP_TIMEOUT;
-  sqe->fd = -1;
-  sqe->addr = reinterpret_cast<std::uint64_t>(&timeout->ts);
-  sqe->len = 1;
-  sqe->user_data = make_user_data(OpKind::kTimeout, id);
-  ++stats_.sqes;
-  ticket_timeouts_[ticket] = id;
-  timeouts_.emplace(id, std::move(timeout));
+  if (!ring_failed) {
+    auto timeout = std::make_unique<TimeoutOp>();
+    timeout->ticket = ticket;
+    timeout->ts.tv_sec = budget.count() / 1'000'000'000;
+    timeout->ts.tv_nsec = budget.count() % 1'000'000'000;
+    try {
+      const std::uint64_t id = next_op_++;
+      uring::Sqe* sqe = ring_->get_sqe();
+      sqe->opcode = IORING_OP_TIMEOUT;
+      sqe->fd = -1;
+      sqe->addr = reinterpret_cast<std::uint64_t>(&timeout->ts);
+      sqe->len = 1;
+      sqe->user_data = make_user_data(OpKind::kTimeout, id);
+      ++stats_.sqes;
+      ticket_timeouts_[ticket] = id;
+      timeouts_.emplace(id, std::move(timeout));
+    } catch (const SystemError&) {
+      ring_failed = true;
+    }
+  }
 
-  ring_->flush();
-  ++stats_.enters;
+  if (!ring_failed) {
+    try {
+      ring_->flush();
+      ++stats_.enters;
+    } catch (const SystemError&) {
+      ring_failed = true;
+    }
+  }
+
+  if (ring_failed) {
+    // The ticket's in-kernel deadline is not guaranteed to be armed, so
+    // poll_completions()'s "a CQE is always coming" blocking invariant
+    // does not hold for it: expire every slot of the ticket still
+    // pending, keeping the caller's drain loop in sync. Disown the
+    // timeout op (if it was queued after all, its CQE is dropped as
+    // stale); its storage stays in timeouts_ until then — the kernel
+    // may still read the timespec.
+    ticket_timeouts_.erase(ticket);
+    attributor_.expire_ticket(ticket);
+  }
 }
 
 void IoUringNetwork::handle_recv(RecvOp& op, std::int32_t res) {
-  if (res <= 0) return;  // transient receive error; the re-arm retries
+  if (res <= 0) return;  // errors are handled at the CQE layer
   if (attributor_.pending_slots().empty()) return;  // nothing to match
   const auto n = static_cast<std::size_t>(res);
   std::vector<std::uint8_t> reply;
@@ -322,7 +379,21 @@ void IoUringNetwork::handle_cqe(std::uint64_t user_data, std::int32_t res) {
         recvs_.erase(it);
         break;
       }
-      handle_recv(*it->second, res);
+      RecvOp& op = *it->second;
+      if (res < 0) {
+        // Retire a persistently failing slot instead of re-arming it
+        // forever (busy spin — see kMaxConsecutiveRecvErrors). With
+        // every receive retired, pending slots still resolve through
+        // their ticket deadlines.
+        if (++op.consecutive_errors >= kMaxConsecutiveRecvErrors) {
+          ++stats_.recvs_retired;
+          recvs_.erase(it);
+          break;
+        }
+      } else {
+        op.consecutive_errors = 0;
+        handle_recv(op, res);
+      }
       arm_recv(id);
       break;
     }
@@ -333,13 +404,20 @@ void IoUringNetwork::handle_cqe(std::uint64_t user_data, std::int32_t res) {
       const Ticket ticket = it->second->ticket;
       auto owner = ticket_timeouts_.find(ticket);
       if (owner != ticket_timeouts_.end() && owner->second == id) {
+        // This op is still the ticket's registered deadline. -ETIME is
+        // the deadline firing; any other resolution (kernel refusal)
+        // must still never strand a pending slot, so the ticket's
+        // leftovers expire either way. Slots already answered or
+        // canceled are untouched.
         ticket_timeouts_.erase(owner);
+        attributor_.expire_ticket(ticket);
       }
-      // -ETIME is the deadline firing; any other resolution (cancel,
-      // kernel refusal) must still never strand a pending slot, so the
-      // ticket's leftovers expire unconditionally. Slots already
-      // answered or canceled are untouched.
-      attributor_.expire_ticket(ticket);
+      // Otherwise the op is stale: cancel()/reap_settled_timeouts()
+      // already disowned it and its -ECANCELED CQE arrived late. The
+      // ticket may have been reused by now (contract-legal once
+      // resolved — transact() reuses ticket 0 every call), so expiring
+      // here would kill the reused ticket's fresh slots; just drop the
+      // op storage.
       timeouts_.erase(it);
       break;
     }
@@ -392,17 +470,13 @@ void IoUringNetwork::cancel_ticket_timeout(Ticket ticket) {
 }
 
 void IoUringNetwork::reap_settled_timeouts() {
+  // O(tickets): the attributor keeps a per-ticket pending count, so the
+  // sweep never rescans the pending-slot table per ticket (quadratic
+  // under the fleet hub, which multiplexes many tracers onto one ring).
   for (auto it = ticket_timeouts_.begin(); it != ticket_timeouts_.end();) {
     const Ticket ticket = it->first;
-    bool live = false;
-    for (const auto& slot : attributor_.pending_slots()) {
-      if (slot.ticket == ticket) {
-        live = true;
-        break;
-      }
-    }
     ++it;  // advance first: cancel_ticket_timeout erases the entry
-    if (!live) cancel_ticket_timeout(ticket);
+    if (attributor_.pending_for(ticket) == 0) cancel_ticket_timeout(ticket);
   }
 }
 

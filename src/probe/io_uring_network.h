@@ -90,6 +90,8 @@ class IoUringNetwork final : public Network {
     std::uint64_t send_cqes = 0;     ///< sendmsg completions reaped
     std::uint64_t recv_cqes = 0;     ///< recvmsg completions reaped
     std::uint64_t timeout_cqes = 0;  ///< ticket-deadline completions
+    std::uint64_t recvs_retired = 0;  ///< receive slots retired on
+                                      ///< persistent error completions
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 

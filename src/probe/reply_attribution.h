@@ -25,6 +25,7 @@
 #include <deque>
 #include <optional>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "net/ip_address.h"
@@ -119,6 +120,11 @@ class ReplyAttributor {
   [[nodiscard]] const std::vector<PendingSlot>& pending_slots() const noexcept {
     return pending_;
   }
+  /// Still-pending slots of `ticket`, O(1). The ring backend sweeps its
+  /// per-ticket timeouts against this instead of rescanning every
+  /// pending slot per ticket (quadratic under the fleet hub, which
+  /// multiplexes many tracers' tickets onto one backend).
+  [[nodiscard]] std::size_t pending_for(Ticket ticket) const noexcept;
   /// Earliest deadline across the pending slots; nullopt when none.
   [[nodiscard]] std::optional<Clock::time_point> earliest_deadline() const;
   /// TransportQueue::pending() semantics: slots submitted but not yet
@@ -139,8 +145,11 @@ class ReplyAttributor {
 
   void remember_resolved(net::ParsedProbe probe);
   void resolve_at(std::size_t index, bool canceled);
+  void drop_pending_count(Ticket ticket);
 
   std::vector<PendingSlot> pending_;
+  /// pending_ slot count per ticket, kept in lockstep with pending_.
+  std::unordered_map<Ticket, std::size_t> pending_per_ticket_;
   std::deque<ResolvedSlot> resolved_;
   std::vector<Completion> ready_;
 };

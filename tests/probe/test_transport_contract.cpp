@@ -360,6 +360,42 @@ TEST_P(TransportContract, PollSurvivesEintrStorm) {
   }
 }
 
+TEST_P(TransportContract, TransactBackToBackReusesTicketSafely) {
+  setup(/*blackhole=*/false);
+  auto& network = harness_->network();
+  // transact() reuses ticket 0 on every call — contract-legal, the
+  // previous window fully resolved. The ring backend reaps a settled
+  // ticket's in-kernel deadline lazily, so the canceled timeout's CQE
+  // can surface AFTER the ticket is reused; it must be dropped as stale
+  // instead of expiring the fresh window (regression: every transact
+  // after the first resolved unanswered).
+  for (std::uint16_t round = 0; round < 3; ++round) {
+    const auto bytes =
+        harness_->probe(round, static_cast<std::uint16_t>(round + 1));
+    const auto reply = network.transact(bytes, /*now=*/1);
+    ASSERT_TRUE(reply.has_value()) << "round " << round;
+    EXPECT_FALSE(reply->datagram.empty());
+  }
+}
+
+TEST_P(TransportContract, SubmitReusingASettledTicketDrawsFreshReplies) {
+  setup(/*blackhole=*/false);
+  auto& network = harness_->network();
+  // Same stale-deadline hazard as above, through the queue path: a
+  // ticket whose window settled may be reused by the next submit while
+  // its canceled timeout op is still in flight in the ring.
+  for (std::uint16_t round = 0; round < 2; ++round) {
+    const auto probes = window(3, static_cast<std::uint16_t>(round * 4));
+    network.submit(probes, /*ticket=*/9);
+    std::vector<Completion> completions;
+    drain_all(network, probes.size(), completions);
+    for (const auto& completion : completions) {
+      EXPECT_EQ(completion.ticket, 9u);
+      EXPECT_TRUE(completion.reply.has_value()) << "round " << round;
+    }
+  }
+}
+
 TEST_P(TransportContract, PollWithNothingPendingReturnsEmpty) {
   setup(/*blackhole=*/false);
   auto& network = harness_->network();
