@@ -71,6 +71,13 @@
 //                      --jobs workers and gate: byte-identical JSONL for
 //                      poll/uring and pipeline depths 1 and 4, and
 //                      modeled uring throughput >= 1.5x poll
+//   --obs-gate         run + gate the observability overhead axis: the
+//                      fleet leg with a live MetricsRegistry + trace
+//                      recorder vs bare, min-of-3 interleaved reps;
+//                      gates byte-identical JSONL and <= 5% overhead
+//   --metrics-out FILE write the obs leg's Prometheus text (--obs-gate)
+//   --trace-events FILE
+//                      write the obs leg's Chrome trace JSON (--obs-gate)
 //   --distinct N       distinct diamond templates   (default 40)
 //   --seed N           world + trace seed           (default 1)
 //   --output FILE      write the JSON report to FILE (default stdout only)
@@ -87,6 +94,8 @@
 #include "core/trace_json.h"
 #include "core/validation.h"
 #include "net/ip_address.h"
+#include "obs/metrics.h"
+#include "obs/trace_events.h"
 #include "orchestrator/fleet.h"
 #include "orchestrator/fleet_transport.h"
 #include "orchestrator/latency_network.h"
@@ -126,10 +135,12 @@ enum class Mode { kPerTraceWindows, kMergedWindows };
 RunOutcome run_fleet(const std::vector<topo::GroundTruth>& routes, int jobs,
                      Mode mode, const BenchConfig& bench,
                      core::StopSet* stop_set = nullptr,
-                     bool consult_stop_set = false) {
+                     bool consult_stop_set = false,
+                     obs::MetricsRegistry* metrics = nullptr) {
   orchestrator::FleetConfig config;
   config.jobs = jobs;
   config.seed = bench.seed;
+  config.metrics = metrics;
   orchestrator::FleetScheduler fleet(config);
   const std::uint64_t base_seed = bench.seed ^ 0x5353ULL;
   core::TraceConfig trace_config;
@@ -148,6 +159,7 @@ RunOutcome run_fleet(const std::vector<topo::GroundTruth>& routes, int jobs,
     hub_config.per_burst_cost = bench.wire_cost;
     hub_config.per_probe_cost = bench.probe_cost;
     hub_config.pipeline_depth = bench.pipeline_depth;
+    hub_config.metrics = metrics;
     // Give late tracers one wire-pass to join the burst before it fires.
     hub_config.gather_timeout = std::chrono::nanoseconds(
         static_cast<std::int64_t>(static_cast<double>(bench.wire_cost) *
@@ -187,10 +199,19 @@ RunOutcome run_fleet(const std::vector<topo::GroundTruth>& routes, int jobs,
   RunOutcome outcome;
   outcome.seconds = elapsed.count();
   if (hub) outcome.bursts = hub->stats();
+  // Mirror the CLIs: simulated probes are counted on the registry at the
+  // merge point (they never touch a real transport backend).
+  obs::Counter* sim_probes =
+      metrics != nullptr
+          ? metrics->counter("mmlpt_transport_probes_sent_total",
+                             "Probes handed to the transport",
+                             {{"transport", "sim"}})
+          : nullptr;
   outcome.per_trace.reserve(traces.size());
   for (std::size_t i = 0; i < traces.size(); ++i) {
     const auto& trace = traces[i];
     outcome.packets += trace.packets;
+    if (sim_probes != nullptr) sim_probes->add(trace.packets);
     outcome.per_trace.push_back(
         {trace.packets, trace.graph.vertex_count(), trace.graph.edge_count()});
     outcome.jsonl += orchestrator::destination_line(
@@ -448,6 +469,70 @@ int main(int argc, char** argv) {
                     warm.packets < cold.packets && savings_ratio >= 1.2;
     }
 
+    // ---- observability overhead axis ----
+    // The same fleet leg with the full observability stack live: a
+    // MetricsRegistry wired through the scheduler (and hub, when
+    // merging) plus the global trace-event recorder, against the bare
+    // run. Gates: byte-identical JSONL, and <= 5% wall-clock overhead.
+    // Min-of-3 interleaved repetitions filters scheduler noise — the
+    // workload is virtual-latency dominated, so the instrumented run's
+    // extra relaxed fetch_adds should be far below the gate.
+    const bool obs_gate = flags.get_bool("obs-gate", false);
+    bool obs_ok = true;
+    double obs_off_seconds = 0.0;
+    double obs_on_seconds = 0.0;
+    double obs_overhead = 0.0;
+    bool obs_identical = false;
+    std::size_t obs_series = 0;
+    obs::MetricsRegistry obs_registry;
+    obs::TraceRecorder obs_recorder;
+    if (obs_gate) {
+      const Mode mode =
+          merge ? Mode::kMergedWindows : Mode::kPerTraceWindows;
+      obs_off_seconds = unmerged.seconds;
+      obs_on_seconds = 0.0;
+      obs::set_recorder(&obs_recorder);
+      for (int rep = 0; rep < 3; ++rep) {
+        obs::set_recorder(nullptr);
+        const auto off = run_fleet(routes, jobs, mode, bench);
+        obs::set_recorder(&obs_recorder);
+        const auto on = run_fleet(routes, jobs, mode, bench, nullptr, false,
+                                  &obs_registry);
+        if (rep == 0 || off.seconds < obs_off_seconds) {
+          obs_off_seconds = off.seconds;
+        }
+        if (rep == 0 || on.seconds < obs_on_seconds) {
+          obs_on_seconds = on.seconds;
+        }
+        obs_identical = on.jsonl == off.jsonl && off.jsonl == serial.jsonl;
+        if (!obs_identical) break;
+      }
+      obs::set_recorder(nullptr);
+      obs_overhead = obs_off_seconds > 0.0
+                         ? obs_on_seconds / obs_off_seconds - 1.0
+                         : 0.0;
+      obs_series = obs_registry.scalar_snapshot().size();
+      std::printf(
+          "  obs    : %+.1f%% overhead (gate <= 5%%), %zu metric series, "
+          "%zu trace events, JSONL %s\n",
+          obs_overhead * 100.0, obs_series, obs_recorder.event_count(),
+          obs_identical ? "identical" : "DIVERGED — observability leaked "
+                                        "into the output");
+      obs_ok = obs_identical && obs_overhead <= 0.05 && obs_series > 0 &&
+               obs_recorder.event_count() > 0;
+      if (flags.has("metrics-out")) {
+        std::ofstream out(flags.get("metrics-out", ""));
+        if (!out) {
+          std::fprintf(stderr, "cannot open --metrics-out file\n");
+          return 1;
+        }
+        out << obs_registry.render();
+      }
+      if (flags.has("trace-events")) {
+        obs_recorder.write(flags.get("trace-events", ""));
+      }
+    }
+
     JsonWriter w;
     w.begin_object();
     w.key("bench");
@@ -544,6 +629,20 @@ int main(int argc, char** argv) {
       w.key("warm_deterministic");
       w.value(warm_deterministic);
     }
+    if (obs_gate) {
+      w.key("obs_off_seconds");
+      w.value(obs_off_seconds);
+      w.key("obs_on_seconds");
+      w.value(obs_on_seconds);
+      w.key("obs_overhead_ratio");
+      w.value(obs_overhead);
+      w.key("obs_jsonl_identical");
+      w.value(obs_identical);
+      w.key("obs_metric_series");
+      w.value(static_cast<std::uint64_t>(obs_series));
+      w.key("obs_trace_events");
+      w.value(static_cast<std::uint64_t>(obs_recorder.event_count()));
+    }
     w.end_object();
     const auto report = std::move(w).take();
     std::printf("%s\n", report.c_str());
@@ -559,7 +658,9 @@ int main(int argc, char** argv) {
     // stop-set gates are hard invariants; the speedup targets are
     // reported but only enforced where the hardware can express them (CI
     // samples vary).
-    return deterministic && merged_ok && compare_ok && stop_set_ok ? 0 : 1;
+    return deterministic && merged_ok && compare_ok && stop_set_ok && obs_ok
+               ? 0
+               : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench_perf_fleet_throughput: %s\n", e.what());
     return 1;

@@ -1,6 +1,7 @@
 #include "daemon/admission.h"
 
 #include "common/json.h"
+#include "obs/metrics.h"
 
 namespace mmlpt::daemon {
 
@@ -24,15 +25,21 @@ AdmissionTicket AdmissionController::try_admit(const std::string& tenant) {
   if (!ticket.admitted) {
     ++record.rejected;
     ++rejected_total_;
+    if (rejected_counter_ != nullptr) rejected_counter_->add();
     return ticket;
   }
   ++record.active;
   ++record.admitted;
   ++active_total_;
   ++admitted_total_;
+  if (admitted_counter_ != nullptr) admitted_counter_->add();
+  if (active_gauge_ != nullptr) active_gauge_->add(1);
   if (limits_.tenant_pps > 0.0 && !record.limiter) {
     record.limiter = std::make_unique<orchestrator::RateLimiter>(
         limits_.tenant_pps, limits_.tenant_burst);
+    if (registry_ != nullptr) {
+      record.limiter->instrument(*registry_, "tenant:" + tenant);
+    }
   }
   ticket.limiter = record.limiter.get();
   return ticket;
@@ -44,6 +51,30 @@ void AdmissionController::release(const std::string& tenant) {
   if (it == tenants_.end() || it->second.active <= 0) return;
   --it->second.active;
   --active_total_;
+  if (active_gauge_ != nullptr) active_gauge_->add(-1);
+}
+
+void AdmissionController::instrument(obs::MetricsRegistry& registry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  registry_ = &registry;
+  admitted_counter_ =
+      registry.counter("mmlpt_admission_jobs_admitted_total",
+                       "Jobs admitted by the daemon's admission control");
+  rejected_counter_ =
+      registry.counter("mmlpt_admission_jobs_rejected_total",
+                       "Jobs refused by job caps (fleet-wide or per-tenant)");
+  active_gauge_ = registry.gauge("mmlpt_admission_jobs_active",
+                                 "Jobs currently running in the daemon");
+  // Mirror history accrued before instrumentation so registry and
+  // status_json() agree from the first scrape.
+  if (admitted_total_ > 0) admitted_counter_->add(admitted_total_);
+  if (rejected_total_ > 0) rejected_counter_->add(rejected_total_);
+  active_gauge_->set(active_total_);
+  for (auto& [name, record] : tenants_) {
+    if (record.limiter) {
+      record.limiter->instrument(registry, "tenant:" + name);
+    }
+  }
 }
 
 int AdmissionController::jobs_active() const {

@@ -26,6 +26,12 @@ namespace mmlpt {
 class JsonWriter;
 }
 
+namespace mmlpt::obs {
+class Counter;
+class Gauge;
+class MetricsRegistry;
+}  // namespace mmlpt::obs
+
 namespace mmlpt::daemon {
 
 /// Caps enforced by the AdmissionController. Zero / negative values mean
@@ -75,6 +81,12 @@ class AdmissionController {
   /// writer must be where a value is legal — e.g. right after a key).
   void write_status(JsonWriter& w) const;
 
+  /// Register admission counters (admitted/rejected totals, active
+  /// gauge) in `registry` and instrument every tenant limiter — existing
+  /// and future — with a tenant-labeled scope. Pre-instrumentation
+  /// totals are mirrored into the registry so the two views agree.
+  void instrument(obs::MetricsRegistry& registry);
+
  private:
   struct TenantRecord {
     int active = 0;
@@ -92,6 +104,12 @@ class AdmissionController {
   int active_total_ = 0;
   std::uint64_t admitted_total_ = 0;
   std::uint64_t rejected_total_ = 0;
+
+  /// Null until instrument(); the mutex above guards these too.
+  obs::MetricsRegistry* registry_ = nullptr;
+  obs::Counter* admitted_counter_ = nullptr;
+  obs::Counter* rejected_counter_ = nullptr;
+  obs::Gauge* active_gauge_ = nullptr;
 };
 
 }  // namespace mmlpt::daemon

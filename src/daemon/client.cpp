@@ -170,4 +170,19 @@ std::string Client::server_status() {
   }
 }
 
+std::string Client::metrics() {
+  write_frame(fd_, encode_metrics_request());
+  for (;;) {
+    const auto frame = read_frame(/*wake_fd=*/-1);
+    if (!is_known_frame_type(frame->type)) continue;
+    if (frame->type == static_cast<std::uint8_t>(FrameType::kMetrics)) {
+      return decode_metrics(*frame).text;
+    }
+    if (frame->type == static_cast<std::uint8_t>(FrameType::kError)) {
+      throw Error("daemon error: " + decode_error(*frame).message);
+    }
+    // A stale frame from a prior job: skip until the Metrics reply.
+  }
+}
+
 }  // namespace mmlpt::daemon

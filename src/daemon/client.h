@@ -68,6 +68,9 @@ class Client {
   /// Fetch the daemon's machine-parsable status document.
   [[nodiscard]] std::string server_status();
 
+  /// Fetch the daemon's Prometheus-text metrics exposition.
+  [[nodiscard]] std::string metrics();
+
  private:
   /// Block for the next frame (poll + fill + decode). Returns nullopt
   /// only when `wake_fd` (>= 0) became readable first; throws Error on

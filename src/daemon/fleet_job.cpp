@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "core/trace_json.h"
+#include "obs/metrics.h"
 #include "orchestrator/result_sink.h"
 #include "survey/accounting.h"
 #include "survey/ip_survey.h"
@@ -35,6 +36,24 @@ FleetJobCounters run_fleet_job(orchestrator::FleetScheduler& fleet,
   counters.destinations = count;
   survey::DiamondAccounting accounting(2);
 
+  // Simulated probes never touch a network backend, so the transport
+  // family gets its {transport="sim"} series here, at the merge point.
+  obs::Counter* sim_probes = nullptr;
+  obs::Counter* saved_probes = nullptr;
+  obs::Counter* stopped_traces = nullptr;
+  if (auto* registry = fleet.metrics()) {
+    sim_probes = registry->counter("mmlpt_transport_probes_sent_total",
+                                   "Probe packets handed to the transport",
+                                   {{"transport", "sim"}});
+    saved_probes =
+        registry->counter("mmlpt_stop_set_probes_saved_total",
+                          "Probes not sent because the stop set already "
+                          "knew the hop");
+    stopped_traces = registry->counter(
+        "mmlpt_stop_set_traces_stopped_total",
+        "Traces halted early on a stop-set hit");
+  }
+
   fleet.run_streaming(
       count,
       [&](orchestrator::WorkerContext& context) {
@@ -53,10 +72,15 @@ FleetJobCounters run_fleet_job(orchestrator::FleetScheduler& fleet,
                                "trace", core::trace_to_json(trace)));
         }
         counters.packets += trace.packets;
+        if (sim_probes != nullptr) sim_probes->add(trace.packets);
         if (trace.reached_destination) ++counters.reached;
         counters.probes_saved_by_stop_set += trace.probes_saved_by_stop_set;
+        if (saved_probes != nullptr) {
+          saved_probes->add(trace.probes_saved_by_stop_set);
+        }
         if (trace.stop_set_active && trace.stopped_on_hit) {
           ++counters.traces_stopped;
+          if (stopped_traces != nullptr) stopped_traces->add();
         }
         accounting.record_all(trace.graph);
         feeder.release(i);

@@ -38,6 +38,7 @@ bool is_known_frame_type(std::uint8_t type) noexcept {
     case FrameType::kJobRequest:
     case FrameType::kCancel:
     case FrameType::kStatusRequest:
+    case FrameType::kMetricsRequest:
     case FrameType::kHelloAck:
     case FrameType::kProgress:
     case FrameType::kResultLine:
@@ -45,6 +46,7 @@ bool is_known_frame_type(std::uint8_t type) noexcept {
     case FrameType::kJobStatus:
     case FrameType::kError:
     case FrameType::kServerStatus:
+    case FrameType::kMetrics:
       return true;
   }
   return false;
@@ -371,6 +373,25 @@ ServerStatus decode_server_status(const Frame& frame) {
   status.json = r.string();
   r.expect_end();
   return status;
+}
+
+Frame encode_metrics_request() {
+  return {static_cast<std::uint8_t>(FrameType::kMetricsRequest), ""};
+}
+
+Frame encode_metrics(const MetricsText& metrics) {
+  PayloadWriter w;
+  w.string(metrics.text);
+  return {static_cast<std::uint8_t>(FrameType::kMetrics),
+          std::move(w).take()};
+}
+
+MetricsText decode_metrics(const Frame& frame) {
+  auto r = reader_for(frame, FrameType::kMetrics);
+  MetricsText metrics;
+  metrics.text = r.string();
+  r.expect_end();
+  return metrics;
 }
 
 }  // namespace mmlpt::daemon

@@ -51,6 +51,7 @@ enum class FrameType : std::uint8_t {
   kJobRequest = 2,
   kCancel = 3,
   kStatusRequest = 4,
+  kMetricsRequest = 5,
   // daemon -> client
   kHelloAck = 16,
   kProgress = 17,
@@ -59,6 +60,7 @@ enum class FrameType : std::uint8_t {
   kJobStatus = 20,
   kError = 21,
   kServerStatus = 22,
+  kMetrics = 23,
 };
 
 [[nodiscard]] bool is_known_frame_type(std::uint8_t type) noexcept;
@@ -187,6 +189,10 @@ struct ServerStatus {
   std::string json;  ///< machine-parsable daemon status document
 };
 
+struct MetricsText {
+  std::string text;  ///< Prometheus text exposition of the daemon registry
+};
+
 [[nodiscard]] Frame encode_hello(const Hello& hello);
 [[nodiscard]] Hello decode_hello(const Frame& frame);
 [[nodiscard]] Frame encode_hello_ack(const HelloAck& ack);
@@ -208,6 +214,9 @@ struct ServerStatus {
 [[nodiscard]] ErrorFrame decode_error(const Frame& frame);
 [[nodiscard]] Frame encode_server_status(const ServerStatus& status);
 [[nodiscard]] ServerStatus decode_server_status(const Frame& frame);
+[[nodiscard]] Frame encode_metrics_request();
+[[nodiscard]] Frame encode_metrics(const MetricsText& metrics);
+[[nodiscard]] MetricsText decode_metrics(const Frame& frame);
 
 }  // namespace mmlpt::daemon
 

@@ -141,6 +141,9 @@ class Daemon::Connection {
       case FrameType::kStatusRequest:
         send(encode_server_status({daemon_.status_json()}));
         return;
+      case FrameType::kMetricsRequest:
+        send(encode_metrics({daemon_.metrics_.render()}));
+        return;
       default:
         // A duplicate hello or a daemon->client frame from a client:
         // harmless, ignore rather than poison a healthy connection.
@@ -218,6 +221,7 @@ class Daemon::Connection {
   void run_one_job(const JobRequest& request) {
     AdmissionTicket ticket = daemon_.admission_.try_admit(tenant_);
     if (!ticket.admitted) {
+      daemon_.jobs_refused_->add();
       send(encode_job_status({request.job_id, JobOutcome::kRejected,
                               ticket.reason, 0, 0}));
       return;
@@ -264,12 +268,15 @@ class Daemon::Connection {
       }
       status.outcome = JobOutcome::kOk;
       status.packets = counters.packets;
+      daemon_.jobs_completed_->add();
     } catch (const probe::CanceledError& e) {
       status.outcome = JobOutcome::kCanceled;
       status.message = e.what();
+      daemon_.jobs_canceled_->add();
     } catch (const std::exception& e) {
       status.outcome = JobOutcome::kFailed;
       status.message = e.what();
+      daemon_.jobs_failed_->add();
     }
     status.lines = lines;
 
@@ -350,11 +357,37 @@ class Daemon::Connection {
 
 // ---- Daemon ------------------------------------------------------------
 
+namespace {
+
+/// Point the scheduler's config at the daemon registry before the
+/// scheduler is constructed (metrics_ is declared first, so it is alive
+/// by the time fleet_ initializes).
+orchestrator::FleetConfig with_registry(orchestrator::FleetConfig fleet,
+                                        obs::MetricsRegistry* registry) {
+  fleet.metrics = registry;
+  return fleet;
+}
+
+}  // namespace
+
 Daemon::Daemon(DaemonConfig config)
     : config_(std::move(config)),
-      fleet_(config_.fleet),
+      fleet_(with_registry(config_.fleet, &metrics_)),
       stop_set_session_(config_.topology_cache, config_.consult_stop_set),
-      admission_(config_.admission) {}
+      admission_(config_.admission) {
+  config_.fleet.metrics = &metrics_;
+  stop_set_session_.instrument(metrics_);
+  admission_.instrument(metrics_);
+  const auto job_counter = [this](const char* outcome, const char* help) {
+    return metrics_.counter("mmlpt_daemon_jobs_total", help,
+                            {{"outcome", outcome}});
+  };
+  jobs_completed_ =
+      job_counter("ok", "Jobs finished, labeled by final outcome");
+  jobs_canceled_ = job_counter("canceled", "");
+  jobs_failed_ = job_counter("failed", "");
+  jobs_refused_ = job_counter("rejected", "");
+}
 
 Daemon::~Daemon() { stop(); }
 

@@ -40,6 +40,7 @@
 #include "daemon/fleet_job.h"
 #include "daemon/protocol.h"
 #include "fakeroute/simulator.h"
+#include "obs/metrics.h"
 #include "orchestrator/fleet.h"
 #include "orchestrator/stop_set.h"
 #include "probe/transport_select.h"
@@ -84,6 +85,9 @@ class Daemon {
   [[nodiscard]] AdmissionController& admission() noexcept { return admission_; }
   /// The daemon status document sent in ServerStatus frames.
   [[nodiscard]] std::string status_json() const;
+  /// The process-wide registry behind Metrics frames: every subsystem —
+  /// transport backends, hub, stop set, admission — registers here.
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
 
  private:
   class Connection;
@@ -92,9 +96,19 @@ class Daemon {
   void reap_finished_connections();
 
   DaemonConfig config_;
+  /// Declared before fleet_: the scheduler (and everything it builds)
+  /// holds instrument pointers into this registry.
+  obs::MetricsRegistry metrics_;
   orchestrator::FleetScheduler fleet_;
   orchestrator::StopSetSession stop_set_session_;
   AdmissionController admission_;
+
+  // Job-outcome counters (one family, labeled by outcome), bumped by
+  // connections as their jobs finish.
+  obs::Counter* jobs_completed_ = nullptr;
+  obs::Counter* jobs_canceled_ = nullptr;
+  obs::Counter* jobs_failed_ = nullptr;
+  obs::Counter* jobs_refused_ = nullptr;
 
   std::atomic<bool> running_{false};
   int listen_fd_ = -1;

@@ -1,0 +1,233 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/assert.h"
+
+namespace mmlpt::obs {
+namespace {
+
+/// Prometheus label values escape backslash, double quote and newline.
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// Shortest round-trip-ish rendering for bucket bounds and sums ("0.001",
+/// "2.5", "1e+09") — %g matches what Prometheus clients conventionally
+/// emit.
+std::string format_double(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%g", v);
+  return buffer;
+}
+
+}  // namespace
+
+std::size_t Counter::stripe() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t index =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return index & (kStripes - 1);
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  MMLPT_EXPECTS(!bounds_.empty());
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    MMLPT_EXPECTS(bounds_[i - 1] < bounds_[i]);
+  }
+  buckets_.reserve(bounds_.size() + 1);  // + the +Inf overflow bucket
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+  }
+}
+
+void Histogram::observe(double v) noexcept {
+  std::size_t bucket = bounds_.size();  // +Inf unless a bound holds v
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (v <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket]->fetch_add(1, std::memory_order_relaxed);
+  sum_nanos_.fetch_add(static_cast<std::int64_t>(std::llround(v * 1e9)),
+                       std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> counts;
+  counts.reserve(buckets_.size());
+  for (const auto& bucket : buckets_) {
+    counts.push_back(bucket->load(std::memory_order_relaxed));
+  }
+  return counts;
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& bucket : buckets_) {
+    total += bucket->load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::string series_key(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  std::string key = name;
+  key += '{';
+  bool first = true;
+  for (const auto& [label, value] : labels) {
+    if (!first) key += ',';
+    first = false;
+    key += label;
+    key += "=\"";
+    key += escape_label_value(value);
+    key += '"';
+  }
+  key += '}';
+  return key;
+}
+
+MetricsRegistry::Series* MetricsRegistry::find_or_add_locked(
+    const std::string& name, const std::string& help, Kind kind,
+    Labels&& labels) {
+  auto [it, inserted] = families_.try_emplace(name);
+  Family& family = it->second;
+  if (inserted) {
+    family.help = help;
+    family.kind = kind;
+  }
+  // A family's kind is fixed by its first registration; a name reused
+  // with a different instrument kind is a programming error.
+  MMLPT_EXPECTS(family.kind == kind);
+  for (auto& series : family.series) {
+    if (series.labels == labels) return &series;
+  }
+  family.series.push_back(Series{std::move(labels), nullptr, nullptr,
+                                 nullptr});
+  return &family.series.back();
+}
+
+Counter* MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help, Labels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Series* series =
+      find_or_add_locked(name, help, Kind::kCounter, std::move(labels));
+  if (!series->counter) series->counter = std::make_unique<Counter>();
+  return series->counter.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help, Labels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Series* series =
+      find_or_add_locked(name, help, Kind::kGauge, std::move(labels));
+  if (!series->gauge) series->gauge = std::make_unique<Gauge>();
+  return series->gauge.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      std::vector<double> bounds,
+                                      Labels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Series* series =
+      find_or_add_locked(name, help, Kind::kHistogram, std::move(labels));
+  if (!series->histogram) {
+    series->histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return series->histogram.get();
+}
+
+std::string MetricsRegistry::render() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    out += "# HELP " + name + " " + family.help + "\n";
+    out += "# TYPE " + name + " ";
+    switch (family.kind) {
+      case Kind::kCounter:
+        out += "counter\n";
+        break;
+      case Kind::kGauge:
+        out += "gauge\n";
+        break;
+      case Kind::kHistogram:
+        out += "histogram\n";
+        break;
+    }
+    for (const auto& series : family.series) {
+      switch (family.kind) {
+        case Kind::kCounter:
+          out += series_key(name, series.labels) + " " +
+                 std::to_string(series.counter->value()) + "\n";
+          break;
+        case Kind::kGauge:
+          out += series_key(name, series.labels) + " " +
+                 std::to_string(series.gauge->value()) + "\n";
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *series.histogram;
+          const auto counts = h.bucket_counts();
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+            cumulative += counts[i];
+            Labels with_le = series.labels;
+            with_le.emplace_back("le", format_double(h.bounds()[i]));
+            out += series_key(name + "_bucket", with_le) + " " +
+                   std::to_string(cumulative) + "\n";
+          }
+          cumulative += counts.back();
+          Labels with_le = series.labels;
+          with_le.emplace_back("le", "+Inf");
+          out += series_key(name + "_bucket", with_le) + " " +
+                 std::to_string(cumulative) + "\n";
+          out += series_key(name + "_sum", series.labels) + " " +
+                 format_double(h.sum()) + "\n";
+          out += series_key(name + "_count", series.labels) + " " +
+                 std::to_string(cumulative) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::int64_t>>
+MetricsRegistry::scalar_snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  for (const auto& [name, family] : families_) {
+    if (family.kind == Kind::kHistogram) continue;
+    for (const auto& series : family.series) {
+      const std::int64_t value =
+          family.kind == Kind::kCounter
+              ? static_cast<std::int64_t>(series.counter->value())
+              : series.gauge->value();
+      out.emplace_back(series_key(name, series.labels), value);
+    }
+  }
+  return out;
+}
+
+}  // namespace mmlpt::obs

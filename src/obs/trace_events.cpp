@@ -1,0 +1,123 @@
+#include "obs/trace_events.h"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <stdexcept>
+#include <thread>
+
+namespace mmlpt::obs {
+namespace {
+
+std::atomic<TraceRecorder*> g_recorder{nullptr};
+
+/// Compact stable thread id for the "tid" field. Chrome's viewer only
+/// needs distinct small integers per thread, not OS tids.
+std::uint32_t current_tid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void append_double(std::string& out, double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%g", v);
+  out += buffer;
+}
+
+}  // namespace
+
+TraceRecorder* recorder() noexcept {
+  return g_recorder.load(std::memory_order_acquire);
+}
+
+void set_recorder(TraceRecorder* recorder) noexcept {
+  g_recorder.store(recorder, std::memory_order_release);
+}
+
+void TraceRecorder::complete(const char* name, const char* category,
+                             Clock::time_point begin, Clock::time_point end,
+                             TraceArgs args) {
+  append(Event{name, category, 'X', since_base_us(begin),
+               std::chrono::duration_cast<std::chrono::microseconds>(end -
+                                                                     begin)
+                   .count(),
+               current_tid(), std::move(args)});
+}
+
+void TraceRecorder::instant(const char* name, const char* category,
+                            TraceArgs args) {
+  append(Event{name, category, 'i', since_base_us(Clock::now()), 0,
+               current_tid(), std::move(args)});
+}
+
+void TraceRecorder::append(Event event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::string TraceRecorder::json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& event : events_) {
+    if (!first) out += ',';
+    first = false;
+    // Names and categories are string literals chosen by instrumentation
+    // sites, never user input — no escaping needed beyond trusting them
+    // to be plain identifiers.
+    out += "{\"name\":\"";
+    out += event.name;
+    out += "\",\"cat\":\"";
+    out += event.category;
+    out += "\",\"ph\":\"";
+    out += event.phase;
+    out += "\",\"ts\":";
+    out += std::to_string(event.ts_us);
+    if (event.phase == 'X') {
+      out += ",\"dur\":";
+      out += std::to_string(event.dur_us);
+    }
+    if (event.phase == 'i') {
+      out += ",\"s\":\"t\"";  // thread-scoped instant
+    }
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(event.tid);
+    if (!event.args.empty()) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      for (const auto& [key, value] : event.args) {
+        if (!first_arg) out += ',';
+        first_arg = false;
+        out += '"';
+        out += key;
+        out += "\":";
+        append_double(out, value);
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+void TraceRecorder::write(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    throw std::runtime_error("cannot open trace-events file: " + path);
+  }
+  file << json() << '\n';
+  if (!file.flush()) {
+    throw std::runtime_error("failed writing trace-events file: " + path);
+  }
+}
+
+}  // namespace mmlpt::obs

@@ -7,11 +7,15 @@ FleetScheduler::FleetScheduler(FleetConfig config)
   MMLPT_EXPECTS(config_.jobs >= 1);
   if (config_.pps > 0.0) {
     limiter_ = std::make_unique<RateLimiter>(config_.pps, config_.burst);
+    if (config_.metrics != nullptr) {
+      limiter_->instrument(*config_.metrics, "fleet");
+    }
   }
   if (config_.merge_windows) {
     FleetTransportHub::Config hub_config;
     hub_config.limiter = limiter_.get();
     hub_config.pipeline_depth = config_.pipeline_depth;
+    hub_config.metrics = config_.metrics;
     hub_ = std::make_unique<FleetTransportHub>(hub_config);
   }
 }

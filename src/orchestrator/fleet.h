@@ -64,6 +64,10 @@ struct FleetConfig {
   /// FleetTransportHub::Config::pipeline_depth). 1 = strict
   /// resolve-before-next-burst; only meaningful with merge_windows.
   int pipeline_depth = 1;
+  /// Registry the fleet's hub and limiter register their series in;
+  /// null = each component falls back to a private registry. Must
+  /// outlive the scheduler.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Everything a task callback gets handed: its identity, its private
@@ -89,6 +93,11 @@ class FleetScheduler {
   [[nodiscard]] RateLimiter* limiter() noexcept { return limiter_.get(); }
   /// The cross-trace window merger; nullptr unless config().merge_windows.
   [[nodiscard]] FleetTransportHub* hub() noexcept { return hub_.get(); }
+  /// The registry handed in via FleetConfig::metrics; nullptr when the
+  /// run is uninstrumented.
+  [[nodiscard]] obs::MetricsRegistry* metrics() noexcept {
+    return config_.metrics;
+  }
 
   /// Run tasks 0..task_count-1 through `trace` (callable on
   /// WorkerContext&, returning the per-task result). Returns all results

@@ -4,11 +4,44 @@
 #include <thread>
 
 #include "common/assert.h"
+#include "obs/trace_events.h"
 
 namespace mmlpt::orchestrator {
 
+void FleetTransportHub::register_metrics() {
+  obs::MetricsRegistry& registry =
+      config_.metrics != nullptr ? *config_.metrics : fallback_metrics_;
+  bursts_ = registry.counter("mmlpt_hub_bursts_total",
+                             "Merged fleet bursts staged for the wire");
+  probes_ = registry.counter("mmlpt_hub_probes_total",
+                             "Probes carried by fleet bursts");
+  windows_ = registry.counter("mmlpt_hub_windows_total",
+                              "Per-trace windows merged into bursts");
+  merged_bursts_ =
+      registry.counter("mmlpt_hub_merged_bursts_total",
+                       "Bursts carrying windows of >= 2 distinct channels");
+  overlapped_bursts_ = registry.counter(
+      "mmlpt_hub_overlapped_bursts_total",
+      "Bursts dispatched over a predecessor still on the wire");
+  max_channels_in_burst_ =
+      registry.gauge("mmlpt_hub_max_channels_in_burst",
+                     "Most distinct channels merged into one burst");
+  max_probes_in_burst_ = registry.gauge(
+      "mmlpt_hub_max_probes_in_burst", "Most probes carried by one burst");
+  max_bursts_in_flight_ =
+      registry.gauge("mmlpt_hub_max_bursts_in_flight",
+                     "Deepest pipeline overlap reached (bursts on the wire)");
+  const std::vector<double> size_bounds{1, 2, 4, 8, 16, 32, 64, 128, 256};
+  burst_probes_hist_ = registry.histogram(
+      "mmlpt_hub_burst_probes", "Probes per merged burst", size_bounds);
+  burst_channels_hist_ =
+      registry.histogram("mmlpt_hub_burst_channels",
+                         "Distinct channels per merged burst", size_bounds);
+}
+
 FleetTransportHub::FleetTransportHub(Config config) : config_(config) {
   MMLPT_EXPECTS(config_.pipeline_depth >= 1);
+  register_metrics();
 }
 
 FleetTransportHub::~FleetTransportHub() {
@@ -29,8 +62,14 @@ std::unique_ptr<FleetTransportHub::Channel> FleetTransportHub::open_channel(
 }
 
 FleetTransportHub::Stats FleetTransportHub::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  return Stats{bursts_->value(),
+               probes_->value(),
+               windows_->value(),
+               merged_bursts_->value(),
+               static_cast<std::uint64_t>(max_channels_in_burst_->value()),
+               static_cast<std::uint64_t>(max_probes_in_burst_->value()),
+               overlapped_bursts_->value(),
+               static_cast<std::uint64_t>(max_bursts_in_flight_->value())};
 }
 
 void FleetTransportHub::channel_submit(ChannelState& state,
@@ -111,20 +150,28 @@ void FleetTransportHub::stage_burst_locked() {
   gather_deadline_.reset();
 
   if (burst.items.empty()) return;
-  ++stats_.bursts;
-  stats_.probes += burst.probes;
-  stats_.windows += burst.items.size();
-  if (burst_channels >= 2) ++stats_.merged_bursts;
-  stats_.max_channels_in_burst =
-      std::max<std::uint64_t>(stats_.max_channels_in_burst, burst_channels);
-  stats_.max_probes_in_burst =
-      std::max<std::uint64_t>(stats_.max_probes_in_burst, burst.probes);
+  bursts_->add();
+  probes_->add(burst.probes);
+  windows_->add(burst.items.size());
+  if (burst_channels >= 2) merged_bursts_->add();
+  max_channels_in_burst_->record_max(
+      static_cast<std::int64_t>(burst_channels));
+  max_probes_in_burst_->record_max(static_cast<std::int64_t>(burst.probes));
+  burst_probes_hist_->observe(static_cast<double>(burst.probes));
+  burst_channels_hist_->observe(static_cast<double>(burst_channels));
+  obs::instant("burst_staged", "hub",
+               {{"probes", static_cast<double>(burst.probes)},
+                {"windows", static_cast<double>(burst.items.size())},
+                {"channels", static_cast<double>(burst_channels)}});
   staged_.push_back(std::move(burst));
   cv_.notify_all();
 }
 
 FleetTransportHub::WallClock::time_point FleetTransportHub::dispatch_burst(
     StagedBurst& burst) {
+  obs::Span span("burst_dispatch", "hub");
+  span.arg("probes", static_cast<double>(burst.probes));
+  span.arg("windows", static_cast<double>(burst.items.size()));
   // One fleet-wide pacing charge for the whole burst: the pps budget is
   // spent by fleet in-flight probes, not per-trace windows.
   if (config_.limiter != nullptr) {
@@ -166,6 +213,7 @@ void FleetTransportHub::sweep_backends(std::unique_lock<std::mutex>& lock) {
 
   lock.unlock();
   bool progressed = false;
+  obs::Span span("burst_demux", "hub");
   try {
     for (auto* backend : backends) {
       if (backend->pending() == 0) continue;
@@ -225,10 +273,10 @@ void FleetTransportHub::drive_wire(std::unique_lock<std::mutex>& lock,
     if (!staged_.empty()) {
       StagedBurst burst = std::move(staged_.front());
       staged_.pop_front();
-      if (!burst_unrouted_.empty()) ++stats_.overlapped_bursts;
+      if (!burst_unrouted_.empty()) overlapped_bursts_->add();
       burst_unrouted_[burst.id] = burst.probes;
-      stats_.max_bursts_in_flight = std::max<std::uint64_t>(
-          stats_.max_bursts_in_flight, burst_unrouted_.size());
+      max_bursts_in_flight_->record_max(
+          static_cast<std::int64_t>(burst_unrouted_.size()));
       dispatched_unrouted_ += burst.probes;
       for (const auto& item : burst.items) {
         routes_.at(item.backend_ticket).dispatched = true;

@@ -61,6 +61,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "orchestrator/latency_network.h"
 #include "orchestrator/rate_limiter.h"
 #include "probe/network.h"
@@ -91,12 +92,17 @@ class FleetTransportHub {
     /// Virtual per-probe submission cost (the poll transport's
     /// one-syscall-per-probe tax; 0 models batched submission).
     probe::Nanos per_probe_cost = 0;
+    /// Registry the hub's burst counters and size histograms live in.
+    /// Null = a privately-owned registry, so the counters always exist
+    /// and stats() stays a pure view.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   /// Burst composition counters — the bench's "send bursts contain
   /// probes from >= 2 distinct destinations" evidence, plus the
   /// pipelining evidence (bursts dispatched over an unresolved
-  /// predecessor).
+  /// predecessor). Snapshot view over the registry series — the registry
+  /// instruments are the single source of truth.
   struct Stats {
     std::uint64_t bursts = 0;
     std::uint64_t probes = 0;
@@ -220,6 +226,8 @@ class FleetTransportHub {
   /// Move state.timed completions that have come due into state.ready.
   void release_due_locked(ChannelState& state, WallClock::time_point now);
 
+  void register_metrics();
+
   Config config_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
@@ -240,7 +248,18 @@ class FleetTransportHub {
   /// Slots submitted to backends whose completions are not yet routed.
   std::size_t dispatched_unrouted_ = 0;
   std::unordered_map<probe::Ticket, Route> routes_;
-  Stats stats_;
+  /// Backing registry when Config::metrics is null.
+  obs::MetricsRegistry fallback_metrics_;
+  obs::Counter* bursts_ = nullptr;
+  obs::Counter* probes_ = nullptr;
+  obs::Counter* windows_ = nullptr;
+  obs::Counter* merged_bursts_ = nullptr;
+  obs::Counter* overlapped_bursts_ = nullptr;
+  obs::Gauge* max_channels_in_burst_ = nullptr;
+  obs::Gauge* max_probes_in_burst_ = nullptr;
+  obs::Gauge* max_bursts_in_flight_ = nullptr;
+  obs::Histogram* burst_probes_hist_ = nullptr;
+  obs::Histogram* burst_channels_hist_ = nullptr;
 };
 
 /// The per-trace face of the hub: a TransportQueue whose submissions are

@@ -4,8 +4,26 @@
 #include <thread>
 
 #include "common/assert.h"
+#include "obs/metrics.h"
 
 namespace mmlpt::orchestrator {
+
+void RateLimiter::instrument(obs::MetricsRegistry& registry,
+                             const std::string& scope) {
+  const obs::Labels labels{{"scope", scope}};
+  granted_counter_ =
+      registry.counter("mmlpt_rate_limiter_tokens_granted_total",
+                       "Tokens spent by probe senders", labels);
+  waits_ = registry.counter("mmlpt_rate_limiter_waits_total",
+                            "acquire() calls that had to sleep", labels);
+  wait_micros_ =
+      registry.counter("mmlpt_rate_limiter_wait_microseconds_total",
+                       "Time spent sleeping for tokens", labels);
+  // Mirror tokens granted before instrumentation so the registry series
+  // matches granted() from the start.
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (granted_ > 0) granted_counter_->add(granted_);
+}
 
 RateLimiter::RateLimiter(double packets_per_second, int burst)
     : RateLimiter(packets_per_second, burst,
@@ -35,6 +53,9 @@ bool RateLimiter::take_locked(int want, Clock::duration& wait) {
   if (tokens_ >= static_cast<double>(want)) {
     tokens_ -= static_cast<double>(want);
     granted_ += static_cast<std::uint64_t>(want);
+    if (granted_counter_ != nullptr) {
+      granted_counter_->add(static_cast<std::uint64_t>(want));
+    }
     return true;
   }
   const double deficit = static_cast<double>(want) - tokens_;
@@ -56,8 +77,15 @@ void RateLimiter::acquire(int packets) {
         if (take_locked(want, wait)) break;
       }
       // Sleep outside the lock so other workers can refill/take.
-      std::this_thread::sleep_for(
-          std::max(wait, Clock::duration(std::chrono::microseconds(50))));
+      const auto nap =
+          std::max(wait, Clock::duration(std::chrono::microseconds(50)));
+      if (waits_ != nullptr) {
+        waits_->add();
+        wait_micros_->add(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(nap)
+                .count()));
+      }
+      std::this_thread::sleep_for(nap);
     }
     remaining -= want;
   }

@@ -12,6 +12,12 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <string>
+
+namespace mmlpt::obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace mmlpt::obs
 
 namespace mmlpt::orchestrator {
 
@@ -48,6 +54,12 @@ class RateLimiter {
   /// Total tokens ever granted (metrics / tests).
   [[nodiscard]] std::uint64_t granted() const;
 
+  /// Register this limiter's series in `registry`, labeled
+  /// scope=`scope`: tokens granted, blocking waits, and total time spent
+  /// sleeping. Call before workers start; uninstrumented acquire() pays
+  /// one null-check.
+  void instrument(obs::MetricsRegistry& registry, const std::string& scope);
+
  private:
   /// Accrue tokens for the time elapsed since the last refill.
   void refill_locked(Clock::time_point now);
@@ -61,6 +73,10 @@ class RateLimiter {
   double tokens_;
   Clock::time_point last_refill_;
   std::uint64_t granted_ = 0;
+  /// Null until instrument(); counters are bumped outside mutex_.
+  obs::Counter* waits_ = nullptr;
+  obs::Counter* wait_micros_ = nullptr;
+  obs::Counter* granted_counter_ = nullptr;
 };
 
 }  // namespace mmlpt::orchestrator

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace mmlpt::orchestrator {
 
 namespace {
@@ -45,14 +47,25 @@ void SharedStopSet::seed(const store::TopologySnapshot& snapshot) {
 
 bool SharedStopSet::contains(const net::IpAddress& addr,
                              int distance) const {
-  return visible_.count({addr, distance}) != 0;
+  const bool hit = visible_.count({addr, distance}) != 0;
+  if (hit && hits_ != nullptr) hits_->add();
+  return hit;
 }
 
 void SharedStopSet::record(const net::IpAddress& addr, int distance) {
   const Key key{addr, distance};
   if (visible_.count(key) != 0) return;  // already durable
+  if (records_ != nullptr) records_->add();
   const std::lock_guard<std::mutex> lock(mutex_);
   pending_.insert(key);
+}
+
+void SharedStopSet::instrument(obs::MetricsRegistry& registry) {
+  hits_ = registry.counter("mmlpt_stop_set_hits_total",
+                           "contains() queries answered from the frozen "
+                           "visible epoch");
+  records_ = registry.counter("mmlpt_stop_set_records_total",
+                              "Discoveries recorded into the pending set");
 }
 
 std::optional<core::DestinationRecord> SharedStopSet::destination(

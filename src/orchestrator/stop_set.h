@@ -26,6 +26,11 @@
 #include "core/trace_log.h"
 #include "store/topology_store.h"
 
+namespace mmlpt::obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace mmlpt::obs
+
 namespace mmlpt::orchestrator {
 
 /// Thread-safe core::StopSet with frozen-epoch semantics (see file
@@ -63,6 +68,10 @@ class SharedStopSet final : public core::StopSet {
   }
   [[nodiscard]] std::size_t pending_hop_count() const;
 
+  /// Register the set's hit/record counters in `registry`. Call before
+  /// workers start; uninstrumented queries pay one null-check.
+  void instrument(obs::MetricsRegistry& registry);
+
  private:
   using Key = std::pair<net::IpAddress, int>;
   struct KeyHash {
@@ -83,6 +92,10 @@ class SharedStopSet final : public core::StopSet {
   mutable std::mutex mutex_;
   std::set<Key> pending_;
   std::map<net::IpAddress, core::DestinationRecord> pending_destinations_;
+
+  /// Null until instrument(); contains() stays lock-free either way.
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* records_ = nullptr;
 };
 
 /// One CLI run's stop-set lifecycle: load the topology store at open,
@@ -104,6 +117,12 @@ class StopSetSession {
 
   /// Points config at the shared set (no-op when inactive).
   void configure(core::TraceConfig& config);
+
+  /// Register the shared set's counters in `registry` (no-op when
+  /// inactive).
+  void instrument(obs::MetricsRegistry& registry) {
+    if (active()) set_.instrument(registry);
+  }
 
   /// Append this run's delta to the store (no-op when inactive or the
   /// delta is empty).

@@ -4,6 +4,7 @@
 
 #include "common/assert.h"
 #include "net/packet.h"
+#include "obs/trace_events.h"
 
 namespace mmlpt::probe {
 
@@ -11,10 +12,21 @@ ProbeEngine::ProbeEngine(TransportQueue& network, Config config)
     : network_(&network), config_(config) {
   MMLPT_EXPECTS(!config_.destination.is_unspecified());
   MMLPT_EXPECTS(config_.source.family() == config_.destination.family());
+  if (config_.metrics != nullptr) {
+    retries_ = config_.metrics->counter(
+        "mmlpt_probe_retries_total",
+        "Probes resent after an unanswered attempt");
+    rtt_seconds_ = config_.metrics->histogram(
+        "mmlpt_probe_rtt_seconds", "Round-trip time of answered probes",
+        {0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+         1.0, 2.5});
+  }
 }
 
 std::vector<std::optional<Received>> ProbeEngine::transact_window(
     std::span<const Datagram> window) {
+  obs::Span span("window", "probe");
+  span.arg("probes", static_cast<double>(window.size()));
   const Ticket ticket = next_ticket_++;
   network_->submit(window, ticket);
   std::vector<std::optional<Received>> replies(window.size());
@@ -75,6 +87,7 @@ std::vector<TraceProbeResult> ProbeEngine::probe_batch(
 
   for (int attempt = 0; attempt <= config_.max_retries && !pending.empty();
        ++attempt) {
+    if (attempt > 0 && retries_ != nullptr) retries_->add(pending.size());
     std::vector<Datagram> window;
     window.reserve(pending.size());
     for (const std::size_t i : pending) {
@@ -124,6 +137,12 @@ std::vector<TraceProbeResult> ProbeEngine::probe_batch(
       result.mpls_labels = reply.mpls_labels();
       result.recv_time = result.send_time + replies[slot]->rtt;
       result.attempts = attempt + 1;
+      if (rtt_seconds_ != nullptr) {
+        rtt_seconds_->observe(static_cast<double>(replies[slot]->rtt) / 1e9);
+      }
+      obs::instant("rtt_sample", "probe",
+                   {{"ttl", static_cast<double>(requests[i].ttl)},
+                    {"rtt_us", static_cast<double>(replies[slot]->rtt) / 1e3}});
       latest_reply = std::max(latest_reply, result.recv_time);
     }
     now_ = latest_reply;  // the window waits for its slowest answer
@@ -149,6 +168,7 @@ std::vector<EchoProbeResult> ProbeEngine::ping_batch(
 
   for (int attempt = 0; attempt <= config_.max_retries && !pending.empty();
        ++attempt) {
+    if (attempt > 0 && retries_ != nullptr) retries_->add(pending.size());
     std::vector<Datagram> window;
     window.reserve(pending.size());
     for (const std::size_t i : pending) {
@@ -186,6 +206,9 @@ std::vector<EchoProbeResult> ProbeEngine::ping_batch(
       result.reply_ttl = reply.reply_ttl();
       result.recv_time = result.send_time + replies[slot]->rtt;
       result.attempts = attempt + 1;
+      if (rtt_seconds_ != nullptr) {
+        rtt_seconds_->observe(static_cast<double>(replies[slot]->rtt) / 1e9);
+      }
       latest_reply = std::max(latest_reply, result.recv_time);
     }
     now_ = latest_reply;

@@ -19,6 +19,7 @@
 
 #include "net/icmp.h"
 #include "net/ip_address.h"
+#include "obs/metrics.h"
 #include "probe/transport_queue.h"
 
 namespace mmlpt::probe {
@@ -76,6 +77,9 @@ class ProbeEngine {
     std::uint16_t base_dst_port = 33434;  ///< classic traceroute port
     Nanos send_interval = 2'000'000;  ///< 2 ms of virtual time per probe
     int max_retries = 2;              ///< retransmissions when unanswered
+    /// Optional registry for retry counts and the RTT histogram; null =
+    /// uninstrumented (the engine's own packet accounting is unaffected).
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   /// The engine drives the transport through the submit/completion
@@ -150,6 +154,10 @@ class ProbeEngine {
 
   TransportQueue* network_;
   Config config_;
+  /// Null when Config::metrics is null — instrumentation is then one
+  /// pointer test per site.
+  obs::Counter* retries_ = nullptr;
+  obs::Histogram* rtt_seconds_ = nullptr;
   Ticket next_ticket_ = 1;
   Nanos now_ = kStartOfTime;
   std::uint64_t packets_sent_ = 0;

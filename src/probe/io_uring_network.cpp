@@ -90,7 +90,39 @@ struct IoUringNetwork::TimeoutOp {
 
 bool IoUringNetwork::supported() noexcept { return uring::kernel_supported(); }
 
+void IoUringNetwork::register_metrics() {
+  obs::MetricsRegistry& registry =
+      config_.metrics != nullptr ? *config_.metrics : fallback_metrics_;
+  const obs::Labels labels{{"transport", "uring"}};
+  probes_sent_ =
+      registry.counter("mmlpt_transport_probes_sent_total",
+                       "Probe datagrams handed to the wire", labels);
+  replies_received_ =
+      registry.counter("mmlpt_transport_replies_received_total",
+                       "Reply datagrams scooped off the socket", labels);
+  enters_ = registry.counter("mmlpt_transport_uring_enters_total",
+                             "io_uring_enter syscalls", labels);
+  sqes_ = registry.counter("mmlpt_transport_uring_sqes_total",
+                           "Submission-queue entries prepared", labels);
+  send_cqes_ = registry.counter("mmlpt_transport_uring_send_cqes_total",
+                                "sendmsg completions reaped", labels);
+  recv_cqes_ = registry.counter("mmlpt_transport_uring_recv_cqes_total",
+                                "recvmsg completions reaped", labels);
+  timeout_cqes_ =
+      registry.counter("mmlpt_transport_uring_timeout_cqes_total",
+                       "Ticket-deadline timeout completions", labels);
+  recvs_retired_ = registry.counter(
+      "mmlpt_transport_uring_recvs_retired_total",
+      "Receive slots retired on persistent error completions", labels);
+  deadline_expiries_ =
+      registry.counter("mmlpt_transport_deadline_expiries_total",
+                       "Pending slots resolved unanswered by their deadline",
+                       labels);
+  attributor_.set_expiry_counter(deadline_expiries_);
+}
+
 IoUringNetwork::IoUringNetwork(Config config) : config_(config) {
+  register_metrics();
   if (!uring::kernel_supported()) {
     throw SystemError("io_uring not supported by this kernel");
   }
@@ -136,7 +168,7 @@ IoUringNetwork::IoUringNetwork(Config config) : config_(config) {
       arm_recv(id);
     }
     ring_->flush();
-    ++stats_.enters;
+    enters_->add();
   } catch (...) {
     ring_.reset();
     ::close(send_fd_);
@@ -204,7 +236,7 @@ void IoUringNetwork::arm_recv(std::uint64_t id) {
   sqe->addr = reinterpret_cast<std::uint64_t>(&op.msg);
   sqe->len = 1;
   sqe->user_data = make_user_data(OpKind::kRecv, id);
-  ++stats_.sqes;
+  sqes_->add();
 }
 
 void IoUringNetwork::submit(std::span<const Datagram> window, Ticket ticket,
@@ -270,7 +302,7 @@ void IoUringNetwork::submit(std::span<const Datagram> window, Ticket ticket,
     sqe->addr = reinterpret_cast<std::uint64_t>(&op->msg);
     sqe->len = 1;
     sqe->user_data = make_user_data(OpKind::kSend, id);
-    ++stats_.sqes;
+    sqes_->add();
 
     attributor_.add_pending(ReplyAttributor::PendingSlot{
         ticket, slot, std::move(probe), now, deadline});
@@ -295,7 +327,7 @@ void IoUringNetwork::submit(std::span<const Datagram> window, Ticket ticket,
       sqe->addr = reinterpret_cast<std::uint64_t>(&timeout->ts);
       sqe->len = 1;
       sqe->user_data = make_user_data(OpKind::kTimeout, id);
-      ++stats_.sqes;
+      sqes_->add();
       ticket_timeouts_[ticket] = id;
       timeouts_.emplace(id, std::move(timeout));
     } catch (const SystemError&) {
@@ -306,7 +338,7 @@ void IoUringNetwork::submit(std::span<const Datagram> window, Ticket ticket,
   if (!ring_failed) {
     try {
       ring_->flush();
-      ++stats_.enters;
+      enters_->add();
     } catch (const SystemError&) {
       ring_failed = true;
     }
@@ -362,11 +394,13 @@ void IoUringNetwork::handle_cqe(std::uint64_t user_data, std::int32_t res) {
     case OpKind::kSend: {
       auto it = sends_.find(id);
       if (it == sends_.end()) break;
-      ++stats_.send_cqes;
+      send_cqes_->add();
       if (res < 0) {
         // A failed send behaves like a lost probe (same policy as the
         // poll backend): the slot resolves unanswered if still pending.
         attributor_.resolve_unanswered(it->second->ticket, it->second->slot);
+      } else {
+        probes_sent_->add();
       }
       sends_.erase(it);
       break;
@@ -374,7 +408,7 @@ void IoUringNetwork::handle_cqe(std::uint64_t user_data, std::int32_t res) {
     case OpKind::kRecv: {
       auto it = recvs_.find(id);
       if (it == recvs_.end()) break;
-      ++stats_.recv_cqes;
+      recv_cqes_->add();
       if (draining_) {
         recvs_.erase(it);
         break;
@@ -386,12 +420,13 @@ void IoUringNetwork::handle_cqe(std::uint64_t user_data, std::int32_t res) {
         // every receive retired, pending slots still resolve through
         // their ticket deadlines.
         if (++op.consecutive_errors >= kMaxConsecutiveRecvErrors) {
-          ++stats_.recvs_retired;
+          recvs_retired_->add();
           recvs_.erase(it);
           break;
         }
       } else {
         op.consecutive_errors = 0;
+        if (res > 0) replies_received_->add();
         handle_recv(op, res);
       }
       arm_recv(id);
@@ -400,7 +435,7 @@ void IoUringNetwork::handle_cqe(std::uint64_t user_data, std::int32_t res) {
     case OpKind::kTimeout: {
       auto it = timeouts_.find(id);
       if (it == timeouts_.end()) break;
-      ++stats_.timeout_cqes;
+      timeout_cqes_->add();
       const Ticket ticket = it->second->ticket;
       auto owner = ticket_timeouts_.find(ticket);
       if (owner != ticket_timeouts_.end() && owner->second == id) {
@@ -441,7 +476,7 @@ std::vector<Completion> IoUringNetwork::poll_completions() {
     // Safe to block: every pending slot's ticket holds an in-kernel
     // timeout, so a CQE is always coming.
     ring_->flush(1);
-    ++stats_.enters;
+    enters_->add();
   }
   reap_settled_timeouts();
   // Publish any receive re-arms (and timeout reaps) prepared while
@@ -449,7 +484,7 @@ std::vector<Completion> IoUringNetwork::poll_completions() {
   // wait in the socket buffer.
   if (ring_->unflushed() > 0) {
     ring_->flush();
-    ++stats_.enters;
+    enters_->add();
   }
   return attributor_.take_ready();
 }
@@ -465,7 +500,7 @@ void IoUringNetwork::cancel_ticket_timeout(Ticket ticket) {
   sqe->fd = -1;
   sqe->addr = make_user_data(OpKind::kTimeout, it->second);
   sqe->user_data = make_user_data(OpKind::kCancel, next_op_++);
-  ++stats_.sqes;
+  sqes_->add();
   ticket_timeouts_.erase(it);
 }
 
@@ -485,7 +520,7 @@ void IoUringNetwork::cancel(Ticket ticket) {
   cancel_ticket_timeout(ticket);
   if (ring_->unflushed() > 0) {
     ring_->flush();
-    ++stats_.enters;
+    enters_->add();
   }
 }
 

@@ -40,6 +40,7 @@
 
 #include "net/ip_address.h"
 #include "net/packet.h"
+#include "obs/metrics.h"
 #include "probe/network.h"
 #include "probe/reply_attribution.h"
 
@@ -61,6 +62,10 @@ class IoUringNetwork final : public Network {
     unsigned ring_entries = 256;
     /// RECVMSG ops kept armed on the receive socket.
     unsigned recv_slots = 8;
+    /// Registry the backend's counters live in (series labeled
+    /// transport="uring"). Null = a privately-owned registry, so the
+    /// counters always exist and stats() stays a pure view.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   /// True when this kernel can host the backend (cached io_uring_setup
@@ -84,6 +89,8 @@ class IoUringNetwork final : public Network {
   [[nodiscard]] std::size_t pending() const override;
 
   /// Observable syscall-shape counters (bench/test instrumentation).
+  /// Snapshot view over the registry series — the registry counters are
+  /// the single source of truth.
   struct Stats {
     std::uint64_t enters = 0;        ///< io_uring_enter syscalls
     std::uint64_t sqes = 0;          ///< SQEs prepared
@@ -93,7 +100,11 @@ class IoUringNetwork final : public Network {
     std::uint64_t recvs_retired = 0;  ///< receive slots retired on
                                       ///< persistent error completions
   };
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] Stats stats() const noexcept {
+    return Stats{enters_->value(),       sqes_->value(),
+                 send_cqes_->value(),    recv_cqes_->value(),
+                 timeout_cqes_->value(), recvs_retired_->value()};
+  }
 
  private:
   using Clock = ReplyAttributor::Clock;
@@ -116,6 +127,8 @@ class IoUringNetwork final : public Network {
   void handle_cqe(std::uint64_t user_data, std::int32_t res);
   void handle_recv(RecvOp& op, std::int32_t res);
 
+  void register_metrics();
+
   Config config_;
   int send_fd_ = -1;
   int recv_fd_ = -1;
@@ -133,7 +146,17 @@ class IoUringNetwork final : public Network {
   std::unordered_map<Ticket, std::uint64_t> ticket_timeouts_;
   /// Destructor teardown: reaped receives are retired, not re-armed.
   bool draining_ = false;
-  Stats stats_;
+  /// Backing registry when Config::metrics is null.
+  obs::MetricsRegistry fallback_metrics_;
+  obs::Counter* enters_ = nullptr;
+  obs::Counter* sqes_ = nullptr;
+  obs::Counter* send_cqes_ = nullptr;
+  obs::Counter* recv_cqes_ = nullptr;
+  obs::Counter* timeout_cqes_ = nullptr;
+  obs::Counter* recvs_retired_ = nullptr;
+  obs::Counter* probes_sent_ = nullptr;
+  obs::Counter* replies_received_ = nullptr;
+  obs::Counter* deadline_expiries_ = nullptr;
 };
 
 }  // namespace mmlpt::probe

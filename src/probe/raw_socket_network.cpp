@@ -21,7 +21,36 @@
 
 namespace mmlpt::probe {
 
+void RawSocketNetwork::register_metrics() {
+  obs::MetricsRegistry& registry =
+      config_.metrics != nullptr ? *config_.metrics : fallback_metrics_;
+  const obs::Labels labels{{"transport", "poll"}};
+  send_datagrams_ =
+      registry.counter("mmlpt_transport_probes_sent_total",
+                       "Probe datagrams handed to the wire", labels);
+  recv_datagrams_ =
+      registry.counter("mmlpt_transport_replies_received_total",
+                       "Reply datagrams scooped off the socket", labels);
+  sendmmsg_calls_ =
+      registry.counter("mmlpt_transport_sendmmsg_calls_total",
+                       "sendmmsg() batches shipped", labels);
+  recvmmsg_calls_ =
+      registry.counter("mmlpt_transport_recvmmsg_calls_total",
+                       "recvmmsg() batches drained", labels);
+  poll_calls_ = registry.counter("mmlpt_transport_poll_calls_total",
+                                 "poll() wakeup waits", labels);
+  budget_recomputes_ =
+      registry.counter("mmlpt_transport_budget_recomputes_total",
+                       "Deadline-budget derivations (one per wakeup)", labels);
+  deadline_expiries_ =
+      registry.counter("mmlpt_transport_deadline_expiries_total",
+                       "Pending slots resolved unanswered by their deadline",
+                       labels);
+  attributor_.set_expiry_counter(deadline_expiries_);
+}
+
 RawSocketNetwork::RawSocketNetwork(Config config) : config_(config) {
+  register_metrics();
   const bool v6 = config_.family == net::Family::kIpv6;
   const int domain = v6 ? AF_INET6 : AF_INET;
   send_fd_ = ::socket(domain, SOCK_RAW, IPPROTO_RAW);
@@ -119,13 +148,13 @@ void RawSocketNetwork::submit(std::span<const Datagram> window, Ticket ticket,
                               static_cast<unsigned>(count - done), 0);
     if (rc < 0) {
       if (errno == EINTR) continue;
-      ++stats_.sendmmsg_calls;
+      sendmmsg_calls_->add();
       attributor_.resolve_unsent(ticket, done, std::move(probes[done]));
       ++done;
       continue;
     }
-    ++stats_.sendmmsg_calls;
-    stats_.send_datagrams += static_cast<std::uint64_t>(rc);
+    sendmmsg_calls_->add();
+    send_datagrams_->add(static_cast<std::uint64_t>(rc));
     for (std::size_t slot = done; slot < done + static_cast<std::size_t>(rc);
          ++slot) {
       attributor_.add_pending(ReplyAttributor::PendingSlot{
@@ -162,8 +191,8 @@ void RawSocketNetwork::drain_replies() {
     const int rc =
         ::recvmmsg(recv_fd_, msgs.data(), kRecvBatch, MSG_DONTWAIT, nullptr);
     if (rc <= 0) return;  // dry (EAGAIN), interrupted, or transient error
-    ++stats_.recvmmsg_calls;
-    stats_.recv_datagrams += static_cast<std::uint64_t>(rc);
+    recvmmsg_calls_->add();
+    recv_datagrams_->add(static_cast<std::uint64_t>(rc));
 
     const auto now = Clock::now();
     for (int i = 0; i < rc; ++i) {
@@ -212,10 +241,10 @@ std::vector<Completion> RawSocketNetwork::poll_completions() {
     if (attributor_.has_ready()) break;
 
     const auto earliest = *attributor_.earliest_deadline();
-    ++stats_.budget_recomputes;
+    budget_recomputes_->add();
 
     pollfd pfd{recv_fd_, POLLIN, 0};
-    ++stats_.poll_calls;
+    poll_calls_->add();
     const int rc = ::poll(&pfd, 1, poll_budget_ms(now, earliest));
     if (rc < 0) {
       if (errno == EINTR) continue;  // loop top re-derives the budget

@@ -42,6 +42,7 @@
 
 #include "net/ip_address.h"
 #include "net/packet.h"
+#include "obs/metrics.h"
 #include "probe/network.h"
 #include "probe/reply_attribution.h"
 
@@ -73,6 +74,10 @@ class RawSocketNetwork final : public Network {
     /// the crafted probes (the reply parser reconstructs the reply's
     /// destination from it).
     net::Family family = net::Family::kIpv4;
+    /// Registry the backend's counters live in (series labeled
+    /// transport="poll"). Null = a privately-owned registry, so the
+    /// counters always exist and stats() stays a pure view.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   explicit RawSocketNetwork(Config config);
@@ -93,7 +98,8 @@ class RawSocketNetwork final : public Network {
 
   /// Observable syscall-shape counters: the batched fast path and the
   /// once-per-wakeup budget discipline are regression-tested through
-  /// these, not timed.
+  /// these, not timed. Snapshot view over the registry series — the
+  /// registry counters are the single source of truth.
   struct Stats {
     std::uint64_t sendmmsg_calls = 0;   ///< send batches shipped
     std::uint64_t send_datagrams = 0;   ///< probes sent (all batches)
@@ -102,7 +108,11 @@ class RawSocketNetwork final : public Network {
     std::uint64_t poll_calls = 0;       ///< poll() wakeup waits
     std::uint64_t budget_recomputes = 0;  ///< deadline-budget derivations
   };
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] Stats stats() const noexcept {
+    return Stats{sendmmsg_calls_->value(),   send_datagrams_->value(),
+                 recvmmsg_calls_->value(),   recv_datagrams_->value(),
+                 poll_calls_->value(),       budget_recomputes_->value()};
+  }
 
  private:
   using Clock = ReplyAttributor::Clock;
@@ -115,11 +125,21 @@ class RawSocketNetwork final : public Network {
   /// recvmmsg until EAGAIN), attributing each to its pending slot.
   void drain_replies();
 
+  void register_metrics();
+
   Config config_;
   int send_fd_ = -1;
   int recv_fd_ = -1;
   ReplyAttributor attributor_;
-  Stats stats_;
+  /// Backing registry when Config::metrics is null.
+  obs::MetricsRegistry fallback_metrics_;
+  obs::Counter* sendmmsg_calls_ = nullptr;
+  obs::Counter* send_datagrams_ = nullptr;
+  obs::Counter* recvmmsg_calls_ = nullptr;
+  obs::Counter* recv_datagrams_ = nullptr;
+  obs::Counter* poll_calls_ = nullptr;
+  obs::Counter* budget_recomputes_ = nullptr;
+  obs::Counter* deadline_expiries_ = nullptr;
 };
 
 }  // namespace mmlpt::probe

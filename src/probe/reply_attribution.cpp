@@ -3,6 +3,8 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace mmlpt::probe {
 
 bool reply_matches_probe(const net::ParsedProbe& sent,
@@ -109,6 +111,7 @@ void ReplyAttributor::expire(Clock::time_point now) {
   for (std::size_t i = 0; i < pending_.size();) {
     if (pending_[i].deadline <= now) {
       resolve_at(i, /*canceled=*/false);
+      if (expiry_counter_ != nullptr) expiry_counter_->add();
     } else {
       ++i;
     }
@@ -119,6 +122,7 @@ void ReplyAttributor::expire_ticket(Ticket ticket) {
   for (std::size_t i = 0; i < pending_.size();) {
     if (pending_[i].ticket == ticket) {
       resolve_at(i, /*canceled=*/false);
+      if (expiry_counter_ != nullptr) expiry_counter_->add();
     } else {
       ++i;
     }

@@ -32,6 +32,10 @@
 #include "net/packet.h"
 #include "probe/transport_queue.h"
 
+namespace mmlpt::obs {
+class Counter;
+}  // namespace mmlpt::obs
+
 namespace mmlpt::probe {
 
 /// True when `got` is the ICMP(v6) answer to `sent` (quoted ports / flow
@@ -106,6 +110,13 @@ class ReplyAttributor {
   /// Resolve every still-pending slot of `ticket` as canceled.
   void cancel(Ticket ticket);
 
+  /// Counter bumped once per slot resolved by deadline expiry (expire()
+  /// and expire_ticket()); null = uninstrumented. The owning backend
+  /// points this at its `transport`-labeled deadline-expiry counter.
+  void set_expiry_counter(obs::Counter* counter) noexcept {
+    expiry_counter_ = counter;
+  }
+
   /// Match one parsed reply against the pending slots (two-tier: exact
   /// per-probe discriminator first, flow-level fallback, duplicate
   /// drop); on a hit, resolve the slot into the ready buffer.
@@ -152,6 +163,7 @@ class ReplyAttributor {
   std::unordered_map<Ticket, std::size_t> pending_per_ticket_;
   std::deque<ResolvedSlot> resolved_;
   std::vector<Completion> ready_;
+  obs::Counter* expiry_counter_ = nullptr;
 };
 
 }  // namespace mmlpt::probe

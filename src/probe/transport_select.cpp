@@ -39,7 +39,8 @@ std::string_view resolved_transport_name(TransportKind kind) noexcept {
 
 std::unique_ptr<Network> make_transport(
     TransportKind kind, net::Family family,
-    std::chrono::milliseconds reply_timeout) {
+    std::chrono::milliseconds reply_timeout,
+    obs::MetricsRegistry* metrics) {
   const TransportKind resolved = resolve_transport(kind);
   if (resolved == TransportKind::kUring) {
     if (!IoUringNetwork::supported()) {
@@ -52,11 +53,13 @@ std::unique_ptr<Network> make_transport(
     IoUringNetwork::Config config;
     config.reply_timeout = reply_timeout;
     config.family = family;
+    config.metrics = metrics;
     return std::make_unique<IoUringNetwork>(config);
   }
   RawSocketNetwork::Config config;
   config.reply_timeout = reply_timeout;
   config.family = family;
+  config.metrics = metrics;
   return std::make_unique<RawSocketNetwork>(config);
 }
 

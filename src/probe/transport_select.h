@@ -16,6 +16,10 @@
 
 #include "net/ip_address.h"
 
+namespace mmlpt::obs {
+class MetricsRegistry;
+}
+
 namespace mmlpt::probe {
 
 class Network;
@@ -45,10 +49,13 @@ enum class TransportKind {
 /// Construct the chosen backend (resolving `auto` first). Throws
 /// ConfigError when `uring` is requested explicitly but the kernel
 /// lacks io_uring; SystemError when socket/ring setup fails
-/// (CAP_NET_RAW is required either way).
+/// (CAP_NET_RAW is required either way). A non-null `metrics` registry
+/// receives the backend's transport-labeled series; null leaves the
+/// backend on its private fallback registry.
 [[nodiscard]] std::unique_ptr<Network> make_transport(
     TransportKind kind, net::Family family,
-    std::chrono::milliseconds reply_timeout);
+    std::chrono::milliseconds reply_timeout,
+    obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace mmlpt::probe
 

@@ -79,9 +79,15 @@ IpSurveyResult run_ip_survey(const IpSurveyConfig& config,
   // serial loop; run_streaming drops each trace right after.
   IpSurveyResult result;
   result.accounting = DiamondAccounting(config.phi_for_meshing_analysis);
+  obs::Counter* sim_probes =
+      config.metrics != nullptr
+          ? config.metrics->counter("mmlpt_transport_probes_sent_total",
+                                    "Probe packets handed to the transport",
+                                    {{"transport", "sim"}})
+          : nullptr;
   orchestrator::FleetScheduler fleet(
       {config.jobs, config.seed, config.pps, config.burst,
-       config.merge_windows, config.pipeline_depth});
+       config.merge_windows, config.pipeline_depth, config.metrics});
   fleet.run_streaming(
       config.routes,
       [&](orchestrator::WorkerContext& context) {
@@ -100,6 +106,7 @@ IpSurveyResult run_ip_survey(const IpSurveyConfig& config,
                             core::trace_to_json(trace)));
         }
         result.total_packets += trace.packets;
+        if (sim_probes != nullptr) sim_probes->add(trace.packets);
         ++result.routes_traced;
         if (trace.stop_set_active) {
           result.stop_set_active = true;

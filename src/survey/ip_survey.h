@@ -47,6 +47,9 @@ struct IpSurveyConfig {
   /// in-flight tickets are canceled and run_ip_survey throws
   /// probe::CanceledError. nullptr = not cancelable.
   probe::CancelToken* cancel = nullptr;
+  /// Registry the fleet's hub/limiter and the survey's sim-probe counter
+  /// register in; null = uninstrumented. Must outlive the run.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct IpSurveyResult {

@@ -8,6 +8,7 @@
 
 #include "common/assert.h"
 #include "core/trace_json.h"
+#include "obs/metrics.h"
 #include "orchestrator/fleet.h"
 #include "orchestrator/throttled_network.h"
 #include "probe/simulated_network.h"
@@ -170,9 +171,15 @@ RouterSurveyResult run_router_survey(const RouterSurveyConfig& config,
   std::set<topo::DiamondKey> seen_diamonds;
   AddressUnionFind aggregated;
 
+  obs::Counter* sim_probes =
+      config.metrics != nullptr
+          ? config.metrics->counter("mmlpt_transport_probes_sent_total",
+                                    "Probe packets handed to the transport",
+                                    {{"transport", "sim"}})
+          : nullptr;
   orchestrator::FleetScheduler fleet(
       {config.jobs, config.seed, config.pps, config.burst,
-       config.merge_windows, config.pipeline_depth});
+       config.merge_windows, config.pipeline_depth, config.metrics});
   const std::uint64_t base_seed = config.seed * 0x2545F491ULL + 99;
   fleet.run_streaming(
       config.routes,
@@ -219,6 +226,7 @@ RouterSurveyResult run_router_survey(const RouterSurveyConfig& config,
                             core::stop_set_envelope_fields(ml), "multilevel",
                             core::multilevel_to_json(ml)));
         }
+        if (sim_probes != nullptr) sim_probes->add(ml.total_packets);
         if (ml.trace.stop_set_active) {
           result.stop_set_active = true;
           result.probes_saved_by_stop_set +=

@@ -17,6 +17,10 @@
 #include "topology/generator.h"
 #include "topology/metrics.h"
 
+namespace mmlpt::obs {
+class MetricsRegistry;
+}
+
 namespace mmlpt::survey {
 
 /// Classify the router-level fate of an IP-level diamond (Table 3).
@@ -47,6 +51,9 @@ struct RouterSurveyConfig {
   /// in-flight tickets are canceled and run_router_survey throws
   /// probe::CanceledError. nullptr = not cancelable.
   probe::CancelToken* cancel = nullptr;
+  /// Registry the fleet's hub/limiter and the survey's sim-probe counter
+  /// register in; null = uninstrumented. Must outlive the run.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct RouterSurveyResult {

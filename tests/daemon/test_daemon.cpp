@@ -304,5 +304,50 @@ TEST(DaemonE2E, StopSetSummaryTravelsOverTheSocket) {
   std::remove(cache.c_str());
 }
 
+TEST(DaemonE2E, MetricsFrameServesThePrometheusRegistry) {
+  const auto cache = "/tmp/mmlptd-test-" + std::to_string(::getpid()) +
+                     "-metrics.mtps";
+  std::remove(cache.c_str());
+  DaemonConfig config;
+  config.socket_path = temp_socket_path();
+  config.topology_cache = cache;  // stop-set families join the registry
+  Daemon daemon(config);
+  daemon.start();
+
+  Client client(config.socket_path, "obs");
+  auto spec = small_spec(6, 2);
+  spec.shared_prefix = 3;
+  const auto result = client.run_job(spec);
+  EXPECT_EQ(result.outcome, JobOutcome::kOk);
+
+  const auto text = client.metrics();
+  // Prometheus text with the acceptance families: transport, admission,
+  // stop-set, and the daemon's own job outcomes.
+  EXPECT_NE(text.find("# TYPE mmlpt_transport_probes_sent_total counter\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("mmlpt_transport_probes_sent_total{transport=\"sim\"} "),
+      std::string::npos);
+  EXPECT_NE(text.find("mmlpt_admission_jobs_admitted_total 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mmlpt_admission_jobs_active 0\n"), std::string::npos);
+  EXPECT_NE(text.find("mmlpt_daemon_jobs_total{outcome=\"ok\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mmlpt_stop_set_records_total"), std::string::npos);
+
+  // A second job's counters accumulate in the same registry.
+  const auto again = client.run_job(spec);
+  EXPECT_EQ(again.outcome, JobOutcome::kOk);
+  const auto after = client.metrics();
+  EXPECT_NE(after.find("mmlpt_admission_jobs_admitted_total 2\n"),
+            std::string::npos);
+  EXPECT_NE(after.find("mmlpt_daemon_jobs_total{outcome=\"ok\"} 2\n"),
+            std::string::npos);
+
+  daemon.stop();
+  std::remove(cache.c_str());
+}
+
 }  // namespace
 }  // namespace mmlpt::daemon

@@ -114,9 +114,10 @@ TEST(FrameCodec, UnknownFrameTypeDecodesCleanlyForSkipping) {
 TEST(FrameCodec, KnownFrameTypesAreKnown) {
   for (const auto type :
        {FrameType::kHello, FrameType::kJobRequest, FrameType::kCancel,
-        FrameType::kStatusRequest, FrameType::kHelloAck, FrameType::kProgress,
-        FrameType::kResultLine, FrameType::kStopSetSummary,
-        FrameType::kJobStatus, FrameType::kError, FrameType::kServerStatus}) {
+        FrameType::kStatusRequest, FrameType::kMetricsRequest,
+        FrameType::kHelloAck, FrameType::kProgress, FrameType::kResultLine,
+        FrameType::kStopSetSummary, FrameType::kJobStatus, FrameType::kError,
+        FrameType::kServerStatus, FrameType::kMetrics}) {
     EXPECT_TRUE(is_known_frame_type(static_cast<std::uint8_t>(type)));
   }
   EXPECT_FALSE(is_known_frame_type(0));
@@ -193,6 +194,25 @@ TEST(PayloadCodec, CancelErrorServerStatusRoundTrip) {
             "{\"a\":1}");
 }
 
+TEST(PayloadCodec, MetricsRequestAndMetricsRoundTrip) {
+  const Frame request = encode_metrics_request();
+  EXPECT_EQ(request.type,
+            static_cast<std::uint8_t>(FrameType::kMetricsRequest));
+  EXPECT_TRUE(request.payload.empty());
+  EXPECT_EQ(round_trip(request), request);
+
+  // A realistic multi-line Prometheus exposition, embedded quotes and
+  // all, must survive the wire byte for byte.
+  const std::string exposition =
+      "# HELP mmlpt_transport_probes_sent_total Probes handed to the "
+      "transport\n"
+      "# TYPE mmlpt_transport_probes_sent_total counter\n"
+      "mmlpt_transport_probes_sent_total{transport=\"poll\"} 4242\n";
+  const auto decoded = decode_metrics(encode_metrics({exposition}));
+  EXPECT_EQ(decoded.text, exposition);
+  EXPECT_EQ(decode_metrics(encode_metrics({""})).text, "");
+}
+
 TEST(PayloadCodec, TrailingBytesAreRejected) {
   Frame frame = encode_cancel({5});
   frame.payload += '\0';  // smuggled byte past the schema
@@ -262,6 +282,27 @@ TEST(FrameCodecFuzz, CorruptedRealFramesNeverCrashThePayloadDecoders) {
     try {
       (void)decode_job_request(frame);
     } catch (const ParseError&) {
+    }
+  }
+}
+
+TEST(FrameCodecFuzz, CorruptedMetricsFramesNeverCrashTheDecoder) {
+  Rng rng(20260807);
+  const Frame original = encode_metrics(
+      {"# TYPE mmlpt_admission_jobs_active gauge\n"
+       "mmlpt_admission_jobs_active 3\n"});
+  for (int round = 0; round < 2000; ++round) {
+    Frame frame = original;
+    const int flips = static_cast<int>(rng.uniform(1, 4));
+    for (int f = 0; f < flips; ++f) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform(0, static_cast<int>(frame.payload.size()) - 1));
+      frame.payload[pos] = static_cast<char>(rng.uniform(0, 255));
+    }
+    try {
+      (void)decode_metrics(frame);
+    } catch (const ParseError&) {
+      // The only legal failure mode.
     }
   }
 }

@@ -1,0 +1,220 @@
+// MetricsRegistry gates: idempotent registration, the striped-counter /
+// histogram fast paths under heavy thread concurrency (run under TSan in
+// CI), bucket boundary and overflow behaviour, Prometheus-text rendering
+// (cumulative le buckets, +Inf, label escaping) and the scalar snapshot
+// the CLIs' summary line is built from.
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace mmlpt::obs {
+namespace {
+
+TEST(MetricsRegistry, RegistrationIsIdempotentPerNameAndLabels) {
+  MetricsRegistry registry;
+  Counter* a = registry.counter("mmlpt_test_total", "help");
+  Counter* b = registry.counter("mmlpt_test_total", "different help text");
+  EXPECT_EQ(a, b);
+
+  Counter* poll =
+      registry.counter("mmlpt_labeled_total", "h", {{"transport", "poll"}});
+  Counter* uring =
+      registry.counter("mmlpt_labeled_total", "h", {{"transport", "uring"}});
+  Counter* poll_again =
+      registry.counter("mmlpt_labeled_total", "h", {{"transport", "poll"}});
+  EXPECT_NE(poll, uring);
+  EXPECT_EQ(poll, poll_again);
+
+  Gauge* g = registry.gauge("mmlpt_test_gauge", "h");
+  EXPECT_EQ(g, registry.gauge("mmlpt_test_gauge", "h"));
+
+  Histogram* h =
+      registry.histogram("mmlpt_test_seconds", "h", {0.1, 1.0, 10.0});
+  EXPECT_EQ(h, registry.histogram("mmlpt_test_seconds", "h", {0.5}));
+  // On a re-lookup the EXISTING bounds win.
+  EXPECT_EQ(h->bounds().size(), 3u);
+}
+
+TEST(MetricsRegistry, CounterSumsStripesExactly) {
+  MetricsRegistry registry;
+  Counter* counter = registry.counter("mmlpt_sum_total", "h");
+  counter->add();
+  counter->add(41);
+  EXPECT_EQ(counter->value(), 42u);
+}
+
+TEST(MetricsRegistry, GaugeSetAddAndRecordMax) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.gauge("mmlpt_level", "h");
+  gauge->set(7);
+  EXPECT_EQ(gauge->value(), 7);
+  gauge->add(-3);
+  EXPECT_EQ(gauge->value(), 4);
+  gauge->record_max(10);
+  EXPECT_EQ(gauge->value(), 10);
+  gauge->record_max(2);  // below the max: no change
+  EXPECT_EQ(gauge->value(), 10);
+}
+
+TEST(MetricsRegistry, ConcurrentCountersAreExactOnceWritersQuiesce) {
+  MetricsRegistry registry;
+  Counter* counter = registry.counter("mmlpt_hot_total", "h");
+  Histogram* histogram =
+      registry.histogram("mmlpt_hot_seconds", "h", {1.0, 2.0});
+  Gauge* high_water = registry.gauge("mmlpt_hot_max", "h");
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->add();
+        histogram->observe(static_cast<double>(i % 3));
+        high_water->record_max(t * kPerThread + i);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(counter->value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(histogram->count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(high_water->value(), kThreads * kPerThread - 1);
+}
+
+TEST(MetricsRegistry, ConcurrentRegistrationReturnsOneInstrument) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Counter* counter =
+          registry.counter("mmlpt_race_total", "h", {{"k", "v"}});
+      counter->add();
+      seen[static_cast<std::size_t>(t)] = counter;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[0], seen[t]);
+  EXPECT_EQ(seen[0]->value(), static_cast<std::uint64_t>(kThreads));
+}
+
+TEST(Histogram, BoundaryValuesLandInTheLowerBucket) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(1.0);  // v <= bound: boundary is inclusive
+  h.observe(2.0);
+  h.observe(4.0);
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 0u);
+}
+
+TEST(Histogram, ValuesAboveEveryBoundOverflowToInf) {
+  Histogram h({1.0, 2.0});
+  h.observe(2.0000001);
+  h.observe(1e12);
+  const auto counts = h.bucket_counts();
+  EXPECT_EQ(counts[0], 0u);
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_EQ(counts[2], 2u);
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(Histogram, SumTracksObservationsInNanoUnits) {
+  Histogram h({1.0});
+  h.observe(0.25);
+  h.observe(0.5);
+  EXPECT_NEAR(h.sum(), 0.75, 1e-9);
+}
+
+TEST(Render, EmitsHelpTypeAndSortedFamilies) {
+  MetricsRegistry registry;
+  registry.counter("mmlpt_b_total", "second family")->add(2);
+  registry.counter("mmlpt_a_total", "first family")->add(1);
+  const std::string text = registry.render();
+  const auto a = text.find("# HELP mmlpt_a_total first family\n");
+  const auto b = text.find("# HELP mmlpt_b_total second family\n");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  EXPECT_LT(a, b);  // families sorted by name
+  EXPECT_NE(text.find("# TYPE mmlpt_a_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("mmlpt_a_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("mmlpt_b_total 2\n"), std::string::npos);
+}
+
+TEST(Render, HistogramBucketsAreCumulativeWithInfSumAndCount) {
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("mmlpt_rtt_seconds", "h", {0.5, 1.0});
+  h->observe(0.25);
+  h->observe(0.75);
+  h->observe(9.0);  // overflow
+  const std::string text = registry.render();
+  EXPECT_NE(text.find("# TYPE mmlpt_rtt_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mmlpt_rtt_seconds_bucket{le=\"0.5\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mmlpt_rtt_seconds_bucket{le=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mmlpt_rtt_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mmlpt_rtt_seconds_sum 10\n"), std::string::npos);
+  EXPECT_NE(text.find("mmlpt_rtt_seconds_count 3\n"), std::string::npos);
+}
+
+TEST(Render, LabeledHistogramKeepsLabelsBeforeLe) {
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("mmlpt_sizes", "h", {1.0},
+                                    {{"transport", "poll"}});
+  h->observe(1.0);
+  const std::string text = registry.render();
+  EXPECT_NE(
+      text.find("mmlpt_sizes_bucket{transport=\"poll\",le=\"1\"} 1\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("mmlpt_sizes_count{transport=\"poll\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(Render, EscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.counter("mmlpt_esc_total", "h", {{"tenant", "a\"b\\c\nd"}})
+      ->add();
+  const std::string text = registry.render();
+  EXPECT_NE(
+      text.find("mmlpt_esc_total{tenant=\"a\\\"b\\\\c\\nd\"} 1\n"),
+      std::string::npos);
+}
+
+TEST(ScalarSnapshot, ListsCountersAndGaugesSkipsHistograms) {
+  MetricsRegistry registry;
+  registry.counter("mmlpt_c_total", "h", {{"transport", "sim"}})->add(5);
+  registry.gauge("mmlpt_g", "h")->set(-2);
+  registry.histogram("mmlpt_h_seconds", "h", {1.0})->observe(0.5);
+  const auto snapshot = registry.scalar_snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].first, "mmlpt_c_total{transport=\"sim\"}");
+  EXPECT_EQ(snapshot[0].second, 5);
+  EXPECT_EQ(snapshot[1].first, "mmlpt_g");
+  EXPECT_EQ(snapshot[1].second, -2);
+}
+
+TEST(SeriesKey, UnlabeledIsBareName) {
+  EXPECT_EQ(series_key("mmlpt_x_total", {}), "mmlpt_x_total");
+  EXPECT_EQ(series_key("mmlpt_x_total", {{"a", "b"}, {"c", "d"}}),
+            "mmlpt_x_total{a=\"b\",c=\"d\"}");
+}
+
+}  // namespace
+}  // namespace mmlpt::obs

@@ -1,0 +1,280 @@
+// TraceRecorder gates: Chrome trace-event JSON well-formedness (checked
+// with a small in-test JSON parser — no external deps), complete/instant
+// event shape, the global recorder() install/clear contract and the
+// zero-overhead-when-disabled Span behaviour.
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace_events.h"
+
+namespace mmlpt::obs {
+namespace {
+
+// Minimal recursive-descent JSON validator: accepts exactly the grammar
+// (objects, arrays, strings with escapes, numbers, true/false/null) and
+// nothing else. Returns false on trailing garbage.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') return ++pos_, true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') return ++pos_, true;
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') return ++pos_, true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') return ++pos_, true;
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') return ++pos_, true;
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                std::isxdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control character inside a string
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (peek() != *p) return false;
+    }
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+class GlobalRecorderGuard {
+ public:
+  explicit GlobalRecorderGuard(TraceRecorder* r) { set_recorder(r); }
+  ~GlobalRecorderGuard() { set_recorder(nullptr); }
+};
+
+TEST(TraceRecorder, EmptyRecorderIsValidEmptyDocument) {
+  TraceRecorder recorder;
+  EXPECT_EQ(recorder.event_count(), 0u);
+  const std::string text = recorder.json();
+  EXPECT_TRUE(JsonValidator(text).valid()) << text;
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(TraceRecorder, CompleteAndInstantEventsRenderValidJson) {
+  TraceRecorder recorder;
+  const auto begin = TraceRecorder::Clock::now();
+  recorder.complete("burst", "fleet", begin,
+                    begin + std::chrono::microseconds(1500),
+                    {{"probes", 64.0}, {"overlap", 2.0}});
+  recorder.instant("stop_set_hit", "stopset", {{"ttl", 7.0}});
+  EXPECT_EQ(recorder.event_count(), 2u);
+
+  const std::string text = recorder.json();
+  EXPECT_TRUE(JsonValidator(text).valid()) << text;
+  EXPECT_NE(text.find("\"name\":\"burst\""), std::string::npos);
+  EXPECT_NE(text.find("\"cat\":\"fleet\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"dur\":1500"), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(text.find("\"probes\":64"), std::string::npos);
+  EXPECT_NE(text.find("\"ttl\":7"), std::string::npos);
+}
+
+TEST(TraceRecorder, ConcurrentAppendsAllLand) {
+  TraceRecorder recorder;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        recorder.instant("tick", "test", {{"i", static_cast<double>(i)}});
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(recorder.event_count(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  EXPECT_TRUE(JsonValidator(recorder.json()).valid());
+}
+
+TEST(GlobalRecorder, NullByDefaultAndSpanIsNoOp) {
+  ASSERT_EQ(recorder(), nullptr);
+  {
+    Span span("ignored", "test");
+    span.arg("count", 1.0);
+    instant("also_ignored");
+  }  // nothing to assert beyond "does not crash / does not leak"
+  EXPECT_EQ(recorder(), nullptr);
+}
+
+TEST(GlobalRecorder, SpanRecordsCompleteEventWithArgs) {
+  TraceRecorder recorder_instance;
+  GlobalRecorderGuard guard(&recorder_instance);
+  {
+    Span span("window", "engine");
+    span.arg("replies", 12.0);
+  }
+  instant("deadline", "engine", {{"ttl", 3.0}});
+  EXPECT_EQ(recorder_instance.event_count(), 2u);
+  const std::string text = recorder_instance.json();
+  EXPECT_TRUE(JsonValidator(text).valid()) << text;
+  EXPECT_NE(text.find("\"name\":\"window\""), std::string::npos);
+  EXPECT_NE(text.find("\"replies\":12"), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"deadline\""), std::string::npos);
+}
+
+TEST(GlobalRecorder, SpanFinishIsIdempotent) {
+  TraceRecorder recorder_instance;
+  GlobalRecorderGuard guard(&recorder_instance);
+  Span span("once", "test");
+  span.finish();
+  span.finish();          // second call: no-op
+  span.arg("late", 1.0);  // after finish: dropped, not recorded
+  EXPECT_EQ(recorder_instance.event_count(), 1u);
+  EXPECT_EQ(recorder_instance.json().find("\"late\""), std::string::npos);
+}
+
+TEST(GlobalRecorder, ClearStopsRecording) {
+  TraceRecorder recorder_instance;
+  set_recorder(&recorder_instance);
+  instant("before");
+  set_recorder(nullptr);
+  instant("after");
+  EXPECT_EQ(recorder_instance.event_count(), 1u);
+}
+
+TEST(TraceRecorder, WriteProducesLoadableFile) {
+  TraceRecorder recorder;
+  recorder.instant("marker", "test");
+  const std::string path =
+      testing::TempDir() + "/mmlpt_trace_events_test.json";
+  recorder.write(path);
+
+  std::string text;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+    std::fclose(f);
+  }
+  EXPECT_TRUE(JsonValidator(text).valid()) << text;
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mmlpt::obs

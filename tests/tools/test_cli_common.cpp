@@ -61,16 +61,17 @@ TEST(UsageBlocks, FleetUsageListsEveryFlagExactlyOnce) {
   for (const char* flag :
        {"--jobs", "--window", "--pps", "--burst", "--merge-windows",
         "--pipeline-depth", "--transport", "--fsync", "--topology-cache",
-        "--stop-set"}) {
+        "--stop-set", "--metrics-out", "--trace-events"}) {
     const auto entry = std::string("\n  ") + flag;
     const auto first = usage.find(entry);
     ASSERT_NE(first, std::string::npos) << flag;
     EXPECT_EQ(usage.find(entry, first + 1), std::string::npos)
         << flag << " documented twice";
   }
-  // The trace-only block is the stop-set tail of the fleet block.
-  const auto stop_set = stop_set_options_usage();
-  EXPECT_EQ(usage.substr(usage.size() - stop_set.size()), stop_set);
+  // The trace-only blocks are the stop-set + observability tail of the
+  // fleet block.
+  const auto tail = stop_set_options_usage() + obs_options_usage();
+  EXPECT_EQ(usage.substr(usage.size() - tail.size()), tail);
 }
 
 TEST(StopSetOptionsParsing, DefaultsToFeatureOff) {
@@ -276,7 +277,7 @@ TEST(UsageBlocks, DaemonAndClientBlocksListEveryFlagExactlyOnce) {
        {"--socket", "--max-jobs N", "--max-jobs-per-tenant", "--tenant-pps",
         "--tenant-burst", "--queue"}},
       {client_options_usage(),
-       {"--socket", "--tenant", "--output", "--status",
+       {"--socket", "--tenant", "--output", "--status", "--metrics",
         "--cancel-after-lines"}},
   };
   for (const auto& block : blocks) {
@@ -289,6 +290,95 @@ TEST(UsageBlocks, DaemonAndClientBlocksListEveryFlagExactlyOnce) {
           << flag << " documented twice";
     }
   }
+}
+
+TEST(ObsOptionsParsing, DefaultsToDisabled) {
+  const auto options = parse_obs_options(make_flags({}));
+  EXPECT_TRUE(options.metrics_out.empty());
+  EXPECT_TRUE(options.trace_events.empty());
+  const auto enabled = parse_obs_options(make_flags(
+      {"--metrics-out", "m.prom", "--trace-events", "t.json"}));
+  EXPECT_EQ(enabled.metrics_out, "m.prom");
+  EXPECT_EQ(enabled.trace_events, "t.json");
+}
+
+TEST(ObsSession, InstallsAndClearsTheGlobalRecorder) {
+  ASSERT_EQ(obs::recorder(), nullptr);
+  {
+    ObsOptions options;
+    options.trace_events = "/tmp/mmlpt-cli-obs-" +
+                           std::to_string(::getpid()) + "-unwritten.json";
+    ObsSession session(std::move(options));
+    EXPECT_NE(obs::recorder(), nullptr);
+    // finish() was never called (the interrupt/throw path): the
+    // destructor must still clear the global pointer.
+  }
+  EXPECT_EQ(obs::recorder(), nullptr);
+
+  // No --trace-events: no recorder is ever installed.
+  ObsSession off{ObsOptions{}};
+  EXPECT_EQ(obs::recorder(), nullptr);
+}
+
+TEST(ObsSession, FinishWritesBothArtifacts) {
+  const auto base =
+      "/tmp/mmlpt-cli-obs-" + std::to_string(::getpid());
+  ObsOptions options;
+  options.metrics_out = base + ".prom";
+  options.trace_events = base + ".json";
+  {
+    ObsSession session(std::move(options));
+    session.registry()
+        .counter("mmlpt_test_probes_total", "test series")
+        ->add(7);
+    obs::instant("marker", "test");
+    session.finish();
+    EXPECT_EQ(obs::recorder(), nullptr);  // cleared before the write
+  }
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    return text;
+  };
+  const auto prom = slurp(base + ".prom");
+  EXPECT_NE(prom.find("mmlpt_test_probes_total 7\n"), std::string::npos);
+  const auto trace = slurp(base + ".json");
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"marker\""), std::string::npos);
+  std::remove((base + ".prom").c_str());
+  std::remove((base + ".json").c_str());
+}
+
+TEST(SummaryLine, PrintsOneJsonObjectListingNonZeroSeries) {
+  obs::MetricsRegistry registry;
+  registry
+      .counter("mmlpt_transport_probes_sent_total", "h",
+               {{"transport", "sim"}})
+      ->add(64);
+  (void)registry.counter("mmlpt_probe_retries_total", "h");  // stays 0
+
+  testing::internal::CaptureStderr();
+  SummaryLine("mmlpt_test")
+      .field("destinations", std::uint64_t{8})
+      .field("transport", "sim")
+      .metrics(registry)
+      .print();
+  const auto line = testing::internal::GetCapturedStderr();
+
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.substr(line.size() - 2), "}\n");
+  EXPECT_NE(line.find("\"tool\":\"mmlpt_test\""), std::string::npos);
+  EXPECT_NE(line.find("\"destinations\":8"), std::string::npos);
+  EXPECT_NE(line.find("\"transport\":\"sim\""), std::string::npos);
+  EXPECT_NE(line.find("\"mmlpt_transport_probes_sent_total"
+                      "{transport=\\\"sim\\\"}\":64"),
+            std::string::npos)
+      << line;
+  // Zero series are elided, not printed as noise.
+  EXPECT_EQ(line.find("mmlpt_probe_retries_total"), std::string::npos);
 }
 
 }  // namespace

@@ -9,16 +9,22 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/error.h"
 #include "common/flags.h"
+#include "common/json.h"
 #include "core/validation.h"
 #include "daemon/server.h"
 #include "net/ip_address.h"
+#include "obs/metrics.h"
+#include "obs/trace_events.h"
+#include "orchestrator/stop_set.h"
 #include "probe/transport_select.h"
 
 #ifndef MMLPT_GIT_DESCRIBE
@@ -126,6 +132,155 @@ inline StopSetOptions parse_stop_set_options(const Flags& flags) {
   }
   return options;
 }
+
+/// The observability flag pair shared by every tracing CLI. Both default
+/// off; neither changes a byte of the tool's primary output.
+struct ObsOptions {
+  /// --metrics-out F: write the Prometheus text exposition at exit.
+  std::string metrics_out;
+  /// --trace-events F: record spans/instants and write a Chrome
+  /// trace-event JSON document at exit.
+  std::string trace_events;
+};
+
+inline ObsOptions parse_obs_options(const Flags& flags) {
+  ObsOptions options;
+  options.metrics_out = flags.get("metrics-out", "");
+  options.trace_events = flags.get("trace-events", "");
+  return options;
+}
+
+/// One CLI run's observability lifecycle: owns the process registry the
+/// run's components register in, installs the global trace recorder when
+/// --trace-events asked for one, and writes both artifact files in
+/// finish(). Destruction clears the global recorder either way, so an
+/// exception path cannot leave a dangling pointer installed.
+class ObsSession {
+ public:
+  explicit ObsSession(ObsOptions options) : options_(std::move(options)) {
+    if (!options_.trace_events.empty()) {
+      recorder_ = std::make_unique<obs::TraceRecorder>();
+      obs::set_recorder(recorder_.get());
+    }
+  }
+
+  ~ObsSession() {
+    if (recorder_) obs::set_recorder(nullptr);
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  [[nodiscard]] obs::MetricsRegistry& registry() noexcept {
+    return registry_;
+  }
+
+  /// Write the --metrics-out and --trace-events files. Call after the
+  /// run's instrumented threads have joined (also fine after an
+  /// interrupt — partial artifacts beat none).
+  void finish() {
+    if (!options_.metrics_out.empty()) {
+      std::ofstream out(options_.metrics_out);
+      if (!out) {
+        throw SystemError("cannot open --metrics-out file: " +
+                          options_.metrics_out);
+      }
+      out << registry_.render();
+      if (!out) {
+        throw SystemError("cannot write --metrics-out file: " +
+                          options_.metrics_out);
+      }
+    }
+    if (recorder_) {
+      obs::set_recorder(nullptr);
+      recorder_->write(options_.trace_events);
+      recorder_.reset();
+    }
+  }
+
+ private:
+  ObsOptions options_;
+  obs::MetricsRegistry registry_;
+  std::unique_ptr<obs::TraceRecorder> recorder_;
+};
+
+/// Builder for the one machine-parsable JSON summary line the tracing
+/// CLIs print to stderr when a run completes — replacing the old ad-hoc
+/// printf summaries, which scripts had to parse three different ways.
+/// Shape:
+///   {"tool":...,<tool fields>,"stop_set":{...},"metrics":{...}}
+/// The stop_set object only appears when a topology cache was in use and
+/// the metrics object only lists non-zero scalar series, so quick runs
+/// stay one short line.
+class SummaryLine {
+ public:
+  explicit SummaryLine(const char* tool) {
+    w_.begin_object();
+    w_.key("tool");
+    w_.value(tool);
+  }
+
+  /// Tool-specific fields, appended in call order.
+  template <typename V>
+  SummaryLine& field(const char* name, V value) {
+    w_.key(name);
+    w_.value(value);
+    return *this;
+  }
+
+  /// The shared stop-set object (no-op when the session is inactive).
+  /// The union digest identifies the discovered topology regardless of
+  /// how discovery was split between cache and probing; the CI warm-run
+  /// gate compares it across runs.
+  SummaryLine& stop_set(const orchestrator::StopSetSession& session,
+                        std::uint64_t probes_saved,
+                        std::uint64_t traces_stopped) {
+    const auto* set = session.stop_set();
+    if (set == nullptr) return *this;
+    w_.key("stop_set");
+    w_.begin_object();
+    w_.key("consulted");
+    w_.value(session.consult());
+    w_.key("visible_hops");
+    w_.value(static_cast<std::uint64_t>(set->visible_hop_count()));
+    w_.key("pending_hops");
+    w_.value(static_cast<std::uint64_t>(set->pending_hop_count()));
+    w_.key("probes_saved");
+    w_.value(probes_saved);
+    w_.key("traces_stopped");
+    w_.value(traces_stopped);
+    char digest[17];
+    std::snprintf(digest, sizeof digest, "%016llx",
+                  static_cast<unsigned long long>(set->union_digest()));
+    w_.key("union_digest");
+    w_.value(digest);
+    w_.end_object();
+    return *this;
+  }
+
+  /// The non-zero counter/gauge series of `registry`, keyed by canonical
+  /// series name (name{label="v"}).
+  SummaryLine& metrics(const obs::MetricsRegistry& registry) {
+    w_.key("metrics");
+    w_.begin_object();
+    for (const auto& [name, value] : registry.scalar_snapshot()) {
+      if (value == 0) continue;
+      w_.key(name);
+      w_.value(static_cast<std::int64_t>(value));
+    }
+    w_.end_object();
+    return *this;
+  }
+
+  /// Close the object and print the line to stderr.
+  void print() {
+    w_.end_object();
+    std::fprintf(stderr, "%s\n", w_.view().c_str());
+  }
+
+ private:
+  JsonWriter w_;
+};
 
 /// The fleet flag block shared by mmlpt_survey and mmlpt_fleet. Every
 /// field is validated here so the three CLIs cannot drift apart.
@@ -323,6 +478,23 @@ inline std::span<const OptionSpec> stop_set_option_table() {
   return table;
 }
 
+/// The observability flag pair (--metrics-out/--trace-events).
+inline std::span<const OptionSpec> obs_option_table() {
+  static const OptionSpec table[] = {
+      {"--metrics-out F",
+       "write the run's Prometheus-text metrics\n"
+       "(transport, rate limiter, hub, stop set) to F\n"
+       "at exit. Primary output is unchanged"},
+      {"--trace-events F",
+       "record window/burst spans and per-hop RTT\n"
+       "instants; write a Chrome trace-event JSON\n"
+       "document to F at exit (load it in\n"
+       "chrome://tracing or Perfetto). Primary output\n"
+       "is unchanged"},
+  };
+  return table;
+}
+
 /// The fleet-job spec flag block (mmlpt_fleet's trace flags, reused
 /// verbatim by mmlpt_client so daemon jobs mean what standalone runs
 /// mean).
@@ -381,6 +553,9 @@ inline std::span<const OptionSpec> client_option_table() {
       {"--status",
        "print the daemon's machine-parsable status\n"
        "JSON and exit (no job is submitted)"},
+      {"--metrics",
+       "print the daemon's Prometheus-text metrics\n"
+       "exposition and exit (no job is submitted)"},
       {"--cancel-after-lines N",
        "send a cancel after N result lines (testing\n"
        "and demos; default 0 = never)"},
@@ -393,11 +568,17 @@ inline std::string stop_set_options_usage() {
   return format_option_block(stop_set_option_table());
 }
 
-/// Usage text for the full shared fleet flag block, stop-set flags
-/// included (mmlpt_survey, mmlpt_fleet).
+/// Usage text for the observability flags (every tracing CLI).
+inline std::string obs_options_usage() {
+  return format_option_block(obs_option_table());
+}
+
+/// Usage text for the full shared fleet flag block, stop-set and
+/// observability flags included (mmlpt_survey, mmlpt_fleet).
 inline std::string fleet_options_usage() {
   return format_option_block(fleet_option_table()) +
-         format_option_block(stop_set_option_table());
+         format_option_block(stop_set_option_table()) +
+         format_option_block(obs_option_table());
 }
 
 /// Usage text for the fleet-job spec block (mmlpt_client).

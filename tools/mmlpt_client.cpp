@@ -25,6 +25,7 @@ constexpr const char kUsagePrefix[] =
     "\n"
     "  mmlpt_client --socket /tmp/mmlptd.sock --routes 64 --seed 7\n"
     "  mmlpt_client --socket /tmp/mmlptd.sock --status\n"
+    "  mmlpt_client --socket /tmp/mmlptd.sock --metrics\n"
     "\n"
     "Submits one trace job to a running mmlptd and streams the JSONL\n"
     "result lines — byte-identical to `mmlpt_fleet --jobs 1` with the\n"
@@ -69,6 +70,13 @@ int run_client(const Flags& flags) {
 
   if (flags.get_bool("status", false)) {
     std::printf("%s\n", client.server_status().c_str());
+    return 0;
+  }
+
+  if (flags.get_bool("metrics", false)) {
+    // Prometheus text straight from the daemon's registry — what a
+    // scrape job or an operator's curl-over-socat would ingest.
+    std::fputs(client.metrics().c_str(), stdout);
     return 0;
   }
 

@@ -67,9 +67,11 @@ constexpr const char kUsageSuffix[] =
     "  --output FILE        JSONL destination (default stdout)\n"
     "  --version            print version and exit\n"
     "\n"
-    "A summary line (destinations, packets, wall seconds, effective pps)\n"
-    "goes to stderr when done; with --topology-cache a second stop-set\n"
-    "line reports cache size, discoveries, savings and the union digest.\n";
+    "One machine-parsable JSON summary line goes to stderr when done:\n"
+    "  {\"tool\":\"mmlpt_fleet\",\"destinations\":..,\"packets\":..,\n"
+    "   \"stop_set\":{..,\"union_digest\":\"..\"},\"metrics\":{..}}\n"
+    "The stop_set object appears with --topology-cache; the metrics\n"
+    "object lists the run's non-zero counters from the registry.\n";
 
 void print_usage() {
   std::fputs(kUsagePrefix, stdout);
@@ -113,8 +115,11 @@ int run_fleet(const Flags& flags) {
   }
   orchestrator::ResultSink sink(*out, sink_options);
 
+  tools::ObsSession obs(tools::parse_obs_options(flags));
+  fleet_config.metrics = &obs.registry();
   orchestrator::StopSetSession stop_set_session(
       fleet_options.stop_set.topology_cache, fleet_options.stop_set.consult);
+  stop_set_session.instrument(obs.registry());
   const fakeroute::SimConfig sim_config;
   orchestrator::FleetScheduler fleet(fleet_config);
 
@@ -153,36 +158,36 @@ int run_fleet(const Flags& flags) {
                  "flushed\n",
                  shutdown.signal());
     stop_set_session.flush();
+    obs.finish();  // partial artifacts beat none
     return shutdown.exit_code();
   }
-  std::fprintf(
-      stderr,
-      "mmlpt_fleet: %zu destinations (%llu reached), %llu packets, "
-      "%llu diamonds (%llu distinct), %.2fs wall, %.0f pkt/s, jobs=%d, "
-      "transport=%s, pipeline_depth=%d\n",
-      count, static_cast<unsigned long long>(counters.reached),
-      static_cast<unsigned long long>(counters.packets),
-      static_cast<unsigned long long>(counters.diamonds),
-      static_cast<unsigned long long>(counters.distinct_diamonds),
-      elapsed.count(),
-      elapsed.count() > 0
-          ? static_cast<double>(counters.packets) / elapsed.count()
-          : 0.0,
-      fleet_config.jobs,
-      std::string(probe::resolved_transport_name(fleet_options.transport))
-          .c_str(),
-      fleet_config.pipeline_depth);
-  if (const auto* stop_set = stop_set_session.stop_set()) {
-    // Machine-parsable (the CI warm-cache gate greps these key=value
-    // pairs); the digest identifies the discovered topology regardless
-    // of how discovery was split between cache and probing.
-    std::fprintf(stderr, "mmlpt_fleet: %s\n",
-                 daemon::stop_set_summary_text(
-                     *stop_set, counters.probes_saved_by_stop_set,
-                     counters.traces_stopped)
-                     .c_str());
-  }
+  // One machine-parsable summary line (the CI warm-cache gate greps the
+  // stop_set fields; the union digest identifies the discovered topology
+  // regardless of how discovery was split between cache and probing).
+  tools::SummaryLine(
+      "mmlpt_fleet")
+      .field("destinations", static_cast<std::uint64_t>(count))
+      .field("reached", counters.reached)
+      .field("packets", counters.packets)
+      .field("diamonds", counters.diamonds)
+      .field("distinct_diamonds", counters.distinct_diamonds)
+      .field("wall_seconds", elapsed.count())
+      .field("pps",
+             elapsed.count() > 0
+                 ? static_cast<double>(counters.packets) / elapsed.count()
+                 : 0.0)
+      .field("jobs", static_cast<std::int64_t>(fleet_config.jobs))
+      .field("transport",
+             std::string(
+                 probe::resolved_transport_name(fleet_options.transport)))
+      .field("pipeline_depth",
+             static_cast<std::int64_t>(fleet_config.pipeline_depth))
+      .stop_set(stop_set_session, counters.probes_saved_by_stop_set,
+                counters.traces_stopped)
+      .metrics(obs.registry())
+      .print();
   stop_set_session.flush();
+  obs.finish();
   return 0;
 }
 

@@ -158,6 +158,9 @@ int run_ip(const Flags& flags, JsonWriter& w) {
   orchestrator::StopSetSession stop_set_session(
       fleet_options.stop_set.topology_cache, fleet_options.stop_set.consult);
   stop_set_session.configure(config.trace);
+  tools::ObsSession obs(tools::parse_obs_options(flags));
+  stop_set_session.instrument(obs.registry());
+  config.metrics = &obs.registry();
   const auto output = make_output(flags);
   SignalCancelScope cancel_scope;
   config.cancel = &cancel_scope.token;
@@ -165,10 +168,23 @@ int run_ip(const Flags& flags, JsonWriter& w) {
   try {
     maybe = survey::run_ip_survey(config, output ? &*output->sink : nullptr);
   } catch (const probe::CanceledError&) {
+    obs.finish();  // partial artifacts beat none
     return finish_interrupted(cancel_scope, output.get(), stop_set_session);
   }
   const auto& result = *maybe;
   stop_set_session.flush();
+  tools::SummaryLine("mmlpt_survey")
+      .field("mode", "ip_survey")
+      .field("transport",
+             std::string(
+                 probe::resolved_transport_name(fleet_options.transport)))
+      .field("routes", result.routes_traced)
+      .field("packets", result.total_packets)
+      .stop_set(stop_set_session, result.probes_saved_by_stop_set,
+                result.traces_stopped)
+      .metrics(obs.registry())
+      .print();
+  obs.finish();
 
   w.begin_object();
   w.key("mode");
@@ -219,7 +235,7 @@ int run_evaluation(const Flags& flags, JsonWriter& w) {
   for (const char* flag :
        {"jobs", "pps", "burst", "output", "window", "family",
         "merge-windows", "pipeline-depth", "transport", "fsync",
-        "stop-set", "topology-cache"}) {
+        "stop-set", "topology-cache", "metrics-out", "trace-events"}) {
     if (flags.has(flag)) {
       std::fprintf(stderr,
                    "mmlpt_survey: --%s is ignored in evaluation mode\n",
@@ -274,6 +290,9 @@ int run_router(const Flags& flags, JsonWriter& w) {
   orchestrator::StopSetSession stop_set_session(
       fleet_options.stop_set.topology_cache, fleet_options.stop_set.consult);
   stop_set_session.configure(config.multilevel.trace);
+  tools::ObsSession obs(tools::parse_obs_options(flags));
+  stop_set_session.instrument(obs.registry());
+  config.metrics = &obs.registry();
   const auto output = make_output(flags);
   SignalCancelScope cancel_scope;
   config.cancel = &cancel_scope.token;
@@ -282,10 +301,23 @@ int run_router(const Flags& flags, JsonWriter& w) {
     maybe =
         survey::run_router_survey(config, output ? &*output->sink : nullptr);
   } catch (const probe::CanceledError&) {
+    obs.finish();  // partial artifacts beat none
     return finish_interrupted(cancel_scope, output.get(), stop_set_session);
   }
   const auto& result = *maybe;
   stop_set_session.flush();
+  tools::SummaryLine("mmlpt_survey")
+      .field("mode", "router_survey")
+      .field("transport",
+             std::string(
+                 probe::resolved_transport_name(fleet_options.transport)))
+      .field("routes", result.routes_traced)
+      .field("packets", result.total_packets)
+      .stop_set(stop_set_session, result.probes_saved_by_stop_set,
+                result.traces_stopped)
+      .metrics(obs.registry())
+      .print();
+  obs.finish();
 
   w.begin_object();
   w.key("mode");

@@ -70,7 +70,8 @@ constexpr const char kUsage[] =
     "                                source)\n"
     "  --transport T                 auto | poll | uring backend for\n"
     "                                --real (default auto; the resolved\n"
-    "                                choice is echoed on stderr)\n";
+    "                                choice is echoed in the JSON summary\n"
+    "                                line on stderr)\n";
 
 constexpr const char kUsageSuffix[] =
     "  --version            print version and exit\n";
@@ -78,6 +79,7 @@ constexpr const char kUsageSuffix[] =
 void print_usage() {
   std::fputs(kUsage, stdout);
   std::fputs(tools::stop_set_options_usage().c_str(), stdout);
+  std::fputs(tools::obs_options_usage().c_str(), stdout);
   std::fputs(kUsageSuffix, stdout);
 }
 
@@ -192,6 +194,8 @@ int run(const Flags& flags) {
   orchestrator::StopSetSession stop_set_session(
       stop_set_options.topology_cache, stop_set_options.consult);
   stop_set_session.configure(trace_config);
+  tools::ObsSession obs(tools::parse_obs_options(flags));
+  stop_set_session.instrument(obs.registry());
 
   const auto algorithm_name = flags.get("algorithm", "lite");
   core::Algorithm algorithm = core::Algorithm::kMdaLite;
@@ -228,11 +232,8 @@ int run(const Flags& flags) {
                         "(IPv6 raw probes carry the crafted source)");
     }
     network = probe::make_transport(
-        transport, family,
-        probe::RawSocketNetwork::Config{}.reply_timeout);
-    std::fprintf(stderr, "mmlpt_trace: transport=%s\n",
-                 std::string(probe::resolved_transport_name(transport))
-                     .c_str());
+        transport, family, probe::RawSocketNetwork::Config{}.reply_timeout,
+        &obs.registry());
   } else {
     truth = load_ground_truth(flags, family);
     simulator = std::make_unique<fakeroute::Simulator>(
@@ -241,7 +242,25 @@ int run(const Flags& flags) {
     engine_config.source = truth.source;
     engine_config.destination = truth.destination;
   }
+  engine_config.metrics = &obs.registry();
   probe::ProbeEngine engine(*network, engine_config);
+
+  // The shared machine-parsable summary (replaces the old bare
+  // "transport=..." stderr echo): transport choice, packet count, the
+  // stop-set object when a cache is in use, and non-zero counters.
+  const bool real = flags.get_bool("real", false);
+  const auto print_summary = [&](std::uint64_t packets,
+                                 std::uint64_t probes_saved,
+                                 std::uint64_t traces_stopped) {
+    tools::SummaryLine("mmlpt_trace")
+        .field("transport",
+               real ? std::string(probe::resolved_transport_name(transport))
+                    : std::string("sim"))
+        .field("packets", packets)
+        .stop_set(stop_set_session, probes_saved, traces_stopped)
+        .metrics(obs.registry())
+        .print();
+  };
 
   if (flags.get_bool("multilevel", false)) {
     core::MultilevelConfig config;
@@ -254,7 +273,11 @@ int run(const Flags& flags) {
     } else {
       print_text_multilevel(result);
     }
+    print_summary(result.total_packets,
+                  result.trace.probes_saved_by_stop_set,
+                  result.trace.stopped_on_hit ? 1 : 0);
     stop_set_session.flush();
+    obs.finish();
     return 0;
   }
 
@@ -275,7 +298,10 @@ int run(const Flags& flags) {
   } else {
     print_text_trace(result);
   }
+  print_summary(result.packets, result.probes_saved_by_stop_set,
+                result.stopped_on_hit ? 1 : 0);
   stop_set_session.flush();
+  obs.finish();
   return 0;
 }
 

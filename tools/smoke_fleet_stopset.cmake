@@ -25,6 +25,6 @@ execute_process(
 if(NOT warm_rc EQUAL 0)
   message(FATAL_ERROR "warm --stop-set fleet run failed (${warm_rc})")
 endif()
-if(NOT warm_stderr MATCHES "stop-set visible_hops=")
+if(NOT warm_stderr MATCHES "\"visible_hops\":")
   message(FATAL_ERROR "warm run printed no stop-set summary: ${warm_stderr}")
 endif()
