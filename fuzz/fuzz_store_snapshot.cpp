@@ -1,0 +1,44 @@
+// Fuzz target for the topology-store block codec
+// (src/store/topology_store.*).
+//
+// The input is one block payload as it would sit on disk after the
+// length/CRC framing already checked out — exactly what decode_snapshot
+// receives from TopologyStore::load. Contract under fuzzing:
+//
+//   * decode_snapshot either returns a snapshot or throws ParseError
+//     (bad family tag, short buffer, trailing bytes); nothing else —
+//     hostile counts must not drive allocation past the payload size;
+//   * encode(decode(payload)) decodes back to the same snapshot
+//     (round-trip stability for accepted payloads).
+//
+// Built as a libFuzzer target under clang and as a standalone corpus
+// replayer everywhere else — see fuzz/CMakeLists.txt.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/error.h"
+#include "store/topology_store.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view payload(reinterpret_cast<const char*>(data), size);
+  mmlpt::store::TopologySnapshot snapshot;
+  try {
+    snapshot = mmlpt::store::decode_snapshot(payload);
+  } catch (const mmlpt::ParseError&) {
+    return 0;  // expected for malformed payloads
+  }
+  const std::string encoded = mmlpt::store::encode_snapshot(snapshot);
+  const auto redecoded = mmlpt::store::decode_snapshot(encoded);
+  if (!(redecoded.hops == snapshot.hops) ||
+      !(redecoded.destinations == snapshot.destinations)) {
+    __builtin_trap();
+  }
+  return 0;
+}
+
+#ifndef MMLPT_FUZZ_LIBFUZZER
+#include "replay_main.inc"
+#endif

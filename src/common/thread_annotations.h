@@ -1,0 +1,69 @@
+#ifndef MMLPT_COMMON_THREAD_ANNOTATIONS_H
+#define MMLPT_COMMON_THREAD_ANNOTATIONS_H
+
+// Clang Thread Safety Analysis attribute macros.
+//
+// Under clang (with -Wthread-safety, see the MMLPT_THREAD_SAFETY CMake
+// option) these expand to the static-analysis attributes that let the
+// compiler prove lock discipline at build time: which fields a mutex
+// guards, which functions must be called with it held, and which
+// functions acquire or release it.  Under other compilers every macro
+// expands to nothing, so annotated code stays portable.
+//
+// The annotations are declarations, not synchronization: they change
+// nothing at runtime.  Pair them with the mmlpt::Mutex wrappers in
+// common/mutex.h, which carry the CAPABILITY attributes the analysis
+// keys off.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define MMLPT_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+
+#ifndef MMLPT_THREAD_ANNOTATION
+#define MMLPT_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+// A type that acts as a lockable capability (e.g. a mutex).
+#define MMLPT_CAPABILITY(x) MMLPT_THREAD_ANNOTATION(capability(x))
+
+// A RAII type whose lifetime acquires/releases a capability.
+#define MMLPT_SCOPED_CAPABILITY MMLPT_THREAD_ANNOTATION(scoped_lockable)
+
+// Data member readable/writable only with the given capability held.
+#define MMLPT_GUARDED_BY(x) MMLPT_THREAD_ANNOTATION(guarded_by(x))
+
+// Pointer member whose *pointee* is guarded by the given capability.
+#define MMLPT_PT_GUARDED_BY(x) MMLPT_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function that must be entered with the capability held (and exits
+// with it still held).
+#define MMLPT_REQUIRES(...) \
+  MMLPT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+// Function that acquires the capability (must enter without it held).
+#define MMLPT_ACQUIRE(...) \
+  MMLPT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+// Function that releases the capability (must enter with it held).
+#define MMLPT_RELEASE(...) \
+  MMLPT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+// Function that acquires the capability iff it returns the given value.
+#define MMLPT_TRY_ACQUIRE(...) \
+  MMLPT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// Function that must be entered with the capability NOT held.
+#define MMLPT_EXCLUDES(...) MMLPT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Return value is a reference to a value guarded by the capability.
+#define MMLPT_RETURN_CAPABILITY(x) MMLPT_THREAD_ANNOTATION(lock_returned(x))
+
+// Opt a function out of the analysis.  Use ONLY with a comment
+// explaining why the locking pattern is beyond the analysis (e.g.
+// conditional or hand-off locking) and what discipline it follows.
+#define MMLPT_NO_THREAD_SAFETY_ANALYSIS \
+  MMLPT_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // MMLPT_COMMON_THREAD_ANNOTATIONS_H

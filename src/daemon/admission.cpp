@@ -9,7 +9,7 @@ AdmissionController::AdmissionController(AdmissionLimits limits)
     : limits_(limits) {}
 
 AdmissionTicket AdmissionController::try_admit(const std::string& tenant) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   TenantRecord& record = tenants_[tenant];
   AdmissionTicket ticket;
   if (limits_.max_jobs_total > 0 && active_total_ >= limits_.max_jobs_total) {
@@ -46,7 +46,7 @@ AdmissionTicket AdmissionController::try_admit(const std::string& tenant) {
 }
 
 void AdmissionController::release(const std::string& tenant) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = tenants_.find(tenant);
   if (it == tenants_.end() || it->second.active <= 0) return;
   --it->second.active;
@@ -55,7 +55,7 @@ void AdmissionController::release(const std::string& tenant) {
 }
 
 void AdmissionController::instrument(obs::MetricsRegistry& registry) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   registry_ = &registry;
   admitted_counter_ =
       registry.counter("mmlpt_admission_jobs_admitted_total",
@@ -78,17 +78,17 @@ void AdmissionController::instrument(obs::MetricsRegistry& registry) {
 }
 
 int AdmissionController::jobs_active() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return active_total_;
 }
 
 std::uint64_t AdmissionController::jobs_admitted() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return admitted_total_;
 }
 
 std::uint64_t AdmissionController::jobs_rejected() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return rejected_total_;
 }
 
@@ -99,7 +99,7 @@ std::string AdmissionController::status_json() const {
 }
 
 void AdmissionController::write_status(JsonWriter& w) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   w.begin_object();
   w.key("jobs_active");
   w.value(static_cast<std::int64_t>(active_total_));

@@ -17,9 +17,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "orchestrator/rate_limiter.h"
 
 namespace mmlpt {
@@ -99,17 +100,20 @@ class AdmissionController {
   };
 
   AdmissionLimits limits_;
-  mutable std::mutex mutex_;
-  std::map<std::string, TenantRecord> tenants_;  // ordered: stable JSON
-  int active_total_ = 0;
-  std::uint64_t admitted_total_ = 0;
-  std::uint64_t rejected_total_ = 0;
+  mutable Mutex mutex_;
+  /// Ordered so status JSON is stable. Lock order: mutex_ may be held
+  /// while taking a tenant limiter's internal mutex (write_status reads
+  /// granted()); never the reverse.
+  std::map<std::string, TenantRecord> tenants_ MMLPT_GUARDED_BY(mutex_);
+  int active_total_ MMLPT_GUARDED_BY(mutex_) = 0;
+  std::uint64_t admitted_total_ MMLPT_GUARDED_BY(mutex_) = 0;
+  std::uint64_t rejected_total_ MMLPT_GUARDED_BY(mutex_) = 0;
 
   /// Null until instrument(); the mutex above guards these too.
-  obs::MetricsRegistry* registry_ = nullptr;
-  obs::Counter* admitted_counter_ = nullptr;
-  obs::Counter* rejected_counter_ = nullptr;
-  obs::Gauge* active_gauge_ = nullptr;
+  obs::MetricsRegistry* registry_ MMLPT_GUARDED_BY(mutex_) = nullptr;
+  obs::Counter* admitted_counter_ MMLPT_GUARDED_BY(mutex_) = nullptr;
+  obs::Counter* rejected_counter_ MMLPT_GUARDED_BY(mutex_) = nullptr;
+  obs::Gauge* active_gauge_ MMLPT_GUARDED_BY(mutex_) = nullptr;
 };
 
 }  // namespace mmlpt::daemon

@@ -1,7 +1,6 @@
 #include "daemon/server.h"
 
 #include <cerrno>
-#include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <utility>
@@ -14,6 +13,8 @@
 
 #include "common/error.h"
 #include "common/json.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "daemon/frame_io.h"
 
 namespace mmlpt::daemon {
@@ -154,7 +155,7 @@ class Daemon::Connection {
   void enqueue_job(JobRequest request) {
     std::optional<JobStatus> refusal;
     {
-      std::lock_guard<std::mutex> lock(job_mutex_);
+      const MutexLock lock(job_mutex_);
       const auto queued = static_cast<int>(queue_.size());
       if (worker_stop_) {
         refusal = JobStatus{request.job_id, JobOutcome::kRejected,
@@ -182,7 +183,7 @@ class Daemon::Connection {
   void cancel_job(std::uint64_t job_id) {
     bool canceled_queued = false;
     {
-      std::lock_guard<std::mutex> lock(job_mutex_);
+      const MutexLock lock(job_mutex_);
       if (job_active_ && active_job_id_ == job_id) {
         active_cancel_->request();
         return;
@@ -207,9 +208,8 @@ class Daemon::Connection {
     for (;;) {
       JobRequest request;
       {
-        std::unique_lock<std::mutex> lock(job_mutex_);
-        job_cv_.wait(lock,
-                     [this] { return worker_stop_ || !queue_.empty(); });
+        MutexLock lock(job_mutex_);
+        while (!worker_stop_ && queue_.empty()) job_cv_.wait(job_mutex_);
         if (worker_stop_) break;  // queue was cleared by stop_worker
         request = std::move(queue_.front());
         queue_.pop_front();
@@ -228,10 +228,12 @@ class Daemon::Connection {
     }
     auto cancel = std::make_shared<probe::CancelToken>();
     {
-      std::lock_guard<std::mutex> lock(job_mutex_);
+      const MutexLock lock(job_mutex_);
       job_active_ = true;
       active_job_id_ = request.job_id;
       active_cancel_ = cancel;
+      // relaxed: latched flag; CancelToken::request carries its own
+      // synchronization, and a missed read here is caught by send().
       if (peer_gone_.load(std::memory_order_relaxed)) cancel->request();
     }
 
@@ -282,7 +284,7 @@ class Daemon::Connection {
 
     daemon_.admission_.release(tenant_);
     {
-      std::lock_guard<std::mutex> lock(job_mutex_);
+      const MutexLock lock(job_mutex_);
       job_active_ = false;
       active_cancel_.reset();
     }
@@ -296,10 +298,12 @@ class Daemon::Connection {
   void stop_worker(bool peer_disconnected) {
     std::vector<std::uint64_t> dropped;
     {
-      std::lock_guard<std::mutex> lock(job_mutex_);
+      const MutexLock lock(job_mutex_);
       for (const auto& queued : queue_) dropped.push_back(queued.job_id);
       queue_.clear();
       if (peer_disconnected) {
+        // relaxed: latched flag; readers only use it to suppress writes
+        // to a peer that is already gone, so no ordering is needed.
         peer_gone_.store(true, std::memory_order_relaxed);
         if (active_cancel_) active_cancel_->request();
       }
@@ -321,13 +325,16 @@ class Daemon::Connection {
   /// the peer vanished) latches peer_gone_ and fires the active job's
   /// cancel token; later sends are silently dropped.
   void send(const Frame& frame) {
-    std::lock_guard<std::mutex> lock(write_mutex_);
+    const MutexLock lock(write_mutex_);
+    // relaxed (both sites): latched flag; the only consequence of a
+    // stale read is one extra write attempt, which re-latches it.
     if (peer_gone_.load(std::memory_order_relaxed)) return;
     try {
       write_frame(fd_, frame);
     } catch (const std::exception&) {
+      // relaxed: latching the same flag as above.
       peer_gone_.store(true, std::memory_order_relaxed);
-      std::lock_guard<std::mutex> job_lock(job_mutex_);
+      const MutexLock job_lock(job_mutex_);
       if (active_cancel_) active_cancel_->request();
     }
   }
@@ -340,18 +347,19 @@ class Daemon::Connection {
   std::atomic<bool> finished_{false};
   std::atomic<bool> peer_gone_{false};
 
-  std::mutex write_mutex_;  ///< serializes write_frame on fd_
+  Mutex write_mutex_;  ///< serializes write_frame on fd_
 
   // Job state: one running job + a bounded queue, guarded by job_mutex_.
   // Lock order: write_mutex_ before job_mutex_ (see send()); never the
   // reverse — every status send happens with job_mutex_ released.
-  std::mutex job_mutex_;
-  std::condition_variable job_cv_;
-  std::deque<JobRequest> queue_;
-  bool worker_stop_ = false;
-  bool job_active_ = false;
-  std::uint64_t active_job_id_ = 0;
-  std::shared_ptr<probe::CancelToken> active_cancel_;
+  Mutex job_mutex_;
+  CondVar job_cv_;
+  std::deque<JobRequest> queue_ MMLPT_GUARDED_BY(job_mutex_);
+  bool worker_stop_ MMLPT_GUARDED_BY(job_mutex_) = false;
+  bool job_active_ MMLPT_GUARDED_BY(job_mutex_) = false;
+  std::uint64_t active_job_id_ MMLPT_GUARDED_BY(job_mutex_) = 0;
+  std::shared_ptr<probe::CancelToken> active_cancel_
+      MMLPT_GUARDED_BY(job_mutex_);
   std::thread worker_;
 };
 
@@ -392,6 +400,8 @@ Daemon::Daemon(DaemonConfig config)
 Daemon::~Daemon() { stop(); }
 
 void Daemon::start() {
+  // relaxed: single-caller idempotence check; thread visibility comes
+  // from the thread spawn below, not this flag.
   if (running_.load(std::memory_order_relaxed)) return;
   if (config_.socket_path.empty()) {
     throw ConfigError("mmlptd needs a socket path");
@@ -433,6 +443,8 @@ void Daemon::start() {
     throw SystemError(std::string("cannot listen: ") + std::strerror(err));
   }
 
+  // relaxed: advisory liveness flag (see running()); the accept thread
+  // synchronizes through its own spawn.
   running_.store(true, std::memory_order_relaxed);
   accept_thread_ = std::thread(&Daemon::accept_loop, this);
 }
@@ -454,7 +466,7 @@ void Daemon::accept_loop() {
       break;
     }
     set_cloexec(client);
-    std::lock_guard<std::mutex> lock(connections_mutex_);
+    const MutexLock lock(connections_mutex_);
     reap_finished_connections();
     connections_.push_back(std::make_unique<Connection>(*this, client));
     ++connections_accepted_;
@@ -463,7 +475,6 @@ void Daemon::accept_loop() {
 }
 
 void Daemon::reap_finished_connections() {
-  // connections_mutex_ held by the caller.
   for (auto it = connections_.begin(); it != connections_.end();) {
     if ((*it)->finished()) {
       (*it)->join();
@@ -475,6 +486,8 @@ void Daemon::reap_finished_connections() {
 }
 
 void Daemon::stop() {
+  // relaxed: the exchange only arbitrates which caller runs the
+  // shutdown; all teardown ordering comes from the pipe write + joins.
   if (!running_.exchange(false, std::memory_order_relaxed)) return;
   // One byte on the never-drained pipe wakes the accept loop and every
   // connection poller, level-triggered.
@@ -489,7 +502,7 @@ void Daemon::stop() {
   {
     // Drain: connection threads finish their RUNNING jobs, drop queued
     // ones, and exit; join them all.
-    std::lock_guard<std::mutex> lock(connections_mutex_);
+    const MutexLock lock(connections_mutex_);
     for (auto& connection : connections_) connection->join();
     connections_.clear();
   }
@@ -512,7 +525,7 @@ std::string Daemon::status_json() const {
   w.key("socket");
   w.value(config_.socket_path);
   {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
+    const MutexLock lock(connections_mutex_);
     std::size_t active = 0;
     for (const auto& connection : connections_) {
       if (!connection->finished()) ++active;

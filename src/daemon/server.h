@@ -31,11 +31,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "daemon/admission.h"
 #include "daemon/fleet_job.h"
 #include "daemon/protocol.h"
@@ -79,6 +80,8 @@ class Daemon {
   void stop();
 
   [[nodiscard]] bool running() const noexcept {
+    // relaxed: advisory liveness flag; start()/stop() synchronize with
+    // the worker threads through join and the shutdown pipe, not here.
     return running_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] const DaemonConfig& config() const noexcept { return config_; }
@@ -93,7 +96,7 @@ class Daemon {
   class Connection;
 
   void accept_loop();
-  void reap_finished_connections();
+  void reap_finished_connections() MMLPT_REQUIRES(connections_mutex_);
 
   DaemonConfig config_;
   /// Declared before fleet_: the scheduler (and everything it builds)
@@ -115,9 +118,11 @@ class Daemon {
   int shutdown_pipe_[2] = {-1, -1};  ///< [read, write]; never drained
   std::thread accept_thread_;
 
-  mutable std::mutex connections_mutex_;
-  std::vector<std::unique_ptr<Connection>> connections_;
-  std::uint64_t connections_accepted_ = 0;
+  mutable Mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_
+      MMLPT_GUARDED_BY(connections_mutex_);
+  std::uint64_t connections_accepted_ MMLPT_GUARDED_BY(connections_mutex_) =
+      0;
 };
 
 }  // namespace mmlpt::daemon

@@ -24,6 +24,9 @@ extern "C" void handle_shutdown_signal(int sig) {
     _exit(128 + sig);
   }
   g_signal = sig;
+  // relaxed: the pointer is published by link() before signals are
+  // expected (program order on the main thread); only atomicity of the
+  // read matters inside the handler.
   if (auto* token = g_token.load(std::memory_order_relaxed)) {
     token->request();  // relaxed atomic store: async-signal-safe
   }
@@ -70,6 +73,9 @@ int ShutdownSignal::exit_code() const noexcept {
 int ShutdownSignal::fd() const noexcept { return g_pipe_read; }
 
 void ShutdownSignal::link(probe::CancelToken* token) noexcept {
+  // relaxed: called before signals are expected; the handler needs only
+  // an atomic read of the pointer, and the token object itself is
+  // immortal for the link's duration.
   g_token.store(token, std::memory_order_relaxed);
 }
 

@@ -43,6 +43,8 @@ std::string format_double(double v) {
 
 std::size_t Counter::stripe() noexcept {
   static std::atomic<std::size_t> next{0};
+  // relaxed: only uniqueness of the handed-out index matters, nothing is
+  // published through it.
   thread_local const std::size_t index =
       next.fetch_add(1, std::memory_order_relaxed);
   return index & (kStripes - 1);
@@ -68,6 +70,7 @@ void Histogram::observe(double v) noexcept {
       break;
     }
   }
+  // relaxed: pure statistics, no other data is published through them.
   buckets_[bucket]->fetch_add(1, std::memory_order_relaxed);
   sum_nanos_.fetch_add(static_cast<std::int64_t>(std::llround(v * 1e9)),
                        std::memory_order_relaxed);
@@ -77,6 +80,7 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
   std::vector<std::uint64_t> counts;
   counts.reserve(buckets_.size());
   for (const auto& bucket : buckets_) {
+    // relaxed: racy-read snapshot by contract.
     counts.push_back(bucket->load(std::memory_order_relaxed));
   }
   return counts;
@@ -85,6 +89,7 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
 std::uint64_t Histogram::count() const noexcept {
   std::uint64_t total = 0;
   for (const auto& bucket : buckets_) {
+    // relaxed: racy-read snapshot by contract.
     total += bucket->load(std::memory_order_relaxed);
   }
   return total;
@@ -129,7 +134,7 @@ MetricsRegistry::Series* MetricsRegistry::find_or_add_locked(
 
 Counter* MetricsRegistry::counter(const std::string& name,
                                   const std::string& help, Labels labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Series* series =
       find_or_add_locked(name, help, Kind::kCounter, std::move(labels));
   if (!series->counter) series->counter = std::make_unique<Counter>();
@@ -138,7 +143,7 @@ Counter* MetricsRegistry::counter(const std::string& name,
 
 Gauge* MetricsRegistry::gauge(const std::string& name,
                               const std::string& help, Labels labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Series* series =
       find_or_add_locked(name, help, Kind::kGauge, std::move(labels));
   if (!series->gauge) series->gauge = std::make_unique<Gauge>();
@@ -149,7 +154,7 @@ Histogram* MetricsRegistry::histogram(const std::string& name,
                                       const std::string& help,
                                       std::vector<double> bounds,
                                       Labels labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Series* series =
       find_or_add_locked(name, help, Kind::kHistogram, std::move(labels));
   if (!series->histogram) {
@@ -159,7 +164,7 @@ Histogram* MetricsRegistry::histogram(const std::string& name,
 }
 
 std::string MetricsRegistry::render() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string out;
   for (const auto& [name, family] : families_) {
     out += "# HELP " + name + " " + family.help + "\n";
@@ -215,7 +220,7 @@ std::string MetricsRegistry::render() const {
 
 std::vector<std::pair<std::string, std::int64_t>>
 MetricsRegistry::scalar_snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::pair<std::string, std::int64_t>> out;
   for (const auto& [name, family] : families_) {
     if (family.kind == Kind::kHistogram) continue;

@@ -31,10 +31,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace mmlpt::obs {
 
@@ -50,12 +52,15 @@ using Labels = std::vector<std::pair<std::string, std::string>>;
 class Counter {
  public:
   void add(std::uint64_t n = 1) noexcept {
+    // relaxed: pure statistic, no other data is published through it.
     cells_[stripe()].value.fetch_add(n, std::memory_order_relaxed);
   }
 
   [[nodiscard]] std::uint64_t value() const noexcept {
     std::uint64_t total = 0;
     for (const auto& cell : cells_) {
+      // relaxed: racy-read snapshot by contract, exact once writers
+      // quiesce.
       total += cell.value.load(std::memory_order_relaxed);
     }
     return total;
@@ -77,13 +82,17 @@ class Counter {
 class Gauge {
  public:
   void set(std::int64_t v) noexcept {
+    // relaxed: pure statistic, no other data is published through it.
     value_.store(v, std::memory_order_relaxed);
   }
   void add(std::int64_t n) noexcept {
+    // relaxed: pure statistic, no other data is published through it.
     value_.fetch_add(n, std::memory_order_relaxed);
   }
   /// Raise the gauge to `v` if it is below (lock-free CAS max).
   void record_max(std::int64_t v) noexcept {
+    // relaxed: the load and the CAS only need atomicity of this one
+    // word; the gauge carries no dependent data (relaxed throughout).
     std::int64_t seen = value_.load(std::memory_order_relaxed);
     while (seen < v && !value_.compare_exchange_weak(
                            seen, v, std::memory_order_relaxed)) {
@@ -91,6 +100,7 @@ class Gauge {
   }
 
   [[nodiscard]] std::int64_t value() const noexcept {
+    // relaxed: racy-read snapshot by contract.
     return value_.load(std::memory_order_relaxed);
   }
 
@@ -116,6 +126,7 @@ class Histogram {
   [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
   [[nodiscard]] std::uint64_t count() const noexcept;
   [[nodiscard]] double sum() const noexcept {
+    // relaxed: racy-read snapshot by contract.
     return static_cast<double>(
                sum_nanos_.load(std::memory_order_relaxed)) /
            1e9;
@@ -174,10 +185,14 @@ class MetricsRegistry {
 
   [[nodiscard]] Series* find_or_add_locked(const std::string& name,
                                            const std::string& help,
-                                           Kind kind, Labels&& labels);
+                                           Kind kind, Labels&& labels)
+      MMLPT_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Family> families_;  ///< sorted exposition order
+  mutable Mutex mutex_;
+  /// Sorted exposition order. The map (and the Series vectors inside)
+  /// are guarded; the instruments the unique_ptrs point at are
+  /// internally thread-safe and handed out as stable raw pointers.
+  std::map<std::string, Family> families_ MMLPT_GUARDED_BY(mutex_);
 };
 
 /// Canonical `name{a="b",c="d"}` series key (no braces when unlabeled).

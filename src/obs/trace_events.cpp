@@ -16,6 +16,8 @@ std::atomic<TraceRecorder*> g_recorder{nullptr};
 /// needs distinct small integers per thread, not OS tids.
 std::uint32_t current_tid() {
   static std::atomic<std::uint32_t> next{1};
+  // relaxed: only uniqueness of the handed-out id matters, nothing is
+  // published through it.
   thread_local const std::uint32_t tid =
       next.fetch_add(1, std::memory_order_relaxed);
   return tid;
@@ -54,17 +56,17 @@ void TraceRecorder::instant(const char* name, const char* category,
 }
 
 void TraceRecorder::append(Event event) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   events_.push_back(std::move(event));
 }
 
 std::size_t TraceRecorder::event_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return events_.size();
 }
 
 std::string TraceRecorder::json() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string out = "{\"traceEvents\":[";
   bool first = true;
   for (const Event& event : events_) {

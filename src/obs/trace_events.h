@@ -22,10 +22,12 @@
 #include <chrono>
 #include <cstdint>
 #include <initializer_list>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace mmlpt::obs {
 
@@ -77,8 +79,8 @@ class TraceRecorder {
   }
 
   Clock::time_point base_;
-  mutable std::mutex mutex_;
-  std::vector<Event> events_;
+  mutable Mutex mutex_;
+  std::vector<Event> events_ MMLPT_GUARDED_BY(mutex_);
 };
 
 /// The process-global recorder; null = tracing disabled (the common

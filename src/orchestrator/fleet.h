@@ -34,14 +34,15 @@
 #include <cstdint>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 #include "common/assert.h"
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "orchestrator/fleet_transport.h"
 #include "orchestrator/rate_limiter.h"
 
@@ -135,6 +136,20 @@ class FleetScheduler {
   }
 
  private:
+  /// Shared state of one parallel run_impl call — a per-run local (run()
+  /// is re-entrant), typed as a struct rather than loose locals so the
+  /// guarded-field discipline is compiler-checked: the thread safety
+  /// analysis tracks annotated members, never function locals.
+  template <typename R>
+  struct DrainState {
+    Mutex mutex;
+    std::vector<std::optional<R>> slots MMLPT_GUARDED_BY(mutex);
+    std::size_t next_emit MMLPT_GUARDED_BY(mutex) = 0;
+    /// Exactly one worker drains the reorder buffer at a time.
+    bool draining MMLPT_GUARDED_BY(mutex) = false;
+    std::exception_ptr first_error MMLPT_GUARDED_BY(mutex);
+  };
+
   template <typename TraceFn, typename OnResult>
   [[nodiscard]] auto run_impl(std::size_t task_count, TraceFn&& trace,
                               OnResult&& on_result, bool keep_results)
@@ -166,13 +181,15 @@ class FleetScheduler {
       return results;
     }
 
-    std::vector<std::optional<R>> slots(task_count);
+    DrainState<R> state;
+    {
+      // Pre-size the reorder buffer before any worker exists; the lock
+      // only satisfies the guarded-field discipline.
+      MutexLock lock(state.mutex);
+      state.slots.resize(task_count);
+    }
     std::atomic<std::size_t> next_task{0};
     std::atomic<bool> stop{false};
-    std::mutex mutex;  // guards slots, next_emit, draining, first_error
-    std::size_t next_emit = 0;
-    bool draining = false;  // exactly one worker drains at a time
-    std::exception_ptr first_error;
 
     const int jobs = static_cast<int>(std::min<std::size_t>(
         static_cast<std::size_t>(config_.jobs), task_count));
@@ -180,7 +197,12 @@ class FleetScheduler {
     workers.reserve(static_cast<std::size_t>(jobs));
     for (int w = 0; w < jobs; ++w) {
       workers.emplace_back([&, w] {
+        // relaxed on stop: advisory early-exit flag; the authoritative
+        // error handoff happens under state.mutex.
         while (!stop.load(std::memory_order_relaxed)) {
+          // relaxed on next_task: only atomicity of the claim matters —
+          // each task's data stays private until published under the
+          // mutex, so the relaxed increment orders nothing.
           const std::size_t i =
               next_task.fetch_add(1, std::memory_order_relaxed);
           if (i >= task_count) break;
@@ -189,10 +211,10 @@ class FleetScheduler {
             auto result = trace(context);
             bool drain;
             {
-              std::lock_guard<std::mutex> lock(mutex);
-              slots[i] = std::move(result);
-              drain = !draining;
-              if (drain) draining = true;
+              MutexLock lock(state.mutex);
+              state.slots[i] = std::move(result);
+              drain = !state.draining;
+              if (drain) state.draining = true;
             }
             if (!drain) continue;  // the current drainer will pick it up
             // Drain the contiguous prefix OUTSIDE the lock: on_result
@@ -205,23 +227,32 @@ class FleetScheduler {
               std::size_t index = 0;
               R* ready = nullptr;
               {
-                std::lock_guard<std::mutex> lock(mutex);
-                if (next_emit < task_count && slots[next_emit]) {
-                  index = next_emit;
-                  ready = &*slots[next_emit];
+                MutexLock lock(state.mutex);
+                if (state.next_emit < task_count &&
+                    state.slots[state.next_emit]) {
+                  index = state.next_emit;
+                  ready = &*state.slots[state.next_emit];
                 } else {
-                  draining = false;
+                  state.draining = false;
                   break;
                 }
               }
+              // `ready` points into a slot no other thread touches while
+              // the draining flag is ours, so the deref needs no lock.
               on_result(index, *ready);
-              std::lock_guard<std::mutex> lock(mutex);
-              if (!keep_results) slots[index].reset();  // streamed: drop it
-              ++next_emit;
+              MutexLock lock(state.mutex);
+              if (!keep_results) {
+                state.slots[index].reset();  // streamed: drop it
+              }
+              ++state.next_emit;
             }
           } catch (...) {
-            std::lock_guard<std::mutex> lock(mutex);
-            if (!first_error) first_error = std::current_exception();
+            MutexLock lock(state.mutex);
+            if (!state.first_error) {
+              state.first_error = std::current_exception();
+            }
+            // relaxed: the store needs no ordering — workers that miss
+            // it exit via the task counter or their own error path.
             stop.store(true, std::memory_order_relaxed);
             break;
           }
@@ -229,12 +260,16 @@ class FleetScheduler {
       });
     }
     for (auto& worker : workers) worker.join();
-    if (first_error) std::rethrow_exception(first_error);
+
+    // Workers are joined: this thread is the only one left, but the
+    // guarded fields still want their lock for the final reads.
+    MutexLock lock(state.mutex);
+    if (state.first_error) std::rethrow_exception(state.first_error);
 
     std::vector<R> results;
     if (keep_results) {
       results.reserve(task_count);
-      for (auto& slot : slots) {
+      for (auto& slot : state.slots) {
         MMLPT_ASSERT(slot.has_value());
         results.push_back(std::move(*slot));
       }

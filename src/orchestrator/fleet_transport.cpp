@@ -45,13 +45,16 @@ FleetTransportHub::FleetTransportHub(Config config) : config_(config) {
 }
 
 FleetTransportHub::~FleetTransportHub() {
-  // Channels must not outlive the hub (open_channel documents it).
+  // Channels must not outlive the hub (open_channel documents it). The
+  // lock is uncontended here — it only satisfies the guarded-field
+  // discipline for the assert's read.
+  MutexLock lock(mutex_);
   MMLPT_ASSERT(open_channels_ == 0);
 }
 
 std::unique_ptr<FleetTransportHub::Channel> FleetTransportHub::open_channel(
     probe::TransportQueue& backend) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto state = std::make_unique<ChannelState>();
   state->backend = &backend;
   channels_.push_back(std::move(state));
@@ -76,7 +79,7 @@ void FleetTransportHub::channel_submit(ChannelState& state,
                                        std::span<const probe::Datagram> window,
                                        probe::Ticket ticket,
                                        const probe::SubmitOptions& options) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Submission submission;
   submission.window.assign(window.begin(), window.end());
   submission.ticket = ticket;
@@ -197,7 +200,7 @@ FleetTransportHub::WallClock::time_point FleetTransportHub::dispatch_burst(
   return WallClock::now();
 }
 
-void FleetTransportHub::sweep_backends(std::unique_lock<std::mutex>& lock) {
+void FleetTransportHub::sweep_backends(MutexLock& lock) {
   // Backends holding dispatched, unrouted slots — collected under the
   // lock, polled outside it.
   std::vector<probe::TransportQueue*> backends;
@@ -220,7 +223,7 @@ void FleetTransportHub::sweep_backends(std::unique_lock<std::mutex>& lock) {
       auto completions = backend->poll_completions();
       if (completions.empty()) continue;
       progressed = true;
-      std::lock_guard<std::mutex> route_lock(mutex_);
+      MutexLock route_lock(mutex_);
       for (auto& completion : completions) {
         const auto it = routes_.find(completion.ticket);
         MMLPT_ASSERT(it != routes_.end());
@@ -264,7 +267,7 @@ void FleetTransportHub::sweep_backends(std::unique_lock<std::mutex>& lock) {
   MMLPT_ASSERT(progressed || dispatched_unrouted_ == 0);
 }
 
-void FleetTransportHub::drive_wire(std::unique_lock<std::mutex>& lock,
+void FleetTransportHub::drive_wire(MutexLock& lock,
                                    const std::function<bool()>& stop) {
   MMLPT_ASSERT(!wire_owner_);
   wire_owner_ = true;
@@ -310,7 +313,7 @@ void FleetTransportHub::drive_wire(std::unique_lock<std::mutex>& lock,
   cv_.notify_all();
 }
 
-void FleetTransportHub::fail_wire_locked(std::unique_lock<std::mutex>& lock) {
+void FleetTransportHub::fail_wire_locked(MutexLock& lock) {
   // Scrub the backends first (cancel + drain every dispatched ticket),
   // so no stale completion of an abandoned ticket can surface in a later
   // sweep; the backends are still exclusively ours — wire_owner_ stays
@@ -369,9 +372,15 @@ void FleetTransportHub::abandon_outstanding_locked() {
   routes_.clear();
 }
 
+bool FleetTransportHub::poll_stop_check(ChannelState& state) {
+  // Wire-owner context only: drive_wire calls this with mutex_ held.
+  release_due_locked(state, WallClock::now());
+  return !state.ready.empty();
+}
+
 std::vector<probe::Completion> FleetTransportHub::channel_poll(
     ChannelState& state) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   MMLPT_ASSERT(!state.in_poll);
   // RAII over the blocked-waiter accounting: drive_wire may throw.
   struct PollScope {
@@ -406,10 +415,7 @@ std::vector<probe::Completion> FleetTransportHub::channel_poll(
     if (!wire_owner_ && (!staged_.empty() || dispatched_unrouted_ > 0)) {
       // This worker becomes the wire owner; it hands the receive loop
       // back as soon as its own completions are ready.
-      drive_wire(lock, [&] {
-        release_due_locked(state, WallClock::now());
-        return !state.ready.empty();
-      });
+      drive_wire(lock, [&] { return poll_stop_check(state); });
       continue;
     }
     // Wake for whichever comes first: my earliest latency due, the
@@ -426,9 +432,9 @@ std::vector<probe::Completion> FleetTransportHub::channel_poll(
       wake = std::min(wake, *gather_deadline_);
     }
     if (wake == WallClock::time_point::max()) {
-      cv_.wait(lock);
+      cv_.wait(mutex_);
     } else {
-      cv_.wait_until(lock, wake);
+      cv_.wait_until(mutex_, wake);
     }
   }
   return out;
@@ -436,7 +442,7 @@ std::vector<probe::Completion> FleetTransportHub::channel_poll(
 
 void FleetTransportHub::channel_cancel(ChannelState& state,
                                        probe::Ticket ticket) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (std::size_t i = 0; i < state.gathered.size();) {
     if (state.gathered[i].ticket != ticket) {
       ++i;
@@ -460,7 +466,7 @@ void FleetTransportHub::channel_cancel(ChannelState& state,
 
 std::size_t FleetTransportHub::channel_pending(
     const ChannelState& state) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::size_t gathered = 0;
   for (const auto& submission : state.gathered) {
     gathered += submission.window.size();
@@ -470,7 +476,7 @@ std::size_t FleetTransportHub::channel_pending(
 }
 
 void FleetTransportHub::close_channel(ChannelState& state) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // Un-gather anything a dying trace left behind: nobody will ever poll
   // for it, so it must not reach the wire. (Staged windows are past the
   // point of no return — they are waited out below like dispatched
@@ -502,7 +508,7 @@ void FleetTransportHub::close_channel(ChannelState& state) {
       }
       continue;
     }
-    cv_.wait(lock);
+    cv_.wait(mutex_);
   }
   state.in_poll = false;
   --polling_;

@@ -51,16 +51,16 @@
 #define MMLPT_ORCHESTRATOR_FLEET_TRANSPORT_H
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "orchestrator/latency_network.h"
 #include "orchestrator/rate_limiter.h"
@@ -149,6 +149,12 @@ class FleetTransportHub {
     probe::Completion completion;
     WallClock::time_point due;
   };
+  /// Every field is guarded by the owning hub's mutex_ (the thread
+  /// safety analysis cannot express a guard across objects, so the
+  /// discipline is enforced on the hub methods instead: each one either
+  /// takes the lock or is annotated MMLPT_REQUIRES(mutex_)). The only
+  /// exception: the wire owner touches *backend unlocked — backends are
+  /// single-threaded objects owned by exactly one thread at a time.
   struct ChannelState {
     probe::TransportQueue* backend = nullptr;
     std::deque<Submission> gathered;
@@ -195,60 +201,85 @@ class FleetTransportHub {
   void close_channel(ChannelState& state);
 
   /// Bursts counted against pipeline_depth: staged plus on-wire.
-  [[nodiscard]] std::size_t bursts_in_flight_locked() const {
+  [[nodiscard]] std::size_t bursts_in_flight_locked() const
+      MMLPT_REQUIRES(mutex_) {
     return staged_.size() + burst_unrouted_.size();
   }
-  [[nodiscard]] bool can_stage_locked(WallClock::time_point now) const;
+  [[nodiscard]] bool can_stage_locked(WallClock::time_point now) const
+      MMLPT_REQUIRES(mutex_);
   /// Snapshot every gathered window into one staged burst (routes
   /// created, in_flight counted); the wire owner dispatches it.
-  void stage_burst_locked();
+  void stage_burst_locked() MMLPT_REQUIRES(mutex_);
   /// Become the wire owner: dispatch staged bursts and sweep backend
   /// completions until the wire is idle or `stop()` (checked under the
   /// lock) asks to hand the receive loop to another worker. Entered and
   /// left with the lock held; unlocked while touching backends.
-  void drive_wire(std::unique_lock<std::mutex>& lock,
-                  const std::function<bool()>& stop);
+  /// NO_THREAD_SAFETY_ANALYSIS (body only — callers still must hold
+  /// mutex_): the function drops and reacquires the caller's scoped lock
+  /// around backend I/O, a hand-off the analysis cannot follow.
+  void drive_wire(MutexLock& lock, const std::function<bool()>& stop)
+      MMLPT_REQUIRES(mutex_) MMLPT_NO_THREAD_SAFETY_ANALYSIS;
   /// One unlocked pass over every backend with dispatched unrouted
   /// slots, routing whatever completed. Lock held on entry and exit.
-  void sweep_backends(std::unique_lock<std::mutex>& lock);
+  /// NO_THREAD_SAFETY_ANALYSIS: same unlock/relock hand-off as
+  /// drive_wire; call sites are still checked against REQUIRES.
+  void sweep_backends(MutexLock& lock) MMLPT_REQUIRES(mutex_)
+      MMLPT_NO_THREAD_SAFETY_ANALYSIS;
   /// Pace, emulate latency cost, submit every window of `burst` to its
   /// backend. Called unlocked (only the wire owner gets here). Returns
   /// the burst's wall-clock base for latency emulation.
-  [[nodiscard]] WallClock::time_point dispatch_burst(StagedBurst& burst);
+  [[nodiscard]] WallClock::time_point dispatch_burst(StagedBurst& burst)
+      MMLPT_EXCLUDES(mutex_);
   /// A backend threw while this thread owned the wire: cancel + drain
   /// every dispatched ticket so stale completions cannot leak into a
   /// later sweep, resolve every unrouted slot (staged included) as
   /// unanswered so the other tracers see timeouts instead of hanging
   /// forever, and release the wire. Lock held on entry and exit.
-  void fail_wire_locked(std::unique_lock<std::mutex>& lock);
+  /// NO_THREAD_SAFETY_ANALYSIS: same unlock/relock hand-off as
+  /// drive_wire; call sites are still checked against REQUIRES.
+  void fail_wire_locked(MutexLock& lock) MMLPT_REQUIRES(mutex_)
+      MMLPT_NO_THREAD_SAFETY_ANALYSIS;
   /// Resolve every still-unrouted slot of every route as unanswered.
-  void abandon_outstanding_locked();
+  void abandon_outstanding_locked() MMLPT_REQUIRES(mutex_);
   /// Move state.timed completions that have come due into state.ready.
-  void release_due_locked(ChannelState& state, WallClock::time_point now);
+  void release_due_locked(ChannelState& state, WallClock::time_point now)
+      MMLPT_REQUIRES(mutex_);
+  /// drive_wire stop hook for channel_poll: release due completions and
+  /// test whether `state` has results ready. NO_THREAD_SAFETY_ANALYSIS:
+  /// only invoked by the wire owner, from inside drive_wire, with mutex_
+  /// held — a context the analysis cannot see into a std::function.
+  [[nodiscard]] bool poll_stop_check(ChannelState& state)
+      MMLPT_NO_THREAD_SAFETY_ANALYSIS;
 
   void register_metrics();
 
   Config config_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::vector<std::unique_ptr<ChannelState>> channels_;
-  std::size_t open_channels_ = 0;
-  std::size_t polling_ = 0;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::vector<std::unique_ptr<ChannelState>> channels_
+      MMLPT_GUARDED_BY(mutex_);
+  std::size_t open_channels_ MMLPT_GUARDED_BY(mutex_) = 0;
+  std::size_t polling_ MMLPT_GUARDED_BY(mutex_) = 0;
   /// A worker is currently dispatching/sweeping (backends are
   /// single-threaded: exactly one wire owner at a time).
-  bool wire_owner_ = false;
-  std::size_t gathered_probes_ = 0;
-  std::optional<WallClock::time_point> gather_deadline_;
-  probe::Ticket next_backend_ticket_ = 1;
-  std::uint64_t next_burst_id_ = 1;
-  std::deque<StagedBurst> staged_;
+  bool wire_owner_ MMLPT_GUARDED_BY(mutex_) = false;
+  std::size_t gathered_probes_ MMLPT_GUARDED_BY(mutex_) = 0;
+  std::optional<WallClock::time_point> gather_deadline_
+      MMLPT_GUARDED_BY(mutex_);
+  probe::Ticket next_backend_ticket_ MMLPT_GUARDED_BY(mutex_) = 1;
+  std::uint64_t next_burst_id_ MMLPT_GUARDED_BY(mutex_) = 1;
+  std::deque<StagedBurst> staged_ MMLPT_GUARDED_BY(mutex_);
   /// Unrouted slot count per dispatched burst; an entry disappearing is
   /// a burst fully resolved (frees a pipeline_depth slot).
-  std::unordered_map<std::uint64_t, std::size_t> burst_unrouted_;
+  std::unordered_map<std::uint64_t, std::size_t> burst_unrouted_
+      MMLPT_GUARDED_BY(mutex_);
   /// Slots submitted to backends whose completions are not yet routed.
-  std::size_t dispatched_unrouted_ = 0;
-  std::unordered_map<probe::Ticket, Route> routes_;
-  /// Backing registry when Config::metrics is null.
+  std::size_t dispatched_unrouted_ MMLPT_GUARDED_BY(mutex_) = 0;
+  std::unordered_map<probe::Ticket, Route> routes_ MMLPT_GUARDED_BY(mutex_);
+  /// Backing registry when Config::metrics is null. The instrument
+  /// pointers below are set once in register_metrics() (construction,
+  /// single-threaded) and immutable afterwards; the instruments are
+  /// internally thread-safe, so no guard is needed.
   obs::MetricsRegistry fallback_metrics_;
   obs::Counter* bursts_ = nullptr;
   obs::Counter* probes_ = nullptr;

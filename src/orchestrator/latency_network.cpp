@@ -25,7 +25,7 @@ void BlockingLatencyNetwork::charge_window_cost(std::size_t probes) const {
   if (config_.wire != nullptr) {
     // One raw socket, one receive loop: concurrent windows pay the fixed
     // cost one after another, not in parallel.
-    std::lock_guard<std::mutex> lock(config_.wire->mutex);
+    MutexLock lock(config_.wire->mutex);
     block_for(cost);
     return;
   }

@@ -29,9 +29,9 @@
 
 #include <chrono>
 #include <map>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "probe/network.h"
 
 namespace mmlpt::orchestrator {
@@ -40,7 +40,7 @@ namespace mmlpt::orchestrator {
 /// receive loop): transports sharing a SharedWire charge their fixed
 /// per-window cost under its lock, one at a time.
 struct SharedWire {
-  std::mutex mutex;
+  Mutex mutex;
 };
 
 /// Virtual RTT charged for an unanswered probe (a real transport blocks

@@ -11,17 +11,22 @@ namespace mmlpt::orchestrator {
 void RateLimiter::instrument(obs::MetricsRegistry& registry,
                              const std::string& scope) {
   const obs::Labels labels{{"scope", scope}};
-  granted_counter_ =
-      registry.counter("mmlpt_rate_limiter_tokens_granted_total",
-                       "Tokens spent by probe senders", labels);
-  waits_ = registry.counter("mmlpt_rate_limiter_waits_total",
-                            "acquire() calls that had to sleep", labels);
-  wait_micros_ =
+  obs::Counter* granted = registry.counter(
+      "mmlpt_rate_limiter_tokens_granted_total",
+      "Tokens spent by probe senders", labels);
+  obs::Counter* waits =
+      registry.counter("mmlpt_rate_limiter_waits_total",
+                       "acquire() calls that had to sleep", labels);
+  obs::Counter* wait_micros =
       registry.counter("mmlpt_rate_limiter_wait_microseconds_total",
                        "Time spent sleeping for tokens", labels);
-  // Mirror tokens granted before instrumentation so the registry series
-  // matches granted() from the start.
-  std::lock_guard<std::mutex> lock(mutex_);
+  // Publish the pointers under mutex_ so concurrently-acquiring workers
+  // never observe a half-written pointer set, and mirror tokens granted
+  // before instrumentation so the registry series matches granted().
+  MutexLock lock(mutex_);
+  granted_counter_ = granted;
+  waits_ = waits;
+  wait_micros_ = wait_micros;
   if (granted_ > 0) granted_counter_->add(granted_);
 }
 
@@ -72,16 +77,22 @@ void RateLimiter::acquire(int packets) {
     const int want = std::min(remaining, burst_);
     while (true) {
       Clock::duration wait{};
+      obs::Counter* waits = nullptr;
+      obs::Counter* wait_micros = nullptr;
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (take_locked(want, wait)) break;
+        // Snapshot the counter pointers while the lock is held; the
+        // Counters themselves are thread-safe, so bump outside it.
+        waits = waits_;
+        wait_micros = wait_micros_;
       }
       // Sleep outside the lock so other workers can refill/take.
       const auto nap =
           std::max(wait, Clock::duration(std::chrono::microseconds(50)));
-      if (waits_ != nullptr) {
-        waits_->add();
-        wait_micros_->add(static_cast<std::uint64_t>(
+      if (waits != nullptr) {
+        waits->add();
+        wait_micros->add(static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::microseconds>(nap)
                 .count()));
       }
@@ -95,13 +106,13 @@ bool RateLimiter::try_acquire(int packets) {
   MMLPT_EXPECTS(packets >= 1);
   if (unlimited()) return true;
   if (packets > burst_) return false;  // can never hold that many at once
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Clock::duration wait{};
   return take_locked(packets, wait);
 }
 
 std::uint64_t RateLimiter::granted() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return granted_;
 }
 

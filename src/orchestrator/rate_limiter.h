@@ -11,8 +11,10 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace mmlpt::obs {
 class Counter;
@@ -56,27 +58,30 @@ class RateLimiter {
 
   /// Register this limiter's series in `registry`, labeled
   /// scope=`scope`: tokens granted, blocking waits, and total time spent
-  /// sleeping. Call before workers start; uninstrumented acquire() pays
-  /// one null-check.
+  /// sleeping. Safe to call while workers are already acquiring: the
+  /// counter pointers are published under mutex_ and read under it.
   void instrument(obs::MetricsRegistry& registry, const std::string& scope);
 
  private:
   /// Accrue tokens for the time elapsed since the last refill.
-  void refill_locked(Clock::time_point now);
+  void refill_locked(Clock::time_point now) MMLPT_REQUIRES(mutex_);
   /// Take `want` tokens or report the shortfall wait; lock held.
-  [[nodiscard]] bool take_locked(int want, Clock::duration& wait);
+  [[nodiscard]] bool take_locked(int want, Clock::duration& wait)
+      MMLPT_REQUIRES(mutex_);
 
   double pps_;
   int burst_;
   NowFn now_;
-  mutable std::mutex mutex_;
-  double tokens_;
-  Clock::time_point last_refill_;
-  std::uint64_t granted_ = 0;
-  /// Null until instrument(); counters are bumped outside mutex_.
-  obs::Counter* waits_ = nullptr;
-  obs::Counter* wait_micros_ = nullptr;
-  obs::Counter* granted_counter_ = nullptr;
+  mutable Mutex mutex_;
+  double tokens_ MMLPT_GUARDED_BY(mutex_);
+  Clock::time_point last_refill_ MMLPT_GUARDED_BY(mutex_);
+  std::uint64_t granted_ MMLPT_GUARDED_BY(mutex_) = 0;
+  /// Null until instrument(). The pointers are guarded by mutex_; the
+  /// Counters they point at are internally thread-safe, so callers
+  /// snapshot the pointer under the lock and bump outside it.
+  obs::Counter* waits_ MMLPT_GUARDED_BY(mutex_) = nullptr;
+  obs::Counter* wait_micros_ MMLPT_GUARDED_BY(mutex_) = nullptr;
+  obs::Counter* granted_counter_ MMLPT_GUARDED_BY(mutex_) = nullptr;
 };
 
 }  // namespace mmlpt::orchestrator

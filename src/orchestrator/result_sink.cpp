@@ -35,7 +35,7 @@ void ResultSink::commit_locked() {
 }
 
 void ResultSink::emit(std::size_t index, std::string line) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   MMLPT_EXPECTS(index >= next_);  // each index emitted at most once
   if (index != next_) {
     // Held back for an earlier index: nothing hit the stream, so there
@@ -59,17 +59,17 @@ void ResultSink::emit(std::size_t index, std::string line) {
 }
 
 void ResultSink::flush() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   sync_locked();
 }
 
 std::size_t ResultSink::lines_written() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return written_;
 }
 
 std::size_t ResultSink::buffered() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return pending_.size();
 }
 

@@ -11,9 +11,11 @@
 #include <cstddef>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace mmlpt::orchestrator {
 
@@ -70,17 +72,17 @@ class ResultSink {
  private:
   /// Flush the stream and, in fsync mode, fsync the descriptor; throws
   /// SystemError on failure. Lock held.
-  void sync_locked();
+  void sync_locked() MMLPT_REQUIRES(mutex_);
   /// Post-write durability step: surface write failures, then sync in
   /// fsync mode. Lock held; only called after lines hit the stream.
-  void commit_locked();
+  void commit_locked() MMLPT_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::ostream* out_;
+  mutable Mutex mutex_;
+  std::ostream* out_ MMLPT_PT_GUARDED_BY(mutex_);
   Options options_;
-  std::size_t next_ = 0;
-  std::size_t written_ = 0;
-  std::map<std::size_t, std::string> pending_;
+  std::size_t next_ MMLPT_GUARDED_BY(mutex_) = 0;
+  std::size_t written_ MMLPT_GUARDED_BY(mutex_) = 0;
+  std::map<std::size_t, std::string> pending_ MMLPT_GUARDED_BY(mutex_);
 };
 
 /// A JSONL output file as a std::ostream over a raw POSIX descriptor —

@@ -55,9 +55,11 @@ bool SharedStopSet::contains(const net::IpAddress& addr,
 void SharedStopSet::record(const net::IpAddress& addr, int distance) {
   const Key key{addr, distance};
   if (visible_.count(key) != 0) return;  // already durable
-  if (records_ != nullptr) records_->add();
-  const std::lock_guard<std::mutex> lock(mutex_);
-  pending_.insert(key);
+  const MutexLock lock(mutex_);
+  // Count only first-time discoveries: bump after the insert says the
+  // hop was new, not before (re-recording the same hop is common — every
+  // trace crossing it reports it once).
+  if (pending_.insert(key).second && records_ != nullptr) records_->add();
 }
 
 void SharedStopSet::instrument(obs::MetricsRegistry& registry) {
@@ -78,7 +80,7 @@ std::optional<core::DestinationRecord> SharedStopSet::destination(
 void SharedStopSet::record_destination(
     const net::IpAddress& addr, const core::DestinationRecord& record) {
   if (visible_destinations_.count(addr) != 0) return;  // epoch is frozen
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   auto [it, inserted] = pending_destinations_.try_emplace(addr, record);
   if (!inserted) it->second = merge(it->second, record);
 }
@@ -86,7 +88,7 @@ void SharedStopSet::record_destination(
 int SharedStopSet::midpoint_ttl() const { return midpoint_ttl_; }
 
 store::TopologySnapshot SharedStopSet::delta() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   store::TopologySnapshot snapshot;
   snapshot.hops.reserve(pending_.size());
   for (const auto& [addr, distance] : pending_) {
@@ -104,7 +106,7 @@ store::TopologySnapshot SharedStopSet::full_snapshot() const {
   std::map<net::IpAddress, core::DestinationRecord> destinations(
       visible_destinations_.begin(), visible_destinations_.end());
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     hops = pending_;
     for (const auto& [addr, record] : pending_destinations_) {
       auto [it, inserted] = destinations.try_emplace(addr, record);
@@ -142,7 +144,7 @@ std::uint64_t SharedStopSet::union_digest() const {
 }
 
 std::size_t SharedStopSet::pending_hop_count() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return pending_.size();
 }
 

@@ -14,7 +14,6 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -22,6 +21,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/stop_set.h"
 #include "core/trace_log.h"
 #include "store/topology_store.h"
@@ -89,11 +90,13 @@ class SharedStopSet final : public core::StopSet {
 
   // This run's discoveries; ordered containers so delta() is already
   // sorted and deterministic.
-  mutable std::mutex mutex_;
-  std::set<Key> pending_;
-  std::map<net::IpAddress, core::DestinationRecord> pending_destinations_;
+  mutable Mutex mutex_;
+  std::set<Key> pending_ MMLPT_GUARDED_BY(mutex_);
+  std::map<net::IpAddress, core::DestinationRecord> pending_destinations_
+      MMLPT_GUARDED_BY(mutex_);
 
-  /// Null until instrument(); contains() stays lock-free either way.
+  /// Null until instrument(), which (like seed()) must complete before
+  /// workers start; frozen afterwards, so contains() stays lock-free.
   obs::Counter* hits_ = nullptr;
   obs::Counter* records_ = nullptr;
 };

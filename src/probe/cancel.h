@@ -36,6 +36,9 @@ class CanceledError : public Error {
 /// threads and to fire from a signal handler.
 class CancelToken {
  public:
+  // relaxed (both ops): one-way latch carrying no dependent data — the
+  // only contract is "eventually observed". The relaxed store keeps
+  // request() async-signal-safe; the relaxed load matches it.
   void request() noexcept { requested_.store(true, std::memory_order_relaxed); }
   [[nodiscard]] bool requested() const noexcept {
     return requested_.load(std::memory_order_relaxed);

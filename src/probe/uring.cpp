@@ -109,6 +109,8 @@ Ring::Ring(unsigned entries) {
   // Identity-map the SQ index array once: slot i of the array always
   // names SQE i, so publishing an SQE is just a tail store.
   for (unsigned i = 0; i < sq_entries_; ++i) sq_array_[i] = i;
+  // relaxed: setup-time read of our own tail — the kernel never writes
+  // it, so there is nothing to synchronize with yet.
   sqe_tail_ = shared(sq_tail_).load(std::memory_order_relaxed);
 }
 
@@ -141,6 +143,8 @@ Sqe* Ring::get_sqe() {
 }
 
 unsigned Ring::unflushed() const noexcept {
+  // relaxed: sq_tail_ is only ever written by this thread (flush), so
+  // the load needs atomicity, not ordering.
   return sqe_tail_ - shared(sq_tail_).load(std::memory_order_relaxed);
 }
 
@@ -170,6 +174,8 @@ unsigned Ring::flush(unsigned wait_for) {
 }
 
 std::size_t Ring::reap(std::vector<Cqe>& out) {
+  // relaxed: cq head is only advanced by us; the acquire on the tail
+  // below is what makes the kernel's CQE writes visible.
   unsigned head = shared(cq_head_).load(std::memory_order_relaxed);
   const unsigned tail = shared(cq_tail_).load(std::memory_order_acquire);
   std::size_t count = 0;

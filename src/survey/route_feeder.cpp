@@ -8,7 +8,7 @@ RouteFeeder::RouteFeeder(topo::SurveyWorld& world, std::size_t count)
     : world_(&world), routes_(count) {}
 
 const topo::GroundTruth& RouteFeeder::route(std::size_t index) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   MMLPT_EXPECTS(index < routes_.size());
   while (generated_ <= index) {
     routes_[generated_] = world_->next_route();
@@ -18,14 +18,14 @@ const topo::GroundTruth& RouteFeeder::route(std::size_t index) {
 }
 
 void RouteFeeder::release(std::size_t index) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   MMLPT_EXPECTS(index < generated_);
   routes_[index] = topo::GroundTruth{};
   ++released_;
 }
 
 std::size_t RouteFeeder::live() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return generated_ - released_;
 }
 

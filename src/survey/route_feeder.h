@@ -10,9 +10,10 @@
 #define MMLPT_SURVEY_ROUTE_FEEDER_H
 
 #include <cstddef>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "topology/generator.h"
 
 namespace mmlpt::survey {
@@ -38,11 +39,15 @@ class RouteFeeder {
   [[nodiscard]] std::size_t live() const;
 
  private:
-  topo::SurveyWorld* world_;
+  /// World access and every slot write happen under mutex_; the
+  /// reference route() hands out stays valid unlocked because slots are
+  /// distinct elements of a pre-sized vector and each is written exactly
+  /// once before its reference escapes.
+  topo::SurveyWorld* world_ MMLPT_PT_GUARDED_BY(mutex_);
   std::vector<topo::GroundTruth> routes_;  ///< pre-sized; never reallocates
-  mutable std::mutex mutex_;
-  std::size_t generated_ = 0;
-  std::size_t released_ = 0;
+  mutable Mutex mutex_;
+  std::size_t generated_ MMLPT_GUARDED_BY(mutex_) = 0;
+  std::size_t released_ MMLPT_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace mmlpt::survey

@@ -10,14 +10,14 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "orchestrator/fleet_transport.h"
 
 namespace mmlpt::orchestrator {
@@ -33,7 +33,7 @@ class GatedBackend final : public probe::TransportQueue {
  public:
   void submit(std::span<const probe::Datagram> window, probe::Ticket ticket,
               const probe::SubmitOptions&) override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     for (std::size_t slot = 0; slot < window.size(); ++slot) {
       slots_.push_back({ticket, slot});
     }
@@ -43,9 +43,9 @@ class GatedBackend final : public probe::TransportQueue {
   using probe::TransportQueue::submit;
 
   [[nodiscard]] std::vector<probe::Completion> poll_completions() override {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (slots_.empty()) return {};
-    cv_.wait(lock, [&] { return released_ > 0; });
+    while (released_ == 0) cv_.wait(mutex_);
     std::vector<probe::Completion> out;
     while (released_ > 0 && !slots_.empty()) {
       const auto [ticket, slot] = slots_.front();
@@ -62,28 +62,29 @@ class GatedBackend final : public probe::TransportQueue {
   void cancel(probe::Ticket) override {}
 
   [[nodiscard]] std::size_t pending() const override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     return slots_.size();
   }
 
   /// Let the next `n` in-flight slots resolve (in submission order).
   void release(std::size_t n) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     released_ += n;
     cv_.notify_all();
   }
 
   [[nodiscard]] std::size_t submitted_windows() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     return windows_;
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::pair<probe::Ticket, std::size_t>> slots_;
-  std::size_t released_ = 0;
-  std::size_t windows_ = 0;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::deque<std::pair<probe::Ticket, std::size_t>> slots_
+      MMLPT_GUARDED_BY(mutex_);
+  std::size_t released_ MMLPT_GUARDED_BY(mutex_) = 0;
+  std::size_t windows_ MMLPT_GUARDED_BY(mutex_) = 0;
 };
 
 std::vector<probe::Datagram> window_of(std::size_t n) {
@@ -104,13 +105,31 @@ template <typename Predicate>
   return true;
 }
 
+/// Completion sink shared between a drain worker and the test thread's
+/// eventually() polls — the cross-thread reads need the lock too.
+struct DrainSink {
+  mutable Mutex mutex;
+  std::vector<probe::Completion> completions MMLPT_GUARDED_BY(mutex);
+
+  [[nodiscard]] std::size_t size() const {
+    const MutexLock lock(mutex);
+    return completions.size();
+  }
+  [[nodiscard]] std::vector<probe::Completion> snapshot() const {
+    const MutexLock lock(mutex);
+    return completions;
+  }
+};
+
 /// Drain `expect` completions from a channel on the calling thread.
-void drain(probe::Network& channel, std::size_t expect,
-           std::vector<probe::Completion>& out) {
-  while (out.size() < expect) {
+void drain(probe::Network& channel, std::size_t expect, DrainSink& sink) {
+  while (sink.size() < expect) {
     auto batch = channel.poll_completions();
     if (batch.empty() && channel.pending() == 0) break;
-    for (auto& completion : batch) out.push_back(std::move(completion));
+    const MutexLock lock(sink.mutex);
+    for (auto& completion : batch) {
+      sink.completions.push_back(std::move(completion));
+    }
   }
 }
 
@@ -126,7 +145,7 @@ TEST(PipelineDepth, DepthTwoDispatchesOverTheFirstBurstsStragglers) {
 
   // Tracer A commits a 2-probe window; the gather deadline stages it as
   // burst 1 and A's poll dispatches it, then blocks sweeping backend A.
-  std::vector<probe::Completion> got_a;
+  DrainSink got_a;
   std::thread worker_a([&] {
     channel_a->submit(window_of(2), /*ticket=*/100);
     drain(*channel_a, 2, got_a);
@@ -136,7 +155,7 @@ TEST(PipelineDepth, DepthTwoDispatchesOverTheFirstBurstsStragglers) {
 
   // Tracer B commits its window while burst 1 is frozen mid-flight. At
   // depth 2 the hub may stage it immediately (bursts counted at stage).
-  std::vector<probe::Completion> got_b;
+  DrainSink got_b;
   std::thread worker_b([&] {
     channel_b->submit(window_of(1), /*ticket=*/200);
     drain(*channel_b, 1, got_b);
@@ -163,18 +182,20 @@ TEST(PipelineDepth, DepthTwoDispatchesOverTheFirstBurstsStragglers) {
   backend_b.release(1);
   worker_a.join();
   worker_b.join();
-  ASSERT_EQ(got_a.size(), 2u);
+  const auto completions_a = got_a.snapshot();
+  ASSERT_EQ(completions_a.size(), 2u);
   bool slot_seen[2] = {};
-  for (const auto& completion : got_a) {
+  for (const auto& completion : completions_a) {
     EXPECT_EQ(completion.ticket, 100u);
     ASSERT_LT(completion.slot, 2u);
     EXPECT_FALSE(slot_seen[completion.slot]) << "slot resolved twice";
     slot_seen[completion.slot] = true;
     EXPECT_FALSE(completion.canceled);
   }
-  ASSERT_EQ(got_b.size(), 1u);
-  EXPECT_EQ(got_b[0].ticket, 200u);
-  EXPECT_EQ(got_b[0].slot, 0u);
+  const auto completions_b = got_b.snapshot();
+  ASSERT_EQ(completions_b.size(), 1u);
+  EXPECT_EQ(completions_b[0].ticket, 200u);
+  EXPECT_EQ(completions_b[0].slot, 0u);
   EXPECT_EQ(channel_a->pending(), 0u);
   EXPECT_EQ(channel_b->pending(), 0u);
 }
@@ -189,14 +210,14 @@ TEST(PipelineDepth, DepthOneHoldsTheNextBurstUntilTheWireIsClear) {
   auto channel_a = hub.open_channel(backend_a);
   auto channel_b = hub.open_channel(backend_b);
 
-  std::vector<probe::Completion> got_a;
+  DrainSink got_a;
   std::thread worker_a([&] {
     channel_a->submit(window_of(2), /*ticket=*/100);
     drain(*channel_a, 2, got_a);
   });
   ASSERT_TRUE(eventually([&] { return backend_a.submitted_windows() == 1; }));
 
-  std::vector<probe::Completion> got_b;
+  DrainSink got_b;
   std::thread worker_b([&] {
     channel_b->submit(window_of(1), /*ticket=*/200);
     drain(*channel_b, 1, got_b);
@@ -224,7 +245,7 @@ TEST(PipelineDepth, DepthOneHoldsTheNextBurstUntilTheWireIsClear) {
   EXPECT_EQ(stats.max_bursts_in_flight, 1u);
   ASSERT_EQ(got_a.size(), 2u);
   ASSERT_EQ(got_b.size(), 1u);
-  EXPECT_EQ(got_b[0].ticket, 200u);
+  EXPECT_EQ(got_b.snapshot()[0].ticket, 200u);
 }
 
 TEST(PipelineDepth, DepthMustBePositive) {

@@ -4,8 +4,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace mmlpt::orchestrator {
 namespace {
@@ -112,6 +117,49 @@ TEST(RateLimiter, SharedAcrossThreadsBoundsTheTotalRate) {
   // 2000 pps * 0.4 s.
   EXPECT_LE(acquired.load(), 10u + 800u);
   EXPECT_GE(acquired.load(), 100u);  // and the fleet did make progress
+}
+
+TEST(RateLimiter, InstrumentMidFlightNeverLosesGrants) {
+  // Regression: instrument() used to publish its counter pointers and
+  // mirror the pre-instrument grant count WITHOUT holding mutex_, racing
+  // with workers inside take_locked(). A grant landing in that window
+  // could be counted twice (mirrored AND added) or hit a half-published
+  // pointer. The fix moves publish + mirror under mutex_, making
+  // "registry counter == granted()" an exact invariant once quiesced.
+  //
+  // Real clock on purpose: FakeClock cannot be advanced while workers
+  // run, and an unlimited limiter skips the counting path entirely.
+  RateLimiter limiter(200000.0, 64);
+  ASSERT_TRUE(limiter.try_acquire(5));  // pre-instrument grants to mirror
+
+  obs::MetricsRegistry registry;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  workers.reserve(4);
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&] {
+      while (!stop.load()) {
+        if (!limiter.try_acquire(1)) {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  limiter.instrument(registry, "race");  // mid-flight: the regression point
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stop.store(true);
+  for (auto& worker : workers) worker.join();
+
+  std::optional<std::int64_t> counted;
+  for (const auto& [name, value] : registry.scalar_snapshot()) {
+    if (name == "mmlpt_rate_limiter_tokens_granted_total{scope=\"race\"}") {
+      counted = value;
+    }
+  }
+  ASSERT_TRUE(counted.has_value());
+  EXPECT_EQ(static_cast<std::uint64_t>(*counted), limiter.granted());
+  EXPECT_GE(limiter.granted(), 5u);  // the mirrored pre-instrument grants
 }
 
 }  // namespace

@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace mmlpt::orchestrator {
 namespace {
@@ -51,6 +55,32 @@ TEST(SharedStopSet, RecordDeduplicatesAgainstVisibleAndItself) {
   const auto delta = set.delta();
   ASSERT_EQ(delta.hops.size(), 1u);
   EXPECT_EQ(delta.hops[0], (store::HopRecord{kB, 5}));
+}
+
+TEST(SharedStopSet, DuplicateRecordsCountOnce) {
+  // Regression: records_->add() used to run on EVERY record() call, so
+  // mmlpt_stop_set_records_total double-counted re-recorded hops (every
+  // trace crossing a shared interface reports it once). The counter's
+  // contract is "discoveries recorded into the pending set", so it must
+  // track pending_hop_count(), not call volume.
+  SharedStopSet set;
+  store::TopologySnapshot seed;
+  seed.hops.push_back({kA, 3});
+  set.seed(seed);
+  obs::MetricsRegistry registry;
+  set.instrument(registry);
+
+  set.record(kB, 5);
+  set.record(kB, 5);  // duplicate pending discovery
+  set.record(kA, 3);  // already in the frozen visible epoch
+  EXPECT_EQ(set.pending_hop_count(), 1u);
+
+  std::optional<std::int64_t> counted;
+  for (const auto& [name, value] : registry.scalar_snapshot()) {
+    if (name == "mmlpt_stop_set_records_total") counted = value;
+  }
+  ASSERT_TRUE(counted.has_value());
+  EXPECT_EQ(*counted, 1);
 }
 
 TEST(SharedStopSet, DestinationRecordsFollowTheSameEpochRule) {

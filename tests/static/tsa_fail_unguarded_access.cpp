@@ -1,0 +1,34 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror=thread-safety: reads a
+// MMLPT_GUARDED_BY field without holding its mutex. The ctest
+// registration in tests/static/CMakeLists.txt runs this through the
+// compiler with WILL_FAIL, proving the thread-safety gate in the main
+// build is actually live — if the analysis ever silently turns off,
+// this test is the canary. A companion control test compiles the same
+// file with the analysis disabled, proving it is otherwise valid C++.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    const mmlpt::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  // BAD: touches value_ with mutex_ not held.
+  [[nodiscard]] int read_unlocked() const { return value_; }
+
+ private:
+  mutable mmlpt::Mutex mutex_;
+  int value_ MMLPT_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.bump();
+  return counter.read_unlocked();
+}

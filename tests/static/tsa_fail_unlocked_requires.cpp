@@ -1,0 +1,33 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror=thread-safety: calls a
+// MMLPT_REQUIRES(mutex_) function without holding the mutex. Registered
+// WILL_FAIL in tests/static/CMakeLists.txt (see
+// tsa_fail_unguarded_access.cpp for the rationale).
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Store {
+ public:
+  // BAD: bump_locked requires mutex_, which the caller never takes.
+  void bump() { bump_locked(); }
+
+  [[nodiscard]] int value() {
+    const mmlpt::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  void bump_locked() MMLPT_REQUIRES(mutex_) { ++value_; }
+
+  mmlpt::Mutex mutex_;
+  int value_ MMLPT_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Store store;
+  store.bump();
+  return store.value();
+}

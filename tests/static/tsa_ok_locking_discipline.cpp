@@ -1,0 +1,60 @@
+// MUST COMPILE CLEAN under -Wthread-safety -Werror=thread-safety: the
+// positive control for the two tsa_fail_* snippets. Exercises the whole
+// wrapper surface — scoped locking, REQUIRES helpers, condition-variable
+// wait loops, relockable MutexLock — so a regression in
+// common/mutex.h's annotations (not just in the analysis flag) turns
+// this test red.
+#include <deque>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Queue {
+ public:
+  void push(int v) {
+    const mmlpt::MutexLock lock(mutex_);
+    items_.push_back(v);
+    cv_.notify_one();
+  }
+
+  [[nodiscard]] int pop() {
+    mmlpt::MutexLock lock(mutex_);
+    while (items_.empty()) cv_.wait(mutex_);
+    return pop_locked();
+  }
+
+  [[nodiscard]] int drain_count() {
+    mmlpt::MutexLock lock(mutex_);
+    int drained = 0;
+    while (!items_.empty()) {
+      (void)pop_locked();
+      lock.unlock();  // relock cycle: the annotated unlock/lock pair
+      ++drained;
+      lock.lock();
+    }
+    return drained;
+  }
+
+ private:
+  [[nodiscard]] int pop_locked() MMLPT_REQUIRES(mutex_) {
+    const int v = items_.front();
+    items_.pop_front();
+    return v;
+  }
+
+  mmlpt::Mutex mutex_;
+  mmlpt::CondVar cv_;
+  std::deque<int> items_ MMLPT_GUARDED_BY(mutex_);
+};
+
+}  // namespace
+
+int main() {
+  Queue queue;
+  queue.push(1);
+  queue.push(2);
+  if (queue.pop() != 1) return 1;
+  return queue.drain_count() == 1 ? 0 : 1;
+}

@@ -1,0 +1,53 @@
+#!/bin/sh
+# Run the repo's curated clang-tidy gate (.clang-tidy) over src/ and
+# tools/ using the compile database CMake exports. Usage:
+#
+#   tools/run_clang_tidy.sh [build-dir]   # default: build
+#
+# Exit status: 0 clean, 1 findings (WarningsAsErrors promotes every
+# enabled check), 2 setup problems (no compile database). A host
+# without clang-tidy prints a SKIPPED line and exits 0 so the gcc-only
+# container stays usable; the static-analysis CI job installs a pinned
+# clang-tidy, so skipping cannot hide findings from CI.
+set -u
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+tidy=""
+for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                 clang-tidy-15 clang-tidy-14; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    tidy=$candidate
+    break
+  fi
+done
+if [ -z "$tidy" ]; then
+  echo "run_clang_tidy: SKIPPED — no clang-tidy on PATH (CI runs the real gate)"
+  exit 0
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_clang_tidy: no compile database at $build_dir/compile_commands.json" >&2
+  echo "run_clang_tidy: configure first: cmake -B \"$build_dir\" -S \"$repo_root\"" >&2
+  exit 2
+fi
+
+# The TU list is every first-party source the compile database knows
+# about; tests are deliberately out (gtest macros are not this gate's
+# battleground) and so are generated/third-party TUs.
+sources=$(find "$repo_root/src" "$repo_root/tools" -name '*.cpp' | sort)
+count=$(printf '%s\n' "$sources" | wc -l | tr -d ' ')
+echo "run_clang_tidy: $tidy over $count translation units"
+
+# xargs -P keeps the run tolerable on big TUs; clang-tidy exits
+# non-zero per failing TU and xargs aggregates that into its own
+# non-zero status.
+if printf '%s\n' "$sources" |
+  xargs -P "$(nproc 2>/dev/null || echo 4)" -n 4 \
+    "$tidy" --quiet -p "$build_dir"; then
+  echo "run_clang_tidy: clean"
+else
+  echo "run_clang_tidy: findings above — fix them (do not NOLINT without a reason)" >&2
+  exit 1
+fi
